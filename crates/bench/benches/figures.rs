@@ -1,0 +1,32 @@
+//! Criterion benches running every figure pipeline at smoke scale —
+//! guarantees `cargo bench` exercises the exact code paths that regenerate
+//! each of the paper's figures.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use qp_bench::{figures, Scale};
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures_smoke");
+    group.sample_size(10);
+    group.bench_function("fig3_1", |b| b.iter(|| figures::fig3_1(Scale::Smoke)));
+    group.bench_function("fig3_2a", |b| b.iter(|| figures::fig3_2a(Scale::Smoke)));
+    group.bench_function("fig3_2b", |b| b.iter(|| figures::fig3_2b(Scale::Smoke)));
+    group.bench_function("fig6_3", |b| b.iter(|| figures::fig6_3(Scale::Smoke)));
+    group.bench_function("fig6_4", |b| b.iter(|| figures::fig6_4(Scale::Smoke)));
+    group.bench_function("fig6_5", |b| b.iter(|| figures::fig6_5(Scale::Smoke)));
+    group.bench_function("fig7_6", |b| b.iter(|| figures::fig7_6(Scale::Smoke)));
+    group.bench_function("fig7_7", |b| b.iter(|| figures::fig7_7(Scale::Smoke)));
+    group.bench_function("fig7_8", |b| b.iter(|| figures::fig7_8(Scale::Smoke)));
+    group.finish();
+
+    // fig8_9 runs the full iterative pipeline (many LP solves); bench it
+    // separately with the minimum sample count.
+    let mut heavy = c.benchmark_group("figures_smoke_heavy");
+    heavy.sample_size(10);
+    heavy.bench_function("fig8_9", |b| b.iter(|| figures::fig8_9(Scale::Smoke)));
+    heavy.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,231 @@
+//! Criterion micro-benchmarks for the core computational kernels:
+//! LP solves, placement construction and search, metric closure,
+//! order-statistic evaluation, and DES event throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use qp_core::capacity::CapacityProfile;
+use qp_core::manyone::{element_weights, place_for_client, ManyToOneConfig};
+use qp_core::{combinatorics, one_to_one, response, strategy_lp, ResponseModel};
+use qp_des::{EventQueue, ServiceStation, SimTime};
+use qp_lp::{Model, Sense};
+use qp_protocol::{simulate, ClientPopulation, ProtocolConfig, QuorumChoice};
+use qp_quorum::{MajorityKind, QuorumSystem};
+use qp_topology::{datasets, NodeId};
+
+fn bench_lp_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lp_solver");
+    group.sample_size(10);
+    for &(vars, rows) in &[(50usize, 20usize), (200, 60), (800, 120)] {
+        group.bench_with_input(
+            BenchmarkId::new("dense_random", format!("{vars}v_{rows}r")),
+            &(vars, rows),
+            |b, &(vars, rows)| {
+                b.iter(|| {
+                    // Deterministic pseudo-random feasible LP: box-bounded
+                    // vars, b ≥ 0 so x = 0 is feasible.
+                    let mut m = Model::new(Sense::Minimize);
+                    let xs: Vec<_> = (0..vars)
+                        .map(|j| {
+                            let c = ((j * 37 % 19) as f64 - 9.0) / 3.0;
+                            m.add_var(&format!("x{j}"), 0.0, 5.0, c)
+                        })
+                        .collect();
+                    for i in 0..rows {
+                        let terms: Vec<_> = xs
+                            .iter()
+                            .enumerate()
+                            .filter(|(j, _)| (i * 7 + j * 13) % 5 == 0)
+                            .map(|(j, &x)| (x, 1.0 + ((i + j) % 3) as f64))
+                            .collect();
+                        m.add_le(&terms, 10.0 + (i % 7) as f64);
+                    }
+                    m.solve().expect("feasible bounded LP")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_strategy_lp(c: &mut Criterion) {
+    let net = datasets::planetlab_50();
+    let clients: Vec<NodeId> = net.nodes().collect();
+    let mut group = c.benchmark_group("strategy_lp");
+    group.sample_size(10);
+    for &k in &[3usize, 5] {
+        let sys = QuorumSystem::grid(k).unwrap();
+        let placement = one_to_one::best_placement(&net, &sys).unwrap();
+        let quorums = sys.enumerate(100_000).unwrap();
+        let caps = CapacityProfile::uniform(net.len(), 0.8);
+        group.bench_with_input(
+            BenchmarkId::new("grid_planetlab50", format!("k{k}")),
+            &k,
+            |b, _| {
+                b.iter(|| {
+                    strategy_lp::optimize_strategies(
+                        &net, &clients, &placement, &quorums, &caps,
+                    )
+                    .expect("feasible at 0.8")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_manyone_lp(c: &mut Criterion) {
+    let net = datasets::planetlab_50();
+    let sys = QuorumSystem::grid(4).unwrap();
+    let quorums = sys.enumerate(100_000).unwrap();
+    let probs = vec![1.0 / quorums.len() as f64; quorums.len()];
+    let weights = element_weights(&probs, &quorums, sys.universe_size());
+    let caps = CapacityProfile::uniform(net.len(), 0.9);
+    let mut group = c.benchmark_group("manyone");
+    group.sample_size(10);
+    group.bench_function("place_for_client_grid4", |b| {
+        b.iter(|| {
+            place_for_client(
+                &net,
+                NodeId::new(7),
+                &weights,
+                &caps,
+                &ManyToOneConfig::default(),
+            )
+            .expect("feasible")
+        });
+    });
+    group.finish();
+}
+
+fn bench_placement_search(c: &mut Criterion) {
+    let net = datasets::planetlab_50();
+    let mut group = c.benchmark_group("placement_search");
+    group.sample_size(20);
+    let grid = QuorumSystem::grid(5).unwrap();
+    group.bench_function("best_grid5_closest", |b| {
+        b.iter(|| one_to_one::best_placement(&net, &grid).unwrap());
+    });
+    let maj = QuorumSystem::majority(MajorityKind::FourFifths, 4).unwrap();
+    group.bench_function("best_majority_t4_balanced", |b| {
+        b.iter(|| {
+            one_to_one::best_placement_by(
+                &net,
+                &maj,
+                one_to_one::SelectionObjective::BalancedDelay,
+            )
+            .unwrap()
+        });
+    });
+    group.finish();
+}
+
+fn bench_metric_closure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("metric_closure");
+    for &n in &[50usize, 161] {
+        let net = datasets::uniform_random(n, 5.0, 300.0, 11);
+        let m = net.distances().clone();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| m.metric_closure());
+        });
+    }
+    group.finish();
+}
+
+fn bench_expected_max(c: &mut Criterion) {
+    let costs: Vec<f64> = (0..161).map(|i| ((i * 31) % 97) as f64).collect();
+    let mut group = c.benchmark_group("combinatorics");
+    group.sample_size(30);
+    group.bench_function("expected_max_uniform_subset_n161_q81", |b| {
+        b.iter(|| combinatorics::expected_max_uniform_subset(&costs, 81));
+    });
+    group.finish();
+}
+
+fn bench_evaluation(c: &mut Criterion) {
+    let net = datasets::daxlist_161();
+    let clients: Vec<NodeId> = net.nodes().collect();
+    let sys = QuorumSystem::grid(7).unwrap();
+    let placement = one_to_one::grid_shell_placement(&net, NodeId::new(0), 7).unwrap();
+    let mut group = c.benchmark_group("evaluation");
+    group.sample_size(30);
+    group.bench_function("evaluate_closest_grid7_daxlist161", |b| {
+        b.iter(|| {
+            response::evaluate_closest(
+                &net,
+                &clients,
+                &sys,
+                &placement,
+                ResponseModel::from_demand(0.007, 16000.0),
+            )
+            .unwrap()
+        });
+    });
+    group.finish();
+}
+
+fn bench_des(c: &mut Criterion) {
+    let mut group = c.benchmark_group("des");
+    group.sample_size(10);
+    group.bench_function("event_queue_100k_push_pop", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..100_000u64 {
+                // Scatter times deterministically.
+                let t = ((i.wrapping_mul(2654435761)) % 1_000_000) as f64 / 100.0;
+                q.push(SimTime::from_ms(t), i);
+            }
+            let mut count = 0u64;
+            while q.pop().is_some() {
+                count += 1;
+            }
+            count
+        });
+    });
+    group.bench_function("service_station_1m_submits", |b| {
+        b.iter(|| {
+            let mut s = ServiceStation::new();
+            let mut t = SimTime::ZERO;
+            for _ in 0..1_000_000 {
+                t = t + 0.5;
+                s.submit(t, 1.0);
+            }
+            s.served()
+        });
+    });
+    let net = datasets::planetlab_50();
+    let sys = QuorumSystem::majority(MajorityKind::FourFifths, 2).unwrap();
+    let placement = one_to_one::best_placement(&net, &sys).unwrap();
+    let clients = ClientPopulation::representative(&net, &sys, &placement, 10, 5);
+    group.bench_function("protocol_sim_50clients_qu_t2", |b| {
+        b.iter(|| {
+            simulate(
+                &net,
+                &sys,
+                &placement,
+                &clients,
+                QuorumChoice::Balanced,
+                &ProtocolConfig {
+                    warmup_requests: 10,
+                    measured_requests: 50,
+                    ..ProtocolConfig::default()
+                },
+            )
+            .unwrap()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_lp_solver,
+    bench_strategy_lp,
+    bench_manyone_lp,
+    bench_placement_search,
+    bench_metric_closure,
+    bench_expected_max,
+    bench_evaluation,
+    bench_des,
+);
+criterion_main!(benches);

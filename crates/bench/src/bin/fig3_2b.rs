@@ -1,0 +1,7 @@
+//! Regenerates the paper's Figure 3_2b data series.
+//!
+//! Usage: `cargo run --release -p qp-bench --bin fig3_2b [--csv] [--smoke]`
+
+fn main() {
+    qp_bench::run_figure(qp_bench::figures::fig3_2b);
+}

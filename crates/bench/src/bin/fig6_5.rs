@@ -1,0 +1,7 @@
+//! Regenerates the paper's Figure 6_5 data series.
+//!
+//! Usage: `cargo run --release -p qp-bench --bin fig6_5 [--csv] [--smoke]`
+
+fn main() {
+    qp_bench::run_figure(qp_bench::figures::fig6_5);
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's Figure 7_6 data series.
+//!
+//! Usage: `cargo run --release -p qp-bench --bin fig7_6 [--csv] [--smoke]`
+
+fn main() {
+    qp_bench::run_figure(qp_bench::figures::fig7_6);
+}

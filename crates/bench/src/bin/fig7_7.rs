@@ -1,0 +1,7 @@
+//! Regenerates the paper's Figure 7_7 data series.
+//!
+//! Usage: `cargo run --release -p qp-bench --bin fig7_7 [--csv] [--smoke]`
+
+fn main() {
+    qp_bench::run_figure(qp_bench::figures::fig7_7);
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's Figure 8_9 data series.
+//!
+//! Usage: `cargo run --release -p qp-bench --bin fig8_9 [--csv] [--smoke]`
+
+fn main() {
+    qp_bench::run_figure(qp_bench::figures::fig8_9);
+}

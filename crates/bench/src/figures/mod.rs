@@ -1,0 +1,14 @@
+//! One pipeline per paper figure.
+//!
+//! All pipelines are deterministic: the topology generators and the DES are
+//! seeded, so repeated runs produce identical tables.
+
+mod fig3;
+pub(crate) mod fig6;
+mod fig7;
+mod fig8;
+
+pub use fig3::{fig3_1, fig3_2a, fig3_2b};
+pub use fig6::{fig6_3, fig6_4, fig6_5};
+pub use fig7::{fig7_6, fig7_7, fig7_8};
+pub use fig8::fig8_9;

@@ -1,0 +1,79 @@
+//! Benchmark harness reproducing every figure of Oprea & Reiter (DSN 2007).
+//!
+//! Each figure of the paper's evaluation has a pipeline function in
+//! [`figures`] returning a [`Table`] of the same series the paper plots,
+//! and a binary (`fig3_1`, `fig3_2a`, …, `fig8_9`) that runs it at full
+//! scale and prints the table (pass `--csv` for machine-readable output).
+//!
+//! The pipelines accept a [`Scale`] so the Criterion benches can exercise
+//! the same code paths at reduced size.
+//!
+//! | Binary | Paper figure | What it reproduces |
+//! |---|---|---|
+//! | `fig3_1`  | Fig. 3.1  | Q/U response time & network delay vs (universe size × #clients), DES |
+//! | `fig3_2a` | Fig. 3.2a | Q/U delay & response vs fault threshold `t`, 100 clients |
+//! | `fig3_2b` | Fig. 3.2b | Q/U delay & response vs #clients, `t = 4`, `n = 21` |
+//! | `fig6_3`  | Fig. 6.3  | Response time vs universe size, α = 0, closest strategy, all systems + singleton |
+//! | `fig6_4`  | Fig. 6.4  | Grid on daxlist-161: closest vs balanced at demand 1000 / 4000 |
+//! | `fig6_5`  | Fig. 6.5  | Grid on daxlist-161 at demand 16000: delay & response components |
+//! | `fig7_6`  | Fig. 7.6  | LP-tuned strategies over (universe × uniform capacity), demand 16000 |
+//! | `fig7_7`  | Fig. 7.7  | Uniform vs non-uniform capacities over the same sweep |
+//! | `fig7_8`  | Fig. 7.8  | 7×7 Grid: response vs capacity, uniform vs non-uniform |
+//! | `fig8_9`  | Fig. 8.9  | Iterative many-to-one: network delay per phase vs capacity |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figures;
+mod table;
+
+pub use table::Table;
+
+/// Experiment scale: `Full` regenerates the paper's figures; `Smoke` is a
+/// reduced version for CI and Criterion runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Scale {
+    /// Paper-scale parameters.
+    #[default]
+    Full,
+    /// Reduced parameters (small universes, few requests) exercising the
+    /// identical code paths.
+    Smoke,
+}
+
+impl Scale {
+    /// Parses `--smoke` from CLI arguments.
+    pub fn from_args<I: IntoIterator<Item = String>>(args: I) -> Self {
+        if args.into_iter().any(|a| a == "--smoke") {
+            Scale::Smoke
+        } else {
+            Scale::Full
+        }
+    }
+}
+
+/// Standard main body for figure binaries: run the pipeline, print the
+/// table (and CSV when `--csv` is passed).
+pub fn run_figure<F: FnOnce(Scale) -> Table>(pipeline: F) {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = Scale::from_args(args.iter().cloned());
+    let csv = args.iter().any(|a| a == "--csv");
+    let table = pipeline(scale);
+    if csv {
+        print!("{}", table.to_csv());
+    } else {
+        print!("{table}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parses_flag() {
+        assert_eq!(Scale::from_args(vec!["--smoke".to_string()]), Scale::Smoke);
+        assert_eq!(Scale::from_args(vec!["--csv".to_string()]), Scale::Full);
+        assert_eq!(Scale::from_args(Vec::<String>::new()), Scale::Full);
+    }
+}

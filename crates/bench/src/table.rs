@@ -1,0 +1,151 @@
+//! Tabular figure output.
+
+use std::fmt;
+
+/// A figure's data: named columns, numeric rows, provenance header.
+///
+/// Cells are `f64`; `NaN` renders as a blank (used when a series has no
+/// point at that x, e.g. an infeasible capacity).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    /// Figure identifier ("fig6_3").
+    pub id: String,
+    /// Human-readable title including the paper figure number.
+    pub title: String,
+    /// Column names; the first column is the x-axis.
+    pub columns: Vec<String>,
+    /// Data rows; each row has `columns.len()` entries.
+    pub rows: Vec<Vec<f64>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `columns` is empty.
+    pub fn new(id: &str, title: &str, columns: Vec<String>) -> Self {
+        assert!(!columns.is_empty(), "a table needs at least one column");
+        Table { id: id.to_string(), title: title.to_string(), columns, rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len() != self.columns.len()`.
+    pub fn push_row(&mut self, row: Vec<f64>) {
+        assert_eq!(row.len(), self.columns.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// The table as CSV (header + rows; NaN cells are empty).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.columns.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            let cells: Vec<String> = row
+                .iter()
+                .map(|&x| if x.is_nan() { String::new() } else { format!("{x:.4}") })
+                .collect();
+            out.push_str(&cells.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The values of one named column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no column has that name.
+    pub fn column(&self, name: &str) -> Vec<f64> {
+        let idx = self
+            .columns
+            .iter()
+            .position(|c| c == name)
+            .unwrap_or_else(|| panic!("no column named {name}"));
+        self.rows.iter().map(|r| r[idx]).collect()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "# {} — {}", self.id, self.title)?;
+        let widths: Vec<usize> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                let data_w = self
+                    .rows
+                    .iter()
+                    .map(|r| format_cell(r[i]).len())
+                    .max()
+                    .unwrap_or(0);
+                c.len().max(data_w)
+            })
+            .collect();
+        for (c, w) in self.columns.iter().zip(&widths) {
+            write!(f, "{c:>w$}  ", w = w)?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            for (x, w) in row.iter().zip(&widths) {
+                write!(f, "{:>w$}  ", format_cell(*x), w = w)?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+fn format_cell(x: f64) -> String {
+    if x.is_nan() {
+        "-".to_string()
+    } else if x == x.trunc() && x.abs() < 1e9 {
+        format!("{}", x as i64)
+    } else {
+        format!("{x:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_roundtrip_shape() {
+        let mut t = Table::new("t", "test", vec!["x".into(), "y".into()]);
+        t.push_row(vec![1.0, 2.5]);
+        t.push_row(vec![2.0, f64::NAN]);
+        let csv = t.to_csv();
+        assert_eq!(csv, "x,y\n1.0000,2.5000\n2.0000,\n");
+    }
+
+    #[test]
+    fn display_contains_header_and_values() {
+        let mut t = Table::new("f", "Figure", vec!["x".into(), "value".into()]);
+        t.push_row(vec![10.0, 3.25]);
+        let s = t.to_string();
+        assert!(s.contains("Figure"));
+        assert!(s.contains("3.25"));
+        assert!(s.contains("10"));
+    }
+
+    #[test]
+    fn column_lookup() {
+        let mut t = Table::new("f", "c", vec!["x".into(), "y".into()]);
+        t.push_row(vec![1.0, 4.0]);
+        t.push_row(vec![2.0, 5.0]);
+        assert_eq!(t.column("y"), vec![4.0, 5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        let mut t = Table::new("f", "c", vec!["x".into()]);
+        t.push_row(vec![1.0, 2.0]);
+    }
+}

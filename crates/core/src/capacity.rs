@@ -1,0 +1,279 @@
+//! Node-capacity profiles and the capacity-tuning techniques of §7.
+//!
+//! In the paper, `cap(v)` is not (only) a physical machine limit: it is a
+//! *tuning knob* fed to the access-strategy LP (4.3)–(4.6) to control how
+//! much load the optimizer may concentrate on each node. Two schemes are
+//! evaluated:
+//!
+//! * **Uniform sweep** (Eq. 7.7): `cᵢ = L_opt + i·λ`, `λ = (1 − L_opt)/10`,
+//!   all nodes get capacity `cᵢ` — see [`capacity_sweep`].
+//! * **Non-uniform heuristic**: support-node capacities inversely
+//!   proportional to their average distance `sᵢ` to the clients, scaled
+//!   into `[β, γ]` — see [`CapacityProfile::inverse_distance`].
+
+use qp_topology::{Network, NodeId};
+
+use crate::CoreError;
+
+/// Per-node capacities (`cap : V → R⁺ ∪ {∞}`).
+///
+/// # Examples
+///
+/// ```
+/// use qp_core::capacity::CapacityProfile;
+/// use qp_topology::NodeId;
+///
+/// let caps = CapacityProfile::uniform(3, 0.5);
+/// assert_eq!(caps.get(NodeId::new(2)), 0.5);
+/// assert!(!caps.is_unbounded(NodeId::new(2)));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CapacityProfile {
+    caps: Vec<f64>,
+}
+
+impl CapacityProfile {
+    /// All `n` nodes get the same finite capacity `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is negative or NaN.
+    pub fn uniform(n: usize, c: f64) -> Self {
+        assert!(c >= 0.0, "capacity must be nonnegative");
+        CapacityProfile { caps: vec![c; n] }
+    }
+
+    /// All `n` nodes are uncapacitated (`∞`).
+    pub fn unbounded(n: usize) -> Self {
+        CapacityProfile { caps: vec![f64::INFINITY; n] }
+    }
+
+    /// Builds a profile from explicit values (∞ allowed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any value is negative or NaN.
+    pub fn from_values(caps: Vec<f64>) -> Self {
+        assert!(
+            caps.iter().all(|&c| c >= 0.0 && !c.is_nan()),
+            "capacities must be nonnegative"
+        );
+        CapacityProfile { caps }
+    }
+
+    /// The §7 non-uniform heuristic: support-node `vᵢ` gets
+    ///
+    /// ```text
+    /// cap(vᵢ) = (1/sᵢ − le)/(re − le) · (γ − β) + β
+    /// ```
+    ///
+    /// where `sᵢ` is the average distance from all clients to `vᵢ`,
+    /// `le = minᵢ 1/sᵢ`, `re = maxᵢ 1/sᵢ` — the farthest support node gets
+    /// `β`, the closest gets `γ`. Non-support nodes are uncapacitated (they
+    /// host no elements, so their capacity never binds).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::SizeMismatch`] if `support` is empty or contains an
+    /// out-of-range node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `β > γ`, or either is not finite.
+    pub fn inverse_distance(
+        net: &Network,
+        support: &[NodeId],
+        beta: f64,
+        gamma: f64,
+    ) -> Result<Self, CoreError> {
+        assert!(beta.is_finite() && gamma.is_finite(), "bounds must be finite");
+        assert!(beta <= gamma, "β must not exceed γ");
+        if support.is_empty() {
+            return Err(CoreError::SizeMismatch {
+                reason: "empty support set".to_string(),
+            });
+        }
+        if let Some(&bad) = support.iter().find(|v| v.index() >= net.len()) {
+            return Err(CoreError::SizeMismatch {
+                reason: format!("support node {bad} out of range"),
+            });
+        }
+        let avg = net.average_distances();
+        // 1/sᵢ; a zero average distance (single-node network) maps to the
+        // maximum capacity γ via a large sentinel.
+        let inv: Vec<f64> = support
+            .iter()
+            .map(|&v| {
+                let s = avg[v.index()];
+                if s > 0.0 {
+                    1.0 / s
+                } else {
+                    f64::MAX
+                }
+            })
+            .collect();
+        let le = inv.iter().copied().fold(f64::INFINITY, f64::min);
+        let re = inv.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mut caps = vec![f64::INFINITY; net.len()];
+        for (i, &v) in support.iter().enumerate() {
+            let c = if re > le {
+                // Clamp: roundoff in the affine map can overshoot by an ulp.
+                ((inv[i] - le) / (re - le) * (gamma - beta) + beta).clamp(beta, gamma)
+            } else {
+                // All support nodes equidistant on average: degenerate
+                // interval, give everyone γ (matches the paper's "almost
+                // identical" small-interval behaviour).
+                gamma
+            };
+            caps[v.index()] = c;
+        }
+        Ok(CapacityProfile { caps })
+    }
+
+    /// Number of nodes covered.
+    pub fn len(&self) -> usize {
+        self.caps.len()
+    }
+
+    /// Whether the profile covers zero nodes.
+    pub fn is_empty(&self) -> bool {
+        self.caps.is_empty()
+    }
+
+    /// Capacity of node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn get(&self, v: NodeId) -> f64 {
+        self.caps[v.index()]
+    }
+
+    /// Whether node `v` is uncapacitated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn is_unbounded(&self, v: NodeId) -> bool {
+        self.caps[v.index()].is_infinite()
+    }
+
+    /// The raw capacity vector.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.caps
+    }
+}
+
+/// The uniform capacity sweep of Eq. (7.7): `cᵢ = L_opt + i·λ` for
+/// `i ∈ {1, …, steps}` with `λ = (1 − L_opt)/steps`. The paper uses
+/// `steps = 10`, producing ten values spanning `(L_opt, 1]`.
+///
+/// # Panics
+///
+/// Panics if `steps == 0` or `l_opt` is not in `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use qp_core::capacity::capacity_sweep;
+///
+/// let cs = capacity_sweep(0.5, 10);
+/// assert_eq!(cs.len(), 10);
+/// assert!((cs[9] - 1.0).abs() < 1e-12);
+/// assert!(cs[0] > 0.5);
+/// ```
+pub fn capacity_sweep(l_opt: f64, steps: usize) -> Vec<f64> {
+    assert!(steps > 0, "at least one step required");
+    assert!((0.0..=1.0).contains(&l_opt), "L_opt must lie in [0, 1]");
+    let lambda = (1.0 - l_opt) / steps as f64;
+    (1..=steps).map(|i| l_opt + i as f64 * lambda).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qp_topology::{datasets, DistanceMatrix, Network};
+
+    #[test]
+    fn uniform_and_unbounded() {
+        let u = CapacityProfile::uniform(4, 0.3);
+        assert_eq!(u.as_slice(), &[0.3; 4]);
+        let inf = CapacityProfile::unbounded(2);
+        assert!(inf.is_unbounded(NodeId::new(1)));
+    }
+
+    #[test]
+    fn sweep_matches_formula() {
+        let cs = capacity_sweep(0.36, 10);
+        let lambda = (1.0 - 0.36) / 10.0;
+        for (i, c) in cs.iter().enumerate() {
+            let expected = 0.36 + (i + 1) as f64 * lambda;
+            assert!((c - expected).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one step")]
+    fn sweep_rejects_zero_steps() {
+        let _ = capacity_sweep(0.5, 0);
+    }
+
+    #[test]
+    fn inverse_distance_orders_by_distance() {
+        // Line: 0 -1- 1 -1- 2 -1- 3; average distances: 1.5, 1.0, 1.0, 1.5.
+        let m = DistanceMatrix::from_rows(&[
+            vec![0.0, 1.0, 2.0, 3.0],
+            vec![1.0, 0.0, 1.0, 2.0],
+            vec![2.0, 1.0, 0.0, 1.0],
+            vec![3.0, 2.0, 1.0, 0.0],
+        ])
+        .unwrap();
+        let net = Network::from_distances(m);
+        let support = vec![NodeId::new(0), NodeId::new(1)];
+        let caps =
+            CapacityProfile::inverse_distance(&net, &support, 0.2, 0.8).unwrap();
+        // Node 1 is closer on average → γ; node 0 farther → β.
+        assert!((caps.get(NodeId::new(0)) - 0.2).abs() < 1e-12);
+        assert!((caps.get(NodeId::new(1)) - 0.8).abs() < 1e-12);
+        // Non-support nodes are unbounded.
+        assert!(caps.is_unbounded(NodeId::new(2)));
+    }
+
+    #[test]
+    fn inverse_distance_full_support_spans_beta_gamma() {
+        let net = datasets::planetlab_50();
+        let support: Vec<NodeId> = net.nodes().collect();
+        let caps =
+            CapacityProfile::inverse_distance(&net, &support, 0.3, 0.9).unwrap();
+        let vals: Vec<f64> = support.iter().map(|&v| caps.get(v)).collect();
+        let min = vals.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = vals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        assert!((min - 0.3).abs() < 1e-9);
+        assert!((max - 0.9).abs() < 1e-9);
+        for v in vals {
+            assert!((0.3..=0.9).contains(&v));
+        }
+    }
+
+    #[test]
+    fn inverse_distance_rejects_empty_support() {
+        let net = datasets::planetlab_50();
+        assert!(CapacityProfile::inverse_distance(&net, &[], 0.1, 0.2).is_err());
+    }
+
+    #[test]
+    fn degenerate_equal_distances() {
+        // Two nodes, symmetric: equal averages → both get γ.
+        let m = DistanceMatrix::from_rows(&[vec![0.0, 2.0], vec![2.0, 0.0]]).unwrap();
+        let net = Network::from_distances(m);
+        let caps = CapacityProfile::inverse_distance(
+            &net,
+            &[NodeId::new(0), NodeId::new(1)],
+            0.4,
+            0.7,
+        )
+        .unwrap();
+        assert_eq!(caps.get(NodeId::new(0)), 0.7);
+        assert_eq!(caps.get(NodeId::new(1)), 0.7);
+    }
+}

@@ -1,0 +1,178 @@
+//! Order-statistic combinatorics for balanced (uniform-random-quorum)
+//! access to Majority systems.
+//!
+//! For a Majority system, the balanced strategy samples a uniform `q`-subset
+//! of the `n` universe elements. The response-time model needs
+//! `E[max_{u ∈ Q} cost(u)]` over that draw — the expectation of the maximum
+//! of a uniform random subset, computable exactly from order statistics:
+//! sorting costs ascending as `c₍₁₎ ≤ … ≤ c₍ₙ₎`,
+//!
+//! ```text
+//! P[max ≤ c₍ᵢ₎] = C(i, q) / C(n, q)
+//! E[max] = Σᵢ c₍ᵢ₎ · C(i−1, q−1) / C(n, q)
+//! ```
+//!
+//! evaluated with running products to stay in floating-point range for any
+//! `n` this repository uses.
+
+/// Exact `E[max of a uniform random q-subset of costs]`.
+///
+/// Runs in `O(n log n)` (sort + one pass). Costs may repeat; ties are
+/// handled correctly because the formula only depends on the sorted
+/// multiset.
+///
+/// # Panics
+///
+/// Panics if `q == 0`, `q > costs.len()`, or any cost is NaN.
+///
+/// # Examples
+///
+/// ```
+/// use qp_core::combinatorics::expected_max_uniform_subset;
+///
+/// // q = n: the max is always the global max.
+/// assert_eq!(expected_max_uniform_subset(&[1.0, 5.0, 3.0], 3), 5.0);
+/// // q = 1: the mean.
+/// assert!((expected_max_uniform_subset(&[1.0, 5.0, 3.0], 1) - 3.0).abs() < 1e-12);
+/// ```
+pub fn expected_max_uniform_subset(costs: &[f64], q: usize) -> f64 {
+    let n = costs.len();
+    assert!(q >= 1 && q <= n, "q = {q} out of range for n = {n}");
+    assert!(costs.iter().all(|c| !c.is_nan()), "NaN cost");
+    let mut sorted = costs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+
+    // P[max = c_(i)] for i = q..=n (1-based) is C(i-1, q-1)/C(n, q).
+    // Maintain r_i = C(i-1, q-1)/C(n, q) by the recurrence
+    //   r_q     = C(q-1, q-1)/C(n, q) = 1/C(n, q)
+    //   r_{i+1} = r_i · i / (i - q + 1)
+    // Computing 1/C(n,q) directly can underflow for huge C(n,q); instead
+    // accumulate the normalized probabilities with the same recurrence
+    // starting from an unnormalized 1 and dividing by the total at the end.
+    let mut weights = vec![0.0f64; n + 1];
+    let mut w = 1.0f64;
+    let mut total = 0.0f64;
+    for i in q..=n {
+        // w holds C(i-1, q-1) scaled by a common constant; rescale whenever
+        // it grows to avoid overflow.
+        weights[i] = w;
+        total += w;
+        if i < n {
+            w *= i as f64 / (i - q + 1) as f64;
+            if w > 1e280 {
+                let scale = 1e-280;
+                w *= scale;
+                total *= scale;
+                for x in &mut weights[q..=i] {
+                    *x *= scale;
+                }
+            }
+        }
+    }
+    let mut e = 0.0;
+    for i in q..=n {
+        e += sorted[i - 1] * (weights[i] / total);
+    }
+    e
+}
+
+/// Exact `E[max]` by brute-force enumeration of all `C(n, q)` subsets.
+/// Exposed for cross-checking in tests and examples; exponential, only for
+/// tiny `n`.
+///
+/// # Panics
+///
+/// Panics if `q == 0` or `q > costs.len()`.
+pub fn expected_max_brute_force(costs: &[f64], q: usize) -> f64 {
+    let n = costs.len();
+    assert!(q >= 1 && q <= n, "q out of range");
+    let mut choice: Vec<usize> = (0..q).collect();
+    let mut sum = 0.0;
+    let mut count = 0u64;
+    loop {
+        let m = choice.iter().map(|&i| costs[i]).fold(f64::MIN, f64::max);
+        sum += m;
+        count += 1;
+        let mut i = q;
+        loop {
+            if i == 0 {
+                return sum / count as f64;
+            }
+            i -= 1;
+            if choice[i] != i + n - q {
+                choice[i] += 1;
+                for k in (i + 1)..q {
+                    choice[k] = choice[k - 1] + 1;
+                }
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_brute_force_small() {
+        let costs = [3.0, 1.0, 4.0, 1.5, 9.0, 2.6];
+        for q in 1..=costs.len() {
+            let fast = expected_max_uniform_subset(&costs, q);
+            let brute = expected_max_brute_force(&costs, q);
+            assert!(
+                (fast - brute).abs() < 1e-10,
+                "q={q}: fast {fast} vs brute {brute}"
+            );
+        }
+    }
+
+    #[test]
+    fn handles_ties() {
+        let costs = [2.0, 2.0, 2.0, 5.0];
+        for q in 1..=4 {
+            let fast = expected_max_uniform_subset(&costs, q);
+            let brute = expected_max_brute_force(&costs, q);
+            assert!((fast - brute).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn q_equals_n_is_max() {
+        assert_eq!(expected_max_uniform_subset(&[7.0, 2.0], 2), 7.0);
+    }
+
+    #[test]
+    fn q_one_is_mean() {
+        let e = expected_max_uniform_subset(&[1.0, 2.0, 3.0, 4.0], 1);
+        assert!((e - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monotone_in_q() {
+        let costs: Vec<f64> = (0..20).map(|i| (i as f64).sin().abs() * 100.0).collect();
+        let mut prev = 0.0;
+        for q in 1..=20 {
+            let e = expected_max_uniform_subset(&costs, q);
+            assert!(e >= prev - 1e-12, "E[max] must grow with q");
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn large_n_is_stable() {
+        // n = 161, q = 81 — C(161, 81) is astronomically large; the
+        // normalized recurrence must stay finite.
+        let costs: Vec<f64> = (0..161).map(|i| i as f64).collect();
+        let e = expected_max_uniform_subset(&costs, 81);
+        assert!(e.is_finite());
+        // The expected max of an 81-subset of 0..160 is near the top.
+        assert!(e > 155.0 && e <= 160.0, "e = {e}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_q_zero() {
+        let _ = expected_max_uniform_subset(&[1.0], 0);
+    }
+}

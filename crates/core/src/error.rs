@@ -1,0 +1,99 @@
+//! Error type for placement and strategy optimization.
+
+use std::error::Error;
+use std::fmt;
+
+use qp_lp::LpError;
+use qp_quorum::QuorumError;
+use qp_topology::TopologyError;
+
+/// Errors from the placement/strategy algorithms.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// The universe does not fit the network (or another size mismatch).
+    SizeMismatch {
+        /// Explanation of the mismatch.
+        reason: String,
+    },
+    /// The capacities admit no feasible strategy or placement. The paper
+    /// notes this for LP (4.3)–(4.6): "a solution might not exist if, e.g.,
+    /// the node capacities are set too low".
+    Infeasible,
+    /// An underlying LP solve failed for a numerical reason.
+    Lp(LpError),
+    /// A quorum-system operation failed.
+    Quorum(QuorumError),
+    /// A topology operation failed.
+    Topology(TopologyError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::SizeMismatch { reason } => write!(f, "size mismatch: {reason}"),
+            CoreError::Infeasible => {
+                write!(f, "no feasible solution under the given capacities")
+            }
+            CoreError::Lp(e) => write!(f, "lp solver: {e}"),
+            CoreError::Quorum(e) => write!(f, "quorum system: {e}"),
+            CoreError::Topology(e) => write!(f, "topology: {e}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Lp(e) => Some(e),
+            CoreError::Quorum(e) => Some(e),
+            CoreError::Topology(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LpError> for CoreError {
+    fn from(e: LpError) -> Self {
+        match e {
+            LpError::Infeasible => CoreError::Infeasible,
+            other => CoreError::Lp(other),
+        }
+    }
+}
+
+impl From<QuorumError> for CoreError {
+    fn from(e: QuorumError) -> Self {
+        CoreError::Quorum(e)
+    }
+}
+
+impl From<TopologyError> for CoreError {
+    fn from(e: TopologyError) -> Self {
+        CoreError::Topology(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lp_infeasible_maps_to_infeasible() {
+        let e: CoreError = LpError::Infeasible.into();
+        assert_eq!(e, CoreError::Infeasible);
+        let e: CoreError = LpError::Unbounded.into();
+        assert!(matches!(e, CoreError::Lp(LpError::Unbounded)));
+    }
+
+    #[test]
+    fn displays() {
+        assert!(CoreError::Infeasible.to_string().contains("capacities"));
+    }
+
+    #[test]
+    fn source_chain() {
+        let e: CoreError = LpError::Unbounded.into();
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,76 @@
+//! Quorum placement and access-strategy optimization for wide-area
+//! networks — the core algorithms of *"Minimizing Response Time for
+//! Quorum-System Protocols over Wide-Area Networks"* (Oprea & Reiter,
+//! DSN 2007).
+//!
+//! Given a wide-area [`Network`](qp_topology::Network) and a
+//! [`QuorumSystem`](qp_quorum::QuorumSystem), this crate answers the paper's
+//! two questions:
+//!
+//! 1. **Where should the logical servers go?** — placements of the
+//!    universe onto network nodes:
+//!    * [`one_to_one`]: the optimal single-client constructions of §4.1.1
+//!      (ball placement for Majorities, the sorted-shell construction for
+//!      Grids), plus best-`v₀` search over all clients;
+//!    * [`singleton`]: everything on the graph median (Lin's
+//!      2-approximation);
+//!    * [`manyone`]: the LP → Lin–Vitter filter → GAP-rounding pipeline for
+//!      many-to-one placements of §4.1.2;
+//!    * [`iterative`]: the alternating placement/strategy refinement of
+//!      §4.2.
+//! 2. **Which quorum should each client access?** — access strategies:
+//!    * structural *closest* and *balanced* strategies ([`response`]);
+//!    * the LP (4.3)–(4.6) that minimizes average network delay subject to
+//!      per-node capacity constraints ([`strategy_lp`]);
+//!    * uniform capacity sweeps `cᵢ = L_opt + i·λ` and the non-uniform
+//!      inverse-distance capacity heuristic of §7 ([`capacity`]).
+//!
+//! Everything is scored by the response-time model of §4:
+//!
+//! ```text
+//! ρ_f(v, Q) = max_{w ∈ f(Q)} ( d(v, w) + α · load_f(w) )        (4.1)
+//! Δ_f(v)   = Σ_Q p_v(Q) · ρ_f(v, Q)                             (4.2)
+//! objective = avg_v Δ_f(v)
+//! ```
+//!
+//! with `α = op_srv_time × client_demand` coupling processing cost to
+//! client demand, and `α = 0` recovering pure network delay.
+//!
+//! # Examples
+//!
+//! ```
+//! use qp_core::{one_to_one, response, ResponseModel};
+//! use qp_quorum::QuorumSystem;
+//! use qp_topology::datasets;
+//!
+//! let net = datasets::planetlab_50();
+//! let grid = QuorumSystem::grid(3)?;
+//! // Best one-to-one shell placement over all anchor clients.
+//! let placement = one_to_one::best_placement(&net, &grid)?;
+//! // Closest-quorum access, network delay only (low demand, §6).
+//! let clients: Vec<_> = net.nodes().collect();
+//! let eval = response::evaluate_closest(
+//!     &net, &clients, &grid, &placement, ResponseModel::network_delay_only(),
+//! )?;
+//! assert!(eval.avg_network_delay_ms > 0.0);
+//! # Ok::<(), qp_core::CoreError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod capacity;
+pub mod combinatorics;
+mod error;
+pub mod iterative;
+pub mod load;
+pub mod manyone;
+pub mod one_to_one;
+mod placement;
+pub mod response;
+pub mod singleton;
+pub mod strategy_lp;
+
+pub use error::CoreError;
+pub use placement::Placement;
+pub use response::{Evaluation, ResponseModel};

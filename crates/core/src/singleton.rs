@@ -1,0 +1,115 @@
+//! The singleton placement (§4.1.2): every universe element on the graph
+//! median.
+//!
+//! Lin showed the singleton is a 2-approximation for minimizing average
+//! network delay over *all* quorum-system deployments, which makes it the
+//! baseline every placement in §6 is compared against: a quorum system is
+//! only worth deploying (for fault tolerance) if its delay is not much
+//! worse than this single-server bound.
+
+use qp_quorum::{ElementId, Quorum, QuorumSystem};
+use qp_topology::{Network, NodeId};
+
+use crate::{CoreError, Placement};
+
+/// Places all `universe_size` elements of a quorum system on the median of
+/// the graph — the node minimizing the total distance from all clients.
+///
+/// # Errors
+///
+/// [`CoreError::SizeMismatch`] if the network is empty or `universe_size`
+/// is zero.
+pub fn median_placement(
+    net: &Network,
+    universe_size: usize,
+) -> Result<Placement, CoreError> {
+    if net.is_empty() {
+        return Err(CoreError::SizeMismatch {
+            reason: "empty network".to_string(),
+        });
+    }
+    if universe_size == 0 {
+        return Err(CoreError::SizeMismatch {
+            reason: "empty universe".to_string(),
+        });
+    }
+    let median = net.median();
+    Placement::new(vec![median; universe_size], net.len())
+}
+
+/// The one-server "quorum system": a single universe element whose only
+/// quorum is itself. Combined with [`median_placement`], this is the
+/// paper's "Singleton" line.
+pub fn singleton_system() -> QuorumSystem {
+    QuorumSystem::explicit(
+        1,
+        vec![Quorum::new(vec![ElementId::new(0)])],
+        "Singleton",
+    )
+    .expect("the one-element system is trivially valid")
+}
+
+/// Average network delay of the singleton deployment: the mean distance
+/// from every client to the median (closed form; no placement machinery
+/// needed).
+///
+/// # Panics
+///
+/// Panics if `clients` is empty or the network is empty.
+pub fn singleton_delay(net: &Network, clients: &[NodeId]) -> f64 {
+    assert!(!clients.is_empty(), "at least one client required");
+    let median = net.median();
+    clients.iter().map(|&v| net.distance(v, median)).sum::<f64>() / clients.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::response::{evaluate_closest, ResponseModel};
+    use qp_topology::datasets;
+
+    #[test]
+    fn median_placement_is_many_to_one_on_median() {
+        let net = datasets::planetlab_50();
+        let p = median_placement(&net, 9).unwrap();
+        assert_eq!(p.support_set(), vec![net.median()]);
+        assert!(!p.is_one_to_one());
+    }
+
+    #[test]
+    fn singleton_delay_matches_evaluation() {
+        let net = datasets::planetlab_50();
+        let clients: Vec<NodeId> = net.nodes().collect();
+        let sys = singleton_system();
+        let p = median_placement(&net, 1).unwrap();
+        let eval = evaluate_closest(
+            &net,
+            &clients,
+            &sys,
+            &p,
+            ResponseModel::network_delay_only(),
+        )
+        .unwrap();
+        let direct = singleton_delay(&net, &clients);
+        assert!((eval.avg_network_delay_ms - direct).abs() < 1e-9);
+    }
+
+    #[test]
+    fn median_minimizes_average_distance() {
+        let net = datasets::euclidean_random(15, 80.0, 7);
+        let clients: Vec<NodeId> = net.nodes().collect();
+        let at_median = singleton_delay(&net, &clients);
+        for v in net.nodes() {
+            let avg: f64 =
+                clients.iter().map(|&c| net.distance(c, v)).sum::<f64>()
+                    / clients.len() as f64;
+            assert!(at_median <= avg + 1e-9);
+        }
+    }
+
+    #[test]
+    fn rejects_degenerate_inputs() {
+        let net = datasets::euclidean_random(3, 10.0, 0);
+        assert!(median_placement(&net, 0).is_err());
+    }
+}

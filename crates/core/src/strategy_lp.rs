@@ -1,0 +1,423 @@
+//! The access-strategy-optimizing LP (4.3)–(4.6), §4.2 — the paper's first
+//! new technique — plus the §7 capacity-tuning loop built on top of it.
+//!
+//! Given a placement `f` and per-node capacities, the LP finds, for every
+//! client simultaneously, the distribution over quorums minimizing average
+//! network delay while keeping every node's average load within capacity:
+//!
+//! ```text
+//! minimize   avg_v Σᵢ p_vi · δ_f(v, Qᵢ)                    (4.3)
+//! s.t.       avg_v load_{v,f}(v_j) ≤ cap(v_j)   ∀ v_j ∈ V  (4.4)
+//!            Σᵢ p_vi = 1                        ∀ v        (4.5)
+//!            p_vi ∈ [0, 1]                                  (4.6)
+//! ```
+//!
+//! Capacities double as tuning knobs: sweeping a uniform capacity over
+//! `(L_opt, 1]` (Eq. 7.7) trades network delay against load dispersion, and
+//! picking the sweep point with the lowest *response time* (not delay)
+//! yields the paper's tuned strategies ([`tune_uniform_capacity`]).
+
+
+#![allow(clippy::needless_range_loop)] // index loops mirror the matrix math
+use qp_lp::{Model, Sense, SolverOptions, VarId};
+use qp_quorum::{Quorum, StrategyMatrix};
+use qp_topology::{Network, NodeId};
+
+use crate::capacity::{capacity_sweep, CapacityProfile};
+use crate::response::{evaluate_matrix, Evaluation, ResponseModel};
+use crate::{CoreError, Placement};
+
+/// Solves LP (4.3)–(4.6): minimum-average-network-delay strategies under
+/// node capacities.
+///
+/// Capacity rows are generated only for nodes that host at least one
+/// element and have finite capacity (others can never bind).
+///
+/// # Errors
+///
+/// * [`CoreError::Infeasible`] if the capacities are set too low — the
+///   failure mode the paper calls out explicitly.
+/// * [`CoreError::SizeMismatch`] if inputs disagree on sizes.
+/// * [`CoreError::Lp`] on numerical failure.
+///
+/// # Panics
+///
+/// Panics if `clients` is empty.
+pub fn optimize_strategies(
+    net: &Network,
+    clients: &[NodeId],
+    placement: &Placement,
+    quorums: &[Quorum],
+    caps: &CapacityProfile,
+) -> Result<StrategyMatrix, CoreError> {
+    assert!(!clients.is_empty(), "at least one client required");
+    if quorums.is_empty() {
+        return Err(CoreError::SizeMismatch {
+            reason: "no quorums".to_string(),
+        });
+    }
+    if caps.len() != net.len() {
+        return Err(CoreError::SizeMismatch {
+            reason: format!(
+                "capacity profile covers {} nodes, network has {}",
+                caps.len(),
+                net.len()
+            ),
+        });
+    }
+    let n_clients = clients.len();
+    let m = quorums.len();
+    let inv_clients = 1.0 / n_clients as f64;
+
+    // How many elements of quorum i live on node w — the coefficient of
+    // p_vi in w's capacity row (× 1/|clients|).
+    let mut quorum_node_counts: Vec<Vec<(usize, f64)>> = Vec::with_capacity(m);
+    for q in quorums {
+        let mut counts: Vec<(usize, f64)> = Vec::new();
+        for u in q.iter() {
+            let w = placement.node_of(u).index();
+            match counts.binary_search_by_key(&w, |&(i, _)| i) {
+                Ok(pos) => counts[pos].1 += 1.0,
+                Err(pos) => counts.insert(pos, (w, 1.0)),
+            }
+        }
+        quorum_node_counts.push(counts);
+    }
+
+    let mut model = Model::new(Sense::Minimize);
+    // Variable p_{v,i}; objective coefficient δ_f(v, Qᵢ)/|clients|.
+    // The upper bound 1 is implied by (4.5), so plain x ≥ 0 keeps the
+    // standard form lean.
+    let mut vars: Vec<Vec<VarId>> = Vec::with_capacity(n_clients);
+    for (row, &v) in clients.iter().enumerate() {
+        let mut row_vars = Vec::with_capacity(m);
+        for (i, q) in quorums.iter().enumerate() {
+            let delta = q
+                .iter()
+                .map(|u| net.distance(v, placement.node_of(u)))
+                .fold(f64::MIN, f64::max);
+            row_vars.push(model.add_var(
+                &format!("p_{row}_{i}"),
+                0.0,
+                f64::INFINITY,
+                delta * inv_clients,
+            ));
+        }
+        vars.push(row_vars);
+    }
+    // (4.5): one convexity row per client.
+    for row_vars in &vars {
+        let terms: Vec<_> = row_vars.iter().map(|&p| (p, 1.0)).collect();
+        model.add_eq(&terms, 1.0);
+    }
+    // (4.4): capacity rows for loaded, finitely-capacitated nodes.
+    let counts = placement.element_counts();
+    for w in 0..net.len() {
+        if counts[w] == 0 || caps.is_unbounded(NodeId::new(w)) {
+            continue;
+        }
+        let mut terms: Vec<(VarId, f64)> = Vec::new();
+        for (i, node_counts) in quorum_node_counts.iter().enumerate() {
+            if let Ok(pos) = node_counts.binary_search_by_key(&w, |&(j, _)| j) {
+                let coeff = node_counts[pos].1 * inv_clients;
+                for row_vars in &vars {
+                    terms.push((row_vars[i], coeff));
+                }
+            }
+        }
+        if !terms.is_empty() {
+            model.add_le(&terms, caps.get(NodeId::new(w)));
+        }
+    }
+
+    let sol = model.solve_with(&SolverOptions::default())?;
+    let rows: Vec<Vec<f64>> = vars
+        .iter()
+        .map(|row_vars| {
+            let mut row: Vec<f64> =
+                row_vars.iter().map(|&p| sol.value(p).max(0.0)).collect();
+            // Repair roundoff so each row is an exact distribution.
+            let total: f64 = row.iter().sum();
+            if total > 0.0 {
+                for p in &mut row {
+                    *p /= total;
+                }
+            }
+            row
+        })
+        .collect();
+    StrategyMatrix::from_rows(rows).map_err(CoreError::from)
+}
+
+/// One point of the §7 uniform-capacity technique: solve the LP at capacity
+/// `c` for all nodes, then score the strategies with the full response-time
+/// model.
+///
+/// # Errors
+///
+/// As for [`optimize_strategies`]; an infeasible `c` propagates as
+/// [`CoreError::Infeasible`].
+pub fn evaluate_at_uniform_capacity(
+    net: &Network,
+    clients: &[NodeId],
+    placement: &Placement,
+    quorums: &[Quorum],
+    c: f64,
+    model: ResponseModel,
+) -> Result<(StrategyMatrix, Evaluation), CoreError> {
+    let caps = CapacityProfile::uniform(net.len(), c);
+    let strategy = optimize_strategies(net, clients, placement, quorums, &caps)?;
+    let eval = evaluate_matrix(net, clients, placement, quorums, &strategy, model)?;
+    Ok((strategy, eval))
+}
+
+/// The outcome of a capacity sweep: per-capacity evaluations and the best
+/// point by response time.
+#[derive(Debug, Clone)]
+pub struct CapacitySweepResult {
+    /// `(capacity, evaluation)` per feasible sweep point, in sweep order.
+    pub points: Vec<(f64, Evaluation)>,
+    /// Index into `points` of the minimum `avg_response_ms`.
+    pub best: usize,
+}
+
+impl CapacitySweepResult {
+    /// The winning `(capacity, evaluation)` pair.
+    pub fn best_point(&self) -> &(f64, Evaluation) {
+        &self.points[self.best]
+    }
+}
+
+/// The full §7 uniform-capacity tuning loop: sweep
+/// `cᵢ = L_opt + i·(1 − L_opt)/steps`, solve the LP at each `cᵢ`, score
+/// with the response model, and report every point plus the best.
+///
+/// Infeasible sweep points (capacities below what the placement can
+/// balance) are skipped, mirroring the paper's treatment.
+///
+/// # Errors
+///
+/// [`CoreError::Infeasible`] if *every* sweep point is infeasible;
+/// construction errors propagate.
+pub fn tune_uniform_capacity(
+    net: &Network,
+    clients: &[NodeId],
+    placement: &Placement,
+    quorums: &[Quorum],
+    l_opt: f64,
+    steps: usize,
+    model: ResponseModel,
+) -> Result<CapacitySweepResult, CoreError> {
+    let mut points = Vec::new();
+    for c in capacity_sweep(l_opt, steps) {
+        match evaluate_at_uniform_capacity(net, clients, placement, quorums, c, model) {
+            Ok((_, eval)) => points.push((c, eval)),
+            Err(CoreError::Infeasible) => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    if points.is_empty() {
+        return Err(CoreError::Infeasible);
+    }
+    let best = points
+        .iter()
+        .enumerate()
+        .min_by(|a, b| {
+            a.1 .1
+                .avg_response_ms
+                .partial_cmp(&b.1 .1.avg_response_ms)
+                .expect("finite response times")
+        })
+        .map(|(i, _)| i)
+        .expect("nonempty");
+    Ok(CapacitySweepResult { points, best })
+}
+
+/// The §7 *non-uniform* variant: capacities from the inverse-distance
+/// heuristic over `[β, γ]`, then the same LP + scoring.
+///
+/// # Errors
+///
+/// As for [`optimize_strategies`].
+pub fn evaluate_at_nonuniform_capacity(
+    net: &Network,
+    clients: &[NodeId],
+    placement: &Placement,
+    quorums: &[Quorum],
+    beta: f64,
+    gamma: f64,
+    model: ResponseModel,
+) -> Result<(StrategyMatrix, Evaluation), CoreError> {
+    let caps =
+        CapacityProfile::inverse_distance(net, &placement.support_set(), beta, gamma)?;
+    let strategy = optimize_strategies(net, clients, placement, quorums, &caps)?;
+    let eval = evaluate_matrix(net, clients, placement, quorums, &strategy, model)?;
+    Ok((strategy, eval))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::one_to_one::grid_shell_placement;
+    use crate::response::evaluate_closest;
+    use qp_quorum::QuorumSystem;
+    use qp_topology::datasets;
+
+    fn setup(k: usize) -> (Network, Vec<NodeId>, QuorumSystem, Placement, Vec<Quorum>) {
+        let net = datasets::euclidean_random(16, 100.0, 42);
+        let clients: Vec<NodeId> = net.nodes().collect();
+        let sys = QuorumSystem::grid(k).unwrap();
+        let placement = grid_shell_placement(&net, NodeId::new(0), k).unwrap();
+        let quorums = sys.enumerate(10_000).unwrap();
+        (net, clients, sys, placement, quorums)
+    }
+
+    use qp_topology::Network;
+
+    #[test]
+    fn unbounded_capacity_recovers_closest() {
+        // With no capacity constraint, the delay-minimizing strategy is to
+        // always use the closest quorum.
+        let (net, clients, sys, placement, quorums) = setup(3);
+        let caps = CapacityProfile::unbounded(net.len());
+        let strategy =
+            optimize_strategies(&net, &clients, &placement, &quorums, &caps).unwrap();
+        let lp_eval = evaluate_matrix(
+            &net,
+            &clients,
+            &placement,
+            &quorums,
+            &strategy,
+            ResponseModel::network_delay_only(),
+        )
+        .unwrap();
+        let closest = evaluate_closest(
+            &net,
+            &clients,
+            &sys,
+            &placement,
+            ResponseModel::network_delay_only(),
+        )
+        .unwrap();
+        assert!(
+            (lp_eval.avg_network_delay_ms - closest.avg_network_delay_ms).abs() < 1e-6,
+            "LP {} vs closest {}",
+            lp_eval.avg_network_delay_ms,
+            closest.avg_network_delay_ms
+        );
+    }
+
+    #[test]
+    fn capacity_constraints_are_respected() {
+        let (net, clients, _sys, placement, quorums) = setup(3);
+        let c = 0.7;
+        let caps = CapacityProfile::uniform(net.len(), c);
+        let strategy =
+            optimize_strategies(&net, &clients, &placement, &quorums, &caps).unwrap();
+        let eval = evaluate_matrix(
+            &net,
+            &clients,
+            &placement,
+            &quorums,
+            &strategy,
+            ResponseModel::network_delay_only(),
+        )
+        .unwrap();
+        assert!(
+            eval.max_node_load() <= c + 1e-6,
+            "max load {} exceeds capacity {c}",
+            eval.max_node_load()
+        );
+    }
+
+    #[test]
+    fn infeasible_capacity_reports_infeasible() {
+        let (net, clients, sys, placement, quorums) = setup(3);
+        // Below L_opt no strategy can satisfy every node.
+        let c = sys.optimal_load().unwrap() * 0.5;
+        let caps = CapacityProfile::uniform(net.len(), c);
+        let err = optimize_strategies(&net, &clients, &placement, &quorums, &caps)
+            .unwrap_err();
+        assert_eq!(err, CoreError::Infeasible);
+    }
+
+    #[test]
+    fn capacity_at_l_opt_is_feasible_and_balanced() {
+        let (net, clients, sys, placement, quorums) = setup(3);
+        let l_opt = sys.optimal_load().unwrap();
+        let caps = CapacityProfile::uniform(net.len(), l_opt + 1e-9);
+        let strategy =
+            optimize_strategies(&net, &clients, &placement, &quorums, &caps).unwrap();
+        let eval = evaluate_matrix(
+            &net,
+            &clients,
+            &placement,
+            &quorums,
+            &strategy,
+            ResponseModel::network_delay_only(),
+        )
+        .unwrap();
+        assert!(eval.max_node_load() <= l_opt + 1e-6);
+    }
+
+    #[test]
+    fn looser_capacity_never_hurts_delay() {
+        let (net, clients, _sys, placement, quorums) = setup(3);
+        let mut prev_delay = f64::INFINITY;
+        for c in [0.6, 0.75, 0.9, 1.0] {
+            let caps = CapacityProfile::uniform(net.len(), c);
+            let strategy =
+                optimize_strategies(&net, &clients, &placement, &quorums, &caps)
+                    .unwrap();
+            let eval = evaluate_matrix(
+                &net,
+                &clients,
+                &placement,
+                &quorums,
+                &strategy,
+                ResponseModel::network_delay_only(),
+            )
+            .unwrap();
+            assert!(eval.avg_network_delay_ms <= prev_delay + 1e-6);
+            prev_delay = eval.avg_network_delay_ms;
+        }
+    }
+
+    #[test]
+    fn tune_uniform_capacity_finds_best() {
+        let (net, clients, sys, placement, quorums) = setup(3);
+        let result = tune_uniform_capacity(
+            &net,
+            &clients,
+            &placement,
+            &quorums,
+            sys.optimal_load().unwrap(),
+            5,
+            ResponseModel::from_demand(0.007, 16000.0),
+        )
+        .unwrap();
+        assert!(!result.points.is_empty());
+        let best = result.best_point().1.avg_response_ms;
+        for (_, eval) in &result.points {
+            assert!(best <= eval.avg_response_ms + 1e-9);
+        }
+    }
+
+    #[test]
+    fn nonuniform_capacity_evaluates() {
+        let (net, clients, sys, placement, quorums) = setup(3);
+        let l_opt = sys.optimal_load().unwrap();
+        let (strategy, eval) = evaluate_at_nonuniform_capacity(
+            &net,
+            &clients,
+            &placement,
+            &quorums,
+            l_opt,
+            1.0,
+            ResponseModel::from_demand(0.007, 16000.0),
+        )
+        .unwrap();
+        assert_eq!(strategy.num_clients(), clients.len());
+        assert!(eval.avg_response_ms >= eval.avg_network_delay_ms);
+    }
+}

@@ -1,0 +1,246 @@
+//! Streaming and sample statistics.
+
+/// A streaming accumulator (Welford's algorithm): mean, variance, extrema —
+/// constant memory, suitable for millions of observations.
+///
+/// # Examples
+///
+/// ```
+/// use qp_des::Tally;
+///
+/// let mut t = Tally::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     t.add(x);
+/// }
+/// assert_eq!(t.mean(), 5.0);
+/// assert_eq!(t.population_std_dev(), 2.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Tally {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Tally {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Tally { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Adds an observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is NaN.
+    pub fn add(&mut self, x: f64) {
+        assert!(!x.is_nan(), "NaN observation");
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population standard deviation (0 when fewer than 2 observations).
+    pub fn population_std_dev(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            (self.m2 / self.n as f64).sqrt()
+        }
+    }
+
+    /// Smallest observation (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Largest observation (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+
+    /// Merges another tally into this one (parallel-runs aggregation).
+    pub fn merge(&mut self, other: &Tally) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// A value-retaining sample, for percentiles.
+///
+/// # Examples
+///
+/// ```
+/// use qp_des::Sample;
+///
+/// let mut s = Sample::new();
+/// for x in 1..=100 {
+///     s.add(x as f64);
+/// }
+/// assert_eq!(s.percentile(50.0), 50.0);
+/// assert_eq!(s.percentile(99.0), 99.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Sample {
+    values: Vec<f64>,
+    sorted: bool,
+}
+
+impl Sample {
+    /// An empty sample.
+    pub fn new() -> Self {
+        Sample { values: Vec::new(), sorted: true }
+    }
+
+    /// Adds an observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is NaN.
+    pub fn add(&mut self, x: f64) {
+        assert!(!x.is_nan(), "NaN observation");
+        self.values.push(x);
+        self.sorted = false;
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the sample is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.values.iter().sum::<f64>() / self.values.len() as f64
+        }
+    }
+
+    /// The `p`-th percentile (nearest-rank method).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample is empty or `p` is outside `[0, 100]`.
+    pub fn percentile(&mut self, p: f64) -> f64 {
+        assert!(!self.values.is_empty(), "percentile of an empty sample");
+        assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
+        if !self.sorted {
+            self.values
+                .sort_by(|a, b| a.partial_cmp(b).expect("no NaN stored"));
+            self.sorted = true;
+        }
+        let rank = ((p / 100.0) * self.values.len() as f64).ceil() as usize;
+        self.values[rank.clamp(1, self.values.len()) - 1]
+    }
+}
+
+impl Extend<f64> for Sample {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.add(x);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tally_basics() {
+        let mut t = Tally::new();
+        assert_eq!(t.mean(), 0.0);
+        assert_eq!(t.min(), None);
+        t.add(1.0);
+        t.add(3.0);
+        assert_eq!(t.mean(), 2.0);
+        assert_eq!(t.min(), Some(1.0));
+        assert_eq!(t.max(), Some(3.0));
+        assert_eq!(t.count(), 2);
+    }
+
+    #[test]
+    fn tally_merge_matches_combined() {
+        let xs: Vec<f64> = (0..50).map(|i| (i as f64).sqrt() * 3.7).collect();
+        let mut whole = Tally::new();
+        for &x in &xs {
+            whole.add(x);
+        }
+        let mut a = Tally::new();
+        let mut b = Tally::new();
+        for (i, &x) in xs.iter().enumerate() {
+            if i % 2 == 0 {
+                a.add(x);
+            } else {
+                b.add(x);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-12);
+        assert!((a.population_std_dev() - whole.population_std_dev()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_percentiles() {
+        let mut s = Sample::new();
+        s.extend((1..=10).map(|i| i as f64));
+        assert_eq!(s.percentile(10.0), 1.0);
+        assert_eq!(s.percentile(100.0), 10.0);
+        assert_eq!(s.percentile(0.0), 1.0);
+        assert_eq!(s.mean(), 5.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn percentile_of_empty_panics() {
+        let mut s = Sample::new();
+        let _ = s.percentile(50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn tally_rejects_nan() {
+        let mut t = Tally::new();
+        t.add(f64::NAN);
+    }
+}

@@ -1,0 +1,201 @@
+//! CPLEX-LP-style text export for models.
+//!
+//! The paper's authors debugged their formulations as GNU MathProg files;
+//! this module provides the analogous affordance: dump any [`Model`] to the
+//! widely supported LP text format, inspectable by eye or loadable into an
+//! external solver to cross-check this crate's simplex.
+
+use std::fmt::Write as _;
+
+use crate::model::Relation;
+use crate::{Model, Sense, VarId};
+
+/// Renders the model in CPLEX LP text format.
+///
+/// Variable names are the ones given to [`Model::add_var`], sanitized
+/// (non-alphanumeric characters become `_`); duplicates get an index
+/// suffix, so round-tripping through an external tool stays unambiguous.
+///
+/// # Examples
+///
+/// ```
+/// use qp_lp::{format_lp, Model, Sense};
+///
+/// let mut m = Model::new(Sense::Maximize);
+/// let x = m.add_var("x", 0.0, 4.0, 3.0);
+/// let y = m.add_var("y", 0.0, f64::INFINITY, 5.0);
+/// m.add_le(&[(x, 3.0), (y, 2.0)], 18.0);
+/// let text = format_lp(&m);
+/// assert!(text.starts_with("Maximize"));
+/// assert!(text.contains("3 x + 2 y <= 18"));
+/// ```
+pub fn format_lp(model: &Model) -> String {
+    let names = unique_names(model);
+    let mut out = String::new();
+    out.push_str(match model.sense() {
+        Sense::Minimize => "Minimize\n",
+        Sense::Maximize => "Maximize\n",
+    });
+    out.push_str(" obj: ");
+    let obj_terms: Vec<(usize, f64)> = (0..model.num_vars())
+        .map(|j| (j, model.objective_coeff(VarId::from_index(j))))
+        .filter(|&(_, c)| c != 0.0)
+        .collect();
+    if obj_terms.is_empty() {
+        out.push('0');
+    } else {
+        write_terms(&mut out, &obj_terms, &names);
+    }
+    out.push_str("\nSubject To\n");
+    for (i, (terms, relation, rhs)) in model.constraint_rows().enumerate() {
+        let _ = write!(out, " c{i}: ");
+        if terms.is_empty() {
+            out.push('0');
+        } else {
+            write_terms(&mut out, terms, &names);
+        }
+        let op = match relation {
+            Relation::Le => "<=",
+            Relation::Ge => ">=",
+            Relation::Eq => "=",
+        };
+        let _ = writeln!(out, " {op} {}", trim_float(rhs));
+    }
+    out.push_str("Bounds\n");
+    for j in 0..model.num_vars() {
+        let v = VarId::from_index(j);
+        let (lo, hi) = model.var_bounds(v);
+        let name = &names[j];
+        match (lo.is_finite(), hi.is_finite()) {
+            (true, true) => {
+                let _ = writeln!(out, " {} <= {name} <= {}", trim_float(lo), trim_float(hi));
+            }
+            (true, false) => {
+                if lo != 0.0 {
+                    let _ = writeln!(out, " {name} >= {}", trim_float(lo));
+                }
+                // lo == 0, hi == inf is the LP-format default: omit.
+            }
+            (false, true) => {
+                let _ = writeln!(out, " -inf <= {name} <= {}", trim_float(hi));
+            }
+            (false, false) => {
+                let _ = writeln!(out, " {name} free");
+            }
+        }
+    }
+    out.push_str("End\n");
+    out
+}
+
+fn write_terms(out: &mut String, terms: &[(usize, f64)], names: &[String]) {
+    for (pos, &(j, c)) in terms.iter().enumerate() {
+        if pos == 0 {
+            if c < 0.0 {
+                out.push_str("- ");
+            }
+        } else if c < 0.0 {
+            out.push_str(" - ");
+        } else {
+            out.push_str(" + ");
+        }
+        let mag = c.abs();
+        if (mag - 1.0).abs() > 1e-15 {
+            let _ = write!(out, "{} ", trim_float(mag));
+        }
+        out.push_str(&names[j]);
+    }
+}
+
+fn trim_float(x: f64) -> String {
+    if x == x.trunc() && x.abs() < 1e15 {
+        format!("{}", x as i64)
+    } else {
+        format!("{x}")
+    }
+}
+
+fn unique_names(model: &Model) -> Vec<String> {
+    let mut seen = std::collections::HashSet::new();
+    (0..model.num_vars())
+        .map(|j| {
+            let raw = model.var_name(VarId::from_index(j));
+            let mut name: String = raw
+                .chars()
+                .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+                .collect();
+            if name.is_empty() || name.chars().next().unwrap().is_ascii_digit() {
+                name = format!("v_{name}");
+            }
+            while !seen.insert(name.clone()) {
+                name = format!("{name}_{j}");
+            }
+            name
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_classic_example() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", 0.0, 4.0, 3.0);
+        let y = m.add_var("y", 0.0, f64::INFINITY, 5.0);
+        m.add_le(&[(y, 2.0)], 12.0);
+        m.add_le(&[(x, 3.0), (y, 2.0)], 18.0);
+        let text = format_lp(&m);
+        assert!(text.contains("Maximize"));
+        assert!(text.contains("obj: 3 x + 5 y"));
+        assert!(text.contains("c0: 2 y <= 12"));
+        assert!(text.contains("c1: 3 x + 2 y <= 18"));
+        assert!(text.contains("0 <= x <= 4"));
+        assert!(text.ends_with("End\n"));
+    }
+
+    #[test]
+    fn negative_and_unit_coefficients() {
+        let mut m = Model::new(Sense::Minimize);
+        let a = m.add_var("a", 0.0, f64::INFINITY, 1.0);
+        let b = m.add_var("b", 0.0, f64::INFINITY, -1.0);
+        m.add_ge(&[(a, 1.0), (b, -2.5)], -3.0);
+        let text = format_lp(&m);
+        assert!(text.contains("obj: a - b"), "{text}");
+        assert!(text.contains("c0: a - 2.5 b >= -3"), "{text}");
+    }
+
+    #[test]
+    fn free_and_bounded_below_vars() {
+        let mut m = Model::new(Sense::Minimize);
+        let _f = m.add_var("f", f64::NEG_INFINITY, f64::INFINITY, 1.0);
+        let _g = m.add_var("g", 2.0, f64::INFINITY, 1.0);
+        let _h = m.add_var("h", f64::NEG_INFINITY, 5.0, 1.0);
+        let text = format_lp(&m);
+        assert!(text.contains(" f free"));
+        assert!(text.contains(" g >= 2"));
+        assert!(text.contains(" -inf <= h <= 5"));
+    }
+
+    #[test]
+    fn sanitizes_and_dedups_names() {
+        let mut m = Model::new(Sense::Minimize);
+        let _ = m.add_var("p[0,1]", 0.0, 1.0, 1.0);
+        let _ = m.add_var("p[0,1]", 0.0, 1.0, 1.0);
+        let _ = m.add_var("0start", 0.0, 1.0, 1.0);
+        let text = format_lp(&m);
+        assert!(text.contains("p_0_1_"));
+        assert!(text.contains("p_0_1__1"));
+        assert!(text.contains("v_0start"));
+    }
+
+    #[test]
+    fn empty_objective_renders_zero() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", 0.0, 1.0, 0.0);
+        m.add_le(&[(x, 1.0)], 1.0);
+        let text = format_lp(&m);
+        assert!(text.contains("obj: 0"));
+    }
+}

@@ -1,0 +1,57 @@
+//! Linear-programming substrate: a small modeling layer and a from-scratch
+//! two-phase revised-simplex solver.
+//!
+//! The paper solves its placement and access-strategy linear programs with
+//! GNU MathProg + `glpsol`; this crate replaces that external toolchain with
+//! a pure-Rust solver so the whole reproduction is self-contained. The
+//! solver is a textbook *revised simplex* with:
+//!
+//! * sparse constraint columns and a dense explicit basis inverse,
+//!   refactorized periodically to bound numerical drift;
+//! * a two-phase start (phase 1 minimizes the sum of artificial variables,
+//!   detecting infeasibility, then redundant rows are dropped and artificials
+//!   pivoted out);
+//! * Dantzig pricing with an automatic switch to Bland's rule after a run of
+//!   degenerate pivots, guaranteeing termination;
+//! * support for general variable bounds (finite lower bounds are shifted
+//!   away, free variables are split, finite upper bounds become rows).
+//!
+//! The LPs in this repository are small-to-medium (hundreds of rows, up to a
+//! few tens of thousands of columns); the dense `O(m²)`-per-iteration basis
+//! maintenance is comfortable at that scale.
+//!
+//! # Examples
+//!
+//! Maximize `3x + 5y` subject to `x ≤ 4`, `2y ≤ 12`, `3x + 2y ≤ 18`
+//! (the classic example; optimum 36 at `(2, 6)`):
+//!
+//! ```
+//! use qp_lp::{Model, Sense};
+//!
+//! let mut m = Model::new(Sense::Maximize);
+//! let x = m.add_var("x", 0.0, f64::INFINITY, 3.0);
+//! let y = m.add_var("y", 0.0, f64::INFINITY, 5.0);
+//! m.add_le(&[(x, 1.0)], 4.0);
+//! m.add_le(&[(y, 2.0)], 12.0);
+//! m.add_le(&[(x, 3.0), (y, 2.0)], 18.0);
+//! let sol = m.solve()?;
+//! assert!((sol.objective() - 36.0).abs() < 1e-7);
+//! assert!((sol.value(x) - 2.0).abs() < 1e-7);
+//! assert!((sol.value(y) - 6.0).abs() < 1e-7);
+//! # Ok::<(), qp_lp::LpError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod format;
+mod model;
+mod simplex;
+mod solution;
+
+pub use error::LpError;
+pub use format::format_lp;
+pub use model::{Model, Relation, Sense, VarId};
+pub use simplex::SolverOptions;
+pub use solution::Solution;

@@ -1,0 +1,502 @@
+//! The LP modeling layer: variables, constraints, objective.
+
+use std::fmt;
+
+use crate::simplex::{solve_prepared, SolverOptions};
+use crate::{LpError, Solution};
+
+/// Identifier of a decision variable within one [`Model`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(pub(crate) usize);
+
+impl VarId {
+    /// The raw column index of this variable.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+
+    /// Rebuilds a `VarId` from a raw column index (for iteration over a
+    /// model's variables; pairing with a foreign model is a logic error
+    /// caught by the consuming methods' range checks).
+    pub const fn from_index(index: usize) -> Self {
+        VarId(index)
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// Optimization direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sense {
+    /// Minimize the objective.
+    Minimize,
+    /// Maximize the objective.
+    Maximize,
+}
+
+/// Relation of a linear constraint row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Relation {
+    /// `expr ≤ rhs`
+    Le,
+    /// `expr ≥ rhs`
+    Ge,
+    /// `expr = rhs`
+    Eq,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Row {
+    pub terms: Vec<(usize, f64)>,
+    pub relation: Relation,
+    pub rhs: f64,
+}
+
+/// A linear program under construction.
+///
+/// Variables carry their bounds and objective coefficient; constraints are
+/// added as term lists. Call [`Model::solve`] (or
+/// [`Model::solve_with`] for custom tolerances) to run the simplex solver.
+///
+/// # Examples
+///
+/// Minimize `x + 2y` with `x + y ≥ 3`, `y ≤ 2`:
+///
+/// ```
+/// use qp_lp::{Model, Sense};
+///
+/// let mut m = Model::new(Sense::Minimize);
+/// let x = m.add_var("x", 0.0, f64::INFINITY, 1.0);
+/// let y = m.add_var("y", 0.0, 2.0, 2.0);
+/// m.add_ge(&[(x, 1.0), (y, 1.0)], 3.0);
+/// let sol = m.solve()?;
+/// assert!((sol.objective() - 3.0).abs() < 1e-7); // x = 3, y = 0
+/// # Ok::<(), qp_lp::LpError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Model {
+    sense: Sense,
+    names: Vec<String>,
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+    objective: Vec<f64>,
+    rows: Vec<Row>,
+}
+
+impl Model {
+    /// Creates an empty model with the given optimization direction.
+    pub fn new(sense: Sense) -> Self {
+        Model {
+            sense,
+            names: Vec::new(),
+            lower: Vec::new(),
+            upper: Vec::new(),
+            objective: Vec::new(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds a decision variable with bounds `[lower, upper]` and the given
+    /// objective coefficient. Use `f64::NEG_INFINITY` / `f64::INFINITY` for
+    /// free sides.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a bound is NaN, the objective coefficient is not finite, or
+    /// `lower > upper`.
+    pub fn add_var(&mut self, name: &str, lower: f64, upper: f64, obj: f64) -> VarId {
+        assert!(!lower.is_nan() && !upper.is_nan(), "NaN bound for {name}");
+        assert!(obj.is_finite(), "objective coefficient for {name} must be finite");
+        assert!(lower <= upper, "lower bound {lower} exceeds upper bound {upper} for {name}");
+        let id = VarId(self.names.len());
+        self.names.push(name.to_string());
+        self.lower.push(lower);
+        self.upper.push(upper);
+        self.objective.push(obj);
+        id
+    }
+
+    /// Number of variables added so far.
+    pub fn num_vars(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Number of constraint rows added so far.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The optimization direction.
+    pub fn sense(&self) -> Sense {
+        self.sense
+    }
+
+    /// Changes the objective coefficient of an existing variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` does not belong to this model or `obj` is not finite.
+    pub fn set_objective(&mut self, v: VarId, obj: f64) {
+        assert!(v.0 < self.names.len(), "variable out of range");
+        assert!(obj.is_finite(), "objective coefficient must be finite");
+        self.objective[v.0] = obj;
+    }
+
+    /// Adds a general constraint `Σ cᵢ·xᵢ  (≤ | ≥ | =)  rhs`.
+    ///
+    /// Duplicate variables in `terms` are summed. Returns the row index
+    /// (usable with [`Solution::dual`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a variable is foreign, a coefficient is not finite, or
+    /// `rhs` is not finite.
+    pub fn add_constraint(
+        &mut self,
+        terms: &[(VarId, f64)],
+        relation: Relation,
+        rhs: f64,
+    ) -> usize {
+        assert!(rhs.is_finite(), "constraint rhs must be finite");
+        let mut combined: Vec<(usize, f64)> = Vec::with_capacity(terms.len());
+        for &(v, c) in terms {
+            assert!(v.0 < self.names.len(), "variable {v} out of range");
+            assert!(c.is_finite(), "coefficient for {v} must be finite");
+            match combined.binary_search_by_key(&v.0, |&(i, _)| i) {
+                Ok(pos) => combined[pos].1 += c,
+                Err(pos) => combined.insert(pos, (v.0, c)),
+            }
+        }
+        combined.retain(|&(_, c)| c != 0.0);
+        self.rows.push(Row { terms: combined, relation, rhs });
+        self.rows.len() - 1
+    }
+
+    /// Adds `Σ cᵢ·xᵢ ≤ rhs`. Returns the row index.
+    pub fn add_le(&mut self, terms: &[(VarId, f64)], rhs: f64) -> usize {
+        self.add_constraint(terms, Relation::Le, rhs)
+    }
+
+    /// Adds `Σ cᵢ·xᵢ ≥ rhs`. Returns the row index.
+    pub fn add_ge(&mut self, terms: &[(VarId, f64)], rhs: f64) -> usize {
+        self.add_constraint(terms, Relation::Ge, rhs)
+    }
+
+    /// Adds `Σ cᵢ·xᵢ = rhs`. Returns the row index.
+    pub fn add_eq(&mut self, terms: &[(VarId, f64)], rhs: f64) -> usize {
+        self.add_constraint(terms, Relation::Eq, rhs)
+    }
+
+    /// Solves with default options.
+    ///
+    /// # Errors
+    ///
+    /// * [`LpError::Infeasible`] if no point satisfies the constraints.
+    /// * [`LpError::Unbounded`] if the objective is unbounded.
+    /// * [`LpError::IterationLimit`] / [`LpError::Singular`] on numerical
+    ///   failure (not expected for well-scaled inputs).
+    pub fn solve(&self) -> Result<Solution, LpError> {
+        self.solve_with(&SolverOptions::default())
+    }
+
+    /// Solves with explicit [`SolverOptions`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Model::solve`].
+    pub fn solve_with(&self, options: &SolverOptions) -> Result<Solution, LpError> {
+        let prepared = Prepared::from_model(self)?;
+        solve_prepared(self, prepared, options)
+    }
+
+    pub(crate) fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    pub(crate) fn objective_coeffs(&self) -> &[f64] {
+        &self.objective
+    }
+
+    pub(crate) fn bounds(&self) -> (&[f64], &[f64]) {
+        (&self.lower, &self.upper)
+    }
+
+    /// The name given to a variable at creation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn var_name(&self, v: VarId) -> &str {
+        &self.names[v.0]
+    }
+
+    /// The objective coefficient of a variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn objective_coeff(&self, v: VarId) -> f64 {
+        self.objective[v.0]
+    }
+
+    /// The `[lower, upper]` bounds of a variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn var_bounds(&self, v: VarId) -> (f64, f64) {
+        (self.lower[v.0], self.upper[v.0])
+    }
+
+    /// Iterates the constraint rows as `(terms, relation, rhs)`, where
+    /// terms pair raw column indices with coefficients.
+    pub fn constraint_rows(
+        &self,
+    ) -> impl Iterator<Item = (&[(usize, f64)], Relation, f64)> {
+        self.rows
+            .iter()
+            .map(|r| (r.terms.as_slice(), r.relation, r.rhs))
+    }
+}
+
+/// The standard-form image of a [`Model`]:
+/// `min c·x  s.t.  A x = b,  x ≥ 0,  b ≥ 0`.
+///
+/// Construction performs, in order: free-variable splitting, lower-bound
+/// shifting, upper-bound rows, slack/surplus insertion, and row sign
+/// normalization. The mapping back to user variables is retained.
+#[derive(Debug, Clone)]
+pub(crate) struct Prepared {
+    /// Column-major sparse matrix: `cols[j]` is a list of `(row, coeff)`.
+    pub cols: Vec<Vec<(usize, f64)>>,
+    /// Right-hand side, all entries ≥ 0.
+    pub b: Vec<f64>,
+    /// Phase-2 costs (minimization), aligned with `cols`.
+    pub costs: Vec<f64>,
+    /// Constant added to the phase-2 objective by bound shifts.
+    pub obj_offset: f64,
+    /// `true` if the user model was a maximization (costs were negated).
+    pub negated: bool,
+    /// For each user variable: how to recover its value.
+    pub recover: Vec<Recover>,
+    /// For each user row: standardized row index and sign multiplier applied
+    /// (for dual recovery).
+    pub row_map: Vec<(usize, f64)>,
+}
+
+/// Recipe to recover the value of one user variable from standard-form
+/// column values.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Recover {
+    /// `x = sign · col[j] + shift` (`sign` is −1 for variables substituted
+    /// as `x = hi − x″`, +1 otherwise)
+    Shifted { col: usize, shift: f64, sign: f64 },
+    /// `x = col[pos] - col[neg]` (free variable split)
+    Split { pos: usize, neg: usize },
+}
+
+impl Prepared {
+    pub(crate) fn from_model(model: &Model) -> Result<Self, LpError> {
+        let (lower, upper) = model.bounds();
+        let user_obj = model.objective_coeffs();
+        let negated = model.sense() == Sense::Maximize;
+
+        let mut cols: Vec<Vec<(usize, f64)>> = Vec::new();
+        let mut costs: Vec<f64> = Vec::new();
+        let mut recover = Vec::with_capacity(lower.len());
+        let mut obj_offset = 0.0;
+        // Extra rows generated by finite upper bounds, appended after user
+        // rows: (col, rhs) meaning col ≤ rhs.
+        let mut ub_rows: Vec<(usize, f64)> = Vec::new();
+
+        for j in 0..lower.len() {
+            let c = if negated { -user_obj[j] } else { user_obj[j] };
+            let (lo, hi) = (lower[j], upper[j]);
+            if lo.is_finite() {
+                // x = x' + lo, x' ≥ 0
+                let col = cols.len();
+                cols.push(Vec::new());
+                costs.push(c);
+                obj_offset += c * lo;
+                recover.push(Recover::Shifted { col, shift: lo, sign: 1.0 });
+                if hi.is_finite() {
+                    ub_rows.push((col, hi - lo));
+                }
+            } else if hi.is_finite() {
+                // x ≤ hi, unbounded below: substitute x = hi - x'', x'' ≥ 0.
+                let col = cols.len();
+                cols.push(Vec::new());
+                costs.push(-c);
+                obj_offset += c * hi;
+                recover.push(Recover::Shifted { col, shift: hi, sign: -1.0 });
+            } else {
+                // Free variable: x = x⁺ - x⁻.
+                let pos = cols.len();
+                cols.push(Vec::new());
+                costs.push(c);
+                let neg = cols.len();
+                cols.push(Vec::new());
+                costs.push(-c);
+                recover.push(Recover::Split { pos, neg });
+            }
+        }
+
+        let n_user_rows = model.rows().len();
+        let total_rows = n_user_rows + ub_rows.len();
+        let mut b = vec![0.0; total_rows];
+        let mut row_map = Vec::with_capacity(n_user_rows);
+
+        // Fill user rows.
+        for (i, row) in model.rows().iter().enumerate() {
+            let mut rhs = row.rhs;
+            let mut entries: Vec<(usize, f64)> = Vec::with_capacity(row.terms.len() + 1);
+            for &(user_j, coeff) in &row.terms {
+                match recover[user_j] {
+                    Recover::Shifted { col, shift, sign } => {
+                        rhs -= coeff * shift;
+                        entries.push((col, coeff * sign));
+                    }
+                    Recover::Split { pos, neg } => {
+                        entries.push((pos, coeff));
+                        entries.push((neg, -coeff));
+                    }
+                }
+            }
+            // Slack / surplus.
+            match row.relation {
+                Relation::Le => {
+                    let s = cols.len();
+                    cols.push(Vec::new());
+                    costs.push(0.0);
+                    entries.push((s, 1.0));
+                }
+                Relation::Ge => {
+                    let s = cols.len();
+                    cols.push(Vec::new());
+                    costs.push(0.0);
+                    entries.push((s, -1.0));
+                }
+                Relation::Eq => {}
+            }
+            // Normalize to b ≥ 0.
+            let sign = if rhs < 0.0 { -1.0 } else { 1.0 };
+            b[i] = rhs * sign;
+            for (col, coeff) in entries {
+                cols[col].push((i, coeff * sign));
+            }
+            row_map.push((i, sign));
+        }
+
+        // Upper-bound rows: x'_col + slack = ub (ub ≥ 0 because lo ≤ hi).
+        for (k, &(col, rhs)) in ub_rows.iter().enumerate() {
+            let i = n_user_rows + k;
+            debug_assert!(rhs >= 0.0);
+            b[i] = rhs;
+            cols[col].push((i, 1.0));
+            let s = cols.len();
+            cols.push(Vec::new());
+            costs.push(0.0);
+            cols[s].push((i, 1.0));
+        }
+
+        Ok(Prepared {
+            cols,
+            b,
+            costs,
+            obj_offset,
+            negated,
+            recover,
+            row_map,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_constraint_combines_duplicates() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", 0.0, f64::INFINITY, 1.0);
+        m.add_le(&[(x, 1.0), (x, 2.0)], 6.0);
+        assert_eq!(m.rows()[0].terms, vec![(0, 3.0)]);
+    }
+
+    #[test]
+    fn add_constraint_drops_zero_coeffs() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", 0.0, 1.0, 1.0);
+        let y = m.add_var("y", 0.0, 1.0, 1.0);
+        m.add_le(&[(x, 1.0), (y, 0.0)], 1.0);
+        assert_eq!(m.rows()[0].terms.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "lower bound")]
+    fn add_var_rejects_crossed_bounds() {
+        let mut m = Model::new(Sense::Minimize);
+        let _ = m.add_var("x", 2.0, 1.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn foreign_variable_panics() {
+        let mut m1 = Model::new(Sense::Minimize);
+        let _x = m1.add_var("x", 0.0, 1.0, 1.0);
+        let mut m2 = Model::new(Sense::Minimize);
+        let y = VarId(5);
+        m2.add_le(&[(y, 1.0)], 1.0);
+    }
+
+    #[test]
+    fn prepared_shifts_lower_bounds() {
+        // min x, x ≥ 2 (lower bound) → offset 2, column cost 1.
+        let mut m = Model::new(Sense::Minimize);
+        let _ = m.add_var("x", 2.0, f64::INFINITY, 1.0);
+        let p = Prepared::from_model(&m).unwrap();
+        assert_eq!(p.obj_offset, 2.0);
+        assert_eq!(p.costs, vec![1.0]);
+    }
+
+    #[test]
+    fn prepared_splits_free_vars() {
+        let mut m = Model::new(Sense::Minimize);
+        let _ = m.add_var("x", f64::NEG_INFINITY, f64::INFINITY, 1.0);
+        let p = Prepared::from_model(&m).unwrap();
+        assert_eq!(p.costs, vec![1.0, -1.0]);
+        assert!(matches!(p.recover[0], Recover::Split { .. }));
+    }
+
+    #[test]
+    fn prepared_adds_upper_bound_rows() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", 0.0, 5.0, 1.0);
+        let _ = x;
+        let p = Prepared::from_model(&m).unwrap();
+        assert_eq!(p.b, vec![5.0]);
+    }
+
+    #[test]
+    fn prepared_negates_for_maximize() {
+        let mut m = Model::new(Sense::Maximize);
+        let _ = m.add_var("x", 0.0, 1.0, 3.0);
+        let p = Prepared::from_model(&m).unwrap();
+        assert_eq!(p.costs[0], -3.0);
+        assert!(p.negated);
+    }
+
+    #[test]
+    fn prepared_normalizes_negative_rhs() {
+        // x ≤ -1 with x ≥ -5: shift x = x' - 5 → x' - 5 ≤ -1 → x' ≤ 4.
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", -5.0, f64::INFINITY, 1.0);
+        m.add_le(&[(x, 1.0)], -1.0);
+        let p = Prepared::from_model(&m).unwrap();
+        assert_eq!(p.b[0], 4.0);
+    }
+}

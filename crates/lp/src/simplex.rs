@@ -1,0 +1,632 @@
+//! Two-phase revised simplex with a dense explicit basis inverse.
+
+
+#![allow(clippy::needless_range_loop)] // index loops mirror the matrix math
+use crate::model::{Model, Prepared, Recover};
+use crate::{LpError, Solution};
+
+/// Tunable solver parameters.
+///
+/// The defaults are appropriate for the well-scaled LPs this repository
+/// builds (coefficients within a few orders of magnitude of 1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolverOptions {
+    /// Feasibility / optimality tolerance.
+    pub tol: f64,
+    /// Hard cap on simplex iterations across both phases; `None` derives a
+    /// generous limit from the problem size.
+    pub max_iterations: Option<usize>,
+    /// Rebuild the basis inverse from scratch every this many pivots.
+    pub refactor_every: usize,
+    /// Consecutive degenerate pivots before switching to Bland's rule.
+    pub degenerate_switch: usize,
+}
+
+impl Default for SolverOptions {
+    fn default() -> Self {
+        SolverOptions {
+            tol: 1e-9,
+            max_iterations: None,
+            refactor_every: 128,
+            degenerate_switch: 40,
+        }
+    }
+}
+
+/// Internal simplex state over the standard-form problem.
+struct Tableau<'a> {
+    /// Sparse columns of A (structural + slack + artificial).
+    cols: &'a [Vec<(usize, f64)>],
+    /// Artificial columns (identity), appended logically after `cols`.
+    n_arts: usize,
+    m: usize,
+    b: &'a [f64],
+    /// Dense basis inverse, row-major m×m.
+    binv: Vec<f64>,
+    /// Basic column per row (indices ≥ cols.len() denote artificials).
+    basis: Vec<usize>,
+    tol: f64,
+}
+
+impl<'a> Tableau<'a> {
+    fn new(cols: &'a [Vec<(usize, f64)>], b: &'a [f64], tol: f64) -> Self {
+        let m = b.len();
+        let mut binv = vec![0.0; m * m];
+        for i in 0..m {
+            binv[i * m + i] = 1.0;
+        }
+        // Start from the all-artificial basis: artificial i has column e_i.
+        let basis = (0..m).map(|i| cols.len() + i).collect();
+        Tableau { cols, n_arts: m, m, b, binv, basis, tol }
+    }
+
+    /// The column of A for index `j` (artificials are identity columns).
+    fn column(&self, j: usize) -> ColRef<'_> {
+        if j < self.cols.len() {
+            ColRef::Sparse(&self.cols[j])
+        } else {
+            ColRef::Unit(j - self.cols.len())
+        }
+    }
+
+    /// `B⁻¹ · a_j`.
+    fn ftran(&self, j: usize) -> Vec<f64> {
+        let m = self.m;
+        match self.column(j) {
+            ColRef::Unit(r) => (0..m).map(|i| self.binv[i * m + r]).collect(),
+            ColRef::Sparse(entries) => {
+                let mut d = vec![0.0; m];
+                for &(row, coeff) in entries {
+                    for i in 0..m {
+                        d[i] += self.binv[i * m + row] * coeff;
+                    }
+                }
+                d
+            }
+        }
+    }
+
+    /// Current basic solution `x_B = B⁻¹ b`.
+    fn basic_values(&self) -> Vec<f64> {
+        let m = self.m;
+        let mut x = vec![0.0; m];
+        for i in 0..m {
+            let mut s = 0.0;
+            for k in 0..m {
+                s += self.binv[i * m + k] * self.b[k];
+            }
+            x[i] = s;
+        }
+        x
+    }
+
+    /// `y = c_Bᵀ · B⁻¹` for the given cost vector accessor.
+    fn duals(&self, cost: &dyn Fn(usize) -> f64) -> Vec<f64> {
+        let m = self.m;
+        let mut y = vec![0.0; m];
+        for (i, &bj) in self.basis.iter().enumerate() {
+            let cb = cost(bj);
+            if cb != 0.0 {
+                for k in 0..m {
+                    y[k] += cb * self.binv[i * m + k];
+                }
+            }
+        }
+        y
+    }
+
+    /// Reduced cost of column `j` given duals `y`.
+    fn reduced_cost(&self, j: usize, y: &[f64], cost: &dyn Fn(usize) -> f64) -> f64 {
+        let mut rc = cost(j);
+        match self.column(j) {
+            ColRef::Unit(r) => rc -= y[r],
+            ColRef::Sparse(entries) => {
+                for &(row, coeff) in entries {
+                    rc -= y[row] * coeff;
+                }
+            }
+        }
+        rc
+    }
+
+    /// Replaces the basic variable of row `r` with column `j`, updating the
+    /// inverse (product-form update).
+    fn pivot(&mut self, r: usize, j: usize, d: &[f64]) {
+        let m = self.m;
+        let dr = d[r];
+        debug_assert!(dr.abs() > self.tol, "pivot on ~zero element");
+        for i in 0..m {
+            if i == r {
+                continue;
+            }
+            let factor = d[i] / dr;
+            if factor != 0.0 {
+                for k in 0..m {
+                    let v = self.binv[r * m + k];
+                    if v != 0.0 {
+                        self.binv[i * m + k] -= factor * v;
+                    }
+                }
+            }
+        }
+        let inv = 1.0 / dr;
+        for k in 0..m {
+            self.binv[r * m + k] *= inv;
+        }
+        self.basis[r] = j;
+    }
+
+    /// Rebuilds `binv` from the recorded basis by Gauss–Jordan elimination
+    /// with partial pivoting. Returns `Err` if the basis is singular.
+    fn refactor(&mut self) -> Result<(), LpError> {
+        let m = self.m;
+        // Assemble B column by column.
+        let mut mat = vec![0.0; m * m]; // row-major B
+        for (pos, &j) in self.basis.iter().enumerate() {
+            match self.column(j) {
+                ColRef::Unit(r) => mat[r * m + pos] = 1.0,
+                ColRef::Sparse(entries) => {
+                    for &(row, coeff) in entries {
+                        mat[row * m + pos] = coeff;
+                    }
+                }
+            }
+        }
+        // Invert via Gauss-Jordan on [B | I].
+        let mut inv = vec![0.0; m * m];
+        for i in 0..m {
+            inv[i * m + i] = 1.0;
+        }
+        for col in 0..m {
+            // Partial pivot.
+            let mut piv = col;
+            let mut best = mat[col * m + col].abs();
+            for r in (col + 1)..m {
+                let v = mat[r * m + col].abs();
+                if v > best {
+                    best = v;
+                    piv = r;
+                }
+            }
+            if best <= self.tol * 1e-3 {
+                return Err(LpError::Singular);
+            }
+            if piv != col {
+                for k in 0..m {
+                    mat.swap(col * m + k, piv * m + k);
+                    inv.swap(col * m + k, piv * m + k);
+                }
+            }
+            let p = mat[col * m + col];
+            for k in 0..m {
+                mat[col * m + k] /= p;
+                inv[col * m + k] /= p;
+            }
+            for r in 0..m {
+                if r == col {
+                    continue;
+                }
+                let f = mat[r * m + col];
+                if f != 0.0 {
+                    for k in 0..m {
+                        mat[r * m + k] -= f * mat[col * m + k];
+                        inv[r * m + k] -= f * inv[col * m + k];
+                    }
+                }
+            }
+        }
+        self.binv = inv;
+        Ok(())
+    }
+}
+
+enum ColRef<'a> {
+    Sparse(&'a [(usize, f64)]),
+    Unit(usize),
+}
+
+/// Outcome of one simplex phase.
+enum PhaseEnd {
+    Optimal,
+    Unbounded,
+}
+
+/// Runs simplex iterations until optimal/unbounded for the given costs.
+///
+/// `allowed` filters which columns may enter (used to bar artificials in
+/// phase 2).
+fn run_phase(
+    t: &mut Tableau<'_>,
+    cost: &dyn Fn(usize) -> f64,
+    allowed: &dyn Fn(usize) -> bool,
+    options: &SolverOptions,
+    iter_budget: &mut usize,
+) -> Result<PhaseEnd, LpError> {
+    let n_total = t.cols.len() + t.n_arts;
+    let mut degenerate_run = 0usize;
+    let mut bland = false;
+    let mut since_refactor = 0usize;
+    let mut total_iters = 0usize;
+
+    loop {
+        if *iter_budget == 0 {
+            return Err(LpError::IterationLimit { iterations: total_iters });
+        }
+        *iter_budget -= 1;
+        total_iters += 1;
+
+        let y = t.duals(cost);
+        // Pricing.
+        let mut entering: Option<usize> = None;
+        let mut best_rc = -options.tol;
+        let in_basis = basis_mask(t, n_total);
+        for j in 0..n_total {
+            if in_basis[j] || !allowed(j) {
+                continue;
+            }
+            let rc = t.reduced_cost(j, &y, cost);
+            if bland {
+                if rc < -options.tol {
+                    entering = Some(j);
+                    break;
+                }
+            } else if rc < best_rc {
+                best_rc = rc;
+                entering = Some(j);
+            }
+        }
+        let Some(j) = entering else {
+            return Ok(PhaseEnd::Optimal);
+        };
+
+        let d = t.ftran(j);
+        let x = t.basic_values();
+        // Ratio test.
+        let mut leave: Option<usize> = None;
+        let mut theta = f64::INFINITY;
+        for i in 0..t.m {
+            if d[i] > options.tol {
+                let ratio = (x[i].max(0.0)) / d[i];
+                let better = match leave {
+                    None => true,
+                    Some(l) => {
+                        ratio < theta - options.tol
+                            || (ratio < theta + options.tol
+                                && if bland {
+                                    t.basis[i] < t.basis[l]
+                                } else {
+                                    d[i].abs() > d[l].abs()
+                                })
+                    }
+                };
+                if better {
+                    theta = ratio;
+                    leave = Some(i);
+                }
+            }
+        }
+        let Some(r) = leave else {
+            return Ok(PhaseEnd::Unbounded);
+        };
+
+        if theta <= options.tol {
+            degenerate_run += 1;
+            if degenerate_run >= options.degenerate_switch {
+                bland = true;
+            }
+        } else {
+            degenerate_run = 0;
+        }
+
+        t.pivot(r, j, &d);
+        since_refactor += 1;
+        if since_refactor >= options.refactor_every {
+            t.refactor()?;
+            since_refactor = 0;
+        }
+    }
+}
+
+fn basis_mask(t: &Tableau<'_>, n_total: usize) -> Vec<bool> {
+    let mut mask = vec![false; n_total];
+    for &j in &t.basis {
+        mask[j] = true;
+    }
+    mask
+}
+
+/// Full two-phase solve over a prepared standard-form problem.
+pub(crate) fn solve_prepared(
+    model: &Model,
+    prepared: Prepared,
+    options: &SolverOptions,
+) -> Result<Solution, LpError> {
+    let m = prepared.b.len();
+    let n = prepared.cols.len();
+    let mut iter_budget = options
+        .max_iterations
+        .unwrap_or_else(|| 200 * (m + 1) + 20 * n + 20_000);
+
+    let mut t = Tableau::new(&prepared.cols, &prepared.b, options.tol);
+
+    // ---- Phase 1: minimize the sum of artificials. ----
+    let n_cols = prepared.cols.len();
+    let phase1_cost = move |j: usize| if j >= n_cols { 1.0 } else { 0.0 };
+    match run_phase(&mut t, &phase1_cost, &|_| true, options, &mut iter_budget)? {
+        PhaseEnd::Unbounded => {
+            // Cannot happen: phase-1 objective is bounded below by 0.
+            return Err(LpError::Singular);
+        }
+        PhaseEnd::Optimal => {}
+    }
+    let x = t.basic_values();
+    let infeas: f64 = t
+        .basis
+        .iter()
+        .enumerate()
+        .filter(|&(_, &j)| j >= n_cols)
+        .map(|(i, _)| x[i].max(0.0))
+        .sum();
+    if infeas > options.tol * (1.0 + prepared.b.iter().sum::<f64>().abs()) {
+        return Err(LpError::Infeasible);
+    }
+
+    // Pivot lingering artificials out of the basis where possible; rows
+    // where no structural pivot exists are redundant and are neutralized by
+    // keeping the artificial basic at value zero but barring it from
+    // re-entering (it also never leaves, since its row is redundant).
+    for r in 0..m {
+        if t.basis[r] < n_cols {
+            continue;
+        }
+        // Find a nonbasic structural column with a usable pivot in row r.
+        let mask = basis_mask(&t, n_cols + t.n_arts);
+        let mut pivoted = false;
+        for j in 0..n_cols {
+            if mask[j] {
+                continue;
+            }
+            let d = t.ftran(j);
+            if d[r].abs() > options.tol * 100.0 {
+                t.pivot(r, j, &d);
+                pivoted = true;
+                break;
+            }
+        }
+        let _ = pivoted; // redundant row if false; harmless to keep
+    }
+
+    // ---- Phase 2: original costs, artificials barred. ----
+    let costs = prepared.costs.clone();
+    let phase2_cost = move |j: usize| if j < costs.len() { costs[j] } else { 0.0 };
+    let phase2_allowed = move |j: usize| j < n_cols;
+    match run_phase(&mut t, &phase2_cost, &phase2_allowed, options, &mut iter_budget)? {
+        PhaseEnd::Unbounded => return Err(LpError::Unbounded),
+        PhaseEnd::Optimal => {}
+    }
+
+    // ---- Extract the solution. ----
+    let xb = t.basic_values();
+    let mut col_values = vec![0.0; n];
+    for (i, &j) in t.basis.iter().enumerate() {
+        if j < n {
+            // Clamp tiny negatives from roundoff.
+            col_values[j] = if xb[i] < 0.0 && xb[i] > -options.tol * 100.0 {
+                0.0
+            } else {
+                xb[i]
+            };
+        }
+    }
+    let mut values = Vec::with_capacity(prepared.recover.len());
+    for rec in &prepared.recover {
+        let v = match *rec {
+            Recover::Shifted { col, shift, sign } => sign * col_values[col] + shift,
+            Recover::Split { pos, neg } => col_values[pos] - col_values[neg],
+        };
+        values.push(v);
+    }
+    let raw_obj: f64 = prepared
+        .costs
+        .iter()
+        .zip(&col_values)
+        .map(|(c, x)| c * x)
+        .sum::<f64>()
+        + prepared.obj_offset;
+    let objective = if prepared.negated { -raw_obj } else { raw_obj };
+
+    // Duals for user rows (phase-2 duals mapped through sign flips).
+    let costs2 = prepared.costs.clone();
+    let cost_fn = move |j: usize| if j < costs2.len() { costs2[j] } else { 0.0 };
+    let y = t.duals(&cost_fn);
+    let mut duals = Vec::with_capacity(prepared.row_map.len());
+    for &(row, sign) in &prepared.row_map {
+        let d = y[row] * sign;
+        duals.push(if prepared.negated { -d } else { d });
+    }
+
+    Ok(Solution::new(model.num_vars(), values, objective, duals))
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{LpError, Model, Sense};
+
+    #[test]
+    fn classic_max_example() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", 0.0, f64::INFINITY, 3.0);
+        let y = m.add_var("y", 0.0, f64::INFINITY, 5.0);
+        m.add_le(&[(x, 1.0)], 4.0);
+        m.add_le(&[(y, 2.0)], 12.0);
+        m.add_le(&[(x, 3.0), (y, 2.0)], 18.0);
+        let sol = m.solve().unwrap();
+        assert!((sol.objective() - 36.0).abs() < 1e-7);
+        assert!((sol.value(x) - 2.0).abs() < 1e-7);
+        assert!((sol.value(y) - 6.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn min_with_ge_constraints() {
+        // Diet-style: min 2x + 3y, x + y ≥ 4, x ≥ 1 → x=4? No: cost of x
+        // is lower, so x=4,y=0 gives 8; but x ≥ 1 already satisfied.
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", 1.0, f64::INFINITY, 2.0);
+        let y = m.add_var("y", 0.0, f64::INFINITY, 3.0);
+        m.add_ge(&[(x, 1.0), (y, 1.0)], 4.0);
+        let sol = m.solve().unwrap();
+        assert!((sol.objective() - 8.0).abs() < 1e-7);
+        assert!((sol.value(x) - 4.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min x + y s.t. x + 2y = 4, x - y = 1 → x=2, y=1, obj 3.
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", 0.0, f64::INFINITY, 1.0);
+        let y = m.add_var("y", 0.0, f64::INFINITY, 1.0);
+        m.add_eq(&[(x, 1.0), (y, 2.0)], 4.0);
+        m.add_eq(&[(x, 1.0), (y, -1.0)], 1.0);
+        let sol = m.solve().unwrap();
+        assert!((sol.value(x) - 2.0).abs() < 1e-7);
+        assert!((sol.value(y) - 1.0).abs() < 1e-7);
+        assert!((sol.objective() - 3.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", 0.0, f64::INFINITY, 1.0);
+        m.add_le(&[(x, 1.0)], 1.0);
+        m.add_ge(&[(x, 1.0)], 2.0);
+        assert_eq!(m.solve().unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn detects_unbounded() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", 0.0, f64::INFINITY, 1.0);
+        let y = m.add_var("y", 0.0, f64::INFINITY, 0.0);
+        m.add_ge(&[(x, 1.0), (y, 1.0)], 1.0);
+        assert_eq!(m.solve().unwrap_err(), LpError::Unbounded);
+    }
+
+    #[test]
+    fn no_constraints_bounded_by_box() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", 0.0, 7.0, 2.0);
+        let sol = m.solve().unwrap();
+        assert!((sol.value(x) - 7.0).abs() < 1e-7);
+        assert!((sol.objective() - 14.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn no_constraints_unbounded() {
+        let mut m = Model::new(Sense::Maximize);
+        let _ = m.add_var("x", 0.0, f64::INFINITY, 1.0);
+        assert_eq!(m.solve().unwrap_err(), LpError::Unbounded);
+    }
+
+    #[test]
+    fn free_variable_split() {
+        // min |style|: min x s.t. x ≥ -3 as a free var with constraint.
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", f64::NEG_INFINITY, f64::INFINITY, 1.0);
+        m.add_ge(&[(x, 1.0)], -3.0);
+        let sol = m.solve().unwrap();
+        assert!((sol.value(x) + 3.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn negative_lower_bound() {
+        // max x + y, -2 ≤ x ≤ 1, y ≤ 2 - x, y ≥ 0.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", -2.0, 1.0, 1.0);
+        let y = m.add_var("y", 0.0, f64::INFINITY, 1.0);
+        m.add_le(&[(x, 1.0), (y, 1.0)], 2.0);
+        let sol = m.solve().unwrap();
+        assert!((sol.objective() - 2.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn upper_bounded_free_below_variable() {
+        // min -x with x ≤ 5 (no lower bound) → x = 5.
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", f64::NEG_INFINITY, 5.0, -1.0);
+        let sol = m.solve().unwrap();
+        assert!((sol.value(x) - 5.0).abs() < 1e-7);
+        assert!((sol.objective() + 5.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn fixed_variable() {
+        // x fixed at 3 by bounds.
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", 3.0, 3.0, 1.0);
+        let y = m.add_var("y", 0.0, f64::INFINITY, 1.0);
+        m.add_ge(&[(x, 1.0), (y, 1.0)], 5.0);
+        let sol = m.solve().unwrap();
+        assert!((sol.value(x) - 3.0).abs() < 1e-7);
+        assert!((sol.value(y) - 2.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn redundant_rows_are_tolerated() {
+        // Same constraint twice (rank-deficient equality system).
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", 0.0, f64::INFINITY, 1.0);
+        let y = m.add_var("y", 0.0, f64::INFINITY, 1.0);
+        m.add_eq(&[(x, 1.0), (y, 1.0)], 2.0);
+        m.add_eq(&[(x, 1.0), (y, 1.0)], 2.0);
+        let sol = m.solve().unwrap();
+        assert!((sol.objective() - 2.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn degenerate_lp_terminates() {
+        // Klee–Minty-style degeneracy trigger at small size.
+        let mut m = Model::new(Sense::Maximize);
+        let n = 6;
+        let xs: Vec<_> = (0..n)
+            .map(|i| m.add_var(&format!("x{i}"), 0.0, f64::INFINITY, 2f64.powi(n as i32 - 1 - i as i32)))
+            .collect();
+        for i in 0..n {
+            let mut terms: Vec<_> = (0..i)
+                .map(|j| (xs[j], 2f64.powi(i as i32 - j as i32 + 1)))
+                .collect();
+            terms.push((xs[i], 1.0));
+            m.add_le(&terms, 5f64.powi(i as i32 + 1));
+        }
+        let sol = m.solve().unwrap();
+        assert!((sol.objective() - 5f64.powi(n as i32)).abs() / 5f64.powi(n as i32) < 1e-7);
+    }
+
+    #[test]
+    fn duals_satisfy_strong_duality_on_small_lp() {
+        // max 3x+5y st x≤4, 2y≤12, 3x+2y≤18: duals (0, 1.5, 1) → b·y = 36.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", 0.0, f64::INFINITY, 3.0);
+        let y = m.add_var("y", 0.0, f64::INFINITY, 5.0);
+        let r0 = m.add_le(&[(x, 1.0)], 4.0);
+        let r1 = m.add_le(&[(y, 2.0)], 12.0);
+        let r2 = m.add_le(&[(x, 3.0), (y, 2.0)], 18.0);
+        let sol = m.solve().unwrap();
+        let by = 4.0 * sol.dual(r0) + 12.0 * sol.dual(r1) + 18.0 * sol.dual(r2);
+        assert!((by - 36.0).abs() < 1e-6, "b·y = {by}");
+    }
+
+    #[test]
+    fn distribution_constraint_shape() {
+        // The access-strategy LP shape in miniature: a probability simplex
+        // with a capacity coupling row.
+        // min 10 p1 + 1 p2 st p1 + p2 = 1, p2 ≤ 0.3 → p = (0.7, 0.3).
+        let mut m = Model::new(Sense::Minimize);
+        let p1 = m.add_var("p1", 0.0, f64::INFINITY, 10.0);
+        let p2 = m.add_var("p2", 0.0, f64::INFINITY, 1.0);
+        m.add_eq(&[(p1, 1.0), (p2, 1.0)], 1.0);
+        m.add_le(&[(p2, 1.0)], 0.3);
+        let sol = m.solve().unwrap();
+        assert!((sol.value(p1) - 0.7).abs() < 1e-7);
+        assert!((sol.value(p2) - 0.3).abs() < 1e-7);
+    }
+}

@@ -1,0 +1,110 @@
+//! Solved LP results.
+
+use crate::VarId;
+
+/// The result of a successful LP solve.
+///
+/// Holds the optimal value of every variable (in the user's original units,
+/// bound shifts undone), the objective value in the user's optimization
+/// sense, and a dual value per constraint row.
+///
+/// # Examples
+///
+/// ```
+/// use qp_lp::{Model, Sense};
+///
+/// let mut m = Model::new(Sense::Minimize);
+/// let x = m.add_var("x", 0.0, 10.0, 1.0);
+/// let row = m.add_ge(&[(x, 1.0)], 4.0);
+/// let sol = m.solve()?;
+/// assert!((sol.value(x) - 4.0).abs() < 1e-7);
+/// assert!(sol.dual(row) >= 0.0);
+/// # Ok::<(), qp_lp::LpError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    num_vars: usize,
+    values: Vec<f64>,
+    objective: f64,
+    duals: Vec<f64>,
+}
+
+impl Solution {
+    pub(crate) fn new(
+        num_vars: usize,
+        values: Vec<f64>,
+        objective: f64,
+        duals: Vec<f64>,
+    ) -> Self {
+        debug_assert_eq!(num_vars, values.len());
+        Solution { num_vars, values, objective, duals }
+    }
+
+    /// Optimal value of a variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` does not belong to the solved model.
+    pub fn value(&self, v: VarId) -> f64 {
+        assert!(v.index() < self.num_vars, "variable out of range");
+        self.values[v.index()]
+    }
+
+    /// All variable values, indexed by [`VarId::index`].
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// The optimal objective, in the model's own sense (maximization
+    /// objectives are reported as maxima).
+    pub fn objective(&self) -> f64 {
+        self.objective
+    }
+
+    /// Dual value (shadow price) of a constraint row, identified by the
+    /// index returned from `add_le`/`add_ge`/`add_eq`/`add_constraint`.
+    ///
+    /// Sign convention: for a minimization model, the dual of a binding
+    /// `≥` row is ≥ 0 and of a binding `≤` row is ≤ 0; signs are negated
+    /// for maximization models (so `≤` rows get ≥ 0 duals, the familiar
+    /// "shadow price" convention).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    pub fn dual(&self, row: usize) -> f64 {
+        assert!(row < self.duals.len(), "row index out of range");
+        self.duals[row]
+    }
+
+    /// Number of constraint rows in the solved model.
+    pub fn num_rows(&self) -> usize {
+        self.duals.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Model, Sense};
+
+    #[test]
+    #[should_panic(expected = "variable out of range")]
+    fn value_checks_range() {
+        let sol = Solution::new(1, vec![0.0], 0.0, vec![]);
+        // A VarId from a different, larger model.
+        let mut other = Model::new(Sense::Minimize);
+        let _ = other.add_var("a", 0.0, 1.0, 0.0);
+        let b = other.add_var("b", 0.0, 1.0, 0.0);
+        let _ = sol.value(b);
+    }
+
+    #[test]
+    fn accessors_roundtrip() {
+        let sol = Solution::new(2, vec![1.5, 2.5], 4.0, vec![0.25]);
+        assert_eq!(sol.values(), &[1.5, 2.5]);
+        assert_eq!(sol.objective(), 4.0);
+        assert_eq!(sol.num_rows(), 1);
+        assert_eq!(sol.dual(0), 0.25);
+    }
+}

@@ -1,0 +1,525 @@
+//! The event-driven protocol simulation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use qp_core::Placement;
+use qp_des::{EventQueue, Sample, ServiceStation, SimTime, Tally};
+use qp_quorum::{Quorum, QuorumSystem, StrategyMatrix};
+use qp_topology::Network;
+
+use crate::ClientPopulation;
+
+/// How clients pick the quorum for each request.
+#[derive(Debug, Clone)]
+pub enum QuorumChoice {
+    /// A fresh uniform-random quorum per request (the §3 setup: "clients
+    /// chose the quorum to access uniformly at random, thereby balancing
+    /// client demand across servers").
+    Balanced,
+    /// Always the client's minimum-network-delay quorum (§6).
+    Closest,
+    /// Per-request sampling from explicit per-*location* distributions over
+    /// an enumerated quorum list (rows must match the population's
+    /// location order) — the LP-optimized strategies of §7.
+    Weighted {
+        /// The enumerated quorum list the strategy indexes into.
+        quorums: Vec<Quorum>,
+        /// One distribution per client location.
+        strategy: StrategyMatrix,
+    },
+}
+
+/// Simulation parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProtocolConfig {
+    /// Per-request processing time at a server, ms (1.0 in §3).
+    pub service_time_ms: f64,
+    /// Requests each client issues before measurement starts.
+    pub warmup_requests: usize,
+    /// Measured requests per client.
+    pub measured_requests: usize,
+    /// PRNG seed (quorum sampling); fixed seed ⇒ bit-identical reruns.
+    pub seed: u64,
+    /// Optional per-server service-time multipliers (failure injection /
+    /// heterogeneous servers). Length must equal the universe size when
+    /// present; 1.0 = nominal.
+    pub service_multipliers: Option<Vec<f64>>,
+    /// The §8 future-work variant: a node hosting several universe
+    /// elements of the accessed quorum executes the request **once**
+    /// (service time = the slowest co-located element's), instead of once
+    /// per element. No effect on one-to-one placements.
+    pub dedup_colocated: bool,
+}
+
+impl Default for ProtocolConfig {
+    fn default() -> Self {
+        ProtocolConfig {
+            service_time_ms: 1.0,
+            warmup_requests: 20,
+            measured_requests: 100,
+            seed: 0,
+            service_multipliers: None,
+            dedup_colocated: false,
+        }
+    }
+}
+
+/// Results of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Mean response time over all measured requests, ms.
+    pub avg_response_ms: f64,
+    /// Mean *idle-server* network delay of the quorums actually accessed,
+    /// ms (RTT plus the idle processing at the slowest node — the floor of
+    /// the response time).
+    pub avg_network_delay_ms: f64,
+    /// Mean response time per client, ms (client order =
+    /// [`ClientPopulation::client_locations`]).
+    pub per_client_response_ms: Vec<f64>,
+    /// Response-time percentiles over all measured requests:
+    /// `(p50, p95, p99)`.
+    pub percentiles_ms: (f64, f64, f64),
+    /// Mean queueing wait per served request, per *node* (physical server
+    /// machine; co-located elements share one machine).
+    pub server_mean_wait_ms: Vec<f64>,
+    /// Utilization of each node over the simulated horizon.
+    pub server_utilization: Vec<f64>,
+    /// Total measured requests.
+    pub completed_requests: u64,
+    /// Total simulated time, ms.
+    pub horizon_ms: f64,
+}
+
+#[derive(Debug)]
+enum Event {
+    /// A request fragment arrives at a physical node.
+    Arrival { node: usize, service_ms: f64, request: usize },
+    /// A server's reply reaches the issuing client.
+    Reply { request: usize },
+}
+
+#[derive(Debug)]
+struct RequestState {
+    client: usize,
+    sent_at: SimTime,
+    remaining: usize,
+    /// Idle-network floor: max over the quorum of RTT + service.
+    floor_ms: f64,
+    measured: bool,
+}
+
+/// Errors from the protocol simulation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// Placement, system, or strategy sizes disagree.
+    SizeMismatch(String),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::SizeMismatch(reason) => write!(f, "size mismatch: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Runs the protocol simulation to completion (every client finishes its
+/// warmup + measured requests) and reports aggregate statistics.
+///
+/// # Errors
+///
+/// [`SimError::SizeMismatch`] if the placement does not cover the system's
+/// universe, a weighted strategy's shape is wrong, or service multipliers
+/// have the wrong length.
+pub fn simulate(
+    net: &Network,
+    system: &QuorumSystem,
+    placement: &Placement,
+    clients: &ClientPopulation,
+    choice: QuorumChoice,
+    config: &ProtocolConfig,
+) -> Result<SimReport, SimError> {
+    let universe = system.universe_size();
+    if placement.universe_size() != universe {
+        return Err(SimError::SizeMismatch(format!(
+            "placement covers {} elements, system has {universe}",
+            placement.universe_size()
+        )));
+    }
+    if let Some(mults) = &config.service_multipliers {
+        if mults.len() != universe {
+            return Err(SimError::SizeMismatch(format!(
+                "{} service multipliers for {universe} servers",
+                mults.len()
+            )));
+        }
+        if mults.iter().any(|&m| !m.is_finite() || m < 0.0) {
+            return Err(SimError::SizeMismatch(
+                "service multipliers must be nonnegative".to_string(),
+            ));
+        }
+    }
+    if let QuorumChoice::Weighted { quorums, strategy } = &choice {
+        if strategy.num_clients() != clients.locations().len() {
+            return Err(SimError::SizeMismatch(format!(
+                "strategy has {} rows for {} client locations",
+                strategy.num_clients(),
+                clients.locations().len()
+            )));
+        }
+        if strategy.num_quorums() != quorums.len() {
+            return Err(SimError::SizeMismatch(format!(
+                "strategy has {} columns for {} quorums",
+                strategy.num_quorums(),
+                quorums.len()
+            )));
+        }
+    }
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let client_locs = clients.client_locations();
+    let n_clients = client_locs.len();
+    let per_client_total = config.warmup_requests + config.measured_requests;
+
+    // Precompute closest quorums per location (Closest strategy).
+    let closest_by_location: Vec<Quorum> = clients
+        .locations()
+        .iter()
+        .map(|&v| {
+            let costs: Vec<f64> = placement
+                .as_slice()
+                .iter()
+                .map(|&w| net.distance(v, w))
+                .collect();
+            system.min_max_quorum(&costs)
+        })
+        .collect();
+
+    let mut queue: EventQueue<Event> = EventQueue::new();
+    // One station per physical node: co-located elements share a machine.
+    let mut servers: Vec<ServiceStation> =
+        (0..net.len()).map(|_| ServiceStation::new()).collect();
+    let mut requests: Vec<RequestState> = Vec::new();
+    let mut issued = vec![0usize; n_clients];
+    let mut response_sample = Sample::new();
+    let mut floor_tally = Tally::new();
+    let mut per_client: Vec<Tally> = (0..n_clients).map(|_| Tally::new()).collect();
+
+    // Which population location each client belongs to (for Weighted rows).
+    let location_of_client: Vec<usize> = (0..n_clients)
+        .map(|c| c / clients.per_location())
+        .collect();
+
+    let service_of = |element: usize, config: &ProtocolConfig| -> f64 {
+        let mult = config
+            .service_multipliers
+            .as_ref()
+            .map_or(1.0, |m| m[element]);
+        config.service_time_ms * mult
+    };
+
+    // Issue the first request of every client at t = 0.
+    let issue =
+        |client: usize,
+         now: SimTime,
+         rng: &mut StdRng,
+         queue: &mut EventQueue<Event>,
+         requests: &mut Vec<RequestState>,
+         issued: &mut Vec<usize>| {
+            let loc = client_locs[client];
+            let quorum = match &choice {
+                QuorumChoice::Balanced => system.sample_uniform(rng),
+                QuorumChoice::Closest => closest_by_location[location_of_client[client]].clone(),
+                QuorumChoice::Weighted { quorums, strategy } => {
+                    let row = strategy.row(location_of_client[client]);
+                    let mut pick: f64 = rng.gen_range(0.0..1.0);
+                    let mut idx = quorums.len() - 1;
+                    for (i, &p) in row.iter().enumerate() {
+                        if pick < p {
+                            idx = i;
+                            break;
+                        }
+                        pick -= p;
+                    }
+                    quorums[idx].clone()
+                }
+            };
+            let seq = issued[client];
+            issued[client] += 1;
+            // Group the quorum's elements by hosting node: one message per
+            // element normally, one per node under deduplicated execution.
+            let mut by_node: Vec<(usize, Vec<usize>)> = Vec::new();
+            for u in quorum.iter() {
+                let w = placement.node_of(u).index();
+                match by_node.binary_search_by_key(&w, |&(n, _)| n) {
+                    Ok(pos) => by_node[pos].1.push(u.index()),
+                    Err(pos) => by_node.insert(pos, (w, vec![u.index()])),
+                }
+            }
+            let mut messages: Vec<(usize, f64)> = Vec::new();
+            let mut floor_ms = f64::MIN;
+            for (w, elems) in &by_node {
+                let d = net.distance(loc, qp_topology::NodeId::new(*w));
+                if config.dedup_colocated {
+                    let svc = elems
+                        .iter()
+                        .map(|&u| service_of(u, config))
+                        .fold(0.0, f64::max);
+                    messages.push((*w, svc));
+                    floor_ms = floor_ms.max(d + svc);
+                } else {
+                    let mut total = 0.0;
+                    for &u in elems {
+                        let svc = service_of(u, config);
+                        messages.push((*w, svc));
+                        total += svc;
+                    }
+                    // Same-node messages serialize even on an idle system.
+                    floor_ms = floor_ms.max(d + total);
+                }
+            }
+            let request = requests.len();
+            requests.push(RequestState {
+                client,
+                sent_at: now,
+                remaining: messages.len(),
+                floor_ms,
+                measured: seq >= config.warmup_requests,
+            });
+            for (w, service_ms) in messages {
+                let one_way = net.distance(loc, qp_topology::NodeId::new(w)) / 2.0;
+                queue.push(
+                    now + one_way,
+                    Event::Arrival { node: w, service_ms, request },
+                );
+            }
+        };
+
+    for client in 0..n_clients {
+        issue(client, SimTime::ZERO, &mut rng, &mut queue, &mut requests, &mut issued);
+    }
+
+    // Event loop.
+    while let Some((now, event)) = queue.pop() {
+        match event {
+            Event::Arrival { node, service_ms, request } => {
+                let depart = servers[node].submit(now, service_ms);
+                let client = requests[request].client;
+                let loc = client_locs[client];
+                let one_way =
+                    net.distance(loc, qp_topology::NodeId::new(node)) / 2.0;
+                queue.push(depart + one_way, Event::Reply { request });
+            }
+            Event::Reply { request } => {
+                let done = {
+                    let st = &mut requests[request];
+                    st.remaining -= 1;
+                    st.remaining == 0
+                };
+                if done {
+                    let st = &requests[request];
+                    let rt = now - st.sent_at;
+                    if st.measured {
+                        response_sample.add(rt);
+                        floor_tally.add(st.floor_ms);
+                        per_client[st.client].add(rt);
+                    }
+                    let client = st.client;
+                    if issued[client] < per_client_total {
+                        issue(
+                            client,
+                            now,
+                            &mut rng,
+                            &mut queue,
+                            &mut requests,
+                            &mut issued,
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    let horizon = queue.now();
+    let horizon_ms = horizon.as_ms().max(f64::MIN_POSITIVE);
+    let mut sample = response_sample;
+    let percentiles = if sample.is_empty() {
+        (0.0, 0.0, 0.0)
+    } else {
+        (
+            sample.percentile(50.0),
+            sample.percentile(95.0),
+            sample.percentile(99.0),
+        )
+    };
+    Ok(SimReport {
+        avg_response_ms: sample.mean(),
+        avg_network_delay_ms: floor_tally.mean(),
+        per_client_response_ms: per_client.iter().map(Tally::mean).collect(),
+        percentiles_ms: percentiles,
+        server_mean_wait_ms: servers.iter().map(ServiceStation::mean_wait_ms).collect(),
+        server_utilization: servers
+            .iter()
+            .map(|s| s.utilization(SimTime::from_ms(horizon_ms)))
+            .collect(),
+        completed_requests: sample.len() as u64,
+        horizon_ms: horizon.as_ms(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qp_core::one_to_one;
+    use qp_quorum::MajorityKind;
+    use qp_topology::{datasets, NodeId};
+
+    fn setup() -> (Network, QuorumSystem, Placement) {
+        let net = datasets::planetlab_50();
+        let sys = QuorumSystem::majority(MajorityKind::FourFifths, 1).unwrap();
+        let placement = one_to_one::best_placement(&net, &sys).unwrap();
+        (net, sys, placement)
+    }
+
+    #[test]
+    fn single_client_response_equals_floor() {
+        // One client, closed loop: each request finds idle servers, so the
+        // response time must equal RTT + service exactly.
+        let (net, sys, placement) = setup();
+        let clients = ClientPopulation::new(vec![NodeId::new(5)], 1);
+        let report = simulate(
+            &net,
+            &sys,
+            &placement,
+            &clients,
+            QuorumChoice::Closest,
+            &ProtocolConfig {
+                warmup_requests: 5,
+                measured_requests: 50,
+                ..ProtocolConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            (report.avg_response_ms - report.avg_network_delay_ms).abs() < 1e-9,
+            "idle system: response {} vs floor {}",
+            report.avg_response_ms,
+            report.avg_network_delay_ms
+        );
+        assert_eq!(report.completed_requests, 50);
+    }
+
+    #[test]
+    fn response_grows_with_client_count() {
+        let (net, sys, placement) = setup();
+        let pop1 = ClientPopulation::representative(&net, &sys, &placement, 10, 1);
+        let mut prev = 0.0;
+        for c in [1usize, 5, 10] {
+            let report = simulate(
+                &net,
+                &sys,
+                &placement,
+                &pop1.with_per_location(c),
+                QuorumChoice::Balanced,
+                &ProtocolConfig::default(),
+            )
+            .unwrap();
+            assert!(
+                report.avg_response_ms >= prev - 0.5,
+                "response should not collapse as load rises"
+            );
+            prev = report.avg_response_ms;
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (net, sys, placement) = setup();
+        let clients = ClientPopulation::representative(&net, &sys, &placement, 5, 2);
+        let cfg = ProtocolConfig { seed: 42, ..ProtocolConfig::default() };
+        let a = simulate(&net, &sys, &placement, &clients, QuorumChoice::Balanced, &cfg)
+            .unwrap();
+        let b = simulate(&net, &sys, &placement, &clients, QuorumChoice::Balanced, &cfg)
+            .unwrap();
+        assert_eq!(a.avg_response_ms, b.avg_response_ms);
+        assert_eq!(a.per_client_response_ms, b.per_client_response_ms);
+    }
+
+    #[test]
+    fn slow_server_raises_response() {
+        let (net, sys, placement) = setup();
+        let clients = ClientPopulation::representative(&net, &sys, &placement, 5, 2);
+        let nominal = simulate(
+            &net,
+            &sys,
+            &placement,
+            &clients,
+            QuorumChoice::Balanced,
+            &ProtocolConfig::default(),
+        )
+        .unwrap();
+        // Every server 20× slower: quorums of 5 of 6 cannot avoid them.
+        let degraded_cfg = ProtocolConfig {
+            service_multipliers: Some(vec![20.0; sys.universe_size()]),
+            ..ProtocolConfig::default()
+        };
+        let degraded = simulate(
+            &net,
+            &sys,
+            &placement,
+            &clients,
+            QuorumChoice::Balanced,
+            &degraded_cfg,
+        )
+        .unwrap();
+        assert!(degraded.avg_response_ms > nominal.avg_response_ms);
+    }
+
+    #[test]
+    fn weighted_strategy_is_respected() {
+        let (net, sys, _) = setup();
+        // Use a tiny grid so quorums enumerate.
+        let grid = QuorumSystem::grid(2).unwrap();
+        let placement = one_to_one::best_placement(&net, &grid).unwrap();
+        let quorums = grid.enumerate(16).unwrap();
+        // Both locations always use quorum 0.
+        let strategy = StrategyMatrix::deterministic(&[0, 0], quorums.len());
+        let clients =
+            ClientPopulation::new(vec![NodeId::new(0), NodeId::new(9)], 1);
+        let report = simulate(
+            &net,
+            &grid,
+            &placement,
+            &clients,
+            QuorumChoice::Weighted { quorums: quorums.clone(), strategy },
+            &ProtocolConfig::default(),
+        )
+        .unwrap();
+        // Nodes hosting elements outside quorum 0 must be cold.
+        for u in 0..4 {
+            let in_q0 = quorums[0].contains(qp_quorum::ElementId::new(u));
+            let host = placement.node_of(qp_quorum::ElementId::new(u));
+            let served = report.server_utilization[host.index()] > 0.0;
+            assert_eq!(in_q0, served, "element {u}");
+        }
+        let _ = sys;
+    }
+
+    #[test]
+    fn shape_errors_are_reported() {
+        let (net, sys, placement) = setup();
+        let clients = ClientPopulation::new(vec![NodeId::new(0)], 1);
+        let bad = ProtocolConfig {
+            service_multipliers: Some(vec![1.0; 3]),
+            ..ProtocolConfig::default()
+        };
+        assert!(matches!(
+            simulate(&net, &sys, &placement, &clients, QuorumChoice::Balanced, &bad),
+            Err(SimError::SizeMismatch(_))
+        ));
+    }
+}

@@ -1,0 +1,185 @@
+//! Client populations for protocol experiments.
+
+use qp_core::response::ResponseModel;
+use qp_core::{response, Placement};
+use qp_quorum::QuorumSystem;
+use qp_topology::{Network, NodeId};
+
+/// Where clients run and how many run at each location.
+///
+/// The paper's §3 setup: 10 client locations "for which the average network
+/// delay to the server placement approximates the average network delay
+/// from all the nodes of the graph to the server placement well", with `c`
+/// clients on each.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientPopulation {
+    locations: Vec<NodeId>,
+    per_location: usize,
+}
+
+impl ClientPopulation {
+    /// Explicit locations with `per_location` clients each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `locations` is empty or `per_location` is zero.
+    pub fn new(locations: Vec<NodeId>, per_location: usize) -> Self {
+        assert!(!locations.is_empty(), "at least one client location required");
+        assert!(per_location > 0, "at least one client per location required");
+        ClientPopulation { locations, per_location }
+    }
+
+    /// The paper's representative selection: choose `count` locations whose
+    /// mean balanced-access network delay to the placement tracks the mean
+    /// over *all* nodes.
+    ///
+    /// Greedy: nodes are added one at a time, each time picking the node
+    /// that keeps the running mean closest to the global target.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero or exceeds the network size, or
+    /// `per_location` is zero.
+    pub fn representative(
+        net: &Network,
+        system: &QuorumSystem,
+        placement: &Placement,
+        count: usize,
+        per_location: usize,
+    ) -> Self {
+        assert!(count > 0 && count <= net.len(), "invalid location count");
+        assert!(per_location > 0, "at least one client per location required");
+        let all: Vec<NodeId> = net.nodes().collect();
+        let eval = response::evaluate_balanced(
+            net,
+            &all,
+            system,
+            placement,
+            ResponseModel::network_delay_only(),
+        )
+        .expect("balanced evaluation over all nodes");
+        let delays = &eval.per_client_delay_ms;
+        let target = eval.avg_network_delay_ms;
+
+        let mut chosen: Vec<usize> = Vec::with_capacity(count);
+        let mut used = vec![false; net.len()];
+        let mut sum = 0.0;
+        for step in 0..count {
+            let k = (step + 1) as f64;
+            let best = (0..net.len())
+                .filter(|&i| !used[i])
+                .min_by(|&a, &b| {
+                    let da = ((sum + delays[a]) / k - target).abs();
+                    let db = ((sum + delays[b]) / k - target).abs();
+                    da.partial_cmp(&db).expect("finite delays")
+                })
+                .expect("count ≤ network size");
+            used[best] = true;
+            sum += delays[best];
+            chosen.push(best);
+        }
+        chosen.sort_unstable();
+        ClientPopulation {
+            locations: chosen.into_iter().map(NodeId::new).collect(),
+            per_location,
+        }
+    }
+
+    /// The distinct client locations.
+    pub fn locations(&self) -> &[NodeId] {
+        &self.locations
+    }
+
+    /// Clients per location.
+    pub fn per_location(&self) -> usize {
+        self.per_location
+    }
+
+    /// Total number of clients.
+    pub fn total_clients(&self) -> usize {
+        self.locations.len() * self.per_location
+    }
+
+    /// Flattened client list: location of client `i`, for
+    /// `i ∈ 0..total_clients()`.
+    pub fn client_locations(&self) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(self.total_clients());
+        for &loc in &self.locations {
+            for _ in 0..self.per_location {
+                out.push(loc);
+            }
+        }
+        out
+    }
+
+    /// A copy with a different per-location client count (the §3 sweep
+    /// varies `c` while keeping locations fixed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `per_location` is zero.
+    pub fn with_per_location(&self, per_location: usize) -> Self {
+        assert!(per_location > 0, "at least one client per location required");
+        ClientPopulation { locations: self.locations.clone(), per_location }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qp_core::one_to_one;
+    use qp_quorum::MajorityKind;
+    use qp_topology::datasets;
+
+    #[test]
+    fn representative_mean_tracks_global_mean() {
+        let net = datasets::planetlab_50();
+        let sys = QuorumSystem::majority(MajorityKind::FourFifths, 1).unwrap();
+        let placement = one_to_one::best_placement(&net, &sys).unwrap();
+        let pop = ClientPopulation::representative(&net, &sys, &placement, 10, 1);
+        assert_eq!(pop.locations().len(), 10);
+
+        let all: Vec<NodeId> = net.nodes().collect();
+        let eval = response::evaluate_balanced(
+            &net,
+            &all,
+            &sys,
+            &placement,
+            ResponseModel::network_delay_only(),
+        )
+        .unwrap();
+        let chosen_eval = response::evaluate_balanced(
+            &net,
+            pop.locations(),
+            &sys,
+            &placement,
+            ResponseModel::network_delay_only(),
+        )
+        .unwrap();
+        let rel = (chosen_eval.avg_network_delay_ms - eval.avg_network_delay_ms).abs()
+            / eval.avg_network_delay_ms;
+        assert!(rel < 0.05, "representative mean off by {:.1}%", rel * 100.0);
+    }
+
+    #[test]
+    fn client_locations_flatten() {
+        let pop = ClientPopulation::new(vec![NodeId::new(3), NodeId::new(7)], 2);
+        assert_eq!(pop.total_clients(), 4);
+        assert_eq!(
+            pop.client_locations(),
+            vec![NodeId::new(3), NodeId::new(3), NodeId::new(7), NodeId::new(7)]
+        );
+    }
+
+    #[test]
+    fn with_per_location_scales() {
+        let pop = ClientPopulation::new(vec![NodeId::new(0)], 1);
+        assert_eq!(pop.with_per_location(5).total_clients(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one client location")]
+    fn rejects_empty_locations() {
+        let _ = ClientPopulation::new(vec![], 1);
+    }
+}

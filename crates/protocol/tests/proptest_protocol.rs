@@ -1,0 +1,172 @@
+//! Property tests for the protocol simulation: conservation laws and
+//! consistency with the analytic model across random populations,
+//! universes, and seeds.
+
+use proptest::prelude::*;
+use qp_core::{one_to_one, response, ResponseModel};
+use qp_protocol::{simulate, ClientPopulation, ProtocolConfig, QuorumChoice};
+use qp_quorum::{MajorityKind, QuorumSystem};
+use qp_topology::{datasets, NodeId};
+
+fn small_config(seed: u64) -> ProtocolConfig {
+    ProtocolConfig {
+        warmup_requests: 5,
+        measured_requests: 30,
+        seed,
+        ..ProtocolConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn every_request_completes_and_respects_its_floor(
+        t in 1usize..3,
+        locs in 1usize..6,
+        per_loc in 1usize..4,
+        seed in 0u64..100,
+    ) {
+        let net = datasets::euclidean_random(20, 120.0, seed);
+        let sys = QuorumSystem::majority(MajorityKind::FourFifths, t).unwrap();
+        let placement =
+            one_to_one::ball_placement(&net, NodeId::new(0), sys.universe_size())
+                .unwrap();
+        let pop = ClientPopulation::new(
+            (0..locs).map(NodeId::new).collect(),
+            per_loc,
+        );
+        let report = simulate(
+            &net, &sys, &placement, &pop,
+            QuorumChoice::Balanced, &small_config(seed),
+        ).unwrap();
+        // Conservation: measured = clients × measured_requests.
+        prop_assert_eq!(
+            report.completed_requests,
+            (pop.total_clients() * 30) as u64
+        );
+        // Response ≥ its own floor on average.
+        prop_assert!(report.avg_response_ms >= report.avg_network_delay_ms - 1e-9);
+        // Percentile ordering.
+        let (p50, p95, p99) = report.percentiles_ms;
+        prop_assert!(p50 <= p95 && p95 <= p99);
+        // Utilization is a fraction.
+        for &u in &report.server_utilization {
+            prop_assert!((0.0..=1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn seeds_reproduce_and_distinct_seeds_vary(
+        t in 1usize..3,
+        seed in 0u64..50,
+    ) {
+        let net = datasets::euclidean_random(15, 100.0, 7);
+        let sys = QuorumSystem::majority(MajorityKind::SimpleMajority, t).unwrap();
+        let placement =
+            one_to_one::ball_placement(&net, NodeId::new(2), sys.universe_size())
+                .unwrap();
+        let pop = ClientPopulation::new(vec![NodeId::new(1), NodeId::new(9)], 2);
+        let a = simulate(&net, &sys, &placement, &pop, QuorumChoice::Balanced,
+            &small_config(seed)).unwrap();
+        let b = simulate(&net, &sys, &placement, &pop, QuorumChoice::Balanced,
+            &small_config(seed)).unwrap();
+        prop_assert_eq!(a.avg_response_ms, b.avg_response_ms);
+        prop_assert_eq!(a.horizon_ms, b.horizon_ms);
+    }
+
+    #[test]
+    fn closest_single_client_is_exact(
+        seed in 0u64..100,
+        t in 1usize..3,
+        client in 0usize..15,
+    ) {
+        // One closed-loop client on idle servers: the DES must agree with
+        // the analytic closest-quorum delay plus one service time, exactly.
+        let net = datasets::euclidean_random(15, 90.0, seed);
+        let sys = QuorumSystem::majority(MajorityKind::FourFifths, t).unwrap();
+        let placement =
+            one_to_one::ball_placement(&net, NodeId::new(0), sys.universe_size())
+                .unwrap();
+        let loc = NodeId::new(client);
+        let pop = ClientPopulation::new(vec![loc], 1);
+        let report = simulate(&net, &sys, &placement, &pop, QuorumChoice::Closest,
+            &small_config(seed)).unwrap();
+        let eval = response::evaluate_closest(
+            &net, &[loc], &sys, &placement,
+            ResponseModel::network_delay_only()).unwrap();
+        prop_assert!(
+            (report.avg_response_ms - (eval.avg_network_delay_ms + 1.0)).abs() < 1e-9,
+            "DES {} vs analytic {} + 1 ms service",
+            report.avg_response_ms,
+            eval.avg_network_delay_ms
+        );
+    }
+
+    #[test]
+    fn dedup_helps_colocated_placements(
+        seed in 0u64..50,
+        hosts_mod in 1usize..5,
+    ) {
+        // Across arbitrary placements, §8 deduplicated execution never
+        // meaningfully hurts, and it must win clearly under full
+        // co-location. (It is not *pointwise* better per seed: dedup
+        // finishes requests sooner, so closed-loop clients re-issue
+        // faster — more offered load — which can shift queueing by a
+        // percent or two on a given seed.)
+        let net = datasets::euclidean_random(12, 80.0, seed);
+        let sys = QuorumSystem::grid(2).unwrap();
+        let hosts: Vec<NodeId> =
+            (0..4).map(|u| NodeId::new(u % hosts_mod)).collect();
+        let placement = qp_core::Placement::new(hosts, net.len()).unwrap();
+        let pop = ClientPopulation::new(vec![NodeId::new(5), NodeId::new(11)], 2);
+        let cfg = small_config(seed);
+        let plain = simulate(&net, &sys, &placement, &pop,
+            QuorumChoice::Balanced, &cfg).unwrap();
+        let dedup = simulate(&net, &sys, &placement, &pop,
+            QuorumChoice::Balanced,
+            &ProtocolConfig { dedup_colocated: true, ..cfg }).unwrap();
+        prop_assert!(
+            dedup.avg_response_ms <= plain.avg_response_ms * 1.03 + 0.1,
+            "dedup {} much worse than plain {}",
+            dedup.avg_response_ms,
+            plain.avg_response_ms
+        );
+        if hosts_mod == 1 {
+            // All four elements on one node: plain serializes 3 services
+            // per request, dedup exactly 1 — a guaranteed 2 ms floor gap.
+            prop_assert!(
+                dedup.avg_network_delay_ms < plain.avg_network_delay_ms - 1.0,
+                "full co-location must cut the floor: {} vs {}",
+                dedup.avg_network_delay_ms,
+                plain.avg_network_delay_ms
+            );
+        }
+    }
+
+    #[test]
+    fn representative_population_mean_is_close(
+        seed in 0u64..60,
+        count in 3usize..12,
+    ) {
+        let net = datasets::euclidean_random(25, 150.0, seed);
+        let sys = QuorumSystem::majority(MajorityKind::SimpleMajority, 2).unwrap();
+        let placement =
+            one_to_one::ball_placement(&net, NodeId::new(0), sys.universe_size())
+                .unwrap();
+        let pop = ClientPopulation::representative(&net, &sys, &placement, count, 1);
+        prop_assert_eq!(pop.locations().len(), count);
+        let all: Vec<NodeId> = net.nodes().collect();
+        let global = response::evaluate_balanced(&net, &all, &sys, &placement,
+            ResponseModel::network_delay_only()).unwrap().avg_network_delay_ms;
+        let chosen = response::evaluate_balanced(
+            &net, pop.locations(), &sys, &placement,
+            ResponseModel::network_delay_only()).unwrap().avg_network_delay_ms;
+        // Greedy running-mean selection keeps the chosen mean within 15 %
+        // of the target even on adversarial random topologies.
+        prop_assert!(
+            (chosen - global).abs() / global < 0.15,
+            "representative mean {chosen} vs global {global}"
+        );
+    }
+}

@@ -1,0 +1,67 @@
+//! Universe-element identifiers.
+
+use std::fmt;
+
+/// Identifier of a logical universe element of a quorum system.
+///
+/// Universe elements are *logical* servers; a placement (see `qp-core`) maps
+/// them onto physical network nodes. The newtype keeps this namespace
+/// distinct from `qp_topology::NodeId`.
+///
+/// # Examples
+///
+/// ```
+/// use qp_quorum::ElementId;
+///
+/// let u = ElementId::new(3);
+/// assert_eq!(u.index(), 3);
+/// assert_eq!(u.to_string(), "u3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ElementId(usize);
+
+impl ElementId {
+    /// Creates an element identifier from a raw index.
+    pub const fn new(index: usize) -> Self {
+        ElementId(index)
+    }
+
+    /// The raw index of this element.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for ElementId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "u{}", self.0)
+    }
+}
+
+impl From<usize> for ElementId {
+    fn from(index: usize) -> Self {
+        ElementId(index)
+    }
+}
+
+impl From<ElementId> for usize {
+    fn from(id: ElementId) -> Self {
+        id.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let u: ElementId = 9usize.into();
+        assert_eq!(usize::from(u), 9);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(ElementId::new(2).to_string(), "u2");
+    }
+}

@@ -1,0 +1,84 @@
+//! Error types for quorum-system construction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from building quorum systems or access strategies.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum QuorumError {
+    /// A construction parameter was invalid (e.g. `t = 0` or `k = 0`).
+    InvalidParameter {
+        /// Which parameter.
+        name: &'static str,
+        /// Explanation of the requirement.
+        requirement: &'static str,
+    },
+    /// Full enumeration would exceed the caller-supplied limit.
+    TooManyQuorums {
+        /// Number of quorums the system has (saturating).
+        count: u128,
+        /// The limit that was exceeded.
+        limit: usize,
+    },
+    /// An explicit system failed validation.
+    InvalidSystem {
+        /// Explanation of the defect.
+        reason: String,
+    },
+    /// A strategy row was not a probability distribution.
+    InvalidDistribution {
+        /// Index of the offending client row.
+        client: usize,
+        /// Sum of the row (should be 1).
+        sum: f64,
+    },
+    /// A strategy matrix had the wrong shape for the quorum list.
+    ShapeMismatch {
+        /// Expected number of columns (quorums).
+        expected: usize,
+        /// Actual number of columns.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for QuorumError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuorumError::InvalidParameter { name, requirement } => {
+                write!(f, "invalid parameter {name}: {requirement}")
+            }
+            QuorumError::TooManyQuorums { count, limit } => {
+                write!(f, "system has {count} quorums, exceeding the limit {limit}")
+            }
+            QuorumError::InvalidSystem { reason } => {
+                write!(f, "invalid quorum system: {reason}")
+            }
+            QuorumError::InvalidDistribution { client, sum } => {
+                write!(f, "strategy row {client} sums to {sum}, not 1")
+            }
+            QuorumError::ShapeMismatch { expected, actual } => {
+                write!(f, "strategy has {actual} columns but {expected} quorums exist")
+            }
+        }
+    }
+}
+
+impl Error for QuorumError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_specifics() {
+        let e = QuorumError::TooManyQuorums { count: 5985, limit: 100 };
+        assert!(e.to_string().contains("5985"));
+    }
+
+    #[test]
+    fn is_error() {
+        fn check<E: Error + Send + Sync + 'static>() {}
+        check::<QuorumError>();
+    }
+}

@@ -1,0 +1,46 @@
+//! Quorum-system substrate: the set-system side of the paper.
+//!
+//! A *quorum system* over a universe `U` of logical elements is a collection
+//! of subsets (*quorums*) of `U`, any two of which intersect. This crate
+//! provides the constructions the paper evaluates (§5, "Quorum systems"):
+//!
+//! * the three **Majority** families used in protocol implementations —
+//!   `(t+1, 2t+1)`, `(2t+1, 3t+1)` and `(4t+1, 5t+1)` (quorum size, universe
+//!   size) — see [`MajorityKind`];
+//! * the **k × k Grid**, whose quorums are one full row plus one full
+//!   column (`m = k²` quorums of size `2k − 1`);
+//! * arbitrary **explicit** systems for testing and extension.
+//!
+//! plus client **access strategies** (distributions over quorums, §4
+//! "Load") and the induced element loads.
+//!
+//! # Examples
+//!
+//! ```
+//! use qp_quorum::QuorumSystem;
+//!
+//! let grid = QuorumSystem::grid(3)?;
+//! assert_eq!(grid.universe_size(), 9);
+//! let quorums = grid.enumerate(usize::MAX)?;
+//! assert_eq!(quorums.len(), 9);
+//! // Any two quorums intersect.
+//! assert!(QuorumSystem::verify_intersection(&quorums));
+//! # Ok::<(), qp_quorum::QuorumError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod element;
+mod error;
+mod majority;
+mod quorum;
+mod strategy;
+mod system;
+
+pub use element::ElementId;
+pub use error::QuorumError;
+pub use majority::MajorityKind;
+pub use quorum::Quorum;
+pub use strategy::StrategyMatrix;
+pub use system::QuorumSystem;

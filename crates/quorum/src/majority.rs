@@ -1,0 +1,110 @@
+//! The Majority quorum-system families.
+
+use std::fmt;
+
+/// The three threshold ("Majority") families the paper evaluates, named by
+/// their `(quorum size, universe size)` pattern as a function of the fault
+/// threshold `t`.
+///
+/// | Variant | Quorum size | Universe size | Typical protocol |
+/// |---|---|---|---|
+/// | [`MajorityKind::SimpleMajority`] | `t + 1` | `2t + 1` | crash-tolerant majority voting / Paxos |
+/// | [`MajorityKind::TwoThirds`] | `2t + 1` | `3t + 1` | BFT state machine replication |
+/// | [`MajorityKind::FourFifths`] | `4t + 1` | `5t + 1` | Q/U-style optimistic BFT |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MajorityKind {
+    /// The `(t+1, 2t+1)` Majority.
+    SimpleMajority,
+    /// The `(2t+1, 3t+1)` Majority.
+    TwoThirds,
+    /// The `(4t+1, 5t+1)` Majority.
+    FourFifths,
+}
+
+impl MajorityKind {
+    /// All three kinds, in the paper's order.
+    pub const ALL: [MajorityKind; 3] = [
+        MajorityKind::SimpleMajority,
+        MajorityKind::TwoThirds,
+        MajorityKind::FourFifths,
+    ];
+
+    /// Universe size `n` for fault threshold `t`.
+    pub fn universe_size(self, t: usize) -> usize {
+        match self {
+            MajorityKind::SimpleMajority => 2 * t + 1,
+            MajorityKind::TwoThirds => 3 * t + 1,
+            MajorityKind::FourFifths => 5 * t + 1,
+        }
+    }
+
+    /// Quorum size `q` for fault threshold `t`.
+    pub fn quorum_size(self, t: usize) -> usize {
+        match self {
+            MajorityKind::SimpleMajority => t + 1,
+            MajorityKind::TwoThirds => 2 * t + 1,
+            MajorityKind::FourFifths => 4 * t + 1,
+        }
+    }
+
+    /// Largest `t` whose universe fits within `max_universe` nodes, or
+    /// `None` if even `t = 1` does not fit.
+    pub fn max_t_for_universe(self, max_universe: usize) -> Option<usize> {
+        let t = match self {
+            MajorityKind::SimpleMajority => max_universe.checked_sub(1)? / 2,
+            MajorityKind::TwoThirds => max_universe.checked_sub(1)? / 3,
+            MajorityKind::FourFifths => max_universe.checked_sub(1)? / 5,
+        };
+        (t >= 1).then_some(t)
+    }
+}
+
+impl fmt::Display for MajorityKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MajorityKind::SimpleMajority => write!(f, "(t+1, 2t+1) Majority"),
+            MajorityKind::TwoThirds => write!(f, "(2t+1, 3t+1) Majority"),
+            MajorityKind::FourFifths => write!(f, "(4t+1, 5t+1) Majority"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_match_paper() {
+        assert_eq!(MajorityKind::SimpleMajority.universe_size(3), 7);
+        assert_eq!(MajorityKind::SimpleMajority.quorum_size(3), 4);
+        assert_eq!(MajorityKind::TwoThirds.universe_size(3), 10);
+        assert_eq!(MajorityKind::TwoThirds.quorum_size(3), 7);
+        // The paper's Q/U experiments: t=4 → n=21, q=17.
+        assert_eq!(MajorityKind::FourFifths.universe_size(4), 21);
+        assert_eq!(MajorityKind::FourFifths.quorum_size(4), 17);
+    }
+
+    #[test]
+    fn quorums_always_pairwise_intersect_by_counting() {
+        // 2q > n for every kind and t (the counting argument).
+        for kind in MajorityKind::ALL {
+            for t in 1..20 {
+                assert!(2 * kind.quorum_size(t) > kind.universe_size(t));
+            }
+        }
+    }
+
+    #[test]
+    fn max_t_for_universe() {
+        assert_eq!(MajorityKind::SimpleMajority.max_t_for_universe(50), Some(24));
+        assert_eq!(MajorityKind::TwoThirds.max_t_for_universe(50), Some(16));
+        assert_eq!(MajorityKind::FourFifths.max_t_for_universe(50), Some(9));
+        assert_eq!(MajorityKind::FourFifths.max_t_for_universe(5), None);
+        assert_eq!(MajorityKind::SimpleMajority.max_t_for_universe(0), None);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(MajorityKind::SimpleMajority.to_string(), "(t+1, 2t+1) Majority");
+    }
+}

@@ -1,0 +1,141 @@
+//! The `Quorum` set type.
+
+use std::fmt;
+
+use crate::ElementId;
+
+/// A single quorum: a sorted, duplicate-free set of universe elements.
+///
+/// # Examples
+///
+/// ```
+/// use qp_quorum::{ElementId, Quorum};
+///
+/// let q = Quorum::new(vec![ElementId::new(2), ElementId::new(0)]);
+/// assert_eq!(q.len(), 2);
+/// assert!(q.contains(ElementId::new(0)));
+/// let r = Quorum::new(vec![ElementId::new(2), ElementId::new(5)]);
+/// assert!(q.intersects(&r));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Quorum {
+    elements: Vec<ElementId>,
+}
+
+impl Quorum {
+    /// Creates a quorum from a list of elements; the list is sorted and
+    /// deduplicated.
+    pub fn new(mut elements: Vec<ElementId>) -> Self {
+        elements.sort_unstable();
+        elements.dedup();
+        Quorum { elements }
+    }
+
+    /// Number of elements in the quorum.
+    pub fn len(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// Whether the quorum is empty (degenerate; valid systems never contain
+    /// an empty quorum).
+    pub fn is_empty(&self) -> bool {
+        self.elements.is_empty()
+    }
+
+    /// Membership test (binary search).
+    pub fn contains(&self, u: ElementId) -> bool {
+        self.elements.binary_search(&u).is_ok()
+    }
+
+    /// Whether two quorums share at least one element (linear merge scan).
+    pub fn intersects(&self, other: &Quorum) -> bool {
+        let (mut i, mut j) = (0, 0);
+        while i < self.elements.len() && j < other.elements.len() {
+            match self.elements[i].cmp(&other.elements[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => return true,
+            }
+        }
+        false
+    }
+
+    /// Iterator over the elements, ascending.
+    pub fn iter(&self) -> impl Iterator<Item = ElementId> + '_ {
+        self.elements.iter().copied()
+    }
+
+    /// The elements as a sorted slice.
+    pub fn as_slice(&self) -> &[ElementId] {
+        &self.elements
+    }
+
+    /// Whether `other` is a (non-strict) superset of this quorum.
+    pub fn is_subset_of(&self, other: &Quorum) -> bool {
+        self.elements.iter().all(|&u| other.contains(u))
+    }
+}
+
+impl fmt::Display for Quorum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, u) in self.elements.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{u}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<ElementId> for Quorum {
+    fn from_iter<I: IntoIterator<Item = ElementId>>(iter: I) -> Self {
+        Quorum::new(iter.into_iter().collect())
+    }
+}
+
+impl<'a> IntoIterator for &'a Quorum {
+    type Item = ElementId;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, ElementId>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.elements.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(ids: &[usize]) -> Quorum {
+        ids.iter().copied().map(ElementId::new).collect()
+    }
+
+    #[test]
+    fn new_sorts_and_dedups() {
+        let quo = q(&[3, 1, 3, 2]);
+        let got: Vec<usize> = quo.iter().map(ElementId::index).collect();
+        assert_eq!(got, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn intersects_cases() {
+        assert!(q(&[1, 2, 3]).intersects(&q(&[3, 4])));
+        assert!(!q(&[1, 2]).intersects(&q(&[3, 4])));
+        assert!(!q(&[]).intersects(&q(&[1])));
+    }
+
+    #[test]
+    fn subset_checks() {
+        assert!(q(&[1, 2]).is_subset_of(&q(&[1, 2, 3])));
+        assert!(!q(&[1, 4]).is_subset_of(&q(&[1, 2, 3])));
+        assert!(q(&[]).is_subset_of(&q(&[])));
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(q(&[0, 2]).to_string(), "{u0,u2}");
+        assert_eq!(q(&[]).to_string(), "{}");
+    }
+}

@@ -1,0 +1,125 @@
+//! Property tests: the quorum intersection invariant and strategy/load
+//! algebra across randomly chosen system parameters.
+
+use proptest::prelude::*;
+use qp_quorum::{ElementId, MajorityKind, Quorum, QuorumSystem, StrategyMatrix};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn any_kind() -> impl Strategy<Value = MajorityKind> {
+    prop_oneof![
+        Just(MajorityKind::SimpleMajority),
+        Just(MajorityKind::TwoThirds),
+        Just(MajorityKind::FourFifths),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn majority_rotations_intersect_and_balance(kind in any_kind(), t in 1usize..8) {
+        let sys = QuorumSystem::majority(kind, t).unwrap();
+        let rot = sys.rotation_family().unwrap();
+        prop_assert!(QuorumSystem::verify_intersection(&rot));
+        // Uniform over rotations loads every element exactly q/n = L_opt.
+        let s = StrategyMatrix::uniform(1, rot.len());
+        let loads = s.element_loads(&rot, sys.universe_size());
+        let lopt = sys.optimal_load().unwrap();
+        for l in loads {
+            prop_assert!((l - lopt).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn grid_quorums_intersect(k in 1usize..8) {
+        let sys = QuorumSystem::grid(k).unwrap();
+        let qs = sys.enumerate(usize::MAX).unwrap();
+        prop_assert_eq!(qs.len(), k * k);
+        prop_assert!(QuorumSystem::verify_intersection(&qs));
+        for q in &qs {
+            prop_assert_eq!(q.len(), 2 * k - 1);
+        }
+    }
+
+    #[test]
+    fn small_majority_full_enumeration_intersects(kind in any_kind(), t in 1usize..3) {
+        let sys = QuorumSystem::majority(kind, t).unwrap();
+        if let Ok(qs) = sys.enumerate(20_000) {
+            prop_assert_eq!(qs.len() as u128, sys.quorum_count());
+            prop_assert!(QuorumSystem::verify_intersection(&qs));
+        }
+    }
+
+    #[test]
+    fn min_max_quorum_is_optimal_for_grid(
+        k in 2usize..5,
+        seed in 0u64..1000,
+    ) {
+        use rand::Rng;
+        let sys = QuorumSystem::grid(k).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let costs: Vec<f64> = (0..k * k).map(|_| rng.gen_range(0.0..100.0)).collect();
+        let fast = sys.min_max_quorum(&costs);
+        let fast_cost = fast.iter().map(|u| costs[u.index()]).fold(f64::MIN, f64::max);
+        for q in sys.enumerate(usize::MAX).unwrap() {
+            let c = q.iter().map(|u| costs[u.index()]).fold(f64::MIN, f64::max);
+            prop_assert!(fast_cost <= c + 1e-12);
+        }
+    }
+
+    #[test]
+    fn min_max_quorum_is_optimal_for_majority(
+        t in 1usize..3,
+        kind in any_kind(),
+        seed in 0u64..1000,
+    ) {
+        use rand::Rng;
+        let sys = QuorumSystem::majority(kind, t).unwrap();
+        let n = sys.universe_size();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let costs: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..100.0)).collect();
+        let fast = sys.min_max_quorum(&costs);
+        let fast_cost = fast.iter().map(|u| costs[u.index()]).fold(f64::MIN, f64::max);
+        if let Ok(all) = sys.enumerate(20_000) {
+            for q in all {
+                let c = q.iter().map(|u| costs[u.index()]).fold(f64::MIN, f64::max);
+                prop_assert!(fast_cost <= c + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_quorums_are_quorums(kind in any_kind(), t in 1usize..6, seed in 0u64..500) {
+        let sys = QuorumSystem::majority(kind, t).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let q = sys.sample_uniform(&mut rng);
+        prop_assert!(sys.is_quorum(&q));
+        prop_assert_eq!(q.len(), sys.min_quorum_size());
+    }
+
+    #[test]
+    fn strategy_loads_are_bounded_by_one(k in 1usize..5, clients in 1usize..6) {
+        let sys = QuorumSystem::grid(k).unwrap();
+        let qs = sys.enumerate(usize::MAX).unwrap();
+        let s = StrategyMatrix::uniform(clients, qs.len());
+        let loads = s.element_loads(&qs, sys.universe_size());
+        for l in loads {
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&l));
+        }
+    }
+
+    #[test]
+    fn explicit_roundtrip(k in 1usize..5) {
+        let sys = QuorumSystem::grid(k).unwrap();
+        let qs = sys.enumerate(usize::MAX).unwrap();
+        let exp = QuorumSystem::explicit(sys.universe_size(), qs.clone(), "copy").unwrap();
+        prop_assert_eq!(exp.enumerate(usize::MAX).unwrap(), qs);
+        prop_assert_eq!(exp.min_quorum_size(), sys.min_quorum_size());
+    }
+}
+
+#[test]
+fn two_disjoint_sets_rejected() {
+    let a = Quorum::new(vec![ElementId::new(0)]);
+    let b = Quorum::new(vec![ElementId::new(1)]);
+    assert!(QuorumSystem::explicit(2, vec![a, b], "bad").is_err());
+}

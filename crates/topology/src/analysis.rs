@@ -1,0 +1,145 @@
+//! Graph-analysis primitives used by the placement algorithms: balls,
+//! medians, and average-distance vectors.
+
+use crate::{DistanceMatrix, NodeId};
+
+/// The `n` nodes closest to `v` (including `v`), ordered by increasing
+/// distance; ties broken by node index.
+///
+/// This is the ball `B(v, n)` used by the Majority one-to-one placement of
+/// §4.1.1.
+///
+/// # Panics
+///
+/// Panics if `n` exceeds the number of nodes or `v` is out of range.
+pub fn ball(dist: &DistanceMatrix, v: NodeId, n: usize) -> Vec<NodeId> {
+    assert!(n <= dist.len(), "ball size {n} exceeds node count {}", dist.len());
+    let row = dist.row(v);
+    let mut order: Vec<usize> = (0..dist.len()).collect();
+    order.sort_by(|&a, &b| {
+        row[a]
+            .partial_cmp(&row[b])
+            .expect("distances are finite")
+            .then_with(|| a.cmp(&b))
+    });
+    order.truncate(n);
+    order.into_iter().map(NodeId::new).collect()
+}
+
+/// The node minimizing the *sum* of distances to all nodes — the graph
+/// median (§4.1.2, "Singleton placement"). Ties broken by node index.
+///
+/// # Panics
+///
+/// Panics if the matrix is empty.
+pub fn median(dist: &DistanceMatrix) -> NodeId {
+    assert!(!dist.is_empty(), "median of an empty network");
+    let mut best = 0;
+    let mut best_sum = f64::INFINITY;
+    for i in 0..dist.len() {
+        let s: f64 = dist.row(NodeId::new(i)).iter().sum();
+        if s < best_sum {
+            best_sum = s;
+            best = i;
+        }
+    }
+    NodeId::new(best)
+}
+
+/// The node minimizing the *weighted* sum of distances to all nodes, for a
+/// non-uniform client population (weight = share of demand originating at
+/// each node). Ties broken by node index.
+///
+/// # Panics
+///
+/// Panics if the matrix is empty or `weights.len() != dist.len()`.
+pub fn weighted_median(dist: &DistanceMatrix, weights: &[f64]) -> NodeId {
+    assert!(!dist.is_empty(), "median of an empty network");
+    assert_eq!(weights.len(), dist.len(), "one weight per node required");
+    let mut best = 0;
+    let mut best_sum = f64::INFINITY;
+    for i in 0..dist.len() {
+        let s: f64 = dist
+            .row(NodeId::new(i))
+            .iter()
+            .zip(weights)
+            .map(|(d, w)| d * w)
+            .sum();
+        if s < best_sum {
+            best_sum = s;
+            best = i;
+        }
+    }
+    NodeId::new(best)
+}
+
+/// For every node `i`, the average distance `s_i` from all nodes of the
+/// graph to `i` (§7, non-uniform capacity heuristic).
+pub fn average_distances(dist: &DistanceMatrix) -> Vec<f64> {
+    let n = dist.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    (0..n)
+        .map(|i| dist.row(NodeId::new(i)).iter().sum::<f64>() / n as f64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line4() -> DistanceMatrix {
+        // nodes 0-1-2-3 at unit spacing
+        DistanceMatrix::from_rows(&[
+            vec![0.0, 1.0, 2.0, 3.0],
+            vec![1.0, 0.0, 1.0, 2.0],
+            vec![2.0, 1.0, 0.0, 1.0],
+            vec![3.0, 2.0, 1.0, 0.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn ball_includes_self_first() {
+        let d = line4();
+        let b = ball(&d, NodeId::new(3), 3);
+        assert_eq!(b, vec![NodeId::new(3), NodeId::new(2), NodeId::new(1)]);
+    }
+
+    #[test]
+    fn ball_tie_breaks_by_index() {
+        let d = line4();
+        // From node 1: nodes 0 and 2 are both at distance 1; 0 comes first.
+        let b = ball(&d, NodeId::new(1), 3);
+        assert_eq!(b, vec![NodeId::new(1), NodeId::new(0), NodeId::new(2)]);
+    }
+
+    #[test]
+    fn median_of_line4_is_inner_node() {
+        // Sums: node0=6, node1=4, node2=4, node3=6; tie between 1 and 2
+        // broken toward 1.
+        assert_eq!(median(&line4()), NodeId::new(1));
+    }
+
+    #[test]
+    fn weighted_median_follows_weights() {
+        let d = line4();
+        // All demand at node 3 drags the median there.
+        assert_eq!(weighted_median(&d, &[0.0, 0.0, 0.0, 1.0]), NodeId::new(3));
+        // Uniform weights agree with the unweighted median.
+        assert_eq!(weighted_median(&d, &[1.0; 4]), median(&d));
+    }
+
+    #[test]
+    fn average_distances_of_line4() {
+        let s = average_distances(&line4());
+        assert_eq!(s, vec![1.5, 1.0, 1.0, 1.5]);
+    }
+
+    #[test]
+    fn average_distances_empty() {
+        let d = DistanceMatrix::from_rows(&[]).unwrap();
+        assert!(average_distances(&d).is_empty());
+    }
+}

@@ -1,0 +1,117 @@
+//! Error types for topology construction.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::NodeId;
+
+/// Errors arising while building networks, graphs, or distance matrices.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TopologyError {
+    /// A matrix constructor received rows of unequal length, or a
+    /// non-square shape.
+    NotSquare {
+        /// Number of rows supplied.
+        rows: usize,
+        /// Length of the offending row.
+        row_len: usize,
+    },
+    /// A distance entry was negative, NaN, or infinite.
+    InvalidDistance {
+        /// Row of the offending entry.
+        from: usize,
+        /// Column of the offending entry.
+        to: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// A diagonal entry was nonzero.
+    NonzeroDiagonal {
+        /// Index of the offending diagonal entry.
+        node: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// The matrix was not symmetric at the given entry.
+    Asymmetric {
+        /// Row index.
+        from: usize,
+        /// Column index.
+        to: usize,
+    },
+    /// An edge referenced a node outside the graph.
+    NodeOutOfRange {
+        /// The offending node.
+        node: NodeId,
+        /// Number of nodes in the graph.
+        len: usize,
+    },
+    /// An edge had a non-positive, NaN, or infinite length.
+    InvalidEdgeLength {
+        /// The offending length.
+        length: f64,
+    },
+    /// The graph is not connected, so no finite metric exists.
+    Disconnected,
+    /// A label vector did not match the number of sites.
+    LabelCount {
+        /// Number of sites.
+        expected: usize,
+        /// Number of labels supplied.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::NotSquare { rows, row_len } => write!(
+                f,
+                "matrix is not square: {rows} rows but a row of length {row_len}"
+            ),
+            TopologyError::InvalidDistance { from, to, value } => write!(
+                f,
+                "invalid distance {value} between nodes {from} and {to}"
+            ),
+            TopologyError::NonzeroDiagonal { node, value } => {
+                write!(f, "nonzero diagonal entry {value} at node {node}")
+            }
+            TopologyError::Asymmetric { from, to } => {
+                write!(f, "matrix is asymmetric between nodes {from} and {to}")
+            }
+            TopologyError::NodeOutOfRange { node, len } => {
+                write!(f, "node {node} out of range for graph of {len} nodes")
+            }
+            TopologyError::InvalidEdgeLength { length } => {
+                write!(f, "edge length {length} is not a positive finite number")
+            }
+            TopologyError::Disconnected => write!(f, "graph is disconnected"),
+            TopologyError::LabelCount { expected, actual } => write!(
+                f,
+                "expected {expected} labels but {actual} were supplied"
+            ),
+        }
+    }
+}
+
+impl Error for TopologyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = TopologyError::Disconnected;
+        assert_eq!(e.to_string(), "graph is disconnected");
+        let e = TopologyError::InvalidDistance { from: 1, to: 2, value: -3.0 };
+        assert!(e.to_string().contains("-3"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<TopologyError>();
+    }
+}

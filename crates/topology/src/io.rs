@@ -1,0 +1,176 @@
+//! Text import/export for delay matrices.
+//!
+//! The paper's pipeline starts from measurement files (PlanetLab pings,
+//! King estimates). This module reads and writes a simple tab/whitespace-
+//! separated format so users can plug real datasets into the library:
+//!
+//! ```text
+//! # optional comment lines
+//! site-a  site-b  site-c      ← optional header row of labels
+//! 0       12.5    80.1
+//! 12.5    0       75.0
+//! 80.1    75.0    0
+//! ```
+//!
+//! Parsing is forgiving about separators (any run of spaces/tabs) and
+//! strict about shape and values; construction applies metric closure
+//! exactly like every other `Network` constructor.
+
+use crate::{DistanceMatrix, Network, TopologyError};
+
+/// Parses a delay matrix from the text format above.
+///
+/// The first non-comment line may be a header of site labels (detected by
+/// failing to parse as numbers); otherwise sites are labelled
+/// `site-0 … site-(n−1)`.
+///
+/// # Errors
+///
+/// * [`TopologyError::NotSquare`] if the rows do not form a square matrix
+///   or a row has the wrong width.
+/// * [`TopologyError::InvalidDistance`] for negative/NaN/unparsable
+///   entries.
+/// * [`TopologyError::Asymmetric`] / [`TopologyError::NonzeroDiagonal`]
+///   per [`DistanceMatrix::from_rows`].
+/// * [`TopologyError::LabelCount`] if a header's width mismatches the
+///   matrix.
+///
+/// # Examples
+///
+/// ```
+/// use qp_topology::io::parse_matrix;
+///
+/// let net = parse_matrix("a b\n0 7.5\n7.5 0\n")?;
+/// assert_eq!(net.len(), 2);
+/// assert_eq!(net.label(qp_topology::NodeId::new(0)), "a");
+/// # Ok::<(), qp_topology::TopologyError>(())
+/// ```
+pub fn parse_matrix(text: &str) -> Result<Network, TopologyError> {
+    let mut labels: Option<Vec<String>> = None;
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        let parsed: Result<Vec<f64>, _> =
+            fields.iter().map(|f| f.parse::<f64>()).collect();
+        match parsed {
+            Ok(nums) => rows.push(nums),
+            Err(_) if labels.is_none() && rows.is_empty() => {
+                labels = Some(fields.iter().map(|s| s.to_string()).collect());
+            }
+            Err(_) => {
+                return Err(TopologyError::InvalidDistance {
+                    from: rows.len(),
+                    to: 0,
+                    value: f64::NAN,
+                })
+            }
+        }
+    }
+    let matrix = DistanceMatrix::from_rows(&rows)?;
+    match labels {
+        Some(l) => Network::with_labels(matrix, l),
+        None => Ok(Network::from_distances(matrix)),
+    }
+}
+
+/// Renders a network back to the text format (header of labels, then the
+/// full matrix, 6 significant digits).
+pub fn format_matrix(net: &Network) -> String {
+    let mut out = String::new();
+    let labels: Vec<&str> = net.nodes().map(|v| net.label(v)).collect();
+    out.push_str(&labels.join("\t"));
+    out.push('\n');
+    for i in net.nodes() {
+        let row: Vec<String> = net
+            .nodes()
+            .map(|j| format!("{:.6}", net.distance(i, j)))
+            .collect();
+        out.push_str(&row.join("\t"));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{datasets, NodeId};
+
+    #[test]
+    fn parses_with_header() {
+        let net = parse_matrix("# comment\nny  lon  tok\n0 70 180\n70 0 220\n180 220 0\n")
+            .unwrap();
+        assert_eq!(net.len(), 3);
+        assert_eq!(net.label(NodeId::new(1)), "lon");
+        assert_eq!(net.distance(NodeId::new(0), NodeId::new(2)), 180.0);
+    }
+
+    #[test]
+    fn parses_without_header() {
+        let net = parse_matrix("0 5\n5 0\n").unwrap();
+        assert_eq!(net.label(NodeId::new(0)), "site-0");
+    }
+
+    #[test]
+    fn applies_metric_closure_on_parse() {
+        // 0-2 direct (100) beats via-1 (30): closure rewrites it.
+        let net = parse_matrix("0 10 100\n10 0 20\n100 20 0\n").unwrap();
+        assert_eq!(net.distance(NodeId::new(0), NodeId::new(2)), 30.0);
+    }
+
+    #[test]
+    fn rejects_ragged_rows() {
+        assert!(matches!(
+            parse_matrix("0 1\n1 0 3\n"),
+            Err(TopologyError::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_garbage_mid_matrix() {
+        assert!(parse_matrix("0 1\nx y\n").is_err());
+    }
+
+    #[test]
+    fn rejects_asymmetry() {
+        assert!(matches!(
+            parse_matrix("0 1\n2 0\n"),
+            Err(TopologyError::Asymmetric { .. })
+        ));
+    }
+
+    #[test]
+    fn header_width_checked() {
+        assert!(matches!(
+            parse_matrix("a b c\n0 1\n1 0\n"),
+            Err(TopologyError::LabelCount { .. })
+        ));
+    }
+
+    #[test]
+    fn roundtrip_preserves_network() {
+        let net = datasets::euclidean_random(8, 120.0, 4);
+        let text = format_matrix(&net);
+        let back = parse_matrix(&text).unwrap();
+        assert_eq!(back.len(), net.len());
+        for i in net.nodes() {
+            for j in net.nodes() {
+                assert!(
+                    (back.distance(i, j) - net.distance(i, j)).abs() < 1e-5,
+                    "distance drift at ({i}, {j})"
+                );
+            }
+        }
+        assert_eq!(back.label(NodeId::new(3)), net.label(NodeId::new(3)));
+    }
+
+    #[test]
+    fn empty_input_gives_empty_network() {
+        let net = parse_matrix("# nothing\n").unwrap();
+        assert!(net.is_empty());
+    }
+}

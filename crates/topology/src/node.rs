@@ -1,0 +1,74 @@
+//! Node identifiers.
+
+use std::fmt;
+
+/// Identifier of a network site (a node of the wide-area graph).
+///
+/// A `NodeId` is an index into the node set of a [`crate::Network`] or
+/// [`crate::Graph`]. The newtype prevents confusing node indices with
+/// universe-element indices of a quorum system, which are a different
+/// namespace with a different meaning (see `qp-quorum`).
+///
+/// # Examples
+///
+/// ```
+/// use qp_topology::NodeId;
+///
+/// let v = NodeId::new(7);
+/// assert_eq!(v.index(), 7);
+/// assert_eq!(v.to_string(), "v7");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(usize);
+
+impl NodeId {
+    /// Creates a node identifier from a raw index.
+    pub const fn new(index: usize) -> Self {
+        NodeId(index)
+    }
+
+    /// The raw index of this node.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(index: usize) -> Self {
+        NodeId(index)
+    }
+}
+
+impl From<NodeId> for usize {
+    fn from(id: NodeId) -> Self {
+        id.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_through_usize() {
+        let v: NodeId = 42usize.into();
+        let i: usize = v.into();
+        assert_eq!(i, 42);
+    }
+
+    #[test]
+    fn display_is_nonempty_and_prefixed() {
+        assert_eq!(NodeId::new(0).to_string(), "v0");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+    }
+}

@@ -1,0 +1,414 @@
+//! `quorumnet` — command-line front end for quorum placement on WANs.
+//!
+//! ```text
+//! quorumnet info     (--dataset planetlab50|daxlist161 | --topology FILE)
+//! quorumnet place    --system grid:5 [--strategy closest|balanced|lp|lp-sweep]
+//!                    [--demand 16000] [--op-time 0.007] [--capacity 0.8]
+//!                    [--dedup] [--dataset ... | --topology FILE]
+//! quorumnet simulate --system majority:fourfifths:2 [--locations 10]
+//!                    [--clients-per-location 5] [--requests 150] [--seed 0]
+//!                    [--strategy closest|balanced] [--dataset ...]
+//! ```
+//!
+//! `--topology FILE` reads a whitespace-separated RTT matrix (optionally
+//! with a label header) — the format of `qp_topology::io`.
+
+use std::process::ExitCode;
+
+use quorumnet::core::strategy_lp;
+use quorumnet::prelude::*;
+use quorumnet::topology::io as topo_io;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("run `quorumnet help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(command) = args.first() else {
+        print_help();
+        return Ok(());
+    };
+    let opts = Options::parse(&args[1..])?;
+    match command.as_str() {
+        "help" | "--help" | "-h" => {
+            print_help();
+            Ok(())
+        }
+        "info" => cmd_info(&opts),
+        "place" => cmd_place(&opts),
+        "simulate" => cmd_simulate(&opts),
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn print_help() {
+    println!(
+        "quorumnet — latency-aware quorum placement (Oprea & Reiter, DSN 2007)\n\n\
+         commands:\n  \
+         info      topology statistics\n  \
+         place     place a quorum system and evaluate strategies\n  \
+         simulate  run the Q/U-style protocol simulation\n\n\
+         common flags:\n  \
+         --dataset planetlab50|daxlist161   built-in synthetic WAN (default planetlab50)\n  \
+         --topology FILE                    RTT matrix file (overrides --dataset)\n  \
+         --system grid:K | majority:KIND:T  quorum system (KIND: simple|twothirds|fourfifths)\n\n\
+         place flags:\n  \
+         --strategy closest|balanced|lp|lp-sweep   access strategy (default closest)\n  \
+         --demand N          client demand for the response model (default 0)\n  \
+         --op-time MS        per-request service time (default 0.007)\n  \
+         --capacity C        node capacity for --strategy lp (default 1.0)\n  \
+         --dedup             deduplicated execution of co-located elements\n\n\
+         simulate flags:\n  \
+         --locations N              client locations (default 10)\n  \
+         --clients-per-location N   clients per location (default 5)\n  \
+         --requests N               measured requests per client (default 150)\n  \
+         --seed N                   PRNG seed (default 0)\n  \
+         --strategy closest|balanced (default balanced)"
+    );
+}
+
+/// Parsed command-line options (flat; commands pick what they need).
+#[derive(Debug, Clone)]
+struct Options {
+    dataset: String,
+    topology_file: Option<String>,
+    system: String,
+    strategy: String,
+    demand: f64,
+    op_time: f64,
+    capacity: f64,
+    dedup: bool,
+    locations: usize,
+    clients_per_location: usize,
+    requests: usize,
+    seed: u64,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            dataset: "planetlab50".to_string(),
+            topology_file: None,
+            system: "grid:3".to_string(),
+            strategy: String::new(),
+            demand: 0.0,
+            op_time: 0.007,
+            capacity: 1.0,
+            dedup: false,
+            locations: 10,
+            clients_per_location: 5,
+            requests: 150,
+            seed: 0,
+        }
+    }
+}
+
+impl Options {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let mut o = Options::default();
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| -> Result<String, String> {
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| format!("{name} requires a value"))
+            };
+            match flag.as_str() {
+                "--dataset" => o.dataset = value("--dataset")?,
+                "--topology" => o.topology_file = Some(value("--topology")?),
+                "--system" => o.system = value("--system")?,
+                "--strategy" => o.strategy = value("--strategy")?,
+                "--demand" => o.demand = parse_num(&value("--demand")?, "--demand")?,
+                "--op-time" => o.op_time = parse_num(&value("--op-time")?, "--op-time")?,
+                "--capacity" => {
+                    o.capacity = parse_num(&value("--capacity")?, "--capacity")?
+                }
+                "--dedup" => o.dedup = true,
+                "--locations" => {
+                    o.locations = parse_usize(&value("--locations")?, "--locations")?
+                }
+                "--clients-per-location" => {
+                    o.clients_per_location = parse_usize(
+                        &value("--clients-per-location")?,
+                        "--clients-per-location",
+                    )?
+                }
+                "--requests" => {
+                    o.requests = parse_usize(&value("--requests")?, "--requests")?
+                }
+                "--seed" => {
+                    o.seed = parse_usize(&value("--seed")?, "--seed")? as u64
+                }
+                other => return Err(format!("unknown flag `{other}`")),
+            }
+        }
+        Ok(o)
+    }
+
+    fn network(&self) -> Result<Network, String> {
+        if let Some(path) = &self.topology_file {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("reading {path}: {e}"))?;
+            return topo_io::parse_matrix(&text).map_err(|e| e.to_string());
+        }
+        match self.dataset.as_str() {
+            "planetlab50" => Ok(datasets::planetlab_50()),
+            "daxlist161" => Ok(datasets::daxlist_161()),
+            other => Err(format!(
+                "unknown dataset `{other}` (expected planetlab50 or daxlist161)"
+            )),
+        }
+    }
+
+    fn quorum_system(&self) -> Result<QuorumSystem, String> {
+        parse_system(&self.system)
+    }
+
+    fn model(&self) -> ResponseModel {
+        let m = ResponseModel::from_demand(self.op_time, self.demand);
+        if self.dedup {
+            m.deduplicated()
+        } else {
+            m
+        }
+    }
+}
+
+fn parse_num(s: &str, flag: &str) -> Result<f64, String> {
+    s.parse::<f64>()
+        .map_err(|_| format!("{flag}: `{s}` is not a number"))
+}
+
+fn parse_usize(s: &str, flag: &str) -> Result<usize, String> {
+    s.parse::<usize>()
+        .map_err(|_| format!("{flag}: `{s}` is not a nonnegative integer"))
+}
+
+/// Parses `grid:K` or `majority:KIND:T`.
+fn parse_system(spec: &str) -> Result<QuorumSystem, String> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    match parts.as_slice() {
+        ["grid", k] => {
+            let k = parse_usize(k, "--system grid")?;
+            QuorumSystem::grid(k).map_err(|e| e.to_string())
+        }
+        ["majority", kind, t] => {
+            let kind = match *kind {
+                "simple" => MajorityKind::SimpleMajority,
+                "twothirds" => MajorityKind::TwoThirds,
+                "fourfifths" => MajorityKind::FourFifths,
+                other => {
+                    return Err(format!(
+                        "unknown majority kind `{other}` (simple|twothirds|fourfifths)"
+                    ))
+                }
+            };
+            let t = parse_usize(t, "--system majority")?;
+            QuorumSystem::majority(kind, t).map_err(|e| e.to_string())
+        }
+        _ => Err(format!(
+            "bad system spec `{spec}` (expected grid:K or majority:KIND:T)"
+        )),
+    }
+}
+
+fn cmd_info(opts: &Options) -> Result<(), String> {
+    let net = opts.network()?;
+    println!("sites:          {}", net.len());
+    println!("mean RTT:       {:.1} ms", net.distances().mean_distance());
+    println!("max RTT:        {:.1} ms", net.distances().max_distance());
+    let median = net.median();
+    println!("median site:    {} ({})", net.label(median), median);
+    let clients: Vec<NodeId> = net.nodes().collect();
+    println!(
+        "singleton delay: {:.1} ms (Lin lower bound for any deployment: {:.1} ms)",
+        quorumnet::core::singleton::singleton_delay(&net, &clients),
+        quorumnet::core::singleton::singleton_delay(&net, &clients) / 2.0
+    );
+    Ok(())
+}
+
+fn cmd_place(opts: &Options) -> Result<(), String> {
+    let net = opts.network()?;
+    let sys = opts.quorum_system()?;
+    if sys.universe_size() > net.len() {
+        return Err(format!(
+            "universe of {} exceeds the {}-site network",
+            sys.universe_size(),
+            net.len()
+        ));
+    }
+    let clients: Vec<NodeId> = net.nodes().collect();
+    let model = opts.model();
+    let placement =
+        one_to_one::best_placement(&net, &sys).map_err(|e| e.to_string())?;
+
+    println!("system:    {}", sys.label());
+    println!(
+        "placement: {}",
+        placement
+            .support_set()
+            .iter()
+            .map(|&v| net.label(v).to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+
+    let strategy = if opts.strategy.is_empty() { "closest" } else { &opts.strategy };
+    let eval = match strategy {
+        "closest" => response::evaluate_closest(&net, &clients, &sys, &placement, model)
+            .map_err(|e| e.to_string())?,
+        "balanced" => {
+            response::evaluate_balanced(&net, &clients, &sys, &placement, model)
+                .map_err(|e| e.to_string())?
+        }
+        "lp" => {
+            let quorums = sys.enumerate(100_000).map_err(|e| e.to_string())?;
+            let (_, eval) = strategy_lp::evaluate_at_uniform_capacity(
+                &net, &clients, &placement, &quorums, opts.capacity, model,
+            )
+            .map_err(|e| e.to_string())?;
+            eval
+        }
+        "lp-sweep" => {
+            let quorums = sys.enumerate(100_000).map_err(|e| e.to_string())?;
+            let l_opt = sys
+                .optimal_load()
+                .ok_or("lp-sweep needs a system with known optimal load")?;
+            let sweep = strategy_lp::tune_uniform_capacity(
+                &net, &clients, &placement, &quorums, l_opt, 10, model,
+            )
+            .map_err(|e| e.to_string())?;
+            println!("sweep:");
+            for (c, e) in &sweep.points {
+                println!(
+                    "  cap {c:.3}: response {:7.1} ms, delay {:6.1} ms, max load {:.2}",
+                    e.avg_response_ms, e.avg_network_delay_ms, e.max_node_load()
+                );
+            }
+            let (c, best) = sweep.best_point();
+            println!("best capacity: {c:.3}");
+            best.clone()
+        }
+        other => return Err(format!("unknown strategy `{other}`")),
+    };
+    println!("strategy:  {strategy}{}", if opts.dedup { " (dedup)" } else { "" });
+    println!("avg response:      {:8.2} ms", eval.avg_response_ms);
+    println!("avg network delay: {:8.2} ms", eval.avg_network_delay_ms);
+    println!("max node load:     {:8.2}", eval.max_node_load());
+    Ok(())
+}
+
+fn cmd_simulate(opts: &Options) -> Result<(), String> {
+    let net = opts.network()?;
+    let sys = opts.quorum_system()?;
+    if sys.universe_size() > net.len() {
+        return Err(format!(
+            "universe of {} exceeds the {}-site network",
+            sys.universe_size(),
+            net.len()
+        ));
+    }
+    let placement = one_to_one::best_placement_by(
+        &net,
+        &sys,
+        one_to_one::SelectionObjective::BalancedDelay,
+    )
+    .map_err(|e| e.to_string())?;
+    let pop = ClientPopulation::representative(
+        &net,
+        &sys,
+        &placement,
+        opts.locations.min(net.len()),
+        opts.clients_per_location,
+    );
+    let choice = match if opts.strategy.is_empty() { "balanced" } else { &opts.strategy }
+    {
+        "balanced" => QuorumChoice::Balanced,
+        "closest" => QuorumChoice::Closest,
+        other => return Err(format!("unknown strategy `{other}` for simulate")),
+    };
+    let report = simulate(
+        &net,
+        &sys,
+        &placement,
+        &pop,
+        choice,
+        &ProtocolConfig {
+            measured_requests: opts.requests,
+            seed: opts.seed,
+            dedup_colocated: opts.dedup,
+            ..ProtocolConfig::default()
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    println!("system:          {}", sys.label());
+    println!("clients:         {} ({} × {})", pop.total_clients(), pop.locations().len(), pop.per_location());
+    println!("requests:        {}", report.completed_requests);
+    println!("avg response:    {:8.2} ms", report.avg_response_ms);
+    println!("network floor:   {:8.2} ms", report.avg_network_delay_ms);
+    let (p50, p95, p99) = report.percentiles_ms;
+    println!("p50/p95/p99:     {p50:.1} / {p95:.1} / {p99:.1} ms");
+    let max_util = report.server_utilization.iter().copied().fold(0.0, f64::max);
+    println!("max server util: {max_util:.2}");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_flags() {
+        let o = Options::parse(&s(&[
+            "--system",
+            "grid:5",
+            "--demand",
+            "16000",
+            "--dedup",
+            "--seed",
+            "7",
+        ]))
+        .unwrap();
+        assert_eq!(o.system, "grid:5");
+        assert_eq!(o.demand, 16000.0);
+        assert!(o.dedup);
+        assert_eq!(o.seed, 7);
+    }
+
+    #[test]
+    fn rejects_unknown_flag() {
+        assert!(Options::parse(&s(&["--bogus"])).is_err());
+        assert!(Options::parse(&s(&["--demand"])).is_err());
+        assert!(Options::parse(&s(&["--demand", "abc"])).is_err());
+    }
+
+    #[test]
+    fn parses_system_specs() {
+        assert_eq!(parse_system("grid:4").unwrap().universe_size(), 16);
+        let m = parse_system("majority:fourfifths:2").unwrap();
+        assert_eq!(m.universe_size(), 11);
+        assert!(parse_system("grid").is_err());
+        assert!(parse_system("majority:weird:2").is_err());
+        assert!(parse_system("grid:0").is_err());
+    }
+
+    #[test]
+    fn model_respects_dedup() {
+        let o = Options::parse(&s(&["--dedup", "--demand", "100"])).unwrap();
+        assert!(o.model().deduplicates_execution());
+        assert!((o.model().alpha() - 0.7).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,74 @@
+//! **quorumnet** — latency-aware quorum placement and access-strategy
+//! optimization for wide-area networks.
+//!
+//! A faithful, self-contained Rust reproduction of *"Minimizing Response
+//! Time for Quorum-System Protocols over Wide-Area Networks"* (Oprea &
+//! Reiter, DSN 2007). This facade crate re-exports the whole workspace:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`topology`] | `qp-topology` | WAN model: distance matrices, metric closure, synthetic PlanetLab-50 / daxlist-161 datasets |
+//! | [`lp`] | `qp-lp` | Two-phase revised-simplex LP solver and modeling layer |
+//! | [`quorum`] | `qp-quorum` | Majority and Grid quorum systems, access strategies, loads |
+//! | [`core`] | `qp-core` | Placements (ball / shell / singleton / many-to-one / iterative), the access-strategy LP (4.3)–(4.6), capacity tuning, the response-time model |
+//! | [`des`] | `qp-des` | Discrete-event simulation kernel |
+//! | [`protocol`] | `qp-protocol` | Q/U-style protocol simulation (the §3 motivating experiment) |
+//!
+//! # Quickstart
+//!
+//! Deploy a 3×3 Grid on a 50-site WAN and compare the closest strategy
+//! against the singleton baseline:
+//!
+//! ```
+//! use quorumnet::core::{one_to_one, response, singleton, ResponseModel};
+//! use quorumnet::quorum::QuorumSystem;
+//! use quorumnet::topology::datasets;
+//!
+//! let net = datasets::planetlab_50();
+//! let clients: Vec<_> = net.nodes().collect();
+//! let grid = QuorumSystem::grid(3)?;
+//!
+//! let placement = one_to_one::best_placement(&net, &grid)?;
+//! let eval = response::evaluate_closest(
+//!     &net, &clients, &grid, &placement, ResponseModel::network_delay_only(),
+//! )?;
+//! let single = singleton::singleton_delay(&net, &clients);
+//!
+//! // Lin's bound: no quorum deployment beats half the singleton delay.
+//! assert!(eval.avg_network_delay_ms >= single / 2.0 - 1e-9);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use qp_core as core;
+pub use qp_des as des;
+pub use qp_lp as lp;
+pub use qp_protocol as protocol;
+pub use qp_quorum as quorum;
+pub use qp_topology as topology;
+
+/// Commonly used items, importable with `use quorumnet::prelude::*`.
+pub mod prelude {
+    pub use qp_core::{
+        capacity::CapacityProfile, iterative, load, manyone, one_to_one, response,
+        singleton, strategy_lp, CoreError, Evaluation, Placement, ResponseModel,
+    };
+    pub use qp_protocol::{simulate, ClientPopulation, ProtocolConfig, QuorumChoice};
+    pub use qp_quorum::{
+        ElementId, MajorityKind, Quorum, QuorumSystem, StrategyMatrix,
+    };
+    pub use qp_topology::{datasets, DistanceMatrix, Graph, Network, NodeId};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_imports_compile() {
+        use crate::prelude::*;
+        let net = datasets::euclidean_random(5, 10.0, 0);
+        let _sys = QuorumSystem::grid(2).unwrap();
+        assert_eq!(net.len(), 5);
+    }
+}

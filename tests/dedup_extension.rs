@@ -1,0 +1,161 @@
+//! Integration: the §8 future-work extension — deduplicated execution of
+//! co-located elements — in both the analytic model and the DES.
+//!
+//! The paper conjectures: "a variation of our model, in which a server
+//! hosting multiple universe elements would execute a request only once
+//! for all elements it hosts, can clearly improve the performance."
+
+use quorumnet::prelude::*;
+
+#[test]
+fn dedup_is_noop_for_one_to_one_placements() {
+    let net = datasets::planetlab_50();
+    let clients: Vec<NodeId> = net.nodes().collect();
+    let sys = QuorumSystem::grid(4).unwrap();
+    let placement = one_to_one::best_placement(&net, &sys).unwrap();
+    assert!(placement.is_one_to_one());
+    let model = ResponseModel::from_demand(0.007, 16_000.0);
+    let plain =
+        response::evaluate_closest(&net, &clients, &sys, &placement, model).unwrap();
+    let dedup = response::evaluate_closest(
+        &net,
+        &clients,
+        &sys,
+        &placement,
+        model.deduplicated(),
+    )
+    .unwrap();
+    assert_eq!(plain.node_loads, dedup.node_loads);
+    assert_eq!(plain.avg_response_ms, dedup.avg_response_ms);
+}
+
+#[test]
+fn dedup_strictly_lowers_load_for_many_to_one() {
+    // Median placement: all elements on one node; each access executes
+    // once under dedup (load 1) instead of once per quorum element.
+    let net = datasets::planetlab_50();
+    let clients: Vec<NodeId> = net.nodes().collect();
+    let sys = QuorumSystem::grid(3).unwrap();
+    let placement = singleton::median_placement(&net, sys.universe_size()).unwrap();
+    let model = ResponseModel::from_demand(0.007, 4000.0);
+    let plain =
+        response::evaluate_balanced(&net, &clients, &sys, &placement, model).unwrap();
+    let dedup = response::evaluate_balanced(
+        &net,
+        &clients,
+        &sys,
+        &placement,
+        model.deduplicated(),
+    )
+    .unwrap();
+    let median = net.median().index();
+    // Plain: 2k−1 = 5 executions per access. Dedup: exactly 1.
+    assert!((plain.node_loads[median] - 5.0).abs() < 1e-9);
+    assert!((dedup.node_loads[median] - 1.0).abs() < 1e-9);
+    assert!(
+        dedup.avg_response_ms < plain.avg_response_ms,
+        "dedup {} should beat plain {}",
+        dedup.avg_response_ms,
+        plain.avg_response_ms
+    );
+    // Network delay is unchanged — only the load term moves.
+    assert!((dedup.avg_network_delay_ms - plain.avg_network_delay_ms).abs() < 1e-9);
+}
+
+#[test]
+fn dedup_balanced_majority_matches_enumeration() {
+    // The hypergeometric touch probability must agree with explicit
+    // enumeration on a small system with a many-to-one placement.
+    let net = datasets::euclidean_random(8, 60.0, 17);
+    let clients: Vec<NodeId> = net.nodes().collect();
+    let sys = QuorumSystem::majority(MajorityKind::SimpleMajority, 2).unwrap(); // n=5, q=3
+    // Co-locate elements 0,1 on node 2; 2,3 on node 4; 4 alone.
+    let placement = Placement::new(
+        vec![
+            NodeId::new(2),
+            NodeId::new(2),
+            NodeId::new(4),
+            NodeId::new(4),
+            NodeId::new(6),
+        ],
+        net.len(),
+    )
+    .unwrap();
+    let model = ResponseModel::with_alpha(30.0).deduplicated();
+    let fast =
+        response::evaluate_balanced(&net, &clients, &sys, &placement, model).unwrap();
+    let quorums = sys.enumerate(100).unwrap();
+    let strategy = StrategyMatrix::uniform(clients.len(), quorums.len());
+    let slow = response::evaluate_matrix(
+        &net, &clients, &placement, &quorums, &strategy, model,
+    )
+    .unwrap();
+    for (a, b) in fast.node_loads.iter().zip(&slow.node_loads) {
+        assert!((a - b).abs() < 1e-9, "loads {a} vs {b}");
+    }
+    assert!((fast.avg_response_ms - slow.avg_response_ms).abs() < 1e-9);
+}
+
+#[test]
+fn des_dedup_reduces_response_for_colocated_placement() {
+    let net = datasets::planetlab_50();
+    let sys = QuorumSystem::grid(3).unwrap();
+    // Heavy co-location: all nine elements on three nodes near the median.
+    let ball = net.ball(net.median(), 3);
+    let hosts: Vec<NodeId> = (0..9).map(|u| ball[u % 3]).collect();
+    let placement = Placement::new(hosts, net.len()).unwrap();
+    let pop = ClientPopulation::new(net.nodes().take(8).collect(), 3);
+    let base_cfg = ProtocolConfig {
+        warmup_requests: 20,
+        measured_requests: 120,
+        ..ProtocolConfig::default()
+    };
+    let plain = simulate(
+        &net,
+        &sys,
+        &placement,
+        &pop,
+        QuorumChoice::Balanced,
+        &base_cfg,
+    )
+    .unwrap();
+    let dedup = simulate(
+        &net,
+        &sys,
+        &placement,
+        &pop,
+        QuorumChoice::Balanced,
+        &ProtocolConfig { dedup_colocated: true, ..base_cfg },
+    )
+    .unwrap();
+    assert!(
+        dedup.avg_response_ms < plain.avg_response_ms,
+        "DES dedup {} should beat plain {}",
+        dedup.avg_response_ms,
+        plain.avg_response_ms
+    );
+    // The floor also drops: co-located messages no longer serialize.
+    assert!(dedup.avg_network_delay_ms <= plain.avg_network_delay_ms + 1e-9);
+}
+
+#[test]
+fn des_dedup_identical_for_one_to_one() {
+    let net = datasets::planetlab_50();
+    let sys = QuorumSystem::majority(MajorityKind::FourFifths, 1).unwrap();
+    let placement = one_to_one::best_placement(&net, &sys).unwrap();
+    let pop = ClientPopulation::new(net.nodes().take(5).collect(), 2);
+    let cfg = ProtocolConfig { seed: 3, ..ProtocolConfig::default() };
+    let plain =
+        simulate(&net, &sys, &placement, &pop, QuorumChoice::Balanced, &cfg).unwrap();
+    let dedup = simulate(
+        &net,
+        &sys,
+        &placement,
+        &pop,
+        QuorumChoice::Balanced,
+        &ProtocolConfig { dedup_colocated: true, ..cfg },
+    )
+    .unwrap();
+    assert_eq!(plain.avg_response_ms, dedup.avg_response_ms);
+    assert_eq!(plain.completed_requests, dedup.completed_requests);
+}

@@ -1,0 +1,151 @@
+//! Integration: failure injection in the protocol simulation — quorum
+//! systems mask degraded replicas exactly when the access strategy can
+//! route around them.
+
+use quorumnet::prelude::*;
+
+fn setup(
+    t: usize,
+) -> (Network, QuorumSystem, Placement, ClientPopulation) {
+    let net = datasets::planetlab_50();
+    let sys = QuorumSystem::majority(MajorityKind::FourFifths, t).unwrap();
+    let placement = one_to_one::best_placement(&net, &sys).unwrap();
+    let pop = ClientPopulation::representative(&net, &sys, &placement, 10, 3);
+    (net, sys, placement, pop)
+}
+
+fn run(
+    net: &Network,
+    sys: &QuorumSystem,
+    placement: &Placement,
+    pop: &ClientPopulation,
+    choice: QuorumChoice,
+    mults: Option<Vec<f64>>,
+) -> f64 {
+    simulate(
+        net,
+        sys,
+        placement,
+        pop,
+        choice,
+        &ProtocolConfig {
+            warmup_requests: 20,
+            measured_requests: 120,
+            service_multipliers: mults,
+            ..ProtocolConfig::default()
+        },
+    )
+    .unwrap()
+    .avg_response_ms
+}
+
+#[test]
+fn qu_quorums_cannot_dodge_a_slow_server() {
+    // Q/U: q = 4t+1 of n = 5t+1; every pair of quorums overlaps heavily
+    // and, with t = 1, any quorum misses only one server. A degraded
+    // server is hit by 5 of 6 balanced choices, so response suffers.
+    let (net, sys, placement, pop) = setup(1);
+    let nominal = run(&net, &sys, &placement, &pop, QuorumChoice::Balanced, None);
+    let mut mults = vec![1.0; sys.universe_size()];
+    mults[0] = 50.0;
+    let degraded =
+        run(&net, &sys, &placement, &pop, QuorumChoice::Balanced, Some(mults));
+    assert!(
+        degraded > nominal + 5.0,
+        "a 50× slow server must hurt Q/U balanced access: {nominal} → {degraded}"
+    );
+}
+
+#[test]
+fn simple_majority_with_closest_strategy_can_dodge_when_far() {
+    // (t+1, 2t+1) with t = 4: quorums are only 5 of 9. Degrade the
+    // element the closest strategy never selects for any client — response
+    // must be unaffected.
+    let net = datasets::planetlab_50();
+    let sys = QuorumSystem::majority(MajorityKind::SimpleMajority, 4).unwrap();
+    let placement = one_to_one::best_placement(&net, &sys).unwrap();
+    let pop = ClientPopulation::representative(&net, &sys, &placement, 10, 3);
+
+    // Find an element untouched by every location's closest quorum.
+    let choices = response::closest_choices(
+        &net,
+        &pop.locations().to_vec(),
+        &sys,
+        &placement,
+    );
+    let mut touched = vec![false; sys.universe_size()];
+    for q in &choices {
+        for u in q.iter() {
+            touched[u.index()] = true;
+        }
+    }
+    let Some(untouched) = touched.iter().position(|&t| !t) else {
+        // All elements touched on this topology; nothing to assert.
+        return;
+    };
+
+    let nominal = run(&net, &sys, &placement, &pop, QuorumChoice::Closest, None);
+    let mut mults = vec![1.0; sys.universe_size()];
+    mults[untouched] = 100.0;
+    let degraded =
+        run(&net, &sys, &placement, &pop, QuorumChoice::Closest, Some(mults));
+    assert!(
+        (degraded - nominal).abs() < 1e-9,
+        "closest strategy never visits element {untouched}; degradation must be masked \
+         ({nominal} vs {degraded})"
+    );
+}
+
+#[test]
+fn degradation_scales_with_slowdown_factor() {
+    let (net, sys, placement, pop) = setup(2);
+    let mut prev = 0.0;
+    for factor in [1.0, 10.0, 40.0] {
+        let mults = vec![factor; sys.universe_size()];
+        let resp =
+            run(&net, &sys, &placement, &pop, QuorumChoice::Balanced, Some(mults));
+        assert!(
+            resp >= prev,
+            "response must grow with uniform slowdown: {prev} → {resp} at ×{factor}"
+        );
+        prev = resp;
+    }
+}
+
+#[test]
+fn zero_service_time_reduces_response_to_pure_rtt() {
+    let (net, sys, placement, pop) = setup(1);
+    let report = simulate(
+        &net,
+        &sys,
+        &placement,
+        &pop,
+        QuorumChoice::Closest,
+        &ProtocolConfig {
+            service_time_ms: 0.0,
+            warmup_requests: 5,
+            measured_requests: 50,
+            ..ProtocolConfig::default()
+        },
+    )
+    .unwrap();
+    // With zero service there is no queueing at all: response = floor =
+    // quorum RTT exactly.
+    assert!((report.avg_response_ms - report.avg_network_delay_ms).abs() < 1e-9);
+    // And the floor equals the analytic closest-quorum delay for these
+    // locations.
+    let eval = response::evaluate_closest(
+        &net,
+        &pop.locations().to_vec(),
+        &sys,
+        &placement,
+        ResponseModel::network_delay_only(),
+    )
+    .unwrap();
+    assert!(
+        (report.avg_network_delay_ms - eval.avg_network_delay_ms).abs() < 1e-9,
+        "DES floor {} vs analytic {}",
+        report.avg_network_delay_ms,
+        eval.avg_network_delay_ms
+    );
+}

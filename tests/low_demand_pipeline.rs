@@ -1,0 +1,154 @@
+//! Integration: the §6 low-demand pipeline end to end — one-to-one
+//! placements, closest strategy, singleton baseline — and the qualitative
+//! claims of Figure 6.3.
+
+use quorumnet::prelude::*;
+
+fn closest_delay(net: &Network, sys: &QuorumSystem) -> f64 {
+    let clients: Vec<NodeId> = net.nodes().collect();
+    let placement = one_to_one::best_placement(net, sys).expect("placement fits");
+    response::evaluate_closest(
+        net,
+        &clients,
+        sys,
+        &placement,
+        ResponseModel::network_delay_only(),
+    )
+    .expect("evaluation succeeds")
+    .avg_network_delay_ms
+}
+
+#[test]
+fn response_time_grows_with_universe_size_per_system() {
+    let net = datasets::planetlab_50();
+    // (t+1, 2t+1) Majority over increasing t: delays should trend upward
+    // (allow small local non-monotonicity from placement search).
+    let delays: Vec<f64> = (1..=8)
+        .map(|t| {
+            let sys =
+                QuorumSystem::majority(MajorityKind::SimpleMajority, t).unwrap();
+            closest_delay(&net, &sys)
+        })
+        .collect();
+    assert!(
+        delays.last().unwrap() > delays.first().unwrap(),
+        "bigger universes should cost more: {delays:?}"
+    );
+}
+
+#[test]
+fn smaller_quorums_beat_larger_at_equal_universe() {
+    // At (roughly) the same universe size, the system with smaller quorums
+    // responds faster under the closest strategy (Fig 6.3's ordering).
+    let net = datasets::planetlab_50();
+    // Universe 16: Grid 4×4 (quorum 7) vs (2t+1,3t+1) Majority t=5
+    // (n=16, quorum 11).
+    let grid = QuorumSystem::grid(4).unwrap();
+    let maj = QuorumSystem::majority(MajorityKind::TwoThirds, 5).unwrap();
+    assert_eq!(grid.universe_size(), maj.universe_size());
+    let dg = closest_delay(&net, &grid);
+    let dm = closest_delay(&net, &maj);
+    assert!(
+        dg < dm,
+        "grid (quorum {}) {dg} ms should beat majority (quorum {}) {dm} ms",
+        grid.min_quorum_size(),
+        maj.min_quorum_size()
+    );
+}
+
+#[test]
+fn singleton_is_within_factor_two_of_everything() {
+    // Lin's theorem: the singleton's delay is at most twice that of any
+    // placed quorum system. Equivalently every system's delay is at least
+    // half the singleton's.
+    let net = datasets::planetlab_50();
+    let clients: Vec<NodeId> = net.nodes().collect();
+    let single = singleton::singleton_delay(&net, &clients);
+    for sys in [
+        QuorumSystem::grid(3).unwrap(),
+        QuorumSystem::grid(6).unwrap(),
+        QuorumSystem::majority(MajorityKind::SimpleMajority, 4).unwrap(),
+        QuorumSystem::majority(MajorityKind::FourFifths, 3).unwrap(),
+    ] {
+        let d = closest_delay(&net, &sys);
+        assert!(
+            d >= single / 2.0 - 1e-9,
+            "{}: delay {d} below Lin bound {}",
+            sys.label(),
+            single / 2.0
+        );
+        // And the quorum system should not be absurdly worse than the
+        // singleton on this topology (the paper: "not much worse ... up to
+        // a fairly large universe size").
+        assert!(
+            d <= single * 3.0,
+            "{}: delay {d} vs singleton {single} — placement is broken",
+            sys.label()
+        );
+    }
+}
+
+#[test]
+fn closest_is_optimal_per_client_at_alpha_zero() {
+    // No strategy can beat the closest strategy on network delay: compare
+    // against the LP with unbounded capacities client by client.
+    let net = datasets::euclidean_random(20, 100.0, 13);
+    let clients: Vec<NodeId> = net.nodes().collect();
+    let sys = QuorumSystem::grid(3).unwrap();
+    let placement = one_to_one::best_placement(&net, &sys).unwrap();
+    let quorums = sys.enumerate(100).unwrap();
+    let caps = CapacityProfile::unbounded(net.len());
+    let strategy =
+        strategy_lp::optimize_strategies(&net, &clients, &placement, &quorums, &caps)
+            .unwrap();
+    let lp_eval = response::evaluate_matrix(
+        &net,
+        &clients,
+        &placement,
+        &quorums,
+        &strategy,
+        ResponseModel::network_delay_only(),
+    )
+    .unwrap();
+    let closest_eval = response::evaluate_closest(
+        &net,
+        &clients,
+        &sys,
+        &placement,
+        ResponseModel::network_delay_only(),
+    )
+    .unwrap();
+    for (lp, cl) in lp_eval
+        .per_client_delay_ms
+        .iter()
+        .zip(&closest_eval.per_client_delay_ms)
+    {
+        assert!(*lp >= cl - 1e-6, "LP {lp} beat closest {cl}: impossible");
+        assert!(*lp <= cl + 1e-6, "LP {lp} worse than closest {cl} without caps");
+    }
+}
+
+#[test]
+fn deterministic_end_to_end() {
+    // The whole pipeline is deterministic: same dataset, same placement,
+    // same numbers.
+    let run = || {
+        let net = datasets::planetlab_50();
+        let sys = QuorumSystem::grid(4).unwrap();
+        let placement = one_to_one::best_placement(&net, &sys).unwrap();
+        let clients: Vec<NodeId> = net.nodes().collect();
+        let eval = response::evaluate_closest(
+            &net,
+            &clients,
+            &sys,
+            &placement,
+            ResponseModel::network_delay_only(),
+        )
+        .unwrap();
+        (placement, eval.avg_network_delay_ms)
+    };
+    let (p1, d1) = run();
+    let (p2, d2) = run();
+    assert_eq!(p1, p2);
+    assert_eq!(d1, d2);
+}

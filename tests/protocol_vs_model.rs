@@ -1,0 +1,160 @@
+//! Integration: the discrete-event protocol simulation against the
+//! analytic response-time model — the §3 experiments' internal
+//! consistency.
+
+use quorumnet::prelude::*;
+
+fn qu_setup(t: usize) -> (Network, QuorumSystem, Placement) {
+    let net = datasets::planetlab_50();
+    let sys = QuorumSystem::majority(MajorityKind::FourFifths, t).unwrap();
+    let placement = one_to_one::best_placement_by(
+        &net,
+        &sys,
+        one_to_one::SelectionObjective::BalancedDelay,
+    )
+    .unwrap();
+    (net, sys, placement)
+}
+
+#[test]
+fn des_network_delay_matches_analytic_balanced_delay() {
+    // The DES's idle-network floor (RTT + 1 service) averaged over random
+    // quorums must match the analytic E[max] + service within sampling
+    // noise.
+    let (net, sys, placement) = qu_setup(2);
+    let pop = ClientPopulation::representative(&net, &sys, &placement, 10, 1);
+    let report = simulate(
+        &net,
+        &sys,
+        &placement,
+        &pop,
+        QuorumChoice::Balanced,
+        &ProtocolConfig {
+            warmup_requests: 50,
+            measured_requests: 400,
+            ..ProtocolConfig::default()
+        },
+    )
+    .unwrap();
+    let analytic = response::evaluate_balanced(
+        &net,
+        pop.locations(),
+        &sys,
+        &placement,
+        ResponseModel::network_delay_only(),
+    )
+    .unwrap();
+    let expected = analytic.avg_network_delay_ms + 1.0; // + service time
+    let rel = (report.avg_network_delay_ms - expected).abs() / expected;
+    assert!(
+        rel < 0.03,
+        "DES floor {} vs analytic {} ({}% off)",
+        report.avg_network_delay_ms,
+        expected,
+        rel * 100.0
+    );
+}
+
+#[test]
+fn queueing_grows_with_demand_like_the_alpha_model_predicts() {
+    // The DES's queueing excess (response − floor) must increase with the
+    // number of clients, the mechanism the α·load term models.
+    let (net, sys, placement) = qu_setup(2);
+    let base = ClientPopulation::representative(&net, &sys, &placement, 10, 1);
+    let mut excesses = Vec::new();
+    for per_loc in [1usize, 4, 8] {
+        let report = simulate(
+            &net,
+            &sys,
+            &placement,
+            &base.with_per_location(per_loc),
+            QuorumChoice::Balanced,
+            &ProtocolConfig {
+                warmup_requests: 30,
+                measured_requests: 200,
+                ..ProtocolConfig::default()
+            },
+        )
+        .unwrap();
+        excesses.push(report.avg_response_ms - report.avg_network_delay_ms);
+    }
+    assert!(
+        excesses[2] > excesses[0],
+        "queueing excess should grow with clients: {excesses:?}"
+    );
+    assert!(excesses[0] >= -1e-9);
+}
+
+#[test]
+fn closest_choice_gives_lower_floor_than_balanced() {
+    let (net, sys, placement) = qu_setup(2);
+    let pop = ClientPopulation::representative(&net, &sys, &placement, 10, 1);
+    let cfg = ProtocolConfig {
+        warmup_requests: 20,
+        measured_requests: 150,
+        ..ProtocolConfig::default()
+    };
+    let closest =
+        simulate(&net, &sys, &placement, &pop, QuorumChoice::Closest, &cfg).unwrap();
+    let balanced =
+        simulate(&net, &sys, &placement, &pop, QuorumChoice::Balanced, &cfg).unwrap();
+    assert!(
+        closest.avg_network_delay_ms <= balanced.avg_network_delay_ms + 1e-9,
+        "closest floor {} vs balanced floor {}",
+        closest.avg_network_delay_ms,
+        balanced.avg_network_delay_ms
+    );
+}
+
+#[test]
+fn universe_size_raises_network_delay_under_balanced_access() {
+    // Fig 3.2a's mechanism: larger universes spread quorums farther apart.
+    let mut prev = 0.0;
+    for t in [1usize, 3, 5] {
+        let (net, sys, placement) = qu_setup(t);
+        let pop = ClientPopulation::representative(&net, &sys, &placement, 10, 1);
+        let report = simulate(
+            &net,
+            &sys,
+            &placement,
+            &pop,
+            QuorumChoice::Balanced,
+            &ProtocolConfig::default(),
+        )
+        .unwrap();
+        assert!(
+            report.avg_network_delay_ms > prev,
+            "t={t}: delay {} should exceed smaller universe's {prev}",
+            report.avg_network_delay_ms
+        );
+        prev = report.avg_network_delay_ms;
+    }
+}
+
+#[test]
+fn des_report_internal_consistency() {
+    let (net, sys, placement) = qu_setup(1);
+    let pop = ClientPopulation::representative(&net, &sys, &placement, 5, 2);
+    let report = simulate(
+        &net,
+        &sys,
+        &placement,
+        &pop,
+        QuorumChoice::Balanced,
+        &ProtocolConfig::default(),
+    )
+    .unwrap();
+    // Percentiles ordered; utilizations in [0,1]; per-client means average
+    // to the global mean.
+    let (p50, p95, p99) = report.percentiles_ms;
+    assert!(p50 <= p95 && p95 <= p99);
+    assert!(report
+        .server_utilization
+        .iter()
+        .all(|&u| (0.0..=1.0).contains(&u)));
+    let mean_of_means: f64 = report.per_client_response_ms.iter().sum::<f64>()
+        / report.per_client_response_ms.len() as f64;
+    // Equal request counts per client ⇒ the means agree exactly up to fp.
+    assert!((mean_of_means - report.avg_response_ms).abs() < 1e-6);
+    assert_eq!(report.completed_requests, (pop.total_clients() * 100) as u64);
+}
