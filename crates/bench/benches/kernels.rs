@@ -63,10 +63,8 @@ fn bench_strategy_lp(c: &mut Criterion) {
             &k,
             |b, _| {
                 b.iter(|| {
-                    strategy_lp::optimize_strategies(
-                        &net, &clients, &placement, &quorums, &caps,
-                    )
-                    .expect("feasible at 0.8")
+                    strategy_lp::optimize_strategies(&net, &clients, &placement, &quorums, &caps)
+                        .expect("feasible at 0.8")
                 });
             },
         );
@@ -109,12 +107,8 @@ fn bench_placement_search(c: &mut Criterion) {
     let maj = QuorumSystem::majority(MajorityKind::FourFifths, 4).unwrap();
     group.bench_function("best_majority_t4_balanced", |b| {
         b.iter(|| {
-            one_to_one::best_placement_by(
-                &net,
-                &maj,
-                one_to_one::SelectionObjective::BalancedDelay,
-            )
-            .unwrap()
+            one_to_one::best_placement_by(&net, &maj, one_to_one::SelectionObjective::BalancedDelay)
+                .unwrap()
         });
     });
     group.finish();

@@ -40,7 +40,10 @@ fn main() {
         &iter_caps,
         ResponseModel::network_delay_only(),
         2,
-        &ManyToOneConfig { capacity_slack: 2.0, ..ManyToOneConfig::default() },
+        &ManyToOneConfig {
+            capacity_slack: 2.0,
+            ..ManyToOneConfig::default()
+        },
     )
     .expect("feasible at capacity 1.0")
     .placement;
@@ -66,26 +69,26 @@ fn main() {
 
     let pop = ClientPopulation::representative(&net, &sys, &one_one, 10, 4);
     for placement in [&one_one, &m2o, &three_node, &median] {
-        let plain =
-            evaluate_balanced(&net, &clients, &sys, placement, model).expect("ok");
+        let plain = evaluate_balanced(&net, &clients, &sys, placement, model).expect("ok");
         let dedup =
-            evaluate_balanced(&net, &clients, &sys, placement, model.deduplicated())
-                .expect("ok");
+            evaluate_balanced(&net, &clients, &sys, placement, model.deduplicated()).expect("ok");
         let cfg = ProtocolConfig {
             warmup_requests: 20,
             measured_requests: 120,
             ..ProtocolConfig::default()
         };
         let des_plain =
-            simulate(&net, &sys, placement, &pop, QuorumChoice::Balanced, &cfg)
-                .expect("ok");
+            simulate(&net, &sys, placement, &pop, QuorumChoice::Balanced, &cfg).expect("ok");
         let des_dedup = simulate(
             &net,
             &sys,
             placement,
             &pop,
             QuorumChoice::Balanced,
-            &ProtocolConfig { dedup_colocated: true, ..cfg },
+            &ProtocolConfig {
+                dedup_colocated: true,
+                ..cfg
+            },
         )
         .expect("ok");
         table.push_row(vec![

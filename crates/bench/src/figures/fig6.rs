@@ -45,12 +45,8 @@ pub fn fig6_3(scale: Scale) -> Table {
     );
 
     let singleton = singleton_delay(&net, &clients);
-    let mut rows: std::collections::BTreeMap<usize, Vec<f64>> =
-        std::collections::BTreeMap::new();
-    fn row_at(
-        rows: &mut std::collections::BTreeMap<usize, Vec<f64>>,
-        n: usize,
-    ) -> &mut Vec<f64> {
+    let mut rows: std::collections::BTreeMap<usize, Vec<f64>> = std::collections::BTreeMap::new();
+    fn row_at(rows: &mut std::collections::BTreeMap<usize, Vec<f64>>, n: usize) -> &mut Vec<f64> {
         rows.entry(n).or_insert_with(|| vec![f64::NAN; 5])
     }
 
@@ -59,8 +55,7 @@ pub fn fig6_3(scale: Scale) -> Table {
         for t in 1..=max_t {
             let n = kind.universe_size(t);
             let sys = QuorumSystem::majority(*kind, t).expect("t ≥ 1");
-            let placement =
-                one_to_one::best_placement(&net, &sys).expect("universe fits");
+            let placement = one_to_one::best_placement(&net, &sys).expect("universe fits");
             let eval = evaluate_closest(&net, &clients, &sys, &placement, model)
                 .expect("evaluation succeeds");
             row_at(&mut rows, n)[col] = eval.avg_response_ms;
@@ -70,8 +65,8 @@ pub fn fig6_3(scale: Scale) -> Table {
     for k in 2..=max_k {
         let sys = QuorumSystem::grid(k).expect("k ≥ 1");
         let placement = one_to_one::best_placement(&net, &sys).expect("universe fits");
-        let eval = evaluate_closest(&net, &clients, &sys, &placement, model)
-            .expect("evaluation succeeds");
+        let eval =
+            evaluate_closest(&net, &clients, &sys, &placement, model).expect("evaluation succeeds");
         row_at(&mut rows, k * k)[3] = eval.avg_response_ms;
     }
     // Singleton baseline appears at every row.

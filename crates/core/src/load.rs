@@ -39,10 +39,7 @@ use crate::CoreError;
 /// assert!((l - 5.0 / 9.0).abs() < 1e-7);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-pub fn optimal_load_lp(
-    quorums: &[Quorum],
-    universe: usize,
-) -> Result<(f64, Vec<f64>), CoreError> {
+pub fn optimal_load_lp(quorums: &[Quorum], universe: usize) -> Result<(f64, Vec<f64>), CoreError> {
     if quorums.is_empty() {
         return Err(CoreError::SizeMismatch {
             reason: "no quorums".to_string(),

@@ -23,7 +23,6 @@
 //!    most slack). The result is the paper's "almost-capacity-respecting"
 //!    placement: capacity can be exceeded, but only by a bounded factor.
 
-
 #![allow(clippy::needless_range_loop)] // index loops mirror the matrix math
 use qp_lp::{Model, Sense, VarId};
 use qp_quorum::Quorum;
@@ -55,7 +54,11 @@ pub struct ManyToOneConfig {
 
 impl Default for ManyToOneConfig {
     fn default() -> Self {
-        ManyToOneConfig { epsilon: 1.0, support_tol: 1e-9, capacity_slack: 1.0 }
+        ManyToOneConfig {
+            epsilon: 1.0,
+            support_tol: 1e-9,
+            capacity_slack: 1.0,
+        }
     }
 }
 
@@ -135,8 +138,7 @@ pub fn place_for_client(
     );
     let n = weights.len();
     let v_count = net.len();
-    let effective_cap =
-        |w: usize| caps.get(NodeId::new(w)) * config.capacity_slack;
+    let effective_cap = |w: usize| caps.get(NodeId::new(w)) * config.capacity_slack;
 
     // ---- 1. Fractional LP. ----
     let mut model = Model::new(Sense::Minimize);
@@ -145,12 +147,7 @@ pub fn place_for_client(
         let mut row = Vec::with_capacity(v_count);
         for w in 0..v_count {
             let d = net.distance(v0, NodeId::new(w));
-            row.push(model.add_var(
-                &format!("x_{u}_{w}"),
-                0.0,
-                f64::INFINITY,
-                weights[u] * d,
-            ));
+            row.push(model.add_var(&format!("x_{u}_{w}"), 0.0, f64::INFINITY, weights[u] * d));
         }
         vars.push(row);
     }
@@ -214,8 +211,7 @@ pub fn place_for_client(
     let mut residual_load = vec![0.0; v_count];
     let mut fractional: Vec<usize> = Vec::new();
     for u in 0..n {
-        let support: Vec<usize> =
-            (0..v_count).filter(|&w| x[u][w] > tol).collect();
+        let support: Vec<usize> = (0..v_count).filter(|&w| x[u][w] > tol).collect();
         match support.len() {
             0 => {
                 // Numerically lost mass: treat as free to place anywhere
@@ -232,9 +228,7 @@ pub fn place_for_client(
     }
     // Greedy pass over leftover fractional elements, heaviest first:
     // cheapest surviving node with room, else the node with the most slack.
-    fractional.sort_by(|&a, &b| {
-        weights[b].partial_cmp(&weights[a]).expect("finite weights")
-    });
+    fractional.sort_by(|&a, &b| weights[b].partial_cmp(&weights[a]).expect("finite weights"));
     for u in fractional {
         let mut support: Vec<usize> = (0..v_count).filter(|&w| x[u][w] > tol).collect();
         if support.is_empty() {
@@ -245,9 +239,10 @@ pub fn place_for_client(
                 .partial_cmp(&net.distance(v0, NodeId::new(b)))
                 .expect("finite distances")
         });
-        let fits = support.iter().copied().find(|&w| {
-            residual_load[w] + weights[u] <= effective_cap(w) + 1e-12
-        });
+        let fits = support
+            .iter()
+            .copied()
+            .find(|&w| residual_load[w] + weights[u] <= effective_cap(w) + 1e-12);
         // If the filtered support is full, prefer any node with room (by
         // distance) over violating a capacity — then fall back to the
         // support node with the most slack (the bounded-violation case).
@@ -259,9 +254,8 @@ pub fn place_for_client(
                         .partial_cmp(&net.distance(v0, NodeId::new(b)))
                         .expect("finite distances")
                 });
-                all.into_iter().find(|&w| {
-                    residual_load[w] + weights[u] <= effective_cap(w) + 1e-12
-                })
+                all.into_iter()
+                    .find(|&w| residual_load[w] + weights[u] <= effective_cap(w) + 1e-12)
             })
             .unwrap_or_else(|| {
                 support
@@ -307,13 +301,7 @@ pub fn place_for_client(
 /// Removes all cycles from the bipartite support graph of `x` by pushing
 /// flow around each cycle in the non-cost-increasing direction until an
 /// edge hits zero. Preserves each element's total (= 1) exactly.
-fn cancel_cycles(
-    x: &mut [Vec<f64>],
-    net: &Network,
-    v0: NodeId,
-    weights: &[f64],
-    tol: f64,
-) {
+fn cancel_cycles(x: &mut [Vec<f64>], net: &Network, v0: NodeId, weights: &[f64], tol: f64) {
     let n = x.len();
     let v_count = net.len();
     loop {
@@ -351,12 +339,7 @@ fn cancel_cycles(
 /// Finds one cycle in the bipartite support graph, returned as an even-
 /// length edge sequence `(element, node)` tracing the cycle. `None` if the
 /// support is a forest.
-fn find_cycle(
-    x: &[Vec<f64>],
-    n: usize,
-    v_count: usize,
-    tol: f64,
-) -> Option<Vec<(usize, usize)>> {
+fn find_cycle(x: &[Vec<f64>], n: usize, v_count: usize, tol: f64) -> Option<Vec<(usize, usize)>> {
     // Vertices: 0..n are elements, n..n+v_count are nodes.
     let total = n + v_count;
     let mut adj: Vec<Vec<usize>> = vec![Vec::new(); total];
@@ -509,14 +492,7 @@ mod tests {
         let weights = element_weights(&uniform_probs(4), &quorums, 4);
         let caps = CapacityProfile::unbounded(net.len());
         let v0 = NodeId::new(3);
-        let out = place_for_client(
-            &net,
-            v0,
-            &weights,
-            &caps,
-            &ManyToOneConfig::default(),
-        )
-        .unwrap();
+        let out = place_for_client(&net, v0, &weights, &caps, &ManyToOneConfig::default()).unwrap();
         assert_eq!(out.placement.support_set(), vec![v0]);
         assert!(out.rounded_objective.abs() < 1e-9);
         assert!(out.lp_objective.abs() < 1e-9);
@@ -599,8 +575,7 @@ mod tests {
         let probs = uniform_probs(4);
         let caps = CapacityProfile::uniform(net.len(), 0.9);
         let best =
-            best_placement(&net, &quorums, &probs, &caps, &ManyToOneConfig::default())
-                .unwrap();
+            best_placement(&net, &quorums, &probs, &caps, &ManyToOneConfig::default()).unwrap();
         assert_eq!(best.placement.universe_size(), 4);
     }
 

@@ -42,11 +42,7 @@ pub enum SelectionObjective {
 /// # Errors
 ///
 /// [`CoreError::SizeMismatch`] if `n` exceeds the network size.
-pub fn ball_placement(
-    net: &Network,
-    v0: NodeId,
-    n: usize,
-) -> Result<Placement, CoreError> {
+pub fn ball_placement(net: &Network, v0: NodeId, n: usize) -> Result<Placement, CoreError> {
     if n > net.len() {
         return Err(CoreError::SizeMismatch {
             reason: format!("universe of {n} exceeds network of {}", net.len()),
@@ -107,13 +103,11 @@ pub fn ball_placement_capacitated(
 /// # Errors
 ///
 /// [`CoreError::SizeMismatch`] if `k² > |V|` or `k = 0`.
-pub fn grid_shell_placement(
-    net: &Network,
-    v0: NodeId,
-    k: usize,
-) -> Result<Placement, CoreError> {
+pub fn grid_shell_placement(net: &Network, v0: NodeId, k: usize) -> Result<Placement, CoreError> {
     if k == 0 {
-        return Err(CoreError::SizeMismatch { reason: "k = 0".to_string() });
+        return Err(CoreError::SizeMismatch {
+            reason: "k = 0".to_string(),
+        });
     }
     let n = k * k;
     if n > net.len() {
@@ -172,10 +166,7 @@ pub fn placement_for(
 /// # Errors
 ///
 /// Propagates construction and evaluation errors.
-pub fn best_placement(
-    net: &Network,
-    system: &QuorumSystem,
-) -> Result<Placement, CoreError> {
+pub fn best_placement(net: &Network, system: &QuorumSystem) -> Result<Placement, CoreError> {
     best_placement_by(net, system, SelectionObjective::ClosestDelay)
 }
 
@@ -199,12 +190,10 @@ pub fn best_placement_by(
         let placement = placement_for(net, v0, system)?;
         let delay = match objective {
             SelectionObjective::ClosestDelay => {
-                evaluate_closest(net, &clients, system, &placement, model)?
-                    .avg_network_delay_ms
+                evaluate_closest(net, &clients, system, &placement, model)?.avg_network_delay_ms
             }
             SelectionObjective::BalancedDelay => {
-                evaluate_balanced(net, &clients, system, &placement, model)?
-                    .avg_network_delay_ms
+                evaluate_balanced(net, &clients, system, &placement, model)?.avg_network_delay_ms
             }
         };
         match &best {
@@ -250,15 +239,12 @@ mod tests {
         caps[ball[0].index()] = 0.1;
         caps[ball[1].index()] = 0.1;
         let profile = CapacityProfile::from_values(caps);
-        let p =
-            ball_placement_capacitated(&net, NodeId::new(0), 4, &profile, 0.5).unwrap();
+        let p = ball_placement_capacitated(&net, NodeId::new(0), 4, &profile, 0.5).unwrap();
         assert!(p.is_one_to_one());
         assert!(!p.support_set().contains(&ball[0]));
         assert!(!p.support_set().contains(&ball[1]));
         // Asking for more nodes than have capacity fails.
-        assert!(
-            ball_placement_capacitated(&net, NodeId::new(0), 5, &profile, 0.5).is_err()
-        );
+        assert!(ball_placement_capacitated(&net, NodeId::new(0), 5, &profile, 0.5).is_err());
     }
 
     #[test]
@@ -292,14 +278,8 @@ mod tests {
         let k = 5;
         let sys = QuorumSystem::grid(k).unwrap();
         let p = grid_shell_placement(&net, v0, k).unwrap();
-        let eval = evaluate_closest(
-            &net,
-            &[v0],
-            &sys,
-            &p,
-            ResponseModel::network_delay_only(),
-        )
-        .unwrap();
+        let eval =
+            evaluate_closest(&net, &[v0], &sys, &p, ResponseModel::network_delay_only()).unwrap();
         let ball = net.ball(v0, k * k);
         let opt = net.distance(v0, ball[2 * k - 2]);
         assert!(
@@ -363,11 +343,15 @@ mod tests {
         let grid = QuorumSystem::grid(3).unwrap();
         let maj = QuorumSystem::majority(MajorityKind::SimpleMajority, 2).unwrap();
         assert_eq!(
-            placement_for(&net, NodeId::new(0), &grid).unwrap().universe_size(),
+            placement_for(&net, NodeId::new(0), &grid)
+                .unwrap()
+                .universe_size(),
             9
         );
         assert_eq!(
-            placement_for(&net, NodeId::new(0), &maj).unwrap().universe_size(),
+            placement_for(&net, NodeId::new(0), &maj)
+                .unwrap()
+                .universe_size(),
             5
         );
     }

@@ -55,7 +55,10 @@ impl Placement {
                 reason: format!("node {bad} out of range for {num_nodes} nodes"),
             });
         }
-        Ok(Placement { assignment, num_nodes })
+        Ok(Placement {
+            assignment,
+            num_nodes,
+        })
     }
 
     /// Number of universe elements.

@@ -42,7 +42,10 @@ pub struct ResponseModel {
 impl ResponseModel {
     /// `α = 0`: response time is pure network delay (§6, low demand).
     pub fn network_delay_only() -> Self {
-        ResponseModel { alpha: 0.0, dedup: false }
+        ResponseModel {
+            alpha: 0.0,
+            dedup: false,
+        }
     }
 
     /// Explicit `α` in milliseconds per unit load.
@@ -51,8 +54,14 @@ impl ResponseModel {
     ///
     /// Panics if `alpha` is negative or not finite.
     pub fn with_alpha(alpha: f64) -> Self {
-        assert!(alpha.is_finite() && alpha >= 0.0, "α must be a nonnegative number");
-        ResponseModel { alpha, dedup: false }
+        assert!(
+            alpha.is_finite() && alpha >= 0.0,
+            "α must be a nonnegative number"
+        );
+        ResponseModel {
+            alpha,
+            dedup: false,
+        }
     }
 
     /// The paper's parameterization: `α = op_srv_time × client_demand`
@@ -71,7 +80,10 @@ impl ResponseModel {
             client_demand.is_finite() && client_demand >= 0.0,
             "demand must be nonnegative"
         );
-        ResponseModel { alpha: op_srv_time_ms * client_demand, dedup: false }
+        ResponseModel {
+            alpha: op_srv_time_ms * client_demand,
+            dedup: false,
+        }
     }
 
     /// The §8 future-work variant: "a server hosting multiple universe
@@ -202,7 +214,11 @@ pub fn evaluate_choices(
     choices: &[Quorum],
     model: ResponseModel,
 ) -> Evaluation {
-    assert_eq!(choices.len(), clients.len(), "one choice per client required");
+    assert_eq!(
+        choices.len(),
+        clients.len(),
+        "one choice per client required"
+    );
     assert!(!clients.is_empty(), "at least one client required");
     let inv = 1.0 / clients.len() as f64;
     let node_loads = if model.deduplicates_execution() {
@@ -309,8 +325,7 @@ pub fn evaluate_matrix(
         }
         loads
     } else {
-        let element_loads =
-            strategy.element_loads(quorums, placement.universe_size());
+        let element_loads = strategy.element_loads(quorums, placement.universe_size());
         placement.node_loads(&element_loads)
     };
 
@@ -499,11 +514,7 @@ mod tests {
         let net = datasets::planetlab_50();
         let clients = all_clients(&net);
         let sys = QuorumSystem::grid(3).unwrap();
-        let placement = Placement::new(
-            (0..9).map(NodeId::new).collect(),
-            net.len(),
-        )
-        .unwrap();
+        let placement = Placement::new((0..9).map(NodeId::new).collect(), net.len()).unwrap();
         let mut prev = 0.0;
         for alpha in [0.0, 10.0, 50.0, 200.0] {
             let eval = evaluate_closest(
@@ -526,17 +537,14 @@ mod tests {
         let net = datasets::euclidean_random(8, 50.0, 3);
         let clients = all_clients(&net);
         let sys = QuorumSystem::majority(MajorityKind::SimpleMajority, 2).unwrap();
-        let placement =
-            Placement::new((0..5).map(NodeId::new).collect(), net.len()).unwrap();
+        let placement = Placement::new((0..5).map(NodeId::new).collect(), net.len()).unwrap();
         let model = ResponseModel::with_alpha(25.0);
 
         let fast = evaluate_balanced(&net, &clients, &sys, &placement, model).unwrap();
 
         let quorums = sys.enumerate(1000).unwrap();
         let strategy = StrategyMatrix::uniform(clients.len(), quorums.len());
-        let slow =
-            evaluate_matrix(&net, &clients, &placement, &quorums, &strategy, model)
-                .unwrap();
+        let slow = evaluate_matrix(&net, &clients, &placement, &quorums, &strategy, model).unwrap();
 
         assert!(
             (fast.avg_response_ms - slow.avg_response_ms).abs() < 1e-9,
@@ -555,8 +563,7 @@ mod tests {
         let net = datasets::euclidean_random(10, 50.0, 5);
         let clients = all_clients(&net);
         let sys = QuorumSystem::grid(3).unwrap();
-        let placement =
-            Placement::new((0..9).map(NodeId::new).collect(), net.len()).unwrap();
+        let placement = Placement::new((0..9).map(NodeId::new).collect(), net.len()).unwrap();
         let eval = evaluate_balanced(
             &net,
             &clients,
@@ -576,8 +583,7 @@ mod tests {
         let net = line4();
         let clients = all_clients(&net);
         let sys = QuorumSystem::grid(2).unwrap();
-        let placement =
-            Placement::new((0..4).map(NodeId::new).collect(), net.len()).unwrap();
+        let placement = Placement::new((0..4).map(NodeId::new).collect(), net.len()).unwrap();
         let quorums = sys.enumerate(16).unwrap();
         let bad_rows = StrategyMatrix::uniform(2, quorums.len());
         let err = evaluate_matrix(
@@ -598,8 +604,7 @@ mod tests {
         // delay for that client.
         let net = line4();
         let sys = QuorumSystem::majority(MajorityKind::SimpleMajority, 1).unwrap();
-        let all_on_zero =
-            Placement::new(vec![NodeId::new(0); 3], net.len()).unwrap();
+        let all_on_zero = Placement::new(vec![NodeId::new(0); 3], net.len()).unwrap();
         let clients = vec![NodeId::new(0)];
         let eval = evaluate_closest(
             &net,
@@ -632,8 +637,7 @@ mod tests {
     fn empty_clients_panics() {
         let net = line4();
         let sys = QuorumSystem::grid(2).unwrap();
-        let placement =
-            Placement::new((0..4).map(NodeId::new).collect(), net.len()).unwrap();
+        let placement = Placement::new((0..4).map(NodeId::new).collect(), net.len()).unwrap();
         let _ = evaluate_closest(
             &net,
             &[],

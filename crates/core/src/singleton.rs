@@ -19,10 +19,7 @@ use crate::{CoreError, Placement};
 ///
 /// [`CoreError::SizeMismatch`] if the network is empty or `universe_size`
 /// is zero.
-pub fn median_placement(
-    net: &Network,
-    universe_size: usize,
-) -> Result<Placement, CoreError> {
+pub fn median_placement(net: &Network, universe_size: usize) -> Result<Placement, CoreError> {
     if net.is_empty() {
         return Err(CoreError::SizeMismatch {
             reason: "empty network".to_string(),
@@ -41,12 +38,8 @@ pub fn median_placement(
 /// quorum is itself. Combined with [`median_placement`], this is the
 /// paper's "Singleton" line.
 pub fn singleton_system() -> QuorumSystem {
-    QuorumSystem::explicit(
-        1,
-        vec![Quorum::new(vec![ElementId::new(0)])],
-        "Singleton",
-    )
-    .expect("the one-element system is trivially valid")
+    QuorumSystem::explicit(1, vec![Quorum::new(vec![ElementId::new(0)])], "Singleton")
+        .expect("the one-element system is trivially valid")
 }
 
 /// Average network delay of the singleton deployment: the mean distance
@@ -59,7 +52,11 @@ pub fn singleton_system() -> QuorumSystem {
 pub fn singleton_delay(net: &Network, clients: &[NodeId]) -> f64 {
     assert!(!clients.is_empty(), "at least one client required");
     let median = net.median();
-    clients.iter().map(|&v| net.distance(v, median)).sum::<f64>() / clients.len() as f64
+    clients
+        .iter()
+        .map(|&v| net.distance(v, median))
+        .sum::<f64>()
+        / clients.len() as f64
 }
 
 #[cfg(test)]
@@ -101,8 +98,7 @@ mod tests {
         let at_median = singleton_delay(&net, &clients);
         for v in net.nodes() {
             let avg: f64 =
-                clients.iter().map(|&c| net.distance(c, v)).sum::<f64>()
-                    / clients.len() as f64;
+                clients.iter().map(|&c| net.distance(c, v)).sum::<f64>() / clients.len() as f64;
             assert!(at_median <= avg + 1e-9);
         }
     }

@@ -17,7 +17,6 @@
 //! picking the sweep point with the lowest *response time* (not delay)
 //! yields the paper's tuned strategies ([`tune_uniform_capacity`]).
 
-
 #![allow(clippy::needless_range_loop)] // index loops mirror the matrix math
 use qp_lp::{Model, Sense, SolverOptions, VarId};
 use qp_quorum::{Quorum, StrategyMatrix};
@@ -134,8 +133,7 @@ pub fn optimize_strategies(
     let rows: Vec<Vec<f64>> = vars
         .iter()
         .map(|row_vars| {
-            let mut row: Vec<f64> =
-                row_vars.iter().map(|&p| sol.value(p).max(0.0)).collect();
+            let mut row: Vec<f64> = row_vars.iter().map(|&p| sol.value(p).max(0.0)).collect();
             // Repair roundoff so each row is an exact distribution.
             let total: f64 = row.iter().sum();
             if total > 0.0 {
@@ -248,8 +246,7 @@ pub fn evaluate_at_nonuniform_capacity(
     gamma: f64,
     model: ResponseModel,
 ) -> Result<(StrategyMatrix, Evaluation), CoreError> {
-    let caps =
-        CapacityProfile::inverse_distance(net, &placement.support_set(), beta, gamma)?;
+    let caps = CapacityProfile::inverse_distance(net, &placement.support_set(), beta, gamma)?;
     let strategy = optimize_strategies(net, clients, placement, quorums, &caps)?;
     let eval = evaluate_matrix(net, clients, placement, quorums, &strategy, model)?;
     Ok((strategy, eval))
@@ -280,8 +277,7 @@ mod tests {
         // always use the closest quorum.
         let (net, clients, sys, placement, quorums) = setup(3);
         let caps = CapacityProfile::unbounded(net.len());
-        let strategy =
-            optimize_strategies(&net, &clients, &placement, &quorums, &caps).unwrap();
+        let strategy = optimize_strategies(&net, &clients, &placement, &quorums, &caps).unwrap();
         let lp_eval = evaluate_matrix(
             &net,
             &clients,
@@ -312,8 +308,7 @@ mod tests {
         let (net, clients, _sys, placement, quorums) = setup(3);
         let c = 0.7;
         let caps = CapacityProfile::uniform(net.len(), c);
-        let strategy =
-            optimize_strategies(&net, &clients, &placement, &quorums, &caps).unwrap();
+        let strategy = optimize_strategies(&net, &clients, &placement, &quorums, &caps).unwrap();
         let eval = evaluate_matrix(
             &net,
             &clients,
@@ -336,8 +331,7 @@ mod tests {
         // Below L_opt no strategy can satisfy every node.
         let c = sys.optimal_load().unwrap() * 0.5;
         let caps = CapacityProfile::uniform(net.len(), c);
-        let err = optimize_strategies(&net, &clients, &placement, &quorums, &caps)
-            .unwrap_err();
+        let err = optimize_strategies(&net, &clients, &placement, &quorums, &caps).unwrap_err();
         assert_eq!(err, CoreError::Infeasible);
     }
 
@@ -346,8 +340,7 @@ mod tests {
         let (net, clients, sys, placement, quorums) = setup(3);
         let l_opt = sys.optimal_load().unwrap();
         let caps = CapacityProfile::uniform(net.len(), l_opt + 1e-9);
-        let strategy =
-            optimize_strategies(&net, &clients, &placement, &quorums, &caps).unwrap();
+        let strategy = optimize_strategies(&net, &clients, &placement, &quorums, &caps).unwrap();
         let eval = evaluate_matrix(
             &net,
             &clients,
@@ -367,8 +360,7 @@ mod tests {
         for c in [0.6, 0.75, 0.9, 1.0] {
             let caps = CapacityProfile::uniform(net.len(), c);
             let strategy =
-                optimize_strategies(&net, &clients, &placement, &quorums, &caps)
-                    .unwrap();
+                optimize_strategies(&net, &clients, &placement, &quorums, &caps).unwrap();
             let eval = evaluate_matrix(
                 &net,
                 &clients,

@@ -88,7 +88,11 @@ impl ServiceStation {
             service_ms >= 0.0 && service_ms.is_finite(),
             "service time must be a nonnegative number"
         );
-        let start = if arrival > self.free_at { arrival } else { self.free_at };
+        let start = if arrival > self.free_at {
+            arrival
+        } else {
+            self.free_at
+        };
         let depart = SimTime::from_ms(start.as_ms() + service_ms);
         self.total_wait_ms += start.as_ms() - arrival.as_ms();
         self.busy_ms += service_ms;

@@ -65,7 +65,11 @@ impl<E> Ord for Entry<E> {
 impl<E> EventQueue<E> {
     /// An empty queue at time zero.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), seq: 0, now: SimTime::ZERO }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+        }
     }
 
     /// Schedules `event` at `time`.
@@ -80,7 +84,11 @@ impl<E> EventQueue<E> {
             "cannot schedule at {time} before current time {}",
             self.now
         );
-        self.heap.push(Entry { time, seq: self.seq, event });
+        self.heap.push(Entry {
+            time,
+            seq: self.seq,
+            event,
+        });
         self.seq += 1;
     }
 

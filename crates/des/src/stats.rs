@@ -27,7 +27,13 @@ pub struct Tally {
 impl Tally {
     /// An empty accumulator.
     pub fn new() -> Self {
-        Tally { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Tally {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Adds an observation.
@@ -122,7 +128,10 @@ pub struct Sample {
 impl Sample {
     /// An empty sample.
     pub fn new() -> Self {
-        Sample { values: Vec::new(), sorted: true }
+        Sample {
+            values: Vec::new(),
+            sorted: true,
+        }
     }
 
     /// Adds an observation.

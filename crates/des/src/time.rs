@@ -32,7 +32,10 @@ impl SimTime {
     ///
     /// Panics if `ms` is negative, NaN, or infinite.
     pub fn from_ms(ms: f64) -> Self {
-        assert!(ms.is_finite() && ms >= 0.0, "time must be a nonnegative number");
+        assert!(
+            ms.is_finite() && ms >= 0.0,
+            "time must be a nonnegative number"
+        );
         SimTime(ms)
     }
 
@@ -48,7 +51,9 @@ impl Eq for SimTime {}
 impl Ord for SimTime {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         // Finite by construction, so partial_cmp cannot fail.
-        self.0.partial_cmp(&other.0).expect("SimTime is always finite")
+        self.0
+            .partial_cmp(&other.0)
+            .expect("SimTime is always finite")
     }
 }
 

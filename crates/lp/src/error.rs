@@ -52,8 +52,13 @@ mod tests {
 
     #[test]
     fn display_is_lowercase_and_concise() {
-        assert_eq!(LpError::Infeasible.to_string(), "linear program is infeasible");
-        assert!(LpError::IterationLimit { iterations: 7 }.to_string().contains('7'));
+        assert_eq!(
+            LpError::Infeasible.to_string(),
+            "linear program is infeasible"
+        );
+        assert!(LpError::IterationLimit { iterations: 7 }
+            .to_string()
+            .contains('7'));
     }
 
     #[test]

@@ -29,6 +29,7 @@ use crate::{Model, Sense, VarId};
 /// assert!(text.starts_with("Maximize"));
 /// assert!(text.contains("3 x + 2 y <= 18"));
 /// ```
+#[allow(clippy::needless_range_loop)] // j doubles as VarId index and name index
 pub fn format_lp(model: &Model) -> String {
     let names = unique_names(model);
     let mut out = String::new();
@@ -122,7 +123,13 @@ fn unique_names(model: &Model) -> Vec<String> {
             let raw = model.var_name(VarId::from_index(j));
             let mut name: String = raw
                 .chars()
-                .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+                .map(|c| {
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        c
+                    } else {
+                        '_'
+                    }
+                })
                 .collect();
             if name.is_empty() || name.chars().next().unwrap().is_ascii_digit() {
                 name = format!("v_{name}");

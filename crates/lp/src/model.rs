@@ -110,8 +110,14 @@ impl Model {
     /// `lower > upper`.
     pub fn add_var(&mut self, name: &str, lower: f64, upper: f64, obj: f64) -> VarId {
         assert!(!lower.is_nan() && !upper.is_nan(), "NaN bound for {name}");
-        assert!(obj.is_finite(), "objective coefficient for {name} must be finite");
-        assert!(lower <= upper, "lower bound {lower} exceeds upper bound {upper} for {name}");
+        assert!(
+            obj.is_finite(),
+            "objective coefficient for {name} must be finite"
+        );
+        assert!(
+            lower <= upper,
+            "lower bound {lower} exceeds upper bound {upper} for {name}"
+        );
         let id = VarId(self.names.len());
         self.names.push(name.to_string());
         self.lower.push(lower);
@@ -172,7 +178,11 @@ impl Model {
             }
         }
         combined.retain(|&(_, c)| c != 0.0);
-        self.rows.push(Row { terms: combined, relation, rhs });
+        self.rows.push(Row {
+            terms: combined,
+            relation,
+            rhs,
+        });
         self.rows.len() - 1
     }
 
@@ -254,9 +264,7 @@ impl Model {
 
     /// Iterates the constraint rows as `(terms, relation, rhs)`, where
     /// terms pair raw column indices with coefficients.
-    pub fn constraint_rows(
-        &self,
-    ) -> impl Iterator<Item = (&[(usize, f64)], Relation, f64)> {
+    pub fn constraint_rows(&self) -> impl Iterator<Item = (&[(usize, f64)], Relation, f64)> {
         self.rows
             .iter()
             .map(|r| (r.terms.as_slice(), r.relation, r.rhs))
@@ -322,7 +330,11 @@ impl Prepared {
                 cols.push(Vec::new());
                 costs.push(c);
                 obj_offset += c * lo;
-                recover.push(Recover::Shifted { col, shift: lo, sign: 1.0 });
+                recover.push(Recover::Shifted {
+                    col,
+                    shift: lo,
+                    sign: 1.0,
+                });
                 if hi.is_finite() {
                     ub_rows.push((col, hi - lo));
                 }
@@ -332,7 +344,11 @@ impl Prepared {
                 cols.push(Vec::new());
                 costs.push(-c);
                 obj_offset += c * hi;
-                recover.push(Recover::Shifted { col, shift: hi, sign: -1.0 });
+                recover.push(Recover::Shifted {
+                    col,
+                    shift: hi,
+                    sign: -1.0,
+                });
             } else {
                 // Free variable: x = x⁺ - x⁻.
                 let pos = cols.len();

@@ -1,6 +1,5 @@
 //! Two-phase revised simplex with a dense explicit basis inverse.
 
-
 #![allow(clippy::needless_range_loop)] // index loops mirror the matrix math
 use crate::model::{Model, Prepared, Recover};
 use crate::{LpError, Solution};
@@ -57,7 +56,15 @@ impl<'a> Tableau<'a> {
         }
         // Start from the all-artificial basis: artificial i has column e_i.
         let basis = (0..m).map(|i| cols.len() + i).collect();
-        Tableau { cols, n_arts: m, m, b, binv, basis, tol }
+        Tableau {
+            cols,
+            n_arts: m,
+            m,
+            b,
+            binv,
+            basis,
+            tol,
+        }
     }
 
     /// The column of A for index `j` (artificials are identity columns).
@@ -250,7 +257,9 @@ fn run_phase(
 
     loop {
         if *iter_budget == 0 {
-            return Err(LpError::IterationLimit { iterations: total_iters });
+            return Err(LpError::IterationLimit {
+                iterations: total_iters,
+            });
         }
         *iter_budget -= 1;
         total_iters += 1;
@@ -400,7 +409,13 @@ pub(crate) fn solve_prepared(
     let costs = prepared.costs.clone();
     let phase2_cost = move |j: usize| if j < costs.len() { costs[j] } else { 0.0 };
     let phase2_allowed = move |j: usize| j < n_cols;
-    match run_phase(&mut t, &phase2_cost, &phase2_allowed, options, &mut iter_budget)? {
+    match run_phase(
+        &mut t,
+        &phase2_cost,
+        &phase2_allowed,
+        options,
+        &mut iter_budget,
+    )? {
         PhaseEnd::Unbounded => return Err(LpError::Unbounded),
         PhaseEnd::Optimal => {}
     }
@@ -588,7 +603,14 @@ mod tests {
         let mut m = Model::new(Sense::Maximize);
         let n = 6;
         let xs: Vec<_> = (0..n)
-            .map(|i| m.add_var(&format!("x{i}"), 0.0, f64::INFINITY, 2f64.powi(n as i32 - 1 - i as i32)))
+            .map(|i| {
+                m.add_var(
+                    &format!("x{i}"),
+                    0.0,
+                    f64::INFINITY,
+                    2f64.powi(n as i32 - 1 - i as i32),
+                )
+            })
             .collect();
         for i in 0..n {
             let mut terms: Vec<_> = (0..i)

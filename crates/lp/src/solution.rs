@@ -30,14 +30,14 @@ pub struct Solution {
 }
 
 impl Solution {
-    pub(crate) fn new(
-        num_vars: usize,
-        values: Vec<f64>,
-        objective: f64,
-        duals: Vec<f64>,
-    ) -> Self {
+    pub(crate) fn new(num_vars: usize, values: Vec<f64>, objective: f64, duals: Vec<f64>) -> Self {
         debug_assert_eq!(num_vars, values.len());
-        Solution { num_vars, values, objective, duals }
+        Solution {
+            num_vars,
+            values,
+            objective,
+            duals,
+        }
     }
 
     /// Optimal value of a variable.

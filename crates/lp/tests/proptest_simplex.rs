@@ -1,7 +1,6 @@
 //! Property tests for the simplex solver: random boxes-plus-halfspaces LPs
 //! are solved and cross-checked against brute-force vertex enumeration.
 
-
 #![allow(clippy::needless_range_loop)] // index loops mirror the matrix math
 use proptest::prelude::*;
 use qp_lp::{Model, Sense};
@@ -63,11 +62,13 @@ fn brute_force_min(c: &[f64], u: &[f64], a: &[Vec<f64>], b: &[f64]) -> f64 {
         let mat: Vec<Vec<f64>> = choice.iter().map(|&i| rows[i].0.clone()).collect();
         let rhs: Vec<f64> = choice.iter().map(|&i| rows[i].1).collect();
         if let Some(x) = solve_dense(mat, rhs) {
-            let feasible = x.iter().enumerate().all(|(j, &xj)| {
-                xj >= -1e-7 && xj <= u[j] + 1e-7
-            }) && a.iter().zip(b).all(|(ai, &bi)| {
-                ai.iter().zip(&x).map(|(p, q)| p * q).sum::<f64>() <= bi + 1e-7
-            });
+            let feasible = x
+                .iter()
+                .enumerate()
+                .all(|(j, &xj)| xj >= -1e-7 && xj <= u[j] + 1e-7)
+                && a.iter().zip(b).all(|(ai, &bi)| {
+                    ai.iter().zip(&x).map(|(p, q)| p * q).sum::<f64>() <= bi + 1e-7
+                });
             if feasible {
                 let obj: f64 = c.iter().zip(&x).map(|(p, q)| p * q).sum();
                 best = best.min(obj);
@@ -91,16 +92,11 @@ fn brute_force_min(c: &[f64], u: &[f64], a: &[Vec<f64>], b: &[f64]) -> f64 {
     }
 }
 
-fn lp_instance() -> impl Strategy<
-    Value = (Vec<f64>, Vec<f64>, Vec<Vec<f64>>, Vec<f64>),
-> {
+fn lp_instance() -> impl Strategy<Value = (Vec<f64>, Vec<f64>, Vec<Vec<f64>>, Vec<f64>)> {
     (2usize..=3, 0usize..=4).prop_flat_map(|(n, k)| {
         let costs = proptest::collection::vec(-5.0f64..5.0, n);
         let uppers = proptest::collection::vec(0.5f64..8.0, n);
-        let amat = proptest::collection::vec(
-            proptest::collection::vec(-3.0f64..3.0, n),
-            k,
-        );
+        let amat = proptest::collection::vec(proptest::collection::vec(-3.0f64..3.0, n), k);
         let bvec = proptest::collection::vec(0.1f64..6.0, k);
         (costs, uppers, amat, bvec)
     })

@@ -94,7 +94,11 @@ pub struct SimReport {
 #[derive(Debug)]
 enum Event {
     /// A request fragment arrives at a physical node.
-    Arrival { node: usize, service_ms: f64, request: usize },
+    Arrival {
+        node: usize,
+        service_ms: f64,
+        request: usize,
+    },
     /// A server's reply reaches the issuing client.
     Reply { request: usize },
 }
@@ -201,8 +205,7 @@ pub fn simulate(
 
     let mut queue: EventQueue<Event> = EventQueue::new();
     // One station per physical node: co-located elements share a machine.
-    let mut servers: Vec<ServiceStation> =
-        (0..net.len()).map(|_| ServiceStation::new()).collect();
+    let mut servers: Vec<ServiceStation> = (0..net.len()).map(|_| ServiceStation::new()).collect();
     let mut requests: Vec<RequestState> = Vec::new();
     let mut issued = vec![0usize; n_clients];
     let mut response_sample = Sample::new();
@@ -210,9 +213,8 @@ pub fn simulate(
     let mut per_client: Vec<Tally> = (0..n_clients).map(|_| Tally::new()).collect();
 
     // Which population location each client belongs to (for Weighted rows).
-    let location_of_client: Vec<usize> = (0..n_clients)
-        .map(|c| c / clients.per_location())
-        .collect();
+    let location_of_client: Vec<usize> =
+        (0..n_clients).map(|c| c / clients.per_location()).collect();
 
     let service_of = |element: usize, config: &ProtocolConfig| -> f64 {
         let mult = config
@@ -223,95 +225,108 @@ pub fn simulate(
     };
 
     // Issue the first request of every client at t = 0.
-    let issue =
-        |client: usize,
-         now: SimTime,
-         rng: &mut StdRng,
-         queue: &mut EventQueue<Event>,
-         requests: &mut Vec<RequestState>,
-         issued: &mut Vec<usize>| {
-            let loc = client_locs[client];
-            let quorum = match &choice {
-                QuorumChoice::Balanced => system.sample_uniform(rng),
-                QuorumChoice::Closest => closest_by_location[location_of_client[client]].clone(),
-                QuorumChoice::Weighted { quorums, strategy } => {
-                    let row = strategy.row(location_of_client[client]);
-                    let mut pick: f64 = rng.gen_range(0.0..1.0);
-                    let mut idx = quorums.len() - 1;
-                    for (i, &p) in row.iter().enumerate() {
-                        if pick < p {
-                            idx = i;
-                            break;
-                        }
-                        pick -= p;
+    let issue = |client: usize,
+                 now: SimTime,
+                 rng: &mut StdRng,
+                 queue: &mut EventQueue<Event>,
+                 requests: &mut Vec<RequestState>,
+                 issued: &mut Vec<usize>| {
+        let loc = client_locs[client];
+        let quorum = match &choice {
+            QuorumChoice::Balanced => system.sample_uniform(rng),
+            QuorumChoice::Closest => closest_by_location[location_of_client[client]].clone(),
+            QuorumChoice::Weighted { quorums, strategy } => {
+                let row = strategy.row(location_of_client[client]);
+                let mut pick: f64 = rng.gen_range(0.0..1.0);
+                let mut idx = quorums.len() - 1;
+                for (i, &p) in row.iter().enumerate() {
+                    if pick < p {
+                        idx = i;
+                        break;
                     }
-                    quorums[idx].clone()
+                    pick -= p;
                 }
-            };
-            let seq = issued[client];
-            issued[client] += 1;
-            // Group the quorum's elements by hosting node: one message per
-            // element normally, one per node under deduplicated execution.
-            let mut by_node: Vec<(usize, Vec<usize>)> = Vec::new();
-            for u in quorum.iter() {
-                let w = placement.node_of(u).index();
-                match by_node.binary_search_by_key(&w, |&(n, _)| n) {
-                    Ok(pos) => by_node[pos].1.push(u.index()),
-                    Err(pos) => by_node.insert(pos, (w, vec![u.index()])),
-                }
-            }
-            let mut messages: Vec<(usize, f64)> = Vec::new();
-            let mut floor_ms = f64::MIN;
-            for (w, elems) in &by_node {
-                let d = net.distance(loc, qp_topology::NodeId::new(*w));
-                if config.dedup_colocated {
-                    let svc = elems
-                        .iter()
-                        .map(|&u| service_of(u, config))
-                        .fold(0.0, f64::max);
-                    messages.push((*w, svc));
-                    floor_ms = floor_ms.max(d + svc);
-                } else {
-                    let mut total = 0.0;
-                    for &u in elems {
-                        let svc = service_of(u, config);
-                        messages.push((*w, svc));
-                        total += svc;
-                    }
-                    // Same-node messages serialize even on an idle system.
-                    floor_ms = floor_ms.max(d + total);
-                }
-            }
-            let request = requests.len();
-            requests.push(RequestState {
-                client,
-                sent_at: now,
-                remaining: messages.len(),
-                floor_ms,
-                measured: seq >= config.warmup_requests,
-            });
-            for (w, service_ms) in messages {
-                let one_way = net.distance(loc, qp_topology::NodeId::new(w)) / 2.0;
-                queue.push(
-                    now + one_way,
-                    Event::Arrival { node: w, service_ms, request },
-                );
+                quorums[idx].clone()
             }
         };
+        let seq = issued[client];
+        issued[client] += 1;
+        // Group the quorum's elements by hosting node: one message per
+        // element normally, one per node under deduplicated execution.
+        let mut by_node: Vec<(usize, Vec<usize>)> = Vec::new();
+        for u in quorum.iter() {
+            let w = placement.node_of(u).index();
+            match by_node.binary_search_by_key(&w, |&(n, _)| n) {
+                Ok(pos) => by_node[pos].1.push(u.index()),
+                Err(pos) => by_node.insert(pos, (w, vec![u.index()])),
+            }
+        }
+        let mut messages: Vec<(usize, f64)> = Vec::new();
+        let mut floor_ms = f64::MIN;
+        for (w, elems) in &by_node {
+            let d = net.distance(loc, qp_topology::NodeId::new(*w));
+            if config.dedup_colocated {
+                let svc = elems
+                    .iter()
+                    .map(|&u| service_of(u, config))
+                    .fold(0.0, f64::max);
+                messages.push((*w, svc));
+                floor_ms = floor_ms.max(d + svc);
+            } else {
+                let mut total = 0.0;
+                for &u in elems {
+                    let svc = service_of(u, config);
+                    messages.push((*w, svc));
+                    total += svc;
+                }
+                // Same-node messages serialize even on an idle system.
+                floor_ms = floor_ms.max(d + total);
+            }
+        }
+        let request = requests.len();
+        requests.push(RequestState {
+            client,
+            sent_at: now,
+            remaining: messages.len(),
+            floor_ms,
+            measured: seq >= config.warmup_requests,
+        });
+        for (w, service_ms) in messages {
+            let one_way = net.distance(loc, qp_topology::NodeId::new(w)) / 2.0;
+            queue.push(
+                now + one_way,
+                Event::Arrival {
+                    node: w,
+                    service_ms,
+                    request,
+                },
+            );
+        }
+    };
 
     for client in 0..n_clients {
-        issue(client, SimTime::ZERO, &mut rng, &mut queue, &mut requests, &mut issued);
+        issue(
+            client,
+            SimTime::ZERO,
+            &mut rng,
+            &mut queue,
+            &mut requests,
+            &mut issued,
+        );
     }
 
     // Event loop.
     while let Some((now, event)) = queue.pop() {
         match event {
-            Event::Arrival { node, service_ms, request } => {
+            Event::Arrival {
+                node,
+                service_ms,
+                request,
+            } => {
                 let depart = servers[node].submit(now, service_ms);
                 let client = requests[request].client;
                 let loc = client_locs[client];
-                let one_way =
-                    net.distance(loc, qp_topology::NodeId::new(node)) / 2.0;
+                let one_way = net.distance(loc, qp_topology::NodeId::new(node)) / 2.0;
                 queue.push(depart + one_way, Event::Reply { request });
             }
             Event::Reply { request } => {
@@ -440,11 +455,28 @@ mod tests {
     fn deterministic_given_seed() {
         let (net, sys, placement) = setup();
         let clients = ClientPopulation::representative(&net, &sys, &placement, 5, 2);
-        let cfg = ProtocolConfig { seed: 42, ..ProtocolConfig::default() };
-        let a = simulate(&net, &sys, &placement, &clients, QuorumChoice::Balanced, &cfg)
-            .unwrap();
-        let b = simulate(&net, &sys, &placement, &clients, QuorumChoice::Balanced, &cfg)
-            .unwrap();
+        let cfg = ProtocolConfig {
+            seed: 42,
+            ..ProtocolConfig::default()
+        };
+        let a = simulate(
+            &net,
+            &sys,
+            &placement,
+            &clients,
+            QuorumChoice::Balanced,
+            &cfg,
+        )
+        .unwrap();
+        let b = simulate(
+            &net,
+            &sys,
+            &placement,
+            &clients,
+            QuorumChoice::Balanced,
+            &cfg,
+        )
+        .unwrap();
         assert_eq!(a.avg_response_ms, b.avg_response_ms);
         assert_eq!(a.per_client_response_ms, b.per_client_response_ms);
     }
@@ -488,14 +520,16 @@ mod tests {
         let quorums = grid.enumerate(16).unwrap();
         // Both locations always use quorum 0.
         let strategy = StrategyMatrix::deterministic(&[0, 0], quorums.len());
-        let clients =
-            ClientPopulation::new(vec![NodeId::new(0), NodeId::new(9)], 1);
+        let clients = ClientPopulation::new(vec![NodeId::new(0), NodeId::new(9)], 1);
         let report = simulate(
             &net,
             &grid,
             &placement,
             &clients,
-            QuorumChoice::Weighted { quorums: quorums.clone(), strategy },
+            QuorumChoice::Weighted {
+                quorums: quorums.clone(),
+                strategy,
+            },
             &ProtocolConfig::default(),
         )
         .unwrap();
@@ -518,7 +552,14 @@ mod tests {
             ..ProtocolConfig::default()
         };
         assert!(matches!(
-            simulate(&net, &sys, &placement, &clients, QuorumChoice::Balanced, &bad),
+            simulate(
+                &net,
+                &sys,
+                &placement,
+                &clients,
+                QuorumChoice::Balanced,
+                &bad
+            ),
             Err(SimError::SizeMismatch(_))
         ));
     }

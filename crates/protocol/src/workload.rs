@@ -24,9 +24,18 @@ impl ClientPopulation {
     ///
     /// Panics if `locations` is empty or `per_location` is zero.
     pub fn new(locations: Vec<NodeId>, per_location: usize) -> Self {
-        assert!(!locations.is_empty(), "at least one client location required");
-        assert!(per_location > 0, "at least one client per location required");
-        ClientPopulation { locations, per_location }
+        assert!(
+            !locations.is_empty(),
+            "at least one client location required"
+        );
+        assert!(
+            per_location > 0,
+            "at least one client per location required"
+        );
+        ClientPopulation {
+            locations,
+            per_location,
+        }
     }
 
     /// The paper's representative selection: choose `count` locations whose
@@ -48,7 +57,10 @@ impl ClientPopulation {
         per_location: usize,
     ) -> Self {
         assert!(count > 0 && count <= net.len(), "invalid location count");
-        assert!(per_location > 0, "at least one client per location required");
+        assert!(
+            per_location > 0,
+            "at least one client per location required"
+        );
         let all: Vec<NodeId> = net.nodes().collect();
         let eval = response::evaluate_balanced(
             net,
@@ -119,8 +131,14 @@ impl ClientPopulation {
     ///
     /// Panics if `per_location` is zero.
     pub fn with_per_location(&self, per_location: usize) -> Self {
-        assert!(per_location > 0, "at least one client per location required");
-        ClientPopulation { locations: self.locations.clone(), per_location }
+        assert!(
+            per_location > 0,
+            "at least one client per location required"
+        );
+        ClientPopulation {
+            locations: self.locations.clone(),
+            per_location,
+        }
     }
 }
 
@@ -167,7 +185,12 @@ mod tests {
         assert_eq!(pop.total_clients(), 4);
         assert_eq!(
             pop.client_locations(),
-            vec![NodeId::new(3), NodeId::new(3), NodeId::new(7), NodeId::new(7)]
+            vec![
+                NodeId::new(3),
+                NodeId::new(3),
+                NodeId::new(7),
+                NodeId::new(7)
+            ]
         );
     }
 

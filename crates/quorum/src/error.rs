@@ -58,7 +58,10 @@ impl fmt::Display for QuorumError {
                 write!(f, "strategy row {client} sums to {sum}, not 1")
             }
             QuorumError::ShapeMismatch { expected, actual } => {
-                write!(f, "strategy has {actual} columns but {expected} quorums exist")
+                write!(
+                    f,
+                    "strategy has {actual} columns but {expected} quorums exist"
+                )
             }
         }
     }
@@ -72,7 +75,10 @@ mod tests {
 
     #[test]
     fn messages_mention_specifics() {
-        let e = QuorumError::TooManyQuorums { count: 5985, limit: 100 };
+        let e = QuorumError::TooManyQuorums {
+            count: 5985,
+            limit: 100,
+        };
         assert!(e.to_string().contains("5985"));
     }
 

@@ -96,7 +96,10 @@ mod tests {
 
     #[test]
     fn max_t_for_universe() {
-        assert_eq!(MajorityKind::SimpleMajority.max_t_for_universe(50), Some(24));
+        assert_eq!(
+            MajorityKind::SimpleMajority.max_t_for_universe(50),
+            Some(24)
+        );
         assert_eq!(MajorityKind::TwoThirds.max_t_for_universe(50), Some(16));
         assert_eq!(MajorityKind::FourFifths.max_t_for_universe(50), Some(9));
         assert_eq!(MajorityKind::FourFifths.max_t_for_universe(5), None);
@@ -105,6 +108,9 @@ mod tests {
 
     #[test]
     fn display_names() {
-        assert_eq!(MajorityKind::SimpleMajority.to_string(), "(t+1, 2t+1) Majority");
+        assert_eq!(
+            MajorityKind::SimpleMajority.to_string(),
+            "(t+1, 2t+1) Majority"
+        );
     }
 }

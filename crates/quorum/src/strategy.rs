@@ -146,12 +146,7 @@ impl StrategyMatrix {
     ///
     /// Panics if `v` is out of range or `quorums.len()` mismatches the
     /// matrix.
-    pub fn client_element_loads(
-        &self,
-        v: usize,
-        quorums: &[Quorum],
-        universe: usize,
-    ) -> Vec<f64> {
+    pub fn client_element_loads(&self, v: usize, quorums: &[Quorum], universe: usize) -> Vec<f64> {
         assert_eq!(quorums.len(), self.num_quorums, "quorum list mismatch");
         let mut load = vec![0.0; universe];
         for (q, &p) in quorums.iter().zip(&self.rows[v]) {
@@ -269,11 +264,7 @@ mod tests {
 
     #[test]
     fn average_strategy() {
-        let s = StrategyMatrix::from_rows(vec![
-            vec![1.0, 0.0],
-            vec![0.0, 1.0],
-        ])
-        .unwrap();
+        let s = StrategyMatrix::from_rows(vec![vec![1.0, 0.0], vec![0.0, 1.0]]).unwrap();
         assert_eq!(s.average(), vec![0.5, 0.5]);
     }
 }

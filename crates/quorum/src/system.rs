@@ -1,6 +1,5 @@
 //! Quorum-system constructions.
 
-
 #![allow(clippy::needless_range_loop)] // index loops mirror the matrix math
 use std::fmt;
 
@@ -36,9 +35,18 @@ pub struct QuorumSystem {
 
 #[derive(Debug, Clone, PartialEq)]
 enum Inner {
-    Majority { kind: MajorityKind, t: usize },
-    Grid { k: usize },
-    Explicit { universe: usize, quorums: Vec<Quorum>, label: String },
+    Majority {
+        kind: MajorityKind,
+        t: usize,
+    },
+    Grid {
+        k: usize,
+    },
+    Explicit {
+        universe: usize,
+        quorums: Vec<Quorum>,
+        label: String,
+    },
 }
 
 impl QuorumSystem {
@@ -57,7 +65,9 @@ impl QuorumSystem {
                 requirement: "fault threshold must be at least 1",
             });
         }
-        Ok(QuorumSystem { inner: Inner::Majority { kind, t } })
+        Ok(QuorumSystem {
+            inner: Inner::Majority { kind, t },
+        })
     }
 
     /// The `k × k` Grid system (`k ≥ 1`): universe `n = k²` arranged in a
@@ -75,7 +85,9 @@ impl QuorumSystem {
                 requirement: "grid side must be at least 1",
             });
         }
-        Ok(QuorumSystem { inner: Inner::Grid { k } })
+        Ok(QuorumSystem {
+            inner: Inner::Grid { k },
+        })
     }
 
     /// An explicit system from a list of quorums.
@@ -112,7 +124,11 @@ impl QuorumSystem {
             });
         }
         Ok(QuorumSystem {
-            inner: Inner::Explicit { universe, quorums, label: label.to_string() },
+            inner: Inner::Explicit {
+                universe,
+                quorums,
+                label: label.to_string(),
+            },
         })
     }
 
@@ -142,18 +158,14 @@ impl QuorumSystem {
         match &self.inner {
             Inner::Majority { kind, t } => kind.quorum_size(*t),
             Inner::Grid { k } => 2 * k - 1,
-            Inner::Explicit { quorums, .. } => {
-                quorums.iter().map(Quorum::len).min().unwrap_or(0)
-            }
+            Inner::Explicit { quorums, .. } => quorums.iter().map(Quorum::len).min().unwrap_or(0),
         }
     }
 
     /// Total number of quorums (saturating; Majorities have `C(n, q)`).
     pub fn quorum_count(&self) -> u128 {
         match &self.inner {
-            Inner::Majority { kind, t } => {
-                binomial(kind.universe_size(*t), kind.quorum_size(*t))
-            }
+            Inner::Majority { kind, t } => binomial(kind.universe_size(*t), kind.quorum_size(*t)),
             Inner::Grid { k } => (k * k) as u128,
             Inner::Explicit { quorums, .. } => quorums.len() as u128,
         }
@@ -186,15 +198,11 @@ impl QuorumSystem {
                 // Need a full row i and a full column j; the shared cell
                 // (i, j) is counted in both tallies, so full row + full
                 // column of the candidate suffices.
-                let full_rows: Vec<usize> =
-                    (0..k).filter(|&i| row_count[i] == k).collect();
-                let full_cols: Vec<usize> =
-                    (0..k).filter(|&j| col_count[j] == k).collect();
+                let full_rows: Vec<usize> = (0..k).filter(|&i| row_count[i] == k).collect();
+                let full_cols: Vec<usize> = (0..k).filter(|&j| col_count[j] == k).collect();
                 !full_rows.is_empty() && !full_cols.is_empty()
             }
-            Inner::Explicit { quorums, .. } => {
-                quorums.iter().any(|q| q.is_subset_of(candidate))
-            }
+            Inner::Explicit { quorums, .. } => quorums.iter().any(|q| q.is_subset_of(candidate)),
         }
     }
 
@@ -256,7 +264,9 @@ impl QuorumSystem {
         Some(
             (0..n)
                 .map(|start| {
-                    (0..q).map(|off| ElementId::new((start + off) % n)).collect()
+                    (0..q)
+                        .map(|off| ElementId::new((start + off) % n))
+                        .collect()
                 })
                 .collect(),
         )
@@ -298,12 +308,16 @@ impl QuorumSystem {
                 let k = *k;
                 let row_max: Vec<f64> = (0..k)
                     .map(|i| {
-                        (0..k).map(|j| elem_cost[i * k + j]).fold(f64::MIN, f64::max)
+                        (0..k)
+                            .map(|j| elem_cost[i * k + j])
+                            .fold(f64::MIN, f64::max)
                     })
                     .collect();
                 let col_max: Vec<f64> = (0..k)
                     .map(|j| {
-                        (0..k).map(|i| elem_cost[i * k + j]).fold(f64::MIN, f64::max)
+                        (0..k)
+                            .map(|i| elem_cost[i * k + j])
+                            .fold(f64::MIN, f64::max)
                     })
                     .collect();
                 let mut best = (0, 0);
@@ -358,9 +372,7 @@ impl QuorumSystem {
                 let j = rng.gen_range(0..*k);
                 grid_quorum(*k, i, j)
             }
-            Inner::Explicit { quorums, .. } => {
-                quorums[rng.gen_range(0..quorums.len())].clone()
-            }
+            Inner::Explicit { quorums, .. } => quorums[rng.gen_range(0..quorums.len())].clone(),
         }
     }
 
@@ -488,7 +500,10 @@ mod tests {
         let m = QuorumSystem::majority(MajorityKind::FourFifths, 4).unwrap();
         // C(21,17) = 5985.
         let err = m.enumerate(1000).unwrap_err();
-        assert!(matches!(err, QuorumError::TooManyQuorums { count: 5985, .. }));
+        assert!(matches!(
+            err,
+            QuorumError::TooManyQuorums { count: 5985, .. }
+        ));
     }
 
     #[test]
@@ -584,7 +599,11 @@ mod tests {
         let row_only = Quorum::new(vec![ElementId::new(0), ElementId::new(1)]);
         assert!(!g.is_quorum(&row_only));
         // {0,1,2} = row 0 + column 0.
-        let q = Quorum::new(vec![ElementId::new(0), ElementId::new(1), ElementId::new(2)]);
+        let q = Quorum::new(vec![
+            ElementId::new(0),
+            ElementId::new(1),
+            ElementId::new(2),
+        ]);
         assert!(g.is_quorum(&q));
     }
 

@@ -13,7 +13,11 @@ use crate::{DistanceMatrix, NodeId};
 ///
 /// Panics if `n` exceeds the number of nodes or `v` is out of range.
 pub fn ball(dist: &DistanceMatrix, v: NodeId, n: usize) -> Vec<NodeId> {
-    assert!(n <= dist.len(), "ball size {n} exceeds node count {}", dist.len());
+    assert!(
+        n <= dist.len(),
+        "ball size {n} exceeds node count {}",
+        dist.len()
+    );
     let row = dist.row(v);
     let mut order: Vec<usize> = (0..dist.len()).collect();
     order.sort_by(|&a, &b| {

@@ -16,7 +16,6 @@
 //! are deterministic given a seed, so every figure in the evaluation is
 //! exactly reproducible.
 
-
 #![allow(clippy::needless_range_loop)] // index loops mirror the matrix math
 use rand::Rng;
 use rand::SeedableRng;
@@ -50,7 +49,13 @@ pub struct ClusterSpec {
 impl ClusterSpec {
     /// Convenience constructor.
     pub fn new(name: &str, lat: f64, lon: f64, radius_km: f64, weight: f64) -> Self {
-        ClusterSpec { name: name.to_string(), lat, lon, radius_km, weight }
+        ClusterSpec {
+            name: name.to_string(),
+            lat,
+            lon,
+            radius_km,
+            weight,
+        }
     }
 }
 
@@ -125,7 +130,10 @@ impl WanConfig {
         assert!(self.sites > 0, "sites must be positive");
         assert!(!self.clusters.is_empty(), "at least one cluster required");
         let total_weight: f64 = self.clusters.iter().map(|c| c.weight).sum();
-        assert!(total_weight > 0.0, "cluster weights must sum to a positive value");
+        assert!(
+            total_weight > 0.0,
+            "cluster weights must sum to a positive value"
+        );
         assert!(
             self.access_ms.0 >= 0.0 && self.access_ms.1 >= self.access_ms.0,
             "invalid access delay range"
@@ -389,7 +397,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "sites must be positive")]
     fn zero_sites_panics() {
-        let cfg = WanConfig { sites: 0, ..WanConfig::default() };
+        let cfg = WanConfig {
+            sites: 0,
+            ..WanConfig::default()
+        };
         let _ = cfg.generate(0);
     }
 }

@@ -43,13 +43,20 @@ impl DistanceMatrix {
         let n = rows.len();
         for row in rows {
             if row.len() != n {
-                return Err(TopologyError::NotSquare { rows: n, row_len: row.len() });
+                return Err(TopologyError::NotSquare {
+                    rows: n,
+                    row_len: row.len(),
+                });
             }
         }
         for (i, row) in rows.iter().enumerate() {
             for (j, &x) in row.iter().enumerate() {
                 if !x.is_finite() || x < 0.0 {
-                    return Err(TopologyError::InvalidDistance { from: i, to: j, value: x });
+                    return Err(TopologyError::InvalidDistance {
+                        from: i,
+                        to: j,
+                        value: x,
+                    });
                 }
                 if i == j && x != 0.0 {
                     return Err(TopologyError::NonzeroDiagonal { node: i, value: x });
@@ -74,7 +81,10 @@ impl DistanceMatrix {
     pub fn from_upper_triangle(n: usize, upper: &[f64]) -> Result<Self, TopologyError> {
         let expected = n * n.saturating_sub(1) / 2;
         if upper.len() != expected {
-            return Err(TopologyError::NotSquare { rows: n, row_len: upper.len() });
+            return Err(TopologyError::NotSquare {
+                rows: n,
+                row_len: upper.len(),
+            });
         }
         let mut data = vec![0.0; n * n];
         let mut it = upper.iter();
@@ -82,7 +92,11 @@ impl DistanceMatrix {
             for j in (i + 1)..n {
                 let &x = it.next().expect("length checked above");
                 if !x.is_finite() || x < 0.0 {
-                    return Err(TopologyError::InvalidDistance { from: i, to: j, value: x });
+                    return Err(TopologyError::InvalidDistance {
+                        from: i,
+                        to: j,
+                        value: x,
+                    });
                 }
                 data[i * n + j] = x;
                 data[j * n + i] = x;
@@ -108,7 +122,10 @@ impl DistanceMatrix {
     /// Panics if either node index is out of range.
     #[inline]
     pub fn get(&self, a: NodeId, b: NodeId) -> f64 {
-        assert!(a.index() < self.n && b.index() < self.n, "node out of range");
+        assert!(
+            a.index() < self.n && b.index() < self.n,
+            "node out of range"
+        );
         self.data[a.index() * self.n + b.index()]
     }
 

@@ -70,10 +70,9 @@ impl fmt::Display for TopologyError {
                 f,
                 "matrix is not square: {rows} rows but a row of length {row_len}"
             ),
-            TopologyError::InvalidDistance { from, to, value } => write!(
-                f,
-                "invalid distance {value} between nodes {from} and {to}"
-            ),
+            TopologyError::InvalidDistance { from, to, value } => {
+                write!(f, "invalid distance {value} between nodes {from} and {to}")
+            }
             TopologyError::NonzeroDiagonal { node, value } => {
                 write!(f, "nonzero diagonal entry {value} at node {node}")
             }
@@ -87,10 +86,9 @@ impl fmt::Display for TopologyError {
                 write!(f, "edge length {length} is not a positive finite number")
             }
             TopologyError::Disconnected => write!(f, "graph is disconnected"),
-            TopologyError::LabelCount { expected, actual } => write!(
-                f,
-                "expected {expected} labels but {actual} were supplied"
-            ),
+            TopologyError::LabelCount { expected, actual } => {
+                write!(f, "expected {expected} labels but {actual} were supplied")
+            }
         }
     }
 }
@@ -105,7 +103,11 @@ mod tests {
     fn display_messages_are_informative() {
         let e = TopologyError::Disconnected;
         assert_eq!(e.to_string(), "graph is disconnected");
-        let e = TopologyError::InvalidDistance { from: 1, to: 2, value: -3.0 };
+        let e = TopologyError::InvalidDistance {
+            from: 1,
+            to: 2,
+            value: -3.0,
+        };
         assert!(e.to_string().contains("-3"));
     }
 

@@ -44,7 +44,11 @@ pub struct Graph {
 impl Graph {
     /// Creates a graph with `n` nodes and no edges.
     pub fn new(n: usize) -> Self {
-        Graph { n, adj: vec![Vec::new(); n], edges: Vec::new() }
+        Graph {
+            n,
+            adj: vec![Vec::new(); n],
+            edges: Vec::new(),
+        }
     }
 
     /// Number of nodes.
@@ -75,7 +79,10 @@ impl Graph {
     pub fn add_edge(&mut self, a: NodeId, b: NodeId, length: f64) -> Result<(), TopologyError> {
         for &v in &[a, b] {
             if v.index() >= self.n {
-                return Err(TopologyError::NodeOutOfRange { node: v, len: self.n });
+                return Err(TopologyError::NodeOutOfRange {
+                    node: v,
+                    len: self.n,
+                });
             }
         }
         if !length.is_finite() || length <= 0.0 {
@@ -99,7 +106,10 @@ impl Graph {
         let mut dist = vec![f64::INFINITY; self.n];
         dist[src.index()] = 0.0;
         let mut heap = BinaryHeap::new();
-        heap.push(HeapItem { dist: 0.0, node: src.index() });
+        heap.push(HeapItem {
+            dist: 0.0,
+            node: src.index(),
+        });
         while let Some(HeapItem { dist: d, node: u }) = heap.pop() {
             if d > dist[u] {
                 continue;
@@ -228,7 +238,8 @@ mod tests {
         let mut g = Graph::new(5);
         let lens = [3.0, 1.0, 4.0, 1.0, 5.0];
         for (i, &l) in lens.iter().enumerate() {
-            g.add_edge(NodeId::new(i), NodeId::new((i + 1) % 5), l).unwrap();
+            g.add_edge(NodeId::new(i), NodeId::new((i + 1) % 5), l)
+                .unwrap();
         }
         let d = g.all_pairs_shortest_paths().unwrap();
         assert!(d.is_metric(1e-12));

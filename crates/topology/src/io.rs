@@ -54,8 +54,7 @@ pub fn parse_matrix(text: &str) -> Result<Network, TopologyError> {
             continue;
         }
         let fields: Vec<&str> = line.split_whitespace().collect();
-        let parsed: Result<Vec<f64>, _> =
-            fields.iter().map(|f| f.parse::<f64>()).collect();
+        let parsed: Result<Vec<f64>, _> = fields.iter().map(|f| f.parse::<f64>()).collect();
         match parsed {
             Ok(nums) => rows.push(nums),
             Err(_) if labels.is_none() && rows.is_empty() => {
@@ -102,8 +101,7 @@ mod tests {
 
     #[test]
     fn parses_with_header() {
-        let net = parse_matrix("# comment\nny  lon  tok\n0 70 180\n70 0 220\n180 220 0\n")
-            .unwrap();
+        let net = parse_matrix("# comment\nny  lon  tok\n0 70 180\n70 0 220\n180 220 0\n").unwrap();
         assert_eq!(net.len(), 3);
         assert_eq!(net.label(NodeId::new(1)), "lon");
         assert_eq!(net.distance(NodeId::new(0), NodeId::new(2)), 180.0);

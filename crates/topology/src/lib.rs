@@ -85,7 +85,10 @@ impl Network {
     pub fn from_distances(dist: DistanceMatrix) -> Self {
         let closed = dist.metric_closure();
         let labels = (0..closed.len()).map(|i| format!("site-{i}")).collect();
-        Network { dist: closed, labels }
+        Network {
+            dist: closed,
+            labels,
+        }
     }
 
     /// Builds a network from a sparse weighted graph via all-pairs shortest
@@ -106,10 +109,7 @@ impl Network {
     ///
     /// Returns [`TopologyError::LabelCount`] if `labels.len()` differs from
     /// the matrix dimension.
-    pub fn with_labels(
-        dist: DistanceMatrix,
-        labels: Vec<String>,
-    ) -> Result<Self, TopologyError> {
+    pub fn with_labels(dist: DistanceMatrix, labels: Vec<String>) -> Result<Self, TopologyError> {
         if labels.len() != dist.len() {
             return Err(TopologyError::LabelCount {
                 expected: dist.len(),
@@ -205,8 +205,14 @@ impl Network {
             }
         }
         let dist = DistanceMatrix::from_rows(&rows).expect("square by construction");
-        let labels = subset.iter().map(|&v| self.labels[v.index()].clone()).collect();
-        Network { dist: dist.metric_closure(), labels }
+        let labels = subset
+            .iter()
+            .map(|&v| self.labels[v.index()].clone())
+            .collect();
+        Network {
+            dist: dist.metric_closure(),
+            labels,
+        }
     }
 }
 
@@ -266,7 +272,13 @@ mod tests {
     fn with_labels_checks_count() {
         let m = DistanceMatrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
         let err = Network::with_labels(m, vec!["a".into()]).unwrap_err();
-        assert!(matches!(err, TopologyError::LabelCount { expected: 2, actual: 1 }));
+        assert!(matches!(
+            err,
+            TopologyError::LabelCount {
+                expected: 2,
+                actual: 1
+            }
+        ));
     }
 
     #[test]

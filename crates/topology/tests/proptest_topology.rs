@@ -1,6 +1,8 @@
 //! Property tests for the topology substrate: metric-closure laws, ball
 //! and median invariants, generator guarantees.
 
+#![allow(clippy::needless_range_loop)] // index loops mirror the matrix math
+
 use proptest::prelude::*;
 use qp_topology::{datasets, DistanceMatrix, Graph, Network, NodeId};
 

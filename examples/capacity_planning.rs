@@ -23,7 +23,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let quorums = grid.enumerate(10_000)?;
     let model = ResponseModel::from_demand(0.007, 16_000.0);
 
-    println!("deployment: {} on {} sites; L_opt = {l_opt:.3}\n", grid.label(), net.len());
+    println!(
+        "deployment: {} on {} sites; L_opt = {l_opt:.3}\n",
+        grid.label(),
+        net.len()
+    );
 
     // Untuned baselines.
     let closest = response::evaluate_closest(&net, &clients, &grid, &placement, model)?;
@@ -44,10 +48,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Lever 1: uniform capacity sweep.
     println!("\nuniform capacity sweep (LP 4.3–4.6):");
-    println!("{:>9} {:>12} {:>12} {:>9}", "capacity", "delay_ms", "response_ms", "max_load");
-    let sweep = strategy_lp::tune_uniform_capacity(
-        &net, &clients, &placement, &quorums, l_opt, 10, model,
-    )?;
+    println!(
+        "{:>9} {:>12} {:>12} {:>9}",
+        "capacity", "delay_ms", "response_ms", "max_load"
+    );
+    let sweep =
+        strategy_lp::tune_uniform_capacity(&net, &clients, &placement, &quorums, l_opt, 10, model)?;
     for (c, eval) in &sweep.points {
         println!(
             "{c:>9.3} {:>12.1} {:>12.1} {:>9.2}",
@@ -57,7 +63,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     let (best_c, best_eval) = sweep.best_point();
-    println!("  → best: capacity {best_c:.3}, response {:.1} ms", best_eval.avg_response_ms);
+    println!(
+        "  → best: capacity {best_c:.3}, response {:.1} ms",
+        best_eval.avg_response_ms
+    );
 
     // Lever 2: non-uniform capacities over [L_opt, c].
     println!("\nnon-uniform (inverse-distance) capacities, γ sweep:");
@@ -67,14 +76,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let (_, eval) = strategy_lp::evaluate_at_nonuniform_capacity(
             &net, &clients, &placement, &quorums, l_opt, *c, model,
         )?;
-        println!("{c:>9.3} {:>12.1} {:>9.2}", eval.avg_response_ms, eval.max_node_load());
+        println!(
+            "{c:>9.3} {:>12.1} {:>9.2}",
+            eval.avg_response_ms,
+            eval.max_node_load()
+        );
         best_nonuniform = best_nonuniform.min(eval.avg_response_ms);
     }
 
     println!("\nsummary (avg response, demand 16000):");
     println!("  closest strategy      {:8.1} ms", closest.avg_response_ms);
-    println!("  balanced strategy     {:8.1} ms", balanced.avg_response_ms);
-    println!("  LP, uniform caps      {:8.1} ms", best_eval.avg_response_ms);
+    println!(
+        "  balanced strategy     {:8.1} ms",
+        balanced.avg_response_ms
+    );
+    println!(
+        "  LP, uniform caps      {:8.1} ms",
+        best_eval.avg_response_ms
+    );
     println!("  LP, non-uniform caps  {:8.1} ms", best_nonuniform);
     Ok(())
 }

@@ -41,7 +41,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(|spoke| Quorum::new(vec![ElementId::new(0), ElementId::new(spoke)]))
         .collect();
     let wheel = QuorumSystem::explicit(5, quorums.clone(), "4-spoke wheel")?;
-    println!("system: {} ({} quorums of {})", wheel.label(), wheel.quorum_count(), wheel.min_quorum_size());
+    println!(
+        "system: {} ({} quorums of {})",
+        wheel.label(),
+        wheel.quorum_count(),
+        wheel.min_quorum_size()
+    );
 
     // Its optimal load has no closed form — compute it with the load LP.
     let (l_opt, _) = load::optimal_load_lp(&quorums, wheel.universe_size())?;
@@ -66,8 +71,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Strategy LP under tight hub pressure: the hub's load is pinned at 1,
     // so capacities only shape the spokes.
     let caps = CapacityProfile::uniform(net.len(), 1.0);
-    let strategy =
-        strategy_lp::optimize_strategies(&net, &clients, &placement, &quorums, &caps)?;
+    let strategy = strategy_lp::optimize_strategies(&net, &clients, &placement, &quorums, &caps)?;
     let tuned = response::evaluate_matrix(
         &net,
         &clients,

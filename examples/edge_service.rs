@@ -21,16 +21,21 @@ struct Candidate {
 fn candidates(max_universe: usize) -> Vec<Candidate> {
     let mut out = Vec::new();
     for t in [1usize, 3, 6] {
-        let sys = QuorumSystem::majority(MajorityKind::SimpleMajority, t)
-            .expect("t ≥ 1");
+        let sys = QuorumSystem::majority(MajorityKind::SimpleMajority, t).expect("t ≥ 1");
         if sys.universe_size() <= max_universe {
-            out.push(Candidate { label: sys.label(), system: sys });
+            out.push(Candidate {
+                label: sys.label(),
+                system: sys,
+            });
         }
     }
     for k in [3usize, 5, 7] {
         let sys = QuorumSystem::grid(k).expect("k ≥ 1");
         if sys.universe_size() <= max_universe {
-            out.push(Candidate { label: sys.label(), system: sys });
+            out.push(Candidate {
+                label: sys.label(),
+                system: sys,
+            });
         }
     }
     out
@@ -67,8 +72,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("{row}   (delay floor {single_delay:.1} ms)");
 
-    let mut best_per_demand: Vec<(f64, String)> =
-        demands.iter().map(|_| (f64::INFINITY, String::new())).collect();
+    let mut best_per_demand: Vec<(f64, String)> = demands
+        .iter()
+        .map(|_| (f64::INFINITY, String::new()))
+        .collect();
 
     for cand in candidates(net.len()) {
         let placement = one_to_one::best_placement(&net, &cand.system)?;

@@ -63,11 +63,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // cannot avoid it for long — response time degrades visibly.
     println!("\nfailure injection: server 0 degraded 25× (t = 2, 50 clients)");
     let sys = QuorumSystem::majority(MajorityKind::FourFifths, 2)?;
-    let placement = one_to_one::best_placement_by(
-        &net,
-        &sys,
-        one_to_one::SelectionObjective::BalancedDelay,
-    )?;
+    let placement =
+        one_to_one::best_placement_by(&net, &sys, one_to_one::SelectionObjective::BalancedDelay)?;
     let pop = ClientPopulation::representative(&net, &sys, &placement, 10, 5);
     for (label, mults) in [
         ("nominal", None),

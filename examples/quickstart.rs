@@ -12,11 +12,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    stand-in for the paper's PlanetLab measurements).
     let net = datasets::planetlab_50();
     let clients: Vec<NodeId> = net.nodes().collect();
-    println!("network: {} sites, mean RTT {:.1} ms", net.len(), net.distances().mean_distance());
+    println!(
+        "network: {} sites, mean RTT {:.1} ms",
+        net.len(),
+        net.distances().mean_distance()
+    );
 
     // 2. A quorum system: 3×3 Grid (9 logical servers, quorums of 5).
     let grid = QuorumSystem::grid(3)?;
-    println!("system:  {} — {} quorums of {}", grid.label(), grid.quorum_count(), grid.min_quorum_size());
+    println!(
+        "system:  {} — {} quorums of {}",
+        grid.label(),
+        grid.quorum_count(),
+        grid.min_quorum_size()
+    );
 
     // 3. Place it: best one-to-one placement across all anchor clients.
     let placement = one_to_one::best_placement(&net, &grid)?;
@@ -37,7 +46,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     println!("\nlow demand (closest quorum):");
     println!("  avg response      {:8.2} ms", low.avg_response_ms);
-    println!("  singleton baseline{:8.2} ms", singleton::singleton_delay(&net, &clients));
+    println!(
+        "  singleton baseline{:8.2} ms",
+        singleton::singleton_delay(&net, &clients)
+    );
 
     // 5. High demand: tune access strategies with the LP under a capacity
     //    sweep and report the best point.

@@ -128,25 +128,15 @@ impl Options {
                 "--strategy" => o.strategy = value("--strategy")?,
                 "--demand" => o.demand = parse_num(&value("--demand")?, "--demand")?,
                 "--op-time" => o.op_time = parse_num(&value("--op-time")?, "--op-time")?,
-                "--capacity" => {
-                    o.capacity = parse_num(&value("--capacity")?, "--capacity")?
-                }
+                "--capacity" => o.capacity = parse_num(&value("--capacity")?, "--capacity")?,
                 "--dedup" => o.dedup = true,
-                "--locations" => {
-                    o.locations = parse_usize(&value("--locations")?, "--locations")?
-                }
+                "--locations" => o.locations = parse_usize(&value("--locations")?, "--locations")?,
                 "--clients-per-location" => {
-                    o.clients_per_location = parse_usize(
-                        &value("--clients-per-location")?,
-                        "--clients-per-location",
-                    )?
+                    o.clients_per_location =
+                        parse_usize(&value("--clients-per-location")?, "--clients-per-location")?
                 }
-                "--requests" => {
-                    o.requests = parse_usize(&value("--requests")?, "--requests")?
-                }
-                "--seed" => {
-                    o.seed = parse_usize(&value("--seed")?, "--seed")? as u64
-                }
+                "--requests" => o.requests = parse_usize(&value("--requests")?, "--requests")?,
+                "--seed" => o.seed = parse_usize(&value("--seed")?, "--seed")? as u64,
                 other => return Err(format!("unknown flag `{other}`")),
             }
         }
@@ -155,8 +145,7 @@ impl Options {
 
     fn network(&self) -> Result<Network, String> {
         if let Some(path) = &self.topology_file {
-            let text = std::fs::read_to_string(path)
-                .map_err(|e| format!("reading {path}: {e}"))?;
+            let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
             return topo_io::parse_matrix(&text).map_err(|e| e.to_string());
         }
         match self.dataset.as_str() {
@@ -248,8 +237,7 @@ fn cmd_place(opts: &Options) -> Result<(), String> {
     }
     let clients: Vec<NodeId> = net.nodes().collect();
     let model = opts.model();
-    let placement =
-        one_to_one::best_placement(&net, &sys).map_err(|e| e.to_string())?;
+    let placement = one_to_one::best_placement(&net, &sys).map_err(|e| e.to_string())?;
 
     println!("system:    {}", sys.label());
     println!(
@@ -262,18 +250,25 @@ fn cmd_place(opts: &Options) -> Result<(), String> {
             .join(", ")
     );
 
-    let strategy = if opts.strategy.is_empty() { "closest" } else { &opts.strategy };
+    let strategy = if opts.strategy.is_empty() {
+        "closest"
+    } else {
+        &opts.strategy
+    };
     let eval = match strategy {
         "closest" => response::evaluate_closest(&net, &clients, &sys, &placement, model)
             .map_err(|e| e.to_string())?,
-        "balanced" => {
-            response::evaluate_balanced(&net, &clients, &sys, &placement, model)
-                .map_err(|e| e.to_string())?
-        }
+        "balanced" => response::evaluate_balanced(&net, &clients, &sys, &placement, model)
+            .map_err(|e| e.to_string())?,
         "lp" => {
             let quorums = sys.enumerate(100_000).map_err(|e| e.to_string())?;
             let (_, eval) = strategy_lp::evaluate_at_uniform_capacity(
-                &net, &clients, &placement, &quorums, opts.capacity, model,
+                &net,
+                &clients,
+                &placement,
+                &quorums,
+                opts.capacity,
+                model,
             )
             .map_err(|e| e.to_string())?;
             eval
@@ -291,7 +286,9 @@ fn cmd_place(opts: &Options) -> Result<(), String> {
             for (c, e) in &sweep.points {
                 println!(
                     "  cap {c:.3}: response {:7.1} ms, delay {:6.1} ms, max load {:.2}",
-                    e.avg_response_ms, e.avg_network_delay_ms, e.max_node_load()
+                    e.avg_response_ms,
+                    e.avg_network_delay_ms,
+                    e.max_node_load()
                 );
             }
             let (c, best) = sweep.best_point();
@@ -300,7 +297,10 @@ fn cmd_place(opts: &Options) -> Result<(), String> {
         }
         other => return Err(format!("unknown strategy `{other}`")),
     };
-    println!("strategy:  {strategy}{}", if opts.dedup { " (dedup)" } else { "" });
+    println!(
+        "strategy:  {strategy}{}",
+        if opts.dedup { " (dedup)" } else { "" }
+    );
     println!("avg response:      {:8.2} ms", eval.avg_response_ms);
     println!("avg network delay: {:8.2} ms", eval.avg_network_delay_ms);
     println!("max node load:     {:8.2}", eval.max_node_load());
@@ -317,12 +317,9 @@ fn cmd_simulate(opts: &Options) -> Result<(), String> {
             net.len()
         ));
     }
-    let placement = one_to_one::best_placement_by(
-        &net,
-        &sys,
-        one_to_one::SelectionObjective::BalancedDelay,
-    )
-    .map_err(|e| e.to_string())?;
+    let placement =
+        one_to_one::best_placement_by(&net, &sys, one_to_one::SelectionObjective::BalancedDelay)
+            .map_err(|e| e.to_string())?;
     let pop = ClientPopulation::representative(
         &net,
         &sys,
@@ -330,8 +327,11 @@ fn cmd_simulate(opts: &Options) -> Result<(), String> {
         opts.locations.min(net.len()),
         opts.clients_per_location,
     );
-    let choice = match if opts.strategy.is_empty() { "balanced" } else { &opts.strategy }
-    {
+    let choice = match if opts.strategy.is_empty() {
+        "balanced"
+    } else {
+        &opts.strategy
+    } {
         "balanced" => QuorumChoice::Balanced,
         "closest" => QuorumChoice::Closest,
         other => return Err(format!("unknown strategy `{other}` for simulate")),
@@ -351,13 +351,22 @@ fn cmd_simulate(opts: &Options) -> Result<(), String> {
     )
     .map_err(|e| e.to_string())?;
     println!("system:          {}", sys.label());
-    println!("clients:         {} ({} × {})", pop.total_clients(), pop.locations().len(), pop.per_location());
+    println!(
+        "clients:         {} ({} × {})",
+        pop.total_clients(),
+        pop.locations().len(),
+        pop.per_location()
+    );
     println!("requests:        {}", report.completed_requests);
     println!("avg response:    {:8.2} ms", report.avg_response_ms);
     println!("network floor:   {:8.2} ms", report.avg_network_delay_ms);
     let (p50, p95, p99) = report.percentiles_ms;
     println!("p50/p95/p99:     {p50:.1} / {p95:.1} / {p99:.1} ms");
-    let max_util = report.server_utilization.iter().copied().fold(0.0, f64::max);
+    let max_util = report
+        .server_utilization
+        .iter()
+        .copied()
+        .fold(0.0, f64::max);
     println!("max server util: {max_util:.2}");
     Ok(())
 }
@@ -373,13 +382,7 @@ mod tests {
     #[test]
     fn parses_flags() {
         let o = Options::parse(&s(&[
-            "--system",
-            "grid:5",
-            "--demand",
-            "16000",
-            "--dedup",
-            "--seed",
-            "7",
+            "--system", "grid:5", "--demand", "16000", "--dedup", "--seed", "7",
         ]))
         .unwrap();
         assert_eq!(o.system, "grid:5");

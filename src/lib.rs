@@ -52,13 +52,11 @@ pub use qp_topology as topology;
 /// Commonly used items, importable with `use quorumnet::prelude::*`.
 pub mod prelude {
     pub use qp_core::{
-        capacity::CapacityProfile, iterative, load, manyone, one_to_one, response,
-        singleton, strategy_lp, CoreError, Evaluation, Placement, ResponseModel,
+        capacity::CapacityProfile, iterative, load, manyone, one_to_one, response, singleton,
+        strategy_lp, CoreError, Evaluation, Placement, ResponseModel,
     };
     pub use qp_protocol::{simulate, ClientPopulation, ProtocolConfig, QuorumChoice};
-    pub use qp_quorum::{
-        ElementId, MajorityKind, Quorum, QuorumSystem, StrategyMatrix,
-    };
+    pub use qp_quorum::{ElementId, MajorityKind, Quorum, QuorumSystem, StrategyMatrix};
     pub use qp_topology::{datasets, DistanceMatrix, Graph, Network, NodeId};
 }
 

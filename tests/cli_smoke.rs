@@ -1,0 +1,159 @@
+//! Smoke tests for the `quorumnet` CLI binary: every subcommand must run
+//! to completion (exit 0) on a small topology, and reject garbage with a
+//! nonzero exit. Uses the `CARGO_BIN_EXE_quorumnet` path Cargo exports to
+//! integration tests, so `cargo test` exercises the real binary.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn bin() -> PathBuf {
+    PathBuf::from(env!("CARGO_BIN_EXE_quorumnet"))
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(bin())
+        .args(args)
+        .output()
+        .expect("quorumnet binary should spawn")
+}
+
+fn assert_ok(args: &[&str]) -> String {
+    let out = run(args);
+    assert!(
+        out.status.success(),
+        "`quorumnet {}` failed with {:?}:\n{}",
+        args.join(" "),
+        out.status.code(),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+/// A 6-node ring RTT matrix in the `qp_topology::io` text format.
+fn small_topology_file() -> tempfile::TempPath {
+    let n = 6;
+    let mut text = String::from("a b c d e f\n");
+    for i in 0..n {
+        for j in 0..n {
+            let fwd = (j + n - i) % n;
+            let hops = fwd.min(n - fwd);
+            text.push_str(&format!("{} ", hops as f64 * 10.0));
+        }
+        text.push('\n');
+    }
+    tempfile::write(text)
+}
+
+/// Minimal stand-in for the `tempfile` crate (not available offline):
+/// writes into `std::env::temp_dir()` and deletes on drop.
+mod tempfile {
+    use std::path::PathBuf;
+
+    pub struct TempPath(PathBuf);
+
+    impl TempPath {
+        pub fn as_str(&self) -> &str {
+            self.0.to_str().expect("temp path is valid UTF-8")
+        }
+    }
+
+    impl Drop for TempPath {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.0);
+        }
+    }
+
+    pub fn write(content: String) -> TempPath {
+        // Unique per call: tests run in parallel threads of one process, so
+        // the pid alone would collide and one test's Drop could delete a
+        // file another test's subprocess is about to read.
+        static COUNTER: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+        let n = COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!(
+            "quorumnet_cli_smoke_{}_{}.txt",
+            std::process::id(),
+            n
+        ));
+        std::fs::write(&path, content).expect("temp dir is writable");
+        TempPath(path)
+    }
+}
+
+#[test]
+fn help_runs_clean() {
+    let stdout = assert_ok(&["help"]);
+    assert!(stdout.contains("quorumnet"));
+    assert!(stdout.contains("simulate"));
+}
+
+#[test]
+fn no_args_prints_help_and_exits_zero() {
+    let stdout = assert_ok(&[]);
+    assert!(stdout.contains("commands"));
+}
+
+#[test]
+fn info_on_small_topology() {
+    let topo = small_topology_file();
+    let stdout = assert_ok(&["info", "--topology", topo.as_str()]);
+    assert!(
+        stdout.contains('6'),
+        "info should mention the 6 sites:\n{stdout}"
+    );
+}
+
+#[test]
+fn place_on_small_topology() {
+    let topo = small_topology_file();
+    let stdout = assert_ok(&[
+        "place",
+        "--topology",
+        topo.as_str(),
+        "--system",
+        "grid:2",
+        "--strategy",
+        "closest",
+    ]);
+    assert!(
+        stdout.contains("delay") || stdout.contains("ms"),
+        "place should report delays:\n{stdout}"
+    );
+}
+
+#[test]
+fn simulate_on_small_topology() {
+    let topo = small_topology_file();
+    let stdout = assert_ok(&[
+        "simulate",
+        "--topology",
+        topo.as_str(),
+        "--system",
+        "majority:simple:1",
+        "--locations",
+        "3",
+        "--clients-per-location",
+        "2",
+        "--requests",
+        "20",
+        "--seed",
+        "7",
+    ]);
+    assert!(
+        stdout.contains("response") || stdout.contains("ms"),
+        "simulate should report response times:\n{stdout}"
+    );
+}
+
+#[test]
+fn place_on_builtin_dataset() {
+    // The default dataset path must also work end to end.
+    let stdout = assert_ok(&["place", "--dataset", "planetlab50", "--system", "grid:3"]);
+    assert!(!stdout.is_empty());
+}
+
+#[test]
+fn unknown_command_fails_nonzero() {
+    let out = run(&["frobnicate"]);
+    assert!(!out.status.success(), "garbage commands must exit nonzero");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}

@@ -15,16 +15,9 @@ fn dedup_is_noop_for_one_to_one_placements() {
     let placement = one_to_one::best_placement(&net, &sys).unwrap();
     assert!(placement.is_one_to_one());
     let model = ResponseModel::from_demand(0.007, 16_000.0);
-    let plain =
-        response::evaluate_closest(&net, &clients, &sys, &placement, model).unwrap();
-    let dedup = response::evaluate_closest(
-        &net,
-        &clients,
-        &sys,
-        &placement,
-        model.deduplicated(),
-    )
-    .unwrap();
+    let plain = response::evaluate_closest(&net, &clients, &sys, &placement, model).unwrap();
+    let dedup =
+        response::evaluate_closest(&net, &clients, &sys, &placement, model.deduplicated()).unwrap();
     assert_eq!(plain.node_loads, dedup.node_loads);
     assert_eq!(plain.avg_response_ms, dedup.avg_response_ms);
 }
@@ -38,16 +31,9 @@ fn dedup_strictly_lowers_load_for_many_to_one() {
     let sys = QuorumSystem::grid(3).unwrap();
     let placement = singleton::median_placement(&net, sys.universe_size()).unwrap();
     let model = ResponseModel::from_demand(0.007, 4000.0);
-    let plain =
-        response::evaluate_balanced(&net, &clients, &sys, &placement, model).unwrap();
-    let dedup = response::evaluate_balanced(
-        &net,
-        &clients,
-        &sys,
-        &placement,
-        model.deduplicated(),
-    )
-    .unwrap();
+    let plain = response::evaluate_balanced(&net, &clients, &sys, &placement, model).unwrap();
+    let dedup = response::evaluate_balanced(&net, &clients, &sys, &placement, model.deduplicated())
+        .unwrap();
     let median = net.median().index();
     // Plain: 2k−1 = 5 executions per access. Dedup: exactly 1.
     assert!((plain.node_loads[median] - 5.0).abs() < 1e-9);
@@ -69,7 +55,7 @@ fn dedup_balanced_majority_matches_enumeration() {
     let net = datasets::euclidean_random(8, 60.0, 17);
     let clients: Vec<NodeId> = net.nodes().collect();
     let sys = QuorumSystem::majority(MajorityKind::SimpleMajority, 2).unwrap(); // n=5, q=3
-    // Co-locate elements 0,1 on node 2; 2,3 on node 4; 4 alone.
+                                                                                // Co-locate elements 0,1 on node 2; 2,3 on node 4; 4 alone.
     let placement = Placement::new(
         vec![
             NodeId::new(2),
@@ -82,14 +68,11 @@ fn dedup_balanced_majority_matches_enumeration() {
     )
     .unwrap();
     let model = ResponseModel::with_alpha(30.0).deduplicated();
-    let fast =
-        response::evaluate_balanced(&net, &clients, &sys, &placement, model).unwrap();
+    let fast = response::evaluate_balanced(&net, &clients, &sys, &placement, model).unwrap();
     let quorums = sys.enumerate(100).unwrap();
     let strategy = StrategyMatrix::uniform(clients.len(), quorums.len());
-    let slow = response::evaluate_matrix(
-        &net, &clients, &placement, &quorums, &strategy, model,
-    )
-    .unwrap();
+    let slow =
+        response::evaluate_matrix(&net, &clients, &placement, &quorums, &strategy, model).unwrap();
     for (a, b) in fast.node_loads.iter().zip(&slow.node_loads) {
         assert!((a - b).abs() < 1e-9, "loads {a} vs {b}");
     }
@@ -125,7 +108,10 @@ fn des_dedup_reduces_response_for_colocated_placement() {
         &placement,
         &pop,
         QuorumChoice::Balanced,
-        &ProtocolConfig { dedup_colocated: true, ..base_cfg },
+        &ProtocolConfig {
+            dedup_colocated: true,
+            ..base_cfg
+        },
     )
     .unwrap();
     assert!(
@@ -144,16 +130,21 @@ fn des_dedup_identical_for_one_to_one() {
     let sys = QuorumSystem::majority(MajorityKind::FourFifths, 1).unwrap();
     let placement = one_to_one::best_placement(&net, &sys).unwrap();
     let pop = ClientPopulation::new(net.nodes().take(5).collect(), 2);
-    let cfg = ProtocolConfig { seed: 3, ..ProtocolConfig::default() };
-    let plain =
-        simulate(&net, &sys, &placement, &pop, QuorumChoice::Balanced, &cfg).unwrap();
+    let cfg = ProtocolConfig {
+        seed: 3,
+        ..ProtocolConfig::default()
+    };
+    let plain = simulate(&net, &sys, &placement, &pop, QuorumChoice::Balanced, &cfg).unwrap();
     let dedup = simulate(
         &net,
         &sys,
         &placement,
         &pop,
         QuorumChoice::Balanced,
-        &ProtocolConfig { dedup_colocated: true, ..cfg },
+        &ProtocolConfig {
+            dedup_colocated: true,
+            ..cfg
+        },
     )
     .unwrap();
     assert_eq!(plain.avg_response_ms, dedup.avg_response_ms);

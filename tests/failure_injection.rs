@@ -4,9 +4,7 @@
 
 use quorumnet::prelude::*;
 
-fn setup(
-    t: usize,
-) -> (Network, QuorumSystem, Placement, ClientPopulation) {
+fn setup(t: usize) -> (Network, QuorumSystem, Placement, ClientPopulation) {
     let net = datasets::planetlab_50();
     let sys = QuorumSystem::majority(MajorityKind::FourFifths, t).unwrap();
     let placement = one_to_one::best_placement(&net, &sys).unwrap();
@@ -48,8 +46,14 @@ fn qu_quorums_cannot_dodge_a_slow_server() {
     let nominal = run(&net, &sys, &placement, &pop, QuorumChoice::Balanced, None);
     let mut mults = vec![1.0; sys.universe_size()];
     mults[0] = 50.0;
-    let degraded =
-        run(&net, &sys, &placement, &pop, QuorumChoice::Balanced, Some(mults));
+    let degraded = run(
+        &net,
+        &sys,
+        &placement,
+        &pop,
+        QuorumChoice::Balanced,
+        Some(mults),
+    );
     assert!(
         degraded > nominal + 5.0,
         "a 50× slow server must hurt Q/U balanced access: {nominal} → {degraded}"
@@ -67,12 +71,7 @@ fn simple_majority_with_closest_strategy_can_dodge_when_far() {
     let pop = ClientPopulation::representative(&net, &sys, &placement, 10, 3);
 
     // Find an element untouched by every location's closest quorum.
-    let choices = response::closest_choices(
-        &net,
-        &pop.locations().to_vec(),
-        &sys,
-        &placement,
-    );
+    let choices = response::closest_choices(&net, pop.locations(), &sys, &placement);
     let mut touched = vec![false; sys.universe_size()];
     for q in &choices {
         for u in q.iter() {
@@ -87,8 +86,14 @@ fn simple_majority_with_closest_strategy_can_dodge_when_far() {
     let nominal = run(&net, &sys, &placement, &pop, QuorumChoice::Closest, None);
     let mut mults = vec![1.0; sys.universe_size()];
     mults[untouched] = 100.0;
-    let degraded =
-        run(&net, &sys, &placement, &pop, QuorumChoice::Closest, Some(mults));
+    let degraded = run(
+        &net,
+        &sys,
+        &placement,
+        &pop,
+        QuorumChoice::Closest,
+        Some(mults),
+    );
     assert!(
         (degraded - nominal).abs() < 1e-9,
         "closest strategy never visits element {untouched}; degradation must be masked \
@@ -102,8 +107,14 @@ fn degradation_scales_with_slowdown_factor() {
     let mut prev = 0.0;
     for factor in [1.0, 10.0, 40.0] {
         let mults = vec![factor; sys.universe_size()];
-        let resp =
-            run(&net, &sys, &placement, &pop, QuorumChoice::Balanced, Some(mults));
+        let resp = run(
+            &net,
+            &sys,
+            &placement,
+            &pop,
+            QuorumChoice::Balanced,
+            Some(mults),
+        );
         assert!(
             resp >= prev,
             "response must grow with uniform slowdown: {prev} → {resp} at ×{factor}"
@@ -136,7 +147,7 @@ fn zero_service_time_reduces_response_to_pure_rtt() {
     // locations.
     let eval = response::evaluate_closest(
         &net,
-        &pop.locations().to_vec(),
+        pop.locations(),
         &sys,
         &placement,
         ResponseModel::network_delay_only(),

@@ -4,9 +4,7 @@
 
 use quorumnet::prelude::*;
 
-fn grid_setup(
-    k: usize,
-) -> (Network, Vec<NodeId>, QuorumSystem, Placement, Vec<Quorum>) {
+fn grid_setup(k: usize) -> (Network, Vec<NodeId>, QuorumSystem, Placement, Vec<Quorum>) {
     let net = datasets::planetlab_50();
     let clients: Vec<NodeId> = net.nodes().collect();
     let sys = QuorumSystem::grid(k).unwrap();
@@ -20,10 +18,8 @@ fn balanced_beats_closest_at_very_high_demand() {
     // Fig 6.5's claim: when the load term dominates, dispersing load wins.
     let (net, clients, sys, placement, _) = grid_setup(3);
     let model = ResponseModel::from_demand(0.007, 16_000.0);
-    let closest =
-        response::evaluate_closest(&net, &clients, &sys, &placement, model).unwrap();
-    let balanced =
-        response::evaluate_balanced(&net, &clients, &sys, &placement, model).unwrap();
+    let closest = response::evaluate_closest(&net, &clients, &sys, &placement, model).unwrap();
+    let balanced = response::evaluate_balanced(&net, &clients, &sys, &placement, model).unwrap();
     assert!(
         balanced.avg_response_ms < closest.avg_response_ms,
         "balanced {} should beat closest {} at demand 16000",
@@ -37,10 +33,8 @@ fn closest_beats_balanced_at_low_demand() {
     // §6's claim, with a little demand so the comparison is not a tie.
     let (net, clients, sys, placement, _) = grid_setup(5);
     let model = ResponseModel::from_demand(0.007, 100.0);
-    let closest =
-        response::evaluate_closest(&net, &clients, &sys, &placement, model).unwrap();
-    let balanced =
-        response::evaluate_balanced(&net, &clients, &sys, &placement, model).unwrap();
+    let closest = response::evaluate_closest(&net, &clients, &sys, &placement, model).unwrap();
+    let balanced = response::evaluate_balanced(&net, &clients, &sys, &placement, model).unwrap();
     assert!(
         closest.avg_response_ms < balanced.avg_response_ms,
         "closest {} should beat balanced {} at demand 100",
@@ -122,10 +116,9 @@ fn nonuniform_heuristic_matches_or_beats_uniform_at_high_capacity() {
     let (net, clients, sys, placement, quorums) = grid_setup(5);
     let model = ResponseModel::from_demand(0.007, 16_000.0);
     let l_opt = sys.optimal_load().unwrap();
-    let (_, uniform) = strategy_lp::evaluate_at_uniform_capacity(
-        &net, &clients, &placement, &quorums, 1.0, model,
-    )
-    .unwrap();
+    let (_, uniform) =
+        strategy_lp::evaluate_at_uniform_capacity(&net, &clients, &placement, &quorums, 1.0, model)
+            .unwrap();
     let (_, nonuniform) = strategy_lp::evaluate_at_nonuniform_capacity(
         &net, &clients, &placement, &quorums, l_opt, 1.0, model,
     )
@@ -144,10 +137,8 @@ fn infeasible_below_optimal_load() {
     // strategy — the failure mode the paper calls out.
     let (net, clients, sys, placement, quorums) = grid_setup(3);
     let caps = CapacityProfile::uniform(net.len(), sys.optimal_load().unwrap() * 0.9);
-    let err = strategy_lp::optimize_strategies(
-        &net, &clients, &placement, &quorums, &caps,
-    )
-    .unwrap_err();
+    let err =
+        strategy_lp::optimize_strategies(&net, &clients, &placement, &quorums, &caps).unwrap_err();
     assert_eq!(err, CoreError::Infeasible);
 }
 
@@ -156,8 +147,7 @@ fn strategies_remain_distributions_after_optimization() {
     let (net, clients, _sys, placement, quorums) = grid_setup(3);
     let caps = CapacityProfile::uniform(net.len(), 0.7);
     let strategy =
-        strategy_lp::optimize_strategies(&net, &clients, &placement, &quorums, &caps)
-            .unwrap();
+        strategy_lp::optimize_strategies(&net, &clients, &placement, &quorums, &caps).unwrap();
     for v in 0..strategy.num_clients() {
         let row = strategy.row(v);
         let sum: f64 = row.iter().sum();

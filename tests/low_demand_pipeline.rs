@@ -25,8 +25,7 @@ fn response_time_grows_with_universe_size_per_system() {
     // (allow small local non-monotonicity from placement search).
     let delays: Vec<f64> = (1..=8)
         .map(|t| {
-            let sys =
-                QuorumSystem::majority(MajorityKind::SimpleMajority, t).unwrap();
+            let sys = QuorumSystem::majority(MajorityKind::SimpleMajority, t).unwrap();
             closest_delay(&net, &sys)
         })
         .collect();
@@ -99,8 +98,7 @@ fn closest_is_optimal_per_client_at_alpha_zero() {
     let quorums = sys.enumerate(100).unwrap();
     let caps = CapacityProfile::unbounded(net.len());
     let strategy =
-        strategy_lp::optimize_strategies(&net, &clients, &placement, &quorums, &caps)
-            .unwrap();
+        strategy_lp::optimize_strategies(&net, &clients, &placement, &quorums, &caps).unwrap();
     let lp_eval = response::evaluate_matrix(
         &net,
         &clients,
@@ -124,7 +122,10 @@ fn closest_is_optimal_per_client_at_alpha_zero() {
         .zip(&closest_eval.per_client_delay_ms)
     {
         assert!(*lp >= cl - 1e-6, "LP {lp} beat closest {cl}: impossible");
-        assert!(*lp <= cl + 1e-6, "LP {lp} worse than closest {cl} without caps");
+        assert!(
+            *lp <= cl + 1e-6,
+            "LP {lp} worse than closest {cl} without caps"
+        );
     }
 }
 

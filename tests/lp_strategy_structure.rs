@@ -16,8 +16,7 @@ fn lp_strategies_use_close_quorums_first() {
     let quorums = sys.enumerate(100_000).unwrap();
     let caps = CapacityProfile::uniform(net.len(), 0.95);
     let strategy =
-        strategy_lp::optimize_strategies(&net, &clients, &placement, &quorums, &caps)
-            .unwrap();
+        strategy_lp::optimize_strategies(&net, &clients, &placement, &quorums, &caps).unwrap();
     let choices = response::closest_choices(&net, &clients, &sys, &placement);
 
     let mut mass_within_2x = 0.0;
@@ -55,8 +54,7 @@ fn capacity_constraints_bind_at_the_optimum() {
     let c = sys.optimal_load().unwrap() + 0.05;
     let caps = CapacityProfile::uniform(net.len(), c);
     let strategy =
-        strategy_lp::optimize_strategies(&net, &clients, &placement, &quorums, &caps)
-            .unwrap();
+        strategy_lp::optimize_strategies(&net, &clients, &placement, &quorums, &caps).unwrap();
     let eval = response::evaluate_matrix(
         &net,
         &clients,
@@ -79,8 +77,18 @@ fn strategy_lp_dump_is_wellformed() {
     // structure: one convexity row per client plus capacity rows.
     let net = datasets::euclidean_random(6, 50.0, 3);
     let mut m = Model::new(Sense::Minimize);
-    let p0 = m.add_var("p[0,0]", 0.0, f64::INFINITY, net.distance(NodeId::new(0), NodeId::new(1)));
-    let p1 = m.add_var("p[0,1]", 0.0, f64::INFINITY, net.distance(NodeId::new(0), NodeId::new(2)));
+    let p0 = m.add_var(
+        "p[0,0]",
+        0.0,
+        f64::INFINITY,
+        net.distance(NodeId::new(0), NodeId::new(1)),
+    );
+    let p1 = m.add_var(
+        "p[0,1]",
+        0.0,
+        f64::INFINITY,
+        net.distance(NodeId::new(0), NodeId::new(2)),
+    );
     m.add_eq(&[(p0, 1.0), (p1, 1.0)], 1.0);
     m.add_le(&[(p0, 0.5), (p1, 0.5)], 0.8);
     let text = format_lp(&m);
@@ -103,8 +111,7 @@ fn per_client_strategies_differ_across_the_network() {
     let quorums = sys.enumerate(100_000).unwrap();
     let caps = CapacityProfile::uniform(net.len(), 0.9);
     let strategy =
-        strategy_lp::optimize_strategies(&net, &clients, &placement, &quorums, &caps)
-            .unwrap();
+        strategy_lp::optimize_strategies(&net, &clients, &placement, &quorums, &caps).unwrap();
     let distinct: std::collections::HashSet<String> = (0..strategy.num_clients())
         .map(|v| {
             strategy
@@ -133,13 +140,11 @@ fn average_strategy_feeds_many_to_one_consistently() {
     let quorums = sys.enumerate(100).unwrap();
     let caps = CapacityProfile::uniform(net.len(), 0.8);
     let strategy =
-        strategy_lp::optimize_strategies(&net, &clients, &placement, &quorums, &caps)
-            .unwrap();
+        strategy_lp::optimize_strategies(&net, &clients, &placement, &quorums, &caps).unwrap();
     let avg = strategy.average();
     let total: f64 = avg.iter().sum();
     assert!((total - 1.0).abs() < 1e-9);
-    let weights =
-        quorumnet::core::manyone::element_weights(&avg, &quorums, sys.universe_size());
+    let weights = quorumnet::core::manyone::element_weights(&avg, &quorums, sys.universe_size());
     let wsum: f64 = weights.iter().sum();
     // All grid quorums have size 2k−1 = 5.
     assert!((wsum - 5.0).abs() < 1e-9);

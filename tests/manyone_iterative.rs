@@ -16,18 +16,13 @@ fn many_to_one_collapses_toward_singleton_without_capacities() {
     let quorums = sys.enumerate(100).unwrap();
     let probs = vec![1.0 / quorums.len() as f64; quorums.len()];
     let caps = CapacityProfile::unbounded(net.len());
-    let outcome = manyone::best_placement(
-        &net,
-        &quorums,
-        &probs,
-        &caps,
-        &ManyToOneConfig::default(),
-    )
-    .unwrap();
+    let outcome =
+        manyone::best_placement(&net, &quorums, &probs, &caps, &ManyToOneConfig::default())
+            .unwrap();
     assert_eq!(outcome.placement.support_set().len(), 1);
     let host = outcome.placement.support_set()[0];
-    let delay: f64 = clients.iter().map(|&v| net.distance(v, host)).sum::<f64>()
-        / clients.len() as f64;
+    let delay: f64 =
+        clients.iter().map(|&v| net.distance(v, host)).sum::<f64>() / clients.len() as f64;
     let single = singleton::singleton_delay(&net, &clients);
     assert!(
         (delay - single).abs() < 1e-9,
@@ -90,7 +85,10 @@ fn iterative_improves_on_one_to_one_when_colocatable() {
         &caps0,
         model,
         2,
-        &ManyToOneConfig { capacity_slack: 2.0, ..ManyToOneConfig::default() },
+        &ManyToOneConfig {
+            capacity_slack: 2.0,
+            ..ManyToOneConfig::default()
+        },
     )
     .unwrap();
     assert!(
@@ -123,10 +121,7 @@ fn iterative_history_is_coherent() {
     for (i, rec) in result.history.iter().enumerate() {
         assert_eq!(rec.iteration, i + 1);
         // Phase 2 never hurts (the paper's monotonicity argument).
-        assert!(
-            rec.after_strategy.avg_response_ms
-                <= rec.after_placement.avg_response_ms + 1e-6
-        );
+        assert!(rec.after_strategy.avg_response_ms <= rec.after_placement.avg_response_ms + 1e-6);
     }
     // The returned evaluation matches some recorded phase-2 state.
     let returned = result.evaluation.avg_response_ms;

@@ -7,12 +7,9 @@ use quorumnet::prelude::*;
 fn qu_setup(t: usize) -> (Network, QuorumSystem, Placement) {
     let net = datasets::planetlab_50();
     let sys = QuorumSystem::majority(MajorityKind::FourFifths, t).unwrap();
-    let placement = one_to_one::best_placement_by(
-        &net,
-        &sys,
-        one_to_one::SelectionObjective::BalancedDelay,
-    )
-    .unwrap();
+    let placement =
+        one_to_one::best_placement_by(&net, &sys, one_to_one::SelectionObjective::BalancedDelay)
+            .unwrap();
     (net, sys, placement)
 }
 
@@ -94,10 +91,8 @@ fn closest_choice_gives_lower_floor_than_balanced() {
         measured_requests: 150,
         ..ProtocolConfig::default()
     };
-    let closest =
-        simulate(&net, &sys, &placement, &pop, QuorumChoice::Closest, &cfg).unwrap();
-    let balanced =
-        simulate(&net, &sys, &placement, &pop, QuorumChoice::Balanced, &cfg).unwrap();
+    let closest = simulate(&net, &sys, &placement, &pop, QuorumChoice::Closest, &cfg).unwrap();
+    let balanced = simulate(&net, &sys, &placement, &pop, QuorumChoice::Balanced, &cfg).unwrap();
     assert!(
         closest.avg_network_delay_ms <= balanced.avg_network_delay_ms + 1e-9,
         "closest floor {} vs balanced floor {}",
@@ -156,5 +151,8 @@ fn des_report_internal_consistency() {
         / report.per_client_response_ms.len() as f64;
     // Equal request counts per client ⇒ the means agree exactly up to fp.
     assert!((mean_of_means - report.avg_response_ms).abs() < 1e-6);
-    assert_eq!(report.completed_requests, (pop.total_clients() * 100) as u64);
+    assert_eq!(
+        report.completed_requests,
+        (pop.total_clients() * 100) as u64
+    );
 }

@@ -1,0 +1,218 @@
+//! Scenario-regression harness: pins golden values for the paper's
+//! headline numbers under fixed seeds, so that every future scaling or
+//! performance PR is diffed against the figures themselves — not just
+//! type-checked.
+//!
+//! Every quantity below is a pure function of a deterministic dataset
+//! (`planetlab_50()` is seeded) and, for the DES scenario, a fixed
+//! `ProtocolConfig::seed`. The whole stack — dataset generator, placement
+//! search, simplex solver, GAP rounding, DES — is deterministic, so the
+//! pinned values are exact up to floating-point noise; tolerances are a
+//! relative `1e-9`.
+//!
+//! If a change moves one of these numbers **on purpose** (e.g. a better
+//! placement search), update the golden and say so in the PR: that is a
+//! figure change, not a refactor. To regenerate all goldens, run
+//!
+//! ```text
+//! cargo test --test scenario_regression -- --nocapture
+//! ```
+//!
+//! and copy the `golden:` lines printed by each scenario.
+
+use quorumnet::core::manyone::{self, ManyToOneConfig};
+use quorumnet::core::strategy_lp;
+use quorumnet::prelude::*;
+
+/// Relative-tolerance check for pinned floating-point goldens.
+fn assert_golden(name: &str, actual: f64, golden: f64) {
+    println!("golden: {name} = {actual:.12}");
+    let tol = 1e-9 * (1.0 + golden.abs());
+    assert!(
+        (actual - golden).abs() <= tol,
+        "{name} drifted from golden value: actual {actual:.12}, golden {golden:.12} \
+         (Δ = {:+.3e}). If intentional, update tests/scenario_regression.rs.",
+        actual - golden
+    );
+}
+
+/// Golden 1 — the singleton baseline of §5/§6: everything on the graph
+/// median of Planetlab-50, averaged over all 50 clients.
+#[test]
+fn golden_singleton_delay_planetlab50() {
+    let net = datasets::planetlab_50();
+    let clients: Vec<NodeId> = net.nodes().collect();
+    let single = singleton::singleton_delay(&net, &clients);
+    assert_golden("singleton_delay_ms", single, SINGLETON_DELAY_MS);
+}
+
+/// Golden 2 — Figure 6.3's central comparison: the closest-strategy
+/// network delay of the best one-to-one 3×3 Grid placement on
+/// Planetlab-50, and its ratio to the singleton.
+#[test]
+fn golden_closest_grid3_delay_planetlab50() {
+    let net = datasets::planetlab_50();
+    let clients: Vec<NodeId> = net.nodes().collect();
+    let sys = QuorumSystem::grid(3).unwrap();
+    let placement = one_to_one::best_placement(&net, &sys).unwrap();
+    let eval = response::evaluate_closest(
+        &net,
+        &clients,
+        &sys,
+        &placement,
+        ResponseModel::network_delay_only(),
+    )
+    .unwrap();
+    assert_golden(
+        "closest_grid3_delay_ms",
+        eval.avg_network_delay_ms,
+        CLOSEST_GRID3_DELAY_MS,
+    );
+}
+
+/// Golden 3 — the Lin half-singleton bound, as an *equality pin*: the
+/// bound itself is pinned, and the Grid deployment must sit between the
+/// bound and the singleton-×3 sanity ceiling (the paper's qualitative
+/// "not much worse than singleton" claim).
+#[test]
+fn golden_lin_half_singleton_bound() {
+    let net = datasets::planetlab_50();
+    let clients: Vec<NodeId> = net.nodes().collect();
+    let single = singleton::singleton_delay(&net, &clients);
+    let bound = single / 2.0;
+    assert_golden(
+        "lin_half_singleton_bound_ms",
+        bound,
+        SINGLETON_DELAY_MS / 2.0,
+    );
+    for k in [3usize, 5] {
+        let sys = QuorumSystem::grid(k).unwrap();
+        let placement = one_to_one::best_placement(&net, &sys).unwrap();
+        let d = response::evaluate_closest(
+            &net,
+            &clients,
+            &sys,
+            &placement,
+            ResponseModel::network_delay_only(),
+        )
+        .unwrap()
+        .avg_network_delay_ms;
+        assert!(
+            d >= bound - 1e-9,
+            "grid {k}×{k} delay {d} ms beats the Lin bound {bound} ms: impossible"
+        );
+        assert!(
+            d <= single * 3.0,
+            "grid {k}×{k} delay {d} ms is absurdly worse than singleton {single} ms"
+        );
+    }
+}
+
+/// Golden 4 — the §4.1.2 many-to-one pipeline (LP → Lin–Vitter filter →
+/// GAP rounding) on Planetlab-50, 3×3 Grid, uniform capacity 0.8: both
+/// the fractional LP objective and the rounded placement's objective.
+#[test]
+fn golden_manyone_pipeline_objective() {
+    let net = datasets::planetlab_50();
+    let sys = QuorumSystem::grid(3).unwrap();
+    let quorums = sys.enumerate(100).unwrap();
+    let probs = vec![1.0 / quorums.len() as f64; quorums.len()];
+    let caps = CapacityProfile::uniform(net.len(), 0.8);
+    let outcome =
+        manyone::best_placement(&net, &quorums, &probs, &caps, &ManyToOneConfig::default())
+            .unwrap();
+    assert_golden(
+        "manyone_lp_objective_ms",
+        outcome.lp_objective,
+        MANYONE_LP_OBJECTIVE_MS,
+    );
+    assert_golden(
+        "manyone_rounded_objective_ms",
+        outcome.rounded_objective,
+        MANYONE_ROUNDED_OBJECTIVE_MS,
+    );
+    // GAP rounding is only *almost* capacity-respecting (it may overrun a
+    // node by one element weight, so it can even undercut the
+    // capacity-feasible LP bound); what it guarantees is a bounded
+    // capacity overrun.
+    assert!(
+        outcome.max_capacity_ratio <= 2.0,
+        "capacity overrun {} broke the rounding guarantee",
+        outcome.max_capacity_ratio
+    );
+}
+
+/// Golden 5 — the access-strategy LP (4.3)–(4.6) at uniform capacity
+/// `c = 0.7` for the 3×3 Grid under the §6 high-demand response model:
+/// the LP-tuned average response time. (The Grid's optimal load is
+/// `(2k−1)/k² = 5/9 ≈ 0.556`, so 0.7 is feasible but binding.)
+#[test]
+fn golden_strategy_lp_capacitated_response() {
+    let net = datasets::planetlab_50();
+    let clients: Vec<NodeId> = net.nodes().collect();
+    let sys = QuorumSystem::grid(3).unwrap();
+    let placement = one_to_one::best_placement(&net, &sys).unwrap();
+    let quorums = sys.enumerate(100).unwrap();
+    let model = ResponseModel::from_demand(0.007, 16000.0);
+    let (_, eval) =
+        strategy_lp::evaluate_at_uniform_capacity(&net, &clients, &placement, &quorums, 0.7, model)
+            .unwrap();
+    assert_golden(
+        "strategy_lp_c07_response_ms",
+        eval.avg_response_ms,
+        STRATEGY_LP_C07_RESPONSE_MS,
+    );
+}
+
+/// Golden 6 — one end-to-end `qp-protocol` DES run (the §3 motivating
+/// experiment): (4t+1, fourfifths) Majority, t = 2, ten representative
+/// client locations, fixed seed. Pins the mean response, its idle floor,
+/// and the simulated horizon.
+#[test]
+fn golden_protocol_simulation_end_to_end() {
+    let net = datasets::planetlab_50();
+    let sys = QuorumSystem::majority(MajorityKind::FourFifths, 2).unwrap();
+    let placement =
+        one_to_one::best_placement_by(&net, &sys, one_to_one::SelectionObjective::BalancedDelay)
+            .unwrap();
+    let pop = ClientPopulation::representative(&net, &sys, &placement, 10, 2);
+    let cfg = ProtocolConfig {
+        warmup_requests: 20,
+        measured_requests: 150,
+        seed: 42,
+        ..ProtocolConfig::default()
+    };
+    let report = simulate(&net, &sys, &placement, &pop, QuorumChoice::Balanced, &cfg).unwrap();
+    assert_eq!(
+        report.completed_requests,
+        (pop.total_clients() * 150) as u64
+    );
+    assert_golden(
+        "protocol_avg_response_ms",
+        report.avg_response_ms,
+        PROTOCOL_AVG_RESPONSE_MS,
+    );
+    assert_golden(
+        "protocol_avg_network_delay_ms",
+        report.avg_network_delay_ms,
+        PROTOCOL_AVG_NETWORK_DELAY_MS,
+    );
+    assert_golden(
+        "protocol_horizon_ms",
+        report.horizon_ms,
+        PROTOCOL_HORIZON_MS,
+    );
+}
+
+// ----------------------------------------------------------------------
+// The golden values. Regenerate with `-- --nocapture` (see module docs).
+// ----------------------------------------------------------------------
+
+const SINGLETON_DELAY_MS: f64 = 75.208043791862;
+const CLOSEST_GRID3_DELAY_MS: f64 = 79.948862911719;
+const MANYONE_LP_OBJECTIVE_MS: f64 = 39.102604367713;
+const MANYONE_ROUNDED_OBJECTIVE_MS: f64 = 38.045369286241;
+const STRATEGY_LP_C07_RESPONSE_MS: f64 = 155.573639600227;
+const PROTOCOL_AVG_RESPONSE_MS: f64 = 85.450249453890;
+const PROTOCOL_AVG_NETWORK_DELAY_MS: f64 = 85.332119143561;
+const PROTOCOL_HORIZON_MS: f64 = 17_310.567_028_232_32;

@@ -1,0 +1,417 @@
+//! Offline, in-workspace stand-in for the [`rand`] crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! implements exactly the subset of the `rand 0.8` API that the workspace
+//! uses: the [`RngCore`] / [`Rng`] / [`SeedableRng`] traits, uniform range
+//! sampling via [`Rng::gen_range`], and the [`rngs::StdRng`] generator.
+//!
+//! Everything here is **deterministic by construction**: `StdRng` is a
+//! ChaCha12 stream cipher keyed from the seed, so `seed_from_u64(s)` yields
+//! a bit-identical stream on every platform and every run. That is exactly
+//! the property the scenario-regression harness pins golden values against.
+//!
+//! The implementation intentionally does *not* match the upstream `rand`
+//! value streams — nothing in this repository depends on upstream output,
+//! only on cross-run stability of this crate.
+//!
+//! [`rand`]: https://crates.io/crates/rand
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use core::ops::{Range, RangeInclusive};
+
+/// The core of a random number generator: a source of random `u32`/`u64`
+/// words and raw bytes.
+pub trait RngCore {
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut i = 0;
+        while i < dest.len() {
+            let word = self.next_u64().to_le_bytes();
+            let take = (dest.len() - i).min(8);
+            dest[i..i + take].copy_from_slice(&word[..take]);
+            i += take;
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A generator that can be instantiated from a fixed seed.
+pub trait SeedableRng: Sized {
+    /// The seed type, typically a byte array.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Creates a generator from a full-entropy seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates a generator from a `u64`, expanded to a full seed with
+    /// SplitMix64 (the same expansion upstream `rand` uses).
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            // SplitMix64.
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Types that can describe a sampling range for [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws a uniform sample from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+#[inline]
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Unbiased uniform integer in `[0, bound)` via Lemire rejection sampling.
+#[inline]
+fn bounded_u64<R: RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    loop {
+        let x = rng.next_u64();
+        let hi = ((x as u128 * bound as u128) >> 64) as u64;
+        let lo = x.wrapping_mul(bound);
+        // Accept unless we landed in the biased low zone.
+        if lo >= bound || lo >= bound.wrapping_neg() % bound {
+            return hi;
+        }
+    }
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty f64 range");
+        let span = self.end - self.start;
+        let v = self.start + unit_f64(rng) * span;
+        // Guard against FP rounding landing exactly on `end`; nudge to the
+        // previous representable value so the half-open contract holds for
+        // any bound, including `end <= 0`.
+        if v >= self.end {
+            self.end.next_down()
+        } else {
+            v
+        }
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "gen_range: empty f64 range");
+        // Include the endpoint by scaling the closed unit interval.
+        let u = rng.next_u64() as f64 / u64::MAX as f64;
+        lo + (hi - lo) * u
+    }
+}
+
+impl SampleRange<f32> for Range<f32> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "gen_range: empty f32 range");
+        let v = self.start + (unit_f64(rng) as f32) * (self.end - self.start);
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+impl SampleRange<f32> for RangeInclusive<f32> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "gen_range: empty f32 range");
+        let u = rng.next_u64() as f32 / u64::MAX as f32;
+        lo + (hi - lo) * u
+    }
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty integer range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                self.start.wrapping_add(bounded_u64(rng, span) as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty integer range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                if span > u64::MAX as u128 {
+                    // Whole-domain range: a raw word is already uniform.
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(bounded_u64(rng, span as u64) as $t)
+            }
+        }
+    )*};
+}
+
+int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Types producible by [`Rng::gen`].
+pub trait Standard<T> {
+    /// Samples a value of `T` from the full-range/unit distribution.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> T;
+}
+
+/// Marker used by `Rng::gen` to pick the standard distribution for `T`.
+pub struct StandardDist;
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard<$t> for StandardDist {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard<f64> for StandardDist {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        unit_f64(rng)
+    }
+}
+
+impl Standard<f32> for StandardDist {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+        unit_f64(rng) as f32
+    }
+}
+
+impl Standard<bool> for StandardDist {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// High-level sampling methods, automatically available on every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from `range` (half-open `a..b` or inclusive `a..=b`).
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_single(self)
+    }
+
+    /// Samples from the standard distribution of `T` (full integer range,
+    /// `[0, 1)` for floats, fair coin for `bool`).
+    fn gen<T>(&mut self) -> T
+    where
+        StandardDist: Standard<T>,
+    {
+        <StandardDist as Standard<T>>::sample(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p must be in [0, 1]");
+        unit_f64(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// The ChaCha block function, shared with the vendored `rand_chacha`.
+pub mod chacha {
+    /// ChaCha state: 16 little-endian words.
+    pub type State = [u32; 16];
+
+    #[inline]
+    fn quarter_round(s: &mut State, a: usize, b: usize, c: usize, d: usize) {
+        s[a] = s[a].wrapping_add(s[b]);
+        s[d] = (s[d] ^ s[a]).rotate_left(16);
+        s[c] = s[c].wrapping_add(s[d]);
+        s[b] = (s[b] ^ s[c]).rotate_left(12);
+        s[a] = s[a].wrapping_add(s[b]);
+        s[d] = (s[d] ^ s[a]).rotate_left(8);
+        s[c] = s[c].wrapping_add(s[d]);
+        s[b] = (s[b] ^ s[c]).rotate_left(7);
+    }
+
+    /// Runs `rounds` ChaCha rounds over `input` and returns the
+    /// feed-forward-added output block.
+    pub fn block(input: &State, rounds: usize) -> State {
+        debug_assert!(rounds.is_multiple_of(2));
+        let mut s = *input;
+        for _ in 0..rounds / 2 {
+            // Column round.
+            quarter_round(&mut s, 0, 4, 8, 12);
+            quarter_round(&mut s, 1, 5, 9, 13);
+            quarter_round(&mut s, 2, 6, 10, 14);
+            quarter_round(&mut s, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter_round(&mut s, 0, 5, 10, 15);
+            quarter_round(&mut s, 1, 6, 11, 12);
+            quarter_round(&mut s, 2, 7, 8, 13);
+            quarter_round(&mut s, 3, 4, 9, 14);
+        }
+        for (o, i) in s.iter_mut().zip(input) {
+            *o = o.wrapping_add(*i);
+        }
+        s
+    }
+
+    /// A ChaCha keystream generator with a configurable round count.
+    #[derive(Clone, Debug)]
+    pub struct ChaCha {
+        state: State,
+        buffer: State,
+        /// Next unread word in `buffer`; 16 means "refill".
+        cursor: usize,
+        rounds: usize,
+    }
+
+    impl ChaCha {
+        /// Builds a generator from a 32-byte key with the standard
+        /// `"expand 32-byte k"` constants, counter 0, nonce 0.
+        pub fn from_key(key: [u8; 32], rounds: usize) -> Self {
+            let mut state: State = [0; 16];
+            state[0] = 0x6170_7865;
+            state[1] = 0x3320_646e;
+            state[2] = 0x7962_2d32;
+            state[3] = 0x6b20_6574;
+            for (i, chunk) in key.chunks_exact(4).enumerate() {
+                state[4 + i] = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+            }
+            ChaCha {
+                state,
+                buffer: [0; 16],
+                cursor: 16,
+                rounds,
+            }
+        }
+
+        /// Returns the next 32-bit keystream word.
+        #[inline]
+        pub fn next_word(&mut self) -> u32 {
+            if self.cursor == 16 {
+                self.buffer = block(&self.state, self.rounds);
+                // 64-bit block counter in words 12..14.
+                let counter =
+                    (self.state[12] as u64 | ((self.state[13] as u64) << 32)).wrapping_add(1);
+                self.state[12] = counter as u32;
+                self.state[13] = (counter >> 32) as u32;
+                self.cursor = 0;
+            }
+            let w = self.buffer[self.cursor];
+            self.cursor += 1;
+            w
+        }
+    }
+}
+
+/// Concrete generator types.
+pub mod rngs {
+    use super::chacha::ChaCha;
+    use super::{RngCore, SeedableRng};
+
+    /// The standard deterministic generator: ChaCha with 12 rounds, keyed
+    /// from the seed. Mirrors upstream `rand`'s choice of algorithm (but
+    /// not its exact value stream).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        core: ChaCha,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            self.core.next_word()
+        }
+        fn next_u64(&mut self) -> u64 {
+            let lo = self.core.next_word() as u64;
+            let hi = self.core.next_word() as u64;
+            lo | (hi << 32)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+        fn from_seed(seed: [u8; 32]) -> Self {
+            StdRng {
+                core: ChaCha::from_key(seed, 12),
+            }
+        }
+    }
+}
+
+/// `use rand::prelude::*` convenience re-exports.
+pub mod prelude {
+    pub use super::rngs::StdRng;
+    pub use super::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_reproducible() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        use super::RngCore;
+        let mut c = StdRng::seed_from_u64(43);
+        let d: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        let mut a2 = StdRng::seed_from_u64(42);
+        assert_ne!(d, (0..8).map(|_| a2.next_u64()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: f64 = rng.gen_range(3.0..5.0);
+            assert!((3.0..5.0).contains(&x));
+            let y: usize = rng.gen_range(2..9);
+            assert!((2..9).contains(&y));
+            let z: u64 = rng.gen_range(10..=12);
+            assert!((10..=12).contains(&z));
+            let f: f64 = rng.gen_range(0.25..=0.75);
+            assert!((0.25..=0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn bounded_sampling_hits_every_value() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            seen[rng.gen_range(0usize..5)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}
