@@ -5,12 +5,13 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use qp_core::capacity::CapacityProfile;
+use qp_core::eval::EvalContext;
 use qp_core::manyone::{element_weights, place_for_client, ManyToOneConfig};
 use qp_core::{combinatorics, one_to_one, response, strategy_lp, ResponseModel};
 use qp_des::{EventQueue, ServiceStation, SimTime};
 use qp_lp::{Model, Sense};
 use qp_protocol::{simulate, ClientPopulation, ProtocolConfig, QuorumChoice};
-use qp_quorum::{MajorityKind, QuorumSystem};
+use qp_quorum::{MajorityKind, QuorumSystem, StrategyMatrix};
 use qp_topology::{datasets, NodeId};
 
 fn bench_lp_solver(c: &mut Criterion) {
@@ -155,6 +156,60 @@ fn bench_evaluation(c: &mut Criterion) {
             .unwrap()
         });
     });
+
+    // Cached vs uncached Eq. (4.2) evaluation: the uncached path rebuilds
+    // the (clients × quorums) delay matrix and host geometry per call;
+    // the cached path binds them once via PlacedQuorums and reuses them —
+    // the exact shape of the §7 capacity sweeps.
+    let quorums = sys.enumerate(100_000).unwrap();
+    let strategy = StrategyMatrix::uniform(clients.len(), quorums.len());
+    let model = ResponseModel::from_demand(0.007, 16000.0);
+    group.bench_function("evaluate_matrix_uncached_grid7_daxlist161", |b| {
+        b.iter(|| {
+            response::evaluate_matrix(&net, &clients, &placement, &quorums, &strategy, model)
+                .unwrap()
+        });
+    });
+    let ctx = EvalContext::new(&net, &clients);
+    let pq = ctx.place(&placement, &quorums);
+    group.bench_function("evaluate_matrix_cached_grid7_daxlist161", |b| {
+        b.iter(|| response::evaluate_matrix_placed(&pq, &strategy, model).unwrap());
+    });
+    let dedup = model.deduplicated();
+    group.bench_function("evaluate_matrix_uncached_dedup_grid7", |b| {
+        b.iter(|| {
+            response::evaluate_matrix(&net, &clients, &placement, &quorums, &strategy, dedup)
+                .unwrap()
+        });
+    });
+    group.bench_function("evaluate_matrix_cached_dedup_grid7", |b| {
+        b.iter(|| response::evaluate_matrix_placed(&pq, &strategy, dedup).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_sweep_parallel(c: &mut Criterion) {
+    // The whole fig7_6 smoke pipeline (placement search + LP sweep over
+    // the (universe × capacity) grid), serial vs parallel. Output is
+    // bit-identical across thread counts; only wall-clock differs.
+    // Restores the default configuration afterwards.
+    let mut group = c.benchmark_group("sweep");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("fig7_6_smoke", format!("t{threads}")),
+            &threads,
+            |b, &threads| {
+                qp_par::configure_threads(threads);
+                b.iter(|| qp_bench::figures::fig7_6(qp_bench::Scale::Smoke));
+            },
+        );
+    }
+    qp_par::configure_threads(
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    );
     group.finish();
 }
 
@@ -220,6 +275,7 @@ criterion_group!(
     bench_metric_closure,
     bench_expected_max,
     bench_evaluation,
+    bench_sweep_parallel,
     bench_des,
 );
 criterion_main!(benches);

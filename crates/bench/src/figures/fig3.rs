@@ -10,7 +10,8 @@
 
 use qp_core::one_to_one::{self, SelectionObjective};
 use qp_core::Placement;
-use qp_protocol::{simulate, ClientPopulation, ProtocolConfig, QuorumChoice};
+use qp_par::ParPool;
+use qp_protocol::{simulate_many, ClientPopulation, ProtocolConfig, QuorumChoice};
 use qp_quorum::{MajorityKind, QuorumSystem};
 use qp_topology::{datasets, Network};
 
@@ -37,36 +38,57 @@ fn measured_requests(scale: Scale) -> usize {
     }
 }
 
-/// Runs the Q/U DES for `(t, clients-per-location)` and returns
-/// `(avg response ms, avg network delay ms)` averaged over [`RUNS`] seeds.
-fn qu_point(net: &Network, t: usize, per_location: usize, scale: Scale) -> (f64, f64) {
-    let sys = qu_system(t);
-    let placement = qu_placement(net, &sys);
-    let base = ClientPopulation::representative(net, &sys, &placement, 10, 1);
+/// Runs the Q/U DES for a prepared `(system, placement)` pair and
+/// `clients-per-location`, returning `(avg response ms, avg network
+/// delay ms)` averaged over [`RUNS`] seeds.
+///
+/// The seeded repetitions run through the parallel multi-run driver
+/// ([`simulate_many`]); reports come back in seed order, so the
+/// accumulation below matches the historical serial loop bit for bit.
+fn qu_point(
+    net: &Network,
+    sys: &QuorumSystem,
+    placement: &Placement,
+    per_location: usize,
+    scale: Scale,
+) -> (f64, f64) {
+    let base = ClientPopulation::representative(net, sys, placement, 10, 1);
     let pop = base.with_per_location(per_location);
+    let seeds: Vec<u64> = (0..RUNS).collect();
+    let reports = simulate_many(
+        net,
+        sys,
+        placement,
+        &pop,
+        &QuorumChoice::Balanced,
+        &ProtocolConfig {
+            service_time_ms: 1.0,
+            warmup_requests: 10,
+            measured_requests: measured_requests(scale),
+            seed: 0,
+            service_multipliers: None,
+            dedup_colocated: false,
+        },
+        &seeds,
+    )
+    .expect("simulation inputs are consistent");
     let mut resp = 0.0;
     let mut delay = 0.0;
-    for seed in 0..RUNS {
-        let report = simulate(
-            net,
-            &sys,
-            &placement,
-            &pop,
-            QuorumChoice::Balanced,
-            &ProtocolConfig {
-                service_time_ms: 1.0,
-                warmup_requests: 10,
-                measured_requests: measured_requests(scale),
-                seed,
-                service_multipliers: None,
-                dedup_colocated: false,
-            },
-        )
-        .expect("simulation inputs are consistent");
+    for report in &reports {
         resp += report.avg_response_ms;
         delay += report.avg_network_delay_ms;
     }
     (resp / RUNS as f64, delay / RUNS as f64)
+}
+
+/// Stage 1 of every §3 pipeline: the per-`t` system + placement pairs,
+/// searched in parallel.
+fn qu_setups(net: &Network, ts: &[usize]) -> Vec<(QuorumSystem, Placement)> {
+    ParPool::global().run(ts.len(), |i| {
+        let sys = qu_system(ts[i]);
+        let placement = qu_placement(net, &sys);
+        (sys, placement)
+    })
 }
 
 fn t_values(scale: Scale) -> Vec<usize> {
@@ -97,11 +119,25 @@ pub fn fig3_1(scale: Scale) -> Table {
             "response_time_ms".into(),
         ],
     );
-    for &t in &t_values(scale) {
-        for &c in &client_counts(scale) {
-            let (resp, delay) = qu_point(&net, t, c, scale);
-            table.push_row(vec![(5 * t + 1) as f64, (10 * c) as f64, delay, resp]);
-        }
+    let ts = t_values(scale);
+    let counts = client_counts(scale);
+    let setups = qu_setups(&net, &ts);
+    // Stage 2: every (t, clients) cell is an independent DES average.
+    let cells: Vec<(usize, usize)> = (0..ts.len())
+        .flat_map(|ti| (0..counts.len()).map(move |ci| (ti, ci)))
+        .collect();
+    let points = ParPool::global().run(cells.len(), |j| {
+        let (ti, ci) = cells[j];
+        let (sys, placement) = &setups[ti];
+        qu_point(&net, sys, placement, counts[ci], scale)
+    });
+    for ((ti, ci), (resp, delay)) in cells.into_iter().zip(points) {
+        table.push_row(vec![
+            (5 * ts[ti] + 1) as f64,
+            (10 * counts[ci]) as f64,
+            delay,
+            resp,
+        ]);
     }
     table
 }
@@ -124,8 +160,13 @@ pub fn fig3_2a(scale: Scale) -> Table {
             "response_time_ms".into(),
         ],
     );
-    for &t in &t_values(scale) {
-        let (resp, delay) = qu_point(&net, t, per_location, scale);
+    let ts = t_values(scale);
+    let setups = qu_setups(&net, &ts);
+    let points = ParPool::global().run(ts.len(), |ti| {
+        let (sys, placement) = &setups[ti];
+        qu_point(&net, sys, placement, per_location, scale)
+    });
+    for (&t, (resp, delay)) in ts.iter().zip(points) {
         table.push_row(vec![t as f64, (5 * t + 1) as f64, delay, resp]);
     }
     table
@@ -152,8 +193,12 @@ pub fn fig3_2b(scale: Scale) -> Table {
             "response_time_ms".into(),
         ],
     );
-    for &c in &counts {
-        let (resp, delay) = qu_point(&net, t, c, scale);
+    let setups = qu_setups(&net, &[t]);
+    let (sys, placement) = &setups[0];
+    let points = ParPool::global().run(counts.len(), |ci| {
+        qu_point(&net, sys, placement, counts[ci], scale)
+    });
+    for (&c, (resp, delay)) in counts.iter().zip(points) {
         table.push_row(vec![(10 * c) as f64, delay, resp]);
     }
     table

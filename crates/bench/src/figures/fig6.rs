@@ -1,9 +1,11 @@
 //! §6–§7 one-to-one placement figures (6.3, 6.4, 6.5).
 
+use qp_core::eval::EvalContext;
 use qp_core::one_to_one;
-use qp_core::response::{evaluate_balanced, evaluate_closest};
+use qp_core::response::{evaluate_balanced_ctx, evaluate_closest_ctx};
 use qp_core::singleton::singleton_delay;
 use qp_core::ResponseModel;
+use qp_par::ParPool;
 use qp_quorum::{MajorityKind, QuorumSystem};
 use qp_topology::{datasets, Network, NodeId};
 
@@ -50,24 +52,31 @@ pub fn fig6_3(scale: Scale) -> Table {
         rows.entry(n).or_insert_with(|| vec![f64::NAN; 5])
     }
 
+    // One (column, system, universe) job per curve point; every point is
+    // an independent placement search + evaluation, run in parallel on
+    // the shared context.
+    let ctx = EvalContext::new(&net, &clients);
+    let mut jobs: Vec<(usize, QuorumSystem, usize)> = Vec::new();
     for (col, kind) in MajorityKind::ALL.iter().enumerate() {
         let max_t = kind.max_t_for_universe(max_universe).unwrap_or(0);
         for t in 1..=max_t {
-            let n = kind.universe_size(t);
             let sys = QuorumSystem::majority(*kind, t).expect("t ≥ 1");
-            let placement = one_to_one::best_placement(&net, &sys).expect("universe fits");
-            let eval = evaluate_closest(&net, &clients, &sys, &placement, model)
-                .expect("evaluation succeeds");
-            row_at(&mut rows, n)[col] = eval.avg_response_ms;
+            jobs.push((col, sys, kind.universe_size(t)));
         }
     }
     let max_k = (max_universe as f64).sqrt().floor() as usize;
     for k in 2..=max_k {
-        let sys = QuorumSystem::grid(k).expect("k ≥ 1");
-        let placement = one_to_one::best_placement(&net, &sys).expect("universe fits");
-        let eval =
-            evaluate_closest(&net, &clients, &sys, &placement, model).expect("evaluation succeeds");
-        row_at(&mut rows, k * k)[3] = eval.avg_response_ms;
+        jobs.push((3, QuorumSystem::grid(k).expect("k ≥ 1"), k * k));
+    }
+    let responses: Vec<f64> = ParPool::global().run(jobs.len(), |i| {
+        let (_, sys, _) = &jobs[i];
+        let placement = one_to_one::best_placement_ctx(&ctx, sys).expect("universe fits");
+        evaluate_closest_ctx(&ctx, sys, &placement, model)
+            .expect("evaluation succeeds")
+            .avg_response_ms
+    });
+    for ((col, _, n), resp) in jobs.iter().zip(responses) {
+        row_at(&mut rows, *n)[*col] = resp;
     }
     // Singleton baseline appears at every row.
     for (n, mut vals) in rows {
@@ -106,21 +115,28 @@ fn grid_daxlist(demands: &[f64], id: &str, title: &str, scale: Scale) -> Table {
     }
     let mut table = Table::new(id, title, columns);
 
-    for k in grid_sizes(&net, scale) {
+    // One job per universe size; rows land in `ks` order.
+    let ctx = EvalContext::new(&net, &clients);
+    let ks = grid_sizes(&net, scale);
+    let rows: Vec<Vec<f64>> = ParPool::global().run(ks.len(), |i| {
+        let k = ks[i];
         let sys = QuorumSystem::grid(k).expect("k ≥ 1");
-        let placement = one_to_one::best_placement(&net, &sys).expect("universe fits");
+        let placement = one_to_one::best_placement_ctx(&ctx, &sys).expect("universe fits");
         let mut row = vec![(k * k) as f64];
         for &demand in demands {
             let model = ResponseModel::from_demand(OP_SRV_TIME_MS, demand);
-            let closest = evaluate_closest(&net, &clients, &sys, &placement, model)
-                .expect("evaluation succeeds");
-            let balanced = evaluate_balanced(&net, &clients, &sys, &placement, model)
-                .expect("grid enumerates");
+            let closest =
+                evaluate_closest_ctx(&ctx, &sys, &placement, model).expect("evaluation succeeds");
+            let balanced =
+                evaluate_balanced_ctx(&ctx, &sys, &placement, model).expect("grid enumerates");
             row.push(closest.avg_network_delay_ms);
             row.push(closest.avg_response_ms);
             row.push(balanced.avg_network_delay_ms);
             row.push(balanced.avg_response_ms);
         }
+        row
+    });
+    for row in rows {
         table.push_row(row);
     }
     table

@@ -1,10 +1,23 @@
 //! §7 capacity-tuning figures (7.6, 7.7, 7.8): LP-optimized strategies
 //! under uniform and non-uniform node capacities.
+//!
+//! Each figure is a (universe size × capacity) grid of independent LP
+//! solves. The pipelines run in two parallel stages on the global
+//! [`ParPool`]: first the per-`k` setups (placement search + quorum
+//! enumeration), then every grid cell at once, each cell reusing the
+//! per-`k` [`PlacedQuorums`] geometry cache. Rows are emitted in the
+//! same (k, capacity) order as the original serial loops, and every
+//! cell is a pure function of its inputs, so tables are bit-for-bit
+//! identical for any thread count.
 
+use qp_core::eval::{EvalContext, PlacedQuorums};
 use qp_core::one_to_one;
-use qp_core::strategy_lp::{evaluate_at_nonuniform_capacity, evaluate_at_uniform_capacity};
-use qp_core::{CoreError, ResponseModel};
-use qp_quorum::QuorumSystem;
+use qp_core::strategy_lp::{
+    evaluate_at_nonuniform_capacity_placed, evaluate_at_uniform_capacity_placed,
+};
+use qp_core::{CoreError, Placement, ResponseModel};
+use qp_par::ParPool;
+use qp_quorum::{Quorum, QuorumSystem};
 use qp_topology::{datasets, Network, NodeId};
 
 use crate::figures::fig6::OP_SRV_TIME_MS;
@@ -22,9 +35,59 @@ fn setup(scale: Scale) -> (Network, Vec<NodeId>, Vec<usize>, usize) {
     (net, clients, ks, steps)
 }
 
-/// Capacity grid `cᵢ = L_opt + i·(1 − L_opt)/steps` for the given system.
-fn sweep_for(sys: &QuorumSystem, steps: usize) -> Vec<f64> {
-    qp_core::capacity::capacity_sweep(sys.optimal_load().expect("structured system"), steps)
+/// Per-`k` sweep inputs: system, best placement, enumerated quorums,
+/// and the capacity grid.
+struct GridSetup {
+    k: usize,
+    l_opt: f64,
+    placement: Placement,
+    quorums: Vec<Quorum>,
+    sweep: Vec<f64>,
+}
+
+/// Stage 1: build every per-`k` setup in parallel (the placement
+/// search dominates).
+fn grid_setups(ctx: &EvalContext<'_>, ks: &[usize], steps: usize) -> Vec<GridSetup> {
+    ParPool::global().run(ks.len(), |i| {
+        let k = ks[i];
+        let sys = QuorumSystem::grid(k).expect("k ≥ 1");
+        let l_opt = sys.optimal_load().expect("grid");
+        let placement = one_to_one::best_placement_ctx(ctx, &sys).expect("fits");
+        let quorums = sys.enumerate(100_000).expect("k² quorums");
+        let sweep = qp_core::capacity::capacity_sweep(l_opt, steps);
+        GridSetup {
+            k,
+            l_opt,
+            placement,
+            quorums,
+            sweep,
+        }
+    })
+}
+
+/// The shared parallel-grid harness of Figures 7.6–7.8: bind each
+/// setup's geometry once, flatten the (setup × capacity) grid into
+/// cells in row-emission order, evaluate every cell on the global pool,
+/// and return the rows in that same order.
+fn run_grid(
+    ctx: &EvalContext<'_>,
+    setups: &[GridSetup],
+    cell: impl Fn(&PlacedQuorums<'_>, &GridSetup, f64) -> Vec<f64> + Sync,
+) -> Vec<Vec<f64>> {
+    let pqs: Vec<PlacedQuorums<'_>> = setups
+        .iter()
+        .map(|s| ctx.place(&s.placement, &s.quorums))
+        .collect();
+    let cells: Vec<(usize, usize)> = setups
+        .iter()
+        .enumerate()
+        .flat_map(|(si, s)| (0..s.sweep.len()).map(move |ci| (si, ci)))
+        .collect();
+    ParPool::global().run(cells.len(), |j| {
+        let (si, ci) = cells[j];
+        let s = &setups[si];
+        cell(&pqs[si], s, s.sweep[ci])
+    })
 }
 
 /// Figure 7.6: the (universe size × uniform node capacity) surface of
@@ -32,6 +95,7 @@ fn sweep_for(sys: &QuorumSystem, steps: usize) -> Vec<f64> {
 /// Planetlab-50, demand 16000.
 pub fn fig7_6(scale: Scale) -> Table {
     let (net, clients, ks, steps) = setup(scale);
+    let ctx = EvalContext::new(&net, &clients);
     let model = ResponseModel::from_demand(OP_SRV_TIME_MS, DEMAND);
     let mut table = Table::new(
         "fig7_6",
@@ -43,24 +107,23 @@ pub fn fig7_6(scale: Scale) -> Table {
             "response_time_ms".into(),
         ],
     );
-    for &k in &ks {
-        let sys = QuorumSystem::grid(k).expect("k ≥ 1");
-        let placement = one_to_one::best_placement(&net, &sys).expect("fits");
-        let quorums = sys.enumerate(100_000).expect("k² quorums");
-        for c in sweep_for(&sys, steps) {
-            match evaluate_at_uniform_capacity(&net, &clients, &placement, &quorums, c, model) {
-                Ok((_, eval)) => table.push_row(vec![
-                    (k * k) as f64,
-                    c,
-                    eval.avg_network_delay_ms,
-                    eval.avg_response_ms,
-                ]),
-                Err(CoreError::Infeasible) => {
-                    table.push_row(vec![(k * k) as f64, c, f64::NAN, f64::NAN])
-                }
-                Err(e) => panic!("unexpected failure at k={k}, c={c}: {e}"),
-            }
-        }
+    let setups = grid_setups(&ctx, &ks, steps);
+    let rows = run_grid(
+        &ctx,
+        &setups,
+        |pq, s, c| match evaluate_at_uniform_capacity_placed(pq, c, model) {
+            Ok((_, eval)) => vec![
+                (s.k * s.k) as f64,
+                c,
+                eval.avg_network_delay_ms,
+                eval.avg_response_ms,
+            ],
+            Err(CoreError::Infeasible) => vec![(s.k * s.k) as f64, c, f64::NAN, f64::NAN],
+            Err(e) => panic!("unexpected failure at k={}, c={c}: {e}", s.k),
+        },
+    );
+    for row in rows {
+        table.push_row(row);
     }
     table
 }
@@ -70,6 +133,7 @@ pub fn fig7_6(scale: Scale) -> Table {
 /// capacities over the same surface.
 pub fn fig7_7(scale: Scale) -> Table {
     let (net, clients, ks, steps) = setup(scale);
+    let ctx = EvalContext::new(&net, &clients);
     let model = ResponseModel::from_demand(OP_SRV_TIME_MS, DEMAND);
     let mut table = Table::new(
         "fig7_7",
@@ -82,29 +146,37 @@ pub fn fig7_7(scale: Scale) -> Table {
             "response_nonuniform_ms".into(),
         ],
     );
-    for &k in &ks {
-        let sys = QuorumSystem::grid(k).expect("k ≥ 1");
-        let l_opt = sys.optimal_load().expect("grid");
-        let placement = one_to_one::best_placement(&net, &sys).expect("fits");
-        let quorums = sys.enumerate(100_000).expect("k² quorums");
-        for c in sweep_for(&sys, steps) {
-            let uniform =
-                evaluate_at_uniform_capacity(&net, &clients, &placement, &quorums, c, model);
-            let nonuniform = evaluate_at_nonuniform_capacity(
-                &net, &clients, &placement, &quorums, l_opt, c, model,
-            );
-            let (delay, resp_u) = match &uniform {
-                Ok((_, e)) => (e.avg_network_delay_ms, e.avg_response_ms),
-                Err(_) => (f64::NAN, f64::NAN),
-            };
-            let resp_n = match &nonuniform {
-                Ok((_, e)) => e.avg_response_ms,
-                Err(_) => f64::NAN,
-            };
-            table.push_row(vec![(k * k) as f64, c, delay, resp_u, resp_n]);
-        }
+    let setups = grid_setups(&ctx, &ks, steps);
+    let rows = run_grid(&ctx, &setups, |pq, s, c| {
+        let (delay, resp_u, resp_n) = uniform_vs_nonuniform(pq, s, c, model);
+        vec![(s.k * s.k) as f64, c, delay, resp_u, resp_n]
+    });
+    for row in rows {
+        table.push_row(row);
     }
     table
+}
+
+/// One Figure 7.7/7.8 cell: `(network delay, uniform response,
+/// non-uniform response)` at capacity `c`, NaN where the LP is
+/// infeasible.
+fn uniform_vs_nonuniform(
+    pq: &PlacedQuorums<'_>,
+    s: &GridSetup,
+    c: f64,
+    model: ResponseModel,
+) -> (f64, f64, f64) {
+    let uniform = evaluate_at_uniform_capacity_placed(pq, c, model);
+    let nonuniform = evaluate_at_nonuniform_capacity_placed(pq, s.l_opt, c, model);
+    let (delay, resp_u) = match &uniform {
+        Ok((_, e)) => (e.avg_network_delay_ms, e.avg_response_ms),
+        Err(_) => (f64::NAN, f64::NAN),
+    };
+    let resp_n = match &nonuniform {
+        Ok((_, e)) => e.avg_response_ms,
+        Err(_) => f64::NAN,
+    };
+    (delay, resp_u, resp_n)
 }
 
 /// Figure 7.8: the `n = 49` (7×7) slice of Figure 7.7 — response vs
@@ -112,15 +184,13 @@ pub fn fig7_7(scale: Scale) -> Table {
 pub fn fig7_8(scale: Scale) -> Table {
     let net = datasets::planetlab_50();
     let clients: Vec<NodeId> = net.nodes().collect();
+    let ctx = EvalContext::new(&net, &clients);
     let (k, steps) = match scale {
         Scale::Full => (7, 10),
         Scale::Smoke => (3, 4),
     };
     let model = ResponseModel::from_demand(OP_SRV_TIME_MS, DEMAND);
-    let sys = QuorumSystem::grid(k).expect("k ≥ 1");
-    let l_opt = sys.optimal_load().expect("grid");
-    let placement = one_to_one::best_placement(&net, &sys).expect("fits");
-    let quorums = sys.enumerate(100_000).expect("k² quorums");
+    let setups = grid_setups(&ctx, &[k], steps);
     let mut table = Table::new(
         "fig7_8",
         "Fig 7.8 — 7×7 Grid on Planetlab-50: response vs capacity, uniform vs non-uniform (demand 16000)",
@@ -131,19 +201,12 @@ pub fn fig7_8(scale: Scale) -> Table {
             "response_nonuniform_ms".into(),
         ],
     );
-    for c in sweep_for(&sys, steps) {
-        let uniform = evaluate_at_uniform_capacity(&net, &clients, &placement, &quorums, c, model);
-        let nonuniform =
-            evaluate_at_nonuniform_capacity(&net, &clients, &placement, &quorums, l_opt, c, model);
-        let (delay, resp_u) = match &uniform {
-            Ok((_, e)) => (e.avg_network_delay_ms, e.avg_response_ms),
-            Err(_) => (f64::NAN, f64::NAN),
-        };
-        let resp_n = match &nonuniform {
-            Ok((_, e)) => e.avg_response_ms,
-            Err(_) => f64::NAN,
-        };
-        table.push_row(vec![c, delay, resp_u, resp_n]);
+    let rows = run_grid(&ctx, &setups, |pq, s, c| {
+        let (delay, resp_u, resp_n) = uniform_vs_nonuniform(pq, s, c, model);
+        vec![c, delay, resp_u, resp_n]
+    });
+    for row in rows {
+        table.push_row(row);
     }
     table
 }

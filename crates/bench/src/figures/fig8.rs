@@ -1,9 +1,11 @@
 //! §7's iterative many-to-one evaluation (Figure 8.9).
 
 use qp_core::capacity::{capacity_sweep, CapacityProfile};
+use qp_core::eval::EvalContext;
 use qp_core::manyone::ManyToOneConfig;
-use qp_core::response::evaluate_closest;
+use qp_core::response::evaluate_closest_ctx;
 use qp_core::{iterative, one_to_one, CoreError, ResponseModel};
+use qp_par::ParPool;
 use qp_quorum::QuorumSystem;
 use qp_topology::{datasets, NodeId};
 
@@ -34,8 +36,9 @@ pub fn fig8_9(scale: Scale) -> Table {
     let model = ResponseModel::network_delay_only();
 
     // One-to-one baseline (capacity-independent).
-    let one_one = one_to_one::best_placement(&net, &sys).expect("fits");
-    let baseline = evaluate_closest(&net, &clients, &sys, &one_one, model)
+    let ctx = EvalContext::new(&net, &clients);
+    let one_one = one_to_one::best_placement_ctx(&ctx, &sys).expect("fits");
+    let baseline = evaluate_closest_ctx(&ctx, &sys, &one_one, model)
         .expect("evaluation succeeds")
         .avg_network_delay_ms;
 
@@ -57,9 +60,14 @@ pub fn fig8_9(scale: Scale) -> Table {
         capacity_slack: 2.0,
         ..ManyToOneConfig::default()
     };
-    for c in capacity_sweep(l_opt, steps) {
+    // Every sweep point is an independent run of the full iterative
+    // algorithm (two LPs per iteration) — the coarsest useful parallel
+    // grain of this figure.
+    let cs = capacity_sweep(l_opt, steps);
+    let rows: Vec<Vec<f64>> = ParPool::global().run(cs.len(), |i| {
+        let c = cs[i];
         let caps0 = CapacityProfile::uniform(net.len(), c);
-        match iterative::optimize(&net, &clients, &quorums, &caps0, model, 2, &m2o) {
+        match iterative::optimize_ctx(&ctx, &quorums, &caps0, model, 2, &m2o) {
             Ok(result) => {
                 let it1 = result.history[0].after_strategy.avg_network_delay_ms;
                 let it2 = result
@@ -67,13 +75,14 @@ pub fn fig8_9(scale: Scale) -> Table {
                     .get(1)
                     .map(|r| r.after_strategy.avg_network_delay_ms)
                     .unwrap_or(it1);
-                table.push_row(vec![c, it1, it2, baseline]);
+                vec![c, it1, it2, baseline]
             }
-            Err(CoreError::Infeasible) => {
-                table.push_row(vec![c, f64::NAN, f64::NAN, baseline]);
-            }
+            Err(CoreError::Infeasible) => vec![c, f64::NAN, f64::NAN, baseline],
             Err(e) => panic!("unexpected failure at c={c}: {e}"),
         }
+    });
+    for row in rows {
+        table.push_row(row);
     }
     table
 }

@@ -52,10 +52,40 @@ impl Scale {
     }
 }
 
+/// Parses an optional `--threads N` flag and configures the global
+/// worker pool ([`qp_par::configure_threads`]). `N = 0` is rejected.
+///
+/// # Errors
+///
+/// A human-readable message when the flag has no value, a non-numeric
+/// value, or the value 0.
+pub fn apply_threads_flag(args: &[String]) -> Result<(), String> {
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        if flag == "--threads" {
+            let value = it.next().ok_or("--threads requires a value")?;
+            let n: usize = value
+                .parse()
+                .map_err(|_| format!("--threads: `{value}` is not a positive integer"))?;
+            if n == 0 {
+                return Err("--threads must be at least 1".to_string());
+            }
+            qp_par::configure_threads(n);
+        }
+    }
+    Ok(())
+}
+
 /// Standard main body for figure binaries: run the pipeline, print the
-/// table (and CSV when `--csv` is passed).
+/// table (and CSV when `--csv` is passed). `--threads N` sets the
+/// worker-pool width (default: available parallelism); output is
+/// identical for any thread count.
 pub fn run_figure<F: FnOnce(Scale) -> Table>(pipeline: F) {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Err(e) = apply_threads_flag(&args) {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    }
     let scale = Scale::from_args(args.iter().cloned());
     let csv = args.iter().any(|a| a == "--csv");
     let table = pipeline(scale);
@@ -75,5 +105,18 @@ mod tests {
         assert_eq!(Scale::from_args(vec!["--smoke".to_string()]), Scale::Smoke);
         assert_eq!(Scale::from_args(vec!["--csv".to_string()]), Scale::Full);
         assert_eq!(Scale::from_args(Vec::<String>::new()), Scale::Full);
+    }
+
+    fn args(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn threads_flag_validation() {
+        assert!(apply_threads_flag(&args(&["--smoke"])).is_ok());
+        assert!(apply_threads_flag(&args(&["--threads", "2"])).is_ok());
+        assert!(apply_threads_flag(&args(&["--threads"])).is_err());
+        assert!(apply_threads_flag(&args(&["--threads", "zero"])).is_err());
+        assert!(apply_threads_flag(&args(&["--threads", "0"])).is_err());
     }
 }

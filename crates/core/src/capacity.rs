@@ -173,9 +173,19 @@ impl CapacityProfile {
 /// `i ∈ {1, …, steps}` with `λ = (1 − L_opt)/steps`. The paper uses
 /// `steps = 10`, producing ten values spanning `(L_opt, 1]`.
 ///
+/// Degenerate inputs collapse gracefully instead of producing an empty
+/// or duplicated grid:
+///
+/// * `steps == 0` — there is no interior to sweep; returns the single
+///   admissible capacity `[1.0]` (every node may carry full load).
+/// * `l_opt == 1.0` — the sweep interval `(L_opt, 1]` is a point; every
+///   step would emit the same `1.0`, so the duplicates are collapsed to
+///   a single `[1.0]`. (A system with optimal load 1 — e.g. a singleton
+///   — has exactly one feasible uniform capacity.)
+///
 /// # Panics
 ///
-/// Panics if `steps == 0` or `l_opt` is not in `[0, 1]`.
+/// Panics if `l_opt` is not in `[0, 1]` (NaN included).
 ///
 /// # Examples
 ///
@@ -186,10 +196,15 @@ impl CapacityProfile {
 /// assert_eq!(cs.len(), 10);
 /// assert!((cs[9] - 1.0).abs() < 1e-12);
 /// assert!(cs[0] > 0.5);
+/// // Degenerate cases collapse to the single point 1.0:
+/// assert_eq!(capacity_sweep(0.5, 0), vec![1.0]);
+/// assert_eq!(capacity_sweep(1.0, 10), vec![1.0]);
 /// ```
 pub fn capacity_sweep(l_opt: f64, steps: usize) -> Vec<f64> {
-    assert!(steps > 0, "at least one step required");
     assert!((0.0..=1.0).contains(&l_opt), "L_opt must lie in [0, 1]");
+    if steps == 0 || l_opt >= 1.0 {
+        return vec![1.0];
+    }
     let lambda = (1.0 - l_opt) / steps as f64;
     (1..=steps).map(|i| l_opt + i as f64 * lambda).collect()
 }
@@ -218,9 +233,44 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one step")]
-    fn sweep_rejects_zero_steps() {
-        let _ = capacity_sweep(0.5, 0);
+    fn sweep_zero_steps_collapses_to_full_capacity() {
+        assert_eq!(capacity_sweep(0.5, 0), vec![1.0]);
+        assert_eq!(capacity_sweep(0.0, 0), vec![1.0]);
+    }
+
+    #[test]
+    fn sweep_l_opt_one_collapses_to_single_point() {
+        // Every step of a (1.0, 1] sweep is the same value; a degenerate
+        // grid of ten duplicate LP solves is collapsed to one.
+        assert_eq!(capacity_sweep(1.0, 10), vec![1.0]);
+        assert_eq!(capacity_sweep(1.0, 1), vec![1.0]);
+    }
+
+    #[test]
+    fn sweep_always_nonempty_and_ends_at_one() {
+        for steps in [0usize, 1, 3, 10] {
+            for l_opt in [0.0, 0.36, 0.999, 1.0] {
+                let cs = capacity_sweep(l_opt, steps);
+                assert!(
+                    !cs.is_empty(),
+                    "empty sweep at l_opt={l_opt}, steps={steps}"
+                );
+                let last = *cs.last().unwrap();
+                assert!(
+                    (last - 1.0).abs() < 1e-12,
+                    "sweep must end at capacity 1.0, got {last}"
+                );
+                for c in &cs {
+                    assert!(*c > l_opt - 1e-12 && *c <= 1.0 + 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "L_opt must lie in [0, 1]")]
+    fn sweep_rejects_out_of_range_l_opt() {
+        let _ = capacity_sweep(1.5, 10);
     }
 
     #[test]

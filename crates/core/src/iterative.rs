@@ -20,9 +20,10 @@ use qp_quorum::{Quorum, StrategyMatrix};
 use qp_topology::{Network, NodeId};
 
 use crate::capacity::CapacityProfile;
+use crate::eval::EvalContext;
 use crate::manyone::{best_placement, ManyToOneConfig};
-use crate::response::{evaluate_matrix, Evaluation, ResponseModel};
-use crate::strategy_lp::optimize_strategies;
+use crate::response::{evaluate_matrix_placed, Evaluation, ResponseModel};
+use crate::strategy_lp::optimize_strategies_placed;
 use crate::{CoreError, Placement};
 
 /// Progress record for one iteration.
@@ -76,7 +77,33 @@ pub fn optimize(
     config: &ManyToOneConfig,
 ) -> Result<IterativeResult, CoreError> {
     assert!(!clients.is_empty(), "at least one client required");
+    let ctx = EvalContext::new(net, clients);
+    optimize_ctx(&ctx, quorums, caps0, model, max_iterations, config)
+}
+
+/// [`optimize`] against an [`EvalContext`]: each iteration binds the
+/// new placement to the context once and feeds the cached geometry to
+/// both the strategy LP and the Eq. (4.2) evaluations, instead of
+/// recomputing the delay matrix three times per iteration.
+///
+/// # Errors
+///
+/// As for [`optimize`].
+///
+/// # Panics
+///
+/// Panics if `max_iterations == 0`.
+pub fn optimize_ctx(
+    ctx: &EvalContext<'_>,
+    quorums: &[Quorum],
+    caps0: &CapacityProfile,
+    model: ResponseModel,
+    max_iterations: usize,
+    config: &ManyToOneConfig,
+) -> Result<IterativeResult, CoreError> {
     assert!(max_iterations > 0, "at least one iteration required");
+    let net = ctx.net();
+    let clients = ctx.clients();
 
     // p⁰ = uniform for every client.
     let mut strategy = StrategyMatrix::uniform(clients.len(), quorums.len());
@@ -88,7 +115,8 @@ pub fn optimize(
         let avg = strategy.average();
         let outcome = best_placement(net, quorums, &avg, caps0, config)?;
         let placement = outcome.placement;
-        let after_placement = evaluate_matrix(net, clients, &placement, quorums, &strategy, model)?;
+        let pq = ctx.place(&placement, quorums);
+        let after_placement = evaluate_matrix_placed(&pq, &strategy, model)?;
 
         // Phase 2: strategies under cap(v) = load_{f_j}(v).
         // Guard against zero-capacity nodes (they host nothing): give
@@ -100,9 +128,9 @@ pub fn optimize(
                 .map(|&l| if l > 0.0 { l } else { f64::INFINITY })
                 .collect(),
         );
-        let new_strategy = optimize_strategies(net, clients, &placement, quorums, &caps_j)?;
-        let after_strategy =
-            evaluate_matrix(net, clients, &placement, quorums, &new_strategy, model)?;
+        let new_strategy = optimize_strategies_placed(&pq, &caps_j)?;
+        let after_strategy = evaluate_matrix_placed(&pq, &new_strategy, model)?;
+        drop(pq);
 
         history.push(IterationRecord {
             iteration,

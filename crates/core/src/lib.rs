@@ -62,6 +62,7 @@
 pub mod capacity;
 pub mod combinatorics;
 mod error;
+pub mod eval;
 pub mod iterative;
 pub mod load;
 pub mod manyone;
@@ -72,5 +73,6 @@ pub mod singleton;
 pub mod strategy_lp;
 
 pub use error::CoreError;
+pub use eval::EvalContext;
 pub use placement::Placement;
 pub use response::{Evaluation, ResponseModel};

@@ -6,11 +6,13 @@
 //! preserving the fault tolerance of the original quorum system — the
 //! setting of the paper's §6 evaluation.
 
+use qp_par::ParPool;
 use qp_quorum::QuorumSystem;
 use qp_topology::{Network, NodeId};
 
 use crate::capacity::CapacityProfile;
-use crate::response::{evaluate_balanced, evaluate_closest, ResponseModel};
+use crate::eval::EvalContext;
+use crate::response::{evaluate_balanced_ctx, evaluate_closest_ctx, ResponseModel};
 use crate::{CoreError, Placement};
 
 /// How candidate placements are scored during the best-anchor search.
@@ -43,9 +45,32 @@ pub enum SelectionObjective {
 ///
 /// [`CoreError::SizeMismatch`] if `n` exceeds the network size.
 pub fn ball_placement(net: &Network, v0: NodeId, n: usize) -> Result<Placement, CoreError> {
-    if n > net.len() {
+    ball_nodes_placement(net.len(), v0, n, |v, m| net.ball(v, m))
+}
+
+/// [`ball_placement`] served from an [`EvalContext`]'s cached distance
+/// permutations — identical output, `O(n)` per call instead of a sort.
+///
+/// # Errors
+///
+/// As for [`ball_placement`].
+pub fn ball_placement_ctx(
+    ctx: &EvalContext<'_>,
+    v0: NodeId,
+    n: usize,
+) -> Result<Placement, CoreError> {
+    ball_nodes_placement(ctx.net().len(), v0, n, |v, m| ctx.ball(v, m))
+}
+
+fn ball_nodes_placement(
+    num_nodes: usize,
+    v0: NodeId,
+    n: usize,
+    ball: impl Fn(NodeId, usize) -> Vec<NodeId>,
+) -> Result<Placement, CoreError> {
+    if n > num_nodes {
         return Err(CoreError::SizeMismatch {
-            reason: format!("universe of {n} exceeds network of {}", net.len()),
+            reason: format!("universe of {n} exceeds network of {num_nodes}"),
         });
     }
     if n == 0 {
@@ -53,7 +78,7 @@ pub fn ball_placement(net: &Network, v0: NodeId, n: usize) -> Result<Placement, 
             reason: "empty universe".to_string(),
         });
     }
-    Ok(Placement::new(net.ball(v0, n), net.len()).expect("ball nodes are in range"))
+    Ok(Placement::new(ball(v0, n), num_nodes).expect("ball nodes are in range"))
 }
 
 /// Capacity-aware variant of [`ball_placement`]: uses the `n` closest nodes
@@ -104,19 +129,42 @@ pub fn ball_placement_capacitated(
 ///
 /// [`CoreError::SizeMismatch`] if `k² > |V|` or `k = 0`.
 pub fn grid_shell_placement(net: &Network, v0: NodeId, k: usize) -> Result<Placement, CoreError> {
+    grid_shell_from_ball(net.len(), v0, k, |v, m| net.ball(v, m))
+}
+
+/// [`grid_shell_placement`] served from an [`EvalContext`]'s cached
+/// distance permutations — identical output.
+///
+/// # Errors
+///
+/// As for [`grid_shell_placement`].
+pub fn grid_shell_placement_ctx(
+    ctx: &EvalContext<'_>,
+    v0: NodeId,
+    k: usize,
+) -> Result<Placement, CoreError> {
+    grid_shell_from_ball(ctx.net().len(), v0, k, |v, m| ctx.ball(v, m))
+}
+
+fn grid_shell_from_ball(
+    num_nodes: usize,
+    v0: NodeId,
+    k: usize,
+    ball: impl Fn(NodeId, usize) -> Vec<NodeId>,
+) -> Result<Placement, CoreError> {
     if k == 0 {
         return Err(CoreError::SizeMismatch {
             reason: "k = 0".to_string(),
         });
     }
     let n = k * k;
-    if n > net.len() {
+    if n > num_nodes {
         return Err(CoreError::SizeMismatch {
-            reason: format!("{k}×{k} grid needs {n} nodes, network has {}", net.len()),
+            reason: format!("{k}×{k} grid needs {n} nodes, network has {num_nodes}"),
         });
     }
     // Ball nodes, then reverse to decreasing distance from v0.
-    let mut nodes = net.ball(v0, n);
+    let mut nodes = ball(v0, n);
     nodes.reverse();
 
     // Cell order: shell ℓ = 0 is (0,0); shell ℓ > 0 is column ℓ (rows
@@ -138,7 +186,7 @@ pub fn grid_shell_placement(net: &Network, v0: NodeId, k: usize) -> Result<Place
     for (node, &(r, c)) in nodes.iter().zip(&cell_order) {
         assignment[r * k + c] = *node;
     }
-    Placement::new(assignment, net.len())
+    Placement::new(assignment, num_nodes)
 }
 
 /// The single-anchor one-to-one placement appropriate for `system`:
@@ -160,6 +208,24 @@ pub fn placement_for(
     }
 }
 
+/// [`placement_for`] served from an [`EvalContext`]'s cached distance
+/// permutations.
+///
+/// # Errors
+///
+/// As for [`placement_for`].
+pub fn placement_for_ctx(
+    ctx: &EvalContext<'_>,
+    v0: NodeId,
+    system: &QuorumSystem,
+) -> Result<Placement, CoreError> {
+    if let Some(k) = system.as_grid() {
+        grid_shell_placement_ctx(ctx, v0, k)
+    } else {
+        ball_placement_ctx(ctx, v0, system.universe_size())
+    }
+}
+
 /// Best one-to-one placement across all anchors, scored by
 /// [`SelectionObjective::ClosestDelay`].
 ///
@@ -168,6 +234,19 @@ pub fn placement_for(
 /// Propagates construction and evaluation errors.
 pub fn best_placement(net: &Network, system: &QuorumSystem) -> Result<Placement, CoreError> {
     best_placement_by(net, system, SelectionObjective::ClosestDelay)
+}
+
+/// [`best_placement`] against an [`EvalContext`] (clients = the
+/// context's client set).
+///
+/// # Errors
+///
+/// Propagates construction and evaluation errors.
+pub fn best_placement_ctx(
+    ctx: &EvalContext<'_>,
+    system: &QuorumSystem,
+) -> Result<Placement, CoreError> {
+    best_placement_by_ctx(ctx, system, SelectionObjective::ClosestDelay)
 }
 
 /// Best one-to-one placement across all anchors under an explicit
@@ -184,18 +263,46 @@ pub fn best_placement_by(
     objective: SelectionObjective,
 ) -> Result<Placement, CoreError> {
     let clients: Vec<NodeId> = net.nodes().collect();
+    let ctx = EvalContext::new(net, &clients);
+    best_placement_by_ctx(&ctx, system, objective)
+}
+
+/// [`best_placement_by`] against an [`EvalContext`]: anchors are scored
+/// **in parallel** on the global [`ParPool`] (each anchor's
+/// construction + evaluation is independent), and the winner is reduced
+/// in anchor order with the exact first-strict-minimum rule of the
+/// serial search — so the result is identical for any thread count.
+///
+/// The context's cached distance permutations also make each anchor's
+/// ball/shell construction `O(n)` instead of `O(n log n)`.
+///
+/// # Errors
+///
+/// Propagates construction and evaluation errors (the error of the
+/// lowest-indexed failing anchor, as in the serial search).
+pub fn best_placement_by_ctx(
+    ctx: &EvalContext<'_>,
+    system: &QuorumSystem,
+    objective: SelectionObjective,
+) -> Result<Placement, CoreError> {
+    let anchors: Vec<NodeId> = ctx.net().nodes().collect();
     let model = ResponseModel::network_delay_only();
+    let scored: Vec<Result<(f64, Placement), CoreError>> =
+        ParPool::global().run(anchors.len(), |i| {
+            let placement = placement_for_ctx(ctx, anchors[i], system)?;
+            let delay = match objective {
+                SelectionObjective::ClosestDelay => {
+                    evaluate_closest_ctx(ctx, system, &placement, model)?.avg_network_delay_ms
+                }
+                SelectionObjective::BalancedDelay => {
+                    evaluate_balanced_ctx(ctx, system, &placement, model)?.avg_network_delay_ms
+                }
+            };
+            Ok((delay, placement))
+        });
     let mut best: Option<(f64, Placement)> = None;
-    for v0 in net.nodes() {
-        let placement = placement_for(net, v0, system)?;
-        let delay = match objective {
-            SelectionObjective::ClosestDelay => {
-                evaluate_closest(net, &clients, system, &placement, model)?.avg_network_delay_ms
-            }
-            SelectionObjective::BalancedDelay => {
-                evaluate_balanced(net, &clients, system, &placement, model)?.avg_network_delay_ms
-            }
-        };
+    for outcome in scored {
+        let (delay, placement) = outcome?;
         match &best {
             Some((d, _)) if *d <= delay => {}
             _ => best = Some((delay, placement)),
@@ -207,6 +314,7 @@ pub fn best_placement_by(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::response::evaluate_closest;
     use qp_quorum::MajorityKind;
     use qp_topology::datasets;
 

@@ -15,6 +15,7 @@ use qp_quorum::{Quorum, QuorumSystem, StrategyMatrix};
 use qp_topology::{Network, NodeId};
 
 use crate::combinatorics::expected_max_uniform_subset;
+use crate::eval::{EvalContext, PlacedQuorums};
 use crate::{CoreError, Placement};
 
 /// Quorum-enumeration guard for structural shortcuts: systems with at most
@@ -272,6 +273,36 @@ pub fn evaluate_closest(
     Ok(evaluate_choices(net, clients, placement, &choices, model))
 }
 
+/// [`evaluate_closest`] reading the network and client set from an
+/// [`EvalContext`], for callers threading one context through a sweep.
+///
+/// # Errors
+///
+/// As for [`evaluate_closest`].
+pub fn evaluate_closest_ctx(
+    ctx: &EvalContext<'_>,
+    system: &QuorumSystem,
+    placement: &Placement,
+    model: ResponseModel,
+) -> Result<Evaluation, CoreError> {
+    evaluate_closest(ctx.net(), ctx.clients(), system, placement, model)
+}
+
+/// [`evaluate_balanced`] reading the network and client set from an
+/// [`EvalContext`].
+///
+/// # Errors
+///
+/// As for [`evaluate_balanced`].
+pub fn evaluate_balanced_ctx(
+    ctx: &EvalContext<'_>,
+    system: &QuorumSystem,
+    placement: &Placement,
+    model: ResponseModel,
+) -> Result<Evaluation, CoreError> {
+    evaluate_balanced(ctx.net(), ctx.clients(), system, placement, model)
+}
+
 /// Evaluates an explicit strategy matrix over an enumerated quorum list
 /// (Eq. 4.2 verbatim).
 ///
@@ -292,6 +323,31 @@ pub fn evaluate_matrix(
     model: ResponseModel,
 ) -> Result<Evaluation, CoreError> {
     assert!(!clients.is_empty(), "at least one client required");
+    let ctx = EvalContext::new(net, clients);
+    let pq = ctx.place(placement, quorums);
+    evaluate_matrix_placed(&pq, strategy, model)
+}
+
+/// [`evaluate_matrix`] against a pre-bound [`PlacedQuorums`]: the delay
+/// matrix, host sets, and deduplicated host sets come from the cache
+/// instead of being recomputed, so sweeping many strategies over one
+/// placement (the §7 capacity sweeps) pays the geometry cost once.
+///
+/// Bit-for-bit identical to [`evaluate_matrix`] — the cache stores the
+/// same values the uncached path computes, in the same order.
+///
+/// # Errors
+///
+/// [`CoreError::SizeMismatch`] if the strategy shape does not match the
+/// bound clients/quorums.
+pub fn evaluate_matrix_placed(
+    pq: &PlacedQuorums<'_>,
+    strategy: &StrategyMatrix,
+    model: ResponseModel,
+) -> Result<Evaluation, CoreError> {
+    let clients = pq.ctx().clients();
+    let placement = pq.placement();
+    let quorums = pq.quorums();
     if strategy.num_clients() != clients.len() {
         return Err(CoreError::SizeMismatch {
             reason: format!(
@@ -311,19 +367,7 @@ pub fn evaluate_matrix(
         });
     }
     let node_loads = if model.deduplicates_execution() {
-        let inv = 1.0 / clients.len() as f64;
-        let mut loads = vec![0.0; placement.num_nodes()];
-        for row in 0..clients.len() {
-            for (i, q) in quorums.iter().enumerate() {
-                let p = strategy.prob(row, i);
-                if p > 0.0 {
-                    for w in placement.quorum_nodes(q) {
-                        loads[w.index()] += p * inv;
-                    }
-                }
-            }
-        }
-        loads
+        pq.dedup_node_loads(|row, i| strategy.prob(row, i), clients.len())
     } else {
         let element_loads = strategy.element_loads(quorums, placement.universe_size());
         placement.node_loads(&element_loads)
@@ -331,14 +375,14 @@ pub fn evaluate_matrix(
 
     let mut per_resp = Vec::with_capacity(clients.len());
     let mut per_delay = Vec::with_capacity(clients.len());
-    for (row, &v) in clients.iter().enumerate() {
+    for row in 0..clients.len() {
         let mut r = 0.0;
         let mut d = 0.0;
-        for (i, q) in quorums.iter().enumerate() {
+        for i in 0..quorums.len() {
             let p = strategy.prob(row, i);
             if p > 0.0 {
-                r += p * rho(net, placement, v, q, model.alpha(), &node_loads);
-                d += p * delta(net, placement, v, q);
+                r += p * pq.rho(row, i, model.alpha(), &node_loads);
+                d += p * pq.delta(row, i);
             }
         }
         per_resp.push(r);

@@ -22,8 +22,11 @@ use qp_lp::{Model, Sense, SolverOptions, VarId};
 use qp_quorum::{Quorum, StrategyMatrix};
 use qp_topology::{Network, NodeId};
 
+use qp_par::ParPool;
+
 use crate::capacity::{capacity_sweep, CapacityProfile};
-use crate::response::{evaluate_matrix, Evaluation, ResponseModel};
+use crate::eval::{EvalContext, PlacedQuorums};
+use crate::response::{evaluate_matrix_placed, Evaluation, ResponseModel};
 use crate::{CoreError, Placement};
 
 /// Solves LP (4.3)–(4.6): minimum-average-network-delay strategies under
@@ -50,6 +53,32 @@ pub fn optimize_strategies(
     caps: &CapacityProfile,
 ) -> Result<StrategyMatrix, CoreError> {
     assert!(!clients.is_empty(), "at least one client required");
+    let ctx = EvalContext::new(net, clients);
+    let pq = ctx.place(placement, quorums);
+    optimize_strategies_placed(&pq, caps)
+}
+
+/// [`optimize_strategies`] against a pre-bound [`PlacedQuorums`]: the
+/// objective coefficients `δ_f(v, Qᵢ)` and the capacity-row element
+/// counts come from the cache, so the §7 sweeps re-solve the LP at many
+/// capacities without rebuilding the geometry each time.
+///
+/// Builds the identical LP (same variables, same rows, same
+/// coefficients in the same order) as [`optimize_strategies`], so the
+/// solver walks the same pivot path and returns bit-identical
+/// strategies.
+///
+/// # Errors
+///
+/// As for [`optimize_strategies`].
+pub fn optimize_strategies_placed(
+    pq: &PlacedQuorums<'_>,
+    caps: &CapacityProfile,
+) -> Result<StrategyMatrix, CoreError> {
+    let net = pq.ctx().net();
+    let clients = pq.ctx().clients();
+    let placement = pq.placement();
+    let quorums = pq.quorums();
     if quorums.is_empty() {
         return Err(CoreError::SizeMismatch {
             reason: "no quorums".to_string(),
@@ -68,38 +97,19 @@ pub fn optimize_strategies(
     let m = quorums.len();
     let inv_clients = 1.0 / n_clients as f64;
 
-    // How many elements of quorum i live on node w — the coefficient of
-    // p_vi in w's capacity row (× 1/|clients|).
-    let mut quorum_node_counts: Vec<Vec<(usize, f64)>> = Vec::with_capacity(m);
-    for q in quorums {
-        let mut counts: Vec<(usize, f64)> = Vec::new();
-        for u in q.iter() {
-            let w = placement.node_of(u).index();
-            match counts.binary_search_by_key(&w, |&(i, _)| i) {
-                Ok(pos) => counts[pos].1 += 1.0,
-                Err(pos) => counts.insert(pos, (w, 1.0)),
-            }
-        }
-        quorum_node_counts.push(counts);
-    }
-
     let mut model = Model::new(Sense::Minimize);
     // Variable p_{v,i}; objective coefficient δ_f(v, Qᵢ)/|clients|.
     // The upper bound 1 is implied by (4.5), so plain x ≥ 0 keeps the
     // standard form lean.
     let mut vars: Vec<Vec<VarId>> = Vec::with_capacity(n_clients);
-    for (row, &v) in clients.iter().enumerate() {
+    for row in 0..n_clients {
         let mut row_vars = Vec::with_capacity(m);
-        for (i, q) in quorums.iter().enumerate() {
-            let delta = q
-                .iter()
-                .map(|u| net.distance(v, placement.node_of(u)))
-                .fold(f64::MIN, f64::max);
+        for i in 0..m {
             row_vars.push(model.add_var(
                 &format!("p_{row}_{i}"),
                 0.0,
                 f64::INFINITY,
-                delta * inv_clients,
+                pq.delta(row, i) * inv_clients,
             ));
         }
         vars.push(row_vars);
@@ -116,7 +126,13 @@ pub fn optimize_strategies(
             continue;
         }
         let mut terms: Vec<(VarId, f64)> = Vec::new();
-        for (i, node_counts) in quorum_node_counts.iter().enumerate() {
+        for i in 0..m {
+            // Bitset gate before the binary search; quorums not touching
+            // w contribute no term either way.
+            if !pq.touches(i, w) {
+                continue;
+            }
+            let node_counts = pq.node_counts(i);
             if let Ok(pos) = node_counts.binary_search_by_key(&w, |&(j, _)| j) {
                 let coeff = node_counts[pos].1 * inv_clients;
                 for row_vars in &vars {
@@ -163,9 +179,25 @@ pub fn evaluate_at_uniform_capacity(
     c: f64,
     model: ResponseModel,
 ) -> Result<(StrategyMatrix, Evaluation), CoreError> {
-    let caps = CapacityProfile::uniform(net.len(), c);
-    let strategy = optimize_strategies(net, clients, placement, quorums, &caps)?;
-    let eval = evaluate_matrix(net, clients, placement, quorums, &strategy, model)?;
+    let ctx = EvalContext::new(net, clients);
+    let pq = ctx.place(placement, quorums);
+    evaluate_at_uniform_capacity_placed(&pq, c, model)
+}
+
+/// [`evaluate_at_uniform_capacity`] against a pre-bound
+/// [`PlacedQuorums`] — one geometry build serves every sweep point.
+///
+/// # Errors
+///
+/// As for [`evaluate_at_uniform_capacity`].
+pub fn evaluate_at_uniform_capacity_placed(
+    pq: &PlacedQuorums<'_>,
+    c: f64,
+    model: ResponseModel,
+) -> Result<(StrategyMatrix, Evaluation), CoreError> {
+    let caps = CapacityProfile::uniform(pq.ctx().net().len(), c);
+    let strategy = optimize_strategies_placed(pq, &caps)?;
+    let eval = evaluate_matrix_placed(pq, &strategy, model)?;
     Ok((strategy, eval))
 }
 
@@ -206,10 +238,35 @@ pub fn tune_uniform_capacity(
     steps: usize,
     model: ResponseModel,
 ) -> Result<CapacitySweepResult, CoreError> {
+    assert!(!clients.is_empty(), "at least one client required");
+    let ctx = EvalContext::new(net, clients);
+    let pq = ctx.place(placement, quorums);
+    tune_uniform_capacity_placed(&pq, l_opt, steps, model)
+}
+
+/// [`tune_uniform_capacity`] against a pre-bound [`PlacedQuorums`],
+/// solving the per-capacity LPs **in parallel** on the global
+/// [`ParPool`]. Results are identical to the serial sweep for any
+/// thread count: every sweep point is an independent LP solve, and
+/// points are collected back in sweep order.
+///
+/// # Errors
+///
+/// As for [`tune_uniform_capacity`].
+pub fn tune_uniform_capacity_placed(
+    pq: &PlacedQuorums<'_>,
+    l_opt: f64,
+    steps: usize,
+    model: ResponseModel,
+) -> Result<CapacitySweepResult, CoreError> {
+    let cs = capacity_sweep(l_opt, steps);
+    let solved = ParPool::global().run(cs.len(), |i| {
+        evaluate_at_uniform_capacity_placed(pq, cs[i], model).map(|(_, eval)| eval)
+    });
     let mut points = Vec::new();
-    for c in capacity_sweep(l_opt, steps) {
-        match evaluate_at_uniform_capacity(net, clients, placement, quorums, c, model) {
-            Ok((_, eval)) => points.push((c, eval)),
+    for (c, outcome) in cs.into_iter().zip(solved) {
+        match outcome {
+            Ok(eval) => points.push((c, eval)),
             Err(CoreError::Infeasible) => continue,
             Err(e) => return Err(e),
         }
@@ -246,9 +303,31 @@ pub fn evaluate_at_nonuniform_capacity(
     gamma: f64,
     model: ResponseModel,
 ) -> Result<(StrategyMatrix, Evaluation), CoreError> {
-    let caps = CapacityProfile::inverse_distance(net, &placement.support_set(), beta, gamma)?;
-    let strategy = optimize_strategies(net, clients, placement, quorums, &caps)?;
-    let eval = evaluate_matrix(net, clients, placement, quorums, &strategy, model)?;
+    let ctx = EvalContext::new(net, clients);
+    let pq = ctx.place(placement, quorums);
+    evaluate_at_nonuniform_capacity_placed(&pq, beta, gamma, model)
+}
+
+/// [`evaluate_at_nonuniform_capacity`] against a pre-bound
+/// [`PlacedQuorums`].
+///
+/// # Errors
+///
+/// As for [`evaluate_at_nonuniform_capacity`].
+pub fn evaluate_at_nonuniform_capacity_placed(
+    pq: &PlacedQuorums<'_>,
+    beta: f64,
+    gamma: f64,
+    model: ResponseModel,
+) -> Result<(StrategyMatrix, Evaluation), CoreError> {
+    let caps = CapacityProfile::inverse_distance(
+        pq.ctx().net(),
+        &pq.placement().support_set(),
+        beta,
+        gamma,
+    )?;
+    let strategy = optimize_strategies_placed(pq, &caps)?;
+    let eval = evaluate_matrix_placed(pq, &strategy, model)?;
     Ok((strategy, eval))
 }
 
@@ -256,7 +335,7 @@ pub fn evaluate_at_nonuniform_capacity(
 mod tests {
     use super::*;
     use crate::one_to_one::grid_shell_placement;
-    use crate::response::evaluate_closest;
+    use crate::response::{evaluate_closest, evaluate_matrix};
     use qp_quorum::QuorumSystem;
     use qp_topology::datasets;
 

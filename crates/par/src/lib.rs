@@ -1,0 +1,351 @@
+//! **qp-par** — a deterministic scoped worker pool built on `std::thread`
+//! only (the build image has no crates registry, so no rayon).
+//!
+//! Every sweep in this repository — figure grids over
+//! (universe × capacity × demand), the one-to-one anchor search, seeded
+//! DES repetitions — is embarrassingly parallel over independent jobs
+//! whose outputs must land in **input order**. [`ParPool::run`] provides
+//! exactly that contract:
+//!
+//! * results are returned in job-index order, regardless of which thread
+//!   ran which job or in what order jobs finished;
+//! * a job's computation depends only on its index, so any thread count
+//!   (including 1) produces bit-for-bit identical output;
+//! * nested `run` calls from inside a worker execute inline (serially),
+//!   so parallelizing an outer sweep never multiplies thread counts;
+//! * a panicking job propagates its panic to the caller after all
+//!   workers have drained, preserving the payload.
+//!
+//! The pool is *scoped*: threads are spawned per `run` call and joined
+//! before it returns. For the long-lived jobs this repository runs
+//! (LP solves, placement searches, DES runs — milliseconds to seconds
+//! each), spawn overhead is noise; in exchange there is no global
+//! executor state to poison and no `'static` bound on jobs.
+//!
+//! # Global thread knob
+//!
+//! Binaries plumb `--threads N` to [`configure_threads`]; library code
+//! picks the setting up via [`ParPool::global`]. The default is
+//! [`std::thread::available_parallelism`].
+//!
+//! # Per-job RNG seeding
+//!
+//! Randomized jobs (e.g. seeded DES repetitions) must derive their seed
+//! from the **job index**, never from the worker thread, or results
+//! would depend on the schedule. [`job_seed`] provides a well-mixed
+//! `(base, index) → seed` map for that purpose.
+//!
+//! # Examples
+//!
+//! ```
+//! use qp_par::ParPool;
+//!
+//! let pool = ParPool::new(4);
+//! let squares = pool.run(8, |i| i * i);
+//! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+//! // Identical to the serial pool, by construction:
+//! assert_eq!(squares, ParPool::new(1).run(8, |i| i * i));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+thread_local! {
+    /// Set while the current thread is executing jobs for some pool, so
+    /// nested `run` calls degrade to inline execution instead of
+    /// spawning threads-of-threads.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// The process-wide thread count configured by `--threads`; 0 means
+/// "unset, use available parallelism".
+static CONFIGURED: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the process-wide default thread count used by
+/// [`ParPool::global`].
+///
+/// Results of every pool-driven computation in this workspace are
+/// deterministic in the thread count, so this knob trades wall-clock
+/// for cores without affecting any output.
+///
+/// # Panics
+///
+/// Panics if `threads == 0`; reject that at the flag-parsing layer.
+pub fn configure_threads(threads: usize) {
+    assert!(threads > 0, "thread count must be at least 1");
+    CONFIGURED.store(threads, Ordering::Relaxed);
+}
+
+/// The process-wide thread count: the last [`configure_threads`] value,
+/// or [`std::thread::available_parallelism`] when unset.
+pub fn current_threads() -> usize {
+    match CONFIGURED.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        n => n,
+    }
+}
+
+/// Derives the RNG seed for job `index` of a sweep seeded with `base`.
+///
+/// A bijective SplitMix64-style finalizer over `base + index`, so
+/// distinct jobs get well-separated seeds and the map is independent of
+/// thread scheduling.
+///
+/// # Examples
+///
+/// ```
+/// let a = qp_par::job_seed(42, 0);
+/// let b = qp_par::job_seed(42, 1);
+/// assert_ne!(a, b);
+/// assert_eq!(a, qp_par::job_seed(42, 0)); // pure function of (base, index)
+/// ```
+pub fn job_seed(base: u64, index: usize) -> u64 {
+    let mut z = base
+        .wrapping_add(index as u64)
+        .wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A scoped worker pool with deterministic, input-ordered results.
+///
+/// See the [crate docs](crate) for the determinism contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParPool {
+    threads: usize,
+}
+
+impl ParPool {
+    /// A pool running jobs on up to `threads` worker threads.
+    ///
+    /// `threads == 1` is the explicit serial pool: `run` executes jobs
+    /// inline in index order with no spawning at all.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads > 0, "thread count must be at least 1");
+        ParPool { threads }
+    }
+
+    /// The pool honoring the process-wide `--threads` configuration
+    /// (default: available parallelism).
+    pub fn global() -> Self {
+        ParPool::new(current_threads())
+    }
+
+    /// This pool's thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `jobs` independent jobs — job `i` computes `f(i)` — and
+    /// returns their results in job-index order.
+    ///
+    /// `f` must be a pure function of the index (plus shared read-only
+    /// captures) for the determinism contract to hold. Calls from inside
+    /// a worker of another `run` execute inline (serially).
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the panic of the **lowest-indexed** panicking job after
+    /// all workers have drained — the same job a serial run would have
+    /// panicked on, so failure diagnostics are schedule-independent too.
+    /// (Jobs are claimed in index order; any job below the serial
+    /// panicker completes, so the serial panicker is always attempted
+    /// and is the minimum recorded index.)
+    pub fn run<T, F>(&self, jobs: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let nested = IN_WORKER.with(Cell::get);
+        let workers = self.threads.min(jobs);
+        if workers <= 1 || nested {
+            return (0..jobs).map(f).collect();
+        }
+
+        // Dynamic load balancing via a shared job counter; each worker
+        // tags results with their index so the merge is order-stable no
+        // matter the schedule. A panicking job stops its worker (like a
+        // serial loop would stop) and is re-raised below by index.
+        type Caught = Box<dyn std::any::Any + Send>;
+        let next = AtomicUsize::new(0);
+        let parts: Vec<Vec<(usize, Result<T, Caught>)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        IN_WORKER.with(|w| w.set(true));
+                        let mut out = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= jobs {
+                                break;
+                            }
+                            // AssertUnwindSafe: the payload is re-raised
+                            // by the caller, never swallowed, and `f` is
+                            // shared read-only across workers.
+                            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i))) {
+                                Ok(t) => out.push((i, Ok(t))),
+                                Err(payload) => {
+                                    out.push((i, Err(payload)));
+                                    break;
+                                }
+                            }
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker itself cannot panic"))
+                .collect()
+        });
+
+        let mut slots: Vec<Option<T>> = (0..jobs).map(|_| None).collect();
+        let mut first_panic: Option<(usize, Caught)> = None;
+        for part in parts {
+            for (i, outcome) in part {
+                match outcome {
+                    Ok(t) => slots[i] = Some(t),
+                    Err(payload) => match &first_panic {
+                        Some((j, _)) if *j <= i => {}
+                        _ => first_panic = Some((i, payload)),
+                    },
+                }
+            }
+        }
+        if let Some((_, payload)) = first_panic {
+            std::panic::resume_unwind(payload);
+        }
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every job index was claimed exactly once"))
+            .collect()
+    }
+
+    /// Maps `f` over a slice in parallel, preserving input order.
+    ///
+    /// Convenience wrapper over [`ParPool::run`].
+    pub fn map<I, T, F>(&self, items: &[I], f: F) -> Vec<T>
+    where
+        I: Sync,
+        T: Send,
+        F: Fn(&I) -> T + Sync,
+    {
+        self.run(items.len(), |i| f(&items[i]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn results_are_input_ordered_for_any_thread_count() {
+        let serial = ParPool::new(1).run(100, |i| i * 3);
+        for threads in [2, 3, 8, 64] {
+            assert_eq!(ParPool::new(threads).run(100, |i| i * 3), serial);
+        }
+    }
+
+    #[test]
+    fn more_workers_than_jobs_is_fine() {
+        assert_eq!(ParPool::new(16).run(3, |i| i + 1), vec![1, 2, 3]);
+        assert_eq!(ParPool::new(16).run(0, |i| i), Vec::<usize>::new());
+        assert_eq!(ParPool::new(16).run(1, |i| i), vec![0]);
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        let hits = AtomicU64::new(0);
+        let out = ParPool::new(4).run(1000, |i| {
+            hits.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 1000);
+        assert_eq!(out, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nested_run_degrades_to_inline() {
+        let outer = ParPool::new(4);
+        let result = outer.run(4, |i| {
+            // This inner run executes inline on the worker thread.
+            let inner = ParPool::new(4).run(3, |j| i * 10 + j);
+            inner.iter().sum::<usize>()
+        });
+        assert_eq!(result, vec![3, 33, 63, 93]);
+    }
+
+    #[test]
+    fn panics_propagate() {
+        let caught = std::panic::catch_unwind(|| {
+            ParPool::new(4).run(8, |i| {
+                if i == 5 {
+                    panic!("job five exploded");
+                }
+                i
+            })
+        });
+        let payload = caught.expect_err("panic must propagate");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .unwrap_or("non-str payload");
+        assert!(msg.contains("job five"), "unexpected payload: {msg}");
+    }
+
+    #[test]
+    fn lowest_indexed_panic_wins() {
+        // Several jobs panic; the re-raised payload must be the one a
+        // serial run would hit first, for every thread count.
+        for threads in [2, 4, 8] {
+            let caught = std::panic::catch_unwind(|| {
+                ParPool::new(threads).run(64, |i| {
+                    if i >= 3 {
+                        panic!("job {i}");
+                    }
+                    i
+                })
+            });
+            let payload = caught.expect_err("panic must propagate");
+            let msg = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .unwrap_or_default();
+            assert_eq!(msg, "job 3", "wrong panic won at {threads} threads");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_threads_rejected() {
+        let _ = ParPool::new(0);
+    }
+
+    #[test]
+    fn map_preserves_order() {
+        let items = vec!["a", "bb", "ccc"];
+        assert_eq!(ParPool::new(3).map(&items, |s| s.len()), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn job_seed_is_pure_and_spread() {
+        let seeds: Vec<u64> = (0..64).map(|i| job_seed(7, i)).collect();
+        let mut dedup = seeds.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), seeds.len(), "seed collision");
+        assert_eq!(job_seed(7, 63), *seeds.last().unwrap());
+    }
+}

@@ -44,8 +44,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod multi;
 mod sim;
 mod workload;
 
+pub use multi::simulate_many;
 pub use sim::{simulate, ProtocolConfig, QuorumChoice, SimError, SimReport};
 pub use workload::ClientPopulation;

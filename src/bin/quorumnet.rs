@@ -37,6 +37,9 @@ fn run(args: &[String]) -> Result<(), String> {
         return Ok(());
     };
     let opts = Options::parse(&args[1..])?;
+    if let Some(n) = opts.threads {
+        qp_par::configure_threads(n);
+    }
     match command.as_str() {
         "help" | "--help" | "-h" => {
             print_help();
@@ -59,7 +62,10 @@ fn print_help() {
          common flags:\n  \
          --dataset planetlab50|daxlist161   built-in synthetic WAN (default planetlab50)\n  \
          --topology FILE                    RTT matrix file (overrides --dataset)\n  \
-         --system grid:K | majority:KIND:T  quorum system (KIND: simple|twothirds|fourfifths)\n\n\
+         --system grid:K | majority:KIND:T  quorum system (KIND: simple|twothirds|fourfifths)\n  \
+         --threads N                        worker threads for parallel sweeps and searches\n  \
+                                            (default: available parallelism; output identical\n  \
+                                            for any thread count)\n\n\
          place flags:\n  \
          --strategy closest|balanced|lp|lp-sweep   access strategy (default closest)\n  \
          --demand N          client demand for the response model (default 0)\n  \
@@ -90,6 +96,7 @@ struct Options {
     clients_per_location: usize,
     requests: usize,
     seed: u64,
+    threads: Option<usize>,
 }
 
 impl Default for Options {
@@ -107,6 +114,7 @@ impl Default for Options {
             clients_per_location: 5,
             requests: 150,
             seed: 0,
+            threads: None,
         }
     }
 }
@@ -137,6 +145,13 @@ impl Options {
                 }
                 "--requests" => o.requests = parse_usize(&value("--requests")?, "--requests")?,
                 "--seed" => o.seed = parse_usize(&value("--seed")?, "--seed")? as u64,
+                "--threads" => {
+                    let n = parse_usize(&value("--threads")?, "--threads")?;
+                    if n == 0 {
+                        return Err("--threads must be at least 1".to_string());
+                    }
+                    o.threads = Some(n);
+                }
                 other => return Err(format!("unknown flag `{other}`")),
             }
         }
@@ -396,6 +411,18 @@ mod tests {
         assert!(Options::parse(&s(&["--bogus"])).is_err());
         assert!(Options::parse(&s(&["--demand"])).is_err());
         assert!(Options::parse(&s(&["--demand", "abc"])).is_err());
+    }
+
+    #[test]
+    fn parses_threads_flag() {
+        let o = Options::parse(&s(&["--threads", "4"])).unwrap();
+        assert_eq!(o.threads, Some(4));
+        assert_eq!(Options::parse(&s(&[])).unwrap().threads, None);
+        // 0 threads is meaningless and must be rejected at parse time.
+        let err = Options::parse(&s(&["--threads", "0"])).unwrap_err();
+        assert!(err.contains("at least 1"), "unexpected message: {err}");
+        assert!(Options::parse(&s(&["--threads", "x"])).is_err());
+        assert!(Options::parse(&s(&["--threads"])).is_err());
     }
 
     #[test]

@@ -157,3 +157,73 @@ fn unknown_command_fails_nonzero() {
     assert!(!out.status.success(), "garbage commands must exit nonzero");
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
 }
+
+#[test]
+fn threads_flag_accepted_by_all_subcommands() {
+    let topo = small_topology_file();
+    assert_ok(&["info", "--topology", topo.as_str(), "--threads", "2"]);
+    assert_ok(&[
+        "place",
+        "--topology",
+        topo.as_str(),
+        "--system",
+        "grid:2",
+        "--threads",
+        "2",
+    ]);
+    assert_ok(&[
+        "simulate",
+        "--topology",
+        topo.as_str(),
+        "--system",
+        "majority:simple:1",
+        "--locations",
+        "2",
+        "--clients-per-location",
+        "1",
+        "--requests",
+        "10",
+        "--threads",
+        "2",
+    ]);
+}
+
+#[test]
+fn threads_output_is_identical_across_counts() {
+    // The worker pool is deterministic: the same placement and the same
+    // seeded simulation for any thread count.
+    let t1 = assert_ok(&[
+        "place",
+        "--dataset",
+        "planetlab50",
+        "--system",
+        "grid:3",
+        "--threads",
+        "1",
+    ]);
+    let t4 = assert_ok(&[
+        "place",
+        "--dataset",
+        "planetlab50",
+        "--system",
+        "grid:3",
+        "--threads",
+        "4",
+    ]);
+    assert_eq!(t1, t4, "place output changed with thread count");
+}
+
+#[test]
+fn zero_threads_rejected() {
+    for cmd in ["info", "place", "simulate"] {
+        let out = run(&[cmd, "--threads", "0"]);
+        assert!(
+            !out.status.success(),
+            "`{cmd} --threads 0` must exit nonzero"
+        );
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("at least 1"),
+            "missing rejection message for {cmd}"
+        );
+    }
+}

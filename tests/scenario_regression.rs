@@ -204,6 +204,88 @@ fn golden_protocol_simulation_end_to_end() {
     );
 }
 
+/// Golden 7 — the parallel engine replays the serial goldens: with the
+/// global worker pool configured to 4 threads (`--threads 4`), the
+/// placement search, the capacity-tuning sweep, and the DES all
+/// reproduce the identical pinned values. The pool guarantees
+/// input-ordered results and per-job purity, so thread count must never
+/// move a golden. (The knob is process-wide, which is safe precisely
+/// because of that guarantee — any other test running concurrently
+/// computes the same values at any width.)
+#[test]
+fn golden_values_hold_at_four_threads() {
+    /// Restores the previous process-wide thread count on drop (panic
+    /// included), so a golden failure here cannot leave the rest of the
+    /// suite pinned to an unintended width.
+    struct RestoreThreads(usize);
+    impl Drop for RestoreThreads {
+        fn drop(&mut self) {
+            qp_par::configure_threads(self.0);
+        }
+    }
+    let _restore = RestoreThreads(qp_par::current_threads());
+    qp_par::configure_threads(4);
+
+    // Golden 2 under the parallel anchor search.
+    let net = datasets::planetlab_50();
+    let clients: Vec<NodeId> = net.nodes().collect();
+    let sys = QuorumSystem::grid(3).unwrap();
+    let placement = one_to_one::best_placement(&net, &sys).unwrap();
+    let eval = response::evaluate_closest(
+        &net,
+        &clients,
+        &sys,
+        &placement,
+        ResponseModel::network_delay_only(),
+    )
+    .unwrap();
+    assert_golden(
+        "closest_grid3_delay_ms_threads4",
+        eval.avg_network_delay_ms,
+        CLOSEST_GRID3_DELAY_MS,
+    );
+
+    // Golden 5 through the cached-geometry LP path.
+    let quorums = sys.enumerate(100).unwrap();
+    let model = ResponseModel::from_demand(0.007, 16000.0);
+    let (_, eval) =
+        strategy_lp::evaluate_at_uniform_capacity(&net, &clients, &placement, &quorums, 0.7, model)
+            .unwrap();
+    assert_golden(
+        "strategy_lp_c07_response_ms_threads4",
+        eval.avg_response_ms,
+        STRATEGY_LP_C07_RESPONSE_MS,
+    );
+
+    // Golden 6 through the parallel multi-run driver (single seed).
+    let sys = QuorumSystem::majority(MajorityKind::FourFifths, 2).unwrap();
+    let placement =
+        one_to_one::best_placement_by(&net, &sys, one_to_one::SelectionObjective::BalancedDelay)
+            .unwrap();
+    let pop = ClientPopulation::representative(&net, &sys, &placement, 10, 2);
+    let cfg = ProtocolConfig {
+        warmup_requests: 20,
+        measured_requests: 150,
+        seed: 42,
+        ..ProtocolConfig::default()
+    };
+    let reports = quorumnet::protocol::simulate_many(
+        &net,
+        &sys,
+        &placement,
+        &pop,
+        &QuorumChoice::Balanced,
+        &cfg,
+        &[42],
+    )
+    .unwrap();
+    assert_golden(
+        "protocol_avg_response_ms_threads4",
+        reports[0].avg_response_ms,
+        PROTOCOL_AVG_RESPONSE_MS,
+    );
+}
+
 // ----------------------------------------------------------------------
 // The golden values. Regenerate with `-- --nocapture` (see module docs).
 // ----------------------------------------------------------------------
