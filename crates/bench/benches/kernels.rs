@@ -4,48 +4,103 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use qp_core::capacity::CapacityProfile;
+use qp_core::capacity::{capacity_sweep, CapacityProfile};
 use qp_core::eval::EvalContext;
 use qp_core::manyone::{element_weights, place_for_client, ManyToOneConfig};
+use qp_core::strategy_lp::CapacitySweepSolver;
 use qp_core::{combinatorics, one_to_one, response, strategy_lp, ResponseModel};
 use qp_des::{EventQueue, ServiceStation, SimTime};
-use qp_lp::{Model, Sense};
+use qp_lp::{BasisKind, Model, Sense, SolverOptions};
 use qp_protocol::{simulate, ClientPopulation, ProtocolConfig, QuorumChoice};
 use qp_quorum::{MajorityKind, QuorumSystem, StrategyMatrix};
 use qp_topology::{datasets, NodeId};
 
+/// Deterministic pseudo-random feasible LP: box-bounded vars, b ≥ 0 so
+/// x = 0 is feasible.
+fn random_lp(vars: usize, rows: usize) -> Model {
+    let mut m = Model::new(Sense::Minimize);
+    let xs: Vec<_> = (0..vars)
+        .map(|j| {
+            let c = ((j * 37 % 19) as f64 - 9.0) / 3.0;
+            m.add_var(&format!("x{j}"), 0.0, 5.0, c)
+        })
+        .collect();
+    for i in 0..rows {
+        let terms: Vec<_> = xs
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| (i * 7 + j * 13) % 5 == 0)
+            .map(|(j, &x)| (x, 1.0 + ((i + j) % 3) as f64))
+            .collect();
+        m.add_le(&terms, 10.0 + (i % 7) as f64);
+    }
+    m
+}
+
 fn bench_lp_solver(c: &mut Criterion) {
     let mut group = c.benchmark_group("lp_solver");
     group.sample_size(10);
+    // Dense explicit inverse vs sparse LU + eta file, same pivot logic.
     for &(vars, rows) in &[(50usize, 20usize), (200, 60), (800, 120)] {
-        group.bench_with_input(
-            BenchmarkId::new("dense_random", format!("{vars}v_{rows}r")),
-            &(vars, rows),
-            |b, &(vars, rows)| {
-                b.iter(|| {
-                    // Deterministic pseudo-random feasible LP: box-bounded
-                    // vars, b ≥ 0 so x = 0 is feasible.
-                    let mut m = Model::new(Sense::Minimize);
-                    let xs: Vec<_> = (0..vars)
-                        .map(|j| {
-                            let c = ((j * 37 % 19) as f64 - 9.0) / 3.0;
-                            m.add_var(&format!("x{j}"), 0.0, 5.0, c)
-                        })
-                        .collect();
-                    for i in 0..rows {
-                        let terms: Vec<_> = xs
-                            .iter()
-                            .enumerate()
-                            .filter(|(j, _)| (i * 7 + j * 13) % 5 == 0)
-                            .map(|(j, &x)| (x, 1.0 + ((i + j) % 3) as f64))
-                            .collect();
-                        m.add_le(&terms, 10.0 + (i % 7) as f64);
-                    }
-                    m.solve().expect("feasible bounded LP")
-                });
-            },
-        );
+        for (label, basis) in [
+            ("dense_random", BasisKind::Dense),
+            ("factored_random", BasisKind::Factored),
+        ] {
+            let options = SolverOptions {
+                basis,
+                ..SolverOptions::default()
+            };
+            group.bench_with_input(
+                BenchmarkId::new(label, format!("{vars}v_{rows}r")),
+                &(vars, rows),
+                |b, &(vars, rows)| {
+                    b.iter(|| {
+                        random_lp(vars, rows)
+                            .solve_with(&options)
+                            .expect("feasible bounded LP")
+                    });
+                },
+            );
+        }
     }
+
+    // Cold vs warm capacity sweep: the §7 shape — one constraint matrix,
+    // ten capacity rhs values. Cold re-solves from scratch per point;
+    // warm clones one solved base and dual-simplex-reoptimizes.
+    let net = datasets::euclidean_random(24, 100.0, 42);
+    let clients: Vec<NodeId> = net.nodes().collect();
+    let sys = QuorumSystem::grid(3).unwrap();
+    let placement = one_to_one::grid_shell_placement(&net, NodeId::new(0), 3).unwrap();
+    let quorums = sys.enumerate(10_000).unwrap();
+    let l_opt = sys.optimal_load().unwrap();
+    let ctx = EvalContext::new(&net, &clients);
+    let pq = ctx.place(&placement, &quorums);
+    let cs = capacity_sweep(l_opt, 10);
+    group.bench_function("sweep_cold_grid3_24sites", |b| {
+        b.iter(|| {
+            cs.iter()
+                .map(|&cap| {
+                    let caps = CapacityProfile::uniform(net.len(), cap);
+                    strategy_lp::optimize_strategies_placed(&pq, &caps)
+                        .map(|s| s.num_clients())
+                        .unwrap_or(0)
+                })
+                .sum::<usize>()
+        });
+    });
+    group.bench_function("sweep_warm_grid3_24sites", |b| {
+        b.iter(|| {
+            let solver = CapacitySweepSolver::new(&pq).expect("feasible at capacity 1");
+            cs.iter()
+                .map(|&cap| {
+                    solver
+                        .solve_uniform(cap)
+                        .map(|o| o.strategy.num_clients())
+                        .unwrap_or(0)
+                })
+                .sum::<usize>()
+        });
+    });
     group.finish();
 }
 

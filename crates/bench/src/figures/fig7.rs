@@ -1,21 +1,24 @@
 //! §7 capacity-tuning figures (7.6, 7.7, 7.8): LP-optimized strategies
 //! under uniform and non-uniform node capacities.
 //!
-//! Each figure is a (universe size × capacity) grid of independent LP
-//! solves. The pipelines run in two parallel stages on the global
-//! [`ParPool`]: first the per-`k` setups (placement search + quorum
-//! enumeration), then every grid cell at once, each cell reusing the
-//! per-`k` [`PlacedQuorums`] geometry cache. Rows are emitted in the
-//! same (k, capacity) order as the original serial loops, and every
-//! cell is a pure function of its inputs, so tables are bit-for-bit
+//! Each figure is a (universe size × capacity) grid of LP re-solves that
+//! share one constraint matrix per `k`. The pipelines run in three
+//! parallel stages on the global [`ParPool`]: the per-`k` setups
+//! (placement search + quorum enumeration), the per-`k` warm-start base
+//! solves ([`CapacitySweepSolver`], one cold LP each), then every grid
+//! cell at once — each cell clones the solved base, rewrites only its
+//! capacity right-hand sides, and dual-simplex-reoptimizes, reusing the
+//! per-`k` [`PlacedQuorums`] geometry cache for scoring. Rows are emitted
+//! in the same (k, capacity) order as the original serial loops, and
+//! every cell is a pure function of its inputs, so tables are bit-for-bit
 //! identical for any thread count.
 
+use qp_core::capacity::CapacityProfile;
 use qp_core::eval::{EvalContext, PlacedQuorums};
 use qp_core::one_to_one;
-use qp_core::strategy_lp::{
-    evaluate_at_nonuniform_capacity_placed, evaluate_at_uniform_capacity_placed,
-};
-use qp_core::{CoreError, Placement, ResponseModel};
+use qp_core::response::evaluate_matrix_placed;
+use qp_core::strategy_lp::CapacitySweepSolver;
+use qp_core::{Placement, ResponseModel};
 use qp_par::ParPool;
 use qp_quorum::{Quorum, QuorumSystem};
 use qp_topology::{datasets, Network, NodeId};
@@ -66,18 +69,23 @@ fn grid_setups(ctx: &EvalContext<'_>, ks: &[usize], steps: usize) -> Vec<GridSet
 }
 
 /// The shared parallel-grid harness of Figures 7.6–7.8: bind each
-/// setup's geometry once, flatten the (setup × capacity) grid into
-/// cells in row-emission order, evaluate every cell on the global pool,
-/// and return the rows in that same order.
+/// setup's geometry once, build one warm-start [`CapacitySweepSolver`]
+/// per setup (in parallel — one cold LP each), flatten the
+/// (setup × capacity) grid into cells in row-emission order, evaluate
+/// every cell on the global pool, and return the rows in that same
+/// order. A setup whose LP is infeasible even at capacity 1 hands the
+/// cell `None` (all its sweep points are infeasible too).
 fn run_grid(
     ctx: &EvalContext<'_>,
     setups: &[GridSetup],
-    cell: impl Fn(&PlacedQuorums<'_>, &GridSetup, f64) -> Vec<f64> + Sync,
+    cell: impl Fn(&PlacedQuorums<'_>, Option<&CapacitySweepSolver>, &GridSetup, f64) -> Vec<f64> + Sync,
 ) -> Vec<Vec<f64>> {
     let pqs: Vec<PlacedQuorums<'_>> = setups
         .iter()
         .map(|s| ctx.place(&s.placement, &s.quorums))
         .collect();
+    let solvers: Vec<Option<CapacitySweepSolver>> =
+        ParPool::global().run(pqs.len(), |i| CapacitySweepSolver::new(&pqs[i]).ok());
     let cells: Vec<(usize, usize)> = setups
         .iter()
         .enumerate()
@@ -86,8 +94,22 @@ fn run_grid(
     ParPool::global().run(cells.len(), |j| {
         let (si, ci) = cells[j];
         let s = &setups[si];
-        cell(&pqs[si], s, s.sweep[ci])
+        cell(&pqs[si], solvers[si].as_ref(), s, s.sweep[ci])
     })
+}
+
+/// One warm uniform-capacity cell: LP at capacity `c` plus response-model
+/// scoring; `None` where the LP is infeasible (or numerically failed —
+/// a figure renders that cell as NaN rather than aborting the run).
+fn uniform_cell(
+    pq: &PlacedQuorums<'_>,
+    solver: Option<&CapacitySweepSolver>,
+    c: f64,
+    model: ResponseModel,
+) -> Option<(f64, f64)> {
+    let outcome = solver?.solve_uniform(c).ok()?;
+    let eval = evaluate_matrix_placed(pq, &outcome.strategy, model).expect("sizes agree");
+    Some((eval.avg_network_delay_ms, eval.avg_response_ms))
 }
 
 /// Figure 7.6: the (universe size × uniform node capacity) surface of
@@ -108,20 +130,12 @@ pub fn fig7_6(scale: Scale) -> Table {
         ],
     );
     let setups = grid_setups(&ctx, &ks, steps);
-    let rows = run_grid(
-        &ctx,
-        &setups,
-        |pq, s, c| match evaluate_at_uniform_capacity_placed(pq, c, model) {
-            Ok((_, eval)) => vec![
-                (s.k * s.k) as f64,
-                c,
-                eval.avg_network_delay_ms,
-                eval.avg_response_ms,
-            ],
-            Err(CoreError::Infeasible) => vec![(s.k * s.k) as f64, c, f64::NAN, f64::NAN],
-            Err(e) => panic!("unexpected failure at k={}, c={c}: {e}", s.k),
-        },
-    );
+    let rows = run_grid(&ctx, &setups, |pq, solver, s, c| {
+        match uniform_cell(pq, solver, c, model) {
+            Some((delay, resp)) => vec![(s.k * s.k) as f64, c, delay, resp],
+            None => vec![(s.k * s.k) as f64, c, f64::NAN, f64::NAN],
+        }
+    });
     for row in rows {
         table.push_row(row);
     }
@@ -147,8 +161,8 @@ pub fn fig7_7(scale: Scale) -> Table {
         ],
     );
     let setups = grid_setups(&ctx, &ks, steps);
-    let rows = run_grid(&ctx, &setups, |pq, s, c| {
-        let (delay, resp_u, resp_n) = uniform_vs_nonuniform(pq, s, c, model);
+    let rows = run_grid(&ctx, &setups, |pq, solver, s, c| {
+        let (delay, resp_u, resp_n) = uniform_vs_nonuniform(pq, solver, s, c, model);
         vec![(s.k * s.k) as f64, c, delay, resp_u, resp_n]
     });
     for row in rows {
@@ -159,22 +173,27 @@ pub fn fig7_7(scale: Scale) -> Table {
 
 /// One Figure 7.7/7.8 cell: `(network delay, uniform response,
 /// non-uniform response)` at capacity `c`, NaN where the LP is
-/// infeasible.
+/// infeasible. Both variants re-solve warm from the same shared base, so
+/// the comparison is between capacity *assignments*, not between solver
+/// vertex choices.
 fn uniform_vs_nonuniform(
     pq: &PlacedQuorums<'_>,
+    solver: Option<&CapacitySweepSolver>,
     s: &GridSetup,
     c: f64,
     model: ResponseModel,
 ) -> (f64, f64, f64) {
-    let uniform = evaluate_at_uniform_capacity_placed(pq, c, model);
-    let nonuniform = evaluate_at_nonuniform_capacity_placed(pq, s.l_opt, c, model);
-    let (delay, resp_u) = match &uniform {
-        Ok((_, e)) => (e.avg_network_delay_ms, e.avg_response_ms),
-        Err(_) => (f64::NAN, f64::NAN),
-    };
-    let resp_n = match &nonuniform {
-        Ok((_, e)) => e.avg_response_ms,
-        Err(_) => f64::NAN,
+    let (delay, resp_u) = uniform_cell(pq, solver, c, model).unwrap_or((f64::NAN, f64::NAN));
+    let net = pq.ctx().net();
+    let caps = CapacityProfile::inverse_distance(net, &s.placement.support_set(), s.l_opt, c)
+        .expect("support is nonempty");
+    let resp_n = match solver.and_then(|sv| sv.solve_profile(&caps).ok()) {
+        Some(o) => {
+            evaluate_matrix_placed(pq, &o.strategy, model)
+                .expect("sizes agree")
+                .avg_response_ms
+        }
+        None => f64::NAN,
     };
     (delay, resp_u, resp_n)
 }
@@ -201,8 +220,8 @@ pub fn fig7_8(scale: Scale) -> Table {
             "response_nonuniform_ms".into(),
         ],
     );
-    let rows = run_grid(&ctx, &setups, |pq, s, c| {
-        let (delay, resp_u, resp_n) = uniform_vs_nonuniform(pq, s, c, model);
+    let rows = run_grid(&ctx, &setups, |pq, solver, s, c| {
+        let (delay, resp_u, resp_n) = uniform_vs_nonuniform(pq, solver, s, c, model);
         vec![c, delay, resp_u, resp_n]
     });
     for row in rows {

@@ -10,6 +10,18 @@
 //! * **Non-uniform heuristic**: support-node capacities inversely
 //!   proportional to their average distance `sᵢ` to the clients, scaled
 //!   into `[β, γ]` — see [`CapacityProfile::inverse_distance`].
+//!
+//! Beyond the paper, two further non-uniform assignments share the same
+//! `[β, γ]` affine scaling and are compared against uniform capacities in
+//! the strategy-LP tests:
+//!
+//! * **Load-proportional** ([`CapacityProfile::load_proportional`]):
+//!   capacity follows the node loads of the *unconstrained* delay-optimal
+//!   strategies — grant headroom where the optimizer wants to put load.
+//! * **Marginal-value** ([`CapacityProfile::marginal_value`]): capacity
+//!   follows the LP dual price of each node's capacity row — grant
+//!   headroom where it buys the most delay (see
+//!   [`crate::strategy_lp::StrategyLpOutcome::capacity_duals`]).
 
 use qp_topology::{Network, NodeId};
 
@@ -117,22 +129,138 @@ impl CapacityProfile {
                 }
             })
             .collect();
-        let le = inv.iter().copied().fold(f64::INFINITY, f64::min);
-        let re = inv.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        let mut caps = vec![f64::INFINITY; net.len()];
+        Ok(Self::affine_scaled(net.len(), support, &inv, beta, gamma))
+    }
+
+    /// The **load-proportional** heuristic: support-node capacities scaled
+    /// affinely with `loads` (one entry per network node) into `[β, γ]` —
+    /// the most-loaded support node gets `γ`, the least-loaded gets `β`.
+    /// Feed it the node loads of the *unconstrained* delay-optimal
+    /// strategies (see
+    /// [`crate::strategy_lp::evaluate_at_load_proportional_capacity`]) to
+    /// grant capacity where the optimizer naturally concentrates load.
+    /// Non-support nodes are uncapacitated.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::SizeMismatch`] if `support` is empty or a support node
+    /// is outside `loads`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `β > γ`, either is not finite, or a referenced load is
+    /// negative or NaN.
+    pub fn load_proportional(
+        loads: &[f64],
+        support: &[NodeId],
+        beta: f64,
+        gamma: f64,
+    ) -> Result<Self, CoreError> {
+        assert!(
+            beta.is_finite() && gamma.is_finite(),
+            "bounds must be finite"
+        );
+        assert!(beta <= gamma, "β must not exceed γ");
+        Self::validate_support(support, loads.len())?;
+        let scores: Vec<f64> = support
+            .iter()
+            .map(|&v| {
+                let l = loads[v.index()];
+                assert!(l >= 0.0 && !l.is_nan(), "loads must be nonnegative");
+                l
+            })
+            .collect();
+        Ok(Self::affine_scaled(
+            loads.len(),
+            support,
+            &scores,
+            beta,
+            gamma,
+        ))
+    }
+
+    /// The **marginal-value** heuristic: support-node capacities scaled
+    /// affinely with `prices` (one nonnegative entry per network node —
+    /// the magnitude of the LP dual price of that node's capacity row)
+    /// into `[β, γ]` — the node whose capacity is most valuable to the
+    /// optimizer gets `γ`, the least valuable gets `β`. Non-support nodes
+    /// are uncapacitated.
+    ///
+    /// When no capacity binds (all prices zero) the interval degenerates
+    /// and every support node gets `γ`, i.e. the profile gracefully falls
+    /// back to uniform-`γ`.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::SizeMismatch`] if `support` is empty or a support node
+    /// is outside `prices`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `β > γ`, either is not finite, or a referenced price is
+    /// negative or NaN.
+    pub fn marginal_value(
+        prices: &[f64],
+        support: &[NodeId],
+        beta: f64,
+        gamma: f64,
+    ) -> Result<Self, CoreError> {
+        assert!(
+            beta.is_finite() && gamma.is_finite(),
+            "bounds must be finite"
+        );
+        assert!(beta <= gamma, "β must not exceed γ");
+        Self::validate_support(support, prices.len())?;
+        let scores: Vec<f64> = support
+            .iter()
+            .map(|&v| {
+                let p = prices[v.index()];
+                assert!(p >= 0.0 && !p.is_nan(), "prices must be nonnegative");
+                p
+            })
+            .collect();
+        Ok(Self::affine_scaled(
+            prices.len(),
+            support,
+            &scores,
+            beta,
+            gamma,
+        ))
+    }
+
+    fn validate_support(support: &[NodeId], n: usize) -> Result<(), CoreError> {
+        if support.is_empty() {
+            return Err(CoreError::SizeMismatch {
+                reason: "empty support set".to_string(),
+            });
+        }
+        if let Some(&bad) = support.iter().find(|v| v.index() >= n) {
+            return Err(CoreError::SizeMismatch {
+                reason: format!("support node {bad} out of range"),
+            });
+        }
+        Ok(())
+    }
+
+    /// Shared affine `[β, γ]` scaling of per-support-node scores: the
+    /// highest score maps to `γ`, the lowest to `β`; a degenerate score
+    /// interval gives everyone `γ` (matching the paper's "almost
+    /// identical" small-interval behaviour). Non-support nodes are
+    /// uncapacitated.
+    fn affine_scaled(n: usize, support: &[NodeId], scores: &[f64], beta: f64, gamma: f64) -> Self {
+        let le = scores.iter().copied().fold(f64::INFINITY, f64::min);
+        let re = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mut caps = vec![f64::INFINITY; n];
         for (i, &v) in support.iter().enumerate() {
             let c = if re > le {
                 // Clamp: roundoff in the affine map can overshoot by an ulp.
-                ((inv[i] - le) / (re - le) * (gamma - beta) + beta).clamp(beta, gamma)
+                ((scores[i] - le) / (re - le) * (gamma - beta) + beta).clamp(beta, gamma)
             } else {
-                // All support nodes equidistant on average: degenerate
-                // interval, give everyone γ (matches the paper's "almost
-                // identical" small-interval behaviour).
                 gamma
             };
             caps[v.index()] = c;
         }
-        Ok(CapacityProfile { caps })
+        CapacityProfile { caps }
     }
 
     /// Number of nodes covered.
@@ -312,6 +440,46 @@ mod tests {
     fn inverse_distance_rejects_empty_support() {
         let net = datasets::planetlab_50();
         assert!(CapacityProfile::inverse_distance(&net, &[], 0.1, 0.2).is_err());
+    }
+
+    #[test]
+    fn load_proportional_orders_by_load() {
+        let loads = vec![0.1, 0.6, 0.0, 0.3];
+        let support = vec![NodeId::new(0), NodeId::new(1), NodeId::new(3)];
+        let caps = CapacityProfile::load_proportional(&loads, &support, 0.2, 0.8).unwrap();
+        // Highest load → γ, lowest → β, middle in between, monotone.
+        assert!((caps.get(NodeId::new(1)) - 0.8).abs() < 1e-12);
+        assert!((caps.get(NodeId::new(0)) - 0.2).abs() < 1e-12);
+        let mid = caps.get(NodeId::new(3));
+        assert!(mid > 0.2 && mid < 0.8, "mid capacity {mid}");
+        // Non-support node stays unbounded even though it has a load entry.
+        assert!(caps.is_unbounded(NodeId::new(2)));
+    }
+
+    #[test]
+    fn marginal_value_degenerates_to_gamma_when_nothing_binds() {
+        let prices = vec![0.0; 3];
+        let support = vec![NodeId::new(0), NodeId::new(2)];
+        let caps = CapacityProfile::marginal_value(&prices, &support, 0.3, 0.9).unwrap();
+        assert_eq!(caps.get(NodeId::new(0)), 0.9);
+        assert_eq!(caps.get(NodeId::new(2)), 0.9);
+        assert!(caps.is_unbounded(NodeId::new(1)));
+    }
+
+    #[test]
+    fn marginal_value_orders_by_price() {
+        let prices = vec![5.0, 0.0, 2.5];
+        let support = vec![NodeId::new(0), NodeId::new(1), NodeId::new(2)];
+        let caps = CapacityProfile::marginal_value(&prices, &support, 0.4, 1.0).unwrap();
+        assert!((caps.get(NodeId::new(0)) - 1.0).abs() < 1e-12);
+        assert!((caps.get(NodeId::new(1)) - 0.4).abs() < 1e-12);
+        assert!((caps.get(NodeId::new(2)) - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn new_heuristics_reject_empty_or_foreign_support() {
+        assert!(CapacityProfile::load_proportional(&[0.5], &[], 0.1, 0.2).is_err());
+        assert!(CapacityProfile::marginal_value(&[0.5], &[NodeId::new(3)], 0.1, 0.2).is_err());
     }
 
     #[test]

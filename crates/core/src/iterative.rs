@@ -23,7 +23,7 @@ use crate::capacity::CapacityProfile;
 use crate::eval::EvalContext;
 use crate::manyone::{best_placement, ManyToOneConfig};
 use crate::response::{evaluate_matrix_placed, Evaluation, ResponseModel};
-use crate::strategy_lp::optimize_strategies_placed;
+use crate::strategy_lp::{optimize_strategies_placed, CapacitySweepSolver};
 use crate::{CoreError, Placement};
 
 /// Progress record for one iteration.
@@ -109,6 +109,11 @@ pub fn optimize_ctx(
     let mut strategy = StrategyMatrix::uniform(clients.len(), quorums.len());
     let mut best: Option<(Placement, StrategyMatrix, Evaluation)> = None;
     let mut history = Vec::new();
+    // Warm-start cache for the strategy phase: when consecutive iterations
+    // settle on the same placement (the common case — the paper observes
+    // most runs stop after the first iteration), the LP matrix is
+    // unchanged and each re-solve only moves capacity right-hand sides.
+    let mut sweep_solver: Option<(Placement, CapacitySweepSolver)> = None;
 
     for iteration in 1..=max_iterations {
         // Phase 1: placement under the averaged strategy.
@@ -128,7 +133,21 @@ pub fn optimize_ctx(
                 .map(|&l| if l > 0.0 { l } else { f64::INFINITY })
                 .collect(),
         );
-        let new_strategy = optimize_strategies_placed(&pq, &caps_j)?;
+        let new_strategy = match &sweep_solver {
+            Some((prev, solver)) if *prev == placement => solver.solve_profile(&caps_j)?.strategy,
+            _ => match CapacitySweepSolver::new(&pq) {
+                Ok(solver) => {
+                    let strat = solver.solve_profile(&caps_j)?.strategy;
+                    sweep_solver = Some((placement.clone(), solver));
+                    strat
+                }
+                // Uniform capacity 1 can be infeasible for many-to-one
+                // placements that stack multiple elements on one node;
+                // solve that iteration cold instead of warm.
+                Err(CoreError::Infeasible) => optimize_strategies_placed(&pq, &caps_j)?,
+                Err(e) => return Err(e),
+            },
+        };
         let after_strategy = evaluate_matrix_placed(&pq, &new_strategy, model)?;
         drop(pq);
 

@@ -16,9 +16,21 @@
 //! `(L_opt, 1]` (Eq. 7.7) trades network delay against load dispersion, and
 //! picking the sweep point with the lowest *response time* (not delay)
 //! yields the paper's tuned strategies ([`tune_uniform_capacity`]).
+//!
+//! # Warm-started sweeps
+//!
+//! All sweep points share one constraint matrix and differ only in the
+//! capacity-row right-hand sides, so the sweeps run on a
+//! [`CapacitySweepSolver`]: the LP is built and cold-solved **once** (at
+//! uniform capacity 1, the loosest point), and every sweep point clones
+//! that solved [`qp_lp::SimplexInstance`], rewrites only its capacity rhs
+//! values, and dual-simplex-reoptimizes from the shared optimal basis.
+//! Each point is a pure function of `(base, capacity)`, so results are
+//! bit-identical at any thread count; [`SweepLpStats`] exposes the pivot
+//! counters that make the warm-vs-cold saving observable in tests.
 
 #![allow(clippy::needless_range_loop)] // index loops mirror the matrix math
-use qp_lp::{Model, Sense, SolverOptions, VarId};
+use qp_lp::{Model, Sense, SimplexInstance, Solution, SolveStats, SolverOptions, VarId};
 use qp_quorum::{Quorum, StrategyMatrix};
 use qp_topology::{Network, NodeId};
 
@@ -29,52 +41,15 @@ use crate::eval::{EvalContext, PlacedQuorums};
 use crate::response::{evaluate_matrix_placed, Evaluation, ResponseModel};
 use crate::{CoreError, Placement};
 
-/// Solves LP (4.3)–(4.6): minimum-average-network-delay strategies under
-/// node capacities.
+/// Builds LP (4.3)–(4.6) for `pq` under `caps`.
 ///
 /// Capacity rows are generated only for nodes that host at least one
-/// element and have finite capacity (others can never bind).
-///
-/// # Errors
-///
-/// * [`CoreError::Infeasible`] if the capacities are set too low — the
-///   failure mode the paper calls out explicitly.
-/// * [`CoreError::SizeMismatch`] if inputs disagree on sizes.
-/// * [`CoreError::Lp`] on numerical failure.
-///
-/// # Panics
-///
-/// Panics if `clients` is empty.
-pub fn optimize_strategies(
-    net: &Network,
-    clients: &[NodeId],
-    placement: &Placement,
-    quorums: &[Quorum],
-    caps: &CapacityProfile,
-) -> Result<StrategyMatrix, CoreError> {
-    assert!(!clients.is_empty(), "at least one client required");
-    let ctx = EvalContext::new(net, clients);
-    let pq = ctx.place(placement, quorums);
-    optimize_strategies_placed(&pq, caps)
-}
-
-/// [`optimize_strategies`] against a pre-bound [`PlacedQuorums`]: the
-/// objective coefficients `δ_f(v, Qᵢ)` and the capacity-row element
-/// counts come from the cache, so the §7 sweeps re-solve the LP at many
-/// capacities without rebuilding the geometry each time.
-///
-/// Builds the identical LP (same variables, same rows, same
-/// coefficients in the same order) as [`optimize_strategies`], so the
-/// solver walks the same pivot path and returns bit-identical
-/// strategies.
-///
-/// # Errors
-///
-/// As for [`optimize_strategies`].
-pub fn optimize_strategies_placed(
+/// element and have finite capacity (others can never bind); the returned
+/// list pairs each generated row index with its node.
+fn build_strategy_model(
     pq: &PlacedQuorums<'_>,
     caps: &CapacityProfile,
-) -> Result<StrategyMatrix, CoreError> {
+) -> Result<(Model, Vec<(usize, usize)>), CoreError> {
     let net = pq.ctx().net();
     let clients = pq.ctx().clients();
     let placement = pq.placement();
@@ -121,6 +96,7 @@ pub fn optimize_strategies_placed(
     }
     // (4.4): capacity rows for loaded, finitely-capacitated nodes.
     let counts = placement.element_counts();
+    let mut cap_rows = Vec::new();
     for w in 0..net.len() {
         if counts[w] == 0 || caps.is_unbounded(NodeId::new(w)) {
             continue;
@@ -141,16 +117,25 @@ pub fn optimize_strategies_placed(
             }
         }
         if !terms.is_empty() {
-            model.add_le(&terms, caps.get(NodeId::new(w)));
+            let row = model.add_le(&terms, caps.get(NodeId::new(w)));
+            cap_rows.push((w, row));
         }
     }
+    Ok((model, cap_rows))
+}
 
-    let sol = model.solve_with(&SolverOptions::default())?;
-    let rows: Vec<Vec<f64>> = vars
-        .iter()
-        .map(|row_vars| {
-            let mut row: Vec<f64> = row_vars.iter().map(|&p| sol.value(p).max(0.0)).collect();
-            // Repair roundoff so each row is an exact distribution.
+/// Reads the per-client strategy rows out of a solved LP, repairing
+/// roundoff so each row is an exact distribution.
+fn strategies_from(
+    sol: &Solution,
+    n_clients: usize,
+    n_quorums: usize,
+) -> Result<StrategyMatrix, CoreError> {
+    let rows: Vec<Vec<f64>> = (0..n_clients)
+        .map(|v| {
+            let mut row: Vec<f64> = (0..n_quorums)
+                .map(|i| sol.value(VarId::from_index(v * n_quorums + i)).max(0.0))
+                .collect();
             let total: f64 = row.iter().sum();
             if total > 0.0 {
                 for p in &mut row {
@@ -161,6 +146,233 @@ pub fn optimize_strategies_placed(
         })
         .collect();
     StrategyMatrix::from_rows(rows).map_err(CoreError::from)
+}
+
+/// A solved access-strategy LP with everything the §7 techniques consume:
+/// the strategies, the optimal average network delay, the capacity-row
+/// dual prices (the marginal value of each node's capacity), and the
+/// solver work counters.
+#[derive(Debug, Clone)]
+pub struct StrategyLpOutcome {
+    /// The optimal per-client strategies.
+    pub strategy: StrategyMatrix,
+    /// The LP objective: minimum average network delay (ms).
+    pub delay_ms: f64,
+    /// Per-node dual price of the capacity row (`0` for nodes without a
+    /// row). For this minimization LP a *binding* capacity has a dual
+    /// ≤ 0; its magnitude is the delay saved per unit of extra capacity.
+    pub capacity_duals: Vec<f64>,
+    /// Solver work counters (pivots, refactorizations, warm/cold).
+    pub stats: SolveStats,
+}
+
+impl StrategyLpOutcome {
+    fn from_solution(
+        sol: &Solution,
+        n_clients: usize,
+        n_quorums: usize,
+        net_len: usize,
+        cap_rows: &[(usize, usize)],
+    ) -> Result<Self, CoreError> {
+        let strategy = strategies_from(sol, n_clients, n_quorums)?;
+        let mut capacity_duals = vec![0.0; net_len];
+        for &(w, row) in cap_rows {
+            capacity_duals[w] = sol.dual(row);
+        }
+        Ok(StrategyLpOutcome {
+            strategy,
+            delay_ms: sol.objective(),
+            capacity_duals,
+            stats: sol.stats(),
+        })
+    }
+}
+
+/// Solves LP (4.3)–(4.6): minimum-average-network-delay strategies under
+/// node capacities.
+///
+/// # Errors
+///
+/// * [`CoreError::Infeasible`] if the capacities are set too low — the
+///   failure mode the paper calls out explicitly.
+/// * [`CoreError::SizeMismatch`] if inputs disagree on sizes.
+/// * [`CoreError::Lp`] on numerical failure.
+///
+/// # Panics
+///
+/// Panics if `clients` is empty.
+pub fn optimize_strategies(
+    net: &Network,
+    clients: &[NodeId],
+    placement: &Placement,
+    quorums: &[Quorum],
+    caps: &CapacityProfile,
+) -> Result<StrategyMatrix, CoreError> {
+    assert!(!clients.is_empty(), "at least one client required");
+    let ctx = EvalContext::new(net, clients);
+    let pq = ctx.place(placement, quorums);
+    optimize_strategies_placed(&pq, caps)
+}
+
+/// [`optimize_strategies`] against a pre-bound [`PlacedQuorums`]: the
+/// objective coefficients `δ_f(v, Qᵢ)` and the capacity-row element
+/// counts come from the cache, so the §7 sweeps re-solve the LP at many
+/// capacities without rebuilding the geometry each time.
+///
+/// Builds the identical LP (same variables, same rows, same
+/// coefficients in the same order) as [`optimize_strategies`], so the
+/// solver walks the same pivot path and returns bit-identical
+/// strategies.
+///
+/// # Errors
+///
+/// As for [`optimize_strategies`].
+pub fn optimize_strategies_placed(
+    pq: &PlacedQuorums<'_>,
+    caps: &CapacityProfile,
+) -> Result<StrategyMatrix, CoreError> {
+    Ok(optimize_strategies_outcome(pq, caps)?.strategy)
+}
+
+/// [`optimize_strategies_placed`] returning the full
+/// [`StrategyLpOutcome`] (duals, objective, solver counters) instead of
+/// just the strategies. Cold solve; the strategies are bit-identical to
+/// [`optimize_strategies_placed`].
+///
+/// # Errors
+///
+/// As for [`optimize_strategies`].
+pub fn optimize_strategies_outcome(
+    pq: &PlacedQuorums<'_>,
+    caps: &CapacityProfile,
+) -> Result<StrategyLpOutcome, CoreError> {
+    let (model, cap_rows) = build_strategy_model(pq, caps)?;
+    let sol = model.solve_with(&SolverOptions::default())?;
+    StrategyLpOutcome::from_solution(
+        &sol,
+        pq.ctx().clients().len(),
+        pq.quorums().len(),
+        pq.ctx().net().len(),
+        &cap_rows,
+    )
+}
+
+/// A reusable warm-start solver for capacity-parametrized re-solves of
+/// one placement's access-strategy LP.
+///
+/// Built once per `(placement, quorums)` geometry: the LP is constructed
+/// with a capacity row for **every** loaded node and cold-solved at the
+/// loosest uniform capacity (1.0). Each subsequent
+/// [`solve_uniform`](Self::solve_uniform) /
+/// [`solve_profile`](Self::solve_profile) call clones the solved base
+/// instance, rewrites only the capacity right-hand sides, and re-solves
+/// warm with the dual simplex — a pure function of the requested
+/// capacities, safe to call from any thread and bit-identical at any
+/// thread count.
+#[derive(Debug, Clone)]
+pub struct CapacitySweepSolver {
+    n_clients: usize,
+    n_quorums: usize,
+    net_len: usize,
+    /// `(node, row, never_binding_rhs)` per capacity row; the last value
+    /// stands in for `∞` capacities (no average load can reach it).
+    cap_rows: Vec<(usize, usize, f64)>,
+    base: SimplexInstance,
+    base_stats: SolveStats,
+}
+
+impl CapacitySweepSolver {
+    /// Builds the LP for `pq` and cold-solves it at uniform capacity 1.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Infeasible`] if the LP is infeasible even at uniform
+    /// capacity 1 — since feasibility is monotone in capacity, every
+    /// smaller capacity is then infeasible too. Construction errors
+    /// propagate as for [`optimize_strategies`].
+    pub fn new(pq: &PlacedQuorums<'_>) -> Result<Self, CoreError> {
+        let net_len = pq.ctx().net().len();
+        let loosest = CapacityProfile::uniform(net_len, 1.0);
+        let (model, rows) = build_strategy_model(pq, &loosest)?;
+        let counts = pq.placement().element_counts();
+        let cap_rows = rows
+            .into_iter()
+            .map(|(w, row)| (w, row, counts[w] as f64 + 1.0))
+            .collect();
+        let mut base = SimplexInstance::new(model, SolverOptions::factored())?;
+        let sol = base.solve()?;
+        Ok(CapacitySweepSolver {
+            n_clients: pq.ctx().clients().len(),
+            n_quorums: pq.quorums().len(),
+            net_len,
+            cap_rows,
+            base,
+            base_stats: sol.stats(),
+        })
+    }
+
+    /// Work counters of the shared cold base solve.
+    pub fn base_stats(&self) -> SolveStats {
+        self.base_stats
+    }
+
+    /// Warm-solves the LP at uniform capacity `c` for all nodes.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Infeasible`] if `c` is below what the placement can
+    /// balance; LP errors propagate.
+    pub fn solve_uniform(&self, c: f64) -> Result<StrategyLpOutcome, CoreError> {
+        let mut inst = self.base.clone();
+        for &(_, row, _) in &self.cap_rows {
+            inst.set_rhs(row, c);
+        }
+        let sol = inst.resolve()?;
+        StrategyLpOutcome::from_solution(
+            &sol,
+            self.n_clients,
+            self.n_quorums,
+            self.net_len,
+            &self.cap_rows_pairs(),
+        )
+    }
+
+    /// Warm-solves the LP under an arbitrary capacity profile. Unbounded
+    /// capacities are modeled by a right-hand side no average load can
+    /// reach, so one frozen matrix serves every profile.
+    ///
+    /// # Errors
+    ///
+    /// As for [`solve_uniform`](Self::solve_uniform);
+    /// [`CoreError::SizeMismatch`] if `caps` covers the wrong node count.
+    pub fn solve_profile(&self, caps: &CapacityProfile) -> Result<StrategyLpOutcome, CoreError> {
+        if caps.len() != self.net_len {
+            return Err(CoreError::SizeMismatch {
+                reason: format!(
+                    "capacity profile covers {} nodes, network has {}",
+                    caps.len(),
+                    self.net_len
+                ),
+            });
+        }
+        let mut inst = self.base.clone();
+        for &(w, row, never_binding) in &self.cap_rows {
+            let c = caps.get(NodeId::new(w));
+            inst.set_rhs(row, if c.is_finite() { c } else { never_binding });
+        }
+        let sol = inst.resolve()?;
+        StrategyLpOutcome::from_solution(
+            &sol,
+            self.n_clients,
+            self.n_quorums,
+            self.net_len,
+            &self.cap_rows_pairs(),
+        )
+    }
+
+    fn cap_rows_pairs(&self) -> Vec<(usize, usize)> {
+        self.cap_rows.iter().map(|&(w, row, _)| (w, row)).collect()
+    }
 }
 
 /// One point of the §7 uniform-capacity technique: solve the LP at capacity
@@ -201,6 +413,29 @@ pub fn evaluate_at_uniform_capacity_placed(
     Ok((strategy, eval))
 }
 
+/// LP work counters aggregated over one capacity sweep, making the
+/// warm-start saving observable without wall clocks: the cold path would
+/// pay roughly `base_iterations` *per point*; the warm path pays it once
+/// plus a few dual pivots per point.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SweepLpStats {
+    /// Pivots of the single shared cold base solve.
+    pub base_iterations: usize,
+    /// Dual-simplex (or fallback) pivots across all feasible sweep points.
+    pub resolve_iterations: usize,
+    /// Sweep points solved warm (dual simplex from the shared basis).
+    pub warm_points: usize,
+    /// Sweep points that fell back to a cold solve.
+    pub cold_points: usize,
+}
+
+impl SweepLpStats {
+    /// Total simplex pivots spent on the sweep, shared base included.
+    pub fn total_iterations(&self) -> usize {
+        self.base_iterations + self.resolve_iterations
+    }
+}
+
 /// The outcome of a capacity sweep: per-capacity evaluations and the best
 /// point by response time.
 #[derive(Debug, Clone)]
@@ -209,6 +444,8 @@ pub struct CapacitySweepResult {
     pub points: Vec<(f64, Evaluation)>,
     /// Index into `points` of the minimum `avg_response_ms`.
     pub best: usize,
+    /// LP pivot counters for the whole sweep (feasible points only).
+    pub lp_stats: SweepLpStats,
 }
 
 impl CapacitySweepResult {
@@ -244,11 +481,13 @@ pub fn tune_uniform_capacity(
     tune_uniform_capacity_placed(&pq, l_opt, steps, model)
 }
 
-/// [`tune_uniform_capacity`] against a pre-bound [`PlacedQuorums`],
-/// solving the per-capacity LPs **in parallel** on the global
-/// [`ParPool`]. Results are identical to the serial sweep for any
-/// thread count: every sweep point is an independent LP solve, and
-/// points are collected back in sweep order.
+/// [`tune_uniform_capacity`] against a pre-bound [`PlacedQuorums`]:
+/// builds one [`CapacitySweepSolver`] (a single cold solve at the loosest
+/// capacity) and warm-solves every sweep point **in parallel** on the
+/// global [`ParPool`]. Each point clones the shared solved base, so
+/// results are identical for any thread count: every point is a pure
+/// function of `(base, cᵢ)`, and points are collected back in sweep
+/// order.
 ///
 /// # Errors
 ///
@@ -260,13 +499,28 @@ pub fn tune_uniform_capacity_placed(
     model: ResponseModel,
 ) -> Result<CapacitySweepResult, CoreError> {
     let cs = capacity_sweep(l_opt, steps);
+    let solver = CapacitySweepSolver::new(pq)?;
     let solved = ParPool::global().run(cs.len(), |i| {
-        evaluate_at_uniform_capacity_placed(pq, cs[i], model).map(|(_, eval)| eval)
+        let outcome = solver.solve_uniform(cs[i])?;
+        let eval = evaluate_matrix_placed(pq, &outcome.strategy, model)?;
+        Ok::<_, CoreError>((eval, outcome.stats))
     });
     let mut points = Vec::new();
+    let mut lp_stats = SweepLpStats {
+        base_iterations: solver.base_stats().iterations,
+        ..SweepLpStats::default()
+    };
     for (c, outcome) in cs.into_iter().zip(solved) {
         match outcome {
-            Ok(eval) => points.push((c, eval)),
+            Ok((eval, stats)) => {
+                points.push((c, eval));
+                lp_stats.resolve_iterations += stats.iterations;
+                if stats.warm {
+                    lp_stats.warm_points += 1;
+                } else {
+                    lp_stats.cold_points += 1;
+                }
+            }
             Err(CoreError::Infeasible) => continue,
             Err(e) => return Err(e),
         }
@@ -285,7 +539,11 @@ pub fn tune_uniform_capacity_placed(
         })
         .map(|(i, _)| i)
         .expect("nonempty");
-    Ok(CapacitySweepResult { points, best })
+    Ok(CapacitySweepResult {
+        points,
+        best,
+        lp_stats,
+    })
 }
 
 /// The §7 *non-uniform* variant: capacities from the inverse-distance
@@ -326,6 +584,104 @@ pub fn evaluate_at_nonuniform_capacity_placed(
         beta,
         gamma,
     )?;
+    let strategy = optimize_strategies_placed(pq, &caps)?;
+    let eval = evaluate_matrix_placed(pq, &strategy, model)?;
+    Ok((strategy, eval))
+}
+
+/// Non-uniform capacities from the **load-proportional** heuristic: node
+/// loads under the *unconstrained* delay-optimal strategies are scaled
+/// into `[β, γ]` ([`CapacityProfile::load_proportional`]), so capacity is
+/// granted where the optimizer most wants to put load; then the same LP +
+/// scoring as the other §7 variants.
+///
+/// # Errors
+///
+/// As for [`optimize_strategies`].
+pub fn evaluate_at_load_proportional_capacity(
+    net: &Network,
+    clients: &[NodeId],
+    placement: &Placement,
+    quorums: &[Quorum],
+    beta: f64,
+    gamma: f64,
+    model: ResponseModel,
+) -> Result<(StrategyMatrix, Evaluation), CoreError> {
+    let ctx = EvalContext::new(net, clients);
+    let pq = ctx.place(placement, quorums);
+    evaluate_at_load_proportional_capacity_placed(&pq, beta, gamma, model)
+}
+
+/// [`evaluate_at_load_proportional_capacity`] against a pre-bound
+/// [`PlacedQuorums`].
+///
+/// # Errors
+///
+/// As for [`evaluate_at_load_proportional_capacity`].
+pub fn evaluate_at_load_proportional_capacity_placed(
+    pq: &PlacedQuorums<'_>,
+    beta: f64,
+    gamma: f64,
+    model: ResponseModel,
+) -> Result<(StrategyMatrix, Evaluation), CoreError> {
+    let net_len = pq.ctx().net().len();
+    let unconstrained = optimize_strategies_placed(pq, &CapacityProfile::unbounded(net_len))?;
+    let loads =
+        evaluate_matrix_placed(pq, &unconstrained, ResponseModel::network_delay_only())?.node_loads;
+    let caps =
+        CapacityProfile::load_proportional(&loads, &pq.placement().support_set(), beta, gamma)?;
+    let strategy = optimize_strategies_placed(pq, &caps)?;
+    let eval = evaluate_matrix_placed(pq, &strategy, model)?;
+    Ok((strategy, eval))
+}
+
+/// Non-uniform capacities from the **marginal-value** heuristic: the LP is
+/// first solved at uniform capacity `γ`, and each node's capacity-row dual
+/// price (the delay saved per unit of extra capacity,
+/// [`StrategyLpOutcome::capacity_duals`]) is scaled into `[β, γ]`
+/// ([`CapacityProfile::marginal_value`]) — nodes whose capacity the
+/// optimizer values most get the most; then the same LP + scoring.
+///
+/// # Errors
+///
+/// As for [`optimize_strategies`].
+pub fn evaluate_at_marginal_value_capacity(
+    net: &Network,
+    clients: &[NodeId],
+    placement: &Placement,
+    quorums: &[Quorum],
+    beta: f64,
+    gamma: f64,
+    model: ResponseModel,
+) -> Result<(StrategyMatrix, Evaluation), CoreError> {
+    let ctx = EvalContext::new(net, clients);
+    let pq = ctx.place(placement, quorums);
+    evaluate_at_marginal_value_capacity_placed(&pq, beta, gamma, model)
+}
+
+/// [`evaluate_at_marginal_value_capacity`] against a pre-bound
+/// [`PlacedQuorums`].
+///
+/// # Errors
+///
+/// As for [`evaluate_at_marginal_value_capacity`].
+pub fn evaluate_at_marginal_value_capacity_placed(
+    pq: &PlacedQuorums<'_>,
+    beta: f64,
+    gamma: f64,
+    model: ResponseModel,
+) -> Result<(StrategyMatrix, Evaluation), CoreError> {
+    let net_len = pq.ctx().net().len();
+    let reference = optimize_strategies_outcome(pq, &CapacityProfile::uniform(net_len, gamma))?;
+    // Binding ≤ rows of a minimization have duals ≤ 0; the magnitude is
+    // the marginal value of that node's capacity.
+    let prices: Vec<f64> = reference
+        .capacity_duals
+        .iter()
+        .map(|&d| (-d).max(0.0))
+        .collect();
+    let caps =
+        CapacityProfile::marginal_value(&prices, &pq.placement().support_set(), beta, gamma)?;
     let strategy = optimize_strategies_placed(pq, &caps)?;
     let eval = evaluate_matrix_placed(pq, &strategy, model)?;
     Ok((strategy, eval))
@@ -472,6 +828,51 @@ mod tests {
         for (_, eval) in &result.points {
             assert!(best <= eval.avg_response_ms + 1e-9);
         }
+        // The shared base solve did real work; warm points did less.
+        assert!(result.lp_stats.base_iterations > 0);
+        assert_eq!(
+            result.lp_stats.warm_points + result.lp_stats.cold_points,
+            result.points.len()
+        );
+    }
+
+    #[test]
+    fn warm_sweep_matches_cold_solves_and_saves_iterations() {
+        // Each sweep point, solved warm off the shared base, must match a
+        // from-scratch cold solve of the same capacity to LP-objective
+        // accuracy, while spending strictly fewer pivots in total.
+        let (net, clients, sys, placement, quorums) = setup(3);
+        let ctx = EvalContext::new(&net, &clients);
+        let pq = ctx.place(&placement, &quorums);
+        let l_opt = sys.optimal_load().unwrap();
+        let cs = capacity_sweep(l_opt, 6);
+
+        let solver = CapacitySweepSolver::new(&pq).unwrap();
+        let mut warm_total = solver.base_stats().iterations;
+        let mut cold_total = 0usize;
+        for &c in &cs {
+            let caps = CapacityProfile::uniform(net.len(), c);
+            let (warm, cold) = match (
+                solver.solve_uniform(c),
+                optimize_strategies_outcome(&pq, &caps),
+            ) {
+                (Ok(w), Ok(c)) => (w, c),
+                (Err(CoreError::Infeasible), Err(CoreError::Infeasible)) => continue,
+                (w, c) => panic!("warm/cold feasibility disagreement at {c:?}: {w:?}"),
+            };
+            assert!(
+                (warm.delay_ms - cold.delay_ms).abs() <= 1e-9 * (1.0 + cold.delay_ms.abs()),
+                "objective drift at c={c}: warm {} vs cold {}",
+                warm.delay_ms,
+                cold.delay_ms
+            );
+            warm_total += warm.stats.iterations;
+            cold_total += cold.stats.iterations;
+        }
+        assert!(
+            warm_total < cold_total,
+            "warm sweep must pivot strictly less: warm {warm_total} vs cold {cold_total}"
+        );
     }
 
     #[test]
@@ -490,5 +891,47 @@ mod tests {
         .unwrap();
         assert_eq!(strategy.num_clients(), clients.len());
         assert!(eval.avg_response_ms >= eval.avg_network_delay_ms);
+    }
+
+    #[test]
+    fn three_way_capacity_heuristics_track_uniform() {
+        // The fig7_8-style comparison, extended to the two new heuristics:
+        // at every feasible sweep capacity, neither load-proportional nor
+        // marginal-value capacities lose more than the paper's qualitative
+        // margin (1 % relative) to the uniform assignment.
+        let net = datasets::planetlab_50();
+        let clients: Vec<NodeId> = net.nodes().collect();
+        let sys = QuorumSystem::grid(3).unwrap();
+        let placement = crate::one_to_one::best_placement(&net, &sys).unwrap();
+        let quorums = sys.enumerate(100).unwrap();
+        let l_opt = sys.optimal_load().unwrap();
+        let ctx = EvalContext::new(&net, &clients);
+        let pq = ctx.place(&placement, &quorums);
+        let model = ResponseModel::from_demand(0.007, 16000.0);
+
+        for c in capacity_sweep(l_opt, 4) {
+            let uniform = match evaluate_at_uniform_capacity_placed(&pq, c, model) {
+                Ok((_, eval)) => eval.avg_response_ms,
+                Err(CoreError::Infeasible) => continue,
+                Err(e) => panic!("uniform failed at c={c}: {e}"),
+            };
+            for (name, result) in [
+                (
+                    "load_proportional",
+                    evaluate_at_load_proportional_capacity_placed(&pq, l_opt, c, model),
+                ),
+                (
+                    "marginal_value",
+                    evaluate_at_marginal_value_capacity_placed(&pq, l_opt, c, model),
+                ),
+            ] {
+                let (_, eval) = result.unwrap_or_else(|e| panic!("{name} failed at c={c}: {e}"));
+                assert!(
+                    eval.avg_response_ms <= uniform * 1.01 + 1e-6,
+                    "{name} response {} loses >1% to uniform {uniform} at c={c}",
+                    eval.avg_response_ms
+                );
+            }
+        }
     }
 }

@@ -1,0 +1,331 @@
+//! Sparse basis factorization: LU at refactorization points, product-form
+//! eta updates between them.
+//!
+//! The simplex basis `B` is maintained as `B = P⁻¹ L U · E₁ ⋯ E_k`, where
+//! `P, L, U` come from a sparse Gaussian elimination with partial pivoting
+//! of the basis at the last refactorization and each `Eₖ` is the elementary
+//! (eta) matrix of one pivot since. Both solve directions needed by the
+//! revised simplex are supported:
+//!
+//! * **ftran** — `d = B⁻¹ a`: permute/forward/back-substitute through `LU`,
+//!   then apply `Eₖ⁻¹` left to right;
+//! * **btran** — `y = B⁻ᵀ c`: apply `Eₖ⁻ᵀ` right to left, then solve the
+//!   transposed triangular systems.
+//!
+//! Everything is index-deterministic: entry order depends only on the input
+//! columns, never on hashing or threading, so solver pivot paths are
+//! reproducible run to run.
+
+use crate::LpError;
+
+/// Sparse LU factors of one basis matrix, `P B = L U`.
+///
+/// Row indices are *constraint rows* (the matrix's own row labels);
+/// positions `0..m` are the elimination order chosen by partial pivoting.
+/// `lower[k]` stores the step-`k` multipliers keyed by constraint row,
+/// `upper[k]` stores column `k` of `U` keyed by position.
+#[derive(Debug, Clone)]
+pub(crate) struct SparseLu {
+    m: usize,
+    /// Position `k` → constraint row chosen as the step-`k` pivot.
+    pivot_row: Vec<usize>,
+    /// Constraint row → position (inverse of `pivot_row`).
+    pos: Vec<usize>,
+    /// Step `k` → multipliers `(constraint_row, l)` for rows below the pivot.
+    lower: Vec<Vec<(usize, f64)>>,
+    /// Column `k` of `U`: `(diagonal, [(position < k, coeff)])`.
+    upper: Vec<(f64, Vec<(usize, f64)>)>,
+}
+
+impl SparseLu {
+    /// An empty stand-in (usable only as a slot to be overwritten by a
+    /// real factorization — solving with it is a logic error for `m > 0`).
+    pub(crate) fn placeholder() -> Self {
+        SparseLu {
+            m: 0,
+            pivot_row: Vec::new(),
+            pos: Vec::new(),
+            lower: Vec::new(),
+            upper: Vec::new(),
+        }
+    }
+
+    /// Factors an `m × m` basis. `fill(k, out)` must push the sparse
+    /// entries `(constraint_row, coeff)` of basis column `k` (no duplicate
+    /// rows).
+    ///
+    /// Returns [`LpError::Singular`] if elimination meets a pivot smaller
+    /// than `pivot_tol` in absolute value.
+    pub(crate) fn factor(
+        m: usize,
+        pivot_tol: f64,
+        fill: impl Fn(usize, &mut Vec<(usize, f64)>),
+    ) -> Result<Self, LpError> {
+        let mut lu = SparseLu {
+            m,
+            pivot_row: Vec::with_capacity(m),
+            pos: vec![usize::MAX; m],
+            lower: Vec::with_capacity(m),
+            upper: Vec::with_capacity(m),
+        };
+        let mut work = vec![0.0f64; m];
+        let mut mark = vec![false; m];
+        let mut touched: Vec<usize> = Vec::with_capacity(m);
+        let mut entries: Vec<(usize, f64)> = Vec::new();
+
+        for k in 0..m {
+            entries.clear();
+            fill(k, &mut entries);
+            for &(r, v) in &entries {
+                debug_assert!(!mark[r], "duplicate row {r} in basis column {k}");
+                work[r] = v;
+                mark[r] = true;
+                touched.push(r);
+            }
+            // Left-looking elimination: apply the first k steps in order.
+            let mut ucol: Vec<(usize, f64)> = Vec::new();
+            for c in 0..k {
+                let u = work[lu.pivot_row[c]];
+                if u != 0.0 {
+                    ucol.push((c, u));
+                    for &(r, l) in &lu.lower[c] {
+                        let delta = l * u;
+                        if delta != 0.0 {
+                            if !mark[r] {
+                                mark[r] = true;
+                                touched.push(r);
+                            }
+                            work[r] -= delta;
+                        }
+                    }
+                }
+            }
+            // Partial pivot among rows not yet assigned a position.
+            let mut piv_row = usize::MAX;
+            let mut best = 0.0f64;
+            for &r in &touched {
+                if lu.pos[r] == usize::MAX {
+                    let v = work[r].abs();
+                    if v > best {
+                        best = v;
+                        piv_row = r;
+                    }
+                }
+            }
+            if best <= pivot_tol {
+                return Err(LpError::Singular);
+            }
+            let diag = work[piv_row];
+            let mut lcol: Vec<(usize, f64)> = Vec::new();
+            for &r in &touched {
+                if r != piv_row && lu.pos[r] == usize::MAX && work[r] != 0.0 {
+                    lcol.push((r, work[r] / diag));
+                }
+            }
+            lu.pos[piv_row] = k;
+            lu.pivot_row.push(piv_row);
+            lu.lower.push(lcol);
+            lu.upper.push((diag, ucol));
+            for &r in &touched {
+                work[r] = 0.0;
+                mark[r] = false;
+            }
+            touched.clear();
+        }
+        Ok(lu)
+    }
+
+    /// ftran core: consumes a dense right-hand side keyed by constraint row
+    /// (zeroed on return) and produces `B₀⁻¹ a` keyed by position.
+    pub(crate) fn solve_consuming(&self, work: &mut [f64]) -> Vec<f64> {
+        let m = self.m;
+        debug_assert_eq!(work.len(), m);
+        // L z = P a (forward, recording z by position).
+        let mut z = vec![0.0f64; m];
+        for k in 0..m {
+            let zk = work[self.pivot_row[k]];
+            work[self.pivot_row[k]] = 0.0;
+            z[k] = zk;
+            if zk != 0.0 {
+                for &(r, l) in &self.lower[k] {
+                    work[r] -= l * zk;
+                }
+            }
+        }
+        // Rows never pivoted into z are already cleared above; sweep any
+        // residue introduced by the forward pass.
+        for v in work.iter_mut() {
+            *v = 0.0;
+        }
+        // U d = z (column-oriented back substitution).
+        for k in (0..m).rev() {
+            let (diag, ref col) = self.upper[k];
+            let dk = z[k] / diag;
+            z[k] = dk;
+            if dk != 0.0 {
+                for &(c, u) in col {
+                    z[c] -= u * dk;
+                }
+            }
+        }
+        z
+    }
+
+    /// btran core: given `c` keyed by position, returns `B₀⁻ᵀ c` keyed by
+    /// constraint row.
+    pub(crate) fn solve_transpose(&self, c: &[f64]) -> Vec<f64> {
+        let m = self.m;
+        debug_assert_eq!(c.len(), m);
+        // Uᵀ w = c (forward, by position).
+        let mut w = vec![0.0f64; m];
+        for k in 0..m {
+            let (diag, ref col) = self.upper[k];
+            let mut t = c[k];
+            for &(p, u) in col {
+                t -= u * w[p];
+            }
+            w[k] = t / diag;
+        }
+        // Lᵀ v = w (backward, by position; L entries keyed by constraint row).
+        for k in (0..m).rev() {
+            let mut t = w[k];
+            for &(r, l) in &self.lower[k] {
+                t -= l * w[self.pos[r]];
+            }
+            w[k] = t;
+        }
+        // y[constraint row] = v[position].
+        let mut y = vec![0.0f64; m];
+        for k in 0..m {
+            y[self.pivot_row[k]] = w[k];
+        }
+        y
+    }
+}
+
+/// One product-form update: the eta matrix whose column `r` is the pivot
+/// column `d` (position-keyed), all other columns identity.
+#[derive(Debug, Clone)]
+pub(crate) struct Eta {
+    r: usize,
+    pivot: f64,
+    /// Off-pivot nonzeros of `d`, position-keyed (excludes `r`).
+    entries: Vec<(usize, f64)>,
+}
+
+impl Eta {
+    /// Builds the eta for a pivot on row `r` with ftran column `d`.
+    pub(crate) fn from_pivot(r: usize, d: &[f64]) -> Self {
+        let entries = d
+            .iter()
+            .enumerate()
+            .filter(|&(i, &v)| i != r && v != 0.0)
+            .map(|(i, &v)| (i, v))
+            .collect();
+        Eta {
+            r,
+            pivot: d[r],
+            entries,
+        }
+    }
+
+    /// `x ← E⁻¹ x`.
+    pub(crate) fn apply(&self, x: &mut [f64]) {
+        let t = x[self.r] / self.pivot;
+        x[self.r] = t;
+        if t != 0.0 {
+            for &(i, v) in &self.entries {
+                x[i] -= v * t;
+            }
+        }
+    }
+
+    /// `y ← E⁻ᵀ y`.
+    pub(crate) fn apply_transpose(&self, y: &mut [f64]) {
+        let mut t = y[self.r];
+        for &(i, v) in &self.entries {
+            t -= v * y[i];
+        }
+        y[self.r] = t / self.pivot;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dense_cols(a: &[&[f64]]) -> Vec<Vec<(usize, f64)>> {
+        // a is row-major; build sparse columns.
+        let m = a.len();
+        (0..m)
+            .map(|j| {
+                (0..m)
+                    .filter(|&i| a[i][j] != 0.0)
+                    .map(|i| (i, a[i][j]))
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn lu_of(a: &[&[f64]]) -> SparseLu {
+        let cols = dense_cols(a);
+        SparseLu::factor(a.len(), 1e-12, |k, out| out.extend_from_slice(&cols[k])).unwrap()
+    }
+
+    #[test]
+    fn solves_match_direct_inverse_3x3() {
+        let a: &[&[f64]] = &[&[2.0, 1.0, 0.0], &[1.0, 3.0, 1.0], &[0.0, 1.0, 4.0]];
+        let lu = lu_of(a);
+        // ftran: B d = e1 → check B·d = e1.
+        let mut rhs = vec![1.0, 0.0, 0.0];
+        let d = lu.solve_consuming(&mut rhs);
+        for (i, row) in a.iter().enumerate() {
+            let got: f64 = (0..3).map(|j| row[j] * d[j]).sum();
+            let want = if i == 0 { 1.0 } else { 0.0 };
+            assert!((got - want).abs() < 1e-12, "ftran row {i}: {got}");
+        }
+        // btran: Bᵀ y = c.
+        let c = vec![1.0, 2.0, -1.0];
+        let y = lu.solve_transpose(&c);
+        for j in 0..3 {
+            let got: f64 = (0..3).map(|i| a[i][j] * y[i]).sum();
+            assert!((got - c[j]).abs() < 1e-12, "btran col {j}: {got}");
+        }
+    }
+
+    #[test]
+    fn permuted_singular_detected() {
+        let a: &[&[f64]] = &[&[1.0, 2.0], &[2.0, 4.0]];
+        let cols = dense_cols(a);
+        let err = SparseLu::factor(2, 1e-9, |k, out| out.extend_from_slice(&cols[k]));
+        assert!(matches!(err, Err(LpError::Singular)));
+    }
+
+    #[test]
+    fn partial_pivoting_handles_zero_diagonal() {
+        let a: &[&[f64]] = &[&[0.0, 1.0], &[1.0, 0.0]];
+        let lu = lu_of(a);
+        let mut rhs = vec![3.0, 5.0];
+        let d = lu.solve_consuming(&mut rhs);
+        // B d = rhs → d = (5, 3).
+        assert!((d[0] - 5.0).abs() < 1e-12 && (d[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eta_apply_roundtrips_pivot() {
+        // E column 1 = d; applying E⁻¹ to d itself must give e1.
+        let d = vec![0.5, 2.0, -1.5];
+        let eta = Eta::from_pivot(1, &d);
+        let mut x = d.clone();
+        eta.apply(&mut x);
+        assert!((x[0]).abs() < 1e-12 && (x[1] - 1.0).abs() < 1e-12 && (x[2]).abs() < 1e-12);
+        // Transpose solve: Eᵀ y = c consistency via dot products.
+        let c = vec![1.0, 4.0, 2.0];
+        let mut y = c.clone();
+        eta.apply_transpose(&mut y);
+        // Check Eᵀ y = c: row r of Eᵀ is dᵀ, other rows identity + d_i e_r.
+        let er: f64 = d.iter().zip(&y).map(|(a, b)| a * b).sum();
+        assert!((er - c[1]).abs() < 1e-12);
+        assert!((y[0] - c[0]).abs() < 1e-12 && (y[2] - c[2]).abs() < 1e-12);
+    }
+}

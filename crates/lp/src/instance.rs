@@ -1,0 +1,333 @@
+//! Warm-started parametric re-solving: [`SimplexInstance`].
+//!
+//! A `SimplexInstance` freezes one model's standard form (column layout,
+//! costs, row-sign normalization) and lets callers mutate right-hand sides
+//! and variable bounds *in place*, then [`SimplexInstance::resolve`] from
+//! the previous optimal basis with the dual simplex instead of re-pivoting
+//! from the all-artificial start. This is the classical parametric-LP
+//! answer to the §7 capacity sweeps: hundreds of LPs sharing one
+//! constraint matrix and differing only in capacity rhs values.
+//!
+//! Instances are `Clone`, and a clone is cheap (the heavy factorization is
+//! rebuilt lazily on the next solve): sweep drivers clone one solved base
+//! instance per parallel job, keeping every job a pure function of its
+//! input — results stay bit-identical at any thread count.
+
+use crate::model::Prepared;
+use crate::simplex::{resolve_dual, solve_two_phase, DualOutcome, SolverOptions};
+use crate::{LpError, Model, Solution, VarId};
+
+/// A reusable solver bound to one [`Model`] snapshot.
+///
+/// Mutators ([`set_rhs`](Self::set_rhs),
+/// [`set_var_bounds`](Self::set_var_bounds)) keep the frozen standard form
+/// in sync; [`solve`](Self::solve) runs a cold two-phase solve and
+/// [`resolve`](Self::resolve) reoptimizes warm from the last optimal
+/// basis. Changing bounds or right-hand sides never disturbs dual
+/// feasibility (costs are untouched), so `resolve` after any sequence of
+/// such mutations is exact, not approximate; it falls back to a cold solve
+/// on numerical trouble, so it is never *less* reliable than `solve`.
+///
+/// # Examples
+///
+/// ```
+/// use qp_lp::{Model, Sense, SolverOptions};
+///
+/// let mut m = Model::new(Sense::Minimize);
+/// let x = m.add_var("x", 0.0, f64::INFINITY, 2.0);
+/// let y = m.add_var("y", 0.0, f64::INFINITY, 3.0);
+/// let demand = m.add_ge(&[(x, 1.0), (y, 1.0)], 4.0);
+/// let mut inst = m.instance(&SolverOptions::default())?;
+/// let cold = inst.solve()?;
+/// assert!((cold.objective() - 8.0).abs() < 1e-7);
+///
+/// inst.set_rhs(demand, 10.0); // re-solve at a new demand, warm
+/// let warm = inst.resolve()?;
+/// assert!((warm.objective() - 20.0).abs() < 1e-7);
+/// assert!(warm.stats().warm);
+/// # Ok::<(), qp_lp::LpError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimplexInstance {
+    model: Model,
+    prepared: Prepared,
+    options: SolverOptions,
+    /// Optimal (dual-feasible) basis of the last successful solve.
+    warm: Option<Vec<usize>>,
+}
+
+impl SimplexInstance {
+    /// Builds an instance owning `model`, performing the standard-form
+    /// conversion once.
+    ///
+    /// # Errors
+    ///
+    /// Propagates standard-form construction failures.
+    pub fn new(model: Model, options: SolverOptions) -> Result<Self, LpError> {
+        let prepared = Prepared::from_model(&model)?;
+        Ok(SimplexInstance {
+            model,
+            prepared,
+            options,
+            warm: None,
+        })
+    }
+
+    /// The model snapshot this instance solves (reflecting any mutations
+    /// applied through the instance).
+    pub fn model(&self) -> &Model {
+        &self.model
+    }
+
+    /// Whether a warm basis from a previous solve is available, i.e.
+    /// whether the next [`resolve`](Self::resolve) can skip phase 1.
+    pub fn is_warm(&self) -> bool {
+        self.warm.is_some()
+    }
+
+    /// Changes the right-hand side of constraint `row` (a row index from
+    /// the model's `add_*` methods). The warm basis stays valid: rhs
+    /// changes never affect dual feasibility.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range or `rhs` is not finite.
+    pub fn set_rhs(&mut self, row: usize, rhs: f64) {
+        self.model.set_rhs(row, rhs);
+        self.prepared.refresh_row_rhs(&self.model, row);
+    }
+
+    /// Changes the bounds of variable `v`. The finiteness *pattern* of the
+    /// bounds must match the original ones (finite stays finite, infinite
+    /// stays infinite): the pattern determines the standard-form column
+    /// layout, which is frozen at construction.
+    ///
+    /// # Errors
+    ///
+    /// [`LpError::InvalidModel`] if the finiteness pattern changes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range, a bound is NaN, or `lower > upper`.
+    pub fn set_var_bounds(&mut self, v: VarId, lower: f64, upper: f64) -> Result<(), LpError> {
+        let (old_lo, old_hi) = self.model.var_bounds(v);
+        if old_lo.is_finite() != lower.is_finite() || old_hi.is_finite() != upper.is_finite() {
+            return Err(LpError::InvalidModel {
+                reason: format!(
+                    "bound pattern of {v} changed: [{old_lo}, {old_hi}] -> [{lower}, {upper}] \
+                     (finite/infinite sides are frozen at instance construction)"
+                ),
+            });
+        }
+        self.model.set_var_bounds(v, lower, upper);
+        self.prepared.refresh_bounds(&self.model);
+        Ok(())
+    }
+
+    /// Cold two-phase solve; records the optimal basis for later warm
+    /// re-solves.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Model::solve`].
+    pub fn solve(&mut self) -> Result<Solution, LpError> {
+        match solve_two_phase(&self.prepared, &self.options, self.model.num_vars()) {
+            Ok((sol, basis)) => {
+                self.warm = Some(basis);
+                Ok(sol)
+            }
+            Err(e) => {
+                self.warm = None;
+                Err(e)
+            }
+        }
+    }
+
+    /// Re-solves after mutations, warm-starting with the dual simplex from
+    /// the previous optimal basis. Falls back to a cold [`solve`](Self::solve)
+    /// when no warm basis exists, when the warm basis still contains
+    /// artificials (redundant rows), or on numerical trouble — so the
+    /// result is always as trustworthy as a cold solve, just cheaper in
+    /// the common case.
+    ///
+    /// An infeasibility verdict from the dual simplex is double-checked
+    /// with a cold solve before being reported, so warm and cold paths
+    /// agree on which parameter points are feasible.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Model::solve`].
+    pub fn resolve(&mut self) -> Result<Solution, LpError> {
+        let Some(basis) = self.warm.clone() else {
+            return self.solve();
+        };
+        let n_cols = self.prepared.cols.len();
+        if basis.iter().any(|&j| j >= n_cols) {
+            return self.solve();
+        }
+        match resolve_dual(&self.prepared, &self.options, self.model.num_vars(), basis) {
+            DualOutcome::Optimal(sol, basis) => {
+                self.warm = Some(basis);
+                Ok(sol)
+            }
+            DualOutcome::Infeasible(basis) => {
+                // Confirm with a cold solve: the dual-unbounded test and the
+                // phase-1 infeasibility test use different tolerance paths,
+                // and sweep drivers key behavior off this verdict.
+                match solve_two_phase(&self.prepared, &self.options, self.model.num_vars()) {
+                    Err(LpError::Infeasible) => {
+                        // Keep the dual-feasible basis: the next parameter
+                        // point can still re-solve warm.
+                        self.warm = Some(basis);
+                        Err(LpError::Infeasible)
+                    }
+                    Ok((sol, cold_basis)) => {
+                        self.warm = Some(cold_basis);
+                        Ok(sol)
+                    }
+                    Err(e) => {
+                        self.warm = None;
+                        Err(e)
+                    }
+                }
+            }
+            DualOutcome::Stalled => self.solve(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{LpError, Model, Sense, SolverOptions};
+
+    fn classic() -> (Model, (crate::VarId, crate::VarId), [usize; 3]) {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", 0.0, f64::INFINITY, 3.0);
+        let y = m.add_var("y", 0.0, f64::INFINITY, 5.0);
+        let r0 = m.add_le(&[(x, 1.0)], 4.0);
+        let r1 = m.add_le(&[(y, 2.0)], 12.0);
+        let r2 = m.add_le(&[(x, 3.0), (y, 2.0)], 18.0);
+        (m, (x, y), [r0, r1, r2])
+    }
+
+    #[test]
+    fn warm_resolve_matches_cold_after_rhs_change() {
+        let (m, _, rows) = classic();
+        let mut inst = m.instance(&SolverOptions::default()).unwrap();
+        inst.solve().unwrap();
+
+        let mut cold_model = m.clone();
+        cold_model.set_rhs(rows[2], 24.0);
+        let cold = cold_model.solve().unwrap();
+
+        inst.set_rhs(rows[2], 24.0);
+        let warm = inst.resolve().unwrap();
+        assert!(
+            (warm.objective() - cold.objective()).abs() <= 1e-9 * (1.0 + cold.objective().abs()),
+            "warm {} vs cold {}",
+            warm.objective(),
+            cold.objective()
+        );
+    }
+
+    #[test]
+    fn tightening_rhs_reoptimizes_with_dual_pivots() {
+        let (m, (x, y), rows) = classic();
+        let mut inst = m.instance(&SolverOptions::default()).unwrap();
+        let cold = inst.solve().unwrap();
+        assert!((cold.objective() - 36.0).abs() < 1e-7);
+
+        // Tighten the coupling row: 3x + 2y ≤ 12 → optimum (0, 6), obj 30.
+        inst.set_rhs(rows[2], 12.0);
+        let warm = inst.resolve().unwrap();
+        assert!(warm.stats().warm, "expected the dual-simplex path");
+        assert!(
+            (warm.objective() - 30.0).abs() < 1e-7,
+            "{}",
+            warm.objective()
+        );
+        assert!((warm.value(x) - 0.0).abs() < 1e-7);
+        assert!((warm.value(y) - 6.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn unchanged_rhs_resolves_in_zero_iterations() {
+        let (m, _, _) = classic();
+        let mut inst = m.instance(&SolverOptions::default()).unwrap();
+        let cold = inst.solve().unwrap();
+        let warm = inst.resolve().unwrap();
+        assert_eq!(warm.stats().iterations, 0);
+        assert!(warm.stats().warm);
+        assert_eq!(warm.objective().to_bits(), cold.objective().to_bits());
+    }
+
+    #[test]
+    fn infeasible_point_detected_and_recovered_from() {
+        // min x with 1 ≤ x ≤ 5 via rows; pushing the ≥ row past the ≤ row
+        // makes the point infeasible, pulling it back re-solves warm.
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", 0.0, 10.0, 1.0);
+        let lo = m.add_ge(&[(x, 1.0)], 1.0);
+        let _hi = m.add_le(&[(x, 1.0)], 5.0);
+        let mut inst = m.instance(&SolverOptions::default()).unwrap();
+        inst.solve().unwrap();
+        inst.set_rhs(lo, 6.0);
+        assert_eq!(inst.resolve().unwrap_err(), LpError::Infeasible);
+        // And back to feasible, still warm-capable.
+        inst.set_rhs(lo, 2.0);
+        let back = inst.resolve().unwrap();
+        assert!((back.objective() - 2.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn bound_change_resolves_warm() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", 0.0, 7.0, 2.0);
+        let y = m.add_var("y", 0.0, 3.0, 1.0);
+        m.add_le(&[(x, 1.0), (y, 1.0)], 8.0);
+        let mut inst = m.instance(&SolverOptions::default()).unwrap();
+        let cold = inst.solve().unwrap();
+        assert!((cold.objective() - 15.0).abs() < 1e-7); // x=7, y=1
+
+        inst.set_var_bounds(x, 0.0, 4.0).unwrap();
+        let warm = inst.resolve().unwrap();
+        // x=4, y=3 → 8+3 = 11.
+        assert!(
+            (warm.objective() - 11.0).abs() < 1e-7,
+            "{}",
+            warm.objective()
+        );
+
+        let mut cold_model = m.clone();
+        cold_model.set_var_bounds(x, 0.0, 4.0);
+        let re = cold_model.solve().unwrap();
+        assert!((re.objective() - warm.objective()).abs() <= 1e-9 * (1.0 + re.objective().abs()));
+    }
+
+    #[test]
+    fn bound_pattern_change_is_rejected() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", 0.0, 1.0, 1.0);
+        let mut inst = m.instance(&SolverOptions::default()).unwrap();
+        let err = inst.set_var_bounds(x, 0.0, f64::INFINITY).unwrap_err();
+        assert!(matches!(err, LpError::InvalidModel { .. }));
+    }
+
+    #[test]
+    fn clone_is_independent() {
+        let (m, _, rows) = classic();
+        let mut base = m.instance(&SolverOptions::default()).unwrap();
+        base.solve().unwrap();
+        let mut a = base.clone();
+        let mut b = base.clone();
+        a.set_rhs(rows[2], 12.0);
+        b.set_rhs(rows[2], 24.0);
+        let sa = a.resolve().unwrap();
+        let sb = b.resolve().unwrap();
+        assert!((sa.objective() - 30.0).abs() < 1e-7);
+        assert!((sb.objective() - 42.0).abs() < 1e-7);
+        // The base is untouched.
+        let again = base.resolve().unwrap();
+        assert!((again.objective() - 36.0).abs() < 1e-7);
+    }
+}

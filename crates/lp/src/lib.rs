@@ -1,24 +1,44 @@
 //! Linear-programming substrate: a small modeling layer and a from-scratch
-//! two-phase revised-simplex solver.
+//! revised-simplex solver with sparse basis factorization and warm-started
+//! parametric re-solving.
 //!
 //! The paper solves its placement and access-strategy linear programs with
 //! GNU MathProg + `glpsol`; this crate replaces that external toolchain with
 //! a pure-Rust solver so the whole reproduction is self-contained. The
-//! solver is a textbook *revised simplex* with:
+//! crate is organized in three cooperating layers:
 //!
-//! * sparse constraint columns and a dense explicit basis inverse,
-//!   refactorized periodically to bound numerical drift;
-//! * a two-phase start (phase 1 minimizes the sum of artificial variables,
-//!   detecting infeasibility, then redundant rows are dropped and artificials
-//!   pivoted out);
-//! * Dantzig pricing with an automatic switch to Bland's rule after a run of
-//!   degenerate pivots, guaranteeing termination;
-//! * support for general variable bounds (finite lower bounds are shifted
-//!   away, free variables are split, finite upper bounds become rows).
+//! 1. **Solver core** (the private `simplex` and `factor` modules) — a
+//!    two-phase *revised simplex* whose basis algebra is pluggable:
+//!    a **sparse LU factorization at refactorization points with
+//!    product-form (eta-file) updates between them**
+//!    ([`BasisKind::Factored`], used by the warm-start layer via
+//!    [`SolverOptions::factored`]), or the seed's dense explicit
+//!    `O(m²)`-per-iteration inverse ([`BasisKind::Dense`], still the
+//!    default for one-shot `Model::solve` calls so their pivot paths and
+//!    the repository's pinned goldens stay bit-for-bit). Shared pivot
+//!    logic — Dantzig pricing with an automatic switch to Bland's rule
+//!    after a run of degenerate pivots, periodic refactorization, phase-1
+//!    infeasibility detection — drives both representations, plus a
+//!    **dual simplex** for re-optimizing after right-hand-side changes.
+//! 2. **Parametric instances** ([`SimplexInstance`]) — a reusable solver
+//!    built once from a [`Model`]: `solve()` runs cold,
+//!    [`SimplexInstance::set_rhs`] / [`SimplexInstance::set_var_bounds`]
+//!    mutate the frozen standard form in place, and
+//!    [`SimplexInstance::resolve`] dual-simplex-reoptimizes from the
+//!    previous optimal basis. [`Solution::stats`] exposes pivot and
+//!    refactorization counters, so warm-vs-cold work is observable in
+//!    tests, not just wall clock. Instances are cheaply `Clone`: sweep
+//!    drivers clone one solved base per parallel job, keeping results
+//!    bit-identical at any thread count.
+//! 3. **Modeling layer** ([`Model`], [`Solution`]) — variables with general
+//!    bounds (finite lower bounds are shifted away, free variables split,
+//!    finite upper bounds become rows), `≤`/`≥`/`=` constraints, duals per
+//!    row.
 //!
-//! The LPs in this repository are small-to-medium (hundreds of rows, up to a
-//! few tens of thousands of columns); the dense `O(m²)`-per-iteration basis
-//! maintenance is comfortable at that scale.
+//! The LPs in this repository are small-to-medium (hundreds of rows, up to
+//! a few tens of thousands of columns) but are re-solved *hundreds of
+//! times* with only capacity right-hand sides changing (§7 sweeps); the
+//! factorized basis plus warm starts is what makes those sweeps cheap.
 //!
 //! # Examples
 //!
@@ -40,18 +60,43 @@
 //! assert!((sol.value(y) - 6.0).abs() < 1e-7);
 //! # Ok::<(), qp_lp::LpError>(())
 //! ```
+//!
+//! Parametric re-solving over a family of right-hand sides:
+//!
+//! ```
+//! use qp_lp::{Model, Sense, SolverOptions};
+//!
+//! let mut m = Model::new(Sense::Maximize);
+//! let x = m.add_var("x", 0.0, f64::INFINITY, 3.0);
+//! let y = m.add_var("y", 0.0, f64::INFINITY, 5.0);
+//! m.add_le(&[(x, 1.0)], 4.0);
+//! m.add_le(&[(y, 2.0)], 12.0);
+//! let coupling = m.add_le(&[(x, 3.0), (y, 2.0)], 18.0);
+//!
+//! let mut inst = m.instance(&SolverOptions::default())?;
+//! inst.solve()?; // cold once
+//! for rhs in [15.0, 16.5, 18.0, 21.0] {
+//!     inst.set_rhs(coupling, rhs);
+//!     let sol = inst.resolve()?; // warm from the previous optimal basis
+//!     assert!(sol.stats().warm);
+//! }
+//! # Ok::<(), qp_lp::LpError>(())
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod error;
+mod factor;
 mod format;
+mod instance;
 mod model;
 mod simplex;
 mod solution;
 
 pub use error::LpError;
 pub use format::format_lp;
+pub use instance::SimplexInstance;
 pub use model::{Model, Relation, Sense, VarId};
-pub use simplex::SolverOptions;
-pub use solution::Solution;
+pub use simplex::{BasisKind, SolverOptions};
+pub use solution::{Solution, SolveStats};

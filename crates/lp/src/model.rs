@@ -2,8 +2,8 @@
 
 use std::fmt;
 
-use crate::simplex::{solve_prepared, SolverOptions};
-use crate::{LpError, Solution};
+use crate::simplex::{solve_two_phase, SolverOptions};
+use crate::{LpError, SimplexInstance, Solution};
 
 /// Identifier of a decision variable within one [`Model`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -201,6 +201,47 @@ impl Model {
         self.add_constraint(terms, Relation::Eq, rhs)
     }
 
+    /// Changes the right-hand side of an existing constraint row (the
+    /// index returned by `add_le`/`add_ge`/`add_eq`/`add_constraint`).
+    ///
+    /// This is the parametric-programming entry point: the §7 capacity
+    /// sweeps re-solve one model at many capacities by mutating only row
+    /// right-hand sides (see [`SimplexInstance::set_rhs`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range or `rhs` is not finite.
+    pub fn set_rhs(&mut self, row: usize, rhs: f64) {
+        assert!(row < self.rows.len(), "row index out of range");
+        assert!(rhs.is_finite(), "constraint rhs must be finite");
+        self.rows[row].rhs = rhs;
+    }
+
+    /// The right-hand side of a constraint row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    pub fn row_rhs(&self, row: usize) -> f64 {
+        self.rows[row].rhs
+    }
+
+    /// Replaces the bounds of an existing variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range, a bound is NaN, or `lower > upper`.
+    pub fn set_var_bounds(&mut self, v: VarId, lower: f64, upper: f64) {
+        assert!(v.0 < self.names.len(), "variable out of range");
+        assert!(!lower.is_nan() && !upper.is_nan(), "NaN bound");
+        assert!(
+            lower <= upper,
+            "lower bound {lower} exceeds upper bound {upper}"
+        );
+        self.lower[v.0] = lower;
+        self.upper[v.0] = upper;
+    }
+
     /// Solves with default options.
     ///
     /// # Errors
@@ -220,7 +261,18 @@ impl Model {
     /// Same as [`Model::solve`].
     pub fn solve_with(&self, options: &SolverOptions) -> Result<Solution, LpError> {
         let prepared = Prepared::from_model(self)?;
-        solve_prepared(self, prepared, options)
+        let (sol, _basis) = solve_two_phase(&prepared, options, self.num_vars())?;
+        Ok(sol)
+    }
+
+    /// Builds a reusable [`SimplexInstance`] from a snapshot of this model
+    /// — the entry point of the warm-start layer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates standard-form construction failures.
+    pub fn instance(&self, options: &SolverOptions) -> Result<SimplexInstance, LpError> {
+        SimplexInstance::new(self.clone(), options.clone())
     }
 
     pub(crate) fn rows(&self) -> &[Row] {
@@ -294,6 +346,9 @@ pub(crate) struct Prepared {
     /// For each user row: standardized row index and sign multiplier applied
     /// (for dual recovery).
     pub row_map: Vec<(usize, f64)>,
+    /// User-variable index behind each finite-upper-bound row (appended
+    /// after the user rows, in order), for rhs refresh after bound changes.
+    pub ub_vars: Vec<usize>,
 }
 
 /// Recipe to recover the value of one user variable from standard-form
@@ -307,6 +362,24 @@ pub(crate) enum Recover {
     Split { pos: usize, neg: usize },
 }
 
+impl Recover {
+    /// Recovers the user-variable value from standard-form column values.
+    pub(crate) fn value(&self, col_values: &[f64]) -> f64 {
+        match *self {
+            Recover::Shifted { col, shift, sign } => sign * col_values[col] + shift,
+            Recover::Split { pos, neg } => col_values[pos] - col_values[neg],
+        }
+    }
+
+    /// The bound shift applied to the variable's column(s) (0 for splits).
+    fn shift(&self) -> f64 {
+        match *self {
+            Recover::Shifted { shift, .. } => shift,
+            Recover::Split { .. } => 0.0,
+        }
+    }
+}
+
 impl Prepared {
     pub(crate) fn from_model(model: &Model) -> Result<Self, LpError> {
         let (lower, upper) = model.bounds();
@@ -318,8 +391,8 @@ impl Prepared {
         let mut recover = Vec::with_capacity(lower.len());
         let mut obj_offset = 0.0;
         // Extra rows generated by finite upper bounds, appended after user
-        // rows: (col, rhs) meaning col ≤ rhs.
-        let mut ub_rows: Vec<(usize, f64)> = Vec::new();
+        // rows: (col, rhs, user var) meaning col ≤ rhs.
+        let mut ub_rows: Vec<(usize, f64, usize)> = Vec::new();
 
         for j in 0..lower.len() {
             let c = if negated { -user_obj[j] } else { user_obj[j] };
@@ -336,7 +409,7 @@ impl Prepared {
                     sign: 1.0,
                 });
                 if hi.is_finite() {
-                    ub_rows.push((col, hi - lo));
+                    ub_rows.push((col, hi - lo, j));
                 }
             } else if hi.is_finite() {
                 // x ≤ hi, unbounded below: substitute x = hi - x'', x'' ≥ 0.
@@ -408,7 +481,8 @@ impl Prepared {
         }
 
         // Upper-bound rows: x'_col + slack = ub (ub ≥ 0 because lo ≤ hi).
-        for (k, &(col, rhs)) in ub_rows.iter().enumerate() {
+        let mut ub_vars = Vec::with_capacity(ub_rows.len());
+        for (k, &(col, rhs, var)) in ub_rows.iter().enumerate() {
             let i = n_user_rows + k;
             debug_assert!(rhs >= 0.0);
             b[i] = rhs;
@@ -417,6 +491,7 @@ impl Prepared {
             cols.push(Vec::new());
             costs.push(0.0);
             cols[s].push((i, 1.0));
+            ub_vars.push(var);
         }
 
         Ok(Prepared {
@@ -427,7 +502,51 @@ impl Prepared {
             negated,
             recover,
             row_map,
+            ub_vars,
         })
+    }
+
+    /// Re-derives the standardized right-hand side of one user row from the
+    /// model's current rhs, keeping the column layout and the row-sign
+    /// normalization frozen at construction time. A rhs crossing zero may
+    /// therefore leave `b[row] < 0`; the solver paths accept that (signed
+    /// artificials cold, dual simplex warm).
+    pub(crate) fn refresh_row_rhs(&mut self, model: &Model, row: usize) {
+        let r = &model.rows()[row];
+        let mut rhs = r.rhs;
+        for &(user_j, coeff) in &r.terms {
+            rhs -= coeff * self.recover[user_j].shift();
+        }
+        let (i, sign) = self.row_map[row];
+        self.b[i] = rhs * sign;
+    }
+
+    /// Re-derives shifts, the objective offset, and the whole standardized
+    /// rhs vector from the model's current bounds and row right-hand
+    /// sides. The *pattern* of each variable's bounds (which sides are
+    /// finite) must be unchanged since construction; callers enforce this.
+    pub(crate) fn refresh_bounds(&mut self, model: &Model) {
+        let (lower, upper) = model.bounds();
+        for j in 0..lower.len() {
+            if let Recover::Shifted { sign, shift, .. } = &mut self.recover[j] {
+                *shift = if *sign >= 0.0 { lower[j] } else { upper[j] };
+            }
+        }
+        self.obj_offset = self
+            .recover
+            .iter()
+            .map(|rec| match *rec {
+                Recover::Shifted { col, shift, sign } => sign * self.costs[col] * shift,
+                Recover::Split { .. } => 0.0,
+            })
+            .sum();
+        for row in 0..model.rows().len() {
+            self.refresh_row_rhs(model, row);
+        }
+        let n_user_rows = model.rows().len();
+        for (k, &var) in self.ub_vars.iter().enumerate() {
+            self.b[n_user_rows + k] = upper[var] - lower[var];
+        }
     }
 }
 

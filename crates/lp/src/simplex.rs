@@ -1,8 +1,45 @@
-//! Two-phase revised simplex with a dense explicit basis inverse.
+//! Two-phase revised simplex over a pluggable basis representation, plus
+//! the dual-simplex reoptimizer used for warm starts.
+//!
+//! The pivot *logic* (pricing, ratio test, Bland switch, refactorization
+//! cadence) lives once in [`run_phase`]/[`run_dual`]; the basis algebra is
+//! abstracted behind [`BasisRepr`] with two implementations:
+//!
+//! * [`BasisKind::Factored`] — sparse LU at refactor points with
+//!   product-form eta updates between them (the `crate::factor` module);
+//!   the default of the warm-start layer ([`crate::SimplexInstance`] via
+//!   sweep drivers);
+//! * [`BasisKind::Dense`] — the seed's explicit `B⁻¹`, still the
+//!   [`SolverOptions::default`] for one-shot `Model::solve` calls so their
+//!   pivot paths (and the repository's pinned golden figures) stay
+//!   bit-for-bit identical to the seed; alternate optimal vertices chosen
+//!   under different floating-point noise would otherwise move goldens.
+//!
+//! Both representations implement the same interface and solve to the same
+//! objectives (cross-checked by unit tests and the `proptest` corpus);
+//! they may legitimately land on *different optimal vertices* of
+//! degenerate LPs, which is why the default is per-layer rather than
+//! global.
 
 #![allow(clippy::needless_range_loop)] // index loops mirror the matrix math
-use crate::model::{Model, Prepared, Recover};
+use crate::factor::{Eta, SparseLu};
+use crate::model::Prepared;
+use crate::solution::SolveStats;
 use crate::{LpError, Solution};
+
+/// Basis-inverse representation used by the solver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BasisKind {
+    /// Sparse LU factorization with eta-file updates: the representation
+    /// behind warm-started parametric re-solving (see
+    /// [`crate::SimplexInstance`] and `SolverOptions::factored()`).
+    Factored,
+    /// Dense explicit inverse with product-form updates, `O(m²)` per
+    /// iteration: the seed representation and the default for one-shot
+    /// solves, preserving their exact pivot paths.
+    #[default]
+    Dense,
+}
 
 /// Tunable solver parameters.
 ///
@@ -15,10 +52,12 @@ pub struct SolverOptions {
     /// Hard cap on simplex iterations across both phases; `None` derives a
     /// generous limit from the problem size.
     pub max_iterations: Option<usize>,
-    /// Rebuild the basis inverse from scratch every this many pivots.
+    /// Rebuild the basis factorization from scratch every this many pivots.
     pub refactor_every: usize,
     /// Consecutive degenerate pivots before switching to Bland's rule.
     pub degenerate_switch: usize,
+    /// Basis-inverse representation.
+    pub basis: BasisKind,
 }
 
 impl Default for SolverOptions {
@@ -28,65 +67,191 @@ impl Default for SolverOptions {
             max_iterations: None,
             refactor_every: 128,
             degenerate_switch: 40,
+            basis: BasisKind::Dense,
         }
     }
 }
 
+impl SolverOptions {
+    /// Default options with the sparse-LU basis representation — what the
+    /// warm-start sweep layers use. Kept separate from [`Default`] because
+    /// the two representations can pick different (equally optimal)
+    /// vertices of degenerate LPs, and one-shot solves pin the seed's.
+    pub fn factored() -> Self {
+        SolverOptions {
+            basis: BasisKind::Factored,
+            ..SolverOptions::default()
+        }
+    }
+}
+
+/// A column of the standard-form matrix.
+enum ColRef<'a> {
+    Sparse(&'a [(usize, f64)]),
+    /// Artificial column `s · e_r` (`s = ±1`, matching the sign of `b_r` at
+    /// phase-1 start so the artificial starts at `|b_r| ≥ 0`).
+    Unit(usize, f64),
+}
+
+/// Dense explicit inverse (the seed representation).
+#[derive(Debug, Clone)]
+struct DenseInv {
+    /// Row-major m×m `B⁻¹`; row `i` is basis position `i`, column `k` is
+    /// constraint row `k`.
+    binv: Vec<f64>,
+}
+
+/// Sparse LU + eta file.
+#[derive(Debug, Clone)]
+struct FactoredInv {
+    lu: SparseLu,
+    etas: Vec<Eta>,
+}
+
+#[derive(Debug, Clone)]
+enum BasisRepr {
+    Dense(DenseInv),
+    Factored(FactoredInv),
+}
+
 /// Internal simplex state over the standard-form problem.
-struct Tableau<'a> {
-    /// Sparse columns of A (structural + slack + artificial).
+pub(crate) struct State<'a> {
+    /// Sparse columns of A (structural + slack), then logical artificials.
     cols: &'a [Vec<(usize, f64)>],
-    /// Artificial columns (identity), appended logically after `cols`.
     n_arts: usize,
     m: usize,
     b: &'a [f64],
-    /// Dense basis inverse, row-major m×m.
-    binv: Vec<f64>,
-    /// Basic column per row (indices ≥ cols.len() denote artificials).
+    /// Sign of `b` per row at construction, giving each artificial column
+    /// `s·e_r` so the all-artificial start is primal feasible even when a
+    /// warm instance carries a negative standardized rhs.
+    art_sign: Vec<f64>,
+    /// Basic column per row (indices ≥ `cols.len()` denote artificials).
     basis: Vec<usize>,
+    repr: BasisRepr,
     tol: f64,
+    /// Pivot count across all phases run on this state.
+    pub(crate) iterations: usize,
+    /// Factorization rebuilds (demanded by cadence or construction).
+    pub(crate) refactors: usize,
 }
 
-impl<'a> Tableau<'a> {
-    fn new(cols: &'a [Vec<(usize, f64)>], b: &'a [f64], tol: f64) -> Self {
+impl<'a> State<'a> {
+    /// Fresh all-artificial state (cold start).
+    fn new(cols: &'a [Vec<(usize, f64)>], b: &'a [f64], options: &SolverOptions) -> Self {
         let m = b.len();
-        let mut binv = vec![0.0; m * m];
-        for i in 0..m {
-            binv[i * m + i] = 1.0;
-        }
-        // Start from the all-artificial basis: artificial i has column e_i.
+        let art_sign: Vec<f64> = b
+            .iter()
+            .map(|&v| if v < 0.0 { -1.0 } else { 1.0 })
+            .collect();
         let basis = (0..m).map(|i| cols.len() + i).collect();
-        Tableau {
+        let repr = match options.basis {
+            BasisKind::Dense => {
+                let mut binv = vec![0.0; m * m];
+                for i in 0..m {
+                    binv[i * m + i] = art_sign[i];
+                }
+                BasisRepr::Dense(DenseInv { binv })
+            }
+            BasisKind::Factored => BasisRepr::Factored(FactoredInv {
+                lu: SparseLu::factor(m, 0.0, |k, out| out.push((k, art_sign[k])))
+                    .expect("signed identity is nonsingular"),
+                etas: Vec::new(),
+            }),
+        };
+        State {
             cols,
             n_arts: m,
             m,
             b,
-            binv,
+            art_sign,
             basis,
-            tol,
+            repr,
+            tol: options.tol,
+            iterations: 0,
+            refactors: 0,
         }
     }
 
-    /// The column of A for index `j` (artificials are identity columns).
+    /// State over an existing basis (warm start). Fails with
+    /// [`LpError::Singular`] if the recorded basis cannot be factorized.
+    fn from_basis(
+        cols: &'a [Vec<(usize, f64)>],
+        b: &'a [f64],
+        basis: Vec<usize>,
+        options: &SolverOptions,
+    ) -> Result<Self, LpError> {
+        let m = b.len();
+        assert_eq!(basis.len(), m, "basis size must match row count");
+        let art_sign: Vec<f64> = b
+            .iter()
+            .map(|&v| if v < 0.0 { -1.0 } else { 1.0 })
+            .collect();
+        // A placeholder representation: `refactor` below fills it in from
+        // the recorded basis before any solve touches it.
+        let repr = match options.basis {
+            BasisKind::Dense => BasisRepr::Dense(DenseInv {
+                binv: vec![0.0; m * m],
+            }),
+            BasisKind::Factored => BasisRepr::Factored(FactoredInv {
+                lu: SparseLu::placeholder(),
+                etas: Vec::new(),
+            }),
+        };
+        let mut state = State {
+            cols,
+            n_arts: m,
+            m,
+            b,
+            art_sign,
+            basis,
+            repr,
+            tol: options.tol,
+            iterations: 0,
+            refactors: 0,
+        };
+        state.refactor()?;
+        Ok(state)
+    }
+
+    /// The column of A for index `j` (artificials are signed unit columns).
     fn column(&self, j: usize) -> ColRef<'_> {
         if j < self.cols.len() {
             ColRef::Sparse(&self.cols[j])
         } else {
-            ColRef::Unit(j - self.cols.len())
+            let r = j - self.cols.len();
+            ColRef::Unit(r, self.art_sign[r])
         }
     }
 
     /// `B⁻¹ · a_j`.
     fn ftran(&self, j: usize) -> Vec<f64> {
         let m = self.m;
-        match self.column(j) {
-            ColRef::Unit(r) => (0..m).map(|i| self.binv[i * m + r]).collect(),
-            ColRef::Sparse(entries) => {
-                let mut d = vec![0.0; m];
+        match (&self.repr, self.column(j)) {
+            (BasisRepr::Dense(d), ColRef::Unit(r, s)) => {
+                (0..m).map(|i| d.binv[i * m + r] * s).collect()
+            }
+            (BasisRepr::Dense(d), ColRef::Sparse(entries)) => {
+                let mut out = vec![0.0; m];
                 for &(row, coeff) in entries {
                     for i in 0..m {
-                        d[i] += self.binv[i * m + row] * coeff;
+                        out[i] += d.binv[i * m + row] * coeff;
                     }
+                }
+                out
+            }
+            (BasisRepr::Factored(f), col) => {
+                let mut work = vec![0.0; m];
+                match col {
+                    ColRef::Unit(r, s) => work[r] = s,
+                    ColRef::Sparse(entries) => {
+                        for &(row, coeff) in entries {
+                            work[row] = coeff;
+                        }
+                    }
+                }
+                let mut d = f.lu.solve_consuming(&mut work);
+                for eta in &f.etas {
+                    eta.apply(&mut d);
                 }
                 d
             }
@@ -96,37 +261,85 @@ impl<'a> Tableau<'a> {
     /// Current basic solution `x_B = B⁻¹ b`.
     fn basic_values(&self) -> Vec<f64> {
         let m = self.m;
-        let mut x = vec![0.0; m];
-        for i in 0..m {
-            let mut s = 0.0;
-            for k in 0..m {
-                s += self.binv[i * m + k] * self.b[k];
+        match &self.repr {
+            BasisRepr::Dense(d) => {
+                let mut x = vec![0.0; m];
+                for i in 0..m {
+                    let mut s = 0.0;
+                    for k in 0..m {
+                        s += d.binv[i * m + k] * self.b[k];
+                    }
+                    x[i] = s;
+                }
+                x
             }
-            x[i] = s;
+            BasisRepr::Factored(f) => {
+                let mut work = self.b.to_vec();
+                let mut x = f.lu.solve_consuming(&mut work);
+                for eta in &f.etas {
+                    eta.apply(&mut x);
+                }
+                x
+            }
         }
-        x
     }
 
-    /// `y = c_Bᵀ · B⁻¹` for the given cost vector accessor.
+    /// `y = c_Bᵀ · B⁻¹` for the given cost accessor (keyed by constraint
+    /// row).
     fn duals(&self, cost: &dyn Fn(usize) -> f64) -> Vec<f64> {
         let m = self.m;
-        let mut y = vec![0.0; m];
-        for (i, &bj) in self.basis.iter().enumerate() {
-            let cb = cost(bj);
-            if cb != 0.0 {
-                for k in 0..m {
-                    y[k] += cb * self.binv[i * m + k];
+        match &self.repr {
+            BasisRepr::Dense(d) => {
+                let mut y = vec![0.0; m];
+                for (i, &bj) in self.basis.iter().enumerate() {
+                    let cb = cost(bj);
+                    if cb != 0.0 {
+                        for k in 0..m {
+                            y[k] += cb * d.binv[i * m + k];
+                        }
+                    }
                 }
+                y
+            }
+            BasisRepr::Factored(_) => {
+                let mut c: Vec<f64> = self.basis.iter().map(|&bj| cost(bj)).collect();
+                self.btran(&mut c)
             }
         }
-        y
+    }
+
+    /// Row `r` of `B⁻¹` (the dual-simplex pricing vector `ρ = B⁻ᵀ e_r`),
+    /// keyed by constraint row.
+    fn btran_unit(&self, r: usize) -> Vec<f64> {
+        let m = self.m;
+        match &self.repr {
+            BasisRepr::Dense(d) => d.binv[r * m..(r + 1) * m].to_vec(),
+            BasisRepr::Factored(_) => {
+                let mut c = vec![0.0; m];
+                c[r] = 1.0;
+                self.btran(&mut c)
+            }
+        }
+    }
+
+    /// Factored-path btran: `B⁻ᵀ c` for a position-keyed `c` (consumed).
+    fn btran(&self, c: &mut [f64]) -> Vec<f64> {
+        match &self.repr {
+            BasisRepr::Factored(f) => {
+                for eta in f.etas.iter().rev() {
+                    eta.apply_transpose(c);
+                }
+                f.lu.solve_transpose(c)
+            }
+            BasisRepr::Dense(_) => unreachable!("btran is factored-only"),
+        }
     }
 
     /// Reduced cost of column `j` given duals `y`.
     fn reduced_cost(&self, j: usize, y: &[f64], cost: &dyn Fn(usize) -> f64) -> f64 {
         let mut rc = cost(j);
         match self.column(j) {
-            ColRef::Unit(r) => rc -= y[r],
+            ColRef::Unit(r, s) => rc -= y[r] * s,
             ColRef::Sparse(entries) => {
                 for &(row, coeff) in entries {
                     rc -= y[row] * coeff;
@@ -136,114 +349,143 @@ impl<'a> Tableau<'a> {
         rc
     }
 
+    /// `ρ · a_j` for dual-simplex pricing.
+    fn row_coeff(&self, j: usize, rho: &[f64]) -> f64 {
+        match self.column(j) {
+            ColRef::Unit(r, s) => rho[r] * s,
+            ColRef::Sparse(entries) => entries.iter().map(|&(row, c)| rho[row] * c).sum(),
+        }
+    }
+
     /// Replaces the basic variable of row `r` with column `j`, updating the
-    /// inverse (product-form update).
+    /// representation (product-form update).
     fn pivot(&mut self, r: usize, j: usize, d: &[f64]) {
         let m = self.m;
         let dr = d[r];
         debug_assert!(dr.abs() > self.tol, "pivot on ~zero element");
-        for i in 0..m {
-            if i == r {
-                continue;
-            }
-            let factor = d[i] / dr;
-            if factor != 0.0 {
-                for k in 0..m {
-                    let v = self.binv[r * m + k];
-                    if v != 0.0 {
-                        self.binv[i * m + k] -= factor * v;
+        match &mut self.repr {
+            BasisRepr::Dense(dense) => {
+                for i in 0..m {
+                    if i == r {
+                        continue;
+                    }
+                    let factor = d[i] / dr;
+                    if factor != 0.0 {
+                        for k in 0..m {
+                            let v = dense.binv[r * m + k];
+                            if v != 0.0 {
+                                dense.binv[i * m + k] -= factor * v;
+                            }
+                        }
                     }
                 }
+                let inv = 1.0 / dr;
+                for k in 0..m {
+                    dense.binv[r * m + k] *= inv;
+                }
             }
-        }
-        let inv = 1.0 / dr;
-        for k in 0..m {
-            self.binv[r * m + k] *= inv;
+            BasisRepr::Factored(f) => f.etas.push(Eta::from_pivot(r, d)),
         }
         self.basis[r] = j;
     }
 
-    /// Rebuilds `binv` from the recorded basis by Gauss–Jordan elimination
-    /// with partial pivoting. Returns `Err` if the basis is singular.
+    /// Rebuilds the representation from the recorded basis. Returns `Err`
+    /// if the basis is singular.
     fn refactor(&mut self) -> Result<(), LpError> {
+        self.refactors += 1;
         let m = self.m;
-        // Assemble B column by column.
-        let mut mat = vec![0.0; m * m]; // row-major B
-        for (pos, &j) in self.basis.iter().enumerate() {
-            match self.column(j) {
-                ColRef::Unit(r) => mat[r * m + pos] = 1.0,
-                ColRef::Sparse(entries) => {
-                    for &(row, coeff) in entries {
-                        mat[row * m + pos] = coeff;
+        match &mut self.repr {
+            BasisRepr::Dense(dense) => {
+                // Assemble B column by column, then invert via Gauss-Jordan
+                // with partial pivoting (the seed implementation).
+                let mut mat = vec![0.0; m * m]; // row-major B
+                for (pos, &j) in self.basis.iter().enumerate() {
+                    if j < self.cols.len() {
+                        for &(row, coeff) in &self.cols[j] {
+                            mat[row * m + pos] = coeff;
+                        }
+                    } else {
+                        let r = j - self.cols.len();
+                        mat[r * m + pos] = self.art_sign[r];
                     }
                 }
-            }
-        }
-        // Invert via Gauss-Jordan on [B | I].
-        let mut inv = vec![0.0; m * m];
-        for i in 0..m {
-            inv[i * m + i] = 1.0;
-        }
-        for col in 0..m {
-            // Partial pivot.
-            let mut piv = col;
-            let mut best = mat[col * m + col].abs();
-            for r in (col + 1)..m {
-                let v = mat[r * m + col].abs();
-                if v > best {
-                    best = v;
-                    piv = r;
+                let mut inv = vec![0.0; m * m];
+                for i in 0..m {
+                    inv[i * m + i] = 1.0;
                 }
-            }
-            if best <= self.tol * 1e-3 {
-                return Err(LpError::Singular);
-            }
-            if piv != col {
-                for k in 0..m {
-                    mat.swap(col * m + k, piv * m + k);
-                    inv.swap(col * m + k, piv * m + k);
-                }
-            }
-            let p = mat[col * m + col];
-            for k in 0..m {
-                mat[col * m + k] /= p;
-                inv[col * m + k] /= p;
-            }
-            for r in 0..m {
-                if r == col {
-                    continue;
-                }
-                let f = mat[r * m + col];
-                if f != 0.0 {
+                for col in 0..m {
+                    let mut piv = col;
+                    let mut best = mat[col * m + col].abs();
+                    for r in (col + 1)..m {
+                        let v = mat[r * m + col].abs();
+                        if v > best {
+                            best = v;
+                            piv = r;
+                        }
+                    }
+                    if best <= self.tol * 1e-3 {
+                        return Err(LpError::Singular);
+                    }
+                    if piv != col {
+                        for k in 0..m {
+                            mat.swap(col * m + k, piv * m + k);
+                            inv.swap(col * m + k, piv * m + k);
+                        }
+                    }
+                    let p = mat[col * m + col];
                     for k in 0..m {
-                        mat[r * m + k] -= f * mat[col * m + k];
-                        inv[r * m + k] -= f * inv[col * m + k];
+                        mat[col * m + k] /= p;
+                        inv[col * m + k] /= p;
+                    }
+                    for r in 0..m {
+                        if r == col {
+                            continue;
+                        }
+                        let f = mat[r * m + col];
+                        if f != 0.0 {
+                            for k in 0..m {
+                                mat[r * m + k] -= f * mat[col * m + k];
+                                inv[r * m + k] -= f * inv[col * m + k];
+                            }
+                        }
                     }
                 }
+                dense.binv = inv;
+                Ok(())
+            }
+            BasisRepr::Factored(f) => {
+                let cols = self.cols;
+                let basis = &self.basis;
+                let art_sign = &self.art_sign;
+                f.lu = SparseLu::factor(m, self.tol * 1e-3, |k, out| {
+                    let j = basis[k];
+                    if j < cols.len() {
+                        out.extend_from_slice(&cols[j]);
+                    } else {
+                        let r = j - cols.len();
+                        out.push((r, art_sign[r]));
+                    }
+                })?;
+                f.etas.clear();
+                Ok(())
             }
         }
-        self.binv = inv;
-        Ok(())
     }
 }
 
-enum ColRef<'a> {
-    Sparse(&'a [(usize, f64)]),
-    Unit(usize),
-}
-
-/// Outcome of one simplex phase.
+/// Outcome of one primal simplex phase.
 enum PhaseEnd {
     Optimal,
     Unbounded,
 }
 
-/// Runs simplex iterations until optimal/unbounded for the given costs.
+/// Runs primal simplex iterations until optimal/unbounded for the given
+/// costs.
 ///
 /// `allowed` filters which columns may enter (used to bar artificials in
 /// phase 2).
 fn run_phase(
-    t: &mut Tableau<'_>,
+    t: &mut State<'_>,
     cost: &dyn Fn(usize) -> f64,
     allowed: &dyn Fn(usize) -> bool,
     options: &SolverOptions,
@@ -327,6 +569,7 @@ fn run_phase(
             degenerate_run = 0;
         }
 
+        t.iterations += 1;
         t.pivot(r, j, &d);
         since_refactor += 1;
         if since_refactor >= options.refactor_every {
@@ -336,7 +579,7 @@ fn run_phase(
     }
 }
 
-fn basis_mask(t: &Tableau<'_>, n_total: usize) -> Vec<bool> {
+fn basis_mask(t: &State<'_>, n_total: usize) -> Vec<bool> {
     let mut mask = vec![false; n_total];
     for &j in &t.basis {
         mask[j] = true;
@@ -344,22 +587,178 @@ fn basis_mask(t: &Tableau<'_>, n_total: usize) -> Vec<bool> {
     mask
 }
 
-/// Full two-phase solve over a prepared standard-form problem.
-pub(crate) fn solve_prepared(
-    model: &Model,
-    prepared: Prepared,
+/// Outcome of a dual-simplex reoptimization attempt.
+pub(crate) enum DualOutcome {
+    /// Reached primal feasibility (hence optimality): solution + basis.
+    Optimal(Solution, Vec<usize>),
+    /// Dual unbounded ⇒ primal infeasible. Carries the (still dual
+    /// feasible) basis so later re-solves can stay warm.
+    Infeasible(Vec<usize>),
+    /// Numerical trouble or iteration budget exhausted; the caller should
+    /// fall back to a cold solve.
+    Stalled,
+}
+
+/// Dual-simplex reoptimization from a dual-feasible `basis` after a
+/// right-hand-side change.
+///
+/// The basis must come from a previous optimal solve of the same
+/// `prepared` columns (same costs); only `b` may have changed. Artificials
+/// are barred from entering, mirroring phase 2.
+pub(crate) fn resolve_dual(
+    prepared: &Prepared,
     options: &SolverOptions,
-) -> Result<Solution, LpError> {
-    let m = prepared.b.len();
+    num_vars: usize,
+    basis: Vec<usize>,
+) -> DualOutcome {
+    let n_cols = prepared.cols.len();
+    let Ok(mut t) = State::from_basis(&prepared.cols, &prepared.b, basis, options) else {
+        return DualOutcome::Stalled;
+    };
+    let costs = &prepared.costs;
+    let cost_fn = move |j: usize| if j < costs.len() { costs[j] } else { 0.0 };
+
+    let b_scale: f64 = prepared.b.iter().fold(0.0f64, |acc, v| acc.max(v.abs()));
+    let feas_tol = options.tol * (1.0 + b_scale);
+    let mut budget = options.max_iterations.unwrap_or(10 * (t.m + 1) + 200);
+    let mut since_refactor = 0usize;
+
+    loop {
+        let x = t.basic_values();
+        // Dual pricing: most negative basic value leaves.
+        let mut leave: Option<usize> = None;
+        let mut worst = -feas_tol;
+        for i in 0..t.m {
+            if x[i] < worst {
+                worst = x[i];
+                leave = Some(i);
+            }
+        }
+        let Some(r) = leave else {
+            let sol = extract_solution(&t, prepared, num_vars, true);
+            return DualOutcome::Optimal(sol, t.basis);
+        };
+        if budget == 0 {
+            return DualOutcome::Stalled;
+        }
+        budget -= 1;
+
+        let rho = t.btran_unit(r);
+        let y = t.duals(&cost_fn);
+        let in_basis = basis_mask(&t, n_cols + t.n_arts);
+        // Dual ratio test over structural (non-artificial) columns.
+        let mut entering: Option<usize> = None;
+        let mut best_ratio = f64::INFINITY;
+        let mut best_alpha = 0.0f64;
+        for j in 0..n_cols {
+            if in_basis[j] {
+                continue;
+            }
+            let alpha = t.row_coeff(j, &rho);
+            if alpha < -options.tol {
+                let rc = t.reduced_cost(j, &y, &cost_fn).max(0.0);
+                let ratio = rc / -alpha;
+                let better = match entering {
+                    None => true,
+                    Some(_) => {
+                        ratio < best_ratio - options.tol
+                            || (ratio < best_ratio + options.tol && alpha.abs() > best_alpha.abs())
+                    }
+                };
+                if better {
+                    entering = Some(j);
+                    best_ratio = ratio;
+                    best_alpha = alpha;
+                }
+            }
+        }
+        let Some(j) = entering else {
+            // Row r cannot be repaired: dual unbounded, primal infeasible.
+            return DualOutcome::Infeasible(t.basis);
+        };
+
+        let d = t.ftran(j);
+        if d[r].abs() <= options.tol {
+            // The ftran disagrees with the pricing estimate: numerically
+            // unsafe pivot, hand over to a cold solve.
+            return DualOutcome::Stalled;
+        }
+        t.iterations += 1;
+        t.pivot(r, j, &d);
+        since_refactor += 1;
+        if since_refactor >= options.refactor_every {
+            if t.refactor().is_err() {
+                return DualOutcome::Stalled;
+            }
+            since_refactor = 0;
+        }
+    }
+}
+
+/// Extracts user-facing values, objective, and duals from an optimal
+/// phase-2 (or dual-simplex) state.
+fn extract_solution(t: &State<'_>, prepared: &Prepared, num_vars: usize, warm: bool) -> Solution {
     let n = prepared.cols.len();
+    let xb = t.basic_values();
+    let mut col_values = vec![0.0; n];
+    for (i, &j) in t.basis.iter().enumerate() {
+        if j < n {
+            // Clamp tiny negatives from roundoff.
+            col_values[j] = if xb[i] < 0.0 && xb[i] > -t.tol * 100.0 {
+                0.0
+            } else {
+                xb[i]
+            };
+        }
+    }
+    let mut values = Vec::with_capacity(prepared.recover.len());
+    for rec in &prepared.recover {
+        values.push(rec.value(&col_values));
+    }
+    let raw_obj: f64 = prepared
+        .costs
+        .iter()
+        .zip(&col_values)
+        .map(|(c, x)| c * x)
+        .sum::<f64>()
+        + prepared.obj_offset;
+    let objective = if prepared.negated { -raw_obj } else { raw_obj };
+
+    // Duals for user rows (phase-2 duals mapped through sign flips).
+    let costs = &prepared.costs;
+    let cost_fn = move |j: usize| if j < costs.len() { costs[j] } else { 0.0 };
+    let y = t.duals(&cost_fn);
+    let mut duals = Vec::with_capacity(prepared.row_map.len());
+    for &(row, sign) in &prepared.row_map {
+        let d = y[row] * sign;
+        duals.push(if prepared.negated { -d } else { d });
+    }
+
+    let stats = SolveStats {
+        iterations: t.iterations,
+        refactors: t.refactors,
+        warm,
+    };
+    Solution::new(num_vars, values, objective, duals, stats)
+}
+
+/// Full two-phase cold solve over a prepared standard-form problem.
+/// Returns the solution together with the final (optimal) basis for warm
+/// re-solves.
+pub(crate) fn solve_two_phase(
+    prepared: &Prepared,
+    options: &SolverOptions,
+    num_vars: usize,
+) -> Result<(Solution, Vec<usize>), LpError> {
+    let m = prepared.b.len();
+    let n_cols = prepared.cols.len();
     let mut iter_budget = options
         .max_iterations
-        .unwrap_or_else(|| 200 * (m + 1) + 20 * n + 20_000);
+        .unwrap_or_else(|| 200 * (m + 1) + 20 * n_cols + 20_000);
 
-    let mut t = Tableau::new(&prepared.cols, &prepared.b, options.tol);
+    let mut t = State::new(&prepared.cols, &prepared.b, options);
 
     // ---- Phase 1: minimize the sum of artificials. ----
-    let n_cols = prepared.cols.len();
     let phase1_cost = move |j: usize| if j >= n_cols { 1.0 } else { 0.0 };
     match run_phase(&mut t, &phase1_cost, &|_| true, options, &mut iter_budget)? {
         PhaseEnd::Unbounded => {
@@ -397,6 +796,7 @@ pub(crate) fn solve_prepared(
             }
             let d = t.ftran(j);
             if d[r].abs() > options.tol * 100.0 {
+                t.iterations += 1;
                 t.pivot(r, j, &d);
                 pivoted = true;
                 break;
@@ -406,7 +806,7 @@ pub(crate) fn solve_prepared(
     }
 
     // ---- Phase 2: original costs, artificials barred. ----
-    let costs = prepared.costs.clone();
+    let costs = &prepared.costs;
     let phase2_cost = move |j: usize| if j < costs.len() { costs[j] } else { 0.0 };
     let phase2_allowed = move |j: usize| j < n_cols;
     match run_phase(
@@ -420,52 +820,13 @@ pub(crate) fn solve_prepared(
         PhaseEnd::Optimal => {}
     }
 
-    // ---- Extract the solution. ----
-    let xb = t.basic_values();
-    let mut col_values = vec![0.0; n];
-    for (i, &j) in t.basis.iter().enumerate() {
-        if j < n {
-            // Clamp tiny negatives from roundoff.
-            col_values[j] = if xb[i] < 0.0 && xb[i] > -options.tol * 100.0 {
-                0.0
-            } else {
-                xb[i]
-            };
-        }
-    }
-    let mut values = Vec::with_capacity(prepared.recover.len());
-    for rec in &prepared.recover {
-        let v = match *rec {
-            Recover::Shifted { col, shift, sign } => sign * col_values[col] + shift,
-            Recover::Split { pos, neg } => col_values[pos] - col_values[neg],
-        };
-        values.push(v);
-    }
-    let raw_obj: f64 = prepared
-        .costs
-        .iter()
-        .zip(&col_values)
-        .map(|(c, x)| c * x)
-        .sum::<f64>()
-        + prepared.obj_offset;
-    let objective = if prepared.negated { -raw_obj } else { raw_obj };
-
-    // Duals for user rows (phase-2 duals mapped through sign flips).
-    let costs2 = prepared.costs.clone();
-    let cost_fn = move |j: usize| if j < costs2.len() { costs2[j] } else { 0.0 };
-    let y = t.duals(&cost_fn);
-    let mut duals = Vec::with_capacity(prepared.row_map.len());
-    for &(row, sign) in &prepared.row_map {
-        let d = y[row] * sign;
-        duals.push(if prepared.negated { -d } else { d });
-    }
-
-    Ok(Solution::new(model.num_vars(), values, objective, duals))
+    let sol = extract_solution(&t, prepared, num_vars, false);
+    Ok((sol, t.basis))
 }
 
 #[cfg(test)]
 mod tests {
-    use crate::{LpError, Model, Sense};
+    use crate::{BasisKind, LpError, Model, Sense, SolverOptions};
 
     #[test]
     fn classic_max_example() {
@@ -479,6 +840,8 @@ mod tests {
         assert!((sol.objective() - 36.0).abs() < 1e-7);
         assert!((sol.value(x) - 2.0).abs() < 1e-7);
         assert!((sol.value(y) - 6.0).abs() < 1e-7);
+        assert!(!sol.stats().warm);
+        assert!(sol.stats().iterations > 0);
     }
 
     #[test]
@@ -650,5 +1013,74 @@ mod tests {
         let sol = m.solve().unwrap();
         assert!((sol.value(p1) - 0.7).abs() < 1e-7);
         assert!((sol.value(p2) - 0.3).abs() < 1e-7);
+    }
+
+    /// Every model above must solve identically (to tight tolerance) under
+    /// both basis representations; this pins the factorized path against
+    /// the dense seed arithmetic on a non-trivial instance.
+    #[test]
+    fn dense_and_factored_agree() {
+        let mut m = Model::new(Sense::Minimize);
+        let n = 12;
+        let xs: Vec<_> = (0..n)
+            .map(|j| {
+                m.add_var(
+                    &format!("x{j}"),
+                    0.0,
+                    4.0,
+                    ((j * 7 % 11) as f64 - 5.0) / 2.0,
+                )
+            })
+            .collect();
+        for i in 0..8 {
+            let terms: Vec<_> = xs
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| (i * 3 + j) % 4 != 0)
+                .map(|(j, &x)| (x, 1.0 + ((i + j) % 3) as f64))
+                .collect();
+            m.add_le(&terms, 6.0 + i as f64);
+        }
+        m.add_eq(&[(xs[0], 1.0), (xs[1], 1.0), (xs[2], 1.0)], 3.0);
+        let dense = m
+            .solve_with(&SolverOptions {
+                basis: BasisKind::Dense,
+                ..SolverOptions::default()
+            })
+            .unwrap();
+        let factored = m.solve_with(&SolverOptions::factored()).unwrap();
+        assert!(
+            (dense.objective() - factored.objective()).abs()
+                <= 1e-9 * (1.0 + dense.objective().abs()),
+            "dense {} vs factored {}",
+            dense.objective(),
+            factored.objective()
+        );
+        for (a, b) in dense.values().iter().zip(factored.values()) {
+            assert!((a - b).abs() < 1e-7, "values drifted: {a} vs {b}");
+        }
+    }
+
+    /// Frequent refactorization must not change results (it only resets
+    /// the eta file / rebuilds the inverse).
+    #[test]
+    fn refactor_cadence_is_result_invariant() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", 0.0, f64::INFINITY, 3.0);
+        let y = m.add_var("y", 0.0, f64::INFINITY, 5.0);
+        m.add_le(&[(x, 1.0)], 4.0);
+        m.add_le(&[(y, 2.0)], 12.0);
+        m.add_le(&[(x, 3.0), (y, 2.0)], 18.0);
+        let every_pivot = m
+            .solve_with(&SolverOptions {
+                refactor_every: 1,
+                ..SolverOptions::default()
+            })
+            .unwrap();
+        assert!((every_pivot.objective() - 36.0).abs() < 1e-7);
+        // `iterations` counts pivots, and at cadence 1 every run_phase
+        // pivot refactorizes (phase-1 artificial pivot-outs don't).
+        assert!(every_pivot.stats().refactors >= 1);
+        assert!(every_pivot.stats().iterations >= every_pivot.stats().refactors);
     }
 }

@@ -2,6 +2,23 @@
 
 use crate::VarId;
 
+/// Work counters from one solve, making warm-vs-cold effort observable in
+/// tests and benchmarks (not just wall clock).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SolveStats {
+    /// Simplex pivots performed: basis changes only, so the counter is
+    /// directly comparable across paths (phase 1 + artificial pivot-outs +
+    /// phase 2 for a cold solve; dual-simplex pivots for a warm re-solve).
+    /// Pricing rounds that find no entering column are not counted.
+    pub iterations: usize,
+    /// Basis factorization (re)builds demanded by the pivot cadence.
+    pub refactors: usize,
+    /// `true` if this solution came from a warm-started re-solve
+    /// ([`crate::SimplexInstance::resolve`]) rather than a cold two-phase
+    /// solve.
+    pub warm: bool,
+}
+
 /// The result of a successful LP solve.
 ///
 /// Holds the optimal value of every variable (in the user's original units,
@@ -27,16 +44,24 @@ pub struct Solution {
     values: Vec<f64>,
     objective: f64,
     duals: Vec<f64>,
+    stats: SolveStats,
 }
 
 impl Solution {
-    pub(crate) fn new(num_vars: usize, values: Vec<f64>, objective: f64, duals: Vec<f64>) -> Self {
+    pub(crate) fn new(
+        num_vars: usize,
+        values: Vec<f64>,
+        objective: f64,
+        duals: Vec<f64>,
+        stats: SolveStats,
+    ) -> Self {
         debug_assert_eq!(num_vars, values.len());
         Solution {
             num_vars,
             values,
             objective,
             duals,
+            stats,
         }
     }
 
@@ -81,6 +106,12 @@ impl Solution {
     pub fn num_rows(&self) -> usize {
         self.duals.len()
     }
+
+    /// Solver work counters for this solve (pivots, refactorizations,
+    /// warm-started or not).
+    pub fn stats(&self) -> SolveStats {
+        self.stats
+    }
 }
 
 #[cfg(test)]
@@ -91,7 +122,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "variable out of range")]
     fn value_checks_range() {
-        let sol = Solution::new(1, vec![0.0], 0.0, vec![]);
+        let sol = Solution::new(1, vec![0.0], 0.0, vec![], SolveStats::default());
         // A VarId from a different, larger model.
         let mut other = Model::new(Sense::Minimize);
         let _ = other.add_var("a", 0.0, 1.0, 0.0);
@@ -101,10 +132,16 @@ mod tests {
 
     #[test]
     fn accessors_roundtrip() {
-        let sol = Solution::new(2, vec![1.5, 2.5], 4.0, vec![0.25]);
+        let stats = SolveStats {
+            iterations: 3,
+            refactors: 1,
+            warm: true,
+        };
+        let sol = Solution::new(2, vec![1.5, 2.5], 4.0, vec![0.25], stats);
         assert_eq!(sol.values(), &[1.5, 2.5]);
         assert_eq!(sol.objective(), 4.0);
         assert_eq!(sol.num_rows(), 1);
         assert_eq!(sol.dual(0), 0.25);
+        assert_eq!(sol.stats(), stats);
     }
 }

@@ -102,8 +102,70 @@ fn lp_instance() -> impl Strategy<Value = (Vec<f64>, Vec<f64>, Vec<Vec<f64>>, Ve
     })
 }
 
+fn rhs_scales(k: usize) -> impl Strategy<Value = Vec<f64>> {
+    // Multiplicative rhs perturbations that keep every b positive (so the
+    // perturbed LP stays feasible: x = 0 always satisfies Ax ≤ b).
+    proptest::collection::vec(0.4f64..1.8, k)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// Warm-started `resolve()` after random rhs perturbations matches a
+    /// cold `Model::solve_with` of the perturbed model to 1e-9 relative.
+    #[test]
+    fn warm_resolve_matches_cold_after_rhs_perturbation(
+        (c, u, a, b) in lp_instance(),
+        scales in rhs_scales(8),
+    ) {
+        use qp_lp::SolverOptions;
+
+        let mut m = Model::new(Sense::Minimize);
+        let vars: Vec<_> = c
+            .iter()
+            .zip(&u)
+            .enumerate()
+            .map(|(j, (&cj, &uj))| m.add_var(&format!("x{j}"), 0.0, uj, cj))
+            .collect();
+        let rows: Vec<usize> = a
+            .iter()
+            .zip(&b)
+            .map(|(ai, &bi)| {
+                let terms: Vec<_> = vars.iter().copied().zip(ai.iter().copied()).collect();
+                m.add_le(&terms, bi)
+            })
+            .collect();
+
+        // Warm path: solve once, then perturb every row and re-solve.
+        let mut inst = m.instance(&SolverOptions::factored()).unwrap();
+        inst.solve().expect("feasible bounded LP");
+        let mut cold_model = m.clone();
+        for (i, &row) in rows.iter().enumerate() {
+            let new_rhs = b[i] * scales[i % scales.len()];
+            inst.set_rhs(row, new_rhs);
+            cold_model.set_rhs(row, new_rhs);
+        }
+        let warm = inst.resolve().expect("perturbed LP stays feasible");
+        let cold = cold_model.solve().expect("perturbed LP stays feasible");
+        prop_assert!(
+            (warm.objective() - cold.objective()).abs()
+                <= 1e-9 * (1.0 + cold.objective().abs()),
+            "warm {} vs cold {}", warm.objective(), cold.objective()
+        );
+        // And a second perturbation chain keeps matching (etas on etas).
+        for (i, &row) in rows.iter().enumerate() {
+            let new_rhs = b[i] * scales[(i + 3) % scales.len()];
+            inst.set_rhs(row, new_rhs);
+            cold_model.set_rhs(row, new_rhs);
+        }
+        let warm2 = inst.resolve().expect("feasible");
+        let cold2 = cold_model.solve().expect("feasible");
+        prop_assert!(
+            (warm2.objective() - cold2.objective()).abs()
+                <= 1e-9 * (1.0 + cold2.objective().abs()),
+            "chained warm {} vs cold {}", warm2.objective(), cold2.objective()
+        );
+    }
 
     #[test]
     fn simplex_matches_vertex_enumeration((c, u, a, b) in lp_instance()) {

@@ -286,6 +286,46 @@ fn golden_values_hold_at_four_threads() {
     );
 }
 
+/// Golden 8 — the paper-scale 161-site dataset ("daxlist-161"): the full
+/// §7 uniform-capacity tuning loop (warm-started LP sweep) for a 3×3 Grid
+/// on a deterministic shell placement, 161 clients. Pins the tuned best
+/// capacity and its delay/response scores, so the warm-start layer is
+/// regression-gated on a paper-scale input, not just on Planetlab-50.
+#[test]
+fn golden_daxlist161_capacity_tuning() {
+    let net = datasets::daxlist_161();
+    let clients: Vec<NodeId> = net.nodes().collect();
+    let sys = QuorumSystem::grid(3).unwrap();
+    let placement = one_to_one::grid_shell_placement(&net, NodeId::new(0), 3).unwrap();
+    let quorums = sys.enumerate(100).unwrap();
+    let result = strategy_lp::tune_uniform_capacity(
+        &net,
+        &clients,
+        &placement,
+        &quorums,
+        sys.optimal_load().unwrap(),
+        10,
+        ResponseModel::from_demand(0.007, 16000.0),
+    )
+    .unwrap();
+    let (best_c, best_eval) = result.best_point();
+    assert_golden(
+        "daxlist161_tuned_capacity",
+        *best_c,
+        DAXLIST161_TUNED_CAPACITY,
+    );
+    assert_golden(
+        "daxlist161_tuned_response_ms",
+        best_eval.avg_response_ms,
+        DAXLIST161_TUNED_RESPONSE_MS,
+    );
+    assert_golden(
+        "daxlist161_tuned_delay_ms",
+        best_eval.avg_network_delay_ms,
+        DAXLIST161_TUNED_DELAY_MS,
+    );
+}
+
 // ----------------------------------------------------------------------
 // The golden values. Regenerate with `-- --nocapture` (see module docs).
 // ----------------------------------------------------------------------
@@ -298,3 +338,7 @@ const STRATEGY_LP_C07_RESPONSE_MS: f64 = 155.573639600227;
 const PROTOCOL_AVG_RESPONSE_MS: f64 = 85.450249453890;
 const PROTOCOL_AVG_NETWORK_DELAY_MS: f64 = 85.332119143561;
 const PROTOCOL_HORIZON_MS: f64 = 17_310.567_028_232_32;
+
+const DAXLIST161_TUNED_CAPACITY: f64 = 0.6;
+const DAXLIST161_TUNED_RESPONSE_MS: f64 = 173.379314423190;
+const DAXLIST161_TUNED_DELAY_MS: f64 = 107.823962171457;

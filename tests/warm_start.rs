@@ -1,0 +1,96 @@
+//! Warm-start regression: the §7 capacity sweeps must do strictly less
+//! simplex work than per-point cold solves — pinned by pivot counters,
+//! not wall clock — while reproducing the same LP optima.
+
+use quorumnet::core::capacity::capacity_sweep;
+use quorumnet::core::eval::EvalContext;
+use quorumnet::core::strategy_lp::{self, optimize_strategies_outcome, CapacitySweepSolver};
+use quorumnet::prelude::*;
+
+/// The fig7 sweep inputs: Planetlab-50, 3×3 Grid, the Eq. (7.7) capacity
+/// grid over `(L_opt, 1]` with the paper's ten steps.
+fn fig7_inputs() -> (Network, Vec<NodeId>, Placement, Vec<Quorum>, f64) {
+    let net = datasets::planetlab_50();
+    let clients: Vec<NodeId> = net.nodes().collect();
+    let sys = QuorumSystem::grid(3).unwrap();
+    let placement = one_to_one::best_placement(&net, &sys).unwrap();
+    let quorums = sys.enumerate(100).unwrap();
+    let l_opt = sys.optimal_load().unwrap();
+    (net, clients, placement, quorums, l_opt)
+}
+
+/// Acceptance pin: warm-started `tune_uniform_capacity` performs strictly
+/// fewer total simplex iterations than solving every fig7 sweep point
+/// cold, with LP objectives equal to 1e-9 relative at every point.
+#[test]
+fn warm_fig7_sweep_beats_cold_iteration_count() {
+    let (net, clients, placement, quorums, l_opt) = fig7_inputs();
+    let ctx = EvalContext::new(&net, &clients);
+    let pq = ctx.place(&placement, &quorums);
+    let steps = 10; // the paper's grid
+    let model = ResponseModel::from_demand(0.007, 16000.0);
+
+    // Warm path: the real tuning loop, counters aggregated inside.
+    let tuned = strategy_lp::tune_uniform_capacity_placed(&pq, l_opt, steps, model).unwrap();
+    let warm_total = tuned.lp_stats.total_iterations();
+    assert!(
+        tuned.lp_stats.warm_points > 0,
+        "no sweep point actually re-solved warm"
+    );
+
+    // Cold path: one from-scratch solve per sweep point.
+    let solver = CapacitySweepSolver::new(&pq).unwrap();
+    let mut cold_total = 0usize;
+    let mut feasible = 0usize;
+    for c in capacity_sweep(l_opt, steps) {
+        let caps = CapacityProfile::uniform(net.len(), c);
+        match (
+            optimize_strategies_outcome(&pq, &caps),
+            solver.solve_uniform(c),
+        ) {
+            (Ok(cold), Ok(warm)) => {
+                cold_total += cold.stats.iterations;
+                feasible += 1;
+                assert!(
+                    (warm.delay_ms - cold.delay_ms).abs() <= 1e-9 * (1.0 + cold.delay_ms.abs()),
+                    "LP optimum drifted at c={c}: warm {} vs cold {}",
+                    warm.delay_ms,
+                    cold.delay_ms
+                );
+            }
+            (Err(CoreError::Infeasible), Err(CoreError::Infeasible)) => continue,
+            (cold, warm) => {
+                panic!("warm/cold feasibility disagreement at c={c}: cold {cold:?} warm {warm:?}")
+            }
+        }
+    }
+    assert_eq!(feasible, tuned.points.len(), "sweep point sets differ");
+    assert!(
+        warm_total < cold_total,
+        "warm sweep must pivot strictly less than cold: {warm_total} vs {cold_total}"
+    );
+}
+
+/// The sweep's evaluations are identical whether the caller asks for them
+/// through the high-level tuner or re-derives them point by point from
+/// the shared solver — i.e. the warm layer is deterministic.
+#[test]
+fn warm_sweep_is_reproducible() {
+    let (net, clients, placement, quorums, l_opt) = fig7_inputs();
+    let ctx = EvalContext::new(&net, &clients);
+    let pq = ctx.place(&placement, &quorums);
+    let model = ResponseModel::from_demand(0.007, 16000.0);
+
+    let a = strategy_lp::tune_uniform_capacity_placed(&pq, l_opt, 6, model).unwrap();
+    let b = strategy_lp::tune_uniform_capacity_placed(&pq, l_opt, 6, model).unwrap();
+    assert_eq!(a.points.len(), b.points.len());
+    assert_eq!(a.best, b.best);
+    for ((c1, e1), (c2, e2)) in a.points.iter().zip(&b.points) {
+        assert_eq!(c1.to_bits(), c2.to_bits());
+        assert_eq!(e1.avg_response_ms.to_bits(), e2.avg_response_ms.to_bits());
+        assert_eq!(
+            e1.avg_network_delay_ms.to_bits(),
+            e2.avg_network_delay_ms.to_bits()
+        );
+    }
+}

@@ -5,10 +5,11 @@
 //! tests use:
 //!
 //! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
-//! * [`Strategy`] for numeric ranges, tuples, [`Just`], unions
-//!   ([`prop_oneof!`]), [`collection::vec`], `prop_map` / `prop_flat_map`,
+//! * [`strategy::Strategy`] for numeric ranges, tuples,
+//!   [`strategy::Just`], unions ([`prop_oneof!`]), [`collection::vec`],
+//!   `prop_map` / `prop_flat_map`,
 //! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assume!`],
-//! * [`ProptestConfig`] with `with_cases` and a `PROPTEST_CASES`
+//! * [`test_runner::ProptestConfig`] with `with_cases` and a `PROPTEST_CASES`
 //!   environment override.
 //!
 //! Differences from upstream, by design:
@@ -144,7 +145,7 @@ pub mod strategy {
         }
     }
 
-    /// Two-way union; [`prop_oneof!`] nests these right-associatively.
+    /// Two-way union; `prop_oneof!` nests these right-associatively.
     ///
     /// `arms` counts the total number of leaf alternatives under this node
     /// so that every arm of a `prop_oneof!` is drawn with equal
@@ -252,7 +253,7 @@ pub mod collection {
     use crate::test_runner::TestRng;
     use rand::Rng;
 
-    /// Anything usable as the size argument of [`vec`]: an exact `usize`
+    /// Anything usable as the size argument of [`vec()`]: an exact `usize`
     /// or a half-open/inclusive range.
     pub trait IntoSizeRange {
         /// Draws a concrete length.
