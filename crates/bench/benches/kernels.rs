@@ -40,16 +40,30 @@ fn random_lp(vars: usize, rows: usize) -> Model {
 fn bench_lp_solver(c: &mut Criterion) {
     let mut group = c.benchmark_group("lp_solver");
     group.sample_size(10);
-    // Dense explicit inverse vs sparse LU + eta file, same pivot logic.
+    // Three configurations over the same box-bounded random LPs:
+    //   dense_random          — seed dense inverse, Dantzig, bounds as rows;
+    //   factored_rows_dantzig — PR 3's sweep config (sparse LU only);
+    //   factored_random       — the full hot path (`SolverOptions::factored()`:
+    //                           sparse LU + devex + native bounds, so `m`
+    //                           drops from rows+vars to rows).
     for &(vars, rows) in &[(50usize, 20usize), (200, 60), (800, 120)] {
-        for (label, basis) in [
-            ("dense_random", BasisKind::Dense),
-            ("factored_random", BasisKind::Factored),
+        for (label, options) in [
+            (
+                "dense_random",
+                SolverOptions {
+                    basis: BasisKind::Dense,
+                    ..SolverOptions::default()
+                },
+            ),
+            (
+                "factored_rows_dantzig",
+                SolverOptions {
+                    basis: BasisKind::Factored,
+                    ..SolverOptions::default()
+                },
+            ),
+            ("factored_random", SolverOptions::factored()),
         ] {
-            let options = SolverOptions {
-                basis,
-                ..SolverOptions::default()
-            };
             group.bench_with_input(
                 BenchmarkId::new(label, format!("{vars}v_{rows}r")),
                 &(vars, rows),
@@ -101,6 +115,47 @@ fn bench_lp_solver(c: &mut Criterion) {
                 .sum::<usize>()
         });
     });
+
+    // The ISSUE-4 motivating workload: a daxlist-161 sweep prices a
+    // 16,100-column strategy LP. Same warm-sweep shape as above at paper
+    // scale, under PR 3's solver configuration (sparse LU + Dantzig +
+    // bounds-as-rows) vs the full hot path (devex partial pricing, native
+    // bounds, crash start, dual devex re-solves).
+    let dax = datasets::daxlist_161();
+    let dax_clients: Vec<NodeId> = dax.nodes().collect();
+    let dax_sys = QuorumSystem::grid(7).unwrap();
+    let dax_placement = one_to_one::grid_shell_placement(&dax, NodeId::new(0), 7).unwrap();
+    let dax_quorums = dax_sys.enumerate(100).unwrap();
+    let dax_l_opt = dax_sys.optimal_load().unwrap();
+    let dax_ctx = EvalContext::new(&dax, &dax_clients);
+    let dax_pq = dax_ctx.place(&dax_placement, &dax_quorums);
+    let dax_cs = capacity_sweep(dax_l_opt, 10);
+    for (label, options) in [
+        (
+            "sweep_warm_daxlist161_pr3config",
+            SolverOptions {
+                basis: BasisKind::Factored,
+                ..SolverOptions::default()
+            },
+        ),
+        ("sweep_warm_daxlist161", SolverOptions::factored()),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let solver = CapacitySweepSolver::new_with_options(&dax_pq, options.clone())
+                    .expect("feasible at capacity 1");
+                dax_cs
+                    .iter()
+                    .map(|&cap| {
+                        solver
+                            .solve_uniform(cap)
+                            .map(|o| o.strategy.num_clients())
+                            .unwrap_or(0)
+                    })
+                    .sum::<usize>()
+            });
+        });
+    }
     group.finish();
 }
 

@@ -22,12 +22,15 @@
 //! All sweep points share one constraint matrix and differ only in the
 //! capacity-row right-hand sides, so the sweeps run on a
 //! [`CapacitySweepSolver`]: the LP is built and cold-solved **once** (at
-//! uniform capacity 1, the loosest point), and every sweep point clones
-//! that solved [`qp_lp::SimplexInstance`], rewrites only its capacity rhs
-//! values, and dual-simplex-reoptimizes from the shared optimal basis.
-//! Each point is a pure function of `(base, capacity)`, so results are
-//! bit-identical at any thread count; [`SweepLpStats`] exposes the pivot
-//! counters that make the warm-vs-cold saving observable in tests.
+//! uniform capacity 1, the loosest point, with devex partial pricing and
+//! a slack crash start — [`qp_lp::SolverOptions::factored`]), and every
+//! sweep point re-solves through
+//! [`qp_lp::SimplexInstance::resolve_with_rhs`] — a borrow-only warm
+//! re-solve whose per-point cost is one rhs vector plus a few dual-devex
+//! pivots off the shared (pre-factorized) optimal basis. Each point is a
+//! pure function of `(base, capacity)`, so results are bit-identical at
+//! any thread count; [`SweepLpStats`] exposes the pivot counters that
+//! make the warm-vs-cold saving observable in tests.
 
 #![allow(clippy::needless_range_loop)] // index loops mirror the matrix math
 use qp_lp::{Model, Sense, SimplexInstance, Solution, SolveStats, SolverOptions, VarId};
@@ -74,18 +77,18 @@ fn build_strategy_model(
 
     let mut model = Model::new(Sense::Minimize);
     // Variable p_{v,i}; objective coefficient δ_f(v, Qᵢ)/|clients|.
-    // The upper bound 1 is implied by (4.5), so plain x ≥ 0 keeps the
-    // standard form lean.
+    // Anonymous names: the 16k-column daxlist sweeps clone the model per
+    // sweep point, and empty `String`s clone without touching the heap.
+    // The upper bound 1 is implied by (4.5) and deliberately NOT declared
+    // even under the bounded-variable solver: the redundant box triples
+    // the cold pivot count on daxlist-161 (p's churn between bounds that
+    // the convexity row enforces anyway), measured at 370 → 1049 pivots
+    // plus 2002 bound flips.
     let mut vars: Vec<Vec<VarId>> = Vec::with_capacity(n_clients);
     for row in 0..n_clients {
         let mut row_vars = Vec::with_capacity(m);
         for i in 0..m {
-            row_vars.push(model.add_var(
-                &format!("p_{row}_{i}"),
-                0.0,
-                f64::INFINITY,
-                pq.delta(row, i) * inv_clients,
-            ));
+            row_vars.push(model.add_var("", 0.0, f64::INFINITY, pq.delta(row, i) * inv_clients));
         }
         vars.push(row_vars);
     }
@@ -282,7 +285,10 @@ pub struct CapacitySweepSolver {
 }
 
 impl CapacitySweepSolver {
-    /// Builds the LP for `pq` and cold-solves it at uniform capacity 1.
+    /// Builds the LP for `pq` and cold-solves it at uniform capacity 1
+    /// with the full hot-path configuration ([`SolverOptions::factored`]:
+    /// sparse LU, devex partial pricing, native `[0, 1]` bounds on every
+    /// `p_vi`).
     ///
     /// # Errors
     ///
@@ -291,6 +297,20 @@ impl CapacitySweepSolver {
     /// smaller capacity is then infeasible too. Construction errors
     /// propagate as for [`optimize_strategies`].
     pub fn new(pq: &PlacedQuorums<'_>) -> Result<Self, CoreError> {
+        Self::new_with_options(pq, SolverOptions::factored())
+    }
+
+    /// [`CapacitySweepSolver::new`] with explicit [`SolverOptions`] — the
+    /// knob benchmarks and regression tests use to compare pricing rules
+    /// (and bound handling) on the same sweep.
+    ///
+    /// # Errors
+    ///
+    /// As for [`CapacitySweepSolver::new`].
+    pub fn new_with_options(
+        pq: &PlacedQuorums<'_>,
+        options: SolverOptions,
+    ) -> Result<Self, CoreError> {
         let net_len = pq.ctx().net().len();
         let loosest = CapacityProfile::uniform(net_len, 1.0);
         let (model, rows) = build_strategy_model(pq, &loosest)?;
@@ -299,7 +319,7 @@ impl CapacitySweepSolver {
             .into_iter()
             .map(|(w, row)| (w, row, counts[w] as f64 + 1.0))
             .collect();
-        let mut base = SimplexInstance::new(model, SolverOptions::factored())?;
+        let mut base = SimplexInstance::new(model, options)?;
         let sol = base.solve()?;
         Ok(CapacitySweepSolver {
             n_clients: pq.ctx().clients().len(),
@@ -316,18 +336,19 @@ impl CapacitySweepSolver {
         self.base_stats
     }
 
-    /// Warm-solves the LP at uniform capacity `c` for all nodes.
+    /// Warm-solves the LP at uniform capacity `c` for all nodes via
+    /// [`SimplexInstance::resolve_with_rhs`] — no per-point instance
+    /// clone, just one rhs vector and a handful of dual pivots off the
+    /// shared warm basis.
     ///
     /// # Errors
     ///
     /// [`CoreError::Infeasible`] if `c` is below what the placement can
     /// balance; LP errors propagate.
     pub fn solve_uniform(&self, c: f64) -> Result<StrategyLpOutcome, CoreError> {
-        let mut inst = self.base.clone();
-        for &(_, row, _) in &self.cap_rows {
-            inst.set_rhs(row, c);
-        }
-        let sol = inst.resolve()?;
+        let updates: Vec<(usize, f64)> =
+            self.cap_rows.iter().map(|&(_, row, _)| (row, c)).collect();
+        let sol = self.base.resolve_with_rhs(&updates)?;
         StrategyLpOutcome::from_solution(
             &sol,
             self.n_clients,
@@ -355,12 +376,15 @@ impl CapacitySweepSolver {
                 ),
             });
         }
-        let mut inst = self.base.clone();
-        for &(w, row, never_binding) in &self.cap_rows {
-            let c = caps.get(NodeId::new(w));
-            inst.set_rhs(row, if c.is_finite() { c } else { never_binding });
-        }
-        let sol = inst.resolve()?;
+        let updates: Vec<(usize, f64)> = self
+            .cap_rows
+            .iter()
+            .map(|&(w, row, never_binding)| {
+                let c = caps.get(NodeId::new(w));
+                (row, if c.is_finite() { c } else { never_binding })
+            })
+            .collect();
+        let sol = self.base.resolve_with_rhs(&updates)?;
         StrategyLpOutcome::from_solution(
             &sol,
             self.n_clients,
@@ -423,6 +447,10 @@ pub struct SweepLpStats {
     pub base_iterations: usize,
     /// Dual-simplex (or fallback) pivots across all feasible sweep points.
     pub resolve_iterations: usize,
+    /// Bound flips across base solve + all feasible sweep points: nonbasic
+    /// variables jumping between bounds without any basis change (native
+    /// bounded-variable mode only).
+    pub bound_flips: usize,
     /// Sweep points solved warm (dual simplex from the shared basis).
     pub warm_points: usize,
     /// Sweep points that fell back to a cold solve.
@@ -508,6 +536,7 @@ pub fn tune_uniform_capacity_placed(
     let mut points = Vec::new();
     let mut lp_stats = SweepLpStats {
         base_iterations: solver.base_stats().iterations,
+        bound_flips: solver.base_stats().bound_flips,
         ..SweepLpStats::default()
     };
     for (c, outcome) in cs.into_iter().zip(solved) {
@@ -515,6 +544,7 @@ pub fn tune_uniform_capacity_placed(
             Ok((eval, stats)) => {
                 points.push((c, eval));
                 lp_stats.resolve_iterations += stats.iterations;
+                lp_stats.bound_flips += stats.bound_flips;
                 if stats.warm {
                     lp_stats.warm_points += 1;
                 } else {

@@ -22,8 +22,12 @@ use crate::LpError;
 ///
 /// Row indices are *constraint rows* (the matrix's own row labels);
 /// positions `0..m` are the elimination order chosen by partial pivoting.
-/// `lower[k]` stores the step-`k` multipliers keyed by constraint row,
-/// `upper[k]` stores column `k` of `U` keyed by position.
+/// Step `k`'s `L` multipliers are keyed by constraint row, column `k` of
+/// `U` by position. Both factors are stored as flat ptr/index/value
+/// arrays (CSC-style) rather than a `Vec` per step: every ftran/btran
+/// walks them front-to-back (or back-to-front), so flat storage turns the
+/// hot solves into linear scans — entry *order* is identical to the
+/// nested layout, keeping all arithmetic bit-for-bit unchanged.
 #[derive(Debug, Clone)]
 pub(crate) struct SparseLu {
     m: usize,
@@ -31,10 +35,20 @@ pub(crate) struct SparseLu {
     pivot_row: Vec<usize>,
     /// Constraint row → position (inverse of `pivot_row`).
     pos: Vec<usize>,
-    /// Step `k` → multipliers `(constraint_row, l)` for rows below the pivot.
-    lower: Vec<Vec<(usize, f64)>>,
-    /// Column `k` of `U`: `(diagonal, [(position < k, coeff)])`.
-    upper: Vec<(f64, Vec<(usize, f64)>)>,
+    /// Step `k` → `lower_ptr[k]..lower_ptr[k+1]` spans the multipliers.
+    lower_ptr: Vec<usize>,
+    /// Constraint row of each `L` multiplier.
+    lower_rows: Vec<usize>,
+    /// Value of each `L` multiplier.
+    lower_vals: Vec<f64>,
+    /// Diagonal of `U` per position.
+    diag: Vec<f64>,
+    /// Column `k` of `U`: `upper_ptr[k]..upper_ptr[k+1]` spans it.
+    upper_ptr: Vec<usize>,
+    /// Position (`< k`) of each off-diagonal `U` entry.
+    upper_pos: Vec<usize>,
+    /// Value of each off-diagonal `U` entry.
+    upper_vals: Vec<f64>,
 }
 
 impl SparseLu {
@@ -45,9 +59,28 @@ impl SparseLu {
             m: 0,
             pivot_row: Vec::new(),
             pos: Vec::new(),
-            lower: Vec::new(),
-            upper: Vec::new(),
+            lower_ptr: vec![0],
+            lower_rows: Vec::new(),
+            lower_vals: Vec::new(),
+            diag: Vec::new(),
+            upper_ptr: vec![0],
+            upper_pos: Vec::new(),
+            upper_vals: Vec::new(),
         }
+    }
+
+    /// The `L` multipliers of step `k` as `(rows, values)` slices.
+    #[inline]
+    fn lower_col(&self, k: usize) -> (&[usize], &[f64]) {
+        let (a, b) = (self.lower_ptr[k], self.lower_ptr[k + 1]);
+        (&self.lower_rows[a..b], &self.lower_vals[a..b])
+    }
+
+    /// The off-diagonal `U` entries of column `k` as `(positions, values)`.
+    #[inline]
+    fn upper_col(&self, k: usize) -> (&[usize], &[f64]) {
+        let (a, b) = (self.upper_ptr[k], self.upper_ptr[k + 1]);
+        (&self.upper_pos[a..b], &self.upper_vals[a..b])
     }
 
     /// Factors an `m × m` basis. `fill(k, out)` must push the sparse
@@ -65,9 +98,16 @@ impl SparseLu {
             m,
             pivot_row: Vec::with_capacity(m),
             pos: vec![usize::MAX; m],
-            lower: Vec::with_capacity(m),
-            upper: Vec::with_capacity(m),
+            lower_ptr: Vec::with_capacity(m + 1),
+            lower_rows: Vec::new(),
+            lower_vals: Vec::new(),
+            diag: Vec::with_capacity(m),
+            upper_ptr: Vec::with_capacity(m + 1),
+            upper_pos: Vec::new(),
+            upper_vals: Vec::new(),
         };
+        lu.lower_ptr.push(0);
+        lu.upper_ptr.push(0);
         let mut work = vec![0.0f64; m];
         let mut mark = vec![false; m];
         let mut touched: Vec<usize> = Vec::with_capacity(m);
@@ -83,12 +123,16 @@ impl SparseLu {
                 touched.push(r);
             }
             // Left-looking elimination: apply the first k steps in order.
-            let mut ucol: Vec<(usize, f64)> = Vec::new();
             for c in 0..k {
                 let u = work[lu.pivot_row[c]];
                 if u != 0.0 {
-                    ucol.push((c, u));
-                    for &(r, l) in &lu.lower[c] {
+                    lu.upper_pos.push(c);
+                    lu.upper_vals.push(u);
+                    let (rows, vals) = {
+                        let (a, b) = (lu.lower_ptr[c], lu.lower_ptr[c + 1]);
+                        (&lu.lower_rows[a..b], &lu.lower_vals[a..b])
+                    };
+                    for (&r, &l) in rows.iter().zip(vals) {
                         let delta = l * u;
                         if delta != 0.0 {
                             if !mark[r] {
@@ -116,16 +160,17 @@ impl SparseLu {
                 return Err(LpError::Singular);
             }
             let diag = work[piv_row];
-            let mut lcol: Vec<(usize, f64)> = Vec::new();
             for &r in &touched {
                 if r != piv_row && lu.pos[r] == usize::MAX && work[r] != 0.0 {
-                    lcol.push((r, work[r] / diag));
+                    lu.lower_rows.push(r);
+                    lu.lower_vals.push(work[r] / diag);
                 }
             }
             lu.pos[piv_row] = k;
             lu.pivot_row.push(piv_row);
-            lu.lower.push(lcol);
-            lu.upper.push((diag, ucol));
+            lu.lower_ptr.push(lu.lower_rows.len());
+            lu.diag.push(diag);
+            lu.upper_ptr.push(lu.upper_pos.len());
             for &r in &touched {
                 work[r] = 0.0;
                 mark[r] = false;
@@ -137,17 +182,29 @@ impl SparseLu {
 
     /// ftran core: consumes a dense right-hand side keyed by constraint row
     /// (zeroed on return) and produces `B₀⁻¹ a` keyed by position.
+    /// (Allocating test convenience; hot paths use the `_into` variant.)
+    #[cfg(test)]
     pub(crate) fn solve_consuming(&self, work: &mut [f64]) -> Vec<f64> {
+        let mut z = vec![0.0f64; self.m];
+        self.solve_consuming_into(work, &mut z);
+        z
+    }
+
+    /// [`SparseLu::solve_consuming`] into a caller-provided buffer (hot
+    /// loops reuse it to avoid a per-solve allocation; same arithmetic).
+    pub(crate) fn solve_consuming_into(&self, work: &mut [f64], z: &mut Vec<f64>) {
         let m = self.m;
         debug_assert_eq!(work.len(), m);
+        z.clear();
+        z.resize(m, 0.0);
         // L z = P a (forward, recording z by position).
-        let mut z = vec![0.0f64; m];
         for k in 0..m {
             let zk = work[self.pivot_row[k]];
             work[self.pivot_row[k]] = 0.0;
             z[k] = zk;
             if zk != 0.0 {
-                for &(r, l) in &self.lower[k] {
+                let (rows, vals) = self.lower_col(k);
+                for (&r, &l) in rows.iter().zip(vals) {
                     work[r] -= l * zk;
                 }
             }
@@ -159,47 +216,56 @@ impl SparseLu {
         }
         // U d = z (column-oriented back substitution).
         for k in (0..m).rev() {
-            let (diag, ref col) = self.upper[k];
-            let dk = z[k] / diag;
+            let dk = z[k] / self.diag[k];
             z[k] = dk;
             if dk != 0.0 {
-                for &(c, u) in col {
+                let (ps, vals) = self.upper_col(k);
+                for (&c, &u) in ps.iter().zip(vals) {
                     z[c] -= u * dk;
                 }
             }
         }
-        z
     }
 
     /// btran core: given `c` keyed by position, returns `B₀⁻ᵀ c` keyed by
-    /// constraint row.
+    /// constraint row. (Allocating test convenience; hot paths use the
+    /// `_into` variant.)
+    #[cfg(test)]
     pub(crate) fn solve_transpose(&self, c: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0f64; self.m];
+        self.solve_transpose_into(c, &mut y);
+        y
+    }
+
+    /// [`SparseLu::solve_transpose`] into a caller-provided buffer.
+    pub(crate) fn solve_transpose_into(&self, c: &[f64], y: &mut Vec<f64>) {
         let m = self.m;
         debug_assert_eq!(c.len(), m);
         // Uᵀ w = c (forward, by position).
         let mut w = vec![0.0f64; m];
         for k in 0..m {
-            let (diag, ref col) = self.upper[k];
             let mut t = c[k];
-            for &(p, u) in col {
+            let (ps, vals) = self.upper_col(k);
+            for (&p, &u) in ps.iter().zip(vals) {
                 t -= u * w[p];
             }
-            w[k] = t / diag;
+            w[k] = t / self.diag[k];
         }
         // Lᵀ v = w (backward, by position; L entries keyed by constraint row).
         for k in (0..m).rev() {
             let mut t = w[k];
-            for &(r, l) in &self.lower[k] {
+            let (rows, vals) = self.lower_col(k);
+            for (&r, &l) in rows.iter().zip(vals) {
                 t -= l * w[self.pos[r]];
             }
             w[k] = t;
         }
         // y[constraint row] = v[position].
-        let mut y = vec![0.0f64; m];
+        y.clear();
+        y.resize(m, 0.0);
         for k in 0..m {
             y[self.pivot_row[k]] = w[k];
         }
-        y
     }
 }
 

@@ -8,13 +8,16 @@
 //! answer to the §7 capacity sweeps: hundreds of LPs sharing one
 //! constraint matrix and differing only in capacity rhs values.
 //!
-//! Instances are `Clone`, and a clone is cheap (the heavy factorization is
-//! rebuilt lazily on the next solve): sweep drivers clone one solved base
-//! instance per parallel job, keeping every job a pure function of its
-//! input — results stay bit-identical at any thread count.
+//! Sweep drivers share one solved base instance across parallel jobs via
+//! [`SimplexInstance::resolve_with_rhs`], a non-mutating warm re-solve
+//! (per-point cost: one rhs vector); each job is a pure function of its
+//! input, so results stay bit-identical at any thread count. Instances
+//! are also `Clone` for callers that want to mutate diverging copies.
 
 use crate::model::Prepared;
-use crate::simplex::{resolve_dual, solve_two_phase, DualOutcome, SolverOptions};
+use crate::simplex::{
+    prime_warm, resolve_dual, solve_two_phase, DualOutcome, SolverOptions, WarmStart,
+};
 use crate::{LpError, Model, Solution, VarId};
 
 /// A reusable solver bound to one [`Model`] snapshot.
@@ -52,19 +55,21 @@ pub struct SimplexInstance {
     model: Model,
     prepared: Prepared,
     options: SolverOptions,
-    /// Optimal (dual-feasible) basis of the last successful solve.
-    warm: Option<Vec<usize>>,
+    /// Optimal (dual-feasible) warm-start point — basis plus the
+    /// nonbasic-at-upper-bound flags — of the last successful solve.
+    warm: Option<WarmStart>,
 }
 
 impl SimplexInstance {
     /// Builds an instance owning `model`, performing the standard-form
-    /// conversion once.
+    /// conversion once (native bounded variables when the options ask for
+    /// them).
     ///
     /// # Errors
     ///
     /// Propagates standard-form construction failures.
     pub fn new(model: Model, options: SolverOptions) -> Result<Self, LpError> {
-        let prepared = Prepared::from_model(&model)?;
+        let prepared = Prepared::from_model(&model, options.native_bounds)?;
         Ok(SimplexInstance {
             model,
             prepared,
@@ -125,15 +130,25 @@ impl SimplexInstance {
     }
 
     /// Cold two-phase solve; records the optimal basis for later warm
-    /// re-solves.
+    /// re-solves, together with its refactorized representation and
+    /// reduced costs. Sweep drivers clone a solved instance once per
+    /// parameter point, so sharing that basis-dependent state here means
+    /// no clone ever refactorizes the (identical) warm basis again —
+    /// results are bit-for-bit the same either way.
     ///
     /// # Errors
     ///
     /// As for [`Model::solve`].
     pub fn solve(&mut self) -> Result<Solution, LpError> {
-        match solve_two_phase(&self.prepared, &self.options, self.model.num_vars()) {
-            Ok((sol, basis)) => {
-                self.warm = Some(basis);
+        match solve_two_phase(
+            &self.prepared,
+            &self.prepared.b,
+            &self.options,
+            self.model.num_vars(),
+        ) {
+            Ok((sol, mut warm)) => {
+                prime_warm(&self.prepared, &self.options, &mut warm);
+                self.warm = Some(warm);
                 Ok(sol)
             }
             Err(e) => {
@@ -158,31 +173,45 @@ impl SimplexInstance {
     ///
     /// As for [`Model::solve`].
     pub fn resolve(&mut self) -> Result<Solution, LpError> {
-        let Some(basis) = self.warm.clone() else {
-            return self.solve();
-        };
-        let n_cols = self.prepared.cols.len();
-        if basis.iter().any(|&j| j >= n_cols) {
+        let n_cols = self.prepared.cols.num_cols();
+        let usable = self
+            .warm
+            .as_ref()
+            .is_some_and(|w| w.basis.iter().all(|&j| j < n_cols));
+        if !usable {
             return self.solve();
         }
-        match resolve_dual(&self.prepared, &self.options, self.model.num_vars(), basis) {
-            DualOutcome::Optimal(sol, basis) => {
-                self.warm = Some(basis);
+        let warm = self.warm.as_ref().expect("checked above");
+        let outcome = resolve_dual(
+            &self.prepared,
+            &self.prepared.b,
+            &self.options,
+            self.model.num_vars(),
+            warm,
+        );
+        match outcome {
+            DualOutcome::Optimal(sol, warm) => {
+                self.warm = Some(warm);
                 Ok(sol)
             }
-            DualOutcome::Infeasible(basis) => {
+            DualOutcome::Infeasible(warm) => {
                 // Confirm with a cold solve: the dual-unbounded test and the
                 // phase-1 infeasibility test use different tolerance paths,
                 // and sweep drivers key behavior off this verdict.
-                match solve_two_phase(&self.prepared, &self.options, self.model.num_vars()) {
+                match solve_two_phase(
+                    &self.prepared,
+                    &self.prepared.b,
+                    &self.options,
+                    self.model.num_vars(),
+                ) {
                     Err(LpError::Infeasible) => {
-                        // Keep the dual-feasible basis: the next parameter
+                        // Keep the dual-feasible point: the next parameter
                         // point can still re-solve warm.
-                        self.warm = Some(basis);
+                        self.warm = Some(warm);
                         Err(LpError::Infeasible)
                     }
-                    Ok((sol, cold_basis)) => {
-                        self.warm = Some(cold_basis);
+                    Ok((sol, cold_warm)) => {
+                        self.warm = Some(cold_warm);
                         Ok(sol)
                     }
                     Err(e) => {
@@ -192,6 +221,59 @@ impl SimplexInstance {
                 }
             }
             DualOutcome::Stalled => self.solve(),
+        }
+    }
+
+    /// Warm re-solve at modified right-hand sides **without mutating or
+    /// cloning the instance**: `updates` pairs constraint rows (indices
+    /// from the model's `add_*` methods) with new rhs values; rows not
+    /// listed keep their current rhs. Results are identical to cloning
+    /// the instance, applying [`set_rhs`](Self::set_rhs) per row, and
+    /// calling [`resolve`](Self::resolve) — but the only per-call copy is
+    /// one rhs vector, so this is the sweep hot path: hundreds of
+    /// parameter points fan out over one shared solved instance, each a
+    /// pure function of `(instance, updates)`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Model::solve`]; infeasible points report
+    /// [`LpError::Infeasible`] after cold confirmation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a row index is out of range or an rhs is not finite.
+    pub fn resolve_with_rhs(&self, updates: &[(usize, f64)]) -> Result<Solution, LpError> {
+        let num_rows = self.model.num_rows();
+        let mut b = self.prepared.b.clone();
+        for &(row, rhs) in updates {
+            assert!(row < num_rows, "row index out of range");
+            assert!(rhs.is_finite(), "constraint rhs must be finite");
+            let (i, v) = self.prepared.standardized_rhs(&self.model, row, rhs);
+            b[i] = v;
+        }
+        let n_cols = self.prepared.cols.num_cols();
+        let warm = self
+            .warm
+            .as_ref()
+            .filter(|w| w.basis.iter().all(|&j| j < n_cols));
+        let cold = || {
+            solve_two_phase(&self.prepared, &b, &self.options, self.model.num_vars())
+                .map(|(sol, _)| sol)
+        };
+        let Some(warm) = warm else {
+            return cold();
+        };
+        match resolve_dual(
+            &self.prepared,
+            &b,
+            &self.options,
+            self.model.num_vars(),
+            warm,
+        ) {
+            DualOutcome::Optimal(sol, _) => Ok(sol),
+            // Cold-confirm the infeasibility verdict, mirroring `resolve`.
+            DualOutcome::Infeasible(_) => cold(),
+            DualOutcome::Stalled => cold(),
         }
     }
 }
@@ -311,6 +393,47 @@ mod tests {
         let mut inst = m.instance(&SolverOptions::default()).unwrap();
         let err = inst.set_var_bounds(x, 0.0, f64::INFINITY).unwrap_err();
         assert!(matches!(err, LpError::InvalidModel { .. }));
+    }
+
+    #[test]
+    fn bound_pattern_change_is_rejected_under_native_bounds() {
+        // The frozen finiteness pattern from `add_var` binds in native
+        // mode too: the column's native upper bound cannot appear or
+        // disappear after instance construction, in either direction.
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", 0.0, 1.0, 1.0);
+        let y = m.add_var("y", 0.0, f64::INFINITY, 1.0);
+        let mut inst = m.instance(&SolverOptions::factored()).unwrap();
+        let err = inst.set_var_bounds(x, 0.0, f64::INFINITY).unwrap_err();
+        assert!(matches!(err, LpError::InvalidModel { .. }));
+        let err = inst.set_var_bounds(y, 0.0, 2.0).unwrap_err();
+        assert!(matches!(err, LpError::InvalidModel { .. }));
+        // Moving a finite bound to a new finite value is fine.
+        inst.set_var_bounds(x, 0.0, 0.5).unwrap();
+    }
+
+    #[test]
+    fn native_bound_change_resolves_warm_and_matches_cold() {
+        // The whole point of native bounds: tightening an upper bound
+        // changes no constraint rows, so the dual simplex repairs the old
+        // optimal basis in a handful of pivots/flips.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", 0.0, 7.0, 2.0);
+        let y = m.add_var("y", 0.0, 3.0, 1.0);
+        m.add_le(&[(x, 1.0), (y, 1.0)], 8.0);
+        let mut inst = m.instance(&SolverOptions::factored()).unwrap();
+        let cold = inst.solve().unwrap();
+        assert!((cold.objective() - 15.0).abs() < 1e-7); // x=7, y=1
+
+        inst.set_var_bounds(x, 0.0, 4.0).unwrap();
+        let warm = inst.resolve().unwrap();
+        assert!((warm.objective() - 11.0).abs() < 1e-7, "x=4, y=3");
+        assert!(warm.stats().warm, "expected the dual-simplex path");
+
+        // And loosening back re-solves warm to the original optimum.
+        inst.set_var_bounds(x, 0.0, 7.0).unwrap();
+        let back = inst.resolve().unwrap();
+        assert!((back.objective() - 15.0).abs() < 1e-7);
     }
 
     #[test]

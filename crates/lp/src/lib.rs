@@ -7,38 +7,68 @@
 //! a pure-Rust solver so the whole reproduction is self-contained. The
 //! crate is organized in three cooperating layers:
 //!
-//! 1. **Solver core** (the private `simplex` and `factor` modules) — a
-//!    two-phase *revised simplex* whose basis algebra is pluggable:
-//!    a **sparse LU factorization at refactorization points with
-//!    product-form (eta-file) updates between them**
-//!    ([`BasisKind::Factored`], used by the warm-start layer via
-//!    [`SolverOptions::factored`]), or the seed's dense explicit
-//!    `O(m²)`-per-iteration inverse ([`BasisKind::Dense`], still the
-//!    default for one-shot `Model::solve` calls so their pivot paths and
-//!    the repository's pinned goldens stay bit-for-bit). Shared pivot
-//!    logic — Dantzig pricing with an automatic switch to Bland's rule
-//!    after a run of degenerate pivots, periodic refactorization, phase-1
-//!    infeasibility detection — drives both representations, plus a
-//!    **dual simplex** for re-optimizing after right-hand-side changes.
+//! 1. **Solver core** (the private `simplex`, `pricing`, and `factor`
+//!    modules) — a two-phase *revised simplex* over a compressed
+//!    sparse-column (CSC) constraint matrix, with three orthogonal
+//!    performance switches on [`SolverOptions`]:
+//!
+//!    * **Basis algebra** ([`BasisKind`]): a sparse LU factorization at
+//!      refactorization points with product-form (eta-file) updates
+//!      between them (`Factored`), or the seed's dense explicit
+//!      `O(m²)`-per-iteration inverse (`Dense`, still the default for
+//!      one-shot `Model::solve` calls so their pivot paths and the
+//!      repository's pinned goldens stay bit-for-bit).
+//!    * **Pricing** ([`Pricing`], the `pricing` module): the seed's full
+//!      Dantzig scan (default), or **devex reference-framework pricing
+//!      over a candidate list** — a periodic full pass ranks columns by
+//!      `rc²/w`, and between refreshes each pivot prices only the best
+//!      few hundred candidates. On the 16,100-column §7 strategy LPs this
+//!      replaces a full scan per pivot with ~20 full passes per solve
+//!      ([`SolveStats::full_prices`] makes that observable). The dual
+//!      simplex gets the matching treatment: devex-weighted leaving rows,
+//!      roughly halving re-solve pivot counts on the large sweeps.
+//!    * **Bounded variables** (`native_bounds`): finite upper bounds are
+//!      handled *in-solver* by the bounded-variable ratio test — nonbasic
+//!      columns sit at either bound, jump between them in **bound flips**
+//!      that cost no basis change ([`SolveStats::bound_flips`]) — instead
+//!      of materializing one `≤` row + slack per bound. A box-bounded LP's
+//!      row count (and with it every factorization) shrinks from
+//!      `rows + vars` to `rows`. `crash_basis` additionally starts cold
+//!      solves from feasible slacks instead of all artificials.
+//!
+//!    Shared pivot logic — pricing with an automatic switch to Bland's
+//!    rule after a run of degenerate pivots, periodic refactorization,
+//!    phase-1 infeasibility detection — drives every configuration, plus
+//!    a **dual simplex** (incremental reduced costs and basic values,
+//!    rebuilt at refactorization points) for re-optimizing after
+//!    right-hand-side or bound changes. [`SolverOptions::factored`]
+//!    bundles the full hot path: sparse LU + devex + native bounds +
+//!    crash start.
 //! 2. **Parametric instances** ([`SimplexInstance`]) — a reusable solver
-//!    built once from a [`Model`]: `solve()` runs cold,
+//!    built once from a [`Model`]: `solve()` runs cold and caches the
+//!    optimal basis *with its factorization and reduced costs*;
 //!    [`SimplexInstance::set_rhs`] / [`SimplexInstance::set_var_bounds`]
 //!    mutate the frozen standard form in place, and
 //!    [`SimplexInstance::resolve`] dual-simplex-reoptimizes from the
-//!    previous optimal basis. [`Solution::stats`] exposes pivot and
-//!    refactorization counters, so warm-vs-cold work is observable in
-//!    tests, not just wall clock. Instances are cheaply `Clone`: sweep
-//!    drivers clone one solved base per parallel job, keeping results
-//!    bit-identical at any thread count.
+//!    previous optimal basis. [`SimplexInstance::resolve_with_rhs`] is
+//!    the sweep hot path: a *non-mutating* warm re-solve at modified
+//!    right-hand sides whose only per-call copy is one rhs vector — no
+//!    instance clone, no re-factorization of the shared basis.
+//!    [`Solution::stats`] exposes pivot/refactorization/bound-flip/
+//!    pricing counters, so warm-vs-cold work is observable in tests, not
+//!    just wall clock. Every re-solve is a pure function of
+//!    `(instance, parameters)`, keeping sweep results bit-identical at
+//!    any thread count.
 //! 3. **Modeling layer** ([`Model`], [`Solution`]) — variables with general
 //!    bounds (finite lower bounds are shifted away, free variables split,
-//!    finite upper bounds become rows), `≤`/`≥`/`=` constraints, duals per
-//!    row.
+//!    finite upper bounds handled natively or as rows per the options),
+//!    `≤`/`≥`/`=` constraints, duals per row.
 //!
 //! The LPs in this repository are small-to-medium (hundreds of rows, up to
 //! a few tens of thousands of columns) but are re-solved *hundreds of
 //! times* with only capacity right-hand sides changing (§7 sweeps); the
-//! factorized basis plus warm starts is what makes those sweeps cheap.
+//! factorized basis, candidate-list pricing, and clone-free warm re-solves
+//! are what make those sweeps cheap.
 //!
 //! # Examples
 //!
@@ -91,6 +121,7 @@ mod factor;
 mod format;
 mod instance;
 mod model;
+mod pricing;
 mod simplex;
 mod solution;
 
@@ -98,5 +129,6 @@ pub use error::LpError;
 pub use format::format_lp;
 pub use instance::SimplexInstance;
 pub use model::{Model, Relation, Sense, VarId};
+pub use pricing::Pricing;
 pub use simplex::{BasisKind, SolverOptions};
 pub use solution::{Solution, SolveStats};

@@ -104,6 +104,14 @@ impl Model {
     /// objective coefficient. Use `f64::NEG_INFINITY` / `f64::INFINITY` for
     /// free sides.
     ///
+    /// The *finiteness pattern* of the bounds given here (which sides are
+    /// finite) is what a later [`Model::instance`] freezes into its
+    /// standard form: [`crate::SimplexInstance::set_var_bounds`] may move
+    /// finite bounds to new finite values but rejects any call that makes
+    /// a finite side infinite or vice versa. On a plain [`Model`] (no
+    /// instance built yet) [`Model::set_var_bounds`] may still change the
+    /// pattern freely.
+    ///
     /// # Panics
     ///
     /// Panics if a bound is NaN, the objective coefficient is not finite, or
@@ -228,6 +236,13 @@ impl Model {
 
     /// Replaces the bounds of an existing variable.
     ///
+    /// On a plain `Model` any new bounds are accepted (the standard form
+    /// is rebuilt from scratch at the next solve). Once the model has been
+    /// frozen into a [`crate::SimplexInstance`], bound updates must go
+    /// through [`crate::SimplexInstance::set_var_bounds`], which enforces
+    /// that the finiteness pattern chosen at [`Model::add_var`] time is
+    /// preserved and returns [`crate::LpError::InvalidModel`] otherwise.
+    ///
     /// # Panics
     ///
     /// Panics if `v` is out of range, a bound is NaN, or `lower > upper`.
@@ -260,8 +275,8 @@ impl Model {
     ///
     /// Same as [`Model::solve`].
     pub fn solve_with(&self, options: &SolverOptions) -> Result<Solution, LpError> {
-        let prepared = Prepared::from_model(self)?;
-        let (sol, _basis) = solve_two_phase(&prepared, options, self.num_vars())?;
+        let prepared = Prepared::from_model(self, options.native_bounds)?;
+        let (sol, _warm) = solve_two_phase(&prepared, &prepared.b, options, self.num_vars())?;
         Ok(sol)
     }
 
@@ -323,16 +338,98 @@ impl Model {
     }
 }
 
+/// Compressed sparse column (CSC) matrix: three flat arrays instead of a
+/// `Vec` per column, so ftran/pricing walk contiguous memory and cloning a
+/// [`Prepared`] (the per-sweep-point hot path) is three `memcpy`s.
+///
+/// Entry order within a column is exactly the insertion order of the
+/// builder it was frozen from, so arithmetic that iterates a column
+/// accumulates in the same order as the historical `Vec<Vec<_>>` layout —
+/// pivot paths are bit-for-bit unchanged.
+#[derive(Debug, Clone)]
+pub(crate) struct Csc {
+    /// `col_ptr[j]..col_ptr[j+1]` spans column `j`'s entries; length n+1.
+    col_ptr: Vec<usize>,
+    /// Constraint row of each entry.
+    row_idx: Vec<usize>,
+    /// Coefficient of each entry.
+    values: Vec<f64>,
+}
+
+impl Csc {
+    /// Freezes builder columns into flat CSC storage.
+    pub(crate) fn from_columns(cols: &[Vec<(usize, f64)>]) -> Self {
+        let nnz = cols.iter().map(Vec::len).sum();
+        let mut col_ptr = Vec::with_capacity(cols.len() + 1);
+        let mut row_idx = Vec::with_capacity(nnz);
+        let mut values = Vec::with_capacity(nnz);
+        col_ptr.push(0);
+        for col in cols {
+            for &(row, coeff) in col {
+                row_idx.push(row);
+                values.push(coeff);
+            }
+            col_ptr.push(row_idx.len());
+        }
+        Csc {
+            col_ptr,
+            row_idx,
+            values,
+        }
+    }
+
+    /// Number of columns.
+    pub(crate) fn num_cols(&self) -> usize {
+        self.col_ptr.len() - 1
+    }
+
+    /// The `(rows, values)` slices of column `j`.
+    pub(crate) fn col(&self, j: usize) -> (&[usize], &[f64]) {
+        let (a, b) = (self.col_ptr[j], self.col_ptr[j + 1]);
+        (&self.row_idx[a..b], &self.values[a..b])
+    }
+
+    /// `out[j] = ρᵀ·a_j` for every column, in one streaming pass over the
+    /// flat arrays — the dual-simplex pivot row. Per-column accumulation
+    /// order matches a per-column `Σ ρ[row]·coeff`, so the results are
+    /// bit-identical to column-at-a-time dot products.
+    pub(crate) fn gather_dot(&self, rho: &[f64], out: &mut [f64]) {
+        debug_assert_eq!(out.len(), self.num_cols());
+        for (j, o) in out.iter_mut().enumerate() {
+            let (a, b) = (self.col_ptr[j], self.col_ptr[j + 1]);
+            let mut acc = 0.0;
+            for k in a..b {
+                acc += rho[self.row_idx[k]] * self.values[k];
+            }
+            *o = acc;
+        }
+    }
+}
+
 /// The standard-form image of a [`Model`]:
-/// `min c·x  s.t.  A x = b,  x ≥ 0,  b ≥ 0`.
+/// `min c·x  s.t.  A x = b,  0 ≤ x ≤ u,  b ≥ 0` (every `u_j` is `+∞`
+/// unless native bounded-variable mode is on).
 ///
 /// Construction performs, in order: free-variable splitting, lower-bound
-/// shifting, upper-bound rows, slack/surplus insertion, and row sign
+/// shifting, upper-bound handling (native column bounds, or extra `≤` rows
+/// in the legacy mode), slack/surplus insertion, and row sign
 /// normalization. The mapping back to user variables is retained.
 #[derive(Debug, Clone)]
 pub(crate) struct Prepared {
-    /// Column-major sparse matrix: `cols[j]` is a list of `(row, coeff)`.
-    pub cols: Vec<Vec<(usize, f64)>>,
+    /// Column-major sparse matrix (structural + slack columns).
+    pub cols: Csc,
+    /// Per standardized row: the slack column usable as a crash-basis
+    /// member (a singleton `+1` column), if any. `≤` rows normalized with
+    /// positive sign and legacy upper-bound rows have one; `=` rows and
+    /// sign-flipped rows do not.
+    pub row_slack: Vec<Option<usize>>,
+    /// Per-column upper bound in standard form (`+∞` when unbounded; all
+    /// `+∞` unless `native_bounds`). Finite entries are handled in-solver
+    /// by the bounded-variable ratio test, not by extra rows.
+    pub upper: Vec<f64>,
+    /// Whether finite user upper bounds became native column bounds
+    /// (`true`) or `≤` rows (`false`, the legacy/golden layout).
+    pub native_bounds: bool,
     /// Right-hand side, all entries ≥ 0.
     pub b: Vec<f64>,
     /// Phase-2 costs (minimization), aligned with `cols`.
@@ -346,6 +443,10 @@ pub(crate) struct Prepared {
     /// For each user row: standardized row index and sign multiplier applied
     /// (for dual recovery).
     pub row_map: Vec<(usize, f64)>,
+    /// Per user row: whether any of its terms touches a variable with a
+    /// nonzero bound shift. Shift-free rows (the common case for the
+    /// `x ≥ 0` models the sweeps build) standardize a new rhs in O(1).
+    pub row_has_shift: Vec<bool>,
     /// User-variable index behind each finite-upper-bound row (appended
     /// after the user rows, in order), for rhs refresh after bound changes.
     pub ub_vars: Vec<usize>,
@@ -381,17 +482,22 @@ impl Recover {
 }
 
 impl Prepared {
-    pub(crate) fn from_model(model: &Model) -> Result<Self, LpError> {
+    /// Builds the standard form. With `native_bounds` finite user upper
+    /// bounds become per-column bounds consumed by the bounded-variable
+    /// simplex; without it they become appended `≤` rows (the layout every
+    /// golden pivot path was recorded against).
+    pub(crate) fn from_model(model: &Model, native_bounds: bool) -> Result<Self, LpError> {
         let (lower, upper) = model.bounds();
         let user_obj = model.objective_coeffs();
         let negated = model.sense() == Sense::Maximize;
 
         let mut cols: Vec<Vec<(usize, f64)>> = Vec::new();
+        let mut col_upper: Vec<f64> = Vec::new();
         let mut costs: Vec<f64> = Vec::new();
         let mut recover = Vec::with_capacity(lower.len());
         let mut obj_offset = 0.0;
-        // Extra rows generated by finite upper bounds, appended after user
-        // rows: (col, rhs, user var) meaning col ≤ rhs.
+        // Extra rows generated by finite upper bounds in the legacy mode,
+        // appended after user rows: (col, rhs, user var) meaning col ≤ rhs.
         let mut ub_rows: Vec<(usize, f64, usize)> = Vec::new();
 
         for j in 0..lower.len() {
@@ -401,6 +507,11 @@ impl Prepared {
                 // x = x' + lo, x' ≥ 0
                 let col = cols.len();
                 cols.push(Vec::new());
+                col_upper.push(if native_bounds && hi.is_finite() {
+                    hi - lo
+                } else {
+                    f64::INFINITY
+                });
                 costs.push(c);
                 obj_offset += c * lo;
                 recover.push(Recover::Shifted {
@@ -408,13 +519,14 @@ impl Prepared {
                     shift: lo,
                     sign: 1.0,
                 });
-                if hi.is_finite() {
+                if !native_bounds && hi.is_finite() {
                     ub_rows.push((col, hi - lo, j));
                 }
             } else if hi.is_finite() {
                 // x ≤ hi, unbounded below: substitute x = hi - x'', x'' ≥ 0.
                 let col = cols.len();
                 cols.push(Vec::new());
+                col_upper.push(f64::INFINITY);
                 costs.push(-c);
                 obj_offset += c * hi;
                 recover.push(Recover::Shifted {
@@ -426,9 +538,11 @@ impl Prepared {
                 // Free variable: x = x⁺ - x⁻.
                 let pos = cols.len();
                 cols.push(Vec::new());
+                col_upper.push(f64::INFINITY);
                 costs.push(c);
                 let neg = cols.len();
                 cols.push(Vec::new());
+                col_upper.push(f64::INFINITY);
                 costs.push(-c);
                 recover.push(Recover::Split { pos, neg });
             }
@@ -438,6 +552,7 @@ impl Prepared {
         let total_rows = n_user_rows + ub_rows.len();
         let mut b = vec![0.0; total_rows];
         let mut row_map = Vec::with_capacity(n_user_rows);
+        let mut row_slack: Vec<Option<usize>> = Vec::with_capacity(total_rows);
 
         // Fill user rows.
         for (i, row) in model.rows().iter().enumerate() {
@@ -455,32 +570,37 @@ impl Prepared {
                     }
                 }
             }
-            // Slack / surplus.
-            match row.relation {
-                Relation::Le => {
+            // Slack / surplus: base coefficient +1 (≤) or −1 (≥).
+            let slack = match row.relation {
+                Relation::Le | Relation::Ge => {
                     let s = cols.len();
                     cols.push(Vec::new());
+                    col_upper.push(f64::INFINITY);
                     costs.push(0.0);
-                    entries.push((s, 1.0));
+                    let coeff = if row.relation == Relation::Le {
+                        1.0
+                    } else {
+                        -1.0
+                    };
+                    entries.push((s, coeff));
+                    Some((s, coeff))
                 }
-                Relation::Ge => {
-                    let s = cols.len();
-                    cols.push(Vec::new());
-                    costs.push(0.0);
-                    entries.push((s, -1.0));
-                }
-                Relation::Eq => {}
-            }
+                Relation::Eq => None,
+            };
             // Normalize to b ≥ 0.
             let sign = if rhs < 0.0 { -1.0 } else { 1.0 };
             b[i] = rhs * sign;
             for (col, coeff) in entries {
                 cols[col].push((i, coeff * sign));
             }
+            // The slack is a crash-basis candidate iff its final
+            // coefficient is +1 (basic value = b_i ≥ 0 stays feasible).
+            row_slack.push(slack.and_then(|(s, coeff)| (coeff * sign == 1.0).then_some(s)));
             row_map.push((i, sign));
         }
 
-        // Upper-bound rows: x'_col + slack = ub (ub ≥ 0 because lo ≤ hi).
+        // Upper-bound rows (legacy mode only): x'_col + slack = ub
+        // (ub ≥ 0 because lo ≤ hi).
         let mut ub_vars = Vec::with_capacity(ub_rows.len());
         for (k, &(col, rhs, var)) in ub_rows.iter().enumerate() {
             let i = n_user_rows + k;
@@ -489,21 +609,56 @@ impl Prepared {
             cols[col].push((i, 1.0));
             let s = cols.len();
             cols.push(Vec::new());
+            col_upper.push(f64::INFINITY);
             costs.push(0.0);
             cols[s].push((i, 1.0));
+            row_slack.push(Some(s));
             ub_vars.push(var);
         }
 
+        let row_has_shift = model
+            .rows()
+            .iter()
+            .map(|r| {
+                r.terms
+                    .iter()
+                    .any(|&(user_j, _)| recover[user_j].shift() != 0.0)
+            })
+            .collect();
+
         Ok(Prepared {
-            cols,
+            cols: Csc::from_columns(&cols),
+            row_slack,
+            upper: col_upper,
+            native_bounds,
             b,
             costs,
             obj_offset,
             negated,
             recover,
             row_map,
+            row_has_shift,
             ub_vars,
         })
+    }
+
+    /// Standardizes a prospective rhs value for user row `row` (terms from
+    /// `model`, shifts from this standard form) without touching any
+    /// state: returns `(standardized_row_index, value)`. Exactly the
+    /// arithmetic of [`Prepared::refresh_row_rhs`]: rows without shifted
+    /// variables skip the term walk entirely (subtracting an exact `0.0`
+    /// per term is the identity).
+    pub(crate) fn standardized_rhs(&self, model: &Model, row: usize, rhs: f64) -> (usize, f64) {
+        let (i, sign) = self.row_map[row];
+        if !self.row_has_shift[row] {
+            return (i, rhs * sign);
+        }
+        let r = &model.rows()[row];
+        let mut v = rhs;
+        for &(user_j, coeff) in &r.terms {
+            v -= coeff * self.recover[user_j].shift();
+        }
+        (i, v * sign)
     }
 
     /// Re-derives the standardized right-hand side of one user row from the
@@ -512,24 +667,23 @@ impl Prepared {
     /// therefore leave `b[row] < 0`; the solver paths accept that (signed
     /// artificials cold, dual simplex warm).
     pub(crate) fn refresh_row_rhs(&mut self, model: &Model, row: usize) {
-        let r = &model.rows()[row];
-        let mut rhs = r.rhs;
-        for &(user_j, coeff) in &r.terms {
-            rhs -= coeff * self.recover[user_j].shift();
-        }
-        let (i, sign) = self.row_map[row];
-        self.b[i] = rhs * sign;
+        let (i, v) = self.standardized_rhs(model, row, model.rows()[row].rhs);
+        self.b[i] = v;
     }
 
-    /// Re-derives shifts, the objective offset, and the whole standardized
-    /// rhs vector from the model's current bounds and row right-hand
-    /// sides. The *pattern* of each variable's bounds (which sides are
-    /// finite) must be unchanged since construction; callers enforce this.
+    /// Re-derives shifts, the objective offset, native column upper
+    /// bounds, and the whole standardized rhs vector from the model's
+    /// current bounds and row right-hand sides. The *pattern* of each
+    /// variable's bounds (which sides are finite) must be unchanged since
+    /// construction; callers enforce this.
     pub(crate) fn refresh_bounds(&mut self, model: &Model) {
         let (lower, upper) = model.bounds();
         for j in 0..lower.len() {
-            if let Recover::Shifted { sign, shift, .. } = &mut self.recover[j] {
+            if let Recover::Shifted { sign, shift, col } = &mut self.recover[j] {
                 *shift = if *sign >= 0.0 { lower[j] } else { upper[j] };
+                if self.native_bounds && *sign >= 0.0 && upper[j].is_finite() {
+                    self.upper[*col] = upper[j] - lower[j];
+                }
             }
         }
         self.obj_offset = self
@@ -540,6 +694,14 @@ impl Prepared {
                 Recover::Split { .. } => 0.0,
             })
             .sum();
+        // Bound moves change which rows see a shifted variable.
+        let recover = &self.recover;
+        for (flag, r) in self.row_has_shift.iter_mut().zip(model.rows()) {
+            *flag = r
+                .terms
+                .iter()
+                .any(|&(user_j, _)| recover[user_j].shift() != 0.0);
+        }
         for row in 0..model.rows().len() {
             self.refresh_row_rhs(model, row);
         }
@@ -593,7 +755,7 @@ mod tests {
         // min x, x ≥ 2 (lower bound) → offset 2, column cost 1.
         let mut m = Model::new(Sense::Minimize);
         let _ = m.add_var("x", 2.0, f64::INFINITY, 1.0);
-        let p = Prepared::from_model(&m).unwrap();
+        let p = Prepared::from_model(&m, false).unwrap();
         assert_eq!(p.obj_offset, 2.0);
         assert_eq!(p.costs, vec![1.0]);
     }
@@ -602,7 +764,7 @@ mod tests {
     fn prepared_splits_free_vars() {
         let mut m = Model::new(Sense::Minimize);
         let _ = m.add_var("x", f64::NEG_INFINITY, f64::INFINITY, 1.0);
-        let p = Prepared::from_model(&m).unwrap();
+        let p = Prepared::from_model(&m, false).unwrap();
         assert_eq!(p.costs, vec![1.0, -1.0]);
         assert!(matches!(p.recover[0], Recover::Split { .. }));
     }
@@ -612,15 +774,39 @@ mod tests {
         let mut m = Model::new(Sense::Minimize);
         let x = m.add_var("x", 0.0, 5.0, 1.0);
         let _ = x;
-        let p = Prepared::from_model(&m).unwrap();
+        let p = Prepared::from_model(&m, false).unwrap();
         assert_eq!(p.b, vec![5.0]);
+        assert_eq!(p.upper, vec![f64::INFINITY, f64::INFINITY]);
+    }
+
+    #[test]
+    fn prepared_native_bounds_skip_upper_rows() {
+        // Native mode: the same model has zero rows and a column bound of
+        // 5 instead of a ub row plus its slack.
+        let mut m = Model::new(Sense::Minimize);
+        let _ = m.add_var("x", 0.0, 5.0, 1.0);
+        let p = Prepared::from_model(&m, true).unwrap();
+        assert!(p.b.is_empty());
+        assert_eq!(p.upper, vec![5.0]);
+        assert!(p.ub_vars.is_empty());
+        assert_eq!(p.cols.num_cols(), 1);
+    }
+
+    #[test]
+    fn prepared_native_bound_is_shift_relative() {
+        // 2 ≤ x ≤ 7 → column x' = x - 2 with native bound 5.
+        let mut m = Model::new(Sense::Minimize);
+        let _ = m.add_var("x", 2.0, 7.0, 1.0);
+        let p = Prepared::from_model(&m, true).unwrap();
+        assert_eq!(p.upper, vec![5.0]);
+        assert_eq!(p.obj_offset, 2.0);
     }
 
     #[test]
     fn prepared_negates_for_maximize() {
         let mut m = Model::new(Sense::Maximize);
         let _ = m.add_var("x", 0.0, 1.0, 3.0);
-        let p = Prepared::from_model(&m).unwrap();
+        let p = Prepared::from_model(&m, false).unwrap();
         assert_eq!(p.costs[0], -3.0);
         assert!(p.negated);
     }
@@ -631,7 +817,29 @@ mod tests {
         let mut m = Model::new(Sense::Minimize);
         let x = m.add_var("x", -5.0, f64::INFINITY, 1.0);
         m.add_le(&[(x, 1.0)], -1.0);
-        let p = Prepared::from_model(&m).unwrap();
+        let p = Prepared::from_model(&m, false).unwrap();
         assert_eq!(p.b[0], 4.0);
+    }
+
+    #[test]
+    fn csc_roundtrips_builder_columns() {
+        let cols = vec![vec![(0, 1.0), (2, -3.0)], vec![], vec![(1, 2.0)]];
+        let csc = Csc::from_columns(&cols);
+        assert_eq!(csc.num_cols(), 3);
+        assert_eq!(csc.col(0), (&[0usize, 2][..], &[1.0, -3.0][..]));
+        assert_eq!(csc.col(1), (&[][..], &[][..]));
+        assert_eq!(csc.col(2), (&[1usize][..], &[2.0][..]));
+    }
+
+    #[test]
+    fn refresh_bounds_updates_native_upper() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", 1.0, 4.0, 1.0);
+        let mut p = Prepared::from_model(&m, true).unwrap();
+        assert_eq!(p.upper, vec![3.0]);
+        m.set_var_bounds(x, 0.5, 6.0);
+        p.refresh_bounds(&m);
+        assert_eq!(p.upper, vec![5.5]);
+        assert_eq!(p.obj_offset, 0.5);
     }
 }

@@ -1,29 +1,43 @@
 //! Two-phase revised simplex over a pluggable basis representation, plus
 //! the dual-simplex reoptimizer used for warm starts.
 //!
-//! The pivot *logic* (pricing, ratio test, Bland switch, refactorization
-//! cadence) lives once in [`run_phase`]/[`run_dual`]; the basis algebra is
-//! abstracted behind [`BasisRepr`] with two implementations:
+//! The pivot *logic* (ratio tests, Bland switch, refactorization cadence,
+//! bound flips) lives once in [`run_phase`]/[`resolve_dual`]; entering
+//! pricing is delegated to `crate::pricing` ([`Pricing::Dantzig`] or
+//! devex candidate lists) and the basis algebra is abstracted behind
+//! [`BasisRepr`] with two implementations:
 //!
 //! * [`BasisKind::Factored`] — sparse LU at refactor points with
 //!   product-form eta updates between them (the `crate::factor` module);
-//!   the default of the warm-start layer ([`crate::SimplexInstance`] via
-//!   sweep drivers);
+//!   what the warm-start layer uses ([`crate::SimplexInstance`] via
+//!   sweep drivers, through [`SolverOptions::factored`]);
 //! * [`BasisKind::Dense`] — the seed's explicit `B⁻¹`, still the
 //!   [`SolverOptions::default`] for one-shot `Model::solve` calls so their
 //!   pivot paths (and the repository's pinned golden figures) stay
 //!   bit-for-bit identical to the seed; alternate optimal vertices chosen
 //!   under different floating-point noise would otherwise move goldens.
 //!
-//! Both representations implement the same interface and solve to the same
+//! Finite variable upper bounds are handled in-solver when
+//! `SolverOptions::native_bounds` is set: nonbasic columns carry an
+//! at-lower/at-upper flag folded into an effective rhs
+//! (`b_eff = b − Σ u_j·a_j` over at-upper columns), the primal ratio test
+//! watches both bounds of every basic variable plus the entering column's
+//! own range (a *bound flip* when that binds first — no pivot), and the
+//! dual ratio test admits entering candidates from either bound with the
+//! matching sign condition.
+//!
+//! All configurations implement the same interface and solve to the same
 //! objectives (cross-checked by unit tests and the `proptest` corpus);
 //! they may legitimately land on *different optimal vertices* of
 //! degenerate LPs, which is why the default is per-layer rather than
 //! global.
 
 #![allow(clippy::needless_range_loop)] // index loops mirror the matrix math
+use std::borrow::Cow;
+
 use crate::factor::{Eta, SparseLu};
-use crate::model::Prepared;
+use crate::model::{Csc, Prepared};
+use crate::pricing::{Pricer, Pricing};
 use crate::solution::SolveStats;
 use crate::{LpError, Solution};
 
@@ -58,6 +72,19 @@ pub struct SolverOptions {
     pub degenerate_switch: usize,
     /// Basis-inverse representation.
     pub basis: BasisKind,
+    /// Entering-variable pricing rule.
+    pub pricing: Pricing,
+    /// Handle finite variable upper bounds in-solver (bounded-variable
+    /// ratio test, bound flips) instead of materializing them as extra
+    /// `≤` rows. Shrinks the row count — and with it every basis
+    /// factorization — by one row per box-bounded variable.
+    pub native_bounds: bool,
+    /// Start cold solves from a slack crash basis: rows whose slack can
+    /// sit basic at a feasible value skip their artificial entirely, so
+    /// phase 1 only has to drive out artificials of equality (and
+    /// sign-flipped) rows. Off by default — the all-artificial start is
+    /// the seed's recorded pivot path.
+    pub crash_basis: bool,
 }
 
 impl Default for SolverOptions {
@@ -68,18 +95,26 @@ impl Default for SolverOptions {
             refactor_every: 128,
             degenerate_switch: 40,
             basis: BasisKind::Dense,
+            pricing: Pricing::Dantzig,
+            native_bounds: false,
+            crash_basis: false,
         }
     }
 }
 
 impl SolverOptions {
-    /// Default options with the sparse-LU basis representation — what the
-    /// warm-start sweep layers use. Kept separate from [`Default`] because
-    /// the two representations can pick different (equally optimal)
-    /// vertices of degenerate LPs, and one-shot solves pin the seed's.
+    /// The performance configuration of the warm-start sweep layers:
+    /// sparse-LU basis representation, devex partial pricing, native
+    /// bounded variables, and a slack crash start. Kept separate from
+    /// [`Default`] because different pivot paths can pick different
+    /// (equally optimal) vertices of degenerate LPs, and one-shot solves
+    /// pin the seed's exact vertices.
     pub fn factored() -> Self {
         SolverOptions {
             basis: BasisKind::Factored,
+            pricing: Pricing::Devex,
+            native_bounds: true,
+            crash_basis: true,
             ..SolverOptions::default()
         }
     }
@@ -87,10 +122,65 @@ impl SolverOptions {
 
 /// A column of the standard-form matrix.
 enum ColRef<'a> {
-    Sparse(&'a [(usize, f64)]),
+    /// CSC column as parallel `(rows, values)` slices.
+    Sparse(&'a [usize], &'a [f64]),
     /// Artificial column `s · e_r` (`s = ±1`, matching the sign of `b_r` at
     /// phase-1 start so the artificial starts at `|b_r| ≥ 0`).
     Unit(usize, f64),
+}
+
+/// A recorded warm-start point: the optimal basis of a previous solve plus
+/// the bound status of every nonbasic structural column (which ones sat at
+/// their finite upper bound). Both are needed to reconstruct the basic
+/// solution under native bounded variables.
+#[derive(Debug, Clone)]
+pub(crate) struct WarmStart {
+    /// Basic column per row (indices ≥ structural count are artificials).
+    pub basis: Vec<usize>,
+    /// Nonbasic-at-upper-bound flag per structural column.
+    pub at_upper: Vec<bool>,
+    /// Basis-dependent solver state shared by re-solves (see
+    /// [`prime_warm`]); `None` means each re-solve recomputes it.
+    pub cache: Option<WarmCache>,
+}
+
+/// Cached per-basis dual-simplex start state: the refactorized basis
+/// representation and the structural reduced costs. Both depend only on
+/// `(columns, costs, basis)` — never on rhs or bound *values* — so one
+/// computation serves every parameter point re-solved from the same
+/// basis. Cloning it (per sweep point) copies the LU/inverse arrays,
+/// which is far cheaper than refactorizing.
+#[derive(Debug, Clone)]
+pub(crate) struct WarmCache {
+    repr: BasisRepr,
+    rc: Vec<f64>,
+}
+
+/// Computes the [`WarmCache`] for a warm-start point, exactly as the next
+/// [`resolve_dual`] would (same refactorization, same reduced-cost
+/// arithmetic — re-solve results are bit-identical with or without the
+/// cache). No-op if a cache is already present, the basis still contains
+/// artificials (re-solves fall back to cold there), or factorization
+/// fails (the re-solve will discover that itself and fall back).
+pub(crate) fn prime_warm(prepared: &Prepared, options: &SolverOptions, warm: &mut WarmStart) {
+    if warm.cache.is_some() {
+        return;
+    }
+    let n_cols = prepared.cols.num_cols();
+    if warm.basis.iter().any(|&j| j >= n_cols) {
+        return;
+    }
+    let Ok((t, _)) = State::from_basis(prepared, &prepared.b, warm, options) else {
+        return;
+    };
+    let costs = &prepared.costs;
+    let cost_fn = move |j: usize| if j < costs.len() { costs[j] } else { 0.0 };
+    let y = t.duals(&cost_fn);
+    let rc = (0..n_cols)
+        .map(|j| t.reduced_cost(j, &y, &cost_fn))
+        .collect();
+    let repr = t.repr.into_owned();
+    warm.cache = Some(WarmCache { repr, rc });
 }
 
 /// Dense explicit inverse (the seed representation).
@@ -109,6 +199,7 @@ struct FactoredInv {
 }
 
 #[derive(Debug, Clone)]
+#[allow(clippy::large_enum_variant)] // one live variant per solve; never stored in bulk
 enum BasisRepr {
     Dense(DenseInv),
     Factored(FactoredInv),
@@ -116,181 +207,318 @@ enum BasisRepr {
 
 /// Internal simplex state over the standard-form problem.
 pub(crate) struct State<'a> {
-    /// Sparse columns of A (structural + slack), then logical artificials.
-    cols: &'a [Vec<(usize, f64)>],
+    /// CSC columns of A (structural + slack), then logical artificials.
+    cols: &'a Csc,
+    /// Per-structural-column upper bound (`+∞` when unbounded).
+    upper: &'a [f64],
     n_arts: usize,
     m: usize,
-    b: &'a [f64],
+    /// Effective rhs: `b − Σ_{j at upper} u_j·a_j`. Equal to `b` whenever
+    /// no column is flagged at its upper bound (in particular always, when
+    /// upper bounds are materialized as rows).
+    b_eff: Vec<f64>,
+    /// Nonbasic-at-upper-bound flag per structural column (basic columns
+    /// are never flagged; artificials have no upper bound).
+    at_upper: Vec<bool>,
     /// Sign of `b` per row at construction, giving each artificial column
     /// `s·e_r` so the all-artificial start is primal feasible even when a
     /// warm instance carries a negative standardized rhs.
     art_sign: Vec<f64>,
-    /// Basic column per row (indices ≥ `cols.len()` denote artificials).
+    /// Basic column per row (indices ≥ `cols.num_cols()` denote
+    /// artificials).
     basis: Vec<usize>,
-    repr: BasisRepr,
+    /// Basis representation. Borrowed (from a shared [`WarmCache`]) until
+    /// the first pivot/refactorization clones it — zero-pivot re-solves
+    /// never copy the factorization at all.
+    repr: Cow<'a, BasisRepr>,
     tol: f64,
     /// Pivot count across all phases run on this state.
     pub(crate) iterations: usize,
     /// Factorization rebuilds (demanded by cadence or construction).
     pub(crate) refactors: usize,
+    /// Nonbasic bound flips (no basis change).
+    pub(crate) bound_flips: usize,
+    /// Full pricing passes over every column.
+    pub(crate) full_prices: usize,
 }
 
 impl<'a> State<'a> {
-    /// Fresh all-artificial state (cold start).
-    fn new(cols: &'a [Vec<(usize, f64)>], b: &'a [f64], options: &SolverOptions) -> Self {
+    /// Fresh cold-start state, every structural column nonbasic at its
+    /// lower bound. Without `crash_basis` every row starts on its
+    /// artificial (the seed pivot path); with it, rows whose slack can
+    /// sit basic at a feasible value (`b_i ≥ 0` and a `+1` singleton
+    /// slack) start on the slack instead.
+    fn new(prepared: &'a Prepared, b: &[f64], options: &SolverOptions) -> Result<Self, LpError> {
+        let cols = &prepared.cols;
         let m = b.len();
         let art_sign: Vec<f64> = b
             .iter()
             .map(|&v| if v < 0.0 { -1.0 } else { 1.0 })
             .collect();
-        let basis = (0..m).map(|i| cols.len() + i).collect();
-        let repr = match options.basis {
-            BasisKind::Dense => {
-                let mut binv = vec![0.0; m * m];
-                for i in 0..m {
-                    binv[i * m + i] = art_sign[i];
+        let mut crashed = false;
+        let basis: Vec<usize> = (0..m)
+            .map(|i| {
+                if options.crash_basis && b[i] >= 0.0 {
+                    if let Some(s) = prepared.row_slack[i] {
+                        crashed = true;
+                        return s;
+                    }
                 }
-                BasisRepr::Dense(DenseInv { binv })
-            }
-            BasisKind::Factored => BasisRepr::Factored(FactoredInv {
-                lu: SparseLu::factor(m, 0.0, |k, out| out.push((k, art_sign[k])))
-                    .expect("signed identity is nonsingular"),
-                etas: Vec::new(),
-            }),
-        };
-        State {
-            cols,
-            n_arts: m,
-            m,
-            b,
-            art_sign,
-            basis,
-            repr,
-            tol: options.tol,
-            iterations: 0,
-            refactors: 0,
-        }
-    }
-
-    /// State over an existing basis (warm start). Fails with
-    /// [`LpError::Singular`] if the recorded basis cannot be factorized.
-    fn from_basis(
-        cols: &'a [Vec<(usize, f64)>],
-        b: &'a [f64],
-        basis: Vec<usize>,
-        options: &SolverOptions,
-    ) -> Result<Self, LpError> {
-        let m = b.len();
-        assert_eq!(basis.len(), m, "basis size must match row count");
-        let art_sign: Vec<f64> = b
-            .iter()
-            .map(|&v| if v < 0.0 { -1.0 } else { 1.0 })
+                cols.num_cols() + i
+            })
             .collect();
-        // A placeholder representation: `refactor` below fills it in from
-        // the recorded basis before any solve touches it.
-        let repr = match options.basis {
-            BasisKind::Dense => BasisRepr::Dense(DenseInv {
-                binv: vec![0.0; m * m],
-            }),
-            BasisKind::Factored => BasisRepr::Factored(FactoredInv {
-                lu: SparseLu::placeholder(),
-                etas: Vec::new(),
-            }),
+        let repr = if crashed {
+            // Mixed slack/artificial start: build via the generic
+            // refactorization below.
+            match options.basis {
+                BasisKind::Dense => BasisRepr::Dense(DenseInv {
+                    binv: vec![0.0; m * m],
+                }),
+                BasisKind::Factored => BasisRepr::Factored(FactoredInv {
+                    lu: SparseLu::placeholder(),
+                    etas: Vec::new(),
+                }),
+            }
+        } else {
+            // All-artificial: the signed identity, built directly (no
+            // refactorization counted — the seed behavior).
+            match options.basis {
+                BasisKind::Dense => {
+                    let mut binv = vec![0.0; m * m];
+                    for i in 0..m {
+                        binv[i * m + i] = art_sign[i];
+                    }
+                    BasisRepr::Dense(DenseInv { binv })
+                }
+                BasisKind::Factored => BasisRepr::Factored(FactoredInv {
+                    lu: SparseLu::factor(m, 0.0, |k, out| out.push((k, art_sign[k])))
+                        .expect("signed identity is nonsingular"),
+                    etas: Vec::new(),
+                }),
+            }
         };
         let mut state = State {
             cols,
+            upper: &prepared.upper,
             n_arts: m,
             m,
-            b,
+            b_eff: b.to_vec(),
+            at_upper: vec![false; cols.num_cols()],
+            art_sign,
+            basis,
+            repr: Cow::Owned(repr),
+            tol: options.tol,
+            iterations: 0,
+            refactors: 0,
+            bound_flips: 0,
+            full_prices: 0,
+        };
+        if crashed {
+            state.refactor()?;
+        }
+        Ok(state)
+    }
+
+    /// State over an existing basis + bound status (warm start). When the
+    /// warm point carries a [`WarmCache`], its representation is adopted
+    /// directly (no refactorization) and the cached reduced costs are
+    /// returned alongside. Fails with [`LpError::Singular`] if the
+    /// recorded basis cannot be factorized.
+    fn from_basis(
+        prepared: &'a Prepared,
+        b: &[f64],
+        warm: &'a WarmStart,
+        options: &SolverOptions,
+    ) -> Result<(Self, Option<Vec<f64>>), LpError> {
+        let cols = &prepared.cols;
+        let upper = &prepared.upper;
+        let m = b.len();
+        let basis = warm.basis.clone();
+        let at_upper = warm.at_upper.clone();
+        assert_eq!(basis.len(), m, "basis size must match row count");
+        assert_eq!(at_upper.len(), cols.num_cols(), "bound flags per column");
+        let art_sign: Vec<f64> = b
+            .iter()
+            .map(|&v| if v < 0.0 { -1.0 } else { 1.0 })
+            .collect();
+        // Effective rhs folds in every nonbasic-at-upper contribution.
+        let mut b_eff = b.to_vec();
+        for j in 0..cols.num_cols() {
+            if at_upper[j] {
+                let (rows, vals) = cols.col(j);
+                for (&row, &coeff) in rows.iter().zip(vals) {
+                    b_eff[row] -= upper[j] * coeff;
+                }
+            }
+        }
+        let (repr, cached_rc, need_refactor) = match &warm.cache {
+            Some(WarmCache { repr, rc }) => (Cow::Borrowed(repr), Some(rc.clone()), false),
+            None => {
+                // A placeholder representation: `refactor` below fills it
+                // in from the recorded basis before any solve touches it.
+                let repr = match options.basis {
+                    BasisKind::Dense => BasisRepr::Dense(DenseInv {
+                        binv: vec![0.0; m * m],
+                    }),
+                    BasisKind::Factored => BasisRepr::Factored(FactoredInv {
+                        lu: SparseLu::placeholder(),
+                        etas: Vec::new(),
+                    }),
+                };
+                (Cow::Owned(repr), None, true)
+            }
+        };
+        let mut state = State {
+            cols,
+            upper,
+            n_arts: m,
+            m,
+            b_eff,
+            at_upper,
             art_sign,
             basis,
             repr,
             tol: options.tol,
             iterations: 0,
             refactors: 0,
+            bound_flips: 0,
+            full_prices: 0,
         };
-        state.refactor()?;
-        Ok(state)
+        if need_refactor {
+            state.refactor()?;
+        }
+        Ok((state, cached_rc))
     }
 
     /// The column of A for index `j` (artificials are signed unit columns).
     fn column(&self, j: usize) -> ColRef<'_> {
-        if j < self.cols.len() {
-            ColRef::Sparse(&self.cols[j])
+        if j < self.cols.num_cols() {
+            let (rows, vals) = self.cols.col(j);
+            ColRef::Sparse(rows, vals)
         } else {
-            let r = j - self.cols.len();
+            let r = j - self.cols.num_cols();
             ColRef::Unit(r, self.art_sign[r])
         }
     }
 
-    /// `B⁻¹ · a_j`.
-    fn ftran(&self, j: usize) -> Vec<f64> {
+    /// Upper bound of column `j` (`+∞` for artificials).
+    pub(crate) fn upper_of(&self, j: usize) -> f64 {
+        if j < self.upper.len() {
+            self.upper[j]
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Whether nonbasic column `j` currently sits at its upper bound.
+    pub(crate) fn is_at_upper(&self, j: usize) -> bool {
+        j < self.at_upper.len() && self.at_upper[j]
+    }
+
+    /// The basic column of row `r` (pricing needs the leaving variable).
+    pub(crate) fn basis_col(&self, r: usize) -> usize {
+        self.basis[r]
+    }
+
+    /// Flags structural column `j` as nonbasic-at-upper, folding its
+    /// contribution into the effective rhs.
+    fn set_at_upper(&mut self, j: usize) {
+        debug_assert!(!self.at_upper[j]);
+        self.at_upper[j] = true;
+        let u = self.upper[j];
+        let (rows, vals) = self.cols.col(j);
+        for (&row, &coeff) in rows.iter().zip(vals) {
+            self.b_eff[row] -= u * coeff;
+        }
+    }
+
+    /// Clears the nonbasic-at-upper flag of structural column `j`,
+    /// restoring its contribution to the effective rhs.
+    fn clear_at_upper(&mut self, j: usize) {
+        debug_assert!(self.at_upper[j]);
+        self.at_upper[j] = false;
+        let u = self.upper[j];
+        let (rows, vals) = self.cols.col(j);
+        for (&row, &coeff) in rows.iter().zip(vals) {
+            self.b_eff[row] += u * coeff;
+        }
+    }
+
+    /// Jumps nonbasic column `j` to its other bound (no basis change).
+    fn flip_bound(&mut self, j: usize) {
+        if self.at_upper[j] {
+            self.clear_at_upper(j);
+        } else {
+            self.set_at_upper(j);
+        }
+        self.bound_flips += 1;
+    }
+
+    /// `B⁻¹ · a_j` into caller-provided buffers (`scratch` is working
+    /// space, `out` receives the result) — same arithmetic as
+    /// [`State::ftran`], no per-call allocation.
+    fn ftran_into(&self, j: usize, scratch: &mut Vec<f64>, out: &mut Vec<f64>) {
         let m = self.m;
-        match (&self.repr, self.column(j)) {
+        match (self.repr.as_ref(), self.column(j)) {
             (BasisRepr::Dense(d), ColRef::Unit(r, s)) => {
-                (0..m).map(|i| d.binv[i * m + r] * s).collect()
+                out.clear();
+                out.extend((0..m).map(|i| d.binv[i * m + r] * s));
             }
-            (BasisRepr::Dense(d), ColRef::Sparse(entries)) => {
-                let mut out = vec![0.0; m];
-                for &(row, coeff) in entries {
+            (BasisRepr::Dense(d), ColRef::Sparse(rows, vals)) => {
+                out.clear();
+                out.resize(m, 0.0);
+                for (&row, &coeff) in rows.iter().zip(vals) {
                     for i in 0..m {
                         out[i] += d.binv[i * m + row] * coeff;
                     }
                 }
-                out
             }
             (BasisRepr::Factored(f), col) => {
-                let mut work = vec![0.0; m];
+                scratch.clear();
+                scratch.resize(m, 0.0);
                 match col {
-                    ColRef::Unit(r, s) => work[r] = s,
-                    ColRef::Sparse(entries) => {
-                        for &(row, coeff) in entries {
-                            work[row] = coeff;
+                    ColRef::Unit(r, s) => scratch[r] = s,
+                    ColRef::Sparse(rows, vals) => {
+                        for (&row, &coeff) in rows.iter().zip(vals) {
+                            scratch[row] = coeff;
                         }
                     }
                 }
-                let mut d = f.lu.solve_consuming(&mut work);
+                f.lu.solve_consuming_into(scratch, out);
                 for eta in &f.etas {
-                    eta.apply(&mut d);
+                    eta.apply(out);
                 }
-                d
             }
         }
     }
 
-    /// Current basic solution `x_B = B⁻¹ b`.
-    fn basic_values(&self) -> Vec<f64> {
+    /// [`State::btran_unit`] into caller-provided buffers.
+    fn btran_unit_into(&self, r: usize, scratch: &mut Vec<f64>, out: &mut Vec<f64>) {
         let m = self.m;
-        match &self.repr {
+        match self.repr.as_ref() {
             BasisRepr::Dense(d) => {
-                let mut x = vec![0.0; m];
-                for i in 0..m {
-                    let mut s = 0.0;
-                    for k in 0..m {
-                        s += d.binv[i * m + k] * self.b[k];
-                    }
-                    x[i] = s;
-                }
-                x
+                out.clear();
+                out.extend_from_slice(&d.binv[r * m..(r + 1) * m]);
             }
             BasisRepr::Factored(f) => {
-                let mut work = self.b.to_vec();
-                let mut x = f.lu.solve_consuming(&mut work);
-                for eta in &f.etas {
-                    eta.apply(&mut x);
+                scratch.clear();
+                scratch.resize(m, 0.0);
+                scratch[r] = 1.0;
+                for eta in f.etas.iter().rev() {
+                    eta.apply_transpose(scratch);
                 }
-                x
+                f.lu.solve_transpose_into(scratch, out);
             }
         }
     }
 
-    /// `y = c_Bᵀ · B⁻¹` for the given cost accessor (keyed by constraint
-    /// row).
-    fn duals(&self, cost: &dyn Fn(usize) -> f64) -> Vec<f64> {
+    /// [`State::duals`] into caller-provided buffers.
+    fn duals_into(&self, cost: &dyn Fn(usize) -> f64, scratch: &mut Vec<f64>, y: &mut Vec<f64>) {
         let m = self.m;
-        match &self.repr {
+        match self.repr.as_ref() {
             BasisRepr::Dense(d) => {
-                let mut y = vec![0.0; m];
+                y.clear();
+                y.resize(m, 0.0);
                 for (i, &bj) in self.basis.iter().enumerate() {
                     let cb = cost(bj);
                     if cb != 0.0 {
@@ -299,49 +527,86 @@ impl<'a> State<'a> {
                         }
                     }
                 }
-                y
             }
-            BasisRepr::Factored(_) => {
-                let mut c: Vec<f64> = self.basis.iter().map(|&bj| cost(bj)).collect();
-                self.btran(&mut c)
+            BasisRepr::Factored(f) => {
+                scratch.clear();
+                scratch.extend(self.basis.iter().map(|&bj| cost(bj)));
+                for eta in f.etas.iter().rev() {
+                    eta.apply_transpose(scratch);
+                }
+                f.lu.solve_transpose_into(scratch, y);
             }
         }
+    }
+
+    /// [`State::basic_values`] into caller-provided buffers.
+    fn basic_values_into(&self, scratch: &mut Vec<f64>, x: &mut Vec<f64>) {
+        let m = self.m;
+        match self.repr.as_ref() {
+            BasisRepr::Dense(d) => {
+                x.clear();
+                x.resize(m, 0.0);
+                for i in 0..m {
+                    let mut s = 0.0;
+                    for k in 0..m {
+                        s += d.binv[i * m + k] * self.b_eff[k];
+                    }
+                    x[i] = s;
+                }
+            }
+            BasisRepr::Factored(f) => {
+                scratch.clear();
+                scratch.extend_from_slice(&self.b_eff);
+                f.lu.solve_consuming_into(scratch, x);
+                for eta in &f.etas {
+                    eta.apply(x);
+                }
+            }
+        }
+    }
+
+    /// `B⁻¹ · a_j`.
+    fn ftran(&self, j: usize) -> Vec<f64> {
+        let mut scratch = Vec::new();
+        let mut out = Vec::new();
+        self.ftran_into(j, &mut scratch, &mut out);
+        out
+    }
+
+    /// Current basic solution `x_B = B⁻¹ b_eff` (nonbasic-at-upper
+    /// contributions already folded into the effective rhs).
+    fn basic_values(&self) -> Vec<f64> {
+        let mut scratch = Vec::new();
+        let mut x = Vec::new();
+        self.basic_values_into(&mut scratch, &mut x);
+        x
+    }
+
+    /// `y = c_Bᵀ · B⁻¹` for the given cost accessor (keyed by constraint
+    /// row).
+    fn duals(&self, cost: &dyn Fn(usize) -> f64) -> Vec<f64> {
+        let mut scratch = Vec::new();
+        let mut y = Vec::new();
+        self.duals_into(cost, &mut scratch, &mut y);
+        y
     }
 
     /// Row `r` of `B⁻¹` (the dual-simplex pricing vector `ρ = B⁻ᵀ e_r`),
     /// keyed by constraint row.
-    fn btran_unit(&self, r: usize) -> Vec<f64> {
-        let m = self.m;
-        match &self.repr {
-            BasisRepr::Dense(d) => d.binv[r * m..(r + 1) * m].to_vec(),
-            BasisRepr::Factored(_) => {
-                let mut c = vec![0.0; m];
-                c[r] = 1.0;
-                self.btran(&mut c)
-            }
-        }
-    }
-
-    /// Factored-path btran: `B⁻ᵀ c` for a position-keyed `c` (consumed).
-    fn btran(&self, c: &mut [f64]) -> Vec<f64> {
-        match &self.repr {
-            BasisRepr::Factored(f) => {
-                for eta in f.etas.iter().rev() {
-                    eta.apply_transpose(c);
-                }
-                f.lu.solve_transpose(c)
-            }
-            BasisRepr::Dense(_) => unreachable!("btran is factored-only"),
-        }
+    pub(crate) fn btran_unit(&self, r: usize) -> Vec<f64> {
+        let mut scratch = Vec::new();
+        let mut out = Vec::new();
+        self.btran_unit_into(r, &mut scratch, &mut out);
+        out
     }
 
     /// Reduced cost of column `j` given duals `y`.
-    fn reduced_cost(&self, j: usize, y: &[f64], cost: &dyn Fn(usize) -> f64) -> f64 {
+    pub(crate) fn reduced_cost(&self, j: usize, y: &[f64], cost: &dyn Fn(usize) -> f64) -> f64 {
         let mut rc = cost(j);
         match self.column(j) {
             ColRef::Unit(r, s) => rc -= y[r] * s,
-            ColRef::Sparse(entries) => {
-                for &(row, coeff) in entries {
+            ColRef::Sparse(rows, vals) => {
+                for (&row, &coeff) in rows.iter().zip(vals) {
                     rc -= y[row] * coeff;
                 }
             }
@@ -349,11 +614,13 @@ impl<'a> State<'a> {
         rc
     }
 
-    /// `ρ · a_j` for dual-simplex pricing.
-    fn row_coeff(&self, j: usize, rho: &[f64]) -> f64 {
+    /// `ρ · a_j` for dual-simplex pricing and devex weight updates.
+    pub(crate) fn row_coeff(&self, j: usize, rho: &[f64]) -> f64 {
         match self.column(j) {
             ColRef::Unit(r, s) => rho[r] * s,
-            ColRef::Sparse(entries) => entries.iter().map(|&(row, c)| rho[row] * c).sum(),
+            ColRef::Sparse(rows, vals) => {
+                rows.iter().zip(vals).map(|(&row, &c)| rho[row] * c).sum()
+            }
         }
     }
 
@@ -363,7 +630,7 @@ impl<'a> State<'a> {
         let m = self.m;
         let dr = d[r];
         debug_assert!(dr.abs() > self.tol, "pivot on ~zero element");
-        match &mut self.repr {
+        match self.repr.to_mut() {
             BasisRepr::Dense(dense) => {
                 for i in 0..m {
                     if i == r {
@@ -394,18 +661,19 @@ impl<'a> State<'a> {
     fn refactor(&mut self) -> Result<(), LpError> {
         self.refactors += 1;
         let m = self.m;
-        match &mut self.repr {
+        match self.repr.to_mut() {
             BasisRepr::Dense(dense) => {
                 // Assemble B column by column, then invert via Gauss-Jordan
                 // with partial pivoting (the seed implementation).
                 let mut mat = vec![0.0; m * m]; // row-major B
                 for (pos, &j) in self.basis.iter().enumerate() {
-                    if j < self.cols.len() {
-                        for &(row, coeff) in &self.cols[j] {
+                    if j < self.cols.num_cols() {
+                        let (rows, vals) = self.cols.col(j);
+                        for (&row, &coeff) in rows.iter().zip(vals) {
                             mat[row * m + pos] = coeff;
                         }
                     } else {
-                        let r = j - self.cols.len();
+                        let r = j - self.cols.num_cols();
                         mat[r * m + pos] = self.art_sign[r];
                     }
                 }
@@ -459,10 +727,13 @@ impl<'a> State<'a> {
                 let art_sign = &self.art_sign;
                 f.lu = SparseLu::factor(m, self.tol * 1e-3, |k, out| {
                     let j = basis[k];
-                    if j < cols.len() {
-                        out.extend_from_slice(&cols[j]);
+                    if j < cols.num_cols() {
+                        let (rows, vals) = cols.col(j);
+                        for (&row, &coeff) in rows.iter().zip(vals) {
+                            out.push((row, coeff));
+                        }
                     } else {
-                        let r = j - cols.len();
+                        let r = j - cols.num_cols();
                         out.push((r, art_sign[r]));
                     }
                 })?;
@@ -483,7 +754,10 @@ enum PhaseEnd {
 /// costs.
 ///
 /// `allowed` filters which columns may enter (used to bar artificials in
-/// phase 2).
+/// phase 2). Handles native upper bounds: nonbasic columns may enter from
+/// either bound, the ratio test also watches basic variables climbing to
+/// *their* upper bounds, and an entering column whose own bound binds
+/// first just flips (no basis change).
 fn run_phase(
     t: &mut State<'_>,
     cost: &dyn Fn(usize) -> f64,
@@ -491,14 +765,22 @@ fn run_phase(
     options: &SolverOptions,
     iter_budget: &mut usize,
 ) -> Result<PhaseEnd, LpError> {
-    let n_total = t.cols.len() + t.n_arts;
+    let n_total = t.cols.num_cols() + t.n_arts;
+    let mut pricer = Pricer::new(options.pricing, n_total);
     let mut degenerate_run = 0usize;
     let mut bland = false;
     let mut since_refactor = 0usize;
     let mut total_iters = 0usize;
+    // Reused per-iteration buffers (no per-pivot allocation).
+    let mut y: Vec<f64> = Vec::new();
+    let mut x: Vec<f64> = Vec::new();
+    let mut d: Vec<f64> = Vec::new();
+    let mut scratch: Vec<f64> = Vec::new();
+    let mut in_basis: Vec<bool> = Vec::new();
 
-    loop {
+    let end = loop {
         if *iter_budget == 0 {
+            t.full_prices += pricer.full_prices();
             return Err(LpError::IterationLimit {
                 iterations: total_iters,
             });
@@ -506,58 +788,63 @@ fn run_phase(
         *iter_budget -= 1;
         total_iters += 1;
 
-        let y = t.duals(cost);
-        // Pricing.
-        let mut entering: Option<usize> = None;
-        let mut best_rc = -options.tol;
-        let in_basis = basis_mask(t, n_total);
-        for j in 0..n_total {
-            if in_basis[j] || !allowed(j) {
-                continue;
-            }
-            let rc = t.reduced_cost(j, &y, cost);
-            if bland {
-                if rc < -options.tol {
-                    entering = Some(j);
-                    break;
-                }
-            } else if rc < best_rc {
-                best_rc = rc;
-                entering = Some(j);
-            }
-        }
-        let Some(j) = entering else {
-            return Ok(PhaseEnd::Optimal);
+        t.duals_into(cost, &mut scratch, &mut y);
+        basis_mask_into(t, n_total, &mut in_basis);
+        let Some(j) = pricer.select(t, &y, cost, allowed, &in_basis, options.tol, bland) else {
+            break PhaseEnd::Optimal;
         };
+        // Direction sign: +1 entering upward from lower bound, −1 moving
+        // down from upper bound. Basic values change at rate −s·d.
+        let from_upper = t.is_at_upper(j);
+        let s = if from_upper { -1.0 } else { 1.0 };
 
-        let d = t.ftran(j);
-        let x = t.basic_values();
-        // Ratio test.
+        t.ftran_into(j, &mut scratch, &mut d);
+        t.basic_values_into(&mut scratch, &mut x);
+        // Ratio test over both bounds of every basic variable.
         let mut leave: Option<usize> = None;
+        let mut leave_to_upper = false;
         let mut theta = f64::INFINITY;
         for i in 0..t.m {
-            if d[i] > options.tol {
-                let ratio = (x[i].max(0.0)) / d[i];
-                let better = match leave {
-                    None => true,
-                    Some(l) => {
-                        ratio < theta - options.tol
-                            || (ratio < theta + options.tol
-                                && if bland {
-                                    t.basis[i] < t.basis[l]
-                                } else {
-                                    d[i].abs() > d[l].abs()
-                                })
-                    }
-                };
-                if better {
-                    theta = ratio;
-                    leave = Some(i);
+            let rate = s * d[i]; // decrease rate of x_i per unit step
+            let (ratio, to_upper) = if rate > options.tol {
+                ((x[i].max(0.0)) / rate, false)
+            } else if rate < -options.tol {
+                let ub = t.upper_of(t.basis[i]);
+                if ub.is_finite() {
+                    (((ub - x[i]).max(0.0)) / -rate, true)
+                } else {
+                    continue;
                 }
+            } else {
+                continue;
+            };
+            let better = match leave {
+                None => true,
+                Some(l) => {
+                    ratio < theta - options.tol
+                        || (ratio < theta + options.tol
+                            && if bland {
+                                t.basis[i] < t.basis[l]
+                            } else {
+                                d[i].abs() > d[l].abs()
+                            })
+                }
+            };
+            if better {
+                theta = ratio;
+                leave = Some(i);
+                leave_to_upper = to_upper;
             }
         }
+        // The entering column's own range can bind before any basic
+        // variable: a bound flip, no pivot.
+        let u_j = t.upper_of(j);
+        if u_j.is_finite() && u_j <= theta {
+            t.flip_bound(j);
+            continue;
+        }
         let Some(r) = leave else {
-            return Ok(PhaseEnd::Unbounded);
+            break PhaseEnd::Unbounded;
         };
 
         if theta <= options.tol {
@@ -570,83 +857,174 @@ fn run_phase(
         }
 
         t.iterations += 1;
+        pricer.on_pivot(t, r, j, &d, &in_basis);
+        if from_upper {
+            t.clear_at_upper(j);
+        }
+        let leaving = t.basis[r];
         t.pivot(r, j, &d);
+        if leave_to_upper {
+            t.set_at_upper(leaving);
+        }
         since_refactor += 1;
         if since_refactor >= options.refactor_every {
-            t.refactor()?;
+            if let Err(e) = t.refactor() {
+                t.full_prices += pricer.full_prices();
+                return Err(e);
+            }
             since_refactor = 0;
         }
-    }
+    };
+    t.full_prices += pricer.full_prices();
+    Ok(end)
 }
 
 fn basis_mask(t: &State<'_>, n_total: usize) -> Vec<bool> {
-    let mut mask = vec![false; n_total];
+    let mut mask = Vec::new();
+    basis_mask_into(t, n_total, &mut mask);
+    mask
+}
+
+fn basis_mask_into(t: &State<'_>, n_total: usize, mask: &mut Vec<bool>) {
+    mask.clear();
+    mask.resize(n_total, false);
     for &j in &t.basis {
         mask[j] = true;
     }
-    mask
 }
 
 /// Outcome of a dual-simplex reoptimization attempt.
 pub(crate) enum DualOutcome {
-    /// Reached primal feasibility (hence optimality): solution + basis.
-    Optimal(Solution, Vec<usize>),
+    /// Reached primal feasibility (hence optimality): solution + the
+    /// warm-start point it ended on.
+    Optimal(Solution, WarmStart),
     /// Dual unbounded ⇒ primal infeasible. Carries the (still dual
-    /// feasible) basis so later re-solves can stay warm.
-    Infeasible(Vec<usize>),
+    /// feasible) warm-start point so later re-solves can stay warm.
+    Infeasible(WarmStart),
     /// Numerical trouble or iteration budget exhausted; the caller should
     /// fall back to a cold solve.
     Stalled,
 }
 
-/// Dual-simplex reoptimization from a dual-feasible `basis` after a
-/// right-hand-side change.
+/// Dual-simplex reoptimization from a dual-feasible warm-start point after
+/// a right-hand-side or bound change.
 ///
-/// The basis must come from a previous optimal solve of the same
-/// `prepared` columns (same costs); only `b` may have changed. Artificials
-/// are barred from entering, mirroring phase 2.
+/// The warm point must come from a previous optimal solve of the same
+/// `prepared` columns (same costs); only `b` and the bound values may have
+/// changed. Artificials are barred from entering, mirroring phase 2. With
+/// native bounds a basic variable can violate either of its bounds; the
+/// leaving choice picks the largest violation on either side and the dual
+/// ratio test admits entering candidates from both bounds with the
+/// matching sign condition.
 pub(crate) fn resolve_dual(
     prepared: &Prepared,
+    b: &[f64],
     options: &SolverOptions,
     num_vars: usize,
-    basis: Vec<usize>,
+    warm: &WarmStart,
 ) -> DualOutcome {
-    let n_cols = prepared.cols.len();
-    let Ok(mut t) = State::from_basis(&prepared.cols, &prepared.b, basis, options) else {
+    let n_cols = prepared.cols.num_cols();
+    let Ok((mut t, cached_rc)) = State::from_basis(prepared, b, warm, options) else {
         return DualOutcome::Stalled;
     };
     let costs = &prepared.costs;
     let cost_fn = move |j: usize| if j < costs.len() { costs[j] } else { 0.0 };
 
-    let b_scale: f64 = prepared.b.iter().fold(0.0f64, |acc, v| acc.max(v.abs()));
+    let b_scale: f64 = b.iter().fold(0.0f64, |acc, v| acc.max(v.abs()));
     let feas_tol = options.tol * (1.0 + b_scale);
     let mut budget = options.max_iterations.unwrap_or(10 * (t.m + 1) + 200);
     let mut since_refactor = 0usize;
 
+    // Incrementally maintained solver state — the dual hot loop's big
+    // saving over recomputation. `x` and `rc` follow the textbook update
+    // formulas per pivot and are rebuilt from scratch at refactorization
+    // points (the same cadence that already bounds eta-file drift):
+    //
+    // * `x` (basic values): `x ← x − θ_p·s·d`, entering value at slot `r`;
+    // * `rc` (structural reduced costs): `rc_j ← rc_j − θ_d·α_j` with
+    //   `θ_d = rc_q/α_q`, `rc_leaving = −θ_d` — no per-pivot btran for
+    //   duals and no second pass over the column nonzeros;
+    // * `in_basis`: two flag writes per pivot instead of an O(n) rebuild.
+    let mut x = t.basic_values();
+    let mut rc: Vec<f64> = match cached_rc {
+        // The cached reduced costs are exactly what the recomputation
+        // below would produce (same repr, same arithmetic).
+        Some(rc) => rc,
+        None => {
+            let y = t.duals(&cost_fn);
+            t.full_prices += 1;
+            (0..n_cols)
+                .map(|j| t.reduced_cost(j, &y, &cost_fn))
+                .collect()
+        }
+    };
+    let mut in_basis = basis_mask(&t, n_cols + t.n_arts);
+    let mut alphas = vec![0.0f64; n_cols];
+    // Reused per-pivot buffers (no per-pivot allocation).
+    let mut rho: Vec<f64> = Vec::new();
+    let mut d: Vec<f64> = Vec::new();
+    let mut scratch: Vec<f64> = Vec::new();
+    // Dual devex row weights (Devex pricing only): approximate
+    // steepest-edge norms `‖B⁻ᵀeᵢ‖²`, so the leaving choice maximizes
+    // violation per unit of dual-edge length instead of raw violation —
+    // typically visibly fewer dual pivots. Updated from the ftran column
+    // already in hand, so the rule costs O(m) per pivot and no extra
+    // solves. Under Dantzig the raw-violation rule is kept bit-for-bit.
+    let devex = options.pricing == Pricing::Devex;
+    let mut row_w = vec![1.0f64; t.m];
+
     loop {
-        let x = t.basic_values();
-        // Dual pricing: most negative basic value leaves.
+        // Dual pricing: the basic variable with the largest (weighted)
+        // bound violation (below lower, or above a finite upper) leaves.
         let mut leave: Option<usize> = None;
-        let mut worst = -feas_tol;
+        let mut worst = if devex { 0.0 } else { feas_tol };
+        let mut above = false;
         for i in 0..t.m {
-            if x[i] < worst {
-                worst = x[i];
-                leave = Some(i);
+            let ub = t.upper_of(t.basis[i]);
+            let (viol, up) = {
+                let viol_low = -x[i];
+                let viol_up = if ub.is_finite() {
+                    x[i] - ub
+                } else {
+                    f64::NEG_INFINITY
+                };
+                if viol_up > viol_low {
+                    (viol_up, true)
+                } else {
+                    (viol_low, false)
+                }
+            };
+            if viol > feas_tol {
+                let score = if devex { viol * viol / row_w[i] } else { viol };
+                if score > worst {
+                    worst = score;
+                    leave = Some(i);
+                    above = up;
+                }
             }
         }
         let Some(r) = leave else {
             let sol = extract_solution(&t, prepared, num_vars, true);
-            return DualOutcome::Optimal(sol, t.basis);
+            let warm = WarmStart {
+                basis: t.basis,
+                at_upper: t.at_upper,
+                cache: None,
+            };
+            return DualOutcome::Optimal(sol, warm);
         };
         if budget == 0 {
             return DualOutcome::Stalled;
         }
         budget -= 1;
 
-        let rho = t.btran_unit(r);
-        let y = t.duals(&cost_fn);
-        let in_basis = basis_mask(&t, n_cols + t.n_arts);
-        // Dual ratio test over structural (non-artificial) columns.
+        t.btran_unit_into(r, &mut scratch, &mut rho);
+        // Dual ratio test over structural (non-artificial) columns. With
+        // `σ = +1` (leaving drops to its lower bound) an at-lower column
+        // qualifies when `σ·α < 0` and an at-upper column when `σ·α > 0`;
+        // `σ = −1` (leaving rises to its upper bound) mirrors both. The
+        // pivot row is kept for the reduced-cost update below.
+        let sigma = if above { -1.0 } else { 1.0 };
+        t.cols.gather_dot(&rho, &mut alphas);
         let mut entering: Option<usize> = None;
         let mut best_ratio = f64::INFINITY;
         let mut best_alpha = 0.0f64;
@@ -654,43 +1032,118 @@ pub(crate) fn resolve_dual(
             if in_basis[j] {
                 continue;
             }
-            let alpha = t.row_coeff(j, &rho);
-            if alpha < -options.tol {
-                let rc = t.reduced_cost(j, &y, &cost_fn).max(0.0);
-                let ratio = rc / -alpha;
-                let better = match entering {
-                    None => true,
-                    Some(_) => {
-                        ratio < best_ratio - options.tol
-                            || (ratio < best_ratio + options.tol && alpha.abs() > best_alpha.abs())
-                    }
-                };
-                if better {
-                    entering = Some(j);
-                    best_ratio = ratio;
-                    best_alpha = alpha;
+            let alpha = alphas[j];
+            let ae = sigma * alpha;
+            let ratio = if t.is_at_upper(j) {
+                if ae > options.tol {
+                    // Dual feasibility keeps rc ≤ 0 at an upper bound.
+                    (-rc[j]).max(0.0) / ae
+                } else {
+                    continue;
                 }
+            } else if ae < -options.tol {
+                rc[j].max(0.0) / -ae
+            } else {
+                continue;
+            };
+            let better = match entering {
+                None => true,
+                Some(_) => {
+                    ratio < best_ratio - options.tol
+                        || (ratio < best_ratio + options.tol && alpha.abs() > best_alpha.abs())
+                }
+            };
+            if better {
+                entering = Some(j);
+                best_ratio = ratio;
+                best_alpha = alpha;
             }
         }
-        let Some(j) = entering else {
+        let Some(q) = entering else {
             // Row r cannot be repaired: dual unbounded, primal infeasible.
-            return DualOutcome::Infeasible(t.basis);
+            let warm = WarmStart {
+                basis: t.basis,
+                at_upper: t.at_upper,
+                cache: None,
+            };
+            return DualOutcome::Infeasible(warm);
         };
 
-        let d = t.ftran(j);
+        t.ftran_into(q, &mut scratch, &mut d);
         if d[r].abs() <= options.tol {
             // The ftran disagrees with the pricing estimate: numerically
             // unsafe pivot, hand over to a cold solve.
             return DualOutcome::Stalled;
         }
         t.iterations += 1;
-        t.pivot(r, j, &d);
+
+        // Update the stored reduced costs: `y` moves along ρ by
+        // `θ_d = rc_q/α_q`, chosen so the entering column prices to zero.
+        let theta_d = rc[q] / d[r];
+        for j in 0..n_cols {
+            if !in_basis[j] && j != q {
+                rc[j] -= theta_d * alphas[j];
+            }
+        }
+        rc[q] = 0.0;
+
+        // Update the stored basic values: the entering variable moves off
+        // its bound by `θ_p ≥ 0` until the leaving variable reaches the
+        // bound it violated (`s_q` is the entering direction sign).
+        let leaving = t.basis[r];
+        let target = if above { t.upper_of(leaving) } else { 0.0 };
+        let from_upper_q = t.is_at_upper(q);
+        let s_q = if from_upper_q { -1.0 } else { 1.0 };
+        let theta_p = (x[r] - target) / (s_q * d[r]);
+        for i in 0..t.m {
+            x[i] -= theta_p * s_q * d[i];
+        }
+        x[r] = if from_upper_q {
+            t.upper_of(q) - theta_p
+        } else {
+            theta_p
+        };
+        if leaving < n_cols {
+            rc[leaving] = -theta_d;
+        }
+        in_basis[leaving] = false;
+        in_basis[q] = true;
+
+        if devex {
+            // Dual devex weight update from the pivot column.
+            let wr = row_w[r];
+            let a2 = d[r] * d[r];
+            for i in 0..t.m {
+                if i != r {
+                    let cand = (d[i] * d[i] / a2) * wr;
+                    if cand > row_w[i] {
+                        row_w[i] = cand;
+                    }
+                }
+            }
+            row_w[r] = (wr / a2).max(1.0);
+        }
+        if from_upper_q {
+            t.clear_at_upper(q);
+        }
+        t.pivot(r, q, &d);
+        if above {
+            // The leaving variable settles at the bound it violated.
+            t.set_at_upper(leaving);
+        }
         since_refactor += 1;
         if since_refactor >= options.refactor_every {
             if t.refactor().is_err() {
                 return DualOutcome::Stalled;
             }
             since_refactor = 0;
+            // Rebuild the incremental state from the fresh factorization.
+            x = t.basic_values();
+            let y = t.duals(&cost_fn);
+            t.full_prices += 1;
+            for (j, rcj) in rc.iter_mut().enumerate() {
+                *rcj = t.reduced_cost(j, &y, &cost_fn);
+            }
         }
     }
 }
@@ -698,14 +1151,22 @@ pub(crate) fn resolve_dual(
 /// Extracts user-facing values, objective, and duals from an optimal
 /// phase-2 (or dual-simplex) state.
 fn extract_solution(t: &State<'_>, prepared: &Prepared, num_vars: usize, warm: bool) -> Solution {
-    let n = prepared.cols.len();
+    let n = prepared.cols.num_cols();
     let xb = t.basic_values();
     let mut col_values = vec![0.0; n];
+    for (j, v) in col_values.iter_mut().enumerate() {
+        if t.at_upper[j] {
+            *v = t.upper[j];
+        }
+    }
     for (i, &j) in t.basis.iter().enumerate() {
         if j < n {
-            // Clamp tiny negatives from roundoff.
+            // Clamp tiny bound overshoots from roundoff.
+            let ub = t.upper[j];
             col_values[j] = if xb[i] < 0.0 && xb[i] > -t.tol * 100.0 {
                 0.0
+            } else if xb[i] > ub && xb[i] < ub + t.tol * 100.0 {
+                ub
             } else {
                 xb[i]
             };
@@ -737,26 +1198,29 @@ fn extract_solution(t: &State<'_>, prepared: &Prepared, num_vars: usize, warm: b
     let stats = SolveStats {
         iterations: t.iterations,
         refactors: t.refactors,
+        bound_flips: t.bound_flips,
+        full_prices: t.full_prices,
         warm,
     };
     Solution::new(num_vars, values, objective, duals, stats)
 }
 
 /// Full two-phase cold solve over a prepared standard-form problem.
-/// Returns the solution together with the final (optimal) basis for warm
-/// re-solves.
+/// Returns the solution together with the final (optimal) warm-start
+/// point for warm re-solves.
 pub(crate) fn solve_two_phase(
     prepared: &Prepared,
+    b: &[f64],
     options: &SolverOptions,
     num_vars: usize,
-) -> Result<(Solution, Vec<usize>), LpError> {
-    let m = prepared.b.len();
-    let n_cols = prepared.cols.len();
+) -> Result<(Solution, WarmStart), LpError> {
+    let m = b.len();
+    let n_cols = prepared.cols.num_cols();
     let mut iter_budget = options
         .max_iterations
         .unwrap_or_else(|| 200 * (m + 1) + 20 * n_cols + 20_000);
 
-    let mut t = State::new(&prepared.cols, &prepared.b, options);
+    let mut t = State::new(prepared, b, options)?;
 
     // ---- Phase 1: minimize the sum of artificials. ----
     let phase1_cost = move |j: usize| if j >= n_cols { 1.0 } else { 0.0 };
@@ -775,7 +1239,7 @@ pub(crate) fn solve_two_phase(
         .filter(|&(_, &j)| j >= n_cols)
         .map(|(i, _)| x[i].max(0.0))
         .sum();
-    if infeas > options.tol * (1.0 + prepared.b.iter().sum::<f64>().abs()) {
+    if infeas > options.tol * (1.0 + b.iter().sum::<f64>().abs()) {
         return Err(LpError::Infeasible);
     }
 
@@ -788,10 +1252,12 @@ pub(crate) fn solve_two_phase(
             continue;
         }
         // Find a nonbasic structural column with a usable pivot in row r.
+        // At-upper columns are skipped: swapping in an at-lower column at
+        // value zero keeps the solution (and `b_eff`) untouched.
         let mask = basis_mask(&t, n_cols + t.n_arts);
         let mut pivoted = false;
         for j in 0..n_cols {
-            if mask[j] {
+            if mask[j] || t.is_at_upper(j) {
                 continue;
             }
             let d = t.ftran(j);
@@ -821,7 +1287,12 @@ pub(crate) fn solve_two_phase(
     }
 
     let sol = extract_solution(&t, prepared, num_vars, false);
-    Ok((sol, t.basis))
+    let warm = WarmStart {
+        basis: t.basis,
+        at_upper: t.at_upper,
+        cache: None,
+    };
+    Ok((sol, warm))
 }
 
 #[cfg(test)]
@@ -1059,6 +1530,126 @@ mod tests {
         for (a, b) in dense.values().iter().zip(factored.values()) {
             assert!((a - b).abs() < 1e-7, "values drifted: {a} vs {b}");
         }
+    }
+
+    /// A box-bounded LP must solve to the same optimum whether upper
+    /// bounds are materialized as rows (the legacy layout) or handled
+    /// in-solver — under both basis representations.
+    #[test]
+    fn native_bounds_match_upper_bound_rows() {
+        let mut m = Model::new(Sense::Minimize);
+        let n = 10;
+        let xs: Vec<_> = (0..n)
+            .map(|j| {
+                m.add_var(
+                    &format!("x{j}"),
+                    ((j % 3) as f64 - 2.0) / 2.0, // −1, −½, 0: keeps rows feasible
+                    2.0 + (j % 4) as f64,
+                    ((j * 5 % 13) as f64 - 6.0) / 2.0,
+                )
+            })
+            .collect();
+        for i in 0..6 {
+            let terms: Vec<_> = xs
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| (i * 2 + j) % 3 != 0)
+                .map(|(j, &x)| (x, 1.0 + ((i + 2 * j) % 3) as f64))
+                .collect();
+            m.add_le(&terms, 5.0 + i as f64);
+        }
+        let rows = m.solve().unwrap();
+        for basis in [BasisKind::Dense, BasisKind::Factored] {
+            let native = m
+                .solve_with(&SolverOptions {
+                    basis,
+                    native_bounds: true,
+                    ..SolverOptions::default()
+                })
+                .unwrap();
+            assert!(
+                (rows.objective() - native.objective()).abs()
+                    <= 1e-9 * (1.0 + rows.objective().abs()),
+                "rows {} vs native({basis:?}) {}",
+                rows.objective(),
+                native.objective()
+            );
+            // The native point must respect every bound.
+            for (j, &x) in native.values().iter().enumerate() {
+                let (lo, hi) = m.var_bounds(xs[j]);
+                assert!(
+                    x >= lo - 1e-7 && x <= hi + 1e-7,
+                    "x{j} = {x} ∉ [{lo}, {hi}]"
+                );
+            }
+        }
+    }
+
+    /// A variable driven to its upper bound by the objective alone is
+    /// resolved by a bound flip, not a pivot, and the counter shows it.
+    #[test]
+    fn bound_flip_replaces_pivot() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", 0.0, 7.0, 2.0);
+        let sol = m
+            .solve_with(&SolverOptions {
+                native_bounds: true,
+                ..SolverOptions::default()
+            })
+            .unwrap();
+        assert!((sol.value(x) - 7.0).abs() < 1e-9);
+        assert!((sol.objective() - 14.0).abs() < 1e-9);
+        assert_eq!(sol.stats().iterations, 0, "no basis change expected");
+        assert_eq!(sol.stats().bound_flips, 1);
+    }
+
+    /// Native mode keeps duals meaningful: binding user rows still price.
+    #[test]
+    fn native_bounds_preserve_row_duals() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", 0.0, 10.0, 3.0);
+        let y = m.add_var("y", 0.0, 10.0, 5.0);
+        let r = m.add_le(&[(x, 1.0), (y, 1.0)], 4.0);
+        let sol = m
+            .solve_with(&SolverOptions {
+                native_bounds: true,
+                ..SolverOptions::default()
+            })
+            .unwrap();
+        assert!((sol.objective() - 20.0).abs() < 1e-7); // y = 4
+        assert!((sol.dual(r) - 5.0).abs() < 1e-7);
+    }
+
+    /// Fixed variables (`lo == hi`) survive native mode.
+    #[test]
+    fn native_bounds_fixed_variable() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", 3.0, 3.0, 1.0);
+        let y = m.add_var("y", 0.0, f64::INFINITY, 1.0);
+        m.add_ge(&[(x, 1.0), (y, 1.0)], 5.0);
+        let sol = m
+            .solve_with(&SolverOptions {
+                native_bounds: true,
+                ..SolverOptions::default()
+            })
+            .unwrap();
+        assert!((sol.value(x) - 3.0).abs() < 1e-7);
+        assert!((sol.value(y) - 2.0).abs() < 1e-7);
+    }
+
+    /// Infeasibility detection is mode-independent.
+    #[test]
+    fn native_bounds_detect_infeasible() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", 0.0, 1.0, 1.0);
+        m.add_ge(&[(x, 1.0)], 2.0); // x ≤ 1 by bound, x ≥ 2 by row
+        let err = m
+            .solve_with(&SolverOptions {
+                native_bounds: true,
+                ..SolverOptions::default()
+            })
+            .unwrap_err();
+        assert_eq!(err, LpError::Infeasible);
     }
 
     /// Frequent refactorization must not change results (it only resets

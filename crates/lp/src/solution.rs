@@ -9,10 +9,21 @@ pub struct SolveStats {
     /// Simplex pivots performed: basis changes only, so the counter is
     /// directly comparable across paths (phase 1 + artificial pivot-outs +
     /// phase 2 for a cold solve; dual-simplex pivots for a warm re-solve).
-    /// Pricing rounds that find no entering column are not counted.
+    /// Pricing rounds that find no entering column are not counted, and
+    /// neither are [`bound flips`](Self::bound_flips).
     pub iterations: usize,
     /// Basis factorization (re)builds demanded by the pivot cadence.
     pub refactors: usize,
+    /// Bound flips: a nonbasic variable jumping between its lower and
+    /// upper bound without any basis change (native bounded-variable mode
+    /// only; always 0 when upper bounds are materialized as rows).
+    pub bound_flips: usize,
+    /// Full pricing passes over every column. Under Dantzig pricing this
+    /// equals the number of pricing rounds; under devex partial pricing it
+    /// counts only the periodic candidate-list refreshes plus the final
+    /// optimality confirmation, so `full_prices ≪ iterations` is the
+    /// observable signature of partial pricing doing its job.
+    pub full_prices: usize,
     /// `true` if this solution came from a warm-started re-solve
     /// ([`crate::SimplexInstance::resolve`]) rather than a cold two-phase
     /// solve.
@@ -135,6 +146,8 @@ mod tests {
         let stats = SolveStats {
             iterations: 3,
             refactors: 1,
+            bound_flips: 2,
+            full_prices: 1,
             warm: true,
         };
         let sol = Solution::new(2, vec![1.5, 2.5], 4.0, vec![0.25], stats);

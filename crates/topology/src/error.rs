@@ -61,6 +61,13 @@ pub enum TopologyError {
         /// Number of labels supplied.
         actual: usize,
     },
+    /// A dataset file could not be read.
+    Io {
+        /// Path of the file.
+        path: String,
+        /// Operating-system error message.
+        message: String,
+    },
 }
 
 impl fmt::Display for TopologyError {
@@ -88,6 +95,9 @@ impl fmt::Display for TopologyError {
             TopologyError::Disconnected => write!(f, "graph is disconnected"),
             TopologyError::LabelCount { expected, actual } => {
                 write!(f, "expected {expected} labels but {actual} were supplied")
+            }
+            TopologyError::Io { path, message } => {
+                write!(f, "reading {path}: {message}")
             }
         }
     }

@@ -76,6 +76,33 @@ pub fn parse_matrix(text: &str) -> Result<Network, TopologyError> {
     }
 }
 
+/// Reads and parses a delay-matrix file (the [`parse_matrix`] format).
+///
+/// This is the checked-in-dataset ingestion path: the repository ships a
+/// 116-site King-style matrix under `data/king116.rtt`, and `quorumnet
+/// --topology FILE` loads arbitrary measurement files the same way.
+///
+/// # Errors
+///
+/// [`TopologyError::Io`] if the file cannot be read; parse errors as for
+/// [`parse_matrix`].
+///
+/// # Examples
+///
+/// ```no_run
+/// let net = qp_topology::io::read_matrix_file("data/king116.rtt")?;
+/// assert!(net.len() >= 100);
+/// # Ok::<(), qp_topology::TopologyError>(())
+/// ```
+pub fn read_matrix_file(path: impl AsRef<std::path::Path>) -> Result<Network, TopologyError> {
+    let path = path.as_ref();
+    let text = std::fs::read_to_string(path).map_err(|e| TopologyError::Io {
+        path: path.display().to_string(),
+        message: e.to_string(),
+    })?;
+    parse_matrix(&text)
+}
+
 /// Renders a network back to the text format (header of labels, then the
 /// full matrix, 6 significant digits).
 pub fn format_matrix(net: &Network) -> String {
@@ -170,5 +197,41 @@ mod tests {
     fn empty_input_gives_empty_network() {
         let net = parse_matrix("# nothing\n").unwrap();
         assert!(net.is_empty());
+    }
+
+    #[test]
+    fn missing_file_reports_io_error() {
+        let err = read_matrix_file("/nonexistent/definitely-missing.rtt").unwrap_err();
+        assert!(matches!(err, TopologyError::Io { .. }));
+        assert!(err.to_string().contains("definitely-missing.rtt"));
+    }
+
+    /// Ingests the checked-in King-style dataset: ≥100 sites, labelled,
+    /// positive symmetric delays, metrically closed (re-closure is a
+    /// fixpoint) — i.e. a real measurement file workflow end to end.
+    #[test]
+    fn reads_checked_in_king116_dataset() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../data/king116.rtt");
+        let net = read_matrix_file(path).unwrap();
+        assert_eq!(net.len(), 116);
+        assert!(net.label(NodeId::new(0)).contains('-'), "labelled sites");
+        let m = net.distances();
+        for i in net.nodes() {
+            for j in net.nodes() {
+                if i != j {
+                    assert!(net.distance(i, j) > 0.0);
+                    assert_eq!(net.distance(i, j), net.distance(j, i));
+                }
+            }
+        }
+        let closed = m.metric_closure();
+        for i in net.nodes() {
+            for j in net.nodes() {
+                assert!(
+                    (closed.get(i, j) - m.get(i, j)).abs() < 1e-9,
+                    "checked-in matrix must already be metrically closed at ({i}, {j})"
+                );
+            }
+        }
     }
 }

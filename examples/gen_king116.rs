@@ -1,0 +1,21 @@
+use qp_topology::datasets::{ClusterSpec, WanConfig};
+use qp_topology::io::format_matrix;
+
+fn main() {
+    let cfg = WanConfig {
+        sites: 116,
+        clusters: vec![
+            ClusterSpec::new("us-east", 40.7, -74.0, 1100.0, 0.30),
+            ClusterSpec::new("us-central", 41.9, -87.6, 900.0, 0.14),
+            ClusterSpec::new("us-west", 37.4, -122.1, 900.0, 0.16),
+            ClusterSpec::new("europe", 50.1, 8.7, 1200.0, 0.22),
+            ClusterSpec::new("east-asia", 35.7, 139.7, 1400.0, 0.11),
+            ClusterSpec::new("south-america", -23.5, -46.6, 900.0, 0.07),
+        ],
+        route_inflation: 1.5,
+        access_ms: (1.0, 10.0),
+        jitter_frac: 0.15,
+    };
+    let net = cfg.generate(0x6b69_6e67); // "king"
+    print!("{}", format_matrix(&net));
+}

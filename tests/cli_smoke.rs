@@ -151,6 +151,31 @@ fn place_on_builtin_dataset() {
     assert!(!stdout.is_empty());
 }
 
+/// The checked-in 116-site King-style dataset feeds the real CLI: `info`
+/// reports its statistics and `place` runs an LP-strategy evaluation over
+/// it — the measurement-file workflow of the paper, end to end.
+#[test]
+fn checked_in_king116_dataset_drives_cli() {
+    let data = concat!(env!("CARGO_MANIFEST_DIR"), "/data/king116.rtt");
+    let stdout = assert_ok(&["info", "--topology", data]);
+    assert!(
+        stdout.contains("sites:          116"),
+        "expected 116 sites in:\n{stdout}"
+    );
+    let stdout = assert_ok(&[
+        "place",
+        "--topology",
+        data,
+        "--system",
+        "grid:3",
+        "--strategy",
+        "lp",
+        "--capacity",
+        "0.9",
+    ]);
+    assert!(stdout.contains("avg response"), "{stdout}");
+}
+
 #[test]
 fn unknown_command_fails_nonzero() {
     let out = run(&["frobnicate"]);

@@ -71,6 +71,59 @@ fn warm_fig7_sweep_beats_cold_iteration_count() {
     );
 }
 
+/// PR 4 acceptance pin: the devex + native-bounds + crash-start sweep
+/// configuration ([`SolverOptions::factored`]) spends strictly fewer
+/// simplex pivots on the fig7 sweep than PR 3's configuration (sparse LU
+/// with Dantzig pricing, bounds as rows, all-artificial start) — and its
+/// full-pricing-pass counter shows partial pricing actually engaging
+/// (`full_prices ≪` Dantzig's one-pass-per-pivot), while both reach LP
+/// optima equal to 1e-9 relative at every sweep point.
+#[test]
+fn devex_native_sweep_beats_pr3_config_pivot_count() {
+    use quorumnet::lp::{BasisKind, SolverOptions};
+
+    let (net, clients, placement, quorums, l_opt) = fig7_inputs();
+    let _ = &net;
+    let ctx = EvalContext::new(&net, &clients);
+    let pq = ctx.place(&placement, &quorums);
+    let pr3_options = SolverOptions {
+        basis: BasisKind::Factored,
+        ..SolverOptions::default()
+    };
+
+    let pr3 = CapacitySweepSolver::new_with_options(&pq, pr3_options).unwrap();
+    let new = CapacitySweepSolver::new(&pq).unwrap();
+    assert!(
+        new.base_stats().full_prices < pr3.base_stats().full_prices,
+        "devex candidate pricing should need far fewer full passes: {} vs {}",
+        new.base_stats().full_prices,
+        pr3.base_stats().full_prices
+    );
+
+    let mut pr3_total = pr3.base_stats().iterations;
+    let mut new_total = new.base_stats().iterations;
+    for c in capacity_sweep(l_opt, 10) {
+        match (pr3.solve_uniform(c), new.solve_uniform(c)) {
+            (Ok(a), Ok(b)) => {
+                assert!(
+                    (a.delay_ms - b.delay_ms).abs() <= 1e-9 * (1.0 + a.delay_ms.abs()),
+                    "optima drifted at c={c}: {} vs {}",
+                    a.delay_ms,
+                    b.delay_ms
+                );
+                pr3_total += a.stats.iterations;
+                new_total += b.stats.iterations;
+            }
+            (Err(CoreError::Infeasible), Err(CoreError::Infeasible)) => continue,
+            (a, b) => panic!("feasibility disagreement at c={c}: {a:?} vs {b:?}"),
+        }
+    }
+    assert!(
+        new_total < pr3_total,
+        "devex/native sweep must pivot strictly less than the PR 3 config: {new_total} vs {pr3_total}"
+    );
+}
+
 /// The sweep's evaluations are identical whether the caller asks for them
 /// through the high-level tuner or re-derives them point by point from
 /// the shared solver — i.e. the warm layer is deterministic.
