@@ -32,6 +32,84 @@ pub enum SelectionObjective {
     BalancedDelay,
 }
 
+/// A named placement construction — the pipeline-facing selector used by
+/// scenario specs and other declarative front ends to pick how a quorum
+/// system is deployed without hard-coding a function call.
+///
+/// # Examples
+///
+/// ```
+/// use qp_core::one_to_one::PlacementAlgorithm;
+/// use qp_quorum::QuorumSystem;
+/// use qp_topology::datasets;
+///
+/// let net = datasets::euclidean_random(12, 100.0, 3);
+/// let sys = QuorumSystem::grid(2)?;
+/// let p = PlacementAlgorithm::BestClosest.compute(&net, &sys)?;
+/// assert!(p.is_one_to_one());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PlacementAlgorithm {
+    /// [`best_placement`]: best-anchor search scored by closest-quorum
+    /// delay (the §6 default).
+    #[default]
+    BestClosest,
+    /// [`best_placement_by`] with [`SelectionObjective::BalancedDelay`]
+    /// (the §3 regime).
+    BestBalanced,
+    /// [`grid_shell_placement`] anchored at a fixed node; Grid systems
+    /// only.
+    GridShell {
+        /// The anchor client `v₀`.
+        anchor: usize,
+    },
+    /// [`ball_placement`] anchored at a fixed node.
+    Ball {
+        /// The anchor client `v₀`.
+        anchor: usize,
+    },
+}
+
+impl PlacementAlgorithm {
+    /// Runs the selected construction for `system` on `net`.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::SizeMismatch`] if the universe does not fit the
+    /// network, an anchor is out of range, or
+    /// [`GridShell`](PlacementAlgorithm::GridShell) is requested for a
+    /// non-Grid system.
+    pub fn compute(&self, net: &Network, system: &QuorumSystem) -> Result<Placement, CoreError> {
+        let check_anchor = |anchor: usize| -> Result<NodeId, CoreError> {
+            if anchor >= net.len() {
+                return Err(CoreError::SizeMismatch {
+                    reason: format!(
+                        "anchor {anchor} out of range for a {}-site network",
+                        net.len()
+                    ),
+                });
+            }
+            Ok(NodeId::new(anchor))
+        };
+        match *self {
+            PlacementAlgorithm::BestClosest => best_placement(net, system),
+            PlacementAlgorithm::BestBalanced => {
+                best_placement_by(net, system, SelectionObjective::BalancedDelay)
+            }
+            PlacementAlgorithm::GridShell { anchor } => {
+                let k = system.as_grid().ok_or_else(|| CoreError::SizeMismatch {
+                    reason: "shell placement requires a Grid system".to_string(),
+                })?;
+                grid_shell_placement(net, check_anchor(anchor)?, k)
+            }
+            PlacementAlgorithm::Ball { anchor } => {
+                ball_placement(net, check_anchor(anchor)?, system.universe_size())
+            }
+        }
+    }
+}
+
 /// The Majority ball placement for anchor `v₀`: an arbitrary (here:
 /// distance-ordered) one-to-one mapping of the `n` universe elements onto
 /// `B(v₀, n)`, the `n` nodes closest to `v₀`.
@@ -443,6 +521,46 @@ mod tests {
         let p = best_placement_by(&net, &sys, SelectionObjective::BalancedDelay).unwrap();
         assert!(p.is_one_to_one());
         assert_eq!(p.universe_size(), 9);
+    }
+
+    #[test]
+    fn placement_algorithm_dispatches_and_validates() {
+        let net = datasets::euclidean_random(12, 50.0, 9);
+        let grid = QuorumSystem::grid(3).unwrap();
+        let maj = QuorumSystem::majority(MajorityKind::SimpleMajority, 2).unwrap();
+        assert_eq!(
+            PlacementAlgorithm::BestClosest
+                .compute(&net, &grid)
+                .unwrap(),
+            best_placement(&net, &grid).unwrap()
+        );
+        assert_eq!(
+            PlacementAlgorithm::BestBalanced
+                .compute(&net, &grid)
+                .unwrap(),
+            best_placement_by(&net, &grid, SelectionObjective::BalancedDelay).unwrap()
+        );
+        assert_eq!(
+            PlacementAlgorithm::GridShell { anchor: 2 }
+                .compute(&net, &grid)
+                .unwrap(),
+            grid_shell_placement(&net, NodeId::new(2), 3).unwrap()
+        );
+        assert_eq!(
+            PlacementAlgorithm::Ball { anchor: 1 }
+                .compute(&net, &maj)
+                .unwrap(),
+            ball_placement(&net, NodeId::new(1), 5).unwrap()
+        );
+        // Shell on a non-grid system and out-of-range anchors are rejected.
+        assert!(matches!(
+            PlacementAlgorithm::GridShell { anchor: 0 }.compute(&net, &maj),
+            Err(CoreError::SizeMismatch { .. })
+        ));
+        assert!(matches!(
+            PlacementAlgorithm::Ball { anchor: 99 }.compute(&net, &maj),
+            Err(CoreError::SizeMismatch { .. })
+        ));
     }
 
     #[test]

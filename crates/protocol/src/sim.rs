@@ -212,9 +212,11 @@ pub fn simulate(
     let mut floor_tally = Tally::new();
     let mut per_client: Vec<Tally> = (0..n_clients).map(|_| Tally::new()).collect();
 
-    // Which population location each client belongs to (for Weighted rows).
-    let location_of_client: Vec<usize> =
-        (0..n_clients).map(|c| c / clients.per_location()).collect();
+    // Which population location each client belongs to (for Weighted
+    // rows and the Closest table). Uniform populations flatten to the
+    // historical `c / per_location` mapping; weighted ones apportion
+    // clients by demand weight.
+    let location_of_client: Vec<usize> = clients.location_indices();
 
     let service_of = |element: usize, config: &ProtocolConfig| -> f64 {
         let mult = config

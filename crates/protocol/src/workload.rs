@@ -11,10 +11,21 @@ use qp_topology::{Network, NodeId};
 /// delay to the server placement approximates the average network delay
 /// from all the nodes of the graph to the server placement well", with `c`
 /// clients on each.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// # Demand weights
+///
+/// A population may carry per-location **demand weights** (normalized to
+/// sum to 1). The total client count stays `locations × per_location`, but
+/// clients are distributed across locations proportionally to the weights
+/// (largest-remainder apportionment, deterministic). A population without
+/// weights behaves exactly like the historical uniform one: `per_location`
+/// clients on every location.
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClientPopulation {
     locations: Vec<NodeId>,
     per_location: usize,
+    /// Normalized per-location demand weights; `None` ⇒ uniform.
+    weights: Option<Vec<f64>>,
 }
 
 impl ClientPopulation {
@@ -35,7 +46,76 @@ impl ClientPopulation {
         ClientPopulation {
             locations,
             per_location,
+            weights: None,
         }
+    }
+
+    /// Explicit locations with per-location demand weights. The weights
+    /// are normalized to sum to 1; the total client count is
+    /// `locations.len() * per_location`, apportioned by weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `locations` is empty, `per_location` is zero, the weight
+    /// count mismatches, or any weight is non-positive or non-finite.
+    pub fn weighted(locations: Vec<NodeId>, per_location: usize, weights: Vec<f64>) -> Self {
+        let mut pop = ClientPopulation::new(locations, per_location);
+        assert_eq!(
+            weights.len(),
+            pop.locations.len(),
+            "one weight per location required"
+        );
+        assert!(
+            weights.iter().all(|&w| w.is_finite() && w > 0.0),
+            "weights must be positive and finite"
+        );
+        let total: f64 = weights.iter().sum();
+        pop.weights = Some(weights.into_iter().map(|w| w / total).collect());
+        pop
+    }
+
+    /// A Zipf-skewed population: location `i` (in list order) gets weight
+    /// proportional to `1 / (i + 1)^theta`. `theta == 0` is the uniform
+    /// distribution; larger `theta` concentrates demand on the first
+    /// locations — the classic web-workload skew.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `locations` is empty, `per_location` is zero, or `theta`
+    /// is negative or non-finite.
+    pub fn zipf(locations: Vec<NodeId>, per_location: usize, theta: f64) -> Self {
+        assert!(
+            theta.is_finite() && theta >= 0.0,
+            "zipf exponent must be nonnegative"
+        );
+        let weights = (0..locations.len())
+            .map(|i| 1.0 / ((i + 1) as f64).powf(theta))
+            .collect();
+        ClientPopulation::weighted(locations, per_location, weights)
+    }
+
+    /// A copy with the weight of `focus` multiplied by `boost` (then
+    /// renormalized) — the flash-crowd primitive: demand surges toward one
+    /// location while the total client count stays fixed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `focus` is out of range or `boost` is not positive and
+    /// finite.
+    #[must_use]
+    pub fn boosted(&self, focus: usize, boost: f64) -> Self {
+        assert!(focus < self.locations.len(), "focus location out of range");
+        assert!(
+            boost.is_finite() && boost > 0.0,
+            "boost must be positive and finite"
+        );
+        let uniform = 1.0 / self.locations.len() as f64;
+        let mut weights: Vec<f64> = match &self.weights {
+            Some(w) => w.clone(),
+            None => vec![uniform; self.locations.len()],
+        };
+        weights[focus] *= boost;
+        ClientPopulation::weighted(self.locations.clone(), self.per_location, weights)
     }
 
     /// The paper's representative selection: choose `count` locations whose
@@ -94,6 +174,7 @@ impl ClientPopulation {
         ClientPopulation {
             locations: chosen.into_iter().map(NodeId::new).collect(),
             per_location,
+            weights: None,
         }
     }
 
@@ -102,30 +183,91 @@ impl ClientPopulation {
         &self.locations
     }
 
-    /// Clients per location.
+    /// Clients per location (the nominal scale; weighted populations
+    /// apportion `locations × per_location` clients by weight).
     pub fn per_location(&self) -> usize {
         self.per_location
     }
 
-    /// Total number of clients.
+    /// The normalized per-location demand weights, if any.
+    pub fn weights(&self) -> Option<&[f64]> {
+        self.weights.as_deref()
+    }
+
+    /// The normalized demand weight of location `i` (uniform when no
+    /// weights are set).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn weight(&self, i: usize) -> f64 {
+        assert!(i < self.locations.len(), "location index out of range");
+        match &self.weights {
+            Some(w) => w[i],
+            None => 1.0 / self.locations.len() as f64,
+        }
+    }
+
+    /// Clients at each location: `per_location` everywhere for uniform
+    /// populations; otherwise `locations × per_location` clients
+    /// apportioned by weight (largest remainder, ties to the lower
+    /// index — fully deterministic).
+    pub fn client_counts(&self) -> Vec<usize> {
+        let n_loc = self.locations.len();
+        let Some(weights) = &self.weights else {
+            return vec![self.per_location; n_loc];
+        };
+        let total = n_loc * self.per_location;
+        let ideal: Vec<f64> = weights.iter().map(|w| w * total as f64).collect();
+        let mut counts: Vec<usize> = ideal.iter().map(|&x| x.floor() as usize).collect();
+        let assigned: usize = counts.iter().sum();
+        // Hand the remaining clients to the largest fractional parts.
+        let mut order: Vec<usize> = (0..n_loc).collect();
+        order.sort_by(|&a, &b| {
+            let fa = ideal[a] - ideal[a].floor();
+            let fb = ideal[b] - ideal[b].floor();
+            fb.partial_cmp(&fa).expect("finite weights").then(a.cmp(&b))
+        });
+        for &i in order.iter().take(total - assigned) {
+            counts[i] += 1;
+        }
+        counts
+    }
+
+    /// Total number of clients; invariant across weightings.
     pub fn total_clients(&self) -> usize {
         self.locations.len() * self.per_location
     }
 
     /// Flattened client list: location of client `i`, for
-    /// `i ∈ 0..total_clients()`.
+    /// `i ∈ 0..total_clients()`, grouped by location in location order.
     pub fn client_locations(&self) -> Vec<NodeId> {
+        let counts = self.client_counts();
         let mut out = Vec::with_capacity(self.total_clients());
-        for &loc in &self.locations {
-            for _ in 0..self.per_location {
+        for (&loc, &count) in self.locations.iter().zip(&counts) {
+            for _ in 0..count {
                 out.push(loc);
             }
         }
         out
     }
 
+    /// Flattened location *indices*: `location_indices()[i]` is the index
+    /// into [`locations`](Self::locations) of client `i`. Aligned with
+    /// [`client_locations`](Self::client_locations).
+    pub fn location_indices(&self) -> Vec<usize> {
+        let counts = self.client_counts();
+        let mut out = Vec::with_capacity(self.total_clients());
+        for (idx, &count) in counts.iter().enumerate() {
+            for _ in 0..count {
+                out.push(idx);
+            }
+        }
+        out
+    }
+
     /// A copy with a different per-location client count (the §3 sweep
-    /// varies `c` while keeping locations fixed).
+    /// varies `c` while keeping locations fixed). Weights are preserved.
     ///
     /// # Panics
     ///
@@ -138,6 +280,7 @@ impl ClientPopulation {
         ClientPopulation {
             locations: self.locations.clone(),
             per_location,
+            weights: self.weights.clone(),
         }
     }
 }
@@ -192,6 +335,7 @@ mod tests {
                 NodeId::new(7)
             ]
         );
+        assert_eq!(pop.location_indices(), vec![0, 0, 1, 1]);
     }
 
     #[test]
@@ -201,8 +345,97 @@ mod tests {
     }
 
     #[test]
+    fn uniform_population_has_no_weights_and_uniform_weight() {
+        let pop = ClientPopulation::new(vec![NodeId::new(0), NodeId::new(1)], 3);
+        assert_eq!(pop.weights(), None);
+        assert_eq!(pop.weight(0), 0.5);
+        assert_eq!(pop.client_counts(), vec![3, 3]);
+    }
+
+    #[test]
+    fn weighted_weights_are_normalized() {
+        let pop = ClientPopulation::weighted(
+            vec![NodeId::new(0), NodeId::new(1), NodeId::new(2)],
+            2,
+            vec![2.0, 1.0, 1.0],
+        );
+        let w = pop.weights().unwrap();
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((w[0] - 0.5).abs() < 1e-12);
+        assert!((w[1] - 0.25).abs() < 1e-12);
+        // 6 clients at weights (.5, .25, .25) → counts (3, 1.5→1or2, …)
+        // largest remainder: ideal (3, 1.5, 1.5) → floors (3, 1, 1),
+        // remainder 1 goes to the lower index of the tied pair.
+        assert_eq!(pop.client_counts(), vec![3, 2, 1]);
+        assert_eq!(pop.total_clients(), 6);
+        assert_eq!(pop.client_locations().len(), 6);
+    }
+
+    #[test]
+    fn zipf_zero_theta_matches_uniform_counts() {
+        let locs = vec![NodeId::new(4), NodeId::new(9), NodeId::new(2)];
+        let uniform = ClientPopulation::new(locs.clone(), 4);
+        let zipf0 = ClientPopulation::zipf(locs, 4, 0.0);
+        assert_eq!(zipf0.client_counts(), uniform.client_counts());
+        assert_eq!(zipf0.client_locations(), uniform.client_locations());
+        assert_eq!(zipf0.location_indices(), uniform.location_indices());
+    }
+
+    #[test]
+    fn zipf_skews_toward_early_locations() {
+        let locs: Vec<NodeId> = (0..5).map(NodeId::new).collect();
+        let pop = ClientPopulation::zipf(locs, 4, 1.2);
+        let counts = pop.client_counts();
+        assert_eq!(counts.iter().sum::<usize>(), 20);
+        // Monotone nonincreasing, with real skew at the head.
+        for pair in counts.windows(2) {
+            assert!(pair[0] >= pair[1], "zipf counts must be nonincreasing");
+        }
+        assert!(counts[0] > counts[4], "no skew materialized: {counts:?}");
+        let w = pop.weights().unwrap();
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn boosted_shifts_clients_toward_focus() {
+        let locs: Vec<NodeId> = (0..4).map(NodeId::new).collect();
+        let base = ClientPopulation::new(locs, 3);
+        let flash = base.boosted(2, 6.0);
+        assert_eq!(flash.total_clients(), base.total_clients());
+        let counts = flash.client_counts();
+        assert!(
+            counts[2] > base.client_counts()[2],
+            "boost must attract clients: {counts:?}"
+        );
+        assert_eq!(counts.iter().sum::<usize>(), 12);
+        // Boosting preserves existing skew on the other locations.
+        let again = flash.boosted(2, 1.0);
+        assert_eq!(again.client_counts(), counts);
+    }
+
+    #[test]
+    fn weighted_preserved_by_with_per_location() {
+        let pop = ClientPopulation::zipf((0..3).map(NodeId::new).collect(), 2, 1.0);
+        let scaled = pop.with_per_location(10);
+        assert_eq!(scaled.weights(), pop.weights());
+        assert_eq!(scaled.total_clients(), 30);
+    }
+
+    #[test]
     #[should_panic(expected = "at least one client location")]
     fn rejects_empty_locations() {
         let _ = ClientPopulation::new(vec![], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "weights must be positive")]
+    fn rejects_nonpositive_weights() {
+        let _ = ClientPopulation::weighted(vec![NodeId::new(0), NodeId::new(1)], 1, vec![1.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one weight per location")]
+    fn rejects_wrong_weight_count() {
+        let _ = ClientPopulation::weighted(vec![NodeId::new(0)], 1, vec![1.0, 2.0]);
     }
 }

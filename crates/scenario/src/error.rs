@@ -1,0 +1,85 @@
+//! Error type for scenario parsing and execution.
+
+use std::error::Error;
+use std::fmt;
+
+use qp_core::CoreError;
+use qp_protocol::SimError;
+use qp_quorum::QuorumError;
+use qp_topology::TopologyError;
+
+/// Errors from scenario parsing or pipeline execution.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ScenarioError {
+    /// The spec text failed to parse.
+    Parse {
+        /// 1-based line of the offending entry (0 when no line applies).
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// The spec parsed but is semantically invalid (e.g. a flash phase
+    /// beyond the phase count).
+    Invalid(String),
+    /// A topology build or file operation failed.
+    Topology(TopologyError),
+    /// A quorum-system operation failed.
+    Quorum(QuorumError),
+    /// A placement/strategy-LP step failed.
+    Core(CoreError),
+    /// The protocol simulation rejected its inputs.
+    Sim(SimError),
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::Parse { line, message } if *line > 0 => {
+                write!(f, "spec line {line}: {message}")
+            }
+            ScenarioError::Parse { message, .. } => write!(f, "spec: {message}"),
+            ScenarioError::Invalid(message) => write!(f, "invalid scenario: {message}"),
+            ScenarioError::Topology(e) => write!(f, "topology: {e}"),
+            ScenarioError::Quorum(e) => write!(f, "quorum system: {e}"),
+            ScenarioError::Core(e) => write!(f, "pipeline: {e}"),
+            ScenarioError::Sim(e) => write!(f, "simulation: {e}"),
+        }
+    }
+}
+
+impl Error for ScenarioError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ScenarioError::Topology(e) => Some(e),
+            ScenarioError::Quorum(e) => Some(e),
+            ScenarioError::Core(e) => Some(e),
+            ScenarioError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TopologyError> for ScenarioError {
+    fn from(e: TopologyError) -> Self {
+        ScenarioError::Topology(e)
+    }
+}
+
+impl From<QuorumError> for ScenarioError {
+    fn from(e: QuorumError) -> Self {
+        ScenarioError::Quorum(e)
+    }
+}
+
+impl From<CoreError> for ScenarioError {
+    fn from(e: CoreError) -> Self {
+        ScenarioError::Core(e)
+    }
+}
+
+impl From<SimError> for ScenarioError {
+    fn from(e: SimError) -> Self {
+        ScenarioError::Sim(e)
+    }
+}

@@ -1,0 +1,143 @@
+//! Structured results of a scenario run.
+
+use std::fmt;
+
+/// Per-phase outcome: what the LP predicted and what the DES measured.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseReport {
+    /// Phase index (0-based).
+    pub phase: usize,
+    /// Whether the flash crowd surged during this phase.
+    pub flash: bool,
+    /// Number of universe elements with an active failure.
+    pub failed_elements: usize,
+    /// Whether the strategy LP was re-optimized for this phase's
+    /// failures (capacity of degraded sites scaled down).
+    pub reoptimized: bool,
+    /// Expected idle-network floor under this phase's strategy, demand
+    /// weights, and service multipliers, ms (the LP-side prediction).
+    pub predicted_floor_ms: f64,
+    /// DES mean response time, ms.
+    pub des_response_ms: f64,
+    /// DES mean idle-network floor of the quorums actually accessed, ms.
+    pub des_floor_ms: f64,
+    /// `|des_floor − predicted| / predicted` — the cross-check residual.
+    pub rel_error: f64,
+    /// Measured requests completed.
+    pub completed_requests: u64,
+    /// Highest per-node utilization over the phase.
+    pub max_server_utilization: f64,
+}
+
+/// The structured outcome of one scenario: pipeline summary, per-phase
+/// LP-vs-DES comparison, and the cross-check verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioReport {
+    /// Scenario name.
+    pub name: String,
+    /// Topology description.
+    pub topology: String,
+    /// Number of network sites.
+    pub sites: usize,
+    /// Quorum-system label.
+    pub system: String,
+    /// Labels of the nodes hosting the placement.
+    pub placement_sites: Vec<String>,
+    /// Number of client locations.
+    pub locations: usize,
+    /// Total clients.
+    pub total_clients: usize,
+    /// Human-readable capacity selection (e.g. `sweep(4) → c* = 0.667`).
+    pub capacity: String,
+    /// LP optimal average network delay at the chosen capacities, ms.
+    pub lp_delay_ms: f64,
+    /// Model-scored average response time of the chosen strategies, ms.
+    pub lp_response_ms: f64,
+    /// Total simplex pivots spent (cold base + every warm re-solve).
+    pub lp_pivots: usize,
+    /// Per-phase results.
+    pub phases: Vec<PhaseReport>,
+    /// Cross-check tolerance (relative).
+    pub tolerance: f64,
+    /// Largest per-phase [`PhaseReport::rel_error`].
+    pub max_rel_error: f64,
+    /// Whether every phase's residual is within tolerance.
+    pub pass: bool,
+}
+
+impl ScenarioReport {
+    /// One summary line, e.g. for matrix listings.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "{}: {} sites, {} phases, LP delay {:.1} ms, max rel err {:.1}% → {}",
+            self.name,
+            self.sites,
+            self.phases.len(),
+            self.lp_delay_ms,
+            self.max_rel_error * 100.0,
+            if self.pass { "PASS" } else { "FAIL" }
+        )
+    }
+}
+
+impl fmt::Display for ScenarioReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "scenario:   {}", self.name)?;
+        writeln!(f, "topology:   {} ({} sites)", self.topology, self.sites)?;
+        writeln!(
+            f,
+            "system:     {} on [{}]",
+            self.system,
+            self.placement_sites.join(", ")
+        )?;
+        writeln!(
+            f,
+            "clients:    {} at {} locations",
+            self.total_clients, self.locations
+        )?;
+        writeln!(f, "capacity:   {}", self.capacity)?;
+        writeln!(
+            f,
+            "LP:         delay {:.2} ms, response {:.2} ms, {} pivots",
+            self.lp_delay_ms, self.lp_response_ms, self.lp_pivots
+        )?;
+        for p in &self.phases {
+            let mut tags = Vec::new();
+            if p.flash {
+                tags.push("flash".to_string());
+            }
+            if p.failed_elements > 0 {
+                tags.push(format!(
+                    "fail×{}{}",
+                    p.failed_elements,
+                    if p.reoptimized { "+reopt" } else { "" }
+                ));
+            }
+            let tag = if tags.is_empty() {
+                "nominal".to_string()
+            } else {
+                tags.join(",")
+            };
+            writeln!(
+                f,
+                "phase {} [{:<12}] DES resp {:8.2} ms, floor {:8.2} ms, \
+                 predicted {:8.2} ms, rel err {:5.2}%, util {:.2}, {} reqs",
+                p.phase,
+                tag,
+                p.des_response_ms,
+                p.des_floor_ms,
+                p.predicted_floor_ms,
+                p.rel_error * 100.0,
+                p.max_server_utilization,
+                p.completed_requests
+            )?;
+        }
+        writeln!(
+            f,
+            "cross-check: max rel err {:.2}% vs tolerance {:.1}% → {}",
+            self.max_rel_error * 100.0,
+            self.tolerance * 100.0,
+            if self.pass { "PASS" } else { "FAIL" }
+        )
+    }
+}

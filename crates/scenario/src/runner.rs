@@ -1,0 +1,562 @@
+//! The end-to-end scenario pipeline: topology → placement → strategy LP
+//! → capacity selection → per-phase DES validation → cross-check.
+
+use qp_core::capacity::{capacity_sweep, CapacityProfile};
+use qp_core::response::evaluate_matrix_placed;
+use qp_core::strategy_lp::{CapacitySweepSolver, StrategyLpOutcome};
+use qp_core::{CoreError, EvalContext, Placement, ResponseModel};
+use qp_par::ParPool;
+use qp_protocol::{simulate, ClientPopulation, ProtocolConfig, QuorumChoice};
+use qp_quorum::{Quorum, StrategyMatrix};
+use qp_topology::{Network, NodeId};
+
+use crate::report::{PhaseReport, ScenarioReport};
+use crate::spec::{parse_system, CapacityChoice, DemandModel, ScenarioSpec};
+use crate::ScenarioError;
+
+/// Executes [`ScenarioSpec`]s through the full pipeline.
+///
+/// Every step is a pure function of the spec: topology generation,
+/// placement search, LP solves, and the DES all run from fixed seeds, so
+/// a scenario's report is bit-identical across runs and thread counts
+/// (the matrix fan-out and the capacity sweep ride
+/// [`qp_par::ParPool`], whose results are input-ordered by contract).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScenarioRunner;
+
+impl ScenarioRunner {
+    /// A runner with default settings.
+    pub fn new() -> Self {
+        ScenarioRunner
+    }
+
+    /// Runs a matrix of scenarios on the global worker pool, reports in
+    /// spec order.
+    ///
+    /// # Errors
+    ///
+    /// The error of the lowest-indexed failing scenario.
+    pub fn run_matrix(&self, specs: &[ScenarioSpec]) -> Result<Vec<ScenarioReport>, ScenarioError> {
+        ParPool::global()
+            .run(specs.len(), |i| self.run(&specs[i]))
+            .into_iter()
+            .collect()
+    }
+
+    /// Runs one scenario end to end.
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioError::Invalid`] for semantic problems (validated up
+    /// front); topology/LP/DES failures propagate with their layer's
+    /// error type.
+    pub fn run(&self, spec: &ScenarioSpec) -> Result<ScenarioReport, ScenarioError> {
+        spec.validate()?;
+        let pipeline = &spec.pipeline;
+
+        // 1. Topology and quorum system.
+        let net = spec.topology.build()?;
+        let sys = parse_system(&pipeline.system)?;
+        if sys.universe_size() > net.len() {
+            return Err(ScenarioError::Invalid(format!(
+                "universe of {} exceeds the {}-site network",
+                sys.universe_size(),
+                net.len()
+            )));
+        }
+
+        // 2. Placement and client population. Location count must fit
+        // the network — silently shrinking it would run a different
+        // scenario than declared (and could drop the flash crowd).
+        let placement = pipeline.placement.compute(&net, &sys)?;
+        let locations = spec.workload.locations;
+        if locations > net.len() {
+            return Err(ScenarioError::Invalid(format!(
+                "{locations} client locations exceed the {}-site network",
+                net.len()
+            )));
+        }
+        let uniform_pop = ClientPopulation::representative(
+            &net,
+            &sys,
+            &placement,
+            locations,
+            spec.workload.per_location,
+        );
+        let nominal = match spec.workload.demand {
+            DemandModel::Uniform => uniform_pop,
+            DemandModel::Zipf(theta) => ClientPopulation::zipf(
+                uniform_pop.locations().to_vec(),
+                spec.workload.per_location,
+                theta,
+            ),
+        };
+
+        // 3. The strategy LP over the demand-weighted client list: each
+        // location appears once per client it hosts, so the LP's uniform
+        // client average *is* the demand-weighted average.
+        let quorums = sys.enumerate(pipeline.quorum_limit)?;
+        let lp_clients = nominal.client_locations();
+        let ctx = EvalContext::new(&net, &lp_clients);
+        let pq = ctx.place(&placement, &quorums);
+        let solver = CapacitySweepSolver::new(&pq)?;
+        let model = ResponseModel::from_demand(pipeline.op_time_ms, pipeline.demand);
+        let mut lp_pivots = solver.base_stats().iterations;
+
+        // 4. Capacity selection.
+        let n = net.len();
+        let (base_outcome, base_caps, capacity_label) = match pipeline.capacity {
+            CapacityChoice::Sweep { steps } => {
+                let l_opt = sys.optimal_load().unwrap_or(0.5);
+                let cs = capacity_sweep(l_opt, steps);
+                let solved = ParPool::global().run(cs.len(), |i| {
+                    let outcome = solver.solve_uniform(cs[i])?;
+                    let eval = evaluate_matrix_placed(&pq, &outcome.strategy, model)?;
+                    Ok::<_, CoreError>((outcome, eval))
+                });
+                let mut best: Option<(f64, StrategyLpOutcome, f64)> = None;
+                for (c, outcome) in cs.iter().zip(solved) {
+                    match outcome {
+                        Ok((outcome, eval)) => {
+                            lp_pivots += outcome.stats.iterations;
+                            let better = best
+                                .as_ref()
+                                .is_none_or(|(_, _, r)| eval.avg_response_ms < *r);
+                            if better {
+                                best = Some((*c, outcome, eval.avg_response_ms));
+                            }
+                        }
+                        Err(CoreError::Infeasible) => continue,
+                        Err(e) => return Err(e.into()),
+                    }
+                }
+                let (c, outcome, _) = best.ok_or(CoreError::Infeasible)?;
+                let label = format!("sweep({steps}) → c* = {c:.3}");
+                (outcome, CapacityProfile::uniform(n, c), label)
+            }
+            CapacityChoice::Fixed(c) => {
+                let outcome = solver.solve_uniform(c)?;
+                lp_pivots += outcome.stats.iterations;
+                (
+                    outcome,
+                    CapacityProfile::uniform(n, c),
+                    format!("fixed {c:.3}"),
+                )
+            }
+            CapacityChoice::LoadProportional { beta, gamma } => {
+                let unconstrained = solver.solve_profile(&CapacityProfile::unbounded(n))?;
+                lp_pivots += unconstrained.stats.iterations;
+                let loads = evaluate_matrix_placed(
+                    &pq,
+                    &unconstrained.strategy,
+                    ResponseModel::network_delay_only(),
+                )?
+                .node_loads;
+                let caps = CapacityProfile::load_proportional(
+                    &loads,
+                    &placement.support_set(),
+                    beta,
+                    gamma,
+                )?;
+                let outcome = solver.solve_profile(&caps)?;
+                lp_pivots += outcome.stats.iterations;
+                (
+                    outcome,
+                    caps,
+                    format!("load-proportional [{beta}, {gamma}]"),
+                )
+            }
+            CapacityChoice::MarginalValue { beta, gamma } => {
+                let reference = solver.solve_uniform(gamma)?;
+                lp_pivots += reference.stats.iterations;
+                let prices: Vec<f64> = reference
+                    .capacity_duals
+                    .iter()
+                    .map(|&d| (-d).max(0.0))
+                    .collect();
+                let caps = CapacityProfile::marginal_value(
+                    &prices,
+                    &placement.support_set(),
+                    beta,
+                    gamma,
+                )?;
+                let outcome = solver.solve_profile(&caps)?;
+                lp_pivots += outcome.stats.iterations;
+                (outcome, caps, format!("marginal-value [{beta}, {gamma}]"))
+            }
+        };
+        let base_eval = evaluate_matrix_placed(&pq, &base_outcome.strategy, model)?;
+        let base_rows = collapse_rows(
+            &base_outcome.strategy,
+            &nominal.location_indices(),
+            locations,
+            quorums.len(),
+        )?;
+
+        // 5. Per-phase DES validation.
+        let universe = sys.universe_size();
+        let mut phases = Vec::with_capacity(pipeline.phases);
+        for phase in 0..pipeline.phases {
+            // `validate()` guarantees `focus < locations`.
+            let flash = spec.workload.flash.filter(|f| f.phase == phase);
+            let pop = match flash {
+                Some(f) => nominal.boosted(f.focus, f.boost),
+                None => nominal.clone(),
+            };
+            let mults = spec.failures.multipliers_for_phase(phase, universe);
+            let failed_elements = mults
+                .as_ref()
+                .map_or(0, |m| m.iter().filter(|&&x| x != 1.0).count());
+
+            // Optional mid-run re-optimization: the strategy LP re-solves
+            // with degraded sites' capacity scaled down by their slowdown.
+            // If the tuned capacities cannot absorb the shifted load,
+            // retry in survival mode — healthy nodes relaxed to full
+            // capacity — before falling back to the nominal strategy.
+            let mut reoptimized = false;
+            let rows = if failed_elements > 0 && spec.failures.reoptimize {
+                let phase_mults = mults.as_deref().expect("failures present");
+                let mut outcome = None;
+                for caps in [
+                    scale_caps_for_failures(&base_caps, &placement, phase_mults),
+                    scale_caps_for_failures(
+                        &CapacityProfile::uniform(n, 1.0),
+                        &placement,
+                        phase_mults,
+                    ),
+                ] {
+                    match solver.solve_profile(&caps) {
+                        Ok(o) => {
+                            outcome = Some(o);
+                            break;
+                        }
+                        Err(CoreError::Infeasible) => continue,
+                        Err(e) => return Err(e.into()),
+                    }
+                }
+                match outcome {
+                    Some(outcome) => {
+                        lp_pivots += outcome.stats.iterations;
+                        reoptimized = true;
+                        collapse_rows(
+                            &outcome.strategy,
+                            &nominal.location_indices(),
+                            locations,
+                            quorums.len(),
+                        )?
+                    }
+                    // Even full healthy capacity cannot serve around the
+                    // failures; keep the nominal strategy for the phase.
+                    None => base_rows.clone(),
+                }
+            } else {
+                base_rows.clone()
+            };
+
+            let predicted_floor_ms = expected_floor_ms(
+                &net,
+                &placement,
+                &quorums,
+                &rows,
+                &pop,
+                pipeline.service_time_ms,
+                mults.as_deref(),
+            );
+
+            let cfg = ProtocolConfig {
+                service_time_ms: pipeline.service_time_ms,
+                warmup_requests: pipeline.warmup,
+                measured_requests: pipeline.requests,
+                seed: qp_par::job_seed(pipeline.seed, phase),
+                service_multipliers: mults,
+                dedup_colocated: false,
+            };
+            let report = simulate(
+                &net,
+                &sys,
+                &placement,
+                &pop,
+                QuorumChoice::Weighted {
+                    quorums: quorums.clone(),
+                    strategy: rows,
+                },
+                &cfg,
+            )?;
+            let rel_error = if predicted_floor_ms > 0.0 {
+                (report.avg_network_delay_ms - predicted_floor_ms).abs() / predicted_floor_ms
+            } else {
+                0.0
+            };
+            let max_util = report
+                .server_utilization
+                .iter()
+                .copied()
+                .fold(0.0, f64::max);
+            phases.push(PhaseReport {
+                phase,
+                flash: flash.is_some(),
+                failed_elements,
+                reoptimized,
+                predicted_floor_ms,
+                des_response_ms: report.avg_response_ms,
+                des_floor_ms: report.avg_network_delay_ms,
+                rel_error,
+                completed_requests: report.completed_requests,
+                max_server_utilization: max_util,
+            });
+        }
+
+        // 6. Cross-check: every phase's measured floor must match the
+        // prediction within tolerance (failure phases included — the
+        // prediction folds the service multipliers in).
+        let max_rel_error = phases.iter().map(|p| p.rel_error).fold(0.0, f64::max);
+        let pass = max_rel_error <= pipeline.tolerance;
+
+        Ok(ScenarioReport {
+            name: spec.name.clone(),
+            topology: spec.topology.describe(),
+            sites: net.len(),
+            system: sys.label(),
+            placement_sites: placement
+                .support_set()
+                .iter()
+                .map(|&v| net.label(v).to_string())
+                .collect(),
+            locations,
+            total_clients: nominal.total_clients(),
+            capacity: capacity_label,
+            lp_delay_ms: base_outcome.delay_ms,
+            lp_response_ms: base_eval.avg_response_ms,
+            lp_pivots,
+            phases,
+            tolerance: pipeline.tolerance,
+            max_rel_error,
+            pass,
+        })
+    }
+}
+
+/// Collapses a per-client strategy (rows aligned with the flattened
+/// client list) into a per-*location* strategy by averaging each
+/// location's client rows — feasibility and the demand-weighted
+/// objective are preserved because the LP is linear. Locations with no
+/// clients get the uniform row (they are never sampled).
+fn collapse_rows(
+    strategy: &StrategyMatrix,
+    location_indices: &[usize],
+    locations: usize,
+    num_quorums: usize,
+) -> Result<StrategyMatrix, ScenarioError> {
+    let mut rows = vec![vec![0.0; num_quorums]; locations];
+    let mut counts = vec![0usize; locations];
+    for (client, &loc) in location_indices.iter().enumerate() {
+        for (acc, &p) in rows[loc].iter_mut().zip(strategy.row(client)) {
+            *acc += p;
+        }
+        counts[loc] += 1;
+    }
+    for (row, &count) in rows.iter_mut().zip(&counts) {
+        if count > 0 {
+            let inv = 1.0 / count as f64;
+            for p in row.iter_mut() {
+                *p *= inv;
+            }
+        } else {
+            let uniform = 1.0 / num_quorums as f64;
+            row.fill(uniform);
+        }
+    }
+    Ok(StrategyMatrix::from_rows(rows)?)
+}
+
+/// The expected idle-network floor of the weighted strategy: what the DES
+/// floor converges to. Mirrors the simulator's accounting exactly — a
+/// request's floor is `max` over contacted nodes of RTT plus the *summed*
+/// service of the quorum elements hosted there (same-node messages
+/// serialize even on an idle system), with per-element multipliers
+/// applied.
+fn expected_floor_ms(
+    net: &Network,
+    placement: &Placement,
+    quorums: &[Quorum],
+    rows: &StrategyMatrix,
+    pop: &ClientPopulation,
+    service_time_ms: f64,
+    mults: Option<&[f64]>,
+) -> f64 {
+    let counts = pop.client_counts();
+    let total: usize = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let mult = |u: usize| mults.map_or(1.0, |m| m[u]);
+    let mut acc = 0.0;
+    for (loc_idx, (&loc, &count)) in pop.locations().iter().zip(&counts).enumerate() {
+        if count == 0 {
+            continue;
+        }
+        let row = rows.row(loc_idx);
+        let mut exp = 0.0;
+        for (i, q) in quorums.iter().enumerate() {
+            if row[i] == 0.0 {
+                continue;
+            }
+            // Group the quorum's elements by hosting node, summing
+            // service times per node.
+            let mut by_node: Vec<(usize, f64)> = Vec::new();
+            for u in q.iter() {
+                let w = placement.node_of(u).index();
+                let svc = service_time_ms * mult(u.index());
+                match by_node.binary_search_by_key(&w, |&(n, _)| n) {
+                    Ok(pos) => by_node[pos].1 += svc,
+                    Err(pos) => by_node.insert(pos, (w, svc)),
+                }
+            }
+            let floor = by_node
+                .iter()
+                .map(|&(w, svc)| net.distance(loc, NodeId::new(w)) + svc)
+                .fold(f64::MIN, f64::max);
+            exp += row[i] * floor;
+        }
+        acc += count as f64 * exp;
+    }
+    acc / total as f64
+}
+
+/// Scales a capacity profile down at nodes hosting failed elements: a
+/// node whose worst co-located element runs `m×` slower keeps `1/m` of
+/// its capacity — the failure-aware input to mid-run re-optimization.
+fn scale_caps_for_failures(
+    base: &CapacityProfile,
+    placement: &Placement,
+    mults: &[f64],
+) -> CapacityProfile {
+    let mut worst = vec![1.0f64; base.len()];
+    for (u, &m) in mults.iter().enumerate() {
+        let w = placement.node_of(qp_quorum::ElementId::new(u)).index();
+        worst[w] = worst[w].max(m);
+    }
+    let values = (0..base.len())
+        .map(|w| base.get(NodeId::new(w)) / worst[w])
+        .collect();
+    CapacityProfile::from_values(values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{FailureEvent, FailurePlan, FlashCrowd, TopologySource, WorkloadSpec};
+
+    fn small_spec() -> ScenarioSpec {
+        ScenarioSpec {
+            name: "unit".to_string(),
+            topology: TopologySource::Euclidean {
+                sites: 12,
+                side_ms: 100.0,
+                seed: 4,
+            },
+            workload: WorkloadSpec {
+                locations: 4,
+                per_location: 2,
+                demand: DemandModel::Zipf(0.7),
+                flash: Some(FlashCrowd {
+                    phase: 1,
+                    focus: 0,
+                    boost: 4.0,
+                }),
+            },
+            failures: FailurePlan {
+                events: vec![FailureEvent {
+                    phase: 1,
+                    element: 0,
+                    multiplier: 10.0,
+                }],
+                reoptimize: true,
+            },
+            pipeline: crate::spec::PipelineSpec {
+                system: "grid:2".to_string(),
+                phases: 2,
+                requests: 30,
+                warmup: 5,
+                seed: 9,
+                tolerance: 0.25,
+                ..crate::spec::PipelineSpec::default()
+            },
+        }
+    }
+
+    #[test]
+    fn runs_end_to_end_and_cross_checks() {
+        let report = ScenarioRunner::new().run(&small_spec()).unwrap();
+        assert_eq!(report.phases.len(), 2);
+        assert!(report.phases[0].predicted_floor_ms > 0.0);
+        assert!(report.phases[1].flash);
+        assert_eq!(report.phases[1].failed_elements, 1);
+        assert!(report.pass, "cross-check failed: {report}");
+        // The report renders without panicking and mentions the verdict.
+        let text = report.to_string();
+        assert!(text.contains("PASS"), "{text}");
+    }
+
+    #[test]
+    fn reruns_are_bit_identical() {
+        let runner = ScenarioRunner::new();
+        let spec = small_spec();
+        let a = runner.run(&spec).unwrap();
+        let b = runner.run(&spec).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn matrix_matches_individual_runs() {
+        let runner = ScenarioRunner::new();
+        let mut second = small_spec();
+        second.name = "unit-2".to_string();
+        second.pipeline.seed = 77;
+        let specs = vec![small_spec(), second];
+        let matrix = runner.run_matrix(&specs).unwrap();
+        assert_eq!(matrix.len(), 2);
+        assert_eq!(matrix[0], runner.run(&specs[0]).unwrap());
+        assert_eq!(matrix[1], runner.run(&specs[1]).unwrap());
+        assert_ne!(
+            matrix[0].phases[0].des_response_ms,
+            matrix[1].phases[0].des_response_ms
+        );
+    }
+
+    #[test]
+    fn collapse_preserves_distributions() {
+        let strategy =
+            StrategyMatrix::from_rows(vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![0.5, 0.5]])
+                .unwrap();
+        // Clients 0,1 at location 0; client 2 at location 1; location 2 empty.
+        let rows = collapse_rows(&strategy, &[0, 0, 1], 3, 2).unwrap();
+        assert_eq!(rows.row(0), &[0.5, 0.5]);
+        assert_eq!(rows.row(1), &[0.5, 0.5]);
+        assert_eq!(rows.row(2), &[0.5, 0.5]);
+    }
+
+    #[test]
+    fn oversized_location_count_is_rejected_not_clamped() {
+        // Silently shrinking the population would run a different
+        // scenario than declared (and could drop the flash crowd).
+        let mut spec = small_spec();
+        spec.workload.locations = 20; // > 12 sites
+        spec.workload.flash = None;
+        let err = ScenarioRunner::new().run(&spec).unwrap_err();
+        let ScenarioError::Invalid(msg) = err else {
+            panic!("wrong error: {err}");
+        };
+        assert!(msg.contains("20 client locations"), "{msg}");
+    }
+
+    #[test]
+    fn oversized_universe_is_rejected() {
+        let mut spec = small_spec();
+        spec.pipeline.system = "grid:5".to_string(); // 25 > 12 sites
+        assert!(matches!(
+            ScenarioRunner::new().run(&spec),
+            Err(ScenarioError::Invalid(_))
+        ));
+    }
+}

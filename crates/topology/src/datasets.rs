@@ -219,6 +219,355 @@ pub fn daxlist_161() -> Network {
     cfg.generate(0x6461_7831) // "dax1"
 }
 
+/// Configuration for the GT-ITM-style **transit-stub** WAN generator.
+///
+/// The classic hierarchical Internet model: a small core of *transit
+/// domains* (backbone ASes) whose routers interconnect over long links,
+/// with *stub domains* (campus/edge networks) hanging off individual
+/// transit routers over short uplinks. Sites are the transit routers plus
+/// every stub node; delays are shortest paths over the sampled link
+/// delays, so the result is metric by construction.
+///
+/// Link delays are sampled uniformly from the per-tier ranges and then
+/// perturbed by multiplicative jitter; everything is a pure function of
+/// the seed.
+///
+/// # Examples
+///
+/// ```
+/// use qp_topology::datasets::TransitStubConfig;
+///
+/// let cfg = TransitStubConfig::default();
+/// let net = cfg.generate(7);
+/// assert_eq!(net.len(), cfg.sites());
+/// assert!(net.distances().is_metric(1e-9));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransitStubConfig {
+    /// Number of transit (backbone) domains.
+    pub transit_domains: usize,
+    /// Routers per transit domain.
+    pub transit_size: usize,
+    /// Stub domains attached to each transit router.
+    pub stubs_per_transit: usize,
+    /// Sites per stub domain.
+    pub stub_size: usize,
+    /// Link-delay range between routers of *different* transit domains,
+    /// ms (intercontinental backbone).
+    pub inter_transit_ms: (f64, f64),
+    /// Link-delay range between routers of the *same* transit domain, ms.
+    pub intra_transit_ms: (f64, f64),
+    /// Uplink delay range from a stub gateway to its transit router, ms.
+    pub transit_stub_ms: (f64, f64),
+    /// Link-delay range inside a stub domain, ms.
+    pub intra_stub_ms: (f64, f64),
+    /// Relative standard deviation of multiplicative delay jitter.
+    pub jitter_frac: f64,
+}
+
+impl Default for TransitStubConfig {
+    fn default() -> Self {
+        TransitStubConfig {
+            transit_domains: 3,
+            transit_size: 3,
+            stubs_per_transit: 2,
+            stub_size: 4,
+            inter_transit_ms: (30.0, 90.0),
+            intra_transit_ms: (4.0, 20.0),
+            transit_stub_ms: (1.0, 8.0),
+            intra_stub_ms: (0.3, 3.0),
+            jitter_frac: 0.05,
+        }
+    }
+}
+
+impl TransitStubConfig {
+    /// Total number of sites the configuration generates: all transit
+    /// routers plus all stub nodes.
+    pub fn sites(&self) -> usize {
+        let routers = self.transit_domains * self.transit_size;
+        routers + routers * self.stubs_per_transit * self.stub_size
+    }
+
+    /// Generates the network deterministically from `seed`.
+    ///
+    /// Transit routers are labelled `t{domain}-{router}`, stub sites
+    /// `s{domain}-{router}-{stub}-{site}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any count is zero, a delay range is invalid
+    /// (`lo <= 0` or `hi < lo`), or `jitter_frac` is negative.
+    pub fn generate(&self, seed: u64) -> Network {
+        assert!(
+            self.transit_domains > 0 && self.transit_size > 0,
+            "at least one transit router required"
+        );
+        assert!(
+            self.stubs_per_transit > 0 && self.stub_size > 0,
+            "at least one stub site required"
+        );
+        for (lo, hi) in [
+            self.inter_transit_ms,
+            self.intra_transit_ms,
+            self.transit_stub_ms,
+            self.intra_stub_ms,
+        ] {
+            assert!(lo > 0.0 && hi >= lo, "invalid delay range [{lo}, {hi}]");
+        }
+        assert!(self.jitter_frac >= 0.0, "jitter must be nonnegative");
+
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let n = self.sites();
+        let routers = self.transit_domains * self.transit_size;
+        let mut graph = crate::Graph::new(n);
+        let mut labels = vec![String::new(); n];
+
+        let sample = |rng: &mut ChaCha8Rng, (lo, hi): (f64, f64)| -> f64 {
+            let base = rng.gen_range(lo..=hi);
+            let noise = 1.0 + self.jitter_frac * standard_normal(rng);
+            (base * noise.max(0.2)).max(0.05)
+        };
+        let router_id = |d: usize, r: usize| d * self.transit_size + r;
+
+        // Transit routers: labelled and fully meshed within a domain.
+        for d in 0..self.transit_domains {
+            for r in 0..self.transit_size {
+                labels[router_id(d, r)] = format!("t{d}-{r}");
+            }
+            for a in 0..self.transit_size {
+                for b in (a + 1)..self.transit_size {
+                    let delay = sample(&mut rng, self.intra_transit_ms);
+                    graph
+                        .add_edge(
+                            crate::NodeId::new(router_id(d, a)),
+                            crate::NodeId::new(router_id(d, b)),
+                            delay,
+                        )
+                        .expect("distinct in-range routers");
+                }
+            }
+        }
+        // One backbone link between every pair of transit domains, from a
+        // seeded-random router on each side.
+        for d1 in 0..self.transit_domains {
+            for d2 in (d1 + 1)..self.transit_domains {
+                let r1 = rng.gen_range(0..self.transit_size);
+                let r2 = rng.gen_range(0..self.transit_size);
+                let delay = sample(&mut rng, self.inter_transit_ms);
+                graph
+                    .add_edge(
+                        crate::NodeId::new(router_id(d1, r1)),
+                        crate::NodeId::new(router_id(d2, r2)),
+                        delay,
+                    )
+                    .expect("routers of distinct domains differ");
+            }
+        }
+        // Stub domains: a complete subgraph of short links, whose first
+        // site doubles as the gateway onto the hosting transit router.
+        let mut next = routers;
+        for d in 0..self.transit_domains {
+            for r in 0..self.transit_size {
+                for s in 0..self.stubs_per_transit {
+                    let first = next;
+                    for i in 0..self.stub_size {
+                        labels[next] = format!("s{d}-{r}-{s}-{i}");
+                        next += 1;
+                    }
+                    let uplink = sample(&mut rng, self.transit_stub_ms);
+                    graph
+                        .add_edge(
+                            crate::NodeId::new(first),
+                            crate::NodeId::new(router_id(d, r)),
+                            uplink,
+                        )
+                        .expect("gateway and router are distinct");
+                    for a in 0..self.stub_size {
+                        for b in (a + 1)..self.stub_size {
+                            let delay = sample(&mut rng, self.intra_stub_ms);
+                            graph
+                                .add_edge(
+                                    crate::NodeId::new(first + a),
+                                    crate::NodeId::new(first + b),
+                                    delay,
+                                )
+                                .expect("distinct stub sites");
+                        }
+                    }
+                }
+            }
+        }
+        debug_assert_eq!(next, n);
+        // Dijkstra relaxation order differs per direction, so opposite
+        // sums can differ by ulps; symmetrize before constructing.
+        let mut rows = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            let from_i = graph.shortest_paths_from(crate::NodeId::new(i));
+            assert!(
+                from_i.iter().all(|d| d.is_finite()),
+                "transit-stub graph is connected by construction"
+            );
+            rows[i] = from_i;
+        }
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = 0.5 * (rows[i][j] + rows[j][i]);
+                rows[i][j] = d;
+                rows[j][i] = d;
+            }
+        }
+        let matrix = DistanceMatrix::from_rows(&rows).expect("symmetrized by construction");
+        Network::with_labels(matrix.metric_closure(), labels).expect("one label per site")
+    }
+}
+
+/// Configuration for the **hierarchical** (tree-of-clusters) WAN
+/// generator.
+///
+/// Sites are the leaves of a rooted tree: `branching[0]` top-level
+/// clusters, each splitting into `branching[1]` sub-clusters, and so on.
+/// The edge from a depth-`ℓ` node up to its parent costs
+/// `level_ms[ℓ]` ms (jittered per edge), so the delay between two leaves
+/// is the tree-path length — crossing higher levels costs more, exactly
+/// the continent / region / metro structure of real WANs. Tree metrics
+/// satisfy the triangle inequality by construction.
+///
+/// # Examples
+///
+/// ```
+/// use qp_topology::datasets::HierarchicalConfig;
+///
+/// let cfg = HierarchicalConfig {
+///     branching: vec![3, 2, 4],
+///     level_ms: vec![40.0, 10.0, 1.5],
+///     jitter_frac: 0.05,
+/// };
+/// let net = cfg.generate(3);
+/// assert_eq!(net.len(), 24);
+/// assert!(net.distances().is_metric(1e-9));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct HierarchicalConfig {
+    /// Children per node at each level; the product is the site count.
+    pub branching: Vec<usize>,
+    /// Cost (ms) of the edge from a node at that level up to its parent;
+    /// must have the same length as `branching`.
+    pub level_ms: Vec<f64>,
+    /// Relative standard deviation of multiplicative per-edge jitter.
+    pub jitter_frac: f64,
+}
+
+impl Default for HierarchicalConfig {
+    fn default() -> Self {
+        HierarchicalConfig {
+            branching: vec![4, 3, 4],
+            level_ms: vec![45.0, 8.0, 1.0],
+            jitter_frac: 0.05,
+        }
+    }
+}
+
+impl HierarchicalConfig {
+    /// Number of sites (tree leaves) the configuration generates.
+    pub fn sites(&self) -> usize {
+        self.branching.iter().product()
+    }
+
+    /// Generates the network deterministically from `seed`.
+    ///
+    /// Leaves are labelled by their path from the root, e.g. `h2-0-3`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `branching` is empty or contains zero, `level_ms` has a
+    /// different length or a non-positive entry, or `jitter_frac` is
+    /// negative.
+    pub fn generate(&self, seed: u64) -> Network {
+        assert!(!self.branching.is_empty(), "at least one level required");
+        assert!(
+            self.branching.iter().all(|&b| b > 0),
+            "branching factors must be positive"
+        );
+        assert_eq!(
+            self.branching.len(),
+            self.level_ms.len(),
+            "one delay per level required"
+        );
+        assert!(
+            self.level_ms.iter().all(|&d| d > 0.0),
+            "level delays must be positive"
+        );
+        assert!(self.jitter_frac >= 0.0, "jitter must be nonnegative");
+
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let depth = self.branching.len();
+        // Per-level jittered up-edge costs, indexed by the node's path
+        // prefix. Level ℓ has prod(branching[..=ℓ]) nodes, enumerated in
+        // lexicographic path order — the same order the leaves get.
+        let mut up_cost: Vec<Vec<f64>> = Vec::with_capacity(depth);
+        let mut level_count = 1usize;
+        for l in 0..depth {
+            level_count *= self.branching[l];
+            let costs = (0..level_count)
+                .map(|_| {
+                    let noise = 1.0 + self.jitter_frac * standard_normal(&mut rng);
+                    (self.level_ms[l] * noise.max(0.2)).max(0.01)
+                })
+                .collect();
+            up_cost.push(costs);
+        }
+
+        let n = self.sites();
+        // A leaf's path digits, most-significant level first.
+        let path_of = |mut leaf: usize| -> Vec<usize> {
+            let mut digits = vec![0usize; depth];
+            for l in (0..depth).rev() {
+                digits[l] = leaf % self.branching[l];
+                leaf /= self.branching[l];
+            }
+            digits
+        };
+        // Node index of a path prefix at level l (0-based digit arrays).
+        let prefix_index = |digits: &[usize], l: usize| -> usize {
+            let mut idx = 0usize;
+            for (b, &d) in self.branching[..=l].iter().zip(&digits[..=l]) {
+                idx = idx * b + d;
+            }
+            idx
+        };
+
+        let mut rows = vec![vec![0.0; n]; n];
+        let mut labels = Vec::with_capacity(n);
+        for a in 0..n {
+            let pa = path_of(a);
+            labels.push(format!(
+                "h{}",
+                pa.iter()
+                    .map(|d| d.to_string())
+                    .collect::<Vec<_>>()
+                    .join("-")
+            ));
+            for b in (a + 1)..n {
+                let pb = path_of(b);
+                // First level where the paths diverge.
+                let split = (0..depth)
+                    .find(|&l| pa[l] != pb[l])
+                    .expect("distinct leaves diverge somewhere");
+                let mut d = 0.0;
+                for l in split..depth {
+                    d += up_cost[l][prefix_index(&pa, l)];
+                    d += up_cost[l][prefix_index(&pb, l)];
+                }
+                rows[a][b] = d;
+                rows[b][a] = d;
+            }
+        }
+        let m = DistanceMatrix::from_rows(&rows).expect("tree metric is symmetric");
+        Network::with_labels(m.metric_closure(), labels).expect("one label per leaf")
+    }
+}
+
 /// Great-circle distance between two (lat, lon) points in degrees,
 /// kilometres (haversine formula).
 pub fn haversine_km(lat1: f64, lon1: f64, lat2: f64, lon2: f64) -> f64 {
@@ -295,6 +644,7 @@ fn standard_normal<R: Rng>(rng: &mut R) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::NodeId;
 
     #[test]
     fn planetlab_50_shape() {
@@ -392,6 +742,124 @@ mod tests {
         assert_eq!(net.distance(NodeId::new(0), NodeId::new(3)), 30.0);
         assert_eq!(net.distance(NodeId::new(0), NodeId::new(5)), 10.0);
         assert!(net.distances().is_metric(1e-9));
+    }
+
+    #[test]
+    fn transit_stub_shape_and_determinism() {
+        let cfg = TransitStubConfig::default();
+        let net = cfg.generate(7);
+        assert_eq!(net.len(), cfg.sites());
+        assert_eq!(net.len(), 9 + 9 * 2 * 4);
+        assert!(net.distances().is_metric(1e-9));
+        for i in net.nodes() {
+            for j in net.nodes() {
+                if i != j {
+                    assert!(net.distance(i, j) > 0.0, "zero delay at ({i}, {j})");
+                }
+            }
+        }
+        assert_eq!(cfg.generate(7), net);
+        assert_ne!(cfg.generate(8), net);
+        // Labels encode the hierarchy: routers first, then stub sites.
+        assert!(net.label(NodeId::new(0)).starts_with('t'));
+        assert!(net.label(NodeId::new(net.len() - 1)).starts_with('s'));
+    }
+
+    #[test]
+    fn transit_stub_locality() {
+        // Sites of one stub domain must on average be far closer to each
+        // other than to sites of a stub under a different transit domain.
+        let cfg = TransitStubConfig {
+            jitter_frac: 0.02,
+            ..TransitStubConfig::default()
+        };
+        let net = cfg.generate(3);
+        let routers = cfg.transit_domains * cfg.transit_size;
+        let stub0: Vec<NodeId> = (routers..routers + cfg.stub_size)
+            .map(NodeId::new)
+            .collect();
+        // The first stub of the *last* transit domain.
+        let far_start = routers
+            + (cfg.transit_domains - 1) * cfg.transit_size * cfg.stubs_per_transit * cfg.stub_size;
+        let far: Vec<NodeId> = (far_start..far_start + cfg.stub_size)
+            .map(NodeId::new)
+            .collect();
+        let avg = |xs: &[NodeId], ys: &[NodeId]| -> f64 {
+            let mut sum = 0.0;
+            let mut count = 0;
+            for &a in xs {
+                for &b in ys {
+                    if a != b {
+                        sum += net.distance(a, b);
+                        count += 1;
+                    }
+                }
+            }
+            sum / count as f64
+        };
+        let intra = avg(&stub0, &stub0);
+        let inter = avg(&stub0, &far);
+        assert!(
+            intra * 3.0 < inter,
+            "stub locality broken: intra {intra} ms vs inter {inter} ms"
+        );
+    }
+
+    #[test]
+    fn hierarchical_shape_and_tree_structure() {
+        let cfg = HierarchicalConfig {
+            branching: vec![3, 2, 4],
+            level_ms: vec![40.0, 10.0, 1.5],
+            jitter_frac: 0.0,
+        };
+        let net = cfg.generate(5);
+        assert_eq!(net.len(), 24);
+        assert!(net.distances().is_metric(1e-9));
+        // Without jitter the tree metric is exact: siblings differ by
+        // 2·level_ms[2], cousins across the top level by the full climb.
+        let same_metro = net.distance(NodeId::new(0), NodeId::new(1));
+        assert!(
+            (same_metro - 3.0).abs() < 1e-9,
+            "sibling delay {same_metro}"
+        );
+        let cross_top = net.distance(NodeId::new(0), NodeId::new(23));
+        assert!(
+            (cross_top - 2.0 * (40.0 + 10.0 + 1.5)).abs() < 1e-9,
+            "cross-cluster delay {cross_top}"
+        );
+        assert_eq!(net.label(NodeId::new(0)), "h0-0-0");
+        assert_eq!(net.label(NodeId::new(23)), "h2-1-3");
+    }
+
+    #[test]
+    fn hierarchical_is_deterministic_and_seed_sensitive() {
+        let cfg = HierarchicalConfig::default();
+        let a = cfg.generate(11);
+        assert_eq!(a.len(), cfg.sites());
+        assert!(a.distances().is_metric(1e-9));
+        assert_eq!(cfg.generate(11), a);
+        assert_ne!(cfg.generate(12), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "one delay per level")]
+    fn hierarchical_rejects_mismatched_levels() {
+        let cfg = HierarchicalConfig {
+            branching: vec![2, 2],
+            level_ms: vec![10.0],
+            jitter_frac: 0.0,
+        };
+        let _ = cfg.generate(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stub site")]
+    fn transit_stub_rejects_zero_stub() {
+        let cfg = TransitStubConfig {
+            stub_size: 0,
+            ..TransitStubConfig::default()
+        };
+        let _ = cfg.generate(0);
     }
 
     #[test]

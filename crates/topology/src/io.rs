@@ -103,6 +103,38 @@ pub fn read_matrix_file(path: impl AsRef<std::path::Path>) -> Result<Network, To
     parse_matrix(&text)
 }
 
+/// Writes a network to `path` in the [`parse_matrix`] text format — the
+/// export half of the ingestion path, so generated topologies (e.g. the
+/// transit-stub and hierarchical WANs of [`crate::datasets`]) can be
+/// checked in under `data/` and re-read with [`read_matrix_file`].
+///
+/// Distances are written with 6 decimal places, so a read-back network
+/// matches the original to within `5e-7` ms per entry.
+///
+/// # Errors
+///
+/// [`TopologyError::Io`] if the file cannot be written.
+///
+/// # Examples
+///
+/// ```no_run
+/// let net = qp_topology::datasets::TransitStubConfig::default().generate(7);
+/// qp_topology::io::write_matrix_file(&net, "data/transit81.rtt")?;
+/// let back = qp_topology::io::read_matrix_file("data/transit81.rtt")?;
+/// assert_eq!(back.len(), net.len());
+/// # Ok::<(), qp_topology::TopologyError>(())
+/// ```
+pub fn write_matrix_file(
+    net: &Network,
+    path: impl AsRef<std::path::Path>,
+) -> Result<(), TopologyError> {
+    let path = path.as_ref();
+    std::fs::write(path, format_matrix(net)).map_err(|e| TopologyError::Io {
+        path: path.display().to_string(),
+        message: e.to_string(),
+    })
+}
+
 /// Renders a network back to the text format (header of labels, then the
 /// full matrix, 6 significant digits).
 pub fn format_matrix(net: &Network) -> String {
@@ -197,6 +229,40 @@ mod tests {
     fn empty_input_gives_empty_network() {
         let net = parse_matrix("# nothing\n").unwrap();
         assert!(net.is_empty());
+    }
+
+    #[test]
+    fn write_then_read_roundtrips_on_disk() {
+        let net = datasets::TransitStubConfig {
+            transit_domains: 2,
+            transit_size: 2,
+            stubs_per_transit: 1,
+            stub_size: 3,
+            ..datasets::TransitStubConfig::default()
+        }
+        .generate(5);
+        let path = std::env::temp_dir().join(format!("qp-io-roundtrip-{}.rtt", std::process::id()));
+        write_matrix_file(&net, &path).unwrap();
+        let back = read_matrix_file(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back.len(), net.len());
+        for i in net.nodes() {
+            for j in net.nodes() {
+                assert!(
+                    (back.distance(i, j) - net.distance(i, j)).abs() < 1e-5,
+                    "distance drift at ({i}, {j})"
+                );
+                assert_eq!(back.label(i), net.label(i));
+            }
+        }
+    }
+
+    #[test]
+    fn write_to_bad_path_reports_io_error() {
+        let net = datasets::euclidean_random(3, 10.0, 0);
+        let err = write_matrix_file(&net, "/nonexistent-dir/out.rtt").unwrap_err();
+        assert!(matches!(err, TopologyError::Io { .. }));
+        assert!(err.to_string().contains("nonexistent-dir"));
     }
 
     #[test]

@@ -127,6 +127,107 @@ proptest! {
     }
 
     #[test]
+    fn transit_stub_generator_invariants(
+        seed in 0u64..200,
+        domains in 1usize..4,
+        routers in 1usize..4,
+        stubs in 1usize..3,
+        stub_size in 1usize..5,
+    ) {
+        let cfg = datasets::TransitStubConfig {
+            transit_domains: domains,
+            transit_size: routers,
+            stubs_per_transit: stubs,
+            stub_size,
+            ..datasets::TransitStubConfig::default()
+        };
+        let a = cfg.generate(seed);
+        // Seed-determinism: regenerating is bit-identical.
+        prop_assert_eq!(&a, &cfg.generate(seed));
+        prop_assert_ne!(&a, &cfg.generate(seed + 1));
+        prop_assert_eq!(a.len(), cfg.sites());
+        // Symmetry, zero diagonal, positivity, connectivity (all
+        // distances finite), triangle inequality.
+        prop_assert!(a.distances().is_metric(1e-9));
+        for i in a.nodes() {
+            for j in a.nodes() {
+                let d = a.distance(i, j);
+                prop_assert!(d.is_finite(), "disconnected pair ({i}, {j})");
+                prop_assert_eq!(d, a.distance(j, i));
+                if i == j {
+                    prop_assert_eq!(d, 0.0);
+                } else {
+                    prop_assert!(d > 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hierarchical_generator_invariants(
+        seed in 0u64..200,
+        b0 in 2usize..5,
+        b1 in 1usize..4,
+        jitter in 0.0f64..0.15,
+    ) {
+        let cfg = datasets::HierarchicalConfig {
+            branching: vec![b0, b1, 2],
+            level_ms: vec![50.0, 10.0, 2.0],
+            jitter_frac: jitter,
+        };
+        let a = cfg.generate(seed);
+        prop_assert_eq!(&a, &cfg.generate(seed));
+        prop_assert_ne!(&a, &cfg.generate(seed + 1));
+        prop_assert_eq!(a.len(), b0 * b1 * 2);
+        prop_assert!(a.distances().is_metric(1e-9));
+        for i in a.nodes() {
+            for j in a.nodes() {
+                let d = a.distance(i, j);
+                prop_assert!(d.is_finite());
+                prop_assert_eq!(d, a.distance(j, i));
+                if i != j {
+                    prop_assert!(d > 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generated_topologies_roundtrip_through_files(seed in 0u64..50) {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static CASE: AtomicUsize = AtomicUsize::new(0);
+        let cfg = datasets::TransitStubConfig {
+            transit_domains: 2,
+            transit_size: 2,
+            stubs_per_transit: 1,
+            stub_size: 2,
+            ..datasets::TransitStubConfig::default()
+        };
+        let net = cfg.generate(seed);
+        let path = std::env::temp_dir().join(format!(
+            "qp-proptest-roundtrip-{}-{}.rtt",
+            std::process::id(),
+            CASE.fetch_add(1, Ordering::Relaxed),
+        ));
+        qp_topology::io::write_matrix_file(&net, &path).unwrap();
+        let back = qp_topology::io::read_matrix_file(&path);
+        std::fs::remove_file(&path).ok();
+        let back = back.unwrap();
+        prop_assert_eq!(back.len(), net.len());
+        for i in net.nodes() {
+            for j in net.nodes() {
+                prop_assert!(
+                    (back.distance(i, j) - net.distance(i, j)).abs() < 1e-5,
+                    "drift at ({}, {})", i, j
+                );
+            }
+        }
+        for v in net.nodes() {
+            prop_assert_eq!(back.label(v), net.label(v));
+        }
+    }
+
+    #[test]
     fn subnetwork_preserves_distances(seed in 0u64..200, keep in 2usize..10) {
         let net = datasets::euclidean_random(15, 100.0, seed);
         let subset: Vec<NodeId> = (0..keep).map(NodeId::new).collect();

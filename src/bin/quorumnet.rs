@@ -8,10 +8,13 @@
 //! quorumnet simulate --system majority:fourfifths:2 [--locations 10]
 //!                    [--clients-per-location 5] [--requests 150] [--seed 0]
 //!                    [--strategy closest|balanced] [--dataset ...]
+//! quorumnet scenario --spec FILE [--spec FILE ...] [--out FILE]
 //! ```
 //!
 //! `--topology FILE` reads a whitespace-separated RTT matrix (optionally
-//! with a label header) — the format of `qp_topology::io`.
+//! with a label header) — the format of `qp_topology::io`. `scenario`
+//! runs declarative end-to-end scenario specs (`qp_scenario::spec`
+//! format) and prints one report per spec.
 
 use std::process::ExitCode;
 
@@ -48,6 +51,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "info" => cmd_info(&opts),
         "place" => cmd_place(&opts),
         "simulate" => cmd_simulate(&opts),
+        "scenario" => cmd_scenario(&opts),
         other => Err(format!("unknown command `{other}`")),
     }
 }
@@ -58,7 +62,8 @@ fn print_help() {
          commands:\n  \
          info      topology statistics\n  \
          place     place a quorum system and evaluate strategies\n  \
-         simulate  run the Q/U-style protocol simulation\n\n\
+         simulate  run the Q/U-style protocol simulation\n  \
+         scenario  run declarative end-to-end scenario specs\n\n\
          common flags:\n  \
          --dataset planetlab50|daxlist161   built-in synthetic WAN (default planetlab50)\n  \
          --topology FILE                    RTT matrix file (overrides --dataset)\n  \
@@ -77,7 +82,10 @@ fn print_help() {
          --clients-per-location N   clients per location (default 5)\n  \
          --requests N               measured requests per client (default 150)\n  \
          --seed N                   PRNG seed (default 0)\n  \
-         --strategy closest|balanced (default balanced)"
+         --strategy closest|balanced (default balanced)\n\n\
+         scenario flags:\n  \
+         --spec FILE   scenario spec (repeatable; the set runs as a matrix)\n  \
+         --out FILE    also write the reports to FILE"
     );
 }
 
@@ -97,6 +105,8 @@ struct Options {
     requests: usize,
     seed: u64,
     threads: Option<usize>,
+    specs: Vec<String>,
+    out: Option<String>,
 }
 
 impl Default for Options {
@@ -115,6 +125,8 @@ impl Default for Options {
             requests: 150,
             seed: 0,
             threads: None,
+            specs: Vec::new(),
+            out: None,
         }
     }
 }
@@ -145,6 +157,8 @@ impl Options {
                 }
                 "--requests" => o.requests = parse_usize(&value("--requests")?, "--requests")?,
                 "--seed" => o.seed = parse_usize(&value("--seed")?, "--seed")? as u64,
+                "--spec" => o.specs.push(value("--spec")?),
+                "--out" => o.out = Some(value("--out")?),
                 "--threads" => {
                     let n = parse_usize(&value("--threads")?, "--threads")?;
                     if n == 0 {
@@ -196,32 +210,9 @@ fn parse_usize(s: &str, flag: &str) -> Result<usize, String> {
         .map_err(|_| format!("{flag}: `{s}` is not a nonnegative integer"))
 }
 
-/// Parses `grid:K` or `majority:KIND:T`.
+/// Parses `grid:K` or `majority:KIND:T` (shared with scenario specs).
 fn parse_system(spec: &str) -> Result<QuorumSystem, String> {
-    let parts: Vec<&str> = spec.split(':').collect();
-    match parts.as_slice() {
-        ["grid", k] => {
-            let k = parse_usize(k, "--system grid")?;
-            QuorumSystem::grid(k).map_err(|e| e.to_string())
-        }
-        ["majority", kind, t] => {
-            let kind = match *kind {
-                "simple" => MajorityKind::SimpleMajority,
-                "twothirds" => MajorityKind::TwoThirds,
-                "fourfifths" => MajorityKind::FourFifths,
-                other => {
-                    return Err(format!(
-                        "unknown majority kind `{other}` (simple|twothirds|fourfifths)"
-                    ))
-                }
-            };
-            let t = parse_usize(t, "--system majority")?;
-            QuorumSystem::majority(kind, t).map_err(|e| e.to_string())
-        }
-        _ => Err(format!(
-            "bad system spec `{spec}` (expected grid:K or majority:KIND:T)"
-        )),
-    }
+    quorumnet::scenario::parse_system(spec).map_err(|e| e.to_string())
 }
 
 fn cmd_info(opts: &Options) -> Result<(), String> {
@@ -386,6 +377,47 @@ fn cmd_simulate(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_scenario(opts: &Options) -> Result<(), String> {
+    use quorumnet::scenario::{ScenarioRunner, ScenarioSpec};
+    if opts.specs.is_empty() {
+        return Err("scenario requires at least one --spec FILE".to_string());
+    }
+    let specs: Vec<ScenarioSpec> = opts
+        .specs
+        .iter()
+        .map(|path| ScenarioSpec::from_file(path).map_err(|e| format!("{path}: {e}")))
+        .collect::<Result<_, _>>()?;
+    let reports = ScenarioRunner::new()
+        .run_matrix(&specs)
+        .map_err(|e| e.to_string())?;
+    let mut rendered = String::new();
+    for (i, report) in reports.iter().enumerate() {
+        if i > 0 {
+            rendered.push('\n');
+        }
+        rendered.push_str(&report.to_string());
+    }
+    print!("{rendered}");
+    if reports.len() > 1 {
+        println!("\nmatrix summary:");
+        for report in &reports {
+            println!("  {}", report.summary_line());
+        }
+    }
+    if let Some(out) = &opts.out {
+        std::fs::write(out, &rendered).map_err(|e| format!("writing {out}: {e}"))?;
+    }
+    if let Some(failed) = reports.iter().find(|r| !r.pass) {
+        return Err(format!(
+            "cross-check failed for `{}`: max rel err {:.2}% exceeds tolerance {:.1}%",
+            failed.name,
+            failed.max_rel_error * 100.0,
+            failed.tolerance * 100.0
+        ));
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -423,6 +455,17 @@ mod tests {
         assert!(err.contains("at least 1"), "unexpected message: {err}");
         assert!(Options::parse(&s(&["--threads", "x"])).is_err());
         assert!(Options::parse(&s(&["--threads"])).is_err());
+    }
+
+    #[test]
+    fn parses_scenario_flags() {
+        let o = Options::parse(&s(&[
+            "--spec", "a.toml", "--spec", "b.toml", "--out", "r.txt",
+        ]))
+        .unwrap();
+        assert_eq!(o.specs, vec!["a.toml", "b.toml"]);
+        assert_eq!(o.out.as_deref(), Some("r.txt"));
+        assert!(Options::parse(&s(&["--spec"])).is_err());
     }
 
     #[test]

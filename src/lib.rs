@@ -13,6 +13,7 @@
 //! | [`core`] | `qp-core` | Placements (ball / shell / singleton / many-to-one / iterative), the access-strategy LP (4.3)–(4.6), capacity tuning, the response-time model |
 //! | [`des`] | `qp-des` | Discrete-event simulation kernel |
 //! | [`protocol`] | `qp-protocol` | Q/U-style protocol simulation (the §3 motivating experiment) |
+//! | [`scenario`] | `qp-scenario` | Declarative WAN/workload/failure scenarios and the end-to-end pipeline runner |
 //!
 //! # Quickstart
 //!
@@ -47,6 +48,7 @@ pub use qp_des as des;
 pub use qp_lp as lp;
 pub use qp_protocol as protocol;
 pub use qp_quorum as quorum;
+pub use qp_scenario as scenario;
 pub use qp_topology as topology;
 
 /// Commonly used items, importable with `use quorumnet::prelude::*`.
@@ -57,6 +59,7 @@ pub mod prelude {
     };
     pub use qp_protocol::{simulate, ClientPopulation, ProtocolConfig, QuorumChoice};
     pub use qp_quorum::{ElementId, MajorityKind, Quorum, QuorumSystem, StrategyMatrix};
+    pub use qp_scenario::{ScenarioReport, ScenarioRunner, ScenarioSpec};
     pub use qp_topology::{datasets, DistanceMatrix, Graph, Network, NodeId};
 }
 

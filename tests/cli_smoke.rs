@@ -176,6 +176,59 @@ fn checked_in_king116_dataset_drives_cli() {
     assert!(stdout.contains("avg response"), "{stdout}");
 }
 
+/// The checked-in scenario specs drive `quorumnet scenario` end to end:
+/// a transit-stub + flash-crowd + failure-plan spec and a hierarchical
+/// one, run as a matrix, with the report also written to `--out` — and
+/// the output is bit-identical across thread counts.
+#[test]
+fn scenario_subcommand_runs_checked_in_specs() {
+    let ts = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/data/scenarios/transit_flash.toml"
+    );
+    let hier = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/data/scenarios/hierarchical_uniform.toml"
+    );
+    let out = tempfile::write(String::new());
+    let t1 = assert_ok(&[
+        "scenario",
+        "--spec",
+        ts,
+        "--spec",
+        hier,
+        "--out",
+        out.as_str(),
+        "--threads",
+        "1",
+    ]);
+    assert!(t1.contains("transit-flash"), "{t1}");
+    assert!(t1.contains("fail×2+reopt"), "{t1}");
+    assert!(t1.contains("PASS"), "{t1}");
+    assert!(t1.contains("matrix summary"), "{t1}");
+    let written = std::fs::read_to_string(out.as_str()).unwrap();
+    assert!(written.contains("hier-uniform"), "{written}");
+    let t2 = assert_ok(&["scenario", "--spec", ts, "--spec", hier, "--threads", "2"]);
+    let t1_reports: String = t1.lines().take_while(|l| !l.contains("matrix")).collect();
+    let t2_reports: String = t2.lines().take_while(|l| !l.contains("matrix")).collect();
+    assert_eq!(t1_reports, t2_reports, "scenario output moved with threads");
+}
+
+#[test]
+fn scenario_rejects_missing_or_bad_specs() {
+    let out = run(&["scenario"]);
+    assert!(!out.status.success(), "scenario without --spec must fail");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--spec"));
+
+    let bad = tempfile::write("[pipeline]\nbogus = 1\n".to_string());
+    let out = run(&["scenario", "--spec", bad.as_str()]);
+    assert!(!out.status.success(), "bad spec must fail");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("bogus"),
+        "error should name the unknown key"
+    );
+}
+
 #[test]
 fn unknown_command_fails_nonzero() {
     let out = run(&["frobnicate"]);

@@ -23,6 +23,7 @@
 use quorumnet::core::manyone::{self, ManyToOneConfig};
 use quorumnet::core::strategy_lp;
 use quorumnet::prelude::*;
+use quorumnet::scenario::{ScenarioRunner, ScenarioSpec};
 
 /// Relative-tolerance check for pinned floating-point goldens.
 fn assert_golden(name: &str, actual: f64, golden: f64) {
@@ -326,6 +327,106 @@ fn golden_daxlist161_capacity_tuning() {
     );
 }
 
+/// Golden 9 — the scenario engine end to end on the checked-in showcase
+/// spec: a seeded transit-stub WAN, Zipf demand with a phase-1 flash
+/// crowd, and a phase-2 slowdown + crash with mid-run re-optimization.
+/// Pins the LP delay, the nominal and failure-phase DES responses, and
+/// requires the LP-vs-DES cross-check to hold. The whole pipeline —
+/// generator, placement search, warm-started LP sweep, per-phase DES —
+/// sits behind these three numbers.
+#[test]
+fn golden_scenario_transit_flash() {
+    let spec = ScenarioSpec::from_file(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/data/scenarios/transit_flash.toml"
+    ))
+    .unwrap();
+    let report = ScenarioRunner::new().run(&spec).unwrap();
+    assert_eq!(report.phases.len(), 3);
+    assert!(report.pass, "cross-check failed:\n{report}");
+    assert!(report.phases[1].flash);
+    assert_eq!(report.phases[2].failed_elements, 2);
+    assert!(report.phases[2].reoptimized, "survival reopt must engage");
+    assert_golden(
+        "scenario_ts_lp_delay_ms",
+        report.lp_delay_ms,
+        SCENARIO_TS_LP_DELAY_MS,
+    );
+    assert_golden(
+        "scenario_ts_phase0_response_ms",
+        report.phases[0].des_response_ms,
+        SCENARIO_TS_PHASE0_RESPONSE_MS,
+    );
+    assert_golden(
+        "scenario_ts_phase2_response_ms",
+        report.phases[2].des_response_ms,
+        SCENARIO_TS_PHASE2_RESPONSE_MS,
+    );
+}
+
+/// Golden 10 — the second checked-in spec: a hierarchical
+/// (tree-of-clusters) WAN, uniform demand, fixed capacity, Majority
+/// system. Pins the LP delay and the single-phase DES response.
+#[test]
+fn golden_scenario_hierarchical_uniform() {
+    let spec = ScenarioSpec::from_file(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/data/scenarios/hierarchical_uniform.toml"
+    ))
+    .unwrap();
+    let report = ScenarioRunner::new().run(&spec).unwrap();
+    assert!(report.pass, "cross-check failed:\n{report}");
+    assert_golden(
+        "scenario_hier_lp_delay_ms",
+        report.lp_delay_ms,
+        SCENARIO_HIER_LP_DELAY_MS,
+    );
+    assert_golden(
+        "scenario_hier_response_ms",
+        report.phases[0].des_response_ms,
+        SCENARIO_HIER_RESPONSE_MS,
+    );
+}
+
+/// Golden 11 — scenario reports are **bit-identical** at any thread
+/// count: the whole matrix replayed with the worker pool pinned to 4
+/// threads must equal the serial run field for field (full structural
+/// equality, not just the pinned scalars).
+#[test]
+fn golden_scenario_reports_hold_at_four_threads() {
+    struct RestoreThreads(usize);
+    impl Drop for RestoreThreads {
+        fn drop(&mut self) {
+            qp_par::configure_threads(self.0);
+        }
+    }
+    let specs = vec![
+        ScenarioSpec::from_file(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/data/scenarios/transit_flash.toml"
+        ))
+        .unwrap(),
+        ScenarioSpec::from_file(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/data/scenarios/hierarchical_uniform.toml"
+        ))
+        .unwrap(),
+    ];
+    let runner = ScenarioRunner::new();
+
+    let _restore = RestoreThreads(qp_par::current_threads());
+    qp_par::configure_threads(1);
+    let serial = runner.run_matrix(&specs).unwrap();
+    qp_par::configure_threads(4);
+    let parallel = runner.run_matrix(&specs).unwrap();
+    assert_eq!(serial, parallel, "thread count moved a scenario report");
+    assert_golden(
+        "scenario_ts_phase0_response_ms_threads4",
+        parallel[0].phases[0].des_response_ms,
+        SCENARIO_TS_PHASE0_RESPONSE_MS,
+    );
+}
+
 // ----------------------------------------------------------------------
 // The golden values. Regenerate with `-- --nocapture` (see module docs).
 // ----------------------------------------------------------------------
@@ -342,3 +443,9 @@ const PROTOCOL_HORIZON_MS: f64 = 17_310.567_028_232_32;
 const DAXLIST161_TUNED_CAPACITY: f64 = 0.6;
 const DAXLIST161_TUNED_RESPONSE_MS: f64 = 173.379314423190;
 const DAXLIST161_TUNED_DELAY_MS: f64 = 107.823962171457;
+
+const SCENARIO_TS_LP_DELAY_MS: f64 = 48.338477296683;
+const SCENARIO_TS_PHASE0_RESPONSE_MS: f64 = 49.418740236197;
+const SCENARIO_TS_PHASE2_RESPONSE_MS: f64 = 48.425538319987;
+const SCENARIO_HIER_LP_DELAY_MS: f64 = 67.345745448583;
+const SCENARIO_HIER_RESPONSE_MS: f64 = 68.375754409850;
