@@ -1,0 +1,435 @@
+//! Thread-per-connection line-protocol server over std::net — no async
+//! runtime, just blocking sockets, a poll-accept loop, and one mutex
+//! around the session.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+#[cfg(unix)]
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+use crate::protocol::{parse_command, Command, Response};
+use crate::session::Session;
+
+/// Where a server listens.
+#[derive(Debug, Clone)]
+pub enum Endpoint {
+    /// A TCP address like `127.0.0.1:7070` (`:0` picks a free port).
+    Tcp(String),
+    /// A Unix-domain socket path.
+    #[cfg(unix)]
+    Unix(PathBuf),
+}
+
+enum Listener {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Unix(UnixListener, PathBuf),
+}
+
+enum Stream {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl io::Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl io::Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+impl Stream {
+    fn try_clone(&self) -> io::Result<Stream> {
+        Ok(match self {
+            Stream::Tcp(s) => Stream::Tcp(s.try_clone()?),
+            #[cfg(unix)]
+            Stream::Unix(s) => Stream::Unix(s.try_clone()?),
+        })
+    }
+}
+
+/// Totals reported by [`Server::run`] after shutdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Connections accepted.
+    pub connections: usize,
+    /// Commands answered (ok or err).
+    pub commands: u64,
+}
+
+/// A bound but not yet running `quorumd` server.
+pub struct Server {
+    listener: Listener,
+    stop: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds to `endpoint`. A stale Unix socket file from a previous
+    /// run is removed first; TCP port `0` picks a free port (see
+    /// [`Server::local_addr`]).
+    ///
+    /// # Errors
+    ///
+    /// Any bind failure from the OS.
+    pub fn bind(endpoint: &Endpoint) -> io::Result<Server> {
+        let listener = match endpoint {
+            Endpoint::Tcp(addr) => Listener::Tcp(TcpListener::bind(addr.as_str())?),
+            #[cfg(unix)]
+            Endpoint::Unix(path) => {
+                let _ = std::fs::remove_file(path);
+                Listener::Unix(UnixListener::bind(path)?, path.clone())
+            }
+        };
+        Ok(Server {
+            listener,
+            stop: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address: `host:port` for TCP, the socket path for Unix.
+    pub fn local_addr(&self) -> String {
+        match &self.listener {
+            Listener::Tcp(l) => l
+                .local_addr()
+                .map(|a| a.to_string())
+                .unwrap_or_else(|_| "?".into()),
+            #[cfg(unix)]
+            Listener::Unix(_, path) => path.display().to_string(),
+        }
+    }
+
+    /// A flag that stops the accept loop when set (the `shutdown`
+    /// command sets it too).
+    pub fn stop_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.stop)
+    }
+
+    /// Serves `session` until a `shutdown` command (or the stop flag).
+    /// Blocks; returns after all connection threads drain.
+    ///
+    /// # Errors
+    ///
+    /// Only on listener-level I/O failures; per-connection errors just
+    /// close that connection.
+    pub fn run(self, session: Session) -> io::Result<ServeSummary> {
+        let session = Arc::new(Mutex::new(session));
+        let commands = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let mut handles = Vec::new();
+        let mut connections = 0usize;
+        match &self.listener {
+            Listener::Tcp(l) => l.set_nonblocking(true)?,
+            #[cfg(unix)]
+            Listener::Unix(l, _) => l.set_nonblocking(true)?,
+        }
+        while !self.stop.load(Ordering::SeqCst) {
+            let accepted: Option<Stream> = match &self.listener {
+                Listener::Tcp(l) => match l.accept() {
+                    Ok((s, _)) => Some(Stream::Tcp(s)),
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => None,
+                    Err(e) => return Err(e),
+                },
+                #[cfg(unix)]
+                Listener::Unix(l, _) => match l.accept() {
+                    Ok((s, _)) => Some(Stream::Unix(s)),
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => None,
+                    Err(e) => return Err(e),
+                },
+            };
+            match accepted {
+                Some(stream) => {
+                    connections += 1;
+                    let session = Arc::clone(&session);
+                    let stop = Arc::clone(&self.stop);
+                    let commands = Arc::clone(&commands);
+                    handles.push(thread::spawn(move || {
+                        let _ = handle_connection(stream, &session, &stop, &commands);
+                    }));
+                }
+                None => thread::sleep(Duration::from_millis(20)),
+            }
+        }
+        for h in handles {
+            let _ = h.join();
+        }
+        #[cfg(unix)]
+        if let Listener::Unix(_, path) = &self.listener {
+            let _ = std::fs::remove_file(path);
+        }
+        Ok(ServeSummary {
+            connections,
+            commands: commands.load(Ordering::SeqCst),
+        })
+    }
+}
+
+/// Convenience for tests and the CLI: connect to an endpoint.
+///
+/// # Errors
+///
+/// Any connect failure from the OS.
+pub fn connect(endpoint: &Endpoint) -> io::Result<impl io::Read + io::Write> {
+    Ok(match endpoint {
+        Endpoint::Tcp(addr) => Stream::Tcp(TcpStream::connect(addr.as_str())?),
+        #[cfg(unix)]
+        Endpoint::Unix(path) => Stream::Unix(UnixStream::connect(path)?),
+    })
+}
+
+/// Parses an endpoint from CLI flags: a path for `--socket`, an address
+/// for `--listen`/`--connect`.
+#[cfg(unix)]
+pub fn unix_endpoint(path: &Path) -> Endpoint {
+    Endpoint::Unix(path.to_path_buf())
+}
+
+fn handle_connection(
+    stream: Stream,
+    session: &Mutex<Session>,
+    stop: &AtomicBool,
+    commands: &std::sync::atomic::AtomicU64,
+) -> io::Result<()> {
+    let mut writer = stream.try_clone()?;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        let response = match parse_command(&line) {
+            Ok(None) => continue,
+            Ok(Some(cmd)) => {
+                let mut guard = session.lock().expect("session mutex poisoned");
+                let resp = execute(&mut guard, cmd);
+                drop(guard);
+                if cmd == Command::Shutdown {
+                    commands.fetch_add(1, Ordering::SeqCst);
+                    writer.write_all(resp.to_wire().as_bytes())?;
+                    writer.flush()?;
+                    stop.store(true, Ordering::SeqCst);
+                    return Ok(());
+                }
+                resp
+            }
+            Err(msg) => Response::err(msg),
+        };
+        commands.fetch_add(1, Ordering::SeqCst);
+        writer.write_all(response.to_wire().as_bytes())?;
+        writer.flush()?;
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Executes one command against the session and formats the response.
+/// Public so the soak harness and `quorumnet ctl --local` drive the
+/// exact code path the server runs.
+pub fn execute(session: &mut Session, cmd: Command) -> Response {
+    match cmd {
+        Command::Delta(delta) => match session.apply(&delta) {
+            Ok(report) => {
+                let a = &report.answer;
+                let mig = &report.migration;
+                let mut detail = vec![
+                    format!("capacity {:.17e}", a.capacity),
+                    format!("delay_ms {:.17e}", a.delay_ms),
+                    format!("response_ms {:.17e}", a.response_ms),
+                    format!("pivots {}", a.pivots),
+                    format!("moved_mass {:.17e}", mig.moved_mass),
+                    format!("delay_delta_ms {:.17e}", mig.delay_delta_ms),
+                    format!("response_delta_ms {:.17e}", mig.response_delta_ms),
+                ];
+                for mv in &mig.moves {
+                    detail.push(format!(
+                        "move client {} quorum {} -> {} mass {:.6e}",
+                        mv.client, mv.from, mv.to, mv.mass
+                    ));
+                }
+                Response::ok(format!("delta applied seq={}", report.seq), detail)
+            }
+            Err(e) => Response::err(e.to_string()),
+        },
+        Command::Query => {
+            let s = session.status();
+            let detail = vec![
+                format!("seq {}", s.seq),
+                format!("nodes {}", s.num_nodes),
+                format!("quorums {}", s.num_quorums),
+                format!("capacity {:.17e}", s.capacity),
+                format!("delay_ms {:.17e}", s.delay_ms),
+                format!("response_ms {:.17e}", s.response_ms),
+                format!(
+                    "crashed {}",
+                    if s.crashed.is_empty() {
+                        "-".to_string()
+                    } else {
+                        s.crashed
+                            .iter()
+                            .map(|w| w.to_string())
+                            .collect::<Vec<_>>()
+                            .join(",")
+                    }
+                ),
+                format!(
+                    "slowed {}",
+                    if s.slowed.is_empty() {
+                        "-".to_string()
+                    } else {
+                        s.slowed
+                            .iter()
+                            .map(|(w, f)| format!("{w}:{f}"))
+                            .collect::<Vec<_>>()
+                            .join(",")
+                    }
+                ),
+                format!("warm_pivots {}", s.warm_pivots),
+            ];
+            Response::ok(format!("status seq={}", s.seq), detail)
+        }
+        Command::Snapshot => {
+            let a = session.answer();
+            let mut detail = vec![
+                format!("capacity {:.17e}", a.capacity),
+                format!("delay_ms {:.17e}", a.delay_ms),
+                format!("response_ms {:.17e}", a.response_ms),
+            ];
+            for (v, row) in a.strategy.iter().enumerate() {
+                let cells: Vec<String> = row.iter().map(|p| format!("{p:.17e}")).collect();
+                detail.push(format!("strategy {v} {}", cells.join(" ")));
+            }
+            Response::ok(format!("snapshot clients={}", a.strategy.len()), detail)
+        }
+        Command::Check => match session.cold_check() {
+            Ok(report) => {
+                let detail = vec![
+                    format!("capacity_match {}", report.capacity_match),
+                    format!("delay_diff {:.3e}", report.delay_diff),
+                    format!("response_diff {:.3e}", report.response_diff),
+                    format!("max_strategy_diff {:.3e}", report.max_strategy_diff),
+                    format!("warm_pivots {}", report.warm_pivots),
+                    format!("cold_pivots {}", report.cold_pivots),
+                ];
+                if report.ok {
+                    Response::ok("check passed", detail)
+                } else {
+                    Response {
+                        ok: false,
+                        summary: "check FAILED: warm and cold answers diverge".into(),
+                        detail,
+                    }
+                }
+            }
+            Err(e) => Response::err(e.to_string()),
+        },
+        Command::Shutdown => Response::ok("shutting down", Vec::new()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::read_response;
+    use crate::session::SessionConfig;
+    use qp_core::one_to_one;
+    use qp_quorum::QuorumSystem;
+    use qp_topology::datasets;
+
+    fn test_session() -> Session {
+        let net = datasets::euclidean_random(12, 100.0, 7);
+        let sys = QuorumSystem::grid(3).unwrap();
+        let placement = one_to_one::best_placement(&net, &sys).unwrap();
+        let quorums = sys.enumerate(100).unwrap();
+        Session::new(SessionConfig {
+            net,
+            quorums,
+            placement,
+            alpha: 12.0,
+            l_opt: sys.optimal_load().unwrap_or(0.5),
+            sweep_steps: 5,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn tcp_round_trip_with_shutdown() {
+        let server = Server::bind(&Endpoint::Tcp("127.0.0.1:0".into())).unwrap();
+        let addr = server.local_addr();
+        let session = test_session();
+        let handle = std::thread::spawn(move || server.run(session).unwrap());
+
+        let endpoint = Endpoint::Tcp(addr);
+        let stream = connect(&endpoint).unwrap();
+        let mut writer = BufReader::new(stream);
+        writer
+            .get_mut()
+            .write_all(b"query\nslowdown 2 2.0\ncheck\nbogus\nshutdown\n")
+            .unwrap();
+        writer.get_mut().flush().unwrap();
+
+        let r = read_response(&mut writer).unwrap();
+        assert!(r.ok, "query failed: {}", r.summary);
+        assert!(r.detail.iter().any(|l| l.starts_with("capacity ")));
+        let r = read_response(&mut writer).unwrap();
+        assert!(r.ok, "delta failed: {}", r.summary);
+        assert!(r.summary.contains("seq=1"));
+        let r = read_response(&mut writer).unwrap();
+        assert!(r.ok, "check failed: {} {:?}", r.summary, r.detail);
+        let r = read_response(&mut writer).unwrap();
+        assert!(!r.ok, "bogus command must err");
+        let r = read_response(&mut writer).unwrap();
+        assert!(r.ok && r.summary.contains("shutting down"));
+
+        let summary = handle.join().unwrap();
+        assert_eq!(summary.connections, 1);
+        assert_eq!(summary.commands, 5);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn unix_socket_round_trip() {
+        let path = std::env::temp_dir().join(format!("quorumd-test-{}.sock", std::process::id()));
+        let server = Server::bind(&Endpoint::Unix(path.clone())).unwrap();
+        let session = test_session();
+        let handle = std::thread::spawn(move || server.run(session).unwrap());
+
+        let stream = connect(&Endpoint::Unix(path.clone())).unwrap();
+        let mut reader = BufReader::new(stream);
+        reader
+            .get_mut()
+            .write_all(b"demand 1 3.0\nshutdown\n")
+            .unwrap();
+        reader.get_mut().flush().unwrap();
+        let r = read_response(&mut reader).unwrap();
+        assert!(r.ok, "demand failed: {}", r.summary);
+        let r = read_response(&mut reader).unwrap();
+        assert!(r.ok);
+        handle.join().unwrap();
+        assert!(!path.exists(), "socket file must be cleaned up");
+    }
+}

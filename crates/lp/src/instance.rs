@@ -16,7 +16,8 @@
 
 use crate::model::Prepared;
 use crate::simplex::{
-    prime_warm, resolve_dual, solve_two_phase, DualOutcome, SolverOptions, WarmStart,
+    prime_warm, resolve_dual, resolve_primal, solve_two_phase, DualOutcome, PrimalOutcome,
+    SolverOptions, WarmStart,
 };
 use crate::{LpError, Model, Solution, VarId};
 
@@ -58,6 +59,11 @@ pub struct SimplexInstance {
     /// Optimal (dual-feasible) warm-start point — basis plus the
     /// nonbasic-at-upper-bound flags — of the last successful solve.
     warm: Option<WarmStart>,
+    /// Set by [`SimplexInstance::set_objective`]: the frozen costs changed
+    /// since the warm point was recorded, so its reduced costs are stale
+    /// and dual-simplex warm starts are unsound until the next primal (or
+    /// cold) re-solve clears the flag.
+    costs_dirty: bool,
 }
 
 impl SimplexInstance {
@@ -75,6 +81,7 @@ impl SimplexInstance {
             prepared,
             options,
             warm: None,
+            costs_dirty: false,
         })
     }
 
@@ -109,12 +116,26 @@ impl SimplexInstance {
     ///
     /// # Errors
     ///
-    /// [`LpError::InvalidModel`] if the finiteness pattern changes.
+    /// [`LpError::InvalidModel`] if a bound is NaN, `lower > upper`, or
+    /// the finiteness pattern changes. The instance is unchanged on error —
+    /// long-lived callers (sweep drivers, the placement daemon) can reject
+    /// a bad delta and keep re-solving, where a panic or a silently
+    /// poisoned standard form would take the whole session down.
     ///
     /// # Panics
     ///
-    /// Panics if `v` is out of range, a bound is NaN, or `lower > upper`.
+    /// Panics if `v` is out of range.
     pub fn set_var_bounds(&mut self, v: VarId, lower: f64, upper: f64) -> Result<(), LpError> {
+        if lower.is_nan() || upper.is_nan() {
+            return Err(LpError::InvalidModel {
+                reason: format!("NaN bound for {v}"),
+            });
+        }
+        if lower > upper {
+            return Err(LpError::InvalidModel {
+                reason: format!("lower bound {lower} exceeds upper bound {upper} for {v}"),
+            });
+        }
         let (old_lo, old_hi) = self.model.var_bounds(v);
         if old_lo.is_finite() != lower.is_finite() || old_hi.is_finite() != upper.is_finite() {
             return Err(LpError::InvalidModel {
@@ -126,6 +147,42 @@ impl SimplexInstance {
         }
         self.model.set_var_bounds(v, lower, upper);
         self.prepared.refresh_bounds(&self.model);
+        Ok(())
+    }
+
+    /// Changes the objective coefficient of variable `v` — the parametric
+    /// entry point for *objective-side* deltas (RTT drift rescaling the
+    /// per-flow delay coefficients, demand-weight changes folded into
+    /// costs). The frozen standard-form cost vector is refreshed in place;
+    /// the warm basis stays primal feasible but its reduced costs (and any
+    /// cached pricing state) are invalidated, so the next
+    /// [`resolve`](Self::resolve) reoptimizes with the *primal* simplex
+    /// from the old basis instead of the dual.
+    ///
+    /// # Errors
+    ///
+    /// [`LpError::InvalidModel`] if `obj` is not finite. The instance is
+    /// unchanged on error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn set_objective(&mut self, v: VarId, obj: f64) -> Result<(), LpError> {
+        if !obj.is_finite() {
+            return Err(LpError::InvalidModel {
+                reason: format!("objective coefficient for {v} must be finite"),
+            });
+        }
+        if self.model.objective_coeff(v) == obj {
+            return Ok(());
+        }
+        self.model.set_objective(v, obj);
+        self.prepared.refresh_objective(&self.model);
+        if let Some(w) = &mut self.warm {
+            // The cached reduced costs were computed under the old costs.
+            w.cache = None;
+        }
+        self.costs_dirty = true;
         Ok(())
     }
 
@@ -149,21 +206,25 @@ impl SimplexInstance {
             Ok((sol, mut warm)) => {
                 prime_warm(&self.prepared, &self.options, &mut warm);
                 self.warm = Some(warm);
+                self.costs_dirty = false;
                 Ok(sol)
             }
             Err(e) => {
                 self.warm = None;
+                self.costs_dirty = false;
                 Err(e)
             }
         }
     }
 
-    /// Re-solves after mutations, warm-starting with the dual simplex from
-    /// the previous optimal basis. Falls back to a cold [`solve`](Self::solve)
-    /// when no warm basis exists, when the warm basis still contains
-    /// artificials (redundant rows), or on numerical trouble — so the
-    /// result is always as trustworthy as a cold solve, just cheaper in
-    /// the common case.
+    /// Re-solves after mutations, warm-starting from the previous optimal
+    /// basis: with the dual simplex after rhs/bound changes (the basis
+    /// stays dual feasible) and with the primal simplex after
+    /// [`set_objective`](Self::set_objective) (the basis stays primal
+    /// feasible). Falls back to a cold [`solve`](Self::solve) when no warm
+    /// basis exists, when the warm basis still contains artificials
+    /// (redundant rows), or on numerical trouble — so the result is always
+    /// as trustworthy as a cold solve, just cheaper in the common case.
     ///
     /// An infeasibility verdict from the dual simplex is double-checked
     /// with a cold solve before being reported, so warm and cold paths
@@ -180,6 +241,30 @@ impl SimplexInstance {
             .is_some_and(|w| w.basis.iter().all(|&j| j < n_cols));
         if !usable {
             return self.solve();
+        }
+        if self.costs_dirty {
+            // Objective changed since the warm point: its basis is still
+            // primal feasible, its reduced costs are not. Reoptimize with
+            // the primal simplex (dual warm starts would be unsound).
+            let warm = self.warm.as_ref().expect("checked above");
+            let outcome = resolve_primal(
+                &self.prepared,
+                &self.prepared.b,
+                &self.options,
+                self.model.num_vars(),
+                warm,
+            );
+            return match outcome {
+                PrimalOutcome::Optimal(sol, warm) => {
+                    self.warm = Some(*warm);
+                    self.costs_dirty = false;
+                    Ok(sol)
+                }
+                // Cold-confirm unboundedness (and repair any stalled or
+                // numerically troubled state) exactly as the dual path
+                // falls back: never less reliable than `solve`.
+                PrimalOutcome::Unbounded | PrimalOutcome::Stalled => self.solve(),
+            };
         }
         let warm = self.warm.as_ref().expect("checked above");
         let outcome = resolve_dual(
@@ -252,10 +337,13 @@ impl SimplexInstance {
             b[i] = v;
         }
         let n_cols = self.prepared.cols.num_cols();
+        // A warm point recorded before a `set_objective` is not dual
+        // feasible under the current costs — fall back cold rather than
+        // let the dual simplex "verify" optimality against stale prices.
         let warm = self
             .warm
             .as_ref()
-            .filter(|w| w.basis.iter().all(|&j| j < n_cols));
+            .filter(|w| !self.costs_dirty && w.basis.iter().all(|&j| j < n_cols));
         let cold = || {
             solve_two_phase(&self.prepared, &b, &self.options, self.model.num_vars())
                 .map(|(sol, _)| sol)
@@ -434,6 +522,157 @@ mod tests {
         inst.set_var_bounds(x, 0.0, 7.0).unwrap();
         let back = inst.resolve().unwrap();
         assert!((back.objective() - 15.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn set_var_bounds_rejects_nan_and_crossed_without_mutating() {
+        for opts in [SolverOptions::default(), SolverOptions::factored()] {
+            let mut m = Model::new(Sense::Minimize);
+            let x = m.add_var("x", 0.0, 5.0, 1.0);
+            m.add_ge(&[(x, 1.0)], 1.0);
+            let mut inst = m.instance(&opts).unwrap();
+            inst.solve().unwrap();
+            for (lo, hi) in [
+                (f64::NAN, 5.0),
+                (0.0, f64::NAN),
+                (f64::NAN, f64::NAN),
+                (3.0, 2.0),
+            ] {
+                let err = inst.set_var_bounds(x, lo, hi).unwrap_err();
+                assert!(matches!(err, LpError::InvalidModel { .. }), "({lo}, {hi})");
+            }
+            // The instance survives the rejected deltas untouched.
+            assert_eq!(inst.model().var_bounds(x), (0.0, 5.0));
+            let sol = inst.resolve().unwrap();
+            assert!((sol.objective() - 1.0).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn set_objective_rejects_nonfinite() {
+        let (m, (x, _), _) = classic();
+        let mut inst = m.instance(&SolverOptions::default()).unwrap();
+        inst.solve().unwrap();
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = inst.set_objective(x, bad).unwrap_err();
+            assert!(matches!(err, LpError::InvalidModel { .. }));
+        }
+        let sol = inst.resolve().unwrap();
+        assert!((sol.objective() - 36.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn objective_change_resolves_warm_with_primal_pivots() {
+        for opts in [SolverOptions::default(), SolverOptions::factored()] {
+            let (m, (x, y), _) = classic();
+            let mut inst = m.instance(&opts).unwrap();
+            let cold = inst.solve().unwrap();
+            assert!((cold.objective() - 36.0).abs() < 1e-7);
+
+            // Flip the profit balance: max 5x + y now prefers x=4.
+            inst.set_objective(x, 5.0).unwrap();
+            inst.set_objective(y, 1.0).unwrap();
+            let warm = inst.resolve().unwrap();
+            assert!(warm.stats().warm, "expected the primal warm path");
+
+            let mut cold_model = m.clone();
+            cold_model.set_objective(x, 5.0);
+            cold_model.set_objective(y, 1.0);
+            let re = cold_model.solve_with(&opts).unwrap();
+            assert!(
+                (warm.objective() - re.objective()).abs() <= 1e-9 * (1.0 + re.objective().abs()),
+                "warm {} vs cold {}",
+                warm.objective(),
+                re.objective()
+            );
+            assert!((warm.value(x) - re.value(x)).abs() < 1e-7);
+            assert!((warm.value(y) - re.value(y)).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn unchanged_objective_resolves_in_zero_iterations() {
+        let (m, (x, _), _) = classic();
+        let mut inst = m.instance(&SolverOptions::default()).unwrap();
+        let cold = inst.solve().unwrap();
+        // Setting the same coefficient keeps the dual warm path (no dirty
+        // flag), and the re-solve costs zero pivots.
+        inst.set_objective(x, 3.0).unwrap();
+        let warm = inst.resolve().unwrap();
+        assert_eq!(warm.stats().iterations, 0);
+        assert_eq!(warm.objective().to_bits(), cold.objective().to_bits());
+    }
+
+    #[test]
+    fn mixed_rhs_and_objective_deltas_match_cold() {
+        let (m, (x, y), rows) = classic();
+        let mut inst = m.instance(&SolverOptions::default()).unwrap();
+        inst.solve().unwrap();
+
+        inst.set_rhs(rows[2], 24.0);
+        inst.set_objective(y, 2.0).unwrap();
+        inst.set_rhs(rows[0], 6.0);
+        let warm = inst.resolve().unwrap();
+
+        let mut cold_model = m.clone();
+        cold_model.set_rhs(rows[2], 24.0);
+        cold_model.set_objective(y, 2.0);
+        cold_model.set_rhs(rows[0], 6.0);
+        let cold = cold_model.solve().unwrap();
+        assert!(
+            (warm.objective() - cold.objective()).abs() <= 1e-9 * (1.0 + cold.objective().abs()),
+            "warm {} vs cold {}",
+            warm.objective(),
+            cold.objective()
+        );
+        assert!((warm.value(x) - cold.value(x)).abs() < 1e-7);
+        assert!((warm.value(y) - cold.value(y)).abs() < 1e-7);
+    }
+
+    #[test]
+    fn resolve_with_rhs_goes_cold_while_costs_dirty() {
+        // A stale-cost warm point must not feed the dual simplex: the
+        // non-mutating sweep path falls back to a cold solve until the
+        // owner resolves the objective change.
+        let (m, (x, _), rows) = classic();
+        let mut inst = m.instance(&SolverOptions::default()).unwrap();
+        inst.solve().unwrap();
+        inst.set_objective(x, 10.0).unwrap();
+
+        let at = inst.resolve_with_rhs(&[(rows[0], 2.0)]).unwrap();
+        let mut cold_model = m.clone();
+        cold_model.set_objective(x, 10.0);
+        cold_model.set_rhs(rows[0], 2.0);
+        let cold = cold_model.solve().unwrap();
+        assert!(
+            (at.objective() - cold.objective()).abs() <= 1e-9 * (1.0 + cold.objective().abs()),
+            "sweep {} vs cold {}",
+            at.objective(),
+            cold.objective()
+        );
+        // After resolving, the sweep path is warm again.
+        inst.resolve().unwrap();
+        let warm = inst.resolve_with_rhs(&[(rows[0], 2.0)]).unwrap();
+        assert_eq!(warm.objective().to_bits(), at.objective().to_bits());
+        assert!(warm.stats().warm);
+    }
+
+    #[test]
+    fn objective_made_unbounded_is_cold_confirmed() {
+        // min x − drop the floor by flipping the cost: max-style runaway
+        // along the unbounded ray must surface as LpError::Unbounded, via
+        // the cold confirmation.
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", 0.0, f64::INFINITY, 1.0);
+        m.add_ge(&[(x, 1.0)], 1.0);
+        let mut inst = m.instance(&SolverOptions::default()).unwrap();
+        inst.solve().unwrap();
+        inst.set_objective(x, -1.0).unwrap();
+        assert_eq!(inst.resolve().unwrap_err(), LpError::Unbounded);
+        // And back: the instance recovers.
+        inst.set_objective(x, 2.0).unwrap();
+        let back = inst.resolve().unwrap();
+        assert!((back.objective() - 2.0).abs() < 1e-7);
     }
 
     #[test]

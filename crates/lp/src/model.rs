@@ -115,23 +115,52 @@ impl Model {
     /// # Panics
     ///
     /// Panics if a bound is NaN, the objective coefficient is not finite, or
-    /// `lower > upper`.
+    /// `lower > upper`. Use [`Model::try_add_var`] for a non-panicking
+    /// variant returning a structured [`LpError`].
     pub fn add_var(&mut self, name: &str, lower: f64, upper: f64, obj: f64) -> VarId {
-        assert!(!lower.is_nan() && !upper.is_nan(), "NaN bound for {name}");
-        assert!(
-            obj.is_finite(),
-            "objective coefficient for {name} must be finite"
-        );
-        assert!(
-            lower <= upper,
-            "lower bound {lower} exceeds upper bound {upper} for {name}"
-        );
+        match self.try_add_var(name, lower, upper, obj) {
+            Ok(id) => id,
+            Err(LpError::InvalidModel { reason }) => panic!("{reason}"),
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`Model::add_var`]: NaN bounds, a non-finite
+    /// objective coefficient, or crossing bounds (`lower > upper`) return
+    /// [`LpError::InvalidModel`] instead of panicking. On error the model
+    /// is unchanged.
+    ///
+    /// # Errors
+    ///
+    /// [`LpError::InvalidModel`] as described above.
+    pub fn try_add_var(
+        &mut self,
+        name: &str,
+        lower: f64,
+        upper: f64,
+        obj: f64,
+    ) -> Result<VarId, LpError> {
+        if lower.is_nan() || upper.is_nan() {
+            return Err(LpError::InvalidModel {
+                reason: format!("NaN bound for {name}"),
+            });
+        }
+        if !obj.is_finite() {
+            return Err(LpError::InvalidModel {
+                reason: format!("objective coefficient for {name} must be finite"),
+            });
+        }
+        if lower > upper {
+            return Err(LpError::InvalidModel {
+                reason: format!("lower bound {lower} exceeds upper bound {upper} for {name}"),
+            });
+        }
         let id = VarId(self.names.len());
         self.names.push(name.to_string());
         self.lower.push(lower);
         self.upper.push(upper);
         self.objective.push(obj);
-        id
+        Ok(id)
     }
 
     /// Number of variables added so far.
@@ -710,6 +739,42 @@ impl Prepared {
             self.b[n_user_rows + k] = upper[var] - lower[var];
         }
     }
+
+    /// Re-derives the standard-form cost vector and objective offset from
+    /// the model's current objective coefficients, keeping the column
+    /// layout frozen. Slack/surplus (and legacy upper-bound-row slack)
+    /// costs stay zero; only structural columns are rewritten. This is the
+    /// objective half of the warm-start refresh: after calling it the old
+    /// basis is still primal feasible but its reduced costs are stale, so
+    /// callers must drop any cached pricing state and re-solve via the
+    /// primal path.
+    pub(crate) fn refresh_objective(&mut self, model: &Model) {
+        let user_obj = model.objective_coeffs();
+        for (j, rec) in self.recover.iter().enumerate() {
+            let c = if self.negated {
+                -user_obj[j]
+            } else {
+                user_obj[j]
+            };
+            match *rec {
+                Recover::Shifted { col, sign, .. } => {
+                    self.costs[col] = if sign >= 0.0 { c } else { -c };
+                }
+                Recover::Split { pos, neg } => {
+                    self.costs[pos] = c;
+                    self.costs[neg] = -c;
+                }
+            }
+        }
+        self.obj_offset = self
+            .recover
+            .iter()
+            .map(|rec| match *rec {
+                Recover::Shifted { col, shift, sign } => sign * self.costs[col] * shift,
+                Recover::Split { .. } => 0.0,
+            })
+            .sum();
+    }
 }
 
 #[cfg(test)]
@@ -829,6 +894,65 @@ mod tests {
         assert_eq!(csc.col(0), (&[0usize, 2][..], &[1.0, -3.0][..]));
         assert_eq!(csc.col(1), (&[][..], &[][..]));
         assert_eq!(csc.col(2), (&[1usize][..], &[2.0][..]));
+    }
+
+    #[test]
+    fn try_add_var_rejects_bad_inputs_without_mutating() {
+        let mut m = Model::new(Sense::Minimize);
+        assert!(matches!(
+            m.try_add_var("x", f64::NAN, 1.0, 0.0),
+            Err(LpError::InvalidModel { .. })
+        ));
+        assert!(matches!(
+            m.try_add_var("x", 0.0, f64::NAN, 0.0),
+            Err(LpError::InvalidModel { .. })
+        ));
+        assert!(matches!(
+            m.try_add_var("x", 2.0, 1.0, 0.0),
+            Err(LpError::InvalidModel { .. })
+        ));
+        assert!(matches!(
+            m.try_add_var("x", 0.0, 1.0, f64::INFINITY),
+            Err(LpError::InvalidModel { .. })
+        ));
+        assert_eq!(m.num_vars(), 0);
+        assert!(m.try_add_var("x", 0.0, 1.0, 1.0).is_ok());
+        assert_eq!(m.num_vars(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN bound")]
+    fn add_var_rejects_nan_bound() {
+        let mut m = Model::new(Sense::Minimize);
+        let _ = m.add_var("x", f64::NAN, 1.0, 0.0);
+    }
+
+    #[test]
+    fn refresh_objective_rewrites_costs_and_offset() {
+        // min 3x + y with 2 ≤ x (shifted, sign +1), y ≤ 4 (shifted, sign −1).
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", 2.0, f64::INFINITY, 3.0);
+        let y = m.add_var("y", f64::NEG_INFINITY, 4.0, 1.0);
+        let mut p = Prepared::from_model(&m, false).unwrap();
+        assert_eq!(p.costs, vec![3.0, -1.0]);
+        assert_eq!(p.obj_offset, 3.0 * 2.0 + 1.0 * 4.0);
+        m.set_objective(x, 5.0);
+        m.set_objective(y, -2.0);
+        p.refresh_objective(&m);
+        assert_eq!(p.costs, vec![5.0, 2.0]);
+        assert_eq!(p.obj_offset, 5.0 * 2.0 + (-2.0) * 4.0);
+    }
+
+    #[test]
+    fn refresh_objective_handles_split_and_maximize() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", f64::NEG_INFINITY, f64::INFINITY, 3.0);
+        let mut p = Prepared::from_model(&m, false).unwrap();
+        assert_eq!(p.costs, vec![-3.0, 3.0]);
+        m.set_objective(x, -1.5);
+        p.refresh_objective(&m);
+        assert_eq!(p.costs, vec![1.5, -1.5]);
+        assert_eq!(p.obj_offset, 0.0);
     }
 
     #[test]

@@ -1148,6 +1148,82 @@ pub(crate) fn resolve_dual(
     }
 }
 
+/// Outcome of a primal-simplex reoptimization attempt after an objective
+/// change.
+pub(crate) enum PrimalOutcome {
+    /// Reached optimality under the new costs: solution + the warm-start
+    /// point it ended on (boxed — a `WarmStart` dwarfs the other variants).
+    Optimal(Solution, Box<WarmStart>),
+    /// The new objective is unbounded over the (unchanged) feasible
+    /// region; callers should confirm with a cold solve.
+    Unbounded,
+    /// Basis unusable (artificials, singular, primal infeasible after
+    /// chained rhs edits) or budget exhausted; fall back to a cold solve.
+    Stalled,
+}
+
+/// Primal-simplex reoptimization from a primal-feasible warm-start point
+/// after an *objective* change — the mirror image of [`resolve_dual`].
+///
+/// After costs change, the recorded optimal basis is still primal feasible
+/// (feasibility depends only on `A`, `b`, and bounds) but its reduced
+/// costs are stale, so dual-simplex warm starts are unsound; instead we
+/// resume the phase-2 primal loop from the old basis with artificials
+/// barred. The warm point's cached reduced costs (if any) are ignored —
+/// they were computed under the old costs — but a cached basis
+/// *representation* is cost-independent and is adopted as-is.
+///
+/// Primal feasibility of the warm point is verified up front (a caller
+/// that chained rhs/bound edits since the last re-solve may have broken
+/// it); violations return [`PrimalOutcome::Stalled`] for a cold fallback.
+pub(crate) fn resolve_primal(
+    prepared: &Prepared,
+    b: &[f64],
+    options: &SolverOptions,
+    num_vars: usize,
+    warm: &WarmStart,
+) -> PrimalOutcome {
+    let n_cols = prepared.cols.num_cols();
+    if warm.basis.iter().any(|&j| j >= n_cols) {
+        return PrimalOutcome::Stalled;
+    }
+    let Ok((mut t, _cached_rc)) = State::from_basis(prepared, b, warm, options) else {
+        return PrimalOutcome::Stalled;
+    };
+    let x = t.basic_values();
+    let b_scale: f64 = b.iter().fold(0.0f64, |acc, v| acc.max(v.abs()));
+    let feas_tol = options.tol * (1.0 + b_scale);
+    for (i, &xi) in x.iter().enumerate() {
+        let ub = t.upper_of(t.basis[i]);
+        if xi < -feas_tol || (ub.is_finite() && xi > ub + feas_tol) {
+            return PrimalOutcome::Stalled;
+        }
+    }
+    let costs = &prepared.costs;
+    let phase2_cost = move |j: usize| if j < costs.len() { costs[j] } else { 0.0 };
+    let phase2_allowed = move |j: usize| j < n_cols;
+    let mut iter_budget = options.max_iterations.unwrap_or(10 * (t.m + 1) + 200);
+    match run_phase(
+        &mut t,
+        &phase2_cost,
+        &phase2_allowed,
+        options,
+        &mut iter_budget,
+    ) {
+        Ok(PhaseEnd::Optimal) => {
+            let sol = extract_solution(&t, prepared, num_vars, true);
+            let warm = WarmStart {
+                basis: t.basis,
+                at_upper: t.at_upper,
+                cache: None,
+            };
+            PrimalOutcome::Optimal(sol, Box::new(warm))
+        }
+        Ok(PhaseEnd::Unbounded) => PrimalOutcome::Unbounded,
+        Err(_) => PrimalOutcome::Stalled,
+    }
+}
+
 /// Extracts user-facing values, objective, and duals from an optimal
 /// phase-2 (or dual-simplex) state.
 fn extract_solution(t: &State<'_>, prepared: &Prepared, num_vars: usize, warm: bool) -> Solution {

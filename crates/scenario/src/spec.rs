@@ -932,6 +932,26 @@ fn parse_workload(entries: &RawEntries) -> Result<WorkloadSpec, ScenarioError> {
 
 fn parse_failures(entries: &RawEntries) -> Result<FailurePlan, ScenarioError> {
     let mut plan = FailurePlan::default();
+    // (phase, element) → line of the event that first claimed the target.
+    // Two events on one target in one phase (slowdown twice, or a crash on
+    // top of a slowdown) would silently compose into an unintended
+    // multiplier; consistent with the strict unknown-key policy, reject at
+    // the second declaration instead.
+    let mut seen: std::collections::HashMap<(usize, usize), usize> =
+        std::collections::HashMap::new();
+    let mut claim = |phase: usize, element: usize, line: usize| match seen.entry((phase, element)) {
+        std::collections::hash_map::Entry::Occupied(first) => Err(ScenarioError::Parse {
+            line,
+            message: format!(
+                "duplicate failure target {phase}:{element} (first declared on line {})",
+                first.get()
+            ),
+        }),
+        std::collections::hash_map::Entry::Vacant(slot) => {
+            slot.insert(line);
+            Ok(())
+        }
+    };
     for (v, l) in entries.take_all("failures", "slowdown") {
         let parts: Vec<&str> = v.split(':').collect();
         let [phase, element, multiplier] = parts.as_slice() else {
@@ -940,9 +960,12 @@ fn parse_failures(entries: &RawEntries) -> Result<FailurePlan, ScenarioError> {
                 message: format!("slowdown `{v}` is not phase:element:multiplier"),
             });
         };
+        let phase = num(phase, l, "slowdown phase")?;
+        let element = num(element, l, "slowdown element")?;
+        claim(phase, element, l)?;
         plan.events.push(FailureEvent {
-            phase: num(phase, l, "slowdown phase")?,
-            element: num(element, l, "slowdown element")?,
+            phase,
+            element,
             multiplier: num(multiplier, l, "slowdown multiplier")?,
         });
     }
@@ -954,9 +977,12 @@ fn parse_failures(entries: &RawEntries) -> Result<FailurePlan, ScenarioError> {
                 message: format!("crash `{v}` is not phase:element"),
             });
         };
+        let phase = num(phase, l, "crash phase")?;
+        let element = num(element, l, "crash element")?;
+        claim(phase, element, l)?;
         plan.events.push(FailureEvent {
-            phase: num(phase, l, "crash phase")?,
-            element: num(element, l, "crash element")?,
+            phase,
+            element,
             multiplier: CRASH_MULTIPLIER,
         });
     }
@@ -1144,6 +1170,58 @@ tolerance = 0.12
             ScenarioSpec::parse("[pipeline]\nphases = 1\nphases = 2\n"),
             Err(ScenarioError::Parse { line: 3, .. })
         ));
+    }
+
+    #[test]
+    fn duplicate_top_level_key_is_rejected() {
+        assert!(matches!(
+            ScenarioSpec::parse("name = \"a\"\nname = \"b\"\n"),
+            Err(ScenarioError::Parse { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_key_across_repeated_sections_is_rejected() {
+        // Reopening a section must not let the second occurrence win.
+        let text = "[pipeline]\nphases = 1\n[workload]\nlocations = 6\n[pipeline]\nphases = 2\n";
+        assert!(matches!(
+            ScenarioSpec::parse(text),
+            Err(ScenarioError::Parse { line: 6, .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_slowdown_target_is_rejected() {
+        let text = "[failures]\nslowdown = 0:1:2\nslowdown = 0:1:4\n[pipeline]\nphases = 2\n";
+        let err = ScenarioSpec::parse(text).unwrap_err();
+        let ScenarioError::Parse { line, message } = err else {
+            panic!("wrong error: {err}");
+        };
+        assert_eq!(line, 3);
+        assert!(
+            message.contains("duplicate failure target 0:1"),
+            "{message}"
+        );
+        assert!(message.contains("line 2"), "{message}");
+    }
+
+    #[test]
+    fn crash_on_slowed_target_is_rejected() {
+        let text = "[failures]\nslowdown = 1:3:2\ncrash = 1:3\n[pipeline]\nphases = 2\n";
+        assert!(matches!(
+            ScenarioSpec::parse(text),
+            Err(ScenarioError::Parse { line: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn distinct_failure_targets_still_compose() {
+        // Same element in different phases, and different elements in one
+        // phase, are all legitimate.
+        let text = "[failures]\nslowdown = 0:1:2\nslowdown = 1:1:2\ncrash = 0:2\n\
+                    [pipeline]\nphases = 2\n";
+        let spec = ScenarioSpec::parse(text).unwrap();
+        assert_eq!(spec.failures.events.len(), 3);
     }
 
     #[test]

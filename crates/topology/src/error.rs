@@ -68,6 +68,15 @@ pub enum TopologyError {
         /// Operating-system error message.
         message: String,
     },
+    /// A matrix text file failed to parse at a specific line (1-based),
+    /// e.g. an unparsable/NaN/negative entry, a ragged row, or an
+    /// asymmetric pair detected during ingestion.
+    Parse {
+        /// 1-based line number in the input text.
+        line: usize,
+        /// What was wrong at that line.
+        message: String,
+    },
 }
 
 impl fmt::Display for TopologyError {
@@ -98,6 +107,9 @@ impl fmt::Display for TopologyError {
             }
             TopologyError::Io { path, message } => {
                 write!(f, "reading {path}: {message}")
+            }
+            TopologyError::Parse { line, message } => {
+                write!(f, "line {line}: {message}")
             }
         }
     }

@@ -22,16 +22,15 @@ use crate::{DistanceMatrix, Network, TopologyError};
 ///
 /// The first non-comment line may be a header of site labels (detected by
 /// failing to parse as numbers); otherwise sites are labelled
-/// `site-0 … site-(n−1)`.
+/// `site-0 … site-(n−1)`. Line endings may be LF or CRLF, and trailing
+/// blank lines are ignored — measurement files exported from Windows
+/// tooling ingest unchanged.
 ///
 /// # Errors
 ///
-/// * [`TopologyError::NotSquare`] if the rows do not form a square matrix
-///   or a row has the wrong width.
-/// * [`TopologyError::InvalidDistance`] for negative/NaN/unparsable
-///   entries.
-/// * [`TopologyError::Asymmetric`] / [`TopologyError::NonzeroDiagonal`]
-///   per [`DistanceMatrix::from_rows`].
+/// * [`TopologyError::Parse`] (carrying the 1-based line number) for
+///   unparsable, NaN, infinite, or negative entries, ragged rows, a
+///   non-square shape, a nonzero diagonal, or an asymmetric pair.
 /// * [`TopologyError::LabelCount`] if a header's width mismatches the
 ///   matrix.
 ///
@@ -40,7 +39,7 @@ use crate::{DistanceMatrix, Network, TopologyError};
 /// ```
 /// use qp_topology::io::parse_matrix;
 ///
-/// let net = parse_matrix("a b\n0 7.5\n7.5 0\n")?;
+/// let net = parse_matrix("a b\r\n0 7.5\r\n7.5 0\r\n\r\n")?;
 /// assert_eq!(net.len(), 2);
 /// assert_eq!(net.label(qp_topology::NodeId::new(0)), "a");
 /// # Ok::<(), qp_topology::TopologyError>(())
@@ -48,28 +47,79 @@ use crate::{DistanceMatrix, Network, TopologyError};
 pub fn parse_matrix(text: &str) -> Result<Network, TopologyError> {
     let mut labels: Option<Vec<String>> = None;
     let mut rows: Vec<Vec<f64>> = Vec::new();
-    for line in text.lines() {
+    // 1-based source line of each matrix row, for error reporting.
+    let mut row_lines: Vec<usize> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let lineno = lineno + 1;
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
         let fields: Vec<&str> = line.split_whitespace().collect();
-        let parsed: Result<Vec<f64>, _> = fields.iter().map(|f| f.parse::<f64>()).collect();
-        match parsed {
-            Ok(nums) => rows.push(nums),
-            Err(_) if labels.is_none() && rows.is_empty() => {
-                labels = Some(fields.iter().map(|s| s.to_string()).collect());
-            }
-            Err(_) => {
-                return Err(TopologyError::InvalidDistance {
-                    from: rows.len(),
-                    to: 0,
-                    value: f64::NAN,
-                })
+        let mut nums: Vec<f64> = Vec::with_capacity(fields.len());
+        let mut bad: Option<(usize, &str)> = None;
+        for (col, f) in fields.iter().enumerate() {
+            match f.parse::<f64>() {
+                Ok(v) => nums.push(v),
+                Err(_) => {
+                    bad = Some((col, f));
+                    break;
+                }
             }
         }
+        if let Some((col, field)) = bad {
+            if labels.is_none() && rows.is_empty() {
+                labels = Some(fields.iter().map(|s| s.to_string()).collect());
+                continue;
+            }
+            return Err(TopologyError::Parse {
+                line: lineno,
+                message: format!("unparsable distance '{field}' in column {}", col + 1),
+            });
+        }
+        for (col, &v) in nums.iter().enumerate() {
+            if !v.is_finite() || v < 0.0 {
+                return Err(TopologyError::Parse {
+                    line: lineno,
+                    message: format!(
+                        "invalid distance {v} in column {} (must be finite and ≥ 0)",
+                        col + 1
+                    ),
+                });
+            }
+        }
+        if let Some(first) = rows.first() {
+            if nums.len() != first.len() {
+                return Err(TopologyError::Parse {
+                    line: lineno,
+                    message: format!(
+                        "row has {} entries but earlier rows have {}",
+                        nums.len(),
+                        first.len()
+                    ),
+                });
+            }
+        }
+        rows.push(nums);
+        row_lines.push(lineno);
     }
-    let matrix = DistanceMatrix::from_rows(&rows)?;
+    let matrix = DistanceMatrix::from_rows(&rows).map_err(|e| match e {
+        // Widths are already consistent, so NotSquare here means the row
+        // count mismatches the width — report at the last matrix row.
+        TopologyError::NotSquare { rows: n, row_len } => TopologyError::Parse {
+            line: row_lines.last().copied().unwrap_or(1),
+            message: format!("matrix is not square: {n} rows of width {row_len}"),
+        },
+        TopologyError::NonzeroDiagonal { node, value } => TopologyError::Parse {
+            line: row_lines[node],
+            message: format!("nonzero diagonal entry {value} at site {node}"),
+        },
+        TopologyError::Asymmetric { from, to } => TopologyError::Parse {
+            line: row_lines[from.max(to)],
+            message: format!("matrix is asymmetric between sites {from} and {to}"),
+        },
+        other => other,
+    })?;
     match labels {
         Some(l) => Network::with_labels(matrix, l),
         None => Ok(Network::from_distances(matrix)),
@@ -180,24 +230,80 @@ mod tests {
     }
 
     #[test]
-    fn rejects_ragged_rows() {
+    fn rejects_ragged_rows_with_line_number() {
         assert!(matches!(
             parse_matrix("0 1\n1 0 3\n"),
-            Err(TopologyError::NotSquare { .. })
+            Err(TopologyError::Parse { line: 2, .. })
         ));
     }
 
     #[test]
-    fn rejects_garbage_mid_matrix() {
-        assert!(parse_matrix("0 1\nx y\n").is_err());
+    fn rejects_garbage_mid_matrix_with_line_number() {
+        let err = parse_matrix("# measurement dump\n0 1\nx y\n").unwrap_err();
+        assert!(matches!(err, TopologyError::Parse { line: 3, .. }), "{err}");
+        assert!(err.to_string().contains("'x'"), "{err}");
     }
 
     #[test]
-    fn rejects_asymmetry() {
-        assert!(matches!(
-            parse_matrix("0 1\n2 0\n"),
-            Err(TopologyError::Asymmetric { .. })
-        ));
+    fn rejects_asymmetry_with_line_number() {
+        let err = parse_matrix("0 1\n2 0\n").unwrap_err();
+        assert!(matches!(err, TopologyError::Parse { line: 2, .. }), "{err}");
+        assert!(err.to_string().contains("asymmetric"), "{err}");
+    }
+
+    #[test]
+    fn rejects_nan_entry_with_line_number() {
+        // "NaN" parses as a float, so it must be caught by the value
+        // check, not the parse check.
+        let err = parse_matrix("a b\n0 NaN\nNaN 0\n").unwrap_err();
+        assert!(matches!(err, TopologyError::Parse { line: 2, .. }), "{err}");
+        assert!(err.to_string().contains("invalid distance"), "{err}");
+    }
+
+    #[test]
+    fn rejects_negative_entry_with_line_number() {
+        let err = parse_matrix("0 1\n1 0\n# note\n0 -2\n").unwrap_err();
+        assert!(matches!(err, TopologyError::Parse { line: 4, .. }), "{err}");
+    }
+
+    #[test]
+    fn rejects_infinite_entry_with_line_number() {
+        let err = parse_matrix("0 inf\ninf 0\n").unwrap_err();
+        assert!(matches!(err, TopologyError::Parse { line: 1, .. }), "{err}");
+    }
+
+    #[test]
+    fn rejects_nonzero_diagonal_with_line_number() {
+        let err = parse_matrix("ny lon\n0 1\n1 5\n").unwrap_err();
+        assert!(matches!(err, TopologyError::Parse { line: 3, .. }), "{err}");
+        assert!(err.to_string().contains("diagonal"), "{err}");
+    }
+
+    #[test]
+    fn rejects_missing_final_row_at_last_line() {
+        // 3-wide rows but only 2 of them: not square, blamed on the last
+        // matrix row.
+        let err = parse_matrix("0 1 2\n1 0 3\n").unwrap_err();
+        assert!(matches!(err, TopologyError::Parse { line: 2, .. }), "{err}");
+        assert!(err.to_string().contains("not square"), "{err}");
+    }
+
+    #[test]
+    fn tolerates_crlf_and_trailing_blank_lines() {
+        let net = parse_matrix("ny lon\r\n0 70\r\n70 0\r\n\r\n\r\n").unwrap();
+        assert_eq!(net.len(), 2);
+        assert_eq!(net.label(NodeId::new(1)), "lon");
+        assert_eq!(net.distance(NodeId::new(0), NodeId::new(1)), 70.0);
+    }
+
+    #[test]
+    fn crlf_file_reads_from_disk() {
+        let path = std::env::temp_dir().join(format!("qp-io-crlf-{}.rtt", std::process::id()));
+        std::fs::write(&path, "a b c\r\n0 1 2\r\n1 0 3\r\n2 3 0\r\n\r\n").unwrap();
+        let net = read_matrix_file(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(net.len(), 3);
+        assert_eq!(net.label(NodeId::new(2)), "c");
     }
 
     #[test]

@@ -9,16 +9,26 @@
 //!                    [--clients-per-location 5] [--requests 150] [--seed 0]
 //!                    [--strategy closest|balanced] [--dataset ...]
 //! quorumnet scenario --spec FILE [--spec FILE ...] [--out FILE]
+//! quorumnet serve    (--socket PATH | --listen ADDR) --system grid:3
+//!                    [--demand 16000] [--op-time 0.007] [--sweep 10]
+//! quorumnet ctl      (--socket PATH | --connect ADDR) [--cmd "..." ...]
 //! ```
 //!
 //! `--topology FILE` reads a whitespace-separated RTT matrix (optionally
 //! with a label header) — the format of `qp_topology::io`. `scenario`
 //! runs declarative end-to-end scenario specs (`qp_scenario::spec`
-//! format) and prints one report per spec.
+//! format) and prints one report per spec. `serve` starts the `quorumd`
+//! placement daemon on a Unix socket or TCP address; `ctl` drives it
+//! with protocol commands from `--cmd` flags (or stdin) and exits
+//! nonzero if any command — including a `check` cross-check — fails.
 
+use std::io::Write as _;
 use std::process::ExitCode;
 
 use quorumnet::core::strategy_lp;
+use quorumnet::daemon::protocol::read_response;
+use quorumnet::daemon::server as daemon_server;
+use quorumnet::daemon::{Endpoint, Server, Session, SessionConfig};
 use quorumnet::prelude::*;
 use quorumnet::topology::io as topo_io;
 
@@ -52,6 +62,8 @@ fn run(args: &[String]) -> Result<(), String> {
         "place" => cmd_place(&opts),
         "simulate" => cmd_simulate(&opts),
         "scenario" => cmd_scenario(&opts),
+        "serve" => cmd_serve(&opts),
+        "ctl" => cmd_ctl(&opts),
         other => Err(format!("unknown command `{other}`")),
     }
 }
@@ -63,7 +75,9 @@ fn print_help() {
          info      topology statistics\n  \
          place     place a quorum system and evaluate strategies\n  \
          simulate  run the Q/U-style protocol simulation\n  \
-         scenario  run declarative end-to-end scenario specs\n\n\
+         scenario  run declarative end-to-end scenario specs\n  \
+         serve     run the quorumd placement daemon\n  \
+         ctl       drive a running daemon over its line protocol\n\n\
          common flags:\n  \
          --dataset planetlab50|daxlist161   built-in synthetic WAN (default planetlab50)\n  \
          --topology FILE                    RTT matrix file (overrides --dataset)\n  \
@@ -85,7 +99,18 @@ fn print_help() {
          --strategy closest|balanced (default balanced)\n\n\
          scenario flags:\n  \
          --spec FILE   scenario spec (repeatable; the set runs as a matrix)\n  \
-         --out FILE    also write the reports to FILE"
+         --out FILE    also write the reports to FILE\n\n\
+         serve flags:\n  \
+         --socket PATH   listen on a Unix-domain socket\n  \
+         --listen ADDR   listen on a TCP address (e.g. 127.0.0.1:0)\n  \
+         --sweep N       capacity sweep points per re-tune (default 10)\n\n\
+         ctl flags:\n  \
+         --socket PATH   connect to a Unix-domain socket\n  \
+         --connect ADDR  connect to a TCP address\n  \
+         --cmd CMD       protocol command (repeatable; stdin if omitted)\n\n\
+         daemon protocol commands:\n  \
+         slowdown <site> <factor> | demand <loc> <weight> | crash <node>\n  \
+         restore <node> | query | snapshot | check | shutdown"
     );
 }
 
@@ -107,6 +132,11 @@ struct Options {
     threads: Option<usize>,
     specs: Vec<String>,
     out: Option<String>,
+    socket: Option<String>,
+    listen: Option<String>,
+    connect: Option<String>,
+    cmds: Vec<String>,
+    sweep: usize,
 }
 
 impl Default for Options {
@@ -127,6 +157,11 @@ impl Default for Options {
             threads: None,
             specs: Vec::new(),
             out: None,
+            socket: None,
+            listen: None,
+            connect: None,
+            cmds: Vec::new(),
+            sweep: 10,
         }
     }
 }
@@ -159,6 +194,17 @@ impl Options {
                 "--seed" => o.seed = parse_usize(&value("--seed")?, "--seed")? as u64,
                 "--spec" => o.specs.push(value("--spec")?),
                 "--out" => o.out = Some(value("--out")?),
+                "--socket" => o.socket = Some(value("--socket")?),
+                "--listen" => o.listen = Some(value("--listen")?),
+                "--connect" => o.connect = Some(value("--connect")?),
+                "--cmd" => o.cmds.push(value("--cmd")?),
+                "--sweep" => {
+                    let n = parse_usize(&value("--sweep")?, "--sweep")?;
+                    if n == 0 {
+                        return Err("--sweep must be at least 1".to_string());
+                    }
+                    o.sweep = n;
+                }
                 "--threads" => {
                     let n = parse_usize(&value("--threads")?, "--threads")?;
                     if n == 0 {
@@ -418,6 +464,112 @@ fn cmd_scenario(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// Resolves the daemon endpoint from `--socket`/`--listen`/`--connect`.
+fn endpoint(opts: &Options, addr_flag: &str, addr: &Option<String>) -> Result<Endpoint, String> {
+    match (&opts.socket, addr) {
+        (Some(_), Some(_)) => Err(format!("--socket and {addr_flag} are mutually exclusive")),
+        (Some(path), None) => {
+            #[cfg(unix)]
+            {
+                Ok(Endpoint::Unix(std::path::PathBuf::from(path)))
+            }
+            #[cfg(not(unix))]
+            {
+                let _ = path;
+                Err("--socket requires a Unix platform; use --listen/--connect".to_string())
+            }
+        }
+        (None, Some(a)) => Ok(Endpoint::Tcp(a.clone())),
+        (None, None) => Err(format!("need --socket PATH or {addr_flag} ADDR")),
+    }
+}
+
+fn cmd_serve(opts: &Options) -> Result<(), String> {
+    let endpoint = endpoint(opts, "--listen", &opts.listen)?;
+    let net = opts.network()?;
+    let sys = opts.quorum_system()?;
+    if sys.universe_size() > net.len() {
+        return Err(format!(
+            "universe of {} exceeds the {}-site network",
+            sys.universe_size(),
+            net.len()
+        ));
+    }
+    let placement = one_to_one::best_placement(&net, &sys).map_err(|e| e.to_string())?;
+    let quorums = sys.enumerate(100_000).map_err(|e| e.to_string())?;
+    let l_opt = sys
+        .optimal_load()
+        .ok_or("serve needs a system with known optimal load")?;
+    let label = sys.label();
+    let session = Session::new(SessionConfig {
+        net,
+        quorums,
+        placement,
+        alpha: opts.model().alpha(),
+        l_opt,
+        sweep_steps: opts.sweep,
+    })
+    .map_err(|e| e.to_string())?;
+    let server = Server::bind(&endpoint).map_err(|e| format!("bind: {e}"))?;
+    println!("quorumd serving {label} on {}", server.local_addr());
+    std::io::stdout().flush().ok();
+    let summary = server.run(session).map_err(|e| format!("serve: {e}"))?;
+    println!(
+        "quorumd shut down after {} connections, {} commands",
+        summary.connections, summary.commands
+    );
+    Ok(())
+}
+
+fn cmd_ctl(opts: &Options) -> Result<(), String> {
+    let endpoint = endpoint(opts, "--connect", &opts.connect)?;
+    let stream = daemon_server::connect(&endpoint).map_err(|e| {
+        format!(
+            "connect {}: {e}",
+            opts.socket
+                .as_deref()
+                .unwrap_or_else(|| opts.connect.as_deref().unwrap_or("?"))
+        )
+    })?;
+    let mut reader = std::io::BufReader::new(stream);
+    let commands: Vec<String> = if opts.cmds.is_empty() {
+        use std::io::Read as _;
+        let mut text = String::new();
+        std::io::stdin()
+            .read_to_string(&mut text)
+            .map_err(|e| format!("reading stdin: {e}"))?;
+        text.lines().map(|l| l.to_string()).collect()
+    } else {
+        opts.cmds.clone()
+    };
+    let mut failures = 0usize;
+    for cmd in &commands {
+        let trimmed = cmd.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        reader
+            .get_mut()
+            .write_all(format!("{trimmed}\n").as_bytes())
+            .map_err(|e| format!("send: {e}"))?;
+        reader.get_mut().flush().map_err(|e| format!("send: {e}"))?;
+        let resp = read_response(&mut reader).map_err(|e| format!("recv: {e}"))?;
+        println!("> {trimmed}");
+        println!("{} {}", if resp.ok { "ok" } else { "err" }, resp.summary);
+        for line in &resp.detail {
+            println!("  {line}");
+        }
+        if !resp.ok {
+            failures += 1;
+        }
+    }
+    std::io::stdout().flush().ok();
+    if failures > 0 {
+        return Err(format!("{failures} command(s) failed"));
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -476,6 +628,35 @@ mod tests {
         assert!(parse_system("grid").is_err());
         assert!(parse_system("majority:weird:2").is_err());
         assert!(parse_system("grid:0").is_err());
+    }
+
+    #[test]
+    fn parses_daemon_flags() {
+        let o = Options::parse(&s(&[
+            "--socket",
+            "/tmp/q.sock",
+            "--cmd",
+            "query",
+            "--cmd",
+            "shutdown",
+            "--sweep",
+            "6",
+        ]))
+        .unwrap();
+        assert_eq!(o.socket.as_deref(), Some("/tmp/q.sock"));
+        assert_eq!(o.cmds, vec!["query", "shutdown"]);
+        assert_eq!(o.sweep, 6);
+        assert!(Options::parse(&s(&["--sweep", "0"])).is_err());
+        assert!(Options::parse(&s(&["--cmd"])).is_err());
+
+        let o = Options::parse(&s(&["--listen", "127.0.0.1:0"])).unwrap();
+        assert_eq!(o.listen.as_deref(), Some("127.0.0.1:0"));
+        // Endpoint resolution: exactly one of socket / addr.
+        assert!(endpoint(&o, "--listen", &o.listen).is_ok());
+        let both = Options::parse(&s(&["--socket", "p", "--listen", "a"])).unwrap();
+        assert!(endpoint(&both, "--listen", &both.listen).is_err());
+        let neither = Options::parse(&s(&[])).unwrap();
+        assert!(endpoint(&neither, "--listen", &neither.listen).is_err());
     }
 
     #[test]

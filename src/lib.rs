@@ -14,6 +14,7 @@
 //! | [`des`] | `qp-des` | Discrete-event simulation kernel |
 //! | [`protocol`] | `qp-protocol` | Q/U-style protocol simulation (the §3 motivating experiment) |
 //! | [`scenario`] | `qp-scenario` | Declarative WAN/workload/failure scenarios and the end-to-end pipeline runner |
+//! | [`daemon`] | `qp-daemon` | `quorumd`: long-lived placement sessions with online delta re-optimization over a warm simplex instance |
 //!
 //! # Quickstart
 //!
@@ -44,6 +45,7 @@
 #![warn(missing_docs)]
 
 pub use qp_core as core;
+pub use qp_daemon as daemon;
 pub use qp_des as des;
 pub use qp_lp as lp;
 pub use qp_protocol as protocol;

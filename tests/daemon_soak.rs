@@ -1,0 +1,163 @@
+//! Soak harness for the `quorumd` session layer: replay a long scripted
+//! delta stream through the resident warm LP and cross-check every
+//! answer against a from-scratch cold recompute.
+//!
+//! The warm replay is serial (a session is one mutable object); the
+//! cold recomputes are pure functions of per-step [`ColdInputs`]
+//! snapshots and fan out over the deterministic `qp-par` pool, so the
+//! cross-check itself is bit-identical at any thread count.
+
+use quorumnet::daemon::session::{cold_recompute, Answer, ColdInputs};
+use quorumnet::daemon::{Delta, Session, SessionConfig};
+use quorumnet::prelude::*;
+
+const SOAK_DELTAS: usize = 220;
+const SOAK_SEED: u64 = 0x50ce_a11d;
+
+fn build_session(n_sites: usize, seed: u64) -> Session {
+    let net = datasets::euclidean_random(n_sites, 120.0, seed);
+    let sys = QuorumSystem::grid(3).unwrap();
+    let placement = one_to_one::best_placement(&net, &sys).unwrap();
+    let quorums = sys.enumerate(100).unwrap();
+    Session::new(SessionConfig {
+        net,
+        quorums,
+        placement,
+        alpha: ResponseModel::from_demand(0.007, 16_000.0).alpha(),
+        l_opt: sys.optimal_load().unwrap(),
+        sweep_steps: 8,
+    })
+    .unwrap()
+}
+
+/// A deterministic scripted delta stream: slowdowns, demand shifts, and
+/// bounded crash/restore churn (at most two nodes down at once, so a
+/// 3×3 grid always keeps a live quorum for every client).
+fn script(len: usize, num_nodes: usize, seed: u64) -> Vec<Delta> {
+    let frac = |h: u64, shift: u32| ((h >> shift) & 0xffff) as f64 / 65536.0;
+    let mut crashed: Vec<usize> = Vec::new();
+    let mut out = Vec::with_capacity(len);
+    let mut k = 0usize;
+    while out.len() < len {
+        let h = qp_par::job_seed(seed, k);
+        k += 1;
+        let node = ((h >> 24) as usize) % num_nodes;
+        match h % 10 {
+            0..=3 => out.push(Delta::Slowdown {
+                site: node,
+                factor: 1.0 + 2.0 * frac(h, 8),
+            }),
+            4..=6 => out.push(Delta::Demand {
+                loc: node,
+                weight: 0.1 + 3.0 * frac(h, 8),
+            }),
+            7 => out.push(Delta::Slowdown {
+                site: node,
+                factor: 1.0,
+            }),
+            8 => {
+                if crashed.len() < 2 && !crashed.contains(&node) {
+                    crashed.push(node);
+                    out.push(Delta::Crash { node });
+                } else if let Some(node) = crashed.first().copied() {
+                    crashed.remove(0);
+                    out.push(Delta::Restore { node });
+                }
+            }
+            _ => {
+                if let Some(node) = crashed.first().copied() {
+                    crashed.remove(0);
+                    out.push(Delta::Restore { node });
+                }
+            }
+        }
+    }
+    out
+}
+
+fn assert_answers_match(step: usize, warm: &Answer, cold: &Answer) {
+    let rel = |a: f64, b: f64| (a - b).abs() / (1.0 + a.abs().max(b.abs()));
+    assert_eq!(
+        warm.capacity, cold.capacity,
+        "step {step}: tuned capacities diverge"
+    );
+    assert!(
+        rel(warm.delay_ms, cold.delay_ms) <= 1e-9,
+        "step {step}: delay warm {} vs cold {}",
+        warm.delay_ms,
+        cold.delay_ms
+    );
+    assert!(
+        rel(warm.response_ms, cold.response_ms) <= 1e-9,
+        "step {step}: response warm {} vs cold {}",
+        warm.response_ms,
+        cold.response_ms
+    );
+    for (v, (wr, cr)) in warm.strategy.iter().zip(&cold.strategy).enumerate() {
+        for (i, (a, b)) in wr.iter().zip(cr).enumerate() {
+            assert!(
+                (a - b).abs() <= 1e-9,
+                "step {step}: strategy ({v},{i}) warm {a} vs cold {b}"
+            );
+        }
+    }
+}
+
+#[test]
+fn soak_warm_replay_matches_cold_recomputes() {
+    let mut session = build_session(24, 11);
+    let deltas = script(SOAK_DELTAS, 24, SOAK_SEED);
+    assert!(deltas.len() >= 200);
+
+    // Warm serial replay, snapshotting the cold inputs after each delta.
+    let mut warm_answers: Vec<Answer> = Vec::with_capacity(deltas.len());
+    let mut snapshots: Vec<ColdInputs> = Vec::with_capacity(deltas.len());
+    let mut warm_total: u64 = 0;
+    for (step, d) in deltas.iter().enumerate() {
+        let report = session
+            .apply(d)
+            .unwrap_or_else(|e| panic!("step {step} ({d:?}) failed: {e}"));
+        warm_total += report.answer.pivots;
+        warm_answers.push(report.answer);
+        snapshots.push(session.cold_inputs());
+    }
+
+    // Cold batch recompute, fanned over the deterministic pool.
+    let cold: Vec<(Answer, u64)> =
+        qp_par::ParPool::global().run(snapshots.len(), |i| cold_recompute(&snapshots[i]).unwrap());
+    let cold_total: u64 = cold.iter().map(|(_, p)| p).sum();
+    for (step, (warm, (cold, _))) in warm_answers.iter().zip(&cold).enumerate() {
+        assert_answers_match(step, warm, cold);
+    }
+
+    assert!(
+        warm_total < cold_total,
+        "warm replay spent {warm_total} pivots, cold batch {cold_total} — warm must be strictly cheaper"
+    );
+    // The saving should be substantial, not marginal: the whole point of
+    // the resident instance.
+    assert!(
+        warm_total * 2 < cold_total,
+        "warm {warm_total} vs cold {cold_total}: expected ≥2× saving"
+    );
+}
+
+#[test]
+fn cold_recompute_is_a_pure_function_of_its_snapshot() {
+    let mut session = build_session(16, 3);
+    for d in script(10, 16, 99) {
+        session.apply(&d).unwrap();
+    }
+    let snap = session.cold_inputs();
+    let (a1, p1) = cold_recompute(&snap).unwrap();
+    let (a2, p2) = cold_recompute(&snap).unwrap();
+    assert_eq!(p1, p2);
+    assert_eq!(a1.capacity, a2.capacity);
+    assert_eq!(a1.delay_ms.to_bits(), a2.delay_ms.to_bits());
+    assert_eq!(a1.response_ms.to_bits(), a2.response_ms.to_bits());
+    for (r1, r2) in a1.strategy.iter().zip(&a2.strategy) {
+        for (x, y) in r1.iter().zip(r2) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+}

@@ -147,3 +147,135 @@ fn warm_sweep_is_reproducible() {
         );
     }
 }
+
+// ---------------------------------------------------------------------------
+// Mixed-delta chains against a resident SimplexInstance (the daemon's
+// access pattern): random sequences of rhs, bound, and objective edits
+// must warm-resolve to the same optimum as a from-scratch cold solve of
+// the edited model, agree on infeasibility, and spend strictly fewer
+// pivots in aggregate whenever the warm path actually engaged.
+// ---------------------------------------------------------------------------
+
+use proptest::prelude::*;
+use quorumnet::core::strategy_lp::build_weighted_strategy_model;
+use quorumnet::lp::{LpError, SimplexInstance, SolverOptions, VarId};
+
+/// One random in-place edit to the resident LP.
+#[derive(Debug, Clone, Copy)]
+enum LpDelta {
+    /// Demand-weight shift: convexity rhs (dual-simplex territory).
+    Weight { pick: usize, value: f64 },
+    /// Capacity re-tune: inequality rhs (dual-simplex territory).
+    Cap { pick: usize, value: f64 },
+    /// Variable lower bound (small, so convexity rows stay satisfiable).
+    Bound { pick: usize, lower: f64 },
+    /// Objective rescale: slowdown-style cost edit (primal territory).
+    Cost { pick: usize, scale: f64 },
+}
+
+fn lp_delta() -> impl Strategy<Value = LpDelta> {
+    prop_oneof![
+        (0usize..1000, 0.02f64..0.15).prop_map(|(pick, value)| LpDelta::Weight { pick, value }),
+        (0usize..1000, 0.55f64..1.0).prop_map(|(pick, value)| LpDelta::Cap { pick, value }),
+        (0usize..1000, 0.0f64..0.0015).prop_map(|(pick, lower)| LpDelta::Bound { pick, lower }),
+        (0usize..1000, 0.5f64..3.0).prop_map(|(pick, scale)| LpDelta::Cost { pick, scale }),
+    ]
+}
+
+/// A small weighted strategy LP (12 clients × 3×3 Grid) in the daemon's
+/// q-substitution form, plus its row maps.
+fn resident_lp() -> (
+    quorumnet::core::strategy_lp::WeightedStrategyLp,
+    usize,
+    usize,
+) {
+    let net = datasets::euclidean_random(12, 100.0, 7);
+    let clients: Vec<NodeId> = net.nodes().collect();
+    let sys = QuorumSystem::grid(3).unwrap();
+    let placement = one_to_one::best_placement(&net, &sys).unwrap();
+    let quorums = sys.enumerate(100).unwrap();
+    let ctx = EvalContext::new(&net, &clients);
+    let pq = ctx.place(&placement, &quorums);
+    let n = clients.len();
+    let m = quorums.len();
+    let delta: Vec<Vec<f64>> = (0..n)
+        .map(|v| (0..m).map(|i| pq.delta(v, i)).collect())
+        .collect();
+    let node_counts: Vec<Vec<(usize, f64)>> = (0..m).map(|i| pq.node_counts(i).to_vec()).collect();
+    let counts = placement.element_counts();
+    let cap_rhs: Vec<f64> = (0..net.len())
+        .map(|w| if counts[w] == 0 { f64::INFINITY } else { 1.0 })
+        .collect();
+    let weights = vec![1.0 / n as f64; n];
+    let lp =
+        build_weighted_strategy_model(&delta, &weights, &node_counts, net.len(), &cap_rhs).unwrap();
+    (lp, n, m)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn chained_mixed_deltas_warm_resolve_matches_cold(
+        deltas in proptest::collection::vec(lp_delta(), 3..=10)
+    ) {
+        let (lp, n, m) = resident_lp();
+        let options = SolverOptions::factored();
+        let mut instance = SimplexInstance::new(lp.model.clone(), options.clone()).unwrap();
+        instance.solve().unwrap();
+
+        let mut warm_total = 0usize;
+        let mut cold_total = 0usize;
+        let mut warm_used = 0usize;
+        for d in &deltas {
+            match *d {
+                LpDelta::Weight { pick, value } => {
+                    instance.set_rhs(lp.conv_rows[pick % n], value);
+                }
+                LpDelta::Cap { pick, value } => {
+                    let (_, row) = lp.cap_rows[pick % lp.cap_rows.len()];
+                    instance.set_rhs(row, value);
+                }
+                LpDelta::Bound { pick, lower } => {
+                    let v = VarId::from_index(pick % (n * m));
+                    instance.set_var_bounds(v, lower, f64::INFINITY).unwrap();
+                }
+                LpDelta::Cost { pick, scale } => {
+                    let v = VarId::from_index(pick % (n * m));
+                    let cur = instance.model().objective_coeff(v);
+                    instance.set_objective(v, cur * scale).unwrap();
+                }
+            }
+            match (instance.resolve(), instance.model().solve_with(&options)) {
+                (Ok(warm), Ok(cold)) => {
+                    prop_assert!(
+                        (warm.objective() - cold.objective()).abs()
+                            <= 1e-9 * (1.0 + cold.objective().abs()),
+                        "objective drift after {d:?}: warm {} vs cold {}",
+                        warm.objective(),
+                        cold.objective()
+                    );
+                    warm_total += warm.stats().iterations;
+                    cold_total += cold.stats().iterations;
+                    warm_used += warm.stats().warm as usize;
+                }
+                (Err(LpError::Infeasible), Err(LpError::Infeasible)) => {}
+                (warm, cold) => prop_assert!(
+                    false,
+                    "warm/cold disagreement after {d:?}: warm {warm:?} vs cold {cold:?}"
+                ),
+            }
+        }
+        prop_assert!(
+            warm_total <= cold_total,
+            "warm chain spent {warm_total} pivots, cold re-solves {cold_total}"
+        );
+        if warm_used > 0 {
+            prop_assert!(
+                warm_total < cold_total,
+                "warm engaged on {warm_used} deltas but spent {warm_total} pivots \
+                 vs cold {cold_total} — must be strictly cheaper"
+            );
+        }
+    }
+}
