@@ -156,6 +156,69 @@ fn bench_lp_solver(c: &mut Criterion) {
             });
         });
     }
+
+    // Column generation vs full enumeration, same daxlist-161 geometry —
+    // the PR 7 scale-path A/B. Both kernels solve the identical strategy
+    // LP (objectives agree to 1e-9; see tests/scenario_regression.rs):
+    // `full` builds and cold-solves all 16,100 columns, `colgen` runs
+    // the restricted master + pricing oracle and materializes only the
+    // columns that price favorably. The sweep pair replays the ten-point
+    // §7 sweep, where the colgen master keeps its generated columns
+    // across capacity points. The full-enumeration configuration stays
+    // in-bench permanently for A/B against future pricing work.
+    let dax_caps = CapacityProfile::uniform(dax.len(), 0.8);
+    group.bench_function(
+        BenchmarkId::new("colgen_vs_full", "full_daxlist161_c08"),
+        |b| {
+            b.iter(|| {
+                strategy_lp::optimize_strategies_outcome_with(&dax_pq, &dax_caps, None)
+                    .expect("feasible at 0.8")
+                    .delay_ms
+            });
+        },
+    );
+    let cg_cfg = strategy_lp::ColumnGeneration::default();
+    group.bench_function(
+        BenchmarkId::new("colgen_vs_full", "colgen_daxlist161_c08"),
+        |b| {
+            b.iter(|| {
+                strategy_lp::optimize_strategies_outcome_with(&dax_pq, &dax_caps, Some(&cg_cfg))
+                    .expect("feasible at 0.8")
+                    .delay_ms
+            });
+        },
+    );
+    let dax_model = ResponseModel::from_demand(0.007, 16_000.0);
+    group.bench_function(
+        BenchmarkId::new("colgen_vs_full", "sweep_full_daxlist161"),
+        |b| {
+            b.iter(|| {
+                strategy_lp::tune_uniform_capacity_placed_with(
+                    &dax_pq, dax_l_opt, 10, dax_model, None,
+                )
+                .expect("feasible sweep")
+                .best_point()
+                .0
+            });
+        },
+    );
+    group.bench_function(
+        BenchmarkId::new("colgen_vs_full", "sweep_colgen_daxlist161"),
+        |b| {
+            b.iter(|| {
+                strategy_lp::tune_uniform_capacity_placed_with(
+                    &dax_pq,
+                    dax_l_opt,
+                    10,
+                    dax_model,
+                    Some(&cg_cfg),
+                )
+                .expect("feasible sweep")
+                .best_point()
+                .0
+            });
+        },
+    );
     group.finish();
 }
 

@@ -4,7 +4,10 @@
 
 use proptest::prelude::*;
 use qp_core::capacity::{capacity_sweep, CapacityProfile};
-use qp_core::{combinatorics, one_to_one, response, singleton, Placement, ResponseModel};
+use qp_core::strategy_lp::{self, ColumnGeneration};
+use qp_core::{
+    combinatorics, one_to_one, response, singleton, EvalContext, Placement, ResponseModel,
+};
 use qp_quorum::{MajorityKind, QuorumSystem, StrategyMatrix};
 use qp_topology::{datasets, NodeId};
 
@@ -224,6 +227,98 @@ proptest! {
         if n <= 12 {
             let brute = combinatorics::expected_max_brute_force(&costs, q);
             prop_assert!((e - brute).abs() < 1e-8 * (1.0 + brute.abs()));
+        }
+    }
+
+    #[test]
+    fn colgen_matches_full_enumeration_on_random_instances(
+        seed in 0u64..400,
+        k in 2usize..4,
+        seed_columns in 1usize..7,
+        cap_frac in 0.0f64..1.0,
+    ) {
+        // The restricted master + pricing oracle proves optimality of the
+        // same LP that full enumeration solves: objectives agree to solver
+        // accuracy at every feasible uniform capacity, for any seed size.
+        let net = datasets::euclidean_random(14, 100.0, seed);
+        let clients: Vec<NodeId> = net.nodes().collect();
+        let sys = QuorumSystem::grid(k).unwrap();
+        let v0 = NodeId::new((seed % 14) as usize);
+        let placement = one_to_one::grid_shell_placement(&net, v0, k).unwrap();
+        let quorums = sys.enumerate(10_000).unwrap();
+        let ctx = EvalContext::new(&net, &clients);
+        let pq = ctx.place(&placement, &quorums);
+        let l_opt = sys.optimal_load().unwrap();
+        let c = l_opt + cap_frac * (1.0 - l_opt) + 1e-9;
+        let caps = CapacityProfile::uniform(net.len(), c);
+        let full =
+            strategy_lp::optimize_strategies_outcome_with(&pq, &caps, None).unwrap();
+        let cfg = ColumnGeneration { seed_columns, tolerance: 1e-9 };
+        let cg =
+            strategy_lp::optimize_strategies_outcome_with(&pq, &caps, Some(&cfg)).unwrap();
+        prop_assert!(
+            (cg.delay_ms - full.delay_ms).abs() <= 1e-9 * (1.0 + full.delay_ms.abs()),
+            "colgen {} vs full {}", cg.delay_ms, full.delay_ms
+        );
+        // The colgen strategy is a genuine distribution per client…
+        for v in 0..clients.len() {
+            let row = cg.strategy.row(v);
+            let sum: f64 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-6, "client {v} row sums to {sum}");
+            prop_assert!(row.iter().all(|&p| p >= -1e-9));
+        }
+        // …and respects the capacity it was solved under.
+        let eval = response::evaluate_matrix(
+            &net, &clients, &placement, &quorums, &cg.strategy,
+            ResponseModel::network_delay_only()).unwrap();
+        prop_assert!(
+            eval.max_node_load() <= c + 1e-6,
+            "max load {} exceeds capacity {c}", eval.max_node_load()
+        );
+        let stats = cg.colgen.unwrap();
+        prop_assert!(stats.columns_in_master <= stats.total_columns);
+        prop_assert!(stats.oracle_passes >= 1);
+        prop_assert!(stats.master_resolves >= 1);
+    }
+
+    #[test]
+    fn colgen_matches_full_enumeration_on_nonuniform_profiles(
+        seed in 0u64..400,
+        cap_fracs in proptest::collection::vec(0.0f64..1.0, 12),
+        seed_columns in 1usize..5,
+    ) {
+        // Same agreement under per-node capacity profiles: every node gets
+        // an independent capacity in [L_opt, 1], which keeps the LP feasible
+        // (the balanced strategy loads each grid node at exactly L_opt).
+        let k = 3;
+        let net = datasets::euclidean_random(12, 80.0, seed);
+        let clients: Vec<NodeId> = net.nodes().collect();
+        let sys = QuorumSystem::grid(k).unwrap();
+        let v0 = NodeId::new((seed % 12) as usize);
+        let placement = one_to_one::grid_shell_placement(&net, v0, k).unwrap();
+        let quorums = sys.enumerate(10_000).unwrap();
+        let ctx = EvalContext::new(&net, &clients);
+        let pq = ctx.place(&placement, &quorums);
+        let l_opt = sys.optimal_load().unwrap();
+        let caps = CapacityProfile::from_values(
+            cap_fracs.iter().map(|f| l_opt + f * (1.0 - l_opt) + 1e-9).collect());
+        let full =
+            strategy_lp::optimize_strategies_outcome_with(&pq, &caps, None).unwrap();
+        let cfg = ColumnGeneration { seed_columns, tolerance: 1e-9 };
+        let cg =
+            strategy_lp::optimize_strategies_outcome_with(&pq, &caps, Some(&cfg)).unwrap();
+        prop_assert!(
+            (cg.delay_ms - full.delay_ms).abs() <= 1e-9 * (1.0 + full.delay_ms.abs()),
+            "colgen {} vs full {}", cg.delay_ms, full.delay_ms
+        );
+        let eval = response::evaluate_matrix(
+            &net, &clients, &placement, &quorums, &cg.strategy,
+            ResponseModel::network_delay_only()).unwrap();
+        for (w, load) in eval.node_loads.iter().enumerate() {
+            prop_assert!(
+                *load <= caps.get(NodeId::new(w)) + 1e-6,
+                "node {w} load {load} exceeds its capacity"
+            );
         }
     }
 

@@ -277,7 +277,7 @@ pub fn execute(session: &mut Session, cmd: Command) -> Response {
         },
         Command::Query => {
             let s = session.status();
-            let detail = vec![
+            let mut detail = vec![
                 format!("seq {}", s.seq),
                 format!("nodes {}", s.num_nodes),
                 format!("quorums {}", s.num_quorums),
@@ -310,6 +310,16 @@ pub fn execute(session: &mut Session, cmd: Command) -> Response {
                 ),
                 format!("warm_pivots {}", s.warm_pivots),
             ];
+            if let Some(p) = s.colgen {
+                detail.push(format!(
+                    "pricing {} of {} columns ({} generated) passes {} solves {}",
+                    p.columns_in_master,
+                    p.total_columns,
+                    p.columns_generated,
+                    p.oracle_passes,
+                    p.master_resolves
+                ));
+            }
             Response::ok(format!("status seq={}", s.seq), detail)
         }
         Command::Snapshot => {
@@ -372,6 +382,7 @@ mod tests {
             alpha: 12.0,
             l_opt: sys.optimal_load().unwrap_or(0.5),
             sweep_steps: 5,
+            colgen: None,
         })
         .unwrap()
     }

@@ -1,9 +1,11 @@
 //! Live placement sessions: state, delta application, warm re-solve,
 //! capacity re-tuning, migration plans, and cold cross-checks.
 
-use qp_core::capacity::capacity_sweep;
-use qp_core::strategy_lp::build_weighted_strategy_model;
-use qp_core::Placement;
+use qp_core::capacity::{capacity_sweep, CapacityProfile};
+use qp_core::strategy_lp::{
+    build_weighted_strategy_model, ColGenSolver, ColGenStats, ColumnGeneration,
+};
+use qp_core::{CoreError, Placement};
 use qp_lp::{LpError, SimplexInstance, Solution, SolverOptions, VarId};
 use qp_quorum::Quorum;
 use qp_topology::Network;
@@ -36,6 +38,13 @@ pub struct SessionConfig {
     pub l_opt: f64,
     /// Number of sweep points `cᵢ = L_opt + i·(1−L_opt)/steps`.
     pub sweep_steps: usize,
+    /// When set, capacity re-tunes run through the restricted-master
+    /// column-generation solver over the effective-delta matrix instead
+    /// of the resident full LP; pricing statistics accumulate across
+    /// tunes and surface in [`Status::colgen`]. The symmetry-breaking
+    /// jitter keeps the optimum unique, so answers agree with the cold
+    /// cross-check either way.
+    pub colgen: Option<ColumnGeneration>,
 }
 
 /// Errors from session construction or delta application.
@@ -150,6 +159,10 @@ pub struct Status {
     pub slowed: Vec<(usize, f64)>,
     /// Total pivots spent by the warm path across all deltas.
     pub warm_pivots: u64,
+    /// Accumulated pricing statistics when the session tunes through
+    /// column generation ([`SessionConfig::colgen`]); `None` on the
+    /// resident-LP path.
+    pub colgen: Option<ColGenStats>,
 }
 
 /// Outcome of a warm-vs-cold cross-check ([`Session::cold_check`]).
@@ -215,6 +228,11 @@ pub struct Session {
     // Current answer and counters.
     current: Answer,
     warm_pivots: u64,
+    // Column-generation mode: config, per-node element counts (the
+    // capacity-row layout), and accumulated pricing statistics.
+    colgen: Option<ColumnGeneration>,
+    element_counts: Vec<usize>,
+    pricing: Option<ColGenStats>,
 }
 
 impl Session {
@@ -265,6 +283,7 @@ impl Session {
         // Geometry: hosts in element order (repeats preserved — they are
         // what make many-to-one load coefficients > 1), and per-quorum
         // sorted (node, element-count) pairs.
+        let element_counts = cfg.placement.element_counts();
         let mut hosts: Vec<Vec<usize>> = Vec::with_capacity(m);
         let mut node_counts: Vec<Vec<(usize, f64)>> = Vec::with_capacity(m);
         let mut loaded = vec![false; n];
@@ -347,6 +366,9 @@ impl Session {
                 pivots: 0,
             },
             warm_pivots: 0,
+            colgen: cfg.colgen,
+            element_counts,
+            pricing: None,
         };
         let (answer, _pivots) = session.tune()?;
         session.current = answer;
@@ -385,6 +407,7 @@ impl Session {
                 .map(|w| (w, self.slowdown[w]))
                 .collect(),
             warm_pivots: self.warm_pivots,
+            colgen: self.pricing,
         }
     }
 
@@ -583,6 +606,9 @@ impl Session {
     /// capacity grid warm, adopts the response-minimizing point, and
     /// returns the tuned answer plus the pivots spent.
     fn tune(&mut self) -> Result<(Answer, u64), SessionError> {
+        if self.colgen.is_some() {
+            return self.tune_colgen();
+        }
         let mut pivots: u64 = 0;
         // Step 1: re-establish an optimal basis at the current state.
         // After an objective delta this is the primal warm re-solve; a
@@ -652,6 +678,128 @@ impl Session {
         };
         self.warm_pivots += pivots;
         Ok((answer, pivots))
+    }
+
+    /// [`tune`](Self::tune) through the restricted-master
+    /// column-generation solver: a fresh master over the *current*
+    /// effective-delta matrix (slowdowns and jitter included) sweeps the
+    /// same capacity grid, generating columns to proven optimality at
+    /// each point. Columns accumulate across the sweep inside one master,
+    /// so later points re-solve warm; pricing statistics accumulate in
+    /// [`Status::colgen`]. The jittered optimum is unique, so the answer
+    /// matches the resident-LP path to cross-check accuracy.
+    fn tune_colgen(&mut self) -> Result<(Answer, u64), SessionError> {
+        let cfg = self.colgen.clone().expect("colgen tune without config");
+        let n = self.weights.len();
+        let to_err = |e: CoreError| match e {
+            CoreError::Infeasible => SessionError::Infeasible("lp infeasible".into()),
+            CoreError::Lp(lp) => SessionError::Lp(lp),
+            other => SessionError::Config(other.to_string()),
+        };
+        let mut solver = ColGenSolver::from_matrix(
+            &self.delta_eff,
+            &self.node_counts,
+            &self.element_counts,
+            &self.weights,
+            cfg,
+        )
+        .map_err(to_err)?;
+        let caps_at = |c: f64| {
+            CapacityProfile::from_values(
+                (0..n)
+                    .map(|w| if self.crashed[w] { 0.0 } else { c })
+                    .collect(),
+            )
+        };
+        let mut pivots: u64 = 0;
+        let mut agg = self.pricing;
+        let absorb = |agg: &mut Option<ColGenStats>, stats: Option<ColGenStats>| {
+            let Some(stats) = stats else { return };
+            *agg = Some(match *agg {
+                None => stats,
+                Some(prev) => ColGenStats {
+                    // One shared master: latest column census, summed work.
+                    columns_in_master: stats.columns_in_master,
+                    total_columns: stats.total_columns,
+                    columns_generated: prev.columns_generated + stats.columns_generated,
+                    oracle_passes: prev.oracle_passes + stats.oracle_passes,
+                    master_resolves: prev.master_resolves + stats.master_resolves,
+                },
+            });
+        };
+        let grid = capacity_sweep(self.l_opt, self.sweep_steps);
+        let mut best: Option<(f64, f64)> = None; // (score, capacity)
+        for &c in &grid {
+            let outcome = match solver.solve_profile(&caps_at(c)) {
+                Ok(outcome) => outcome,
+                Err(CoreError::Infeasible) => continue,
+                Err(e) => return Err(to_err(e)),
+            };
+            pivots += outcome.stats.iterations as u64;
+            absorb(&mut agg, outcome.colgen);
+            let q = self.q_from_strategy(&outcome.strategy);
+            let score = weighted_response(
+                &q,
+                &self.hosts,
+                &self.node_counts,
+                &self.dist,
+                &self.slowdown,
+                self.alpha,
+            );
+            if best.is_none_or(|(s, _)| score < s) {
+                best = Some((score, c));
+            }
+        }
+        let Some((_, best_c)) = best else {
+            return Err(SessionError::Infeasible(
+                "no sweep capacity admits a strategy — restore nodes".into(),
+            ));
+        };
+        // Land on the winner; the master already holds its columns, so
+        // this re-solve is warm and generates nothing new.
+        let outcome = solver.solve_profile(&caps_at(best_c)).map_err(to_err)?;
+        pivots += outcome.stats.iterations as u64;
+        absorb(&mut agg, outcome.colgen);
+        let q = self.q_from_strategy(&outcome.strategy);
+        let response = weighted_response(
+            &q,
+            &self.hosts,
+            &self.node_counts,
+            &self.dist,
+            &self.slowdown,
+            self.alpha,
+        );
+        drop(solver);
+        self.capacity = best_c;
+        self.pricing = agg;
+        // Keep the (unsolved) resident LP's capacities in step with the
+        // adopted answer, mirroring the resident-path invariant.
+        for row_idx in 0..self.cap_rows.len() {
+            let (w, row) = self.cap_rows[row_idx];
+            self.instance
+                .set_rhs(row, if self.crashed[w] { 0.0 } else { best_c });
+        }
+        let answer = Answer {
+            strategy: strategies(&q, &self.weights),
+            delay_ms: outcome.delay_ms,
+            response_ms: response,
+            capacity: best_c,
+            pivots,
+        };
+        self.warm_pivots += pivots;
+        Ok((answer, pivots))
+    }
+
+    /// The weighted `q = ŵ_v · p_vi` matrix from a column-generation
+    /// strategy (rows of zero-weight clients collapse to all-zero,
+    /// matching the resident LP's convention).
+    fn q_from_strategy(&self, strategy: &qp_quorum::StrategyMatrix) -> Vec<Vec<f64>> {
+        (0..self.weights.len())
+            .map(|v| {
+                let w = self.weights[v];
+                strategy.row(v).iter().map(|&p| w * p).collect()
+            })
+            .collect()
     }
 
     /// Extracts the `q` matrix from a solution of the resident LP.
@@ -903,7 +1051,7 @@ mod tests {
     use qp_quorum::QuorumSystem;
     use qp_topology::datasets;
 
-    fn session(steps: usize) -> Session {
+    fn session_with(steps: usize, colgen: Option<ColumnGeneration>) -> Session {
         let net = datasets::euclidean_random(12, 100.0, 7);
         let sys = QuorumSystem::grid(3).unwrap();
         let placement = one_to_one::best_placement(&net, &sys).unwrap();
@@ -915,8 +1063,13 @@ mod tests {
             alpha: 12.0,
             l_opt: sys.optimal_load().unwrap_or(0.5),
             sweep_steps: steps,
+            colgen,
         })
         .unwrap()
+    }
+
+    fn session(steps: usize) -> Session {
+        session_with(steps, None)
     }
 
     #[test]
@@ -1065,6 +1218,39 @@ mod tests {
             }),
             Err(SessionError::BadDelta(_))
         ));
+    }
+
+    #[test]
+    fn colgen_session_matches_resident_path_and_reports_pricing() {
+        let mut full = session(6);
+        let mut cg = session_with(6, Some(ColumnGeneration::default()));
+        // The jittered optimum is unique, so both tuning paths land on
+        // the same vertex and the same sweep winner.
+        assert_eq!(full.answer().capacity, cg.answer().capacity);
+        let rel = |a: f64, b: f64| (a - b).abs() / (1.0 + a.abs().max(b.abs()));
+        assert!(rel(full.answer().delay_ms, cg.answer().delay_ms) <= 1e-9);
+        assert!(rel(full.answer().response_ms, cg.answer().response_ms) <= 1e-9);
+        let pricing = cg.status().colgen.expect("colgen session reports pricing");
+        assert!(pricing.columns_in_master > 0);
+        assert!(pricing.columns_in_master <= pricing.total_columns);
+        assert!(pricing.master_resolves > 0);
+        assert!(full.status().colgen.is_none());
+
+        // Deltas re-tune through the same restricted master semantics.
+        let d = Delta::Slowdown {
+            site: 0,
+            factor: 3.0,
+        };
+        let a = full.apply(&d).unwrap();
+        let b = cg.apply(&d).unwrap();
+        assert_eq!(a.answer.capacity, b.answer.capacity);
+        assert!(rel(a.answer.delay_ms, b.answer.delay_ms) <= 1e-9);
+        let after = cg.status().colgen.unwrap();
+        assert!(after.master_resolves > pricing.master_resolves);
+
+        // The colgen answer survives the warm-vs-cold cross-check.
+        let check = cg.cold_check().unwrap();
+        assert!(check.ok, "cross-check failed: {check:?}");
     }
 
     #[test]

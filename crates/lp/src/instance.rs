@@ -186,6 +186,43 @@ impl SimplexInstance {
         Ok(())
     }
 
+    /// Adds a new nonnegative variable *column-wise* (see
+    /// [`Model::add_column`]) and extends the frozen standard form in
+    /// place — no rebuild, no refactorization of untouched state. This is
+    /// the column-generation hot path: the pricing oracle appends each
+    /// profitable column here and the next [`resolve`](Self::resolve)
+    /// reoptimizes with the *primal* simplex from the old basis, which
+    /// stays primal feasible (the new column enters at value 0) but not
+    /// dual feasible (the column was generated precisely because its
+    /// reduced cost is negative).
+    ///
+    /// If the warm basis still contains artificial columns it is dropped
+    /// entirely: artificial indices are encoded past the structural column
+    /// count, so keeping them across an append would alias the new column.
+    ///
+    /// # Errors
+    ///
+    /// [`LpError::InvalidModel`] if `obj` or a coefficient is not finite
+    /// or a row index is out of range. The instance is unchanged on error.
+    pub fn add_column(
+        &mut self,
+        name: &str,
+        obj: f64,
+        terms: &[(usize, f64)],
+    ) -> Result<VarId, LpError> {
+        let combined = self.model.combine_column_terms(terms)?;
+        let old_cols = self.prepared.cols.num_cols();
+        let v = self.model.add_column(name, obj, &combined)?;
+        self.prepared.append_column(obj, &combined);
+        if let Some(w) = &mut self.warm {
+            if !w.push_column(old_cols) {
+                self.warm = None;
+            }
+        }
+        self.costs_dirty = true;
+        Ok(v)
+    }
+
     /// Cold two-phase solve; records the optimal basis for later warm
     /// re-solves, together with its refactorized representation and
     /// reduced costs. Sweep drivers clone a solved instance once per
@@ -673,6 +710,114 @@ mod tests {
         inst.set_objective(x, 2.0).unwrap();
         let back = inst.resolve().unwrap();
         assert!((back.objective() - 2.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn add_column_warm_resolve_matches_cold_rebuild() {
+        for opts in [SolverOptions::default(), SolverOptions::factored()] {
+            // min 2x + 3y, x + y ≥ 4 → x = 4, obj 8.
+            let mut m = Model::new(Sense::Minimize);
+            let x = m.add_var("x", 0.0, f64::INFINITY, 2.0);
+            let y = m.add_var("y", 0.0, f64::INFINITY, 3.0);
+            let demand = m.add_ge(&[(x, 1.0), (y, 1.0)], 4.0);
+            let mut inst = m.instance(&opts).unwrap();
+            let before = inst.solve().unwrap();
+            assert!((before.objective() - 8.0).abs() < 1e-7);
+
+            // A cheaper column covering the same demand takes over.
+            let z = inst.add_column("z", 1.0, &[(demand, 1.0)]).unwrap();
+            let warm = inst.resolve().unwrap();
+            assert!(
+                (warm.objective() - 4.0).abs() < 1e-7,
+                "{}",
+                warm.objective()
+            );
+            assert!((warm.value(z) - 4.0).abs() < 1e-7);
+            assert!((warm.value(x)).abs() < 1e-7);
+
+            let mut cold_model = m.clone();
+            let _ = cold_model.add_column("z", 1.0, &[(demand, 1.0)]).unwrap();
+            let cold = cold_model.solve_with(&opts).unwrap();
+            assert!(
+                (warm.objective() - cold.objective()).abs()
+                    <= 1e-9 * (1.0 + cold.objective().abs()),
+                "warm {} vs cold {}",
+                warm.objective(),
+                cold.objective()
+            );
+        }
+    }
+
+    #[test]
+    fn add_column_negates_cost_under_maximize() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", 0.0, f64::INFINITY, 3.0);
+        let r = m.add_le(&[(x, 1.0)], 4.0);
+        let mut inst = m.instance(&SolverOptions::default()).unwrap();
+        let cold = inst.solve().unwrap();
+        assert!((cold.objective() - 12.0).abs() < 1e-7);
+        let z = inst.add_column("z", 5.0, &[(r, 1.0)]).unwrap();
+        let sol = inst.resolve().unwrap();
+        assert!((sol.objective() - 20.0).abs() < 1e-7, "{}", sol.objective());
+        assert!((sol.value(z) - 4.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn add_column_survives_artificials_in_warm_basis() {
+        // A redundant equality keeps an artificial in the optimal basis.
+        // Artificial indices live past the structural column count, so the
+        // append must discard that warm point instead of letting a stale
+        // artificial index alias the new column.
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", 0.0, f64::INFINITY, 1.0);
+        let r0 = m.add_eq(&[(x, 1.0)], 2.0);
+        let r1 = m.add_eq(&[(x, 1.0)], 2.0);
+        let mut inst = m.instance(&SolverOptions::default()).unwrap();
+        let first = inst.solve().unwrap();
+        assert!((first.objective() - 2.0).abs() < 1e-7);
+
+        let z = inst.add_column("z", 0.25, &[(r0, 1.0), (r1, 1.0)]).unwrap();
+        let sol = inst.resolve().unwrap();
+        assert!((sol.objective() - 0.5).abs() < 1e-7, "{}", sol.objective());
+        assert!((sol.value(z) - 2.0).abs() < 1e-7);
+        assert!((sol.value(crate::VarId::from_index(0))).abs() < 1e-7);
+    }
+
+    #[test]
+    fn add_column_rejects_bad_inputs_without_mutating() {
+        let (m, _, rows) = classic();
+        let mut inst = m.instance(&SolverOptions::default()).unwrap();
+        inst.solve().unwrap();
+        assert!(matches!(
+            inst.add_column("z", f64::NAN, &[(rows[0], 1.0)]),
+            Err(LpError::InvalidModel { .. })
+        ));
+        assert!(matches!(
+            inst.add_column("z", 1.0, &[(99, 1.0)]),
+            Err(LpError::InvalidModel { .. })
+        ));
+        assert_eq!(inst.model().num_vars(), 2);
+        let sol = inst.resolve().unwrap();
+        assert!((sol.objective() - 36.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn repeated_add_column_iterates_like_a_pricing_loop() {
+        // The colgen shape: solve, append one improving column, warm
+        // re-solve, repeat — each append must leave the instance exact.
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", 0.0, f64::INFINITY, 10.0);
+        let cover = m.add_ge(&[(x, 1.0)], 6.0);
+        let mut inst = m.instance(&SolverOptions::factored()).unwrap();
+        let mut obj = inst.solve().unwrap().objective();
+        assert!((obj - 60.0).abs() < 1e-7);
+        for (cost, expect) in [(6.0, 36.0), (3.0, 18.0), (1.5, 9.0)] {
+            inst.add_column("gen", cost, &[(cover, 1.0)]).unwrap();
+            let sol = inst.resolve().unwrap();
+            assert!(sol.objective() < obj, "monotone improvement");
+            obj = sol.objective();
+            assert!((obj - expect).abs() < 1e-7, "{obj} vs {expect}");
+        }
     }
 
     #[test]

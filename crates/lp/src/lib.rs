@@ -54,7 +54,15 @@
 //!    the sweep hot path: a *non-mutating* warm re-solve at modified
 //!    right-hand sides whose only per-call copy is one rhs vector — no
 //!    instance clone, no re-factorization of the shared basis.
-//!    [`Solution::stats`] exposes pivot/refactorization/bound-flip/
+//!    [`SimplexInstance::add_column`] grows the frozen standard form by
+//!    one variable *in place* — the CSC matrix gains a column, the basis
+//!    and its factorization are untouched (the new column enters nonbasic
+//!    at zero, so the old basis stays primal feasible), and the next
+//!    `resolve()` re-optimizes warm with the primal simplex. That is the
+//!    substrate for **restricted-master column generation**
+//!    (`qp-core::strategy_lp::ColGenSolver`): a pricing oracle appends
+//!    only profitable columns and re-solves, never materializing the full
+//!    column set. [`Solution::stats`] exposes pivot/refactorization/bound-flip/
 //!    pricing counters, so warm-vs-cold work is observable in tests, not
 //!    just wall clock. Every re-solve is a pure function of
 //!    `(instance, parameters)`, keeping sweep results bit-identical at

@@ -223,6 +223,75 @@ impl Model {
         self.rows.len() - 1
     }
 
+    /// Adds a new nonnegative variable *column-wise*: bounds `[0, +∞)`,
+    /// objective coefficient `obj`, and coefficient `c` in each existing
+    /// constraint row listed in `terms` as `(row_index, c)`. Rows not
+    /// listed are untouched; duplicate row entries are summed and zero
+    /// coefficients dropped.
+    ///
+    /// This is the column-generation entry point: a restricted master
+    /// starts from a few columns and the pricing oracle appends profitable
+    /// ones, so the model must grow by columns without re-stating the rows
+    /// ([`crate::SimplexInstance::add_column`] keeps the frozen standard
+    /// form in sync incrementally).
+    ///
+    /// # Errors
+    ///
+    /// [`LpError::InvalidModel`] if `obj` or a coefficient is not finite
+    /// or a row index is out of range. The model is unchanged on error.
+    pub fn add_column(
+        &mut self,
+        name: &str,
+        obj: f64,
+        terms: &[(usize, f64)],
+    ) -> Result<VarId, LpError> {
+        let combined = self.combine_column_terms(terms)?;
+        if !obj.is_finite() {
+            return Err(LpError::InvalidModel {
+                reason: format!("objective coefficient for {name} must be finite"),
+            });
+        }
+        let id = VarId(self.names.len());
+        self.names.push(name.to_string());
+        self.lower.push(0.0);
+        self.upper.push(f64::INFINITY);
+        self.objective.push(obj);
+        for (row, coeff) in combined {
+            // The new variable's index exceeds every existing one, so a
+            // push keeps each row's term list sorted.
+            self.rows[row].terms.push((id.0, coeff));
+        }
+        Ok(id)
+    }
+
+    /// Validates and canonicalizes the `(row, coeff)` terms of a
+    /// prospective new column: rows in range, coefficients finite,
+    /// duplicates summed, zeros dropped, sorted by row.
+    pub(crate) fn combine_column_terms(
+        &self,
+        terms: &[(usize, f64)],
+    ) -> Result<Vec<(usize, f64)>, LpError> {
+        let mut combined: Vec<(usize, f64)> = Vec::with_capacity(terms.len());
+        for &(row, c) in terms {
+            if row >= self.rows.len() {
+                return Err(LpError::InvalidModel {
+                    reason: format!("column term row {row} out of range"),
+                });
+            }
+            if !c.is_finite() {
+                return Err(LpError::InvalidModel {
+                    reason: format!("column coefficient for row {row} must be finite"),
+                });
+            }
+            match combined.binary_search_by_key(&row, |&(i, _)| i) {
+                Ok(pos) => combined[pos].1 += c,
+                Err(pos) => combined.insert(pos, (row, c)),
+            }
+        }
+        combined.retain(|&(_, c)| c != 0.0);
+        Ok(combined)
+    }
+
     /// Adds `Σ cᵢ·xᵢ ≤ rhs`. Returns the row index.
     pub fn add_le(&mut self, terms: &[(VarId, f64)], rhs: f64) -> usize {
         self.add_constraint(terms, Relation::Le, rhs)
@@ -410,6 +479,17 @@ impl Csc {
     /// Number of columns.
     pub(crate) fn num_cols(&self) -> usize {
         self.col_ptr.len() - 1
+    }
+
+    /// Appends one column at the end of the flat storage. Entries are
+    /// stored in the order given, matching the accumulation-order contract
+    /// of [`Csc::from_columns`].
+    pub(crate) fn push_column(&mut self, entries: &[(usize, f64)]) {
+        for &(row, coeff) in entries {
+            self.row_idx.push(row);
+            self.values.push(coeff);
+        }
+        self.col_ptr.push(self.row_idx.len());
     }
 
     /// The `(rows, values)` slices of column `j`.
@@ -671,6 +751,34 @@ impl Prepared {
         })
     }
 
+    /// Appends the standard-form image of one new `[0, +∞)` user variable
+    /// with objective `obj` and canonicalized user-row `terms` (from
+    /// [`Model::combine_column_terms`]). With zero bound shift the column
+    /// is its own standard form under both bound modes: entries map
+    /// through the frozen row-sign normalization, the rhs vector and
+    /// objective offset are untouched, and no upper-bound row or native
+    /// bound is needed. Returns the new standard-form column index.
+    pub(crate) fn append_column(&mut self, obj: f64, terms: &[(usize, f64)]) -> usize {
+        let col = self.cols.num_cols();
+        let mut entries: Vec<(usize, f64)> = terms
+            .iter()
+            .map(|&(row, coeff)| {
+                let (i, sign) = self.row_map[row];
+                (i, coeff * sign)
+            })
+            .collect();
+        entries.sort_by_key(|&(i, _)| i);
+        self.cols.push_column(&entries);
+        self.upper.push(f64::INFINITY);
+        self.costs.push(if self.negated { -obj } else { obj });
+        self.recover.push(Recover::Shifted {
+            col,
+            shift: 0.0,
+            sign: 1.0,
+        });
+        col
+    }
+
     /// Standardizes a prospective rhs value for user row `row` (terms from
     /// `model`, shifts from this standard form) without touching any
     /// state: returns `(standardized_row_index, value)`. Exactly the
@@ -796,6 +904,72 @@ mod tests {
         let y = m.add_var("y", 0.0, 1.0, 1.0);
         m.add_le(&[(x, 1.0), (y, 0.0)], 1.0);
         assert_eq!(m.rows()[0].terms.len(), 1);
+    }
+
+    #[test]
+    fn add_column_appends_var_and_row_terms_sorted() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", 0.0, f64::INFINITY, 1.0);
+        let r0 = m.add_ge(&[(x, 1.0)], 2.0);
+        let r1 = m.add_le(&[(x, 1.0)], 5.0);
+        let z = m
+            .add_column("z", 0.5, &[(r1, 2.0), (r0, 1.0), (r0, 0.5)])
+            .unwrap();
+        assert_eq!(z.index(), 1);
+        assert_eq!(m.var_bounds(z), (0.0, f64::INFINITY));
+        assert_eq!(m.objective_coeff(z), 0.5);
+        // Duplicates summed, terms still sorted by variable index.
+        assert_eq!(m.rows()[r0].terms, vec![(0, 1.0), (1, 1.5)]);
+        assert_eq!(m.rows()[r1].terms, vec![(0, 1.0), (1, 2.0)]);
+    }
+
+    #[test]
+    fn add_column_rejects_bad_inputs_without_mutating() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", 0.0, f64::INFINITY, 1.0);
+        let r = m.add_ge(&[(x, 1.0)], 1.0);
+        assert!(matches!(
+            m.add_column("z", f64::INFINITY, &[(r, 1.0)]),
+            Err(LpError::InvalidModel { .. })
+        ));
+        assert!(matches!(
+            m.add_column("z", 1.0, &[(r + 1, 1.0)]),
+            Err(LpError::InvalidModel { .. })
+        ));
+        assert!(matches!(
+            m.add_column("z", 1.0, &[(r, f64::NAN)]),
+            Err(LpError::InvalidModel { .. })
+        ));
+        assert_eq!(m.num_vars(), 1);
+        assert_eq!(m.rows()[r].terms.len(), 1);
+    }
+
+    #[test]
+    fn csc_push_column_extends_flat_storage() {
+        let mut csc = Csc::from_columns(&[vec![(0, 1.0)], vec![(1, 2.0)]]);
+        csc.push_column(&[(0, -1.0), (2, 3.0)]);
+        assert_eq!(csc.num_cols(), 3);
+        assert_eq!(csc.col(0), (&[0usize][..], &[1.0][..]));
+        assert_eq!(csc.col(2), (&[0usize, 2][..], &[-1.0, 3.0][..]));
+    }
+
+    #[test]
+    fn append_column_maps_through_row_signs() {
+        // Row `x ≤ -1` (x ≥ 0) has negative rhs, so it normalizes with
+        // sign −1; an appended column's coefficient must flip with it.
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", 0.0, f64::INFINITY, 1.0);
+        let r = m.add_le(&[(x, 1.0)], -1.0);
+        let mut p = Prepared::from_model(&m, false).unwrap();
+        assert_eq!(p.row_map[r], (0, -1.0));
+        let col = p.append_column(2.0, &[(r, 3.0)]);
+        assert_eq!(p.cols.col(col), (&[0usize][..], &[-3.0][..]));
+        assert_eq!(p.costs[col], 2.0);
+        assert_eq!(p.upper[col], f64::INFINITY);
+        assert!(matches!(
+            *p.recover.last().unwrap(),
+            Recover::Shifted { shift, sign, col: c } if shift == 0.0 && sign == 1.0 && c == col
+        ));
     }
 
     #[test]

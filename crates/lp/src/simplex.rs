@@ -144,6 +144,28 @@ pub(crate) struct WarmStart {
     pub cache: Option<WarmCache>,
 }
 
+impl WarmStart {
+    /// Extends this warm point after one structural column was appended at
+    /// the end of the standard form (old column count `old_num_cols`).
+    ///
+    /// Returns `false` — caller must discard the warm point — if the basis
+    /// still references artificials: those are encoded as
+    /// `old_num_cols + row`, so after the append a stale artificial index
+    /// would alias the new structural column and silently corrupt the
+    /// basis. Otherwise the new column joins as nonbasic at its lower
+    /// bound (the basis stays primal feasible) and any cached reduced
+    /// costs are dropped: the appended column's price is unknown to the
+    /// cache, which is the whole reason it was generated.
+    pub(crate) fn push_column(&mut self, old_num_cols: usize) -> bool {
+        if self.basis.iter().any(|&j| j >= old_num_cols) {
+            return false;
+        }
+        self.at_upper.push(false);
+        self.cache = None;
+        true
+    }
+}
+
 /// Cached per-basis dual-simplex start state: the refactorized basis
 /// representation and the structural reduced costs. Both depend only on
 /// `(columns, costs, basis)` — never on rhs or bound *values* — so one

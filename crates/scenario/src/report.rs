@@ -29,6 +29,25 @@ pub struct PhaseReport {
     pub max_server_utilization: f64,
 }
 
+/// Pricing-oracle statistics of a column-generation scenario run,
+/// aggregated over every master solve the pipeline performed (capacity
+/// selection sweep plus per-phase re-optimizations). `columns_in_master`
+/// vs `total_columns` is the headline: how much of the full
+/// (location × quorum) LP the restricted master ever materialized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PricingReport {
+    /// Columns materialized in the restricted master after the last solve.
+    pub columns_in_master: usize,
+    /// Columns full enumeration would materialize (locations × quorums).
+    pub total_columns: usize,
+    /// Columns appended across all solves (seed growth + oracle finds).
+    pub columns_generated: usize,
+    /// Total pricing passes over absent (location, quorum) pairs.
+    pub oracle_passes: usize,
+    /// Total master LP (re-)solves.
+    pub master_resolves: usize,
+}
+
 /// The structured outcome of one scenario: pipeline summary, per-phase
 /// LP-vs-DES comparison, and the cross-check verdict.
 #[derive(Debug, Clone, PartialEq)]
@@ -55,6 +74,10 @@ pub struct ScenarioReport {
     pub lp_response_ms: f64,
     /// Total simplex pivots spent (cold base + every warm re-solve).
     pub lp_pivots: usize,
+    /// Pricing statistics when the strategy LP ran through column
+    /// generation; `None` on the default full-enumeration path (whose
+    /// rendered reports stay byte-identical to earlier releases).
+    pub pricing: Option<PricingReport>,
     /// Per-phase results.
     pub phases: Vec<PhaseReport>,
     /// Cross-check tolerance (relative).
@@ -101,6 +124,18 @@ impl fmt::Display for ScenarioReport {
             "LP:         delay {:.2} ms, response {:.2} ms, {} pivots",
             self.lp_delay_ms, self.lp_response_ms, self.lp_pivots
         )?;
+        if let Some(p) = &self.pricing {
+            writeln!(
+                f,
+                "pricing:    {} of {} columns in master ({} generated), \
+                 {} oracle passes, {} master solves",
+                p.columns_in_master,
+                p.total_columns,
+                p.columns_generated,
+                p.oracle_passes,
+                p.master_resolves
+            )?;
+        }
         for p in &self.phases {
             let mut tags = Vec::new();
             if p.flash {

@@ -3,14 +3,16 @@
 
 use qp_core::capacity::{capacity_sweep, CapacityProfile};
 use qp_core::response::evaluate_matrix_placed;
-use qp_core::strategy_lp::{CapacitySweepSolver, StrategyLpOutcome};
+use qp_core::strategy_lp::{
+    CapacitySweepSolver, ColGenSolver, ColGenStats, ColumnGeneration, StrategyLpOutcome,
+};
 use qp_core::{CoreError, EvalContext, Placement, ResponseModel};
 use qp_par::ParPool;
 use qp_protocol::{simulate, ClientPopulation, ProtocolConfig, QuorumChoice};
 use qp_quorum::{Quorum, StrategyMatrix};
 use qp_topology::{Network, NodeId};
 
-use crate::report::{PhaseReport, ScenarioReport};
+use crate::report::{PhaseReport, PricingReport, ScenarioReport};
 use crate::spec::{parse_system, CapacityChoice, DemandModel, ScenarioSpec};
 use crate::ScenarioError;
 
@@ -99,9 +101,42 @@ impl ScenarioRunner {
         let lp_clients = nominal.client_locations();
         let ctx = EvalContext::new(&net, &lp_clients);
         let pq = ctx.place(&placement, &quorums);
-        let solver = CapacitySweepSolver::new(&pq)?;
+
+        // With `colgen = false` (the default) the LP is the historical
+        // full-enumeration warm-sweep solver over the flattened client
+        // list — reports stay bit-identical to earlier releases. With
+        // `colgen = true` the LP runs at *location* level through the
+        // restricted master: demand weights `ŵ_l ∝ client count` appear
+        // directly as objective and capacity-row coefficients. The two
+        // formulations share their optimum by linearity — a location's
+        // clients all contribute the identical LP row, so the flattened
+        // uniform client average *is* the weighted location average —
+        // but the weighted form materializes `locations` convexity rows
+        // instead of `Σ counts` and generates columns lazily.
+        let loc_sites: Vec<NodeId> = nominal.locations().to_vec();
+        let loc_weights: Vec<f64> = nominal.client_counts().iter().map(|&c| c as f64).collect();
+        let loc_ctx = pipeline.colgen.then(|| EvalContext::new(&net, &loc_sites));
+        let loc_pq = loc_ctx.as_ref().map(|c| c.place(&placement, &quorums));
+        let mut engine = match &loc_pq {
+            Some(pq_loc) => LpEngine::ColGen {
+                solver: Box::new(ColGenSolver::with_weights(
+                    pq_loc,
+                    &loc_weights,
+                    ColumnGeneration::default(),
+                )?),
+                pricing: PricingReport {
+                    columns_in_master: 0,
+                    total_columns: 0,
+                    columns_generated: 0,
+                    oracle_passes: 0,
+                    master_resolves: 0,
+                },
+            },
+            None => LpEngine::Full(Box::new(CapacitySweepSolver::new(&pq)?)),
+        };
         let model = ResponseModel::from_demand(pipeline.op_time_ms, pipeline.demand);
-        let mut lp_pivots = solver.base_stats().iterations;
+        let mut lp_pivots = engine.base_iterations();
+        let loc_indices = nominal.location_indices();
 
         // 4. Capacity selection.
         let n = net.len();
@@ -109,11 +144,27 @@ impl ScenarioRunner {
             CapacityChoice::Sweep { steps } => {
                 let l_opt = sys.optimal_load().unwrap_or(0.5);
                 let cs = capacity_sweep(l_opt, steps);
-                let solved = ParPool::global().run(cs.len(), |i| {
-                    let outcome = solver.solve_uniform(cs[i])?;
-                    let eval = evaluate_matrix_placed(&pq, &outcome.strategy, model)?;
-                    Ok::<_, CoreError>((outcome, eval))
-                });
+                // The full-enumeration solver re-solves each point from an
+                // immutable warm base, so the sweep parallelizes; the
+                // colgen master mutates (columns accumulate across
+                // points), so it runs sequentially in sweep order —
+                // deterministic and thread-count invariant either way.
+                let solved = if let LpEngine::Full(solver) = &engine {
+                    ParPool::global().run(cs.len(), |i| {
+                        let outcome = solver.solve_uniform(cs[i])?;
+                        let eval = evaluate_matrix_placed(&pq, &outcome.strategy, model)?;
+                        Ok::<_, CoreError>((outcome, eval))
+                    })
+                } else {
+                    cs.iter()
+                        .map(|&c| {
+                            let outcome = engine.solve_uniform(c)?;
+                            let flat = expand_rows(&outcome.strategy, &loc_indices)?;
+                            let eval = evaluate_matrix_placed(&pq, &flat, model)?;
+                            Ok::<_, CoreError>((outcome, eval))
+                        })
+                        .collect()
+                };
                 let mut best: Option<(f64, StrategyLpOutcome, f64)> = None;
                 for (c, outcome) in cs.iter().zip(solved) {
                     match outcome {
@@ -135,7 +186,7 @@ impl ScenarioRunner {
                 (outcome, CapacityProfile::uniform(n, c), label)
             }
             CapacityChoice::Fixed(c) => {
-                let outcome = solver.solve_uniform(c)?;
+                let outcome = engine.solve_uniform(c)?;
                 lp_pivots += outcome.stats.iterations;
                 (
                     outcome,
@@ -144,7 +195,7 @@ impl ScenarioRunner {
                 )
             }
             CapacityChoice::LoadProportional { beta, gamma } => {
-                let unconstrained = solver.solve_profile(&CapacityProfile::unbounded(n))?;
+                let unconstrained = engine.solve_profile(&CapacityProfile::unbounded(n))?;
                 lp_pivots += unconstrained.stats.iterations;
                 let loads = evaluate_matrix_placed(
                     &pq,
@@ -158,7 +209,7 @@ impl ScenarioRunner {
                     beta,
                     gamma,
                 )?;
-                let outcome = solver.solve_profile(&caps)?;
+                let outcome = engine.solve_profile(&caps)?;
                 lp_pivots += outcome.stats.iterations;
                 (
                     outcome,
@@ -167,7 +218,7 @@ impl ScenarioRunner {
                 )
             }
             CapacityChoice::MarginalValue { beta, gamma } => {
-                let reference = solver.solve_uniform(gamma)?;
+                let reference = engine.solve_uniform(gamma)?;
                 lp_pivots += reference.stats.iterations;
                 let prices: Vec<f64> = reference
                     .capacity_duals
@@ -180,18 +231,32 @@ impl ScenarioRunner {
                     beta,
                     gamma,
                 )?;
-                let outcome = solver.solve_profile(&caps)?;
+                let outcome = engine.solve_profile(&caps)?;
                 lp_pivots += outcome.stats.iterations;
                 (outcome, caps, format!("marginal-value [{beta}, {gamma}]"))
             }
         };
-        let base_eval = evaluate_matrix_placed(&pq, &base_outcome.strategy, model)?;
-        let base_rows = collapse_rows(
-            &base_outcome.strategy,
-            &nominal.location_indices(),
-            locations,
-            quorums.len(),
-        )?;
+        // Scoring runs over the flattened client list in both modes; the
+        // DES needs per-*location* rows. Full enumeration solves at client
+        // level (score directly, collapse for the DES); colgen solves at
+        // location level (expand for scoring, pass through for the DES).
+        let (base_eval, base_rows) = if engine.is_colgen() {
+            let flat = expand_rows(&base_outcome.strategy, &loc_indices)?;
+            (
+                evaluate_matrix_placed(&pq, &flat, model)?,
+                base_outcome.strategy.clone(),
+            )
+        } else {
+            (
+                evaluate_matrix_placed(&pq, &base_outcome.strategy, model)?,
+                collapse_rows(
+                    &base_outcome.strategy,
+                    &loc_indices,
+                    locations,
+                    quorums.len(),
+                )?,
+            )
+        };
 
         // 5. Per-phase DES validation.
         let universe = sys.universe_size();
@@ -225,7 +290,7 @@ impl ScenarioRunner {
                         phase_mults,
                     ),
                 ] {
-                    match solver.solve_profile(&caps) {
+                    match engine.solve_profile(&caps) {
                         Ok(o) => {
                             outcome = Some(o);
                             break;
@@ -238,12 +303,16 @@ impl ScenarioRunner {
                     Some(outcome) => {
                         lp_pivots += outcome.stats.iterations;
                         reoptimized = true;
-                        collapse_rows(
-                            &outcome.strategy,
-                            &nominal.location_indices(),
-                            locations,
-                            quorums.len(),
-                        )?
+                        if engine.is_colgen() {
+                            outcome.strategy
+                        } else {
+                            collapse_rows(
+                                &outcome.strategy,
+                                &loc_indices,
+                                locations,
+                                quorums.len(),
+                            )?
+                        }
                     }
                     // Even full healthy capacity cannot serve around the
                     // failures; keep the nominal strategy for the phase.
@@ -328,12 +397,98 @@ impl ScenarioRunner {
             lp_delay_ms: base_outcome.delay_ms,
             lp_response_ms: base_eval.avg_response_ms,
             lp_pivots,
+            pricing: engine.pricing(),
             phases,
             tolerance: pipeline.tolerance,
             max_rel_error,
             pass,
         })
     }
+}
+
+/// The two strategy-LP engines a scenario can run on: the historical
+/// full-enumeration warm-sweep solver over the flattened client list, or
+/// the demand-weighted location-level restricted master (column
+/// generation). The colgen variant accumulates pricing statistics across
+/// every solve for [`ScenarioReport::pricing`].
+enum LpEngine<'a> {
+    Full(Box<CapacitySweepSolver>),
+    ColGen {
+        solver: Box<ColGenSolver<'a>>,
+        pricing: PricingReport,
+    },
+}
+
+impl LpEngine<'_> {
+    fn is_colgen(&self) -> bool {
+        matches!(self, LpEngine::ColGen { .. })
+    }
+
+    /// Pivots spent before the first parametrized solve (the full
+    /// solver's cold base build; the colgen master defers all work).
+    fn base_iterations(&self) -> usize {
+        match self {
+            LpEngine::Full(solver) => solver.base_stats().iterations,
+            LpEngine::ColGen { .. } => 0,
+        }
+    }
+
+    fn solve_uniform(&mut self, c: f64) -> Result<StrategyLpOutcome, CoreError> {
+        match self {
+            LpEngine::Full(solver) => solver.solve_uniform(c),
+            LpEngine::ColGen { solver, pricing } => {
+                let outcome = solver.solve_uniform(c)?;
+                absorb_pricing(pricing, outcome.colgen);
+                Ok(outcome)
+            }
+        }
+    }
+
+    fn solve_profile(&mut self, caps: &CapacityProfile) -> Result<StrategyLpOutcome, CoreError> {
+        match self {
+            LpEngine::Full(solver) => solver.solve_profile(caps),
+            LpEngine::ColGen { solver, pricing } => {
+                let outcome = solver.solve_profile(caps)?;
+                absorb_pricing(pricing, outcome.colgen);
+                Ok(outcome)
+            }
+        }
+    }
+
+    fn pricing(&self) -> Option<PricingReport> {
+        match self {
+            LpEngine::Full(_) => None,
+            LpEngine::ColGen { pricing, .. } => Some(*pricing),
+        }
+    }
+}
+
+/// Folds one solve's pricing stats into the scenario-level aggregate:
+/// master-size fields reflect the latest solve (columns persist across
+/// solves), work counters sum.
+fn absorb_pricing(acc: &mut PricingReport, stats: Option<ColGenStats>) {
+    if let Some(s) = stats {
+        acc.columns_in_master = s.columns_in_master;
+        acc.total_columns = s.total_columns;
+        acc.columns_generated += s.columns_generated;
+        acc.oracle_passes += s.oracle_passes;
+        acc.master_resolves += s.master_resolves;
+    }
+}
+
+/// Expands a per-*location* strategy to the flattened client list (each
+/// client inherits its location's row) so the location-level colgen
+/// optimum can be scored by the same flattened evaluator as the
+/// full-enumeration path.
+fn expand_rows(
+    strategy: &StrategyMatrix,
+    location_indices: &[usize],
+) -> Result<StrategyMatrix, CoreError> {
+    let rows: Vec<Vec<f64>> = location_indices
+        .iter()
+        .map(|&loc| strategy.row(loc).to_vec())
+        .collect();
+    StrategyMatrix::from_rows(rows).map_err(CoreError::from)
 }
 
 /// Collapses a per-client strategy (rows aligned with the flattened
@@ -522,6 +677,43 @@ mod tests {
             matrix[0].phases[0].des_response_ms,
             matrix[1].phases[0].des_response_ms
         );
+    }
+
+    #[test]
+    fn colgen_mode_matches_default_and_reports_pricing() {
+        let runner = ScenarioRunner::new();
+        let spec = small_spec();
+        let mut cg = small_spec();
+        cg.pipeline.colgen = true;
+        let full = runner.run(&spec).unwrap();
+        let colgen = runner.run(&cg).unwrap();
+        // Same optimum by linearity of the location-weighted master;
+        // identical DES trajectories because the chosen capacities agree.
+        assert!(
+            (full.lp_delay_ms - colgen.lp_delay_ms).abs() <= 1e-6 * full.lp_delay_ms.max(1.0),
+            "full {} vs colgen {}",
+            full.lp_delay_ms,
+            colgen.lp_delay_ms
+        );
+        assert_eq!(full.capacity, colgen.capacity);
+        assert!(full.pricing.is_none());
+        let pricing = colgen.pricing.expect("colgen run must report pricing");
+        assert!(pricing.columns_in_master > 0);
+        assert!(pricing.columns_in_master <= pricing.total_columns);
+        assert!(pricing.master_resolves > 0);
+        assert!(pricing.oracle_passes > 0);
+        assert!(colgen.to_string().contains("pricing:"), "{colgen}");
+        assert!(!full.to_string().contains("pricing:"), "{full}");
+    }
+
+    #[test]
+    fn colgen_reruns_are_bit_identical() {
+        let runner = ScenarioRunner::new();
+        let mut spec = small_spec();
+        spec.pipeline.colgen = true;
+        let a = runner.run(&spec).unwrap();
+        let b = runner.run(&spec).unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

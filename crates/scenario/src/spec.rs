@@ -15,6 +15,7 @@
 //! transit-size = 2
 //! stubs-per-transit = 1
 //! stub-size = 3
+//! sparse-apsp = false        # skip the dense metric closure (large nets)
 //!
 //! [workload]
 //! locations = 6
@@ -37,6 +38,7 @@
 //! requests = 60
 //! seed = 42
 //! tolerance = 0.1
+//! colgen = false            # strategy LP via column generation
 //! ```
 //!
 //! Lines are `key = value` under `[section]` headers; `#` starts a
@@ -360,6 +362,11 @@ pub struct PipelineSpec {
     pub tolerance: f64,
     /// Cap on quorum enumeration.
     pub quorum_limit: usize,
+    /// Whether the strategy LP runs through the column-generation path
+    /// (restricted master + pricing oracle over an exact demand-weighted
+    /// location-level LP) instead of full enumeration. Off by default;
+    /// the default path's reports are bit-identical to earlier releases.
+    pub colgen: bool,
 }
 
 impl Default for PipelineSpec {
@@ -377,6 +384,7 @@ impl Default for PipelineSpec {
             service_time_ms: 1.0,
             tolerance: 0.1,
             quorum_limit: 100_000,
+            colgen: false,
         }
     }
 }
@@ -767,6 +775,17 @@ fn num<T: std::str::FromStr>(value: &str, line: usize, what: &str) -> Result<T, 
     })
 }
 
+fn boolean(value: &str, line: usize, what: &str) -> Result<bool, ScenarioError> {
+    match value {
+        "true" => Ok(true),
+        "false" => Ok(false),
+        other => Err(ScenarioError::Parse {
+            line,
+            message: format!("{what}: `{other}` is not true/false"),
+        }),
+    }
+}
+
 fn parse_topology(entries: &RawEntries) -> Result<TopologySource, ScenarioError> {
     let Some((source, src_line)) = entries.take("topology", "source")? else {
         // Topology keys without a `source` would otherwise surface as a
@@ -842,6 +861,9 @@ fn parse_topology(entries: &RawEntries) -> Result<TopologySource, ScenarioError>
             }
             if let Some((v, l)) = entries.take("topology", "jitter")? {
                 config.jitter_frac = num(&v, l, "jitter")?;
+            }
+            if let Some((v, l)) = entries.take("topology", "sparse-apsp")? {
+                config.sparse_apsp = boolean(&v, l, "sparse-apsp")?;
             }
             Ok(TopologySource::TransitStub { config, seed })
         }
@@ -987,16 +1009,7 @@ fn parse_failures(entries: &RawEntries) -> Result<FailurePlan, ScenarioError> {
         });
     }
     if let Some((v, l)) = entries.take("failures", "reoptimize")? {
-        plan.reoptimize = match v.as_str() {
-            "true" => true,
-            "false" => false,
-            other => {
-                return Err(ScenarioError::Parse {
-                    line: l,
-                    message: format!("reoptimize: `{other}` is not true/false"),
-                })
-            }
-        };
+        plan.reoptimize = boolean(&v, l, "reoptimize")?;
     }
     Ok(plan)
 }
@@ -1065,6 +1078,9 @@ fn parse_pipeline(entries: &RawEntries) -> Result<PipelineSpec, ScenarioError> {
     }
     if let Some((v, l)) = entries.take("pipeline", "quorum-limit")? {
         p.quorum_limit = num(&v, l, "quorum-limit")?;
+    }
+    if let Some((v, l)) = entries.take("pipeline", "colgen")? {
+        p.colgen = boolean(&v, l, "colgen")?;
     }
     Ok(p)
 }
@@ -1232,6 +1248,43 @@ tolerance = 0.12
         assert!(ScenarioSpec::parse("[workload]\ndemand = pareto\n").is_err());
         assert!(ScenarioSpec::parse("[workload]\nflash-focus = 1\n").is_err());
         assert!(ScenarioSpec::parse("[topology]\nsource = marsnet\n").is_err());
+    }
+
+    #[test]
+    fn colgen_and_sparse_apsp_keys_parse() {
+        let text = "[topology]\nsource = transit-stub\nsparse-apsp = true\n\
+                    [pipeline]\ncolgen = true\n";
+        let spec = ScenarioSpec::parse(text).unwrap();
+        let TopologySource::TransitStub { config, .. } = &spec.topology else {
+            panic!("wrong source: {:?}", spec.topology);
+        };
+        assert!(config.sparse_apsp);
+        assert!(spec.pipeline.colgen);
+        // Both default off: the seed goldens depend on it.
+        let spec = ScenarioSpec::parse("[topology]\nsource = transit-stub\n").unwrap();
+        let TopologySource::TransitStub { config, .. } = &spec.topology else {
+            panic!("wrong source");
+        };
+        assert!(!config.sparse_apsp);
+        assert!(!spec.pipeline.colgen);
+    }
+
+    #[test]
+    fn colgen_and_sparse_apsp_reject_non_booleans() {
+        assert!(matches!(
+            ScenarioSpec::parse("[pipeline]\ncolgen = maybe\n"),
+            Err(ScenarioError::Parse { line: 2, .. })
+        ));
+        assert!(matches!(
+            ScenarioSpec::parse("[topology]\nsource = transit-stub\nsparse-apsp = 1\n"),
+            Err(ScenarioError::Parse { line: 3, .. })
+        ));
+        // sparse-apsp applies to the transit-stub generator only; anywhere
+        // else it is an unknown key.
+        assert!(matches!(
+            ScenarioSpec::parse("[topology]\nsource = euclidean\nsparse-apsp = true\n"),
+            Err(ScenarioError::Parse { line: 3, .. })
+        ));
     }
 
     #[test]

@@ -263,6 +263,20 @@ pub struct TransitStubConfig {
     pub intra_stub_ms: (f64, f64),
     /// Relative standard deviation of multiplicative delay jitter.
     pub jitter_frac: f64,
+    /// Skip the dense Floyd–Warshall [`DistanceMatrix::metric_closure`]
+    /// pass and trust the per-source Dijkstra sweep alone.
+    ///
+    /// Shortest-path distances on a connected graph already satisfy the
+    /// triangle inequality, so the closure is semantically redundant here
+    /// — but it is *not* a bitwise no-op: floating-point summation order
+    /// differs between Dijkstra relaxations and Floyd–Warshall
+    /// `d[i][k] + d[k][j]` probes, so the closure nudges ~40% of entries
+    /// by ulps. With `sparse_apsp` the O(n³) pass is skipped entirely and
+    /// a 2,000-site topology builds in seconds; the resulting matrix is
+    /// metric to well under `1e-9` but differs from the closed matrix at
+    /// the last few bits. Defaults to `false` so existing seeds stay
+    /// bit-identical.
+    pub sparse_apsp: bool,
 }
 
 impl Default for TransitStubConfig {
@@ -277,6 +291,7 @@ impl Default for TransitStubConfig {
             transit_stub_ms: (1.0, 8.0),
             intra_stub_ms: (0.3, 3.0),
             jitter_frac: 0.05,
+            sparse_apsp: false,
         }
     }
 }
@@ -418,7 +433,14 @@ impl TransitStubConfig {
             }
         }
         let matrix = DistanceMatrix::from_rows(&rows).expect("symmetrized by construction");
-        Network::with_labels(matrix.metric_closure(), labels).expect("one label per site")
+        let matrix = if self.sparse_apsp {
+            // Dijkstra distances are already shortest paths; skipping the
+            // dense closure keeps generation O(n·(m + n log n)).
+            matrix
+        } else {
+            matrix.metric_closure()
+        };
+        Network::with_labels(matrix, labels).expect("one label per site")
     }
 }
 
@@ -763,6 +785,36 @@ mod tests {
         // Labels encode the hierarchy: routers first, then stub sites.
         assert!(net.label(NodeId::new(0)).starts_with('t'));
         assert!(net.label(NodeId::new(net.len() - 1)).starts_with('s'));
+    }
+
+    #[test]
+    fn transit_stub_sparse_apsp_matches_closure_to_tolerance() {
+        // Skipping the dense closure changes entries only at the ulp
+        // level: the Dijkstra sweep already yields shortest paths, so the
+        // sparse matrix must be metric and agree with the closed one to
+        // far better than the 1e-9 relative tolerance the goldens use.
+        let closed_cfg = TransitStubConfig::default();
+        let sparse_cfg = TransitStubConfig {
+            sparse_apsp: true,
+            ..TransitStubConfig::default()
+        };
+        let closed = closed_cfg.generate(7);
+        let sparse = sparse_cfg.generate(7);
+        assert_eq!(closed.len(), sparse.len());
+        assert!(sparse.distances().is_metric(1e-9));
+        for i in closed.nodes() {
+            for j in closed.nodes() {
+                let a = closed.distance(i, j);
+                let b = sparse.distance(i, j);
+                let scale = a.abs().max(1.0);
+                assert!(
+                    (a - b).abs() <= 1e-12 * scale,
+                    "sparse APSP drifted at ({i}, {j}): {a} vs {b}"
+                );
+            }
+        }
+        // Determinism holds on the sparse path too.
+        assert_eq!(sparse_cfg.generate(7), sparse);
     }
 
     #[test]

@@ -25,7 +25,8 @@
 use std::io::Write as _;
 use std::process::ExitCode;
 
-use quorumnet::core::strategy_lp;
+use quorumnet::core::strategy_lp::{self, ColumnGeneration};
+use quorumnet::core::EvalContext;
 use quorumnet::daemon::protocol::read_response;
 use quorumnet::daemon::server as daemon_server;
 use quorumnet::daemon::{Endpoint, Server, Session, SessionConfig};
@@ -90,7 +91,10 @@ fn print_help() {
          --demand N          client demand for the response model (default 0)\n  \
          --op-time MS        per-request service time (default 0.007)\n  \
          --capacity C        node capacity for --strategy lp (default 1.0)\n  \
-         --dedup             deduplicated execution of co-located elements\n\n\
+         --dedup             deduplicated execution of co-located elements\n  \
+         --colgen            solve the strategy LP by delayed column generation\n  \
+                             (restricted master + pricing oracle; prints pricing\n  \
+                             stats; also honored by scenario and serve)\n\n\
          simulate flags:\n  \
          --locations N              client locations (default 10)\n  \
          --clients-per-location N   clients per location (default 5)\n  \
@@ -99,11 +103,13 @@ fn print_help() {
          --strategy closest|balanced (default balanced)\n\n\
          scenario flags:\n  \
          --spec FILE   scenario spec (repeatable; the set runs as a matrix)\n  \
-         --out FILE    also write the reports to FILE\n\n\
+         --out FILE    also write the reports to FILE\n  \
+         --colgen      force the column-generation LP for every spec\n\n\
          serve flags:\n  \
          --socket PATH   listen on a Unix-domain socket\n  \
          --listen ADDR   listen on a TCP address (e.g. 127.0.0.1:0)\n  \
-         --sweep N       capacity sweep points per re-tune (default 10)\n\n\
+         --sweep N       capacity sweep points per re-tune (default 10)\n  \
+         --colgen        re-tune through the column-generation solver\n\n\
          ctl flags:\n  \
          --socket PATH   connect to a Unix-domain socket\n  \
          --connect ADDR  connect to a TCP address\n  \
@@ -125,6 +131,7 @@ struct Options {
     op_time: f64,
     capacity: f64,
     dedup: bool,
+    colgen: bool,
     locations: usize,
     clients_per_location: usize,
     requests: usize,
@@ -150,6 +157,7 @@ impl Default for Options {
             op_time: 0.007,
             capacity: 1.0,
             dedup: false,
+            colgen: false,
             locations: 10,
             clients_per_location: 5,
             requests: 150,
@@ -185,6 +193,7 @@ impl Options {
                 "--op-time" => o.op_time = parse_num(&value("--op-time")?, "--op-time")?,
                 "--capacity" => o.capacity = parse_num(&value("--capacity")?, "--capacity")?,
                 "--dedup" => o.dedup = true,
+                "--colgen" => o.colgen = true,
                 "--locations" => o.locations = parse_usize(&value("--locations")?, "--locations")?,
                 "--clients-per-location" => {
                     o.clients_per_location =
@@ -244,6 +253,19 @@ impl Options {
             m
         }
     }
+}
+
+/// Renders one [`strategy_lp::ColGenStats`] line (shared by `place`'s
+/// `lp` and `lp-sweep` strategies).
+fn print_pricing(p: &strategy_lp::ColGenStats) {
+    println!(
+        "pricing:   {} of {} columns in master ({} generated), {} oracle passes, {} master solves",
+        p.columns_in_master,
+        p.total_columns,
+        p.columns_generated,
+        p.oracle_passes,
+        p.master_resolves
+    );
 }
 
 fn parse_num(s: &str, flag: &str) -> Result<f64, String> {
@@ -314,26 +336,53 @@ fn cmd_place(opts: &Options) -> Result<(), String> {
             .map_err(|e| e.to_string())?,
         "lp" => {
             let quorums = sys.enumerate(100_000).map_err(|e| e.to_string())?;
-            let (_, eval) = strategy_lp::evaluate_at_uniform_capacity(
-                &net,
-                &clients,
-                &placement,
-                &quorums,
-                opts.capacity,
-                model,
-            )
-            .map_err(|e| e.to_string())?;
-            eval
+            if opts.colgen {
+                let ctx = EvalContext::new(&net, &clients);
+                let pq = ctx.place(&placement, &quorums);
+                let caps = CapacityProfile::uniform(net.len(), opts.capacity);
+                let outcome = strategy_lp::optimize_strategies_outcome_with(
+                    &pq,
+                    &caps,
+                    Some(&ColumnGeneration::default()),
+                )
+                .map_err(|e| e.to_string())?;
+                if let Some(p) = &outcome.colgen {
+                    print_pricing(p);
+                }
+                response::evaluate_matrix_placed(&pq, &outcome.strategy, model)
+                    .map_err(|e| e.to_string())?
+            } else {
+                let (_, eval) = strategy_lp::evaluate_at_uniform_capacity(
+                    &net,
+                    &clients,
+                    &placement,
+                    &quorums,
+                    opts.capacity,
+                    model,
+                )
+                .map_err(|e| e.to_string())?;
+                eval
+            }
         }
         "lp-sweep" => {
             let quorums = sys.enumerate(100_000).map_err(|e| e.to_string())?;
             let l_opt = sys
                 .optimal_load()
                 .ok_or("lp-sweep needs a system with known optimal load")?;
-            let sweep = strategy_lp::tune_uniform_capacity(
-                &net, &clients, &placement, &quorums, l_opt, 10, model,
+            let ctx = EvalContext::new(&net, &clients);
+            let pq = ctx.place(&placement, &quorums);
+            let colgen = opts.colgen.then(ColumnGeneration::default);
+            let sweep = strategy_lp::tune_uniform_capacity_placed_with(
+                &pq,
+                l_opt,
+                10,
+                model,
+                colgen.as_ref(),
             )
             .map_err(|e| e.to_string())?;
+            if let Some(p) = &sweep.colgen {
+                print_pricing(p);
+            }
             println!("sweep:");
             for (c, e) in &sweep.points {
                 println!(
@@ -428,11 +477,16 @@ fn cmd_scenario(opts: &Options) -> Result<(), String> {
     if opts.specs.is_empty() {
         return Err("scenario requires at least one --spec FILE".to_string());
     }
-    let specs: Vec<ScenarioSpec> = opts
+    let mut specs: Vec<ScenarioSpec> = opts
         .specs
         .iter()
         .map(|path| ScenarioSpec::from_file(path).map_err(|e| format!("{path}: {e}")))
         .collect::<Result<_, _>>()?;
+    if opts.colgen {
+        for spec in &mut specs {
+            spec.pipeline.colgen = true;
+        }
+    }
     let reports = ScenarioRunner::new()
         .run_matrix(&specs)
         .map_err(|e| e.to_string())?;
@@ -508,6 +562,7 @@ fn cmd_serve(opts: &Options) -> Result<(), String> {
         alpha: opts.model().alpha(),
         l_opt,
         sweep_steps: opts.sweep,
+        colgen: opts.colgen.then(ColumnGeneration::default),
     })
     .map_err(|e| e.to_string())?;
     let server = Server::bind(&endpoint).map_err(|e| format!("bind: {e}"))?;
@@ -607,6 +662,12 @@ mod tests {
         assert!(err.contains("at least 1"), "unexpected message: {err}");
         assert!(Options::parse(&s(&["--threads", "x"])).is_err());
         assert!(Options::parse(&s(&["--threads"])).is_err());
+    }
+
+    #[test]
+    fn parses_colgen_flag() {
+        assert!(Options::parse(&s(&["--colgen"])).unwrap().colgen);
+        assert!(!Options::parse(&s(&[])).unwrap().colgen);
     }
 
     #[test]

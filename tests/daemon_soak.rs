@@ -26,6 +26,7 @@ fn build_session(n_sites: usize, seed: u64) -> Session {
         alpha: ResponseModel::from_demand(0.007, 16_000.0).alpha(),
         l_opt: sys.optimal_load().unwrap(),
         sweep_steps: 8,
+        colgen: None,
     })
     .unwrap()
 }

@@ -327,6 +327,81 @@ fn golden_daxlist161_capacity_tuning() {
     );
 }
 
+/// Golden 8b — column generation ≡ full enumeration on the paper-scale
+/// daxlist-161 dataset: the restricted master + pricing oracle must land
+/// on the same LP optimum as the full (client × quorum) enumeration, both
+/// for a single profile solve and for the whole §7 capacity-tuning sweep,
+/// while materializing strictly fewer columns.
+#[test]
+fn daxlist161_colgen_agrees_with_full_enumeration() {
+    let net = datasets::daxlist_161();
+    let clients: Vec<NodeId> = net.nodes().collect();
+    let sys = QuorumSystem::grid(3).unwrap();
+    let placement = one_to_one::grid_shell_placement(&net, NodeId::new(0), 3).unwrap();
+    let quorums = sys.enumerate(100).unwrap();
+    let ctx = quorumnet::core::EvalContext::new(&net, &clients);
+    let pq = ctx.place(&placement, &quorums);
+
+    // Single-profile agreement at the Golden-4 capacity.
+    let caps = CapacityProfile::uniform(net.len(), 0.8);
+    let full = strategy_lp::optimize_strategies_outcome_with(&pq, &caps, None).unwrap();
+    let cfg = strategy_lp::ColumnGeneration::default();
+    let cg = strategy_lp::optimize_strategies_outcome_with(&pq, &caps, Some(&cfg)).unwrap();
+    assert!(
+        (cg.delay_ms - full.delay_ms).abs() <= 1e-9 * (1.0 + full.delay_ms.abs()),
+        "daxlist-161 colgen objective {} vs full enumeration {}",
+        cg.delay_ms,
+        full.delay_ms
+    );
+    let stats = cg.colgen.expect("colgen path must report pricing stats");
+    assert_eq!(stats.total_columns, clients.len() * quorums.len());
+    assert!(
+        stats.columns_in_master < stats.total_columns,
+        "colgen materialized every column ({} of {})",
+        stats.columns_in_master,
+        stats.total_columns
+    );
+
+    // Whole-sweep agreement: same best capacity, same scores.
+    let l_opt = sys.optimal_load().unwrap();
+    let model = ResponseModel::from_demand(0.007, 16000.0);
+    let full_sweep =
+        strategy_lp::tune_uniform_capacity_placed_with(&pq, l_opt, 10, model, None).unwrap();
+    let cg_sweep =
+        strategy_lp::tune_uniform_capacity_placed_with(&pq, l_opt, 10, model, Some(&cfg)).unwrap();
+    let (full_c, full_eval) = full_sweep.best_point();
+    let (cg_c, cg_eval) = cg_sweep.best_point();
+    assert_eq!(full_c, cg_c, "sweeps disagree on the tuned capacity");
+    assert_golden(
+        "daxlist161_tuned_capacity",
+        *cg_c,
+        DAXLIST161_TUNED_CAPACITY,
+    );
+    assert!(
+        (cg_eval.avg_network_delay_ms - full_eval.avg_network_delay_ms).abs()
+            <= 1e-9 * (1.0 + full_eval.avg_network_delay_ms.abs()),
+        "sweep delay: colgen {} vs full {}",
+        cg_eval.avg_network_delay_ms,
+        full_eval.avg_network_delay_ms
+    );
+    // The delay objective is what the LP optimizes and both paths agree on
+    // it to 1e-9; the *response* score also depends on node loads, and the
+    // optimum is degenerate here — colgen and full enumeration may land on
+    // different optimal vertices with slightly different load splits, so
+    // response agrees only loosely.
+    assert!(
+        (cg_eval.avg_response_ms - full_eval.avg_response_ms).abs()
+            <= 1e-3 * (1.0 + full_eval.avg_response_ms.abs()),
+        "sweep response: colgen {} vs full {}",
+        cg_eval.avg_response_ms,
+        full_eval.avg_response_ms
+    );
+    assert!(
+        cg_sweep.colgen.is_some(),
+        "colgen sweep must aggregate stats"
+    );
+}
+
 /// Golden 9 — the scenario engine end to end on the checked-in showcase
 /// spec: a seeded transit-stub WAN, Zipf demand with a phase-1 flash
 /// crowd, and a phase-2 slowdown + crash with mid-run re-optimization.
@@ -385,6 +460,43 @@ fn golden_scenario_hierarchical_uniform() {
         "scenario_hier_response_ms",
         report.phases[0].des_response_ms,
         SCENARIO_HIER_RESPONSE_MS,
+    );
+}
+
+/// Golden 12 — the scale showcase: a 2,000-site transit-stub WAN
+/// (sparse-graph APSP, no dense metric closure) solved end-to-end
+/// through the column-generation strategy LP. Pins the LP delay and the
+/// DES response, and asserts the restricted master materialized well
+/// under half of the 2000 × 25 (location × quorum) columns full
+/// enumeration would build.
+#[test]
+fn golden_scenario_transit_colgen_2000() {
+    let spec = ScenarioSpec::from_file(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/data/scenarios/transit_colgen_2000.toml"
+    ))
+    .unwrap();
+    let report = ScenarioRunner::new().run(&spec).unwrap();
+    assert_eq!(report.sites, 2000);
+    assert!(report.pass, "cross-check failed:\n{report}");
+    let pricing = report.pricing.expect("colgen scenario reports pricing");
+    assert_eq!(pricing.total_columns, 2000 * 25);
+    assert!(
+        pricing.columns_in_master * 3 < pricing.total_columns,
+        "master holds {} of {} columns — not a restricted master",
+        pricing.columns_in_master,
+        pricing.total_columns
+    );
+    assert!(pricing.oracle_passes > 0);
+    assert_golden(
+        "scenario_colgen2000_lp_delay_ms",
+        report.lp_delay_ms,
+        SCENARIO_COLGEN2000_LP_DELAY_MS,
+    );
+    assert_golden(
+        "scenario_colgen2000_response_ms",
+        report.phases[0].des_response_ms,
+        SCENARIO_COLGEN2000_RESPONSE_MS,
     );
 }
 
@@ -447,5 +559,7 @@ const DAXLIST161_TUNED_DELAY_MS: f64 = 107.823962171457;
 const SCENARIO_TS_LP_DELAY_MS: f64 = 48.338477296683;
 const SCENARIO_TS_PHASE0_RESPONSE_MS: f64 = 49.418740236197;
 const SCENARIO_TS_PHASE2_RESPONSE_MS: f64 = 48.425538319987;
+const SCENARIO_COLGEN2000_LP_DELAY_MS: f64 = 81.652446318974;
+const SCENARIO_COLGEN2000_RESPONSE_MS: f64 = 1580.273875207047;
 const SCENARIO_HIER_LP_DELAY_MS: f64 = 67.345745448583;
 const SCENARIO_HIER_RESPONSE_MS: f64 = 68.375754409850;
