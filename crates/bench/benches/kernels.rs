@@ -9,9 +9,11 @@ use qp_core::eval::EvalContext;
 use qp_core::manyone::{element_weights, place_for_client, ManyToOneConfig};
 use qp_core::strategy_lp::CapacitySweepSolver;
 use qp_core::{combinatorics, one_to_one, response, strategy_lp, ResponseModel};
-use qp_des::{EventQueue, ServiceStation, SimTime};
+use qp_des::{EventQueue, ServiceStation, SimTime, TimeWheel};
 use qp_lp::{BasisKind, Model, Sense, SolverOptions};
-use qp_protocol::{simulate, ClientPopulation, ProtocolConfig, QuorumChoice};
+use qp_protocol::{
+    simulate, simulate_with_engine, ClientPopulation, ProtocolConfig, QuorumChoice, SimEngine,
+};
 use qp_quorum::{MajorityKind, QuorumSystem, StrategyMatrix};
 use qp_topology::{datasets, NodeId};
 
@@ -439,6 +441,91 @@ fn bench_des(c: &mut Criterion) {
     group.finish();
 }
 
+/// The ISSUE-8 A/B pairs. `queue` races the binary heap against the
+/// hierarchical time wheel on the same 100k-event scatter (pop order is
+/// identical — see the qp-des schedule-equivalence proptest), plus the
+/// wheel's batch-push entry point. `engine` races the exact per-client
+/// DES against the aggregated fluid engine on the same mid-size
+/// workload: the aggregated cost scales with locations × quorums, not
+/// clients, so the gap widens with population.
+fn bench_des_ab(c: &mut Criterion) {
+    let mut group = c.benchmark_group("des_ab");
+    group.sample_size(10);
+
+    let scatter = |i: u64| ((i.wrapping_mul(2654435761)) % 1_000_000) as f64 / 100.0;
+    group.bench_function(BenchmarkId::new("queue_100k_scatter", "heap"), |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..100_000u64 {
+                q.push(SimTime::from_ms(scatter(i)), i);
+            }
+            let mut count = 0u64;
+            while q.pop().is_some() {
+                count += 1;
+            }
+            count
+        });
+    });
+    group.bench_function(BenchmarkId::new("queue_100k_scatter", "wheel"), |b| {
+        b.iter(|| {
+            let mut q = TimeWheel::new(1.0);
+            for i in 0..100_000u64 {
+                q.push(SimTime::from_ms(scatter(i)), i);
+            }
+            let mut count = 0u64;
+            while q.pop().is_some() {
+                count += 1;
+            }
+            count
+        });
+    });
+    group.bench_function(BenchmarkId::new("queue_100k_scatter", "wheel_batch"), |b| {
+        b.iter(|| {
+            let mut q = TimeWheel::new(1.0);
+            q.push_batch((0..100_000u64).map(|i| (SimTime::from_ms(scatter(i)), i)));
+            let mut count = 0u64;
+            while q.pop().is_some() {
+                count += 1;
+            }
+            count
+        });
+    });
+
+    // Exact vs aggregated on the same 2,000-client workload. The exact
+    // engine walks every client's closed loop; the aggregated engine
+    // merges each location into one per-quorum flow.
+    let net = datasets::planetlab_50();
+    let sys = QuorumSystem::majority(MajorityKind::FourFifths, 2).unwrap();
+    let placement = one_to_one::best_placement(&net, &sys).unwrap();
+    let clients = ClientPopulation::representative(&net, &sys, &placement, 10, 200);
+    let cfg = ProtocolConfig {
+        warmup_requests: 4,
+        measured_requests: 16,
+        service_time_ms: 0.05,
+        ..ProtocolConfig::default()
+    };
+    for (label, engine) in [
+        ("exact", SimEngine::Exact),
+        ("aggregated", SimEngine::Aggregated),
+    ] {
+        group.bench_function(BenchmarkId::new("protocol_2k_clients", label), |b| {
+            b.iter(|| {
+                simulate_with_engine(
+                    &net,
+                    &sys,
+                    &placement,
+                    &clients,
+                    QuorumChoice::Balanced,
+                    &cfg,
+                    engine,
+                )
+                .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_lp_solver,
@@ -450,5 +537,6 @@ criterion_group!(
     bench_evaluation,
     bench_sweep_parallel,
     bench_des,
+    bench_des_ab,
 );
 criterion_main!(benches);

@@ -68,6 +68,8 @@ fn qu_point(
             seed: 0,
             service_multipliers: None,
             dedup_colocated: false,
+            streaming_percentiles: false,
+            initial_server_busy_ms: None,
         },
         &seeds,
     )

@@ -391,6 +391,138 @@ pub fn evaluate_matrix_placed(
     Ok(finish(per_resp, per_delay, node_loads))
 }
 
+/// Demand-weighted variant of [`evaluate_matrix_placed`]: row `v` of the
+/// strategy stands for `weights[v]` identical clients (a location-level
+/// evaluation), so loads and averages weight each row accordingly.
+///
+/// With uniform weights this computes the same mathematical quantities as
+/// flattening each location into that many per-client rows — without ever
+/// materializing the per-client delay matrix, which is what lets
+/// million-client aggregated pipelines score placements in
+/// O(locations × quorums) memory.
+///
+/// `avg_response_ms`/`avg_network_delay_ms` are weighted means;
+/// `per_client_*` vectors hold one entry per *row* (location), not per
+/// flattened client.
+///
+/// # Errors
+///
+/// [`CoreError::SizeMismatch`] if the strategy shape does not match the
+/// bound clients/quorums, or `weights` has the wrong length, a negative
+/// or non-finite entry, or zero total mass.
+pub fn evaluate_matrix_placed_weighted(
+    pq: &PlacedQuorums<'_>,
+    strategy: &StrategyMatrix,
+    weights: &[f64],
+    model: ResponseModel,
+) -> Result<Evaluation, CoreError> {
+    let clients = pq.ctx().clients();
+    let placement = pq.placement();
+    let quorums = pq.quorums();
+    if strategy.num_clients() != clients.len() {
+        return Err(CoreError::SizeMismatch {
+            reason: format!(
+                "strategy has {} rows for {} clients",
+                strategy.num_clients(),
+                clients.len()
+            ),
+        });
+    }
+    if strategy.num_quorums() != quorums.len() {
+        return Err(CoreError::SizeMismatch {
+            reason: format!(
+                "strategy has {} columns for {} quorums",
+                strategy.num_quorums(),
+                quorums.len()
+            ),
+        });
+    }
+    if weights.len() != clients.len() {
+        return Err(CoreError::SizeMismatch {
+            reason: format!(
+                "{} weights for {} client rows",
+                weights.len(),
+                clients.len()
+            ),
+        });
+    }
+    if weights.iter().any(|&w| !w.is_finite() || w < 0.0) {
+        return Err(CoreError::SizeMismatch {
+            reason: "weights must be nonnegative".to_string(),
+        });
+    }
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 {
+        return Err(CoreError::SizeMismatch {
+            reason: "weights must have positive total mass".to_string(),
+        });
+    }
+
+    let node_loads = if model.deduplicates_execution() {
+        // One execution per touched node, weighted by row mass.
+        let mut loads = vec![0.0; placement.num_nodes()];
+        for (row, &weight) in weights.iter().enumerate() {
+            let share = weight / total;
+            if share == 0.0 {
+                continue;
+            }
+            for i in 0..quorums.len() {
+                let p = strategy.prob(row, i);
+                if p > 0.0 {
+                    for w in pq.unique_hosts(i) {
+                        loads[w.index()] += share * p;
+                    }
+                }
+            }
+        }
+        loads
+    } else {
+        let mut element_loads = vec![0.0; placement.universe_size()];
+        for (row, &weight) in weights.iter().enumerate() {
+            let share = weight / total;
+            if share == 0.0 {
+                continue;
+            }
+            for (i, quorum) in quorums.iter().enumerate() {
+                let p = strategy.prob(row, i);
+                if p > 0.0 {
+                    for u in quorum.iter() {
+                        element_loads[u.index()] += share * p;
+                    }
+                }
+            }
+        }
+        placement.node_loads(&element_loads)
+    };
+
+    let mut per_resp = Vec::with_capacity(clients.len());
+    let mut per_delay = Vec::with_capacity(clients.len());
+    let mut avg_resp = 0.0;
+    let mut avg_delay = 0.0;
+    for (row, &weight) in weights.iter().enumerate() {
+        let mut r = 0.0;
+        let mut d = 0.0;
+        for i in 0..quorums.len() {
+            let p = strategy.prob(row, i);
+            if p > 0.0 {
+                r += p * pq.rho(row, i, model.alpha(), &node_loads);
+                d += p * pq.delta(row, i);
+            }
+        }
+        avg_resp += weight / total * r;
+        avg_delay += weight / total * d;
+        per_resp.push(r);
+        per_delay.push(d);
+    }
+    Ok(Evaluation {
+        avg_response_ms: avg_resp,
+        avg_network_delay_ms: avg_delay,
+        per_client_response_ms: per_resp,
+        per_client_delay_ms: per_delay,
+        node_loads,
+    })
+}
+
 /// Evaluates the *balanced* strategy (uniform over all quorums, §7).
 ///
 /// For Majorities this avoids enumerating `C(n, q)` quorums: uniform
@@ -662,6 +794,81 @@ mod tests {
         // But the node load concentrates: 2 elements of the quorum on one
         // node → load 2.
         assert_eq!(eval.node_loads[0], 2.0);
+    }
+
+    #[test]
+    fn weighted_rows_match_flattened_clients() {
+        // Row v with integer weight n must score like n flattened copies
+        // of client v.
+        let net = datasets::euclidean_random(12, 60.0, 7);
+        let sys = QuorumSystem::grid(2).unwrap();
+        let placement = Placement::new((0..4).map(NodeId::new).collect(), net.len()).unwrap();
+        let quorums = sys.enumerate(16).unwrap();
+        let locations: Vec<NodeId> = (0..4).map(|i| NodeId::new(2 * i)).collect();
+        let weights = [3.0, 1.0, 4.0, 2.0];
+        let rows: Vec<Vec<f64>> = (0..4)
+            .map(|l| {
+                let mut row = vec![0.0; quorums.len()];
+                row[l % quorums.len()] = 0.5;
+                row[(l + 1) % quorums.len()] = 0.5;
+                row
+            })
+            .collect();
+
+        for model in [
+            ResponseModel::with_alpha(30.0),
+            ResponseModel::with_alpha(30.0).deduplicated(),
+        ] {
+            let ctx = EvalContext::new(&net, &locations);
+            let pq = ctx.place(&placement, &quorums);
+            let strategy = StrategyMatrix::from_rows(rows.clone()).unwrap();
+            let weighted =
+                evaluate_matrix_placed_weighted(&pq, &strategy, &weights, model).unwrap();
+
+            // Flatten: weight n → n identical client rows.
+            let mut flat_clients = Vec::new();
+            let mut flat_rows = Vec::new();
+            for (l, &w) in weights.iter().enumerate() {
+                for _ in 0..w as usize {
+                    flat_clients.push(locations[l]);
+                    flat_rows.push(rows[l].clone());
+                }
+            }
+            let flat_ctx = EvalContext::new(&net, &flat_clients);
+            let flat_pq = flat_ctx.place(&placement, &quorums);
+            let flat_strategy = StrategyMatrix::from_rows(flat_rows).unwrap();
+            let flattened = evaluate_matrix_placed(&flat_pq, &flat_strategy, model).unwrap();
+
+            assert!(
+                (weighted.avg_response_ms - flattened.avg_response_ms).abs() < 1e-9,
+                "weighted {} vs flattened {}",
+                weighted.avg_response_ms,
+                flattened.avg_response_ms
+            );
+            assert!((weighted.avg_network_delay_ms - flattened.avg_network_delay_ms).abs() < 1e-9);
+            for (a, b) in weighted.node_loads.iter().zip(&flattened.node_loads) {
+                assert!((a - b).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_rejects_bad_weights() {
+        let net = line4();
+        let sys = QuorumSystem::grid(2).unwrap();
+        let placement = Placement::new((0..4).map(NodeId::new).collect(), net.len()).unwrap();
+        let quorums = sys.enumerate(16).unwrap();
+        let clients = all_clients(&net);
+        let ctx = EvalContext::new(&net, &clients);
+        let pq = ctx.place(&placement, &quorums);
+        let strategy = StrategyMatrix::uniform(clients.len(), quorums.len());
+        let model = ResponseModel::network_delay_only();
+        for weights in [vec![1.0; 3], vec![-1.0, 1.0, 1.0, 1.0], vec![0.0; 4]] {
+            assert!(matches!(
+                evaluate_matrix_placed_weighted(&pq, &strategy, &weights, model),
+                Err(CoreError::SizeMismatch { .. })
+            ));
+        }
     }
 
     #[test]

@@ -99,6 +99,12 @@ impl<E> EventQueue<E> {
         Some((entry.time, entry.event))
     }
 
+    /// The time of the earliest pending event without removing it
+    /// (`None` when empty).
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
     /// The time of the most recently popped event (zero initially).
     pub fn now(&self) -> SimTime {
         self.now

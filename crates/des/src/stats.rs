@@ -84,6 +84,28 @@ impl Tally {
         (self.n > 0).then_some(self.max)
     }
 
+    /// Adds `n` identical observations of value `x` in one step
+    /// (aggregated flows: a batch of clients sharing one measured value).
+    ///
+    /// Numerically identical to merging a tally holding `n` copies of `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is NaN.
+    pub fn add_n(&mut self, x: f64, n: u64) {
+        assert!(!x.is_nan(), "NaN observation");
+        if n == 0 {
+            return;
+        }
+        self.merge(&Tally {
+            n,
+            mean: x,
+            m2: 0.0,
+            min: x,
+            max: x,
+        });
+    }
+
     /// Merges another tally into this one (parallel-runs aggregation).
     pub fn merge(&mut self, other: &Tally) {
         if other.n == 0 {
@@ -190,6 +212,151 @@ impl Extend<f64> for Sample {
     }
 }
 
+/// A bounded-memory streaming quantile estimator (the P² algorithm of
+/// Jain & Chlamtac): five markers track one target quantile regardless of
+/// how many observations arrive, so percentile tracking at millions of
+/// observations costs 40 bytes instead of a full sample buffer.
+///
+/// Exact (nearest-rank, matching [`Sample::percentile`]) while five or
+/// fewer observations have been seen; a piecewise-parabolic approximation
+/// afterwards.
+///
+/// # Examples
+///
+/// ```
+/// use qp_des::P2Quantile;
+///
+/// let mut q = P2Quantile::new(0.5);
+/// for x in 1..=1000 {
+///     q.add(x as f64);
+/// }
+/// assert!((q.estimate() - 500.0).abs() < 10.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct P2Quantile {
+    p: f64,
+    /// First five observations, kept for the exact small-sample path.
+    initial: Vec<f64>,
+    /// Marker heights.
+    q: [f64; 5],
+    /// Actual marker positions (1-based observation counts).
+    n: [f64; 5],
+    /// Desired marker positions.
+    np: [f64; 5],
+    /// Per-observation increments of the desired positions.
+    dn: [f64; 5],
+    count: u64,
+}
+
+impl P2Quantile {
+    /// An estimator for the `p`-quantile, `p` strictly between 0 and 1
+    /// (e.g. `0.95` for the 95th percentile).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < p < 1`.
+    pub fn new(p: f64) -> Self {
+        assert!(
+            p > 0.0 && p < 1.0,
+            "quantile must be strictly between 0 and 1, got {p}"
+        );
+        P2Quantile {
+            p,
+            initial: Vec::with_capacity(5),
+            q: [0.0; 5],
+            n: [0.0; 5],
+            np: [1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0],
+            dn: [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0],
+            count: 0,
+        }
+    }
+
+    /// Adds an observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is NaN.
+    pub fn add(&mut self, x: f64) {
+        assert!(!x.is_nan(), "NaN observation");
+        self.count += 1;
+        if self.count <= 5 {
+            self.initial.push(x);
+            if self.count == 5 {
+                let mut sorted = self.initial.clone();
+                sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN stored"));
+                for (i, &x) in sorted.iter().enumerate() {
+                    self.q[i] = x;
+                    self.n[i] = (i + 1) as f64;
+                }
+            }
+            return;
+        }
+        // Locate the cell containing x, stretching the extremes if needed.
+        let k = if x < self.q[0] {
+            self.q[0] = x;
+            0
+        } else if x >= self.q[4] {
+            self.q[4] = x;
+            3
+        } else {
+            let mut k = 0;
+            while x >= self.q[k + 1] {
+                k += 1;
+            }
+            k
+        };
+        for i in (k + 1)..5 {
+            self.n[i] += 1.0;
+        }
+        for i in 0..5 {
+            self.np[i] += self.dn[i];
+        }
+        // Nudge interior markers toward their desired positions.
+        for i in 1..4 {
+            let d = self.np[i] - self.n[i];
+            if (d >= 1.0 && self.n[i + 1] - self.n[i] > 1.0)
+                || (d <= -1.0 && self.n[i - 1] - self.n[i] < -1.0)
+            {
+                let d = d.signum();
+                let parabolic = self.q[i]
+                    + d / (self.n[i + 1] - self.n[i - 1])
+                        * ((self.n[i] - self.n[i - 1] + d) * (self.q[i + 1] - self.q[i])
+                            / (self.n[i + 1] - self.n[i])
+                            + (self.n[i + 1] - self.n[i] - d) * (self.q[i] - self.q[i - 1])
+                                / (self.n[i] - self.n[i - 1]));
+                self.q[i] = if self.q[i - 1] < parabolic && parabolic < self.q[i + 1] {
+                    parabolic
+                } else {
+                    // Parabolic step left the bracket; fall back to linear.
+                    let j = if d > 0.0 { i + 1 } else { i - 1 };
+                    self.q[i] + d * (self.q[j] - self.q[i]) / (self.n[j] - self.n[i])
+                };
+                self.n[i] += d;
+            }
+        }
+    }
+
+    /// Number of observations seen.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Current estimate of the target quantile (0 when empty; exact
+    /// nearest-rank while at most five observations have been seen).
+    pub fn estimate(&self) -> f64 {
+        match self.count {
+            0 => 0.0,
+            1..=5 => {
+                let mut sorted = self.initial.clone();
+                sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN stored"));
+                let rank = (self.p * sorted.len() as f64).ceil() as usize;
+                sorted[rank.clamp(1, sorted.len()) - 1]
+            }
+            _ => self.q[2],
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -251,5 +418,68 @@ mod tests {
     fn tally_rejects_nan() {
         let mut t = Tally::new();
         t.add(f64::NAN);
+    }
+
+    #[test]
+    fn add_n_matches_repeated_add() {
+        let mut bulk = Tally::new();
+        let mut loops = Tally::new();
+        for (x, n) in [(3.5, 4u64), (1.25, 1), (9.0, 7), (2.0, 0)] {
+            bulk.add_n(x, n);
+            for _ in 0..n {
+                loops.add(x);
+            }
+        }
+        assert_eq!(bulk.count(), loops.count());
+        assert!((bulk.mean() - loops.mean()).abs() < 1e-12);
+        assert!((bulk.population_std_dev() - loops.population_std_dev()).abs() < 1e-12);
+        assert_eq!(bulk.min(), loops.min());
+        assert_eq!(bulk.max(), loops.max());
+    }
+
+    #[test]
+    fn p2_exact_on_small_samples() {
+        // While <= 5 observations, the estimator matches nearest-rank exactly.
+        let xs = [7.0, 1.0, 4.0, 9.0, 2.0];
+        for upto in 1..=xs.len() {
+            for &(p, pct) in &[(0.5, 50.0), (0.95, 95.0)] {
+                let mut est = P2Quantile::new(p);
+                let mut sample = Sample::new();
+                for &x in &xs[..upto] {
+                    est.add(x);
+                    sample.add(x);
+                }
+                assert_eq!(est.estimate(), sample.percentile(pct), "n={upto} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn p2_tracks_large_streams() {
+        // Deterministic scrambled stream over [0, 1000).
+        let mut est50 = P2Quantile::new(0.5);
+        let mut est95 = P2Quantile::new(0.95);
+        let mut sample = Sample::new();
+        for i in 0u64..10_000 {
+            let x = (i.wrapping_mul(2654435761) % 100_000) as f64 / 100.0;
+            est50.add(x);
+            est95.add(x);
+            sample.add(x);
+        }
+        let (true50, true95) = (sample.percentile(50.0), sample.percentile(95.0));
+        assert!((est50.estimate() - true50).abs() / true50 < 0.02);
+        assert!((est95.estimate() - true95).abs() / true95 < 0.02);
+        assert_eq!(est50.count(), 10_000);
+    }
+
+    #[test]
+    fn p2_empty_estimate_is_zero() {
+        assert_eq!(P2Quantile::new(0.5).estimate(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly between")]
+    fn p2_rejects_out_of_range_quantile() {
+        let _ = P2Quantile::new(1.0);
     }
 }

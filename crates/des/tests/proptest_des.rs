@@ -2,9 +2,74 @@
 //! and statistics identities.
 
 use proptest::prelude::*;
-use qp_des::{EventQueue, Sample, ServiceStation, SimTime, Tally};
+use qp_des::{EventQueue, P2Quantile, Sample, ServiceStation, SimTime, Tally, TimeWheel};
 
 proptest! {
+    #[test]
+    fn time_wheel_matches_heap_schedule(
+        quantum in prop_oneof![Just(0.25f64), Just(1.0), Just(64.0)],
+        rounds in proptest::collection::vec(
+            (
+                // Offsets ahead of the last popped time; 0.0 and repeated
+                // values exercise FIFO ties, huge ones the overflow heap.
+                proptest::collection::vec(
+                    prop_oneof![Just(0.0f64), 0.0f64..40.0, Just(2.5e7f64)],
+                    0..8,
+                ),
+                0usize..6,
+            ),
+            1..60,
+        ),
+    ) {
+        // Same push/pop interleaving against both queues: every pop must
+        // return the identical (time, payload) pair, including tie order.
+        let mut wheel = TimeWheel::new(quantum);
+        let mut heap = EventQueue::new();
+        let mut base = 0.0f64;
+        let mut id = 0u32;
+        for (offsets, pops) in rounds {
+            for off in offsets {
+                let t = SimTime::from_ms(base + off);
+                wheel.push(t, id);
+                heap.push(t, id);
+                id += 1;
+            }
+            prop_assert_eq!(wheel.len(), heap.len());
+            for _ in 0..pops {
+                let a = wheel.pop();
+                let b = heap.pop();
+                prop_assert_eq!(a, b);
+                if let Some((t, _)) = a {
+                    base = t.as_ms();
+                }
+            }
+        }
+        // Drain both to the end.
+        loop {
+            let a = wheel.pop();
+            let b = heap.pop();
+            prop_assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn p2_estimate_stays_within_observed_range(
+        xs in proptest::collection::vec(0.0f64..1e4, 1..300),
+        p in prop_oneof![Just(0.5f64), Just(0.95), Just(0.99)],
+    ) {
+        let mut est = P2Quantile::new(p);
+        for &x in &xs {
+            est.add(x);
+        }
+        let lo = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let e = est.estimate();
+        prop_assert!(e >= lo - 1e-9 && e <= hi + 1e-9);
+    }
+
     #[test]
     fn events_pop_in_nondecreasing_time(times in proptest::collection::vec(0.0f64..1e6, 1..200)) {
         let mut q = EventQueue::new();

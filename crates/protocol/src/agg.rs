@@ -1,0 +1,584 @@
+//! The aggregated (fluid/hybrid) protocol simulation.
+//!
+//! [`simulate_aggregated`] trades per-request event granularity for flow
+//! granularity: every (client location × quorum) pair with nonzero
+//! strategy mass becomes one *flow* of `n_v · p_vi` clients that issue
+//! requests in lockstep rounds. A round costs one event per contacted
+//! node instead of one event per client message, so a 10⁶-client
+//! workload runs in roughly the event budget of a `locations × quorums`
+//! one — seconds instead of hours — while the per-node service chains
+//! are still computed client-by-client.
+//!
+//! # Model and accuracy envelope
+//!
+//! Each flow keeps the closed-loop semantics of the exact engine: client
+//! `j` of a flow re-issues its next request the instant its previous
+//! round's reply arrives. The one approximation is *batch atomicity at
+//! shared stations*: when a flow's round reaches a node, that node
+//! serves the flow's whole batch as one consecutive chain, rather than
+//! interleaving individual arrivals with other flows at sub-batch
+//! granularity. For a single flow — or flows whose quorums touch
+//! disjoint nodes — the schedule is exact. Under contention the model
+//! stays work-conserving and unbiased in total load, so means are
+//! typically within a few percent of the exact engine at moderate
+//! utilization (the scenario runner can cross-check both at feasible
+//! sizes via `exact-compare`); tails are smoothed by batching.
+//!
+//! The engine draws no random numbers at all — strategy rows are
+//! apportioned to integer client counts by largest remainder — so runs
+//! are bit-identical regardless of seed or thread count.
+
+use qp_core::Placement;
+use qp_des::{ServiceStation, SimTime, Tally, TimeWheel};
+use qp_quorum::{Quorum, QuorumSystem};
+use qp_topology::{Network, NodeId};
+
+use crate::sim::{build_servers, residual_busy, validate_inputs, ResponseStats};
+use crate::{ClientPopulation, ProtocolConfig, QuorumChoice, SimError, SimReport};
+
+/// Enumeration cap when the aggregated engine must materialize the quorum
+/// list itself (the `Balanced` choice); matches the scenario default.
+const BALANCED_ENUM_LIMIT: usize = 100_000;
+
+/// Which simulation engine to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SimEngine {
+    /// Per-request discrete-event simulation ([`crate::simulate`]).
+    #[default]
+    Exact,
+    /// Flow-level aggregated simulation ([`simulate_aggregated`]).
+    Aggregated,
+}
+
+impl std::fmt::Display for SimEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimEngine::Exact => write!(f, "exact"),
+            SimEngine::Aggregated => write!(f, "aggregated"),
+        }
+    }
+}
+
+/// One contacted node of a flow's quorum.
+struct FlowNode {
+    node: usize,
+    one_way_ms: f64,
+    /// Per-client service at this node: summed over co-located elements
+    /// (or the max under deduplicated execution), as in the exact engine.
+    service_ms: f64,
+}
+
+/// A (location × quorum) client batch cycling through lockstep rounds.
+struct Flow {
+    /// First index of this flow's clients in the global per-member arrays.
+    offset: usize,
+    /// Number of clients in the batch.
+    n: usize,
+    nodes: Vec<FlowNode>,
+    /// Idle-network floor (max over nodes of RTT + service), as exact.
+    floor_ms: f64,
+    /// Node events still outstanding in the current round.
+    pending: usize,
+    /// Rounds fully completed.
+    rounds_done: usize,
+}
+
+/// Splits `total` clients across quorums proportionally to `weights`
+/// (largest-remainder, ties to the lower index — the same rule
+/// [`ClientPopulation::client_counts`] uses across locations).
+fn apportion(total: usize, weights: &[f64]) -> Vec<usize> {
+    let sum: f64 = weights.iter().sum();
+    let mut counts = vec![0usize; weights.len()];
+    if total == 0 || weights.is_empty() {
+        return counts;
+    }
+    if sum <= 0.0 {
+        // Degenerate all-zero row: the exact engine's CDF walk falls
+        // through to the last quorum, so the whole batch goes there.
+        counts[weights.len() - 1] = total;
+        return counts;
+    }
+    let ideal: Vec<f64> = weights.iter().map(|&w| w / sum * total as f64).collect();
+    for (c, x) in counts.iter_mut().zip(&ideal) {
+        *c = x.floor() as usize;
+    }
+    let assigned: usize = counts.iter().sum();
+    let mut order: Vec<usize> = (0..weights.len()).collect();
+    order.sort_by(|&a, &b| {
+        let fa = ideal[a] - ideal[a].floor();
+        let fb = ideal[b] - ideal[b].floor();
+        fb.partial_cmp(&fa).expect("finite weights").then(a.cmp(&b))
+    });
+    for &i in order.iter().take(total - assigned) {
+        counts[i] += 1;
+    }
+    counts
+}
+
+/// Per-location quorum list and access distribution implied by `choice`.
+fn location_rows(
+    net: &Network,
+    system: &QuorumSystem,
+    placement: &Placement,
+    clients: &ClientPopulation,
+    choice: &QuorumChoice,
+) -> Result<(Vec<Quorum>, Vec<Vec<f64>>), SimError> {
+    let locations = clients.locations();
+    match choice {
+        QuorumChoice::Weighted { quorums, strategy } => {
+            let rows = (0..locations.len())
+                .map(|l| strategy.row(l).to_vec())
+                .collect();
+            Ok((quorums.clone(), rows))
+        }
+        QuorumChoice::Closest => {
+            let quorums: Vec<Quorum> = locations
+                .iter()
+                .map(|&v| {
+                    let costs: Vec<f64> = placement
+                        .as_slice()
+                        .iter()
+                        .map(|&w| net.distance(v, w))
+                        .collect();
+                    system.min_max_quorum(&costs)
+                })
+                .collect();
+            let rows = (0..locations.len())
+                .map(|l| {
+                    let mut row = vec![0.0; quorums.len()];
+                    row[l] = 1.0;
+                    row
+                })
+                .collect();
+            Ok((quorums, rows))
+        }
+        QuorumChoice::Balanced => {
+            let quorums = system.enumerate(BALANCED_ENUM_LIMIT).map_err(|e| {
+                SimError::SizeMismatch(format!(
+                    "aggregated Balanced choice needs an enumerable quorum system: {e}"
+                ))
+            })?;
+            let row = vec![1.0 / quorums.len() as f64; quorums.len()];
+            Ok((quorums, vec![row; locations.len()]))
+        }
+    }
+}
+
+/// Runs the aggregated flow-level simulation and reports the same
+/// statistics as [`crate::simulate`] (percentiles always come from the
+/// bounded-memory P² estimator).
+///
+/// Each client's response chain is still evaluated individually — only
+/// event scheduling and station contention are batched per flow — so the
+/// result reduces to the exact engine when flows do not interleave.
+///
+/// # Errors
+///
+/// [`SimError::SizeMismatch`] on the same shape violations as the exact
+/// engine, or when a `Balanced` choice's quorum system cannot be
+/// enumerated within the internal cap.
+pub fn simulate_aggregated(
+    net: &Network,
+    system: &QuorumSystem,
+    placement: &Placement,
+    clients: &ClientPopulation,
+    choice: QuorumChoice,
+    config: &ProtocolConfig,
+) -> Result<SimReport, SimError> {
+    validate_inputs(net, system, placement, clients, &choice, config)?;
+    let (quorums, rows) = location_rows(net, system, placement, clients, &choice)?;
+
+    let locations = clients.locations();
+    let loc_counts = clients.client_counts();
+    let total_rounds = config.warmup_requests + config.measured_requests;
+
+    let service_of = |element: usize| -> f64 {
+        let mult = config
+            .service_multipliers
+            .as_ref()
+            .map_or(1.0, |m| m[element]);
+        config.service_time_ms * mult
+    };
+
+    // Build flows: one per (location, quorum) pair with assigned clients.
+    let mut flows: Vec<Flow> = Vec::new();
+    let mut total_members = 0usize;
+    for (l, &loc) in locations.iter().enumerate() {
+        let per_quorum = apportion(loc_counts[l], &rows[l]);
+        for (i, &n) in per_quorum.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            // Group the quorum's elements by hosting node, exactly as the
+            // exact engine does per request.
+            let mut by_node: Vec<(usize, Vec<usize>)> = Vec::new();
+            for u in quorums[i].iter() {
+                let w = placement.node_of(u).index();
+                match by_node.binary_search_by_key(&w, |&(node, _)| node) {
+                    Ok(pos) => by_node[pos].1.push(u.index()),
+                    Err(pos) => by_node.insert(pos, (w, vec![u.index()])),
+                }
+            }
+            let mut nodes = Vec::with_capacity(by_node.len());
+            let mut floor_ms = f64::MIN;
+            for (w, elems) in &by_node {
+                let d = net.distance(loc, NodeId::new(*w));
+                let svc = if config.dedup_colocated {
+                    elems.iter().map(|&u| service_of(u)).fold(0.0, f64::max)
+                } else {
+                    elems.iter().map(|&u| service_of(u)).sum()
+                };
+                floor_ms = floor_ms.max(d + svc);
+                nodes.push(FlowNode {
+                    node: *w,
+                    one_way_ms: d / 2.0,
+                    service_ms: svc,
+                });
+            }
+            flows.push(Flow {
+                offset: total_members,
+                n,
+                nodes,
+                floor_ms,
+                pending: 0,
+                rounds_done: 0,
+            });
+            total_members += n;
+        }
+    }
+
+    // Per-member completion times: `c_prev[j]` is when member j's previous
+    // round finished (= when it sends this round); `c_new[j]` folds the max
+    // reply arrival over the current round's nodes.
+    let mut c_prev = vec![0.0f64; total_members];
+    let mut c_new = vec![0.0f64; total_members];
+    let mut resp_sum = vec![0.0f64; total_members];
+
+    let mut servers: Vec<ServiceStation> = build_servers(net.len(), config);
+    let mut response_stats = ResponseStats::new(true);
+    let mut floor_tally = Tally::new();
+
+    // One event per (flow, round, contacted node), keyed by the earliest
+    // member's arrival. The quantum tracks the service granularity; the
+    // wheel's pop order is exact regardless (see `qp_des::TimeWheel`).
+    let quantum = config.service_time_ms.clamp(0.01, 100.0);
+    let mut wheel: TimeWheel<(u32, u32)> = TimeWheel::new(quantum);
+    if total_rounds > 0 {
+        for (f, flow) in flows.iter_mut().enumerate() {
+            flow.pending = flow.nodes.len();
+            for (ni, fnode) in flow.nodes.iter().enumerate() {
+                wheel.push(SimTime::from_ms(fnode.one_way_ms), (f as u32, ni as u32));
+            }
+        }
+    }
+
+    while let Some((_now, (f, ni))) = wheel.pop() {
+        let flow = &mut flows[f as usize];
+        let fnode = &flow.nodes[ni as usize];
+        let station = &mut servers[fnode.node];
+        let off = flow.offset;
+        // Serve the batch as one consecutive chain: member j's fragment
+        // arrives a one-way delay after its send time and departs per the
+        // station's FIFO recursion.
+        for j in off..off + flow.n {
+            let arrival = SimTime::from_ms(c_prev[j] + fnode.one_way_ms);
+            let depart = station.submit(arrival, fnode.service_ms);
+            let reply_at = depart.as_ms() + fnode.one_way_ms;
+            if reply_at > c_new[j] {
+                c_new[j] = reply_at;
+            }
+        }
+        flow.pending -= 1;
+        if flow.pending > 0 {
+            continue;
+        }
+        // Round complete for this flow.
+        if flow.rounds_done >= config.warmup_requests {
+            for j in off..off + flow.n {
+                let rt = c_new[j] - c_prev[j];
+                response_stats.add(rt);
+                resp_sum[j] += rt;
+            }
+            floor_tally.add_n(flow.floor_ms, flow.n as u64);
+        }
+        flow.rounds_done += 1;
+        if flow.rounds_done < total_rounds {
+            // Replies become next round's send times.
+            for j in off..off + flow.n {
+                c_prev[j] = c_new[j];
+                c_new[j] = 0.0;
+            }
+            flow.pending = flow.nodes.len();
+            for (ni, fnode) in flow.nodes.iter().enumerate() {
+                wheel.push(
+                    SimTime::from_ms(c_prev[off] + fnode.one_way_ms),
+                    (f, ni as u32),
+                );
+            }
+        }
+    }
+
+    let horizon = wheel.now();
+    let horizon_ms = horizon.as_ms().max(f64::MIN_POSITIVE);
+    let per_client: Vec<f64> = if config.measured_requests == 0 {
+        vec![0.0; total_members]
+    } else {
+        resp_sum
+            .iter()
+            .map(|&s| s / config.measured_requests as f64)
+            .collect()
+    };
+    let percentiles = response_stats.percentiles();
+    Ok(SimReport {
+        avg_response_ms: response_stats.mean(),
+        avg_network_delay_ms: floor_tally.mean(),
+        per_client_response_ms: per_client,
+        percentiles_ms: percentiles,
+        server_mean_wait_ms: servers.iter().map(ServiceStation::mean_wait_ms).collect(),
+        server_utilization: servers
+            .iter()
+            .map(|s| s.utilization(SimTime::from_ms(horizon_ms)))
+            .collect(),
+        completed_requests: response_stats.count(),
+        horizon_ms: horizon.as_ms(),
+        residual_busy_ms: residual_busy(&servers, horizon),
+    })
+}
+
+/// Dispatches to [`crate::simulate`] or [`simulate_aggregated`] by engine.
+///
+/// # Errors
+///
+/// Whatever the selected engine reports.
+pub fn simulate_with_engine(
+    net: &Network,
+    system: &QuorumSystem,
+    placement: &Placement,
+    clients: &ClientPopulation,
+    choice: QuorumChoice,
+    config: &ProtocolConfig,
+    engine: SimEngine,
+) -> Result<SimReport, SimError> {
+    match engine {
+        SimEngine::Exact => crate::simulate(net, system, placement, clients, choice, config),
+        SimEngine::Aggregated => {
+            simulate_aggregated(net, system, placement, clients, choice, config)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulate;
+    use qp_core::one_to_one;
+    use qp_quorum::{MajorityKind, StrategyMatrix};
+    use qp_topology::datasets;
+
+    fn grid_setup() -> (Network, QuorumSystem, Placement) {
+        let net = datasets::planetlab_50();
+        let sys = QuorumSystem::grid(2).unwrap();
+        let placement = one_to_one::best_placement(&net, &sys).unwrap();
+        (net, sys, placement)
+    }
+
+    fn weighted_choice(
+        sys: &QuorumSystem,
+        clients: &ClientPopulation,
+        limit: usize,
+    ) -> QuorumChoice {
+        let quorums = sys.enumerate(limit).unwrap();
+        let n = quorums.len();
+        let rows = vec![vec![1.0 / n as f64; n]; clients.locations().len()];
+        QuorumChoice::Weighted {
+            quorums,
+            strategy: StrategyMatrix::from_rows(rows).unwrap(),
+        }
+    }
+
+    #[test]
+    fn single_flow_idle_system_matches_floor() {
+        // One location, one deterministic quorum, one client: the
+        // aggregated engine must be *exact* — response == floor.
+        let (net, sys, placement) = grid_setup();
+        let clients = ClientPopulation::new(vec![NodeId::new(5)], 1);
+        let quorums = sys.enumerate(16).unwrap();
+        let strategy = StrategyMatrix::deterministic(&[0], quorums.len());
+        let cfg = ProtocolConfig {
+            warmup_requests: 2,
+            measured_requests: 20,
+            ..ProtocolConfig::default()
+        };
+        let choice = QuorumChoice::Weighted { quorums, strategy };
+        let agg =
+            simulate_aggregated(&net, &sys, &placement, &clients, choice.clone(), &cfg).unwrap();
+        assert!((agg.avg_response_ms - agg.avg_network_delay_ms).abs() < 1e-9);
+        let exact = simulate(&net, &sys, &placement, &clients, choice, &cfg).unwrap();
+        assert!((agg.avg_response_ms - exact.avg_response_ms).abs() < 1e-9);
+        assert_eq!(agg.completed_requests, exact.completed_requests);
+    }
+
+    #[test]
+    fn deterministic_quorum_many_clients_matches_exact() {
+        // All clients at one location on one fixed quorum: batch atomicity
+        // is not an approximation (there is only one batch), so the two
+        // engines agree to rounding.
+        let (net, sys, placement) = grid_setup();
+        let clients = ClientPopulation::new(vec![NodeId::new(7)], 40);
+        let quorums = sys.enumerate(16).unwrap();
+        let strategy = StrategyMatrix::deterministic(&[1], quorums.len());
+        let cfg = ProtocolConfig {
+            warmup_requests: 5,
+            measured_requests: 30,
+            ..ProtocolConfig::default()
+        };
+        let choice = QuorumChoice::Weighted { quorums, strategy };
+        let agg =
+            simulate_aggregated(&net, &sys, &placement, &clients, choice.clone(), &cfg).unwrap();
+        let exact = simulate(&net, &sys, &placement, &clients, choice, &cfg).unwrap();
+        let rel = (agg.avg_response_ms - exact.avg_response_ms).abs() / exact.avg_response_ms;
+        assert!(
+            rel < 1e-9,
+            "single-batch flows must be exact: agg {} vs exact {}",
+            agg.avg_response_ms,
+            exact.avg_response_ms
+        );
+    }
+
+    #[test]
+    fn mid_size_agreement_with_exact_engine() {
+        // The documented accuracy envelope: mixed flows at moderate load,
+        // mean response within 10% of the exact engine.
+        let (net, sys, placement) = grid_setup();
+        let clients = ClientPopulation::representative(&net, &sys, &placement, 12, 25);
+        let cfg = ProtocolConfig {
+            warmup_requests: 10,
+            measured_requests: 60,
+            seed: 3,
+            ..ProtocolConfig::default()
+        };
+        let choice = weighted_choice(&sys, &clients, 16);
+        let agg =
+            simulate_aggregated(&net, &sys, &placement, &clients, choice.clone(), &cfg).unwrap();
+        let exact = simulate(&net, &sys, &placement, &clients, choice, &cfg).unwrap();
+        let rel = (agg.avg_response_ms - exact.avg_response_ms).abs() / exact.avg_response_ms;
+        assert!(
+            rel < 0.10,
+            "aggregated {} vs exact {} (rel {:.3})",
+            agg.avg_response_ms,
+            exact.avg_response_ms,
+            rel
+        );
+        // Floors are computed identically, weighted by the same counts.
+        let floor_rel = (agg.avg_network_delay_ms - exact.avg_network_delay_ms).abs()
+            / exact.avg_network_delay_ms;
+        assert!(floor_rel < 0.10);
+    }
+
+    #[test]
+    fn reruns_are_bit_identical_and_seed_free() {
+        let (net, sys, placement) = grid_setup();
+        let clients = ClientPopulation::representative(&net, &sys, &placement, 8, 10);
+        let choice = weighted_choice(&sys, &clients, 16);
+        let run = |seed: u64| {
+            simulate_aggregated(
+                &net,
+                &sys,
+                &placement,
+                &clients,
+                choice.clone(),
+                &ProtocolConfig {
+                    seed,
+                    ..ProtocolConfig::default()
+                },
+            )
+            .unwrap()
+        };
+        let (a, b) = (run(1), run(999));
+        assert_eq!(a.avg_response_ms, b.avg_response_ms);
+        assert_eq!(a.per_client_response_ms, b.per_client_response_ms);
+        assert_eq!(a.percentiles_ms, b.percentiles_ms);
+        assert_eq!(a.server_utilization, b.server_utilization);
+    }
+
+    #[test]
+    fn scales_to_many_clients_quickly() {
+        // 100k clients through the aggregated engine: must finish fast and
+        // stay above the idle floor.
+        let (net, sys, placement) = grid_setup();
+        let clients = ClientPopulation::representative(&net, &sys, &placement, 20, 5_000);
+        let cfg = ProtocolConfig {
+            warmup_requests: 2,
+            measured_requests: 8,
+            ..ProtocolConfig::default()
+        };
+        let choice = weighted_choice(&sys, &clients, 16);
+        let report = simulate_aggregated(&net, &sys, &placement, &clients, choice, &cfg).unwrap();
+        assert_eq!(report.completed_requests, 8 * 100_000);
+        assert!(report.avg_response_ms >= report.avg_network_delay_ms - 1e-9);
+        assert!(report
+            .server_utilization
+            .iter()
+            .all(|&u| (0.0..=1.0).contains(&u)));
+    }
+
+    #[test]
+    fn carried_backlog_raises_response() {
+        let (net, sys, placement) = grid_setup();
+        let clients = ClientPopulation::new(vec![NodeId::new(3)], 4);
+        let quorums = sys.enumerate(16).unwrap();
+        let strategy = StrategyMatrix::deterministic(&[0], quorums.len());
+        let choice = QuorumChoice::Weighted { quorums, strategy };
+        // Measure from round 0 so the carried backlog's transient counts.
+        let cfg = ProtocolConfig {
+            warmup_requests: 0,
+            measured_requests: 20,
+            ..ProtocolConfig::default()
+        };
+        let nominal =
+            simulate_aggregated(&net, &sys, &placement, &clients, choice.clone(), &cfg).unwrap();
+        let carried = simulate_aggregated(
+            &net,
+            &sys,
+            &placement,
+            &clients,
+            choice,
+            &ProtocolConfig {
+                initial_server_busy_ms: Some(vec![200.0; net.len()]),
+                ..cfg
+            },
+        )
+        .unwrap();
+        assert!(carried.avg_response_ms > nominal.avg_response_ms);
+        assert!(nominal.residual_busy_ms.iter().all(|&r| r >= 0.0));
+    }
+
+    #[test]
+    fn balanced_choice_enumerates_majorities() {
+        let net = datasets::planetlab_50();
+        let sys = QuorumSystem::majority(MajorityKind::FourFifths, 1).unwrap();
+        let placement = one_to_one::best_placement(&net, &sys).unwrap();
+        let clients = ClientPopulation::new(vec![NodeId::new(1), NodeId::new(2)], 6);
+        let report = simulate_aggregated(
+            &net,
+            &sys,
+            &placement,
+            &clients,
+            QuorumChoice::Balanced,
+            &ProtocolConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(report.completed_requests, 100 * 12);
+    }
+
+    #[test]
+    fn apportion_is_exact_and_deterministic() {
+        assert_eq!(apportion(10, &[0.5, 0.5]), vec![5, 5]);
+        assert_eq!(apportion(3, &[0.5, 0.5]), vec![2, 1]);
+        assert_eq!(apportion(7, &[0.0, 1.0, 0.0]), vec![0, 7, 0]);
+        assert_eq!(apportion(4, &[0.0, 0.0]), vec![0, 4]);
+        let counts = apportion(100, &[0.21, 0.33, 0.46]);
+        assert_eq!(counts.iter().sum::<usize>(), 100);
+        assert_eq!(counts, vec![21, 33, 46]);
+    }
+}

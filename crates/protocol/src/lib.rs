@@ -44,10 +44,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod agg;
 mod multi;
 mod sim;
 mod workload;
 
-pub use multi::simulate_many;
+pub use agg::{simulate_aggregated, simulate_with_engine, SimEngine};
+pub use multi::{simulate_many, simulate_many_with};
 pub use sim::{simulate, ProtocolConfig, QuorumChoice, SimError, SimReport};
 pub use workload::ClientPopulation;

@@ -4,7 +4,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use qp_core::Placement;
-use qp_des::{EventQueue, Sample, ServiceStation, SimTime, Tally};
+use qp_des::{EventQueue, P2Quantile, Sample, ServiceStation, SimTime, Tally};
 use qp_quorum::{Quorum, QuorumSystem, StrategyMatrix};
 use qp_topology::Network;
 
@@ -50,6 +50,17 @@ pub struct ProtocolConfig {
     /// (service time = the slowest co-located element's), instead of once
     /// per element. No effect on one-to-one placements.
     pub dedup_colocated: bool,
+    /// Compute response-time percentiles with the bounded-memory P²
+    /// estimator instead of buffering every measured response. Keeps
+    /// memory flat at millions of requests at the cost of approximate
+    /// (±~1–2%) percentiles. The aggregated engine always streams; the
+    /// exact engine buffers unless this is set.
+    pub streaming_percentiles: bool,
+    /// Optional residual per-*node* backlog carried in from a previous
+    /// run: node `w` will not serve new arrivals before
+    /// `initial_server_busy_ms[w]`. Length must equal the network size
+    /// when present. Used by the scenario runner's `carry_queues` mode.
+    pub initial_server_busy_ms: Option<Vec<f64>>,
 }
 
 impl Default for ProtocolConfig {
@@ -61,6 +72,8 @@ impl Default for ProtocolConfig {
             seed: 0,
             service_multipliers: None,
             dedup_colocated: false,
+            streaming_percentiles: false,
+            initial_server_busy_ms: None,
         }
     }
 }
@@ -89,6 +102,11 @@ pub struct SimReport {
     pub completed_requests: u64,
     /// Total simulated time, ms.
     pub horizon_ms: f64,
+    /// Residual backlog per node at the horizon: how far past the end of
+    /// the run each server's queue stretches, ms (0 for idle servers).
+    /// Feed into [`ProtocolConfig::initial_server_busy_ms`] to continue a
+    /// workload where this run left off.
+    pub residual_busy_ms: Vec<f64>,
 }
 
 #[derive(Debug)]
@@ -131,22 +149,15 @@ impl std::fmt::Display for SimError {
 
 impl std::error::Error for SimError {}
 
-/// Runs the protocol simulation to completion (every client finishes its
-/// warmup + measured requests) and reports aggregate statistics.
-///
-/// # Errors
-///
-/// [`SimError::SizeMismatch`] if the placement does not cover the system's
-/// universe, a weighted strategy's shape is wrong, or service multipliers
-/// have the wrong length.
-pub fn simulate(
+/// Shape checks shared by the exact and aggregated engines.
+pub(crate) fn validate_inputs(
     net: &Network,
     system: &QuorumSystem,
     placement: &Placement,
     clients: &ClientPopulation,
-    choice: QuorumChoice,
+    choice: &QuorumChoice,
     config: &ProtocolConfig,
-) -> Result<SimReport, SimError> {
+) -> Result<(), SimError> {
     let universe = system.universe_size();
     if placement.universe_size() != universe {
         return Err(SimError::SizeMismatch(format!(
@@ -167,7 +178,21 @@ pub fn simulate(
             ));
         }
     }
-    if let QuorumChoice::Weighted { quorums, strategy } = &choice {
+    if let Some(busy) = &config.initial_server_busy_ms {
+        if busy.len() != net.len() {
+            return Err(SimError::SizeMismatch(format!(
+                "{} initial backlog entries for {} nodes",
+                busy.len(),
+                net.len()
+            )));
+        }
+        if busy.iter().any(|&b| !b.is_finite() || b < 0.0) {
+            return Err(SimError::SizeMismatch(
+                "initial backlogs must be nonnegative".to_string(),
+            ));
+        }
+    }
+    if let QuorumChoice::Weighted { quorums, strategy } = choice {
         if strategy.num_clients() != clients.locations().len() {
             return Err(SimError::SizeMismatch(format!(
                 "strategy has {} rows for {} client locations",
@@ -183,6 +208,120 @@ pub fn simulate(
             )));
         }
     }
+    Ok(())
+}
+
+/// Response-time accumulator that either buffers every observation
+/// (exact percentiles, the historical behaviour) or streams through a
+/// [`Tally`] plus three P² markers (flat memory).
+pub(crate) enum ResponseStats {
+    Buffered(Sample),
+    // Boxed: the three P² marker sets dwarf the Sample variant.
+    Streaming(Box<StreamingStats>),
+}
+
+pub(crate) struct StreamingStats {
+    tally: Tally,
+    p50: P2Quantile,
+    p95: P2Quantile,
+    p99: P2Quantile,
+}
+
+impl ResponseStats {
+    pub(crate) fn new(streaming: bool) -> Self {
+        if streaming {
+            ResponseStats::Streaming(Box::new(StreamingStats {
+                tally: Tally::new(),
+                p50: P2Quantile::new(0.50),
+                p95: P2Quantile::new(0.95),
+                p99: P2Quantile::new(0.99),
+            }))
+        } else {
+            ResponseStats::Buffered(Sample::new())
+        }
+    }
+
+    pub(crate) fn add(&mut self, x: f64) {
+        match self {
+            ResponseStats::Buffered(sample) => sample.add(x),
+            ResponseStats::Streaming(s) => {
+                s.tally.add(x);
+                s.p50.add(x);
+                s.p95.add(x);
+                s.p99.add(x);
+            }
+        }
+    }
+
+    pub(crate) fn count(&self) -> u64 {
+        match self {
+            ResponseStats::Buffered(sample) => sample.len() as u64,
+            ResponseStats::Streaming(s) => s.tally.count(),
+        }
+    }
+
+    pub(crate) fn mean(&self) -> f64 {
+        match self {
+            ResponseStats::Buffered(sample) => sample.mean(),
+            ResponseStats::Streaming(s) => s.tally.mean(),
+        }
+    }
+
+    pub(crate) fn percentiles(&mut self) -> (f64, f64, f64) {
+        match self {
+            ResponseStats::Buffered(sample) => {
+                if sample.is_empty() {
+                    (0.0, 0.0, 0.0)
+                } else {
+                    (
+                        sample.percentile(50.0),
+                        sample.percentile(95.0),
+                        sample.percentile(99.0),
+                    )
+                }
+            }
+            ResponseStats::Streaming(s) => (s.p50.estimate(), s.p95.estimate(), s.p99.estimate()),
+        }
+    }
+}
+
+/// One [`ServiceStation`] per physical node, seeded with any carried-in
+/// backlog from [`ProtocolConfig::initial_server_busy_ms`].
+pub(crate) fn build_servers(net_len: usize, config: &ProtocolConfig) -> Vec<ServiceStation> {
+    match &config.initial_server_busy_ms {
+        None => (0..net_len).map(|_| ServiceStation::new()).collect(),
+        Some(busy) => busy
+            .iter()
+            .map(|&ms| ServiceStation::with_initial_backlog(SimTime::from_ms(ms)))
+            .collect(),
+    }
+}
+
+/// Residual backlog per node at the simulation horizon.
+pub(crate) fn residual_busy(servers: &[ServiceStation], horizon: SimTime) -> Vec<f64> {
+    servers
+        .iter()
+        .map(|s| (s.free_at() - horizon).max(0.0))
+        .collect()
+}
+
+/// Runs the protocol simulation to completion (every client finishes its
+/// warmup + measured requests) and reports aggregate statistics.
+///
+/// # Errors
+///
+/// [`SimError::SizeMismatch`] if the placement does not cover the system's
+/// universe, a weighted strategy's shape is wrong, or service multipliers
+/// have the wrong length.
+pub fn simulate(
+    net: &Network,
+    system: &QuorumSystem,
+    placement: &Placement,
+    clients: &ClientPopulation,
+    choice: QuorumChoice,
+    config: &ProtocolConfig,
+) -> Result<SimReport, SimError> {
+    validate_inputs(net, system, placement, clients, &choice, config)?;
 
     let mut rng = StdRng::seed_from_u64(config.seed);
     let client_locs = clients.client_locations();
@@ -205,10 +344,10 @@ pub fn simulate(
 
     let mut queue: EventQueue<Event> = EventQueue::new();
     // One station per physical node: co-located elements share a machine.
-    let mut servers: Vec<ServiceStation> = (0..net.len()).map(|_| ServiceStation::new()).collect();
+    let mut servers: Vec<ServiceStation> = build_servers(net.len(), config);
     let mut requests: Vec<RequestState> = Vec::new();
     let mut issued = vec![0usize; n_clients];
-    let mut response_sample = Sample::new();
+    let mut response_stats = ResponseStats::new(config.streaming_percentiles);
     let mut floor_tally = Tally::new();
     let mut per_client: Vec<Tally> = (0..n_clients).map(|_| Tally::new()).collect();
 
@@ -341,7 +480,7 @@ pub fn simulate(
                     let st = &requests[request];
                     let rt = now - st.sent_at;
                     if st.measured {
-                        response_sample.add(rt);
+                        response_stats.add(rt);
                         floor_tally.add(st.floor_ms);
                         per_client[st.client].add(rt);
                     }
@@ -363,18 +502,9 @@ pub fn simulate(
 
     let horizon = queue.now();
     let horizon_ms = horizon.as_ms().max(f64::MIN_POSITIVE);
-    let mut sample = response_sample;
-    let percentiles = if sample.is_empty() {
-        (0.0, 0.0, 0.0)
-    } else {
-        (
-            sample.percentile(50.0),
-            sample.percentile(95.0),
-            sample.percentile(99.0),
-        )
-    };
+    let percentiles = response_stats.percentiles();
     Ok(SimReport {
-        avg_response_ms: sample.mean(),
+        avg_response_ms: response_stats.mean(),
         avg_network_delay_ms: floor_tally.mean(),
         per_client_response_ms: per_client.iter().map(Tally::mean).collect(),
         percentiles_ms: percentiles,
@@ -383,8 +513,9 @@ pub fn simulate(
             .iter()
             .map(|s| s.utilization(SimTime::from_ms(horizon_ms)))
             .collect(),
-        completed_requests: sample.len() as u64,
+        completed_requests: response_stats.count(),
         horizon_ms: horizon.as_ms(),
+        residual_busy_ms: residual_busy(&servers, horizon),
     })
 }
 
@@ -543,6 +674,85 @@ mod tests {
             assert_eq!(in_q0, served, "element {u}");
         }
         let _ = sys;
+    }
+
+    #[test]
+    fn streaming_percentiles_agree_on_small_runs() {
+        // The opt-in P² path must match the buffered percentiles closely
+        // on a modest run (exactly, for the mean and counts).
+        let (net, sys, placement) = setup();
+        let clients = ClientPopulation::representative(&net, &sys, &placement, 6, 3);
+        let cfg = ProtocolConfig {
+            seed: 11,
+            ..ProtocolConfig::default()
+        };
+        let buffered = simulate(
+            &net,
+            &sys,
+            &placement,
+            &clients,
+            QuorumChoice::Balanced,
+            &cfg,
+        )
+        .unwrap();
+        let streamed = simulate(
+            &net,
+            &sys,
+            &placement,
+            &clients,
+            QuorumChoice::Balanced,
+            &ProtocolConfig {
+                streaming_percentiles: true,
+                ..cfg
+            },
+        )
+        .unwrap();
+        assert_eq!(buffered.completed_requests, streamed.completed_requests);
+        assert!((buffered.avg_response_ms - streamed.avg_response_ms).abs() < 1e-9);
+        for (b, s) in [
+            (buffered.percentiles_ms.0, streamed.percentiles_ms.0),
+            (buffered.percentiles_ms.1, streamed.percentiles_ms.1),
+            (buffered.percentiles_ms.2, streamed.percentiles_ms.2),
+        ] {
+            assert!((b - s).abs() / b < 0.05, "buffered {b} vs streamed {s}");
+        }
+    }
+
+    #[test]
+    fn carried_backlog_raises_response_and_residual_reported() {
+        let (net, sys, placement) = setup();
+        let clients = ClientPopulation::new(vec![NodeId::new(5)], 2);
+        // Measure from the very first request so the carried backlog's
+        // transient is part of the measurement window.
+        let cfg = ProtocolConfig {
+            warmup_requests: 0,
+            measured_requests: 20,
+            ..ProtocolConfig::default()
+        };
+        let nominal = simulate(
+            &net,
+            &sys,
+            &placement,
+            &clients,
+            QuorumChoice::Closest,
+            &cfg,
+        )
+        .unwrap();
+        assert_eq!(nominal.residual_busy_ms.len(), net.len());
+        assert!(nominal.residual_busy_ms.iter().all(|&r| r >= 0.0));
+        let carried = simulate(
+            &net,
+            &sys,
+            &placement,
+            &clients,
+            QuorumChoice::Closest,
+            &ProtocolConfig {
+                initial_server_busy_ms: Some(vec![100.0; net.len()]),
+                ..cfg
+            },
+        )
+        .unwrap();
+        assert!(carried.avg_response_ms > nominal.avg_response_ms);
     }
 
     #[test]

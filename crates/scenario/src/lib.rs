@@ -72,6 +72,6 @@ pub use error::ScenarioError;
 pub use report::{PhaseReport, ScenarioReport};
 pub use runner::ScenarioRunner;
 pub use spec::{
-    parse_placement, parse_system, CapacityChoice, DemandModel, FailureEvent, FailurePlan,
-    FlashCrowd, PipelineSpec, ScenarioSpec, TopologySource, WorkloadSpec,
+    parse_placement, parse_system, CapacityChoice, DemandModel, EngineSelection, FailureEvent,
+    FailurePlan, FlashCrowd, PipelineSpec, ScenarioSpec, TopologySource, WorkloadSpec,
 };

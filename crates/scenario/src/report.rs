@@ -2,9 +2,20 @@
 
 use std::fmt;
 
+use qp_protocol::SimEngine;
+
 /// Per-phase outcome: what the LP predicted and what the DES measured.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PhaseReport {
+    /// Engine the phase simulated with (exact per-request DES or the
+    /// aggregated fluid/hybrid engine).
+    pub engine: SimEngine,
+    /// When the spec's `exact-compare` ran the exact engine alongside an
+    /// aggregated phase: the exact engine's mean response, ms.
+    pub exact_response_ms: Option<f64>,
+    /// `|aggregated − exact| / exact` over the mean response when
+    /// `exact-compare` ran; folded into the scenario verdict.
+    pub exact_compare_rel_error: Option<f64>,
     /// Phase index (0-based).
     pub phase: usize,
     /// Whether the flash crowd surged during this phase.
@@ -138,6 +149,9 @@ impl fmt::Display for ScenarioReport {
         }
         for p in &self.phases {
             let mut tags = Vec::new();
+            if p.engine == SimEngine::Aggregated {
+                tags.push("agg".to_string());
+            }
             if p.flash {
                 tags.push("flash".to_string());
             }
@@ -166,6 +180,14 @@ impl fmt::Display for ScenarioReport {
                 p.max_server_utilization,
                 p.completed_requests
             )?;
+            if let (Some(exact), Some(err)) = (p.exact_response_ms, p.exact_compare_rel_error) {
+                writeln!(
+                    f,
+                    "        exact-compare: exact resp {exact:8.2} ms, \
+                     divergence {:5.2}%",
+                    err * 100.0
+                )?;
+            }
         }
         writeln!(
             f,

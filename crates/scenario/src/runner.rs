@@ -2,13 +2,15 @@
 //! → capacity selection → per-phase DES validation → cross-check.
 
 use qp_core::capacity::{capacity_sweep, CapacityProfile};
-use qp_core::response::evaluate_matrix_placed;
+use qp_core::response::{evaluate_matrix_placed, evaluate_matrix_placed_weighted};
 use qp_core::strategy_lp::{
     CapacitySweepSolver, ColGenSolver, ColGenStats, ColumnGeneration, StrategyLpOutcome,
 };
 use qp_core::{CoreError, EvalContext, Placement, ResponseModel};
 use qp_par::ParPool;
-use qp_protocol::{simulate, ClientPopulation, ProtocolConfig, QuorumChoice};
+use qp_protocol::{
+    simulate, simulate_with_engine, ClientPopulation, ProtocolConfig, QuorumChoice, SimEngine,
+};
 use qp_quorum::{Quorum, StrategyMatrix};
 use qp_topology::{Network, NodeId};
 
@@ -97,10 +99,22 @@ impl ScenarioRunner {
         // 3. The strategy LP over the demand-weighted client list: each
         // location appears once per client it hosts, so the LP's uniform
         // client average *is* the demand-weighted average.
+        //
+        // When *every* phase runs the aggregated engine (which validation
+        // ties to colgen) the flattened per-client structures are skipped
+        // entirely: at million-client scale the per-client delta matrix
+        // alone would be gigabytes, and the location-level weighted
+        // evaluator scores the same optimum (same linearity argument as
+        // the colgen master itself).
         let quorums = sys.enumerate(pipeline.quorum_limit)?;
-        let lp_clients = nominal.client_locations();
-        let ctx = EvalContext::new(&net, &lp_clients);
-        let pq = ctx.place(&placement, &quorums);
+        let flatten = !pipeline.engine.all_aggregated();
+        let lp_clients: Vec<NodeId> = if flatten {
+            nominal.client_locations()
+        } else {
+            Vec::new()
+        };
+        let ctx = flatten.then(|| EvalContext::new(&net, &lp_clients));
+        let pq = ctx.as_ref().map(|c| c.place(&placement, &quorums));
 
         // With `colgen = false` (the default) the LP is the historical
         // full-enumeration warm-sweep solver over the flattened client
@@ -132,11 +146,17 @@ impl ScenarioRunner {
                     master_resolves: 0,
                 },
             },
-            None => LpEngine::Full(Box::new(CapacitySweepSolver::new(&pq)?)),
+            None => LpEngine::Full(Box::new(CapacitySweepSolver::new(
+                pq.as_ref().expect("non-colgen scenarios always flatten"),
+            )?)),
         };
         let model = ResponseModel::from_demand(pipeline.op_time_ms, pipeline.demand);
         let mut lp_pivots = engine.base_iterations();
-        let loc_indices = nominal.location_indices();
+        let loc_indices: Vec<usize> = if flatten {
+            nominal.location_indices()
+        } else {
+            Vec::new()
+        };
 
         // 4. Capacity selection.
         let n = net.len();
@@ -150,17 +170,27 @@ impl ScenarioRunner {
                 // points), so it runs sequentially in sweep order —
                 // deterministic and thread-count invariant either way.
                 let solved = if let LpEngine::Full(solver) = &engine {
+                    let pq = pq.as_ref().expect("non-colgen scenarios always flatten");
                     ParPool::global().run(cs.len(), |i| {
                         let outcome = solver.solve_uniform(cs[i])?;
-                        let eval = evaluate_matrix_placed(&pq, &outcome.strategy, model)?;
+                        let eval = evaluate_matrix_placed(pq, &outcome.strategy, model)?;
                         Ok::<_, CoreError>((outcome, eval))
                     })
                 } else {
                     cs.iter()
                         .map(|&c| {
                             let outcome = engine.solve_uniform(c)?;
-                            let flat = expand_rows(&outcome.strategy, &loc_indices)?;
-                            let eval = evaluate_matrix_placed(&pq, &flat, model)?;
+                            let eval = if let Some(pq) = &pq {
+                                let flat = expand_rows(&outcome.strategy, &loc_indices)?;
+                                evaluate_matrix_placed(pq, &flat, model)?
+                            } else {
+                                evaluate_matrix_placed_weighted(
+                                    loc_pq.as_ref().expect("colgen built loc_pq"),
+                                    &outcome.strategy,
+                                    &loc_weights,
+                                    model,
+                                )?
+                            };
                             Ok::<_, CoreError>((outcome, eval))
                         })
                         .collect()
@@ -197,12 +227,25 @@ impl ScenarioRunner {
             CapacityChoice::LoadProportional { beta, gamma } => {
                 let unconstrained = engine.solve_profile(&CapacityProfile::unbounded(n))?;
                 lp_pivots += unconstrained.stats.iterations;
-                let loads = evaluate_matrix_placed(
-                    &pq,
-                    &unconstrained.strategy,
-                    ResponseModel::network_delay_only(),
-                )?
-                .node_loads;
+                // The colgen strategy is location-level: weight its rows
+                // by client counts instead of flattening (the loads
+                // agree by linearity).
+                let loads = if let Some(loc_pq) = &loc_pq {
+                    evaluate_matrix_placed_weighted(
+                        loc_pq,
+                        &unconstrained.strategy,
+                        &loc_weights,
+                        ResponseModel::network_delay_only(),
+                    )?
+                    .node_loads
+                } else {
+                    evaluate_matrix_placed(
+                        pq.as_ref().expect("non-colgen scenarios always flatten"),
+                        &unconstrained.strategy,
+                        ResponseModel::network_delay_only(),
+                    )?
+                    .node_loads
+                };
                 let caps = CapacityProfile::load_proportional(
                     &loads,
                     &placement.support_set(),
@@ -241,14 +284,25 @@ impl ScenarioRunner {
         // level (score directly, collapse for the DES); colgen solves at
         // location level (expand for scoring, pass through for the DES).
         let (base_eval, base_rows) = if engine.is_colgen() {
-            let flat = expand_rows(&base_outcome.strategy, &loc_indices)?;
-            (
-                evaluate_matrix_placed(&pq, &flat, model)?,
-                base_outcome.strategy.clone(),
-            )
+            let eval = if let Some(pq) = &pq {
+                let flat = expand_rows(&base_outcome.strategy, &loc_indices)?;
+                evaluate_matrix_placed(pq, &flat, model)?
+            } else {
+                evaluate_matrix_placed_weighted(
+                    loc_pq.as_ref().expect("colgen built loc_pq"),
+                    &base_outcome.strategy,
+                    &loc_weights,
+                    model,
+                )?
+            };
+            (eval, base_outcome.strategy.clone())
         } else {
             (
-                evaluate_matrix_placed(&pq, &base_outcome.strategy, model)?,
+                evaluate_matrix_placed(
+                    pq.as_ref().expect("non-colgen scenarios always flatten"),
+                    &base_outcome.strategy,
+                    model,
+                )?,
                 collapse_rows(
                     &base_outcome.strategy,
                     &loc_indices,
@@ -258,10 +312,15 @@ impl ScenarioRunner {
             )
         };
 
-        // 5. Per-phase DES validation.
+        // 5. Per-phase DES validation. With `carry-queues` each phase
+        // after the first starts its servers with the residual backlog
+        // the previous phase left behind (instead of idle), so a flash
+        // crowd's queue buildup survives the phase boundary.
         let universe = sys.universe_size();
         let mut phases = Vec::with_capacity(pipeline.phases);
+        let mut carry: Option<Vec<f64>> = None;
         for phase in 0..pipeline.phases {
+            let phase_engine = pipeline.engine.for_phase(phase);
             // `validate()` guarantees `focus < locations`.
             let flash = spec.workload.flash.filter(|f| f.phase == phase);
             let pop = match flash {
@@ -339,18 +398,35 @@ impl ScenarioRunner {
                 seed: qp_par::job_seed(pipeline.seed, phase),
                 service_multipliers: mults,
                 dedup_colocated: false,
+                streaming_percentiles: false,
+                initial_server_busy_ms: carry.take(),
             };
-            let report = simulate(
-                &net,
-                &sys,
-                &placement,
-                &pop,
-                QuorumChoice::Weighted {
-                    quorums: quorums.clone(),
-                    strategy: rows,
-                },
-                &cfg,
-            )?;
+            let choice = QuorumChoice::Weighted {
+                quorums: quorums.clone(),
+                strategy: rows,
+            };
+            let compare = pipeline.exact_compare && phase_engine == SimEngine::Aggregated;
+            let compare_choice = compare.then(|| choice.clone());
+            let report =
+                simulate_with_engine(&net, &sys, &placement, &pop, choice, &cfg, phase_engine)?;
+            if pipeline.carry_queues {
+                carry = Some(report.residual_busy_ms.clone());
+            }
+            // `exact-compare`: rerun the phase on the exact per-request
+            // engine (same config, same carried backlog) and record how
+            // far the aggregated mean response drifts from it.
+            let (exact_response_ms, exact_compare_rel_error) = if let Some(choice) = compare_choice
+            {
+                let exact = simulate(&net, &sys, &placement, &pop, choice, &cfg)?;
+                let err = if exact.avg_response_ms > 0.0 {
+                    (report.avg_response_ms - exact.avg_response_ms).abs() / exact.avg_response_ms
+                } else {
+                    0.0
+                };
+                (Some(exact.avg_response_ms), Some(err))
+            } else {
+                (None, None)
+            };
             let rel_error = if predicted_floor_ms > 0.0 {
                 (report.avg_network_delay_ms - predicted_floor_ms).abs() / predicted_floor_ms
             } else {
@@ -363,6 +439,9 @@ impl ScenarioRunner {
                 .fold(0.0, f64::max);
             phases.push(PhaseReport {
                 phase,
+                engine: phase_engine,
+                exact_response_ms,
+                exact_compare_rel_error,
                 flash: flash.is_some(),
                 failed_elements,
                 reoptimized,
@@ -377,9 +456,16 @@ impl ScenarioRunner {
 
         // 6. Cross-check: every phase's measured floor must match the
         // prediction within tolerance (failure phases included — the
-        // prediction folds the service multipliers in).
+        // prediction folds the service multipliers in). When
+        // `exact-compare` ran, the aggregated-vs-exact response
+        // divergence must clear the same tolerance.
         let max_rel_error = phases.iter().map(|p| p.rel_error).fold(0.0, f64::max);
-        let pass = max_rel_error <= pipeline.tolerance;
+        let max_engine_divergence = phases
+            .iter()
+            .filter_map(|p| p.exact_compare_rel_error)
+            .fold(0.0, f64::max);
+        let pass =
+            max_rel_error <= pipeline.tolerance && max_engine_divergence <= pipeline.tolerance;
 
         Ok(ScenarioReport {
             name: spec.name.clone(),
@@ -714,6 +800,89 @@ mod tests {
         let a = runner.run(&spec).unwrap();
         let b = runner.run(&spec).unwrap();
         assert_eq!(a, b);
+    }
+
+    fn aggregated_spec() -> ScenarioSpec {
+        let mut spec = small_spec();
+        spec.pipeline.colgen = true;
+        spec.pipeline.engine = crate::spec::EngineSelection::Uniform(SimEngine::Aggregated);
+        spec
+    }
+
+    #[test]
+    fn aggregated_scenario_tracks_exact_within_tolerance() {
+        let runner = ScenarioRunner::new();
+        let mut spec = aggregated_spec();
+        spec.pipeline.exact_compare = true;
+        let report = runner.run(&spec).unwrap();
+        assert!(report.pass, "aggregated cross-checks failed:\n{report}");
+        for p in &report.phases {
+            assert_eq!(p.engine, SimEngine::Aggregated);
+            let err = p.exact_compare_rel_error.expect("compare ran");
+            assert!(
+                err <= spec.pipeline.tolerance,
+                "phase {} diverged {err:.3} from exact",
+                p.phase
+            );
+        }
+        // The rendered report names the engine and the comparison.
+        let text = report.to_string();
+        assert!(text.contains("agg"), "{text}");
+        assert!(text.contains("exact-compare:"), "{text}");
+    }
+
+    #[test]
+    fn aggregated_reruns_are_bit_identical() {
+        // The aggregated engine draws no random numbers, so whole-report
+        // equality must hold across reruns (thread-count invariance is
+        // pinned end-to-end by the scenario regression suite).
+        let runner = ScenarioRunner::new();
+        let spec = aggregated_spec();
+        let a = runner.run(&spec).unwrap();
+        let b = runner.run(&spec).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn carried_queues_change_the_post_flash_phase() {
+        // Phase 1's flash crowd leaves backlog behind; with carry-queues
+        // a following phase starts loaded. Add a third nominal phase and
+        // compare its response with and without carrying.
+        let mut spec = aggregated_spec();
+        spec.pipeline.phases = 3;
+        spec.pipeline.warmup = 0; // keep the carried transient measurable
+        let runner = ScenarioRunner::new();
+        let cold = runner.run(&spec).unwrap();
+        spec.pipeline.carry_queues = true;
+        let carried = runner.run(&spec).unwrap();
+        assert_eq!(cold.phases[0], carried.phases[0], "phase 0 has no inflow");
+        assert!(
+            carried.phases[2].des_response_ms >= cold.phases[2].des_response_ms,
+            "carried {} vs cold {}",
+            carried.phases[2].des_response_ms,
+            cold.phases[2].des_response_ms
+        );
+    }
+
+    #[test]
+    fn mixed_engine_phases_dispatch_per_phase() {
+        let mut spec = aggregated_spec();
+        spec.pipeline.engine =
+            crate::spec::EngineSelection::PerPhase(vec![SimEngine::Exact, SimEngine::Aggregated]);
+        let report = ScenarioRunner::new().run(&spec).unwrap();
+        assert_eq!(report.phases[0].engine, SimEngine::Exact);
+        assert_eq!(report.phases[1].engine, SimEngine::Aggregated);
+    }
+
+    #[test]
+    fn aggregated_without_colgen_is_rejected() {
+        let mut spec = aggregated_spec();
+        spec.pipeline.colgen = false;
+        let err = ScenarioRunner::new().run(&spec).unwrap_err();
+        let ScenarioError::Invalid(msg) = err else {
+            panic!("wrong error: {err}");
+        };
+        assert!(msg.contains("colgen"), "{msg}");
     }
 
     #[test]

@@ -39,6 +39,9 @@
 //! seed = 42
 //! tolerance = 0.1
 //! colgen = false            # strategy LP via column generation
+//! engine = exact            # exact | aggregated | per-phase list
+//! carry-queues = false      # carry residual queues across phases
+//! exact-compare = false     # also run exact for aggregated phases
 //! ```
 //!
 //! Lines are `key = value` under `[section]` headers; `#` starts a
@@ -46,6 +49,7 @@
 //! silently).
 
 use qp_core::one_to_one::PlacementAlgorithm;
+use qp_protocol::SimEngine;
 use qp_quorum::{MajorityKind, QuorumSystem};
 use qp_topology::datasets::{HierarchicalConfig, TransitStubConfig};
 use qp_topology::{io as topo_io, Network};
@@ -332,6 +336,55 @@ impl Default for CapacityChoice {
     }
 }
 
+/// Which DES engine each phase runs.
+///
+/// `engine = aggregated` in a spec applies one engine to every phase;
+/// `engine = exact, aggregated` picks per phase (the list length must
+/// equal `phases`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineSelection {
+    /// Every phase uses the same engine.
+    Uniform(SimEngine),
+    /// Phase `p` uses entry `p`; validation pins the length to `phases`.
+    PerPhase(Vec<SimEngine>),
+}
+
+impl Default for EngineSelection {
+    fn default() -> Self {
+        EngineSelection::Uniform(SimEngine::Exact)
+    }
+}
+
+impl EngineSelection {
+    /// The engine phase `phase` runs with.
+    #[must_use]
+    pub fn for_phase(&self, phase: usize) -> SimEngine {
+        match self {
+            EngineSelection::Uniform(e) => *e,
+            EngineSelection::PerPhase(list) => list.get(phase).copied().unwrap_or_default(),
+        }
+    }
+
+    /// Whether any phase runs aggregated.
+    #[must_use]
+    pub fn any_aggregated(&self) -> bool {
+        match self {
+            EngineSelection::Uniform(e) => *e == SimEngine::Aggregated,
+            EngineSelection::PerPhase(list) => list.contains(&SimEngine::Aggregated),
+        }
+    }
+
+    /// Whether every phase runs aggregated (the runner then skips the
+    /// flattened per-client LP structures entirely).
+    #[must_use]
+    pub fn all_aggregated(&self) -> bool {
+        match self {
+            EngineSelection::Uniform(e) => *e == SimEngine::Aggregated,
+            EngineSelection::PerPhase(list) => list.iter().all(|e| *e == SimEngine::Aggregated),
+        }
+    }
+}
+
 /// The pipeline half of a scenario: system, placement, capacity, LP
 /// response model, DES shape, and the LP-vs-DES cross-check tolerance.
 #[derive(Debug, Clone, PartialEq)]
@@ -367,6 +420,19 @@ pub struct PipelineSpec {
     /// location-level LP) instead of full enumeration. Off by default;
     /// the default path's reports are bit-identical to earlier releases.
     pub colgen: bool,
+    /// Per-phase DES engine: the exact per-request engine or the
+    /// aggregated fluid/hybrid engine (million-client scale). Aggregated
+    /// phases require `colgen` (the pipeline then scores the strategy LP
+    /// at location level instead of flattening per-client rows).
+    pub engine: EngineSelection,
+    /// Carry residual server queues across phase boundaries: each phase
+    /// after the first starts its servers with the backlog the previous
+    /// phase left behind, instead of idle.
+    pub carry_queues: bool,
+    /// For every aggregated phase, also run the exact engine and fold
+    /// the relative disagreement into the pass/fail verdict (only
+    /// sensible at sizes the exact engine can finish).
+    pub exact_compare: bool,
 }
 
 impl Default for PipelineSpec {
@@ -385,6 +451,9 @@ impl Default for PipelineSpec {
             tolerance: 0.1,
             quorum_limit: 100_000,
             colgen: false,
+            engine: EngineSelection::default(),
+            carry_queues: false,
+            exact_compare: false,
         }
     }
 }
@@ -544,6 +613,27 @@ impl ScenarioSpec {
                     "failure multiplier must be positive and finite".into(),
                 ));
             }
+        }
+        if let EngineSelection::PerPhase(list) = &p.engine {
+            if list.len() != p.phases {
+                return Err(ScenarioError::Invalid(format!(
+                    "engine list has {} entries for {} phases",
+                    list.len(),
+                    p.phases
+                )));
+            }
+        }
+        if p.engine.any_aggregated() && !p.colgen {
+            return Err(ScenarioError::Invalid(
+                "engine = aggregated requires colgen = true \
+                 (aggregated pipelines score the strategy LP at location level)"
+                    .into(),
+            ));
+        }
+        if p.exact_compare && !p.engine.any_aggregated() {
+            return Err(ScenarioError::Invalid(
+                "exact-compare requires at least one aggregated phase".into(),
+            ));
         }
         match p.capacity {
             CapacityChoice::Sweep { .. } => {}
@@ -1082,6 +1172,33 @@ fn parse_pipeline(entries: &RawEntries) -> Result<PipelineSpec, ScenarioError> {
     if let Some((v, l)) = entries.take("pipeline", "colgen")? {
         p.colgen = boolean(&v, l, "colgen")?;
     }
+    if let Some((v, l)) = entries.take("pipeline", "engine")? {
+        let one = |s: &str| match s.trim() {
+            "exact" => Ok(SimEngine::Exact),
+            "aggregated" => Ok(SimEngine::Aggregated),
+            other => Err(ScenarioError::Parse {
+                line: l,
+                message: format!("unknown engine `{other}` (exact|aggregated)"),
+            }),
+        };
+        p.engine = if v.contains(',') {
+            EngineSelection::PerPhase(v.split(',').map(one).collect::<Result<Vec<_>, _>>()?)
+        } else {
+            EngineSelection::Uniform(one(&v)?)
+        };
+    }
+    // Both spellings accepted: `carry-queues` matches the section's
+    // kebab-case keys, `carry_queues` matches the struct field.
+    let carry = match entries.take("pipeline", "carry-queues")? {
+        Some(e) => Some(e),
+        None => entries.take("pipeline", "carry_queues")?,
+    };
+    if let Some((v, l)) = carry {
+        p.carry_queues = boolean(&v, l, "carry-queues")?;
+    }
+    if let Some((v, l)) = entries.take("pipeline", "exact-compare")? {
+        p.exact_compare = boolean(&v, l, "exact-compare")?;
+    }
     Ok(p)
 }
 
@@ -1284,6 +1401,65 @@ tolerance = 0.12
         assert!(matches!(
             ScenarioSpec::parse("[topology]\nsource = euclidean\nsparse-apsp = true\n"),
             Err(ScenarioError::Parse { line: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn engine_keys_parse() {
+        let text = "[pipeline]\ncolgen = true\nengine = aggregated\n\
+                    carry-queues = true\nexact-compare = true\n";
+        let spec = ScenarioSpec::parse(text).unwrap();
+        assert_eq!(
+            spec.pipeline.engine,
+            EngineSelection::Uniform(SimEngine::Aggregated)
+        );
+        assert!(spec.pipeline.carry_queues);
+        assert!(spec.pipeline.exact_compare);
+        assert!(spec.pipeline.engine.all_aggregated());
+
+        // Per-phase list, underscore alias for the carry flag.
+        let text = "[pipeline]\ncolgen = true\nphases = 2\n\
+                    engine = exact, aggregated\ncarry_queues = true\n";
+        let spec = ScenarioSpec::parse(text).unwrap();
+        assert_eq!(spec.pipeline.engine.for_phase(0), SimEngine::Exact);
+        assert_eq!(spec.pipeline.engine.for_phase(1), SimEngine::Aggregated);
+        assert!(spec.pipeline.engine.any_aggregated());
+        assert!(!spec.pipeline.engine.all_aggregated());
+        assert!(spec.pipeline.carry_queues);
+
+        // All default off: every prior spec keeps its exact-engine runs.
+        let spec = ScenarioSpec::parse("").unwrap();
+        assert_eq!(spec.pipeline.engine, EngineSelection::default());
+        assert!(!spec.pipeline.carry_queues);
+        assert!(!spec.pipeline.exact_compare);
+    }
+
+    #[test]
+    fn engine_keys_reject_bad_values() {
+        // Unknown engine name.
+        assert!(matches!(
+            ScenarioSpec::parse("[pipeline]\ncolgen = true\nengine = fluid\n"),
+            Err(ScenarioError::Parse { line: 3, .. })
+        ));
+        // Aggregated without colgen.
+        let err = ScenarioSpec::parse("[pipeline]\nengine = aggregated\n").unwrap_err();
+        let ScenarioError::Invalid(msg) = err else {
+            panic!("wrong error: {err}");
+        };
+        assert!(msg.contains("colgen"), "{msg}");
+        // Engine list length must match the phase count.
+        let err = ScenarioSpec::parse(
+            "[pipeline]\ncolgen = true\nphases = 3\nengine = exact, aggregated\n",
+        )
+        .unwrap_err();
+        let ScenarioError::Invalid(msg) = err else {
+            panic!("wrong error: {err}");
+        };
+        assert!(msg.contains("2 entries for 3 phases"), "{msg}");
+        // exact-compare is meaningless without an aggregated phase.
+        assert!(matches!(
+            ScenarioSpec::parse("[pipeline]\nexact-compare = true\n"),
+            Err(ScenarioError::Invalid(_))
         ));
     }
 

@@ -40,6 +40,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     seed: 7,
                     service_multipliers: None,
                     dedup_colocated: false,
+                    streaming_percentiles: false,
+                    initial_server_busy_ms: None,
                 },
             )?;
             let max_util = report

@@ -100,7 +100,10 @@ fn print_help() {
          --clients-per-location N   clients per location (default 5)\n  \
          --requests N               measured requests per client (default 150)\n  \
          --seed N                   PRNG seed (default 0)\n  \
-         --strategy closest|balanced (default balanced)\n\n\
+         --strategy closest|balanced (default balanced)\n  \
+         --sim exact|aggregated     DES engine (default exact; aggregated\n  \
+                                    collapses each location's clients into one\n  \
+                                    merged flow — million-client scale)\n\n\
          scenario flags:\n  \
          --spec FILE   scenario spec (repeatable; the set runs as a matrix)\n  \
          --out FILE    also write the reports to FILE\n  \
@@ -136,6 +139,7 @@ struct Options {
     clients_per_location: usize,
     requests: usize,
     seed: u64,
+    sim: String,
     threads: Option<usize>,
     specs: Vec<String>,
     out: Option<String>,
@@ -162,6 +166,7 @@ impl Default for Options {
             clients_per_location: 5,
             requests: 150,
             seed: 0,
+            sim: "exact".to_string(),
             threads: None,
             specs: Vec::new(),
             out: None,
@@ -201,6 +206,7 @@ impl Options {
                 }
                 "--requests" => o.requests = parse_usize(&value("--requests")?, "--requests")?,
                 "--seed" => o.seed = parse_usize(&value("--seed")?, "--seed")? as u64,
+                "--sim" => o.sim = value("--sim")?,
                 "--spec" => o.specs.push(value("--spec")?),
                 "--out" => o.out = Some(value("--out")?),
                 "--socket" => o.socket = Some(value("--socket")?),
@@ -437,7 +443,16 @@ fn cmd_simulate(opts: &Options) -> Result<(), String> {
         "closest" => QuorumChoice::Closest,
         other => return Err(format!("unknown strategy `{other}` for simulate")),
     };
-    let report = simulate(
+    let engine = match opts.sim.as_str() {
+        "exact" => SimEngine::Exact,
+        "aggregated" => SimEngine::Aggregated,
+        other => {
+            return Err(format!(
+                "unknown engine `{other}` for --sim (exact|aggregated)"
+            ))
+        }
+    };
+    let report = simulate_with_engine(
         &net,
         &sys,
         &placement,
@@ -449,9 +464,13 @@ fn cmd_simulate(opts: &Options) -> Result<(), String> {
             dedup_colocated: opts.dedup,
             ..ProtocolConfig::default()
         },
+        engine,
     )
     .map_err(|e| e.to_string())?;
     println!("system:          {}", sys.label());
+    if engine == SimEngine::Aggregated {
+        println!("engine:          aggregated");
+    }
     println!(
         "clients:         {} ({} × {})",
         pop.total_clients(),
@@ -662,6 +681,14 @@ mod tests {
         assert!(err.contains("at least 1"), "unexpected message: {err}");
         assert!(Options::parse(&s(&["--threads", "x"])).is_err());
         assert!(Options::parse(&s(&["--threads"])).is_err());
+    }
+
+    #[test]
+    fn parses_sim_flag() {
+        assert_eq!(Options::parse(&s(&[])).unwrap().sim, "exact");
+        let o = Options::parse(&s(&["--sim", "aggregated"])).unwrap();
+        assert_eq!(o.sim, "aggregated");
+        assert!(Options::parse(&s(&["--sim"])).is_err());
     }
 
     #[test]

@@ -59,7 +59,9 @@ pub mod prelude {
         capacity::CapacityProfile, iterative, load, manyone, one_to_one, response, singleton,
         strategy_lp, CoreError, Evaluation, Placement, ResponseModel,
     };
-    pub use qp_protocol::{simulate, ClientPopulation, ProtocolConfig, QuorumChoice};
+    pub use qp_protocol::{
+        simulate, simulate_with_engine, ClientPopulation, ProtocolConfig, QuorumChoice, SimEngine,
+    };
     pub use qp_quorum::{ElementId, MajorityKind, Quorum, QuorumSystem, StrategyMatrix};
     pub use qp_scenario::{ScenarioReport, ScenarioRunner, ScenarioSpec};
     pub use qp_topology::{datasets, DistanceMatrix, Graph, Network, NodeId};

@@ -145,6 +145,41 @@ fn simulate_on_small_topology() {
 }
 
 #[test]
+fn simulate_aggregated_engine() {
+    let topo = small_topology_file();
+    let args = |threads: &'static str| {
+        [
+            "simulate",
+            "--topology",
+            topo.as_str(),
+            "--system",
+            "majority:simple:1",
+            "--locations",
+            "3",
+            "--clients-per-location",
+            "200",
+            "--requests",
+            "20",
+            "--sim",
+            "aggregated",
+            "--threads",
+            threads,
+        ]
+    };
+    let t1 = assert_ok(&args("1"));
+    assert!(t1.contains("engine:          aggregated"), "{t1}");
+    assert!(t1.contains("avg response"), "{t1}");
+    // The aggregated engine is seed-free and deterministic: identical
+    // output for any thread count.
+    let t4 = assert_ok(&args("4"));
+    assert_eq!(t1, t4, "aggregated output changed with thread count");
+
+    let out = run(&["simulate", "--sim", "fluid"]);
+    assert!(!out.status.success(), "unknown engine must exit nonzero");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--sim"));
+}
+
+#[test]
 fn place_on_builtin_dataset() {
     // The default dataset path must also work end to end.
     let stdout = assert_ok(&["place", "--dataset", "planetlab50", "--system", "grid:3"]);

@@ -500,6 +500,73 @@ fn golden_scenario_transit_colgen_2000() {
     );
 }
 
+/// Golden 13 — the million-client showcase: 10^6 closed-loop clients on
+/// a 124-site transit-stub WAN through the *aggregated* fluid/hybrid
+/// engine, three phases (nominal → flash crowd + 8× slowdown → recovery)
+/// with `carry-queues`. Pins the LP delay and the per-phase responses,
+/// checks the saturation story (the flash phase queues, the recovery
+/// phase starts loaded), and requires bit-identical replay at 4 threads
+/// — the aggregated engine draws no random numbers, so nothing may move.
+#[test]
+fn golden_scenario_million_flash() {
+    struct RestoreThreads(usize);
+    impl Drop for RestoreThreads {
+        fn drop(&mut self) {
+            qp_par::configure_threads(self.0);
+        }
+    }
+    let spec = ScenarioSpec::from_file(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/data/scenarios/million_flash.toml"
+    ))
+    .unwrap();
+    let report = ScenarioRunner::new().run(&spec).unwrap();
+    assert_eq!(report.total_clients, 1_000_000);
+    assert_eq!(report.sites, 124);
+    assert!(report.pass, "cross-check failed:\n{report}");
+    assert_eq!(
+        report.phases[0].completed_requests,
+        16 * 1_000_000,
+        "every client must complete its 16 measured requests"
+    );
+    // The flash + slowdown phase saturates; the recovery phase starts
+    // with the carried backlog, so it must sit strictly above the
+    // identically-configured (and seed-free) nominal phase 0.
+    assert!(report.phases[1].des_response_ms > 2.0 * report.phases[0].des_response_ms);
+    assert!(
+        report.phases[2].des_response_ms > report.phases[0].des_response_ms,
+        "carried queues did not reach phase 2: {} vs {}",
+        report.phases[2].des_response_ms,
+        report.phases[0].des_response_ms
+    );
+    assert_golden(
+        "scenario_million_lp_delay_ms",
+        report.lp_delay_ms,
+        SCENARIO_MILLION_LP_DELAY_MS,
+    );
+    assert_golden(
+        "scenario_million_phase0_response_ms",
+        report.phases[0].des_response_ms,
+        SCENARIO_MILLION_PHASE0_RESPONSE_MS,
+    );
+    assert_golden(
+        "scenario_million_phase1_response_ms",
+        report.phases[1].des_response_ms,
+        SCENARIO_MILLION_PHASE1_RESPONSE_MS,
+    );
+    assert_golden(
+        "scenario_million_phase2_response_ms",
+        report.phases[2].des_response_ms,
+        SCENARIO_MILLION_PHASE2_RESPONSE_MS,
+    );
+
+    // Bit-identical at 4 threads: full structural equality.
+    let _restore = RestoreThreads(qp_par::current_threads());
+    qp_par::configure_threads(4);
+    let parallel = ScenarioRunner::new().run(&spec).unwrap();
+    assert_eq!(report, parallel, "thread count moved the aggregated run");
+}
+
 /// Golden 11 — scenario reports are **bit-identical** at any thread
 /// count: the whole matrix replayed with the worker pool pinned to 4
 /// threads must equal the serial run field for field (full structural
@@ -563,3 +630,7 @@ const SCENARIO_COLGEN2000_LP_DELAY_MS: f64 = 81.652446318974;
 const SCENARIO_COLGEN2000_RESPONSE_MS: f64 = 1580.273875207047;
 const SCENARIO_HIER_LP_DELAY_MS: f64 = 67.345745448583;
 const SCENARIO_HIER_RESPONSE_MS: f64 = 68.375754409850;
+const SCENARIO_MILLION_LP_DELAY_MS: f64 = 34.250238233218;
+const SCENARIO_MILLION_PHASE0_RESPONSE_MS: f64 = 65.699761255401;
+const SCENARIO_MILLION_PHASE1_RESPONSE_MS: f64 = 187.445264029132;
+const SCENARIO_MILLION_PHASE2_RESPONSE_MS: f64 = 65.710837684864;
