@@ -70,6 +70,7 @@ fn qu_point(
             dedup_colocated: false,
             streaming_percentiles: false,
             initial_server_busy_ms: None,
+            fault: None,
         },
         &seeds,
     )

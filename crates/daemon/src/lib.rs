@@ -36,17 +36,24 @@
 //!
 //! [`server`] wraps a session in a line-protocol service (TCP or Unix
 //! socket, thread-per-connection); [`protocol`] defines the wire
-//! grammar shared with the `quorumnet ctl` client.
+//! grammar shared with the `quorumnet ctl` client. [`persist`] adds
+//! crash safety: an fsync'd append-only delta WAL plus periodic atomic
+//! snapshots, and [`persist::recover`] replays both on restart and
+//! cross-checks the recovered answer against a cold recompute to
+//! ≤ 1e-9.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod persist;
 pub mod protocol;
 pub mod server;
 pub mod session;
 
+pub use persist::{recover, PersistError, Persistence, RecoveryReport};
 pub use protocol::{Command, Delta};
 pub use server::{Endpoint, Server};
 pub use session::{
-    Answer, CheckReport, DeltaReport, MigrationPlan, Session, SessionConfig, SessionError,
+    Answer, CheckReport, DeltaReport, MigrationPlan, PersistedState, Session, SessionConfig,
+    SessionError,
 };

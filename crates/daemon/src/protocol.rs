@@ -10,6 +10,7 @@
 //! query                      # one-line session status
 //! snapshot                   # full strategy matrix + tuned capacity
 //! check                      # cold from-scratch cross-check of the warm state
+//! health                     # liveness probe: seq, degraded flag, persistence
 //! shutdown                   # stop the server after this reply
 //! ```
 //!
@@ -60,6 +61,8 @@ pub enum Command {
     Snapshot,
     /// Run the cold cross-check.
     Check,
+    /// Report liveness: sequence number, degraded flag, persistence.
+    Health,
     /// Stop the server.
     Shutdown,
 }
@@ -121,6 +124,7 @@ pub fn parse_command(line: &str) -> Result<Option<Command>, String> {
         "query" => Command::Query,
         "snapshot" => Command::Snapshot,
         "check" => Command::Check,
+        "health" => Command::Health,
         "shutdown" => Command::Shutdown,
         other => return Err(format!("unknown command '{other}'")),
     };
@@ -257,6 +261,7 @@ mod tests {
         assert_eq!(parse_command("query").unwrap(), Some(Command::Query));
         assert_eq!(parse_command("snapshot").unwrap(), Some(Command::Snapshot));
         assert_eq!(parse_command("check").unwrap(), Some(Command::Check));
+        assert_eq!(parse_command("health").unwrap(), Some(Command::Health));
         assert_eq!(parse_command("shutdown").unwrap(), Some(Command::Shutdown));
     }
 

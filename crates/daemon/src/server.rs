@@ -7,14 +7,26 @@ use std::net::{TcpListener, TcpStream};
 #[cfg(unix)]
 use std::os::unix::net::{UnixListener, UnixStream};
 #[cfg(unix)]
-use std::path::{Path, PathBuf};
+use std::path::Path;
+#[cfg(unix)]
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::Duration;
 
+use crate::persist::Persistence;
 use crate::protocol::{parse_command, Command, Response};
 use crate::session::Session;
+
+/// Longest accepted request line, bytes (newline excluded). Anything
+/// longer gets a structured `err` and the connection is closed — no
+/// command in the grammar comes anywhere near this.
+pub const MAX_LINE_BYTES: usize = 64 * 1024;
+
+/// Default idle-connection timeout: a connection that sends nothing for
+/// this long is told so and closed (see [`Server::set_idle_timeout`]).
+pub const DEFAULT_IDLE_TIMEOUT: Duration = Duration::from_secs(300);
 
 /// Where a server listens.
 #[derive(Debug, Clone)]
@@ -74,6 +86,23 @@ impl Stream {
             Stream::Unix(s) => Stream::Unix(s.try_clone()?),
         })
     }
+
+    fn set_read_timeout(&self, dur: Option<Duration>) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.set_read_timeout(dur),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.set_read_timeout(dur),
+        }
+    }
+}
+
+/// Everything a connection thread touches under the one server mutex:
+/// the session, optional persistence, and the last persistence failure
+/// (surfaced through `health`).
+struct Served {
+    session: Session,
+    persist: Option<Persistence>,
+    persist_error: Option<String>,
 }
 
 /// Totals reported by [`Server::run`] after shutdown.
@@ -89,6 +118,7 @@ pub struct ServeSummary {
 pub struct Server {
     listener: Listener,
     stop: Arc<AtomicBool>,
+    idle_timeout: Duration,
 }
 
 impl Server {
@@ -111,7 +141,14 @@ impl Server {
         Ok(Server {
             listener,
             stop: Arc::new(AtomicBool::new(false)),
+            idle_timeout: DEFAULT_IDLE_TIMEOUT,
         })
+    }
+
+    /// Overrides the idle-connection timeout (default
+    /// [`DEFAULT_IDLE_TIMEOUT`]).
+    pub fn set_idle_timeout(&mut self, timeout: Duration) {
+        self.idle_timeout = timeout;
     }
 
     /// The bound address: `host:port` for TCP, the socket path for Unix.
@@ -140,7 +177,33 @@ impl Server {
     /// Only on listener-level I/O failures; per-connection errors just
     /// close that connection.
     pub fn run(self, session: Session) -> io::Result<ServeSummary> {
-        let session = Arc::new(Mutex::new(session));
+        self.run_inner(session, None)
+    }
+
+    /// Like [`run`](Self::run), but every delta that advances the
+    /// session is also fsync'd to `persistence`'s WAL before the client
+    /// sees the response, so a `kill -9` loses nothing acknowledged.
+    /// A persistence I/O failure does not drop the delta (the live
+    /// session already applied it) — it is surfaced through the
+    /// `health` command instead.
+    ///
+    /// # Errors
+    ///
+    /// Only on listener-level I/O failures.
+    pub fn run_persistent(
+        self,
+        session: Session,
+        persistence: Persistence,
+    ) -> io::Result<ServeSummary> {
+        self.run_inner(session, Some(persistence))
+    }
+
+    fn run_inner(self, session: Session, persist: Option<Persistence>) -> io::Result<ServeSummary> {
+        let served = Arc::new(Mutex::new(Served {
+            session,
+            persist,
+            persist_error: None,
+        }));
         let commands = Arc::new(std::sync::atomic::AtomicU64::new(0));
         let mut handles = Vec::new();
         let mut connections = 0usize;
@@ -166,11 +229,12 @@ impl Server {
             match accepted {
                 Some(stream) => {
                     connections += 1;
-                    let session = Arc::clone(&session);
+                    let served = Arc::clone(&served);
                     let stop = Arc::clone(&self.stop);
                     let commands = Arc::clone(&commands);
+                    let idle = self.idle_timeout;
                     handles.push(thread::spawn(move || {
-                        let _ = handle_connection(stream, &session, &stop, &commands);
+                        let _ = handle_connection(stream, &served, &stop, &commands, idle);
                     }));
                 }
                 None => thread::sleep(Duration::from_millis(20)),
@@ -210,21 +274,133 @@ pub fn unix_endpoint(path: &Path) -> Endpoint {
     Endpoint::Unix(path.to_path_buf())
 }
 
+/// One framing outcome from the byte-capped request reader.
+#[derive(Debug, PartialEq, Eq)]
+enum RequestLine {
+    /// A complete, newline-terminated, valid-UTF-8 line (sans newline).
+    Line(String),
+    /// The line exceeded the byte cap before a newline arrived.
+    Oversized,
+    /// The line is complete but not valid UTF-8.
+    BadUtf8,
+    /// The peer closed the connection mid-line, `usize` bytes in.
+    PartialEof(usize),
+    /// Clean end of stream.
+    Eof,
+}
+
+/// Reads one request line without ever buffering more than `max` bytes
+/// of it — the defense against a peer streaming an endless line.
+fn read_request(reader: &mut impl BufRead, max: usize) -> io::Result<RequestLine> {
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        let chunk = reader.fill_buf()?;
+        if chunk.is_empty() {
+            return Ok(if buf.is_empty() {
+                RequestLine::Eof
+            } else {
+                RequestLine::PartialEof(buf.len())
+            });
+        }
+        if let Some(pos) = chunk.iter().position(|&b| b == b'\n') {
+            if buf.len() + pos > max {
+                reader.consume(pos + 1);
+                return Ok(RequestLine::Oversized);
+            }
+            buf.extend_from_slice(&chunk[..pos]);
+            reader.consume(pos + 1);
+            return Ok(match String::from_utf8(buf) {
+                Ok(line) => RequestLine::Line(line),
+                Err(_) => RequestLine::BadUtf8,
+            });
+        }
+        let len = chunk.len();
+        buf.extend_from_slice(chunk);
+        reader.consume(len);
+        if buf.len() > max {
+            return Ok(RequestLine::Oversized);
+        }
+    }
+}
+
 fn handle_connection(
     stream: Stream,
-    session: &Mutex<Session>,
+    served: &Mutex<Served>,
     stop: &AtomicBool,
     commands: &std::sync::atomic::AtomicU64,
+    idle: Duration,
 ) -> io::Result<()> {
+    stream.set_read_timeout(Some(idle))?;
     let mut writer = stream.try_clone()?;
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let line = line?;
+    let mut reader = BufReader::new(stream);
+    // Closes the connection after a structured error the client can act
+    // on: the stream state past a framing violation is unknowable.
+    let refuse = |writer: &mut Stream, message: String| -> io::Result<()> {
+        commands.fetch_add(1, Ordering::SeqCst);
+        writer.write_all(Response::err(message).to_wire().as_bytes())?;
+        writer.flush()
+    };
+    loop {
+        let request = match read_request(&mut reader, MAX_LINE_BYTES) {
+            Ok(request) => request,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                let _ = refuse(
+                    &mut writer,
+                    format!("idle for {}s: closing connection", idle.as_secs()),
+                );
+                return Ok(());
+            }
+            Err(e) => return Err(e),
+        };
+        let line = match request {
+            RequestLine::Eof => return Ok(()),
+            RequestLine::Line(line) => line,
+            RequestLine::Oversized => {
+                return refuse(
+                    &mut writer,
+                    format!("request line exceeds {MAX_LINE_BYTES} bytes"),
+                );
+            }
+            RequestLine::BadUtf8 => {
+                return refuse(&mut writer, "request is not valid UTF-8".into());
+            }
+            RequestLine::PartialEof(bytes) => {
+                return refuse(
+                    &mut writer,
+                    format!("connection closed mid-line after {bytes} bytes"),
+                );
+            }
+        };
         let response = match parse_command(&line) {
             Ok(None) => continue,
             Ok(Some(cmd)) => {
-                let mut guard = session.lock().expect("session mutex poisoned");
-                let resp = execute(&mut guard, cmd);
+                let mut guard = served.lock().expect("session mutex poisoned");
+                let seq_before = guard.session.seq();
+                let mut resp = execute(&mut guard.session, cmd);
+                if guard.session.seq() != seq_before {
+                    if let Command::Delta(delta) = cmd {
+                        let Served {
+                            session,
+                            persist,
+                            persist_error,
+                        } = &mut *guard;
+                        if let Some(p) = persist.as_mut() {
+                            if let Err(e) = p.record(&delta, session) {
+                                *persist_error = Some(e.to_string());
+                            }
+                        }
+                    }
+                }
+                if cmd == Command::Health {
+                    resp.detail
+                        .push(match (&guard.persist, &guard.persist_error) {
+                            (_, Some(m)) => format!("persist failed: {m}"),
+                            (Some(_), None) => "persist on".into(),
+                            (None, None) => "persist off".into(),
+                        });
+                }
                 drop(guard);
                 if cmd == Command::Shutdown {
                     commands.fetch_add(1, Ordering::SeqCst);
@@ -309,6 +485,7 @@ pub fn execute(session: &mut Session, cmd: Command) -> Response {
                     }
                 ),
                 format!("warm_pivots {}", s.warm_pivots),
+                format!("degraded {}", u8::from(s.degraded)),
             ];
             if let Some(p) = s.colgen {
                 detail.push(format!(
@@ -328,6 +505,7 @@ pub fn execute(session: &mut Session, cmd: Command) -> Response {
                 format!("capacity {:.17e}", a.capacity),
                 format!("delay_ms {:.17e}", a.delay_ms),
                 format!("response_ms {:.17e}", a.response_ms),
+                format!("degraded {}", u8::from(session.degraded())),
             ];
             for (v, row) in a.strategy.iter().enumerate() {
                 let cells: Vec<String> = row.iter().map(|p| format!("{p:.17e}")).collect();
@@ -357,6 +535,16 @@ pub fn execute(session: &mut Session, cmd: Command) -> Response {
             }
             Err(e) => Response::err(e.to_string()),
         },
+        Command::Health => {
+            let s = session.status();
+            Response::ok(
+                if s.degraded { "degraded" } else { "healthy" },
+                vec![
+                    format!("seq {}", s.seq),
+                    format!("degraded {}", u8::from(s.degraded)),
+                ],
+            )
+        }
         Command::Shutdown => Response::ok("shutting down", Vec::new()),
     }
 }
@@ -419,6 +607,187 @@ mod tests {
         let summary = handle.join().unwrap();
         assert_eq!(summary.connections, 1);
         assert_eq!(summary.commands, 5);
+    }
+
+    #[test]
+    fn read_request_frames_caps_and_rejects() {
+        use std::io::Cursor;
+        let mut c = Cursor::new(b"query\n".to_vec());
+        assert_eq!(
+            read_request(&mut c, 64).unwrap(),
+            RequestLine::Line("query".into())
+        );
+        assert_eq!(read_request(&mut c, 64).unwrap(), RequestLine::Eof);
+
+        // Oversized: a line longer than the cap, newline present or not.
+        let mut c = Cursor::new(vec![b'x'; 100]);
+        assert_eq!(read_request(&mut c, 64).unwrap(), RequestLine::Oversized);
+        let mut long = vec![b'y'; 100];
+        long.push(b'\n');
+        let mut c = Cursor::new(long);
+        assert_eq!(read_request(&mut c, 64).unwrap(), RequestLine::Oversized);
+
+        // Exactly at the cap is fine.
+        let mut at_cap = vec![b'z'; 64];
+        at_cap.push(b'\n');
+        let mut c = Cursor::new(at_cap);
+        assert!(matches!(
+            read_request(&mut c, 64).unwrap(),
+            RequestLine::Line(l) if l.len() == 64
+        ));
+
+        // Invalid UTF-8 in a complete line.
+        let mut c = Cursor::new(b"qu\xffery\n".to_vec());
+        assert_eq!(read_request(&mut c, 64).unwrap(), RequestLine::BadUtf8);
+
+        // EOF mid-line.
+        let mut c = Cursor::new(b"quer".to_vec());
+        assert_eq!(
+            read_request(&mut c, 64).unwrap(),
+            RequestLine::PartialEof(4)
+        );
+    }
+
+    #[test]
+    fn health_and_framing_violations_over_tcp() {
+        let server = Server::bind(&Endpoint::Tcp("127.0.0.1:0".into())).unwrap();
+        let addr = server.local_addr();
+        let session = test_session();
+        let handle = std::thread::spawn(move || server.run(session).unwrap());
+        let endpoint = Endpoint::Tcp(addr);
+
+        // health on a fresh session, and degraded surfaced in query.
+        let stream = connect(&endpoint).unwrap();
+        let mut conn = BufReader::new(stream);
+        conn.get_mut().write_all(b"health\nquery\n").unwrap();
+        let r = read_response(&mut conn).unwrap();
+        assert!(r.ok && r.summary.contains("healthy"), "{r:?}");
+        assert!(r.detail.iter().any(|l| l == "seq 0"));
+        assert!(r.detail.iter().any(|l| l == "degraded 0"));
+        assert!(r.detail.iter().any(|l| l == "persist off"));
+        let r = read_response(&mut conn).unwrap();
+        assert!(r.detail.iter().any(|l| l == "degraded 0"));
+        drop(conn);
+
+        // An oversized line gets a structured err, then the connection
+        // closes.
+        let stream = connect(&endpoint).unwrap();
+        let mut conn = BufReader::new(stream);
+        let mut big = vec![b'a'; MAX_LINE_BYTES + 10];
+        big.push(b'\n');
+        conn.get_mut().write_all(&big).unwrap();
+        let r = read_response(&mut conn).unwrap();
+        assert!(!r.ok && r.summary.contains("exceeds"), "{r:?}");
+        assert_eq!(
+            read_response(&mut conn).unwrap_err().kind(),
+            std::io::ErrorKind::UnexpectedEof
+        );
+
+        // Invalid UTF-8 gets a structured err.
+        let stream = connect(&endpoint).unwrap();
+        let mut conn = BufReader::new(stream);
+        conn.get_mut().write_all(b"que\xffry\n").unwrap();
+        let r = read_response(&mut conn).unwrap();
+        assert!(!r.ok && r.summary.contains("UTF-8"), "{r:?}");
+
+        let stream = connect(&endpoint).unwrap();
+        let mut conn = BufReader::new(stream);
+        conn.get_mut().write_all(b"shutdown\n").unwrap();
+        let r = read_response(&mut conn).unwrap();
+        assert!(r.ok);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn idle_connections_are_closed_with_a_notice() {
+        let mut server = Server::bind(&Endpoint::Tcp("127.0.0.1:0".into())).unwrap();
+        server.set_idle_timeout(Duration::from_millis(100));
+        let addr = server.local_addr();
+        let stop = server.stop_flag();
+        let session = test_session();
+        let handle = std::thread::spawn(move || server.run(session).unwrap());
+
+        let stream = connect(&Endpoint::Tcp(addr)).unwrap();
+        let mut conn = BufReader::new(stream);
+        // Say nothing; the server should hang up with an err notice.
+        let r = read_response(&mut conn).unwrap();
+        assert!(!r.ok && r.summary.contains("idle"), "{r:?}");
+        assert_eq!(
+            read_response(&mut conn).unwrap_err().kind(),
+            std::io::ErrorKind::UnexpectedEof
+        );
+
+        stop.store(true, Ordering::SeqCst);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn persistent_server_recovers_across_restart() {
+        let dir = std::env::temp_dir().join(format!("quorumd-srv-persist-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // First life: apply two deltas under persistence, then shut down.
+        let server = Server::bind(&Endpoint::Tcp("127.0.0.1:0".into())).unwrap();
+        let addr = server.local_addr();
+        let session = test_session();
+        let persistence = crate::persist::Persistence::open(&dir, 100, &session).unwrap();
+        let handle =
+            std::thread::spawn(move || server.run_persistent(session, persistence).unwrap());
+        let stream = connect(&Endpoint::Tcp(addr)).unwrap();
+        let mut conn = BufReader::new(stream);
+        conn.get_mut()
+            .write_all(b"slowdown 2 2.0\ndemand 1 3.0\nhealth\nsnapshot\nshutdown\n")
+            .unwrap();
+        let r = read_response(&mut conn).unwrap();
+        assert!(r.ok, "{r:?}");
+        let r = read_response(&mut conn).unwrap();
+        assert!(r.ok, "{r:?}");
+        let r = read_response(&mut conn).unwrap();
+        assert!(r.detail.iter().any(|l| l == "persist on"), "{r:?}");
+        let first_snapshot = read_response(&mut conn).unwrap();
+        assert!(first_snapshot.ok);
+        read_response(&mut conn).unwrap();
+        handle.join().unwrap();
+
+        // Second life: recover and compare the full strategy dump.
+        let (recovered, report) = crate::persist::recover(
+            {
+                let net = datasets::euclidean_random(12, 100.0, 7);
+                let sys = QuorumSystem::grid(3).unwrap();
+                let placement = one_to_one::best_placement(&net, &sys).unwrap();
+                let quorums = sys.enumerate(100).unwrap();
+                SessionConfig {
+                    net,
+                    quorums,
+                    placement,
+                    alpha: 12.0,
+                    l_opt: sys.optimal_load().unwrap_or(0.5),
+                    sweep_steps: 5,
+                    colgen: None,
+                }
+            },
+            &dir,
+        )
+        .unwrap();
+        assert_eq!(recovered.seq(), 2);
+        assert!(report.checked && !report.degraded);
+        let mut recovered = recovered;
+        let second_snapshot = execute(&mut recovered, Command::Snapshot);
+        // Same shape, every number within the 1e-9 recovery discipline
+        // (the warm bases differ, so bitwise equality is not promised).
+        assert_eq!(first_snapshot.detail.len(), second_snapshot.detail.len());
+        for (a, b) in first_snapshot.detail.iter().zip(&second_snapshot.detail) {
+            for (ta, tb) in a.split_whitespace().zip(b.split_whitespace()) {
+                match (ta.parse::<f64>(), tb.parse::<f64>()) {
+                    (Ok(x), Ok(y)) => assert!(
+                        (x - y).abs() <= 1e-9 * (1.0 + x.abs().max(y.abs())),
+                        "{a} vs {b}"
+                    ),
+                    _ => assert_eq!(ta, tb, "{a} vs {b}"),
+                }
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[cfg(unix)]

@@ -159,6 +159,9 @@ pub struct Status {
     pub slowed: Vec<(usize, f64)>,
     /// Total pivots spent by the warm path across all deltas.
     pub warm_pivots: u64,
+    /// Whether the session is pinned on its last-good answer because the
+    /// most recent delta left the LP infeasible (or the solver errored).
+    pub degraded: bool,
     /// Accumulated pricing statistics when the session tunes through
     /// column generation ([`SessionConfig::colgen`]); `None` on the
     /// resident-LP path.
@@ -182,6 +185,23 @@ pub struct CheckReport {
     pub warm_pivots: u64,
     /// Pivots the cold rebuild spent.
     pub cold_pivots: u64,
+}
+
+/// The minimal mutable state a persisted snapshot must carry to
+/// reproduce a session: everything else is a pure function of the
+/// [`SessionConfig`]. Replaying this through
+/// [`Session::restore_state`] and re-tuning lands on the identical
+/// answer (the jittered optimum is unique).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PersistedState {
+    /// Deltas applied so far.
+    pub seq: u64,
+    /// Raw (unnormalized) per-client demand weights.
+    pub raw_weights: Vec<f64>,
+    /// Per-site service slowdown factors.
+    pub slowdown: Vec<f64>,
+    /// Currently crashed nodes, ascending.
+    pub crashed: Vec<usize>,
 }
 
 /// An owned snapshot of everything a cold recompute needs — safe to ship
@@ -228,6 +248,7 @@ pub struct Session {
     // Current answer and counters.
     current: Answer,
     warm_pivots: u64,
+    degraded: bool,
     // Column-generation mode: config, per-node element counts (the
     // capacity-row layout), and accumulated pricing statistics.
     colgen: Option<ColumnGeneration>,
@@ -366,6 +387,7 @@ impl Session {
                 pivots: 0,
             },
             warm_pivots: 0,
+            degraded: false,
             colgen: cfg.colgen,
             element_counts,
             pricing: None,
@@ -390,6 +412,103 @@ impl Session {
         self.quorums.len()
     }
 
+    /// Deltas applied so far (the sequence number of the last one).
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Whether the session is pinned on its last-good answer because
+    /// the most recent delta left the LP infeasible or the solver
+    /// errored. A later delta that tunes cleanly (e.g. a `restore`)
+    /// clears the flag.
+    pub fn degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// The minimal mutable state a snapshot needs to reproduce this
+    /// session (see [`PersistedState`]).
+    pub fn persisted_state(&self) -> PersistedState {
+        PersistedState {
+            seq: self.seq,
+            raw_weights: self.raw_weights.clone(),
+            slowdown: self.slowdown.clone(),
+            crashed: (0..self.crashed.len())
+                .filter(|&w| self.crashed[w])
+                .collect(),
+        }
+    }
+
+    /// Restores a freshly opened session to a persisted state in one
+    /// shot: bulk-edits the resident LP (demand rhs, slowdown
+    /// objectives, crash capacities), forces the sequence number, and
+    /// re-tunes once. An infeasible restored state is not an error —
+    /// the session comes back [`degraded`](Self::degraded), pinned on
+    /// its pre-restore answer, exactly as if the deltas had been
+    /// applied live.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::Config`] when the state's dimensions or values
+    /// don't fit this session; [`SessionError::Lp`] only on solver
+    /// failures outside the tune itself.
+    pub fn restore_state(&mut self, state: &PersistedState) -> Result<(), SessionError> {
+        let n = self.weights.len();
+        let bad = |m: String| Err(SessionError::Config(m));
+        if state.raw_weights.len() != n || state.slowdown.len() != n {
+            return bad(format!(
+                "persisted state sized for {} weights / {} sites, session has {n} nodes",
+                state.raw_weights.len(),
+                state.slowdown.len()
+            ));
+        }
+        if state.raw_weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
+            return bad("persisted demand weight must be finite and ≥ 0".into());
+        }
+        let total: f64 = state.raw_weights.iter().sum();
+        if total <= 0.0 {
+            return bad("persisted demand weights sum to zero".into());
+        }
+        if state.slowdown.iter().any(|f| !f.is_finite() || *f <= 0.0) {
+            return bad("persisted slowdown factor must be finite and > 0".into());
+        }
+        if state.crashed.iter().any(|&w| w >= n) {
+            return bad(format!("persisted crashed node out of range for {n} nodes"));
+        }
+
+        self.raw_weights = state.raw_weights.clone();
+        for v in 0..n {
+            self.weights[v] = self.raw_weights[v] / total;
+            self.instance.set_rhs(self.conv_rows[v], self.weights[v]);
+        }
+        let changed: Vec<usize> = (0..n)
+            .filter(|&w| state.slowdown[w] != self.slowdown[w])
+            .collect();
+        self.slowdown = state.slowdown.clone();
+        for w in changed {
+            self.refresh_objective_for_site(w)?;
+        }
+        for &w in &state.crashed {
+            self.crashed[w] = true;
+            if let Some(row) = self.cap_row_of(w) {
+                self.instance.set_rhs(row, 0.0);
+            }
+        }
+        self.seq = state.seq;
+
+        match self.tune() {
+            Ok((answer, _pivots)) => {
+                self.degraded = false;
+                self.current = answer;
+                Ok(())
+            }
+            Err(SessionError::Infeasible(_)) | Err(SessionError::Lp(_)) => {
+                self.degraded = true;
+                Ok(())
+            }
+            Err(e) => Err(e),
+        }
+    }
+
     /// Point-in-time summary.
     pub fn status(&self) -> Status {
         Status {
@@ -407,6 +526,7 @@ impl Session {
                 .map(|w| (w, self.slowdown[w]))
                 .collect(),
             warm_pivots: self.warm_pivots,
+            degraded: self.degraded,
             colgen: self.pricing,
         }
     }
@@ -498,7 +618,21 @@ impl Session {
         self.seq += 1;
 
         let old = self.current.clone();
-        let (answer, _pivots) = self.tune()?;
+        let (answer, _pivots) = match self.tune() {
+            Ok(tuned) => {
+                self.degraded = false;
+                tuned
+            }
+            Err(e) => {
+                // The delta is recorded (seq advanced) but the LP could
+                // not re-tune: pin the last-good answer and flag the
+                // session degraded until a counteracting delta lands.
+                if matches!(e, SessionError::Infeasible(_) | SessionError::Lp(_)) {
+                    self.degraded = true;
+                }
+                return Err(e);
+            }
+        };
         let migration = self.migration_plan(&old, &answer);
         self.current = answer.clone();
         Ok(DeltaReport {
@@ -1251,6 +1385,96 @@ mod tests {
         // The colgen answer survives the warm-vs-cold cross-check.
         let check = cg.cold_check().unwrap();
         assert!(check.ok, "cross-check failed: {check:?}");
+    }
+
+    #[test]
+    fn degraded_flag_pins_last_good_answer_until_restore() {
+        let mut s = session(6);
+        assert!(!s.degraded());
+        // Crash every node any quorum uses; the last crash leaves no
+        // live quorum and the tune goes infeasible.
+        let victims: Vec<usize> = s.cap_rows.iter().map(|&(w, _)| w).collect();
+        let before_seq = s.status().seq;
+        let mut infeasible_at = None;
+        for &w in &victims {
+            match s.apply(&Delta::Crash { node: w }) {
+                Ok(_) => assert!(!s.degraded()),
+                Err(SessionError::Infeasible(_)) => {
+                    infeasible_at = Some(w);
+                    break;
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        let tipped = infeasible_at.expect("crashing every loaded node must go infeasible");
+        assert!(s.degraded(), "infeasible tune must degrade the session");
+        // The infeasible delta was still recorded and the last-good
+        // answer is pinned.
+        assert!(s.status().seq > before_seq);
+        assert!(s
+            .answer()
+            .strategy
+            .iter()
+            .any(|r| r.iter().sum::<f64>() > 0.5));
+        // Restoring the tipping node recovers and clears the flag.
+        let report = s.apply(&Delta::Restore { node: tipped }).unwrap();
+        assert!(!s.degraded());
+        assert!(report.answer.delay_ms > 0.0);
+    }
+
+    #[test]
+    fn restore_state_reproduces_a_live_session_bit_for_bit() {
+        let mut live = session(6);
+        live.apply(&Delta::Demand {
+            loc: 1,
+            weight: 4.0,
+        })
+        .unwrap();
+        live.apply(&Delta::Slowdown {
+            site: 3,
+            factor: 2.5,
+        })
+        .unwrap();
+        live.apply(&Delta::Crash { node: 5 }).unwrap();
+
+        let mut restored = session(6);
+        restored.restore_state(&live.persisted_state()).unwrap();
+        assert_eq!(restored.seq(), live.seq());
+        assert!(!restored.degraded());
+        let (a, b) = (live.answer(), restored.answer());
+        assert_eq!(a.capacity, b.capacity);
+        let rel = |x: f64, y: f64| (x - y).abs() / (1.0 + x.abs().max(y.abs()));
+        assert!(rel(a.delay_ms, b.delay_ms) <= 1e-9);
+        assert!(rel(a.response_ms, b.response_ms) <= 1e-9);
+        for (ra, rb) in a.strategy.iter().zip(&b.strategy) {
+            for (&pa, &pb) in ra.iter().zip(rb) {
+                assert!((pa - pb).abs() <= 1e-9);
+            }
+        }
+        assert!(restored.cold_check().unwrap().ok);
+    }
+
+    #[test]
+    fn restore_state_rejects_mismatched_dimensions() {
+        let mut s = session(4);
+        let mut state = s.persisted_state();
+        state.raw_weights.push(1.0);
+        assert!(matches!(
+            s.restore_state(&state),
+            Err(SessionError::Config(_))
+        ));
+        let mut state = s.persisted_state();
+        state.crashed = vec![99];
+        assert!(matches!(
+            s.restore_state(&state),
+            Err(SessionError::Config(_))
+        ));
+        let mut state = s.persisted_state();
+        state.slowdown[0] = -1.0;
+        assert!(matches!(
+            s.restore_state(&state),
+            Err(SessionError::Config(_))
+        ));
     }
 
     #[test]

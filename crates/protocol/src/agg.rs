@@ -33,8 +33,8 @@ use qp_des::{ServiceStation, SimTime, Tally, TimeWheel};
 use qp_quorum::{Quorum, QuorumSystem};
 use qp_topology::{Network, NodeId};
 
-use crate::sim::{build_servers, residual_busy, validate_inputs, ResponseStats};
-use crate::{ClientPopulation, ProtocolConfig, QuorumChoice, SimError, SimReport};
+use crate::sim::{build_servers, crashed_mask, residual_busy, validate_inputs, ResponseStats};
+use crate::{ClientPopulation, FaultConfig, ProtocolConfig, QuorumChoice, SimError, SimReport};
 
 /// Enumeration cap when the aggregated engine must materialize the quorum
 /// list itself (the `Balanced` choice); matches the scenario default.
@@ -60,6 +60,7 @@ impl std::fmt::Display for SimEngine {
 }
 
 /// One contacted node of a flow's quorum.
+#[derive(Clone)]
 struct FlowNode {
     node: usize,
     one_way_ms: f64,
@@ -81,6 +82,44 @@ struct Flow {
     pending: usize,
     /// Rounds fully completed.
     rounds_done: usize,
+    /// When this flow's first round is sent, ms (0 for nominal flows;
+    /// the detection latency for failover mass shifted off dead quorums).
+    start_ms: f64,
+}
+
+/// Analytic per-client attempt trace over the detection window (fluid
+/// analogue of the exact engine's timer/retry loop, zero-jitter backoff):
+/// how many attempts time out before the detector fires and how many
+/// re-issues that costs, per doomed client.
+fn detection_window_attempts(f: &FaultConfig) -> (u64, u64) {
+    if f.detection_latency_ms <= 0.0 {
+        return (0, 0);
+    }
+    let mut t = 0.0;
+    let mut timeouts = 0u64;
+    let mut retries = 0u64;
+    let mut attempt = 0usize;
+    while timeouts < 100_000 {
+        t += f.timeout_ms;
+        timeouts += 1;
+        if t >= f.detection_latency_ms {
+            break;
+        }
+        if attempt < f.max_retries {
+            retries += 1;
+            t += f.backoff_base_ms * 2f64.powi(attempt as i32);
+            attempt += 1;
+            if t >= f.detection_latency_ms {
+                break;
+            }
+        } else {
+            // Retries exhausted: the logical request is abandoned and the
+            // closed loop starts the next one immediately.
+            attempt = 0;
+        }
+    }
+    // The post-detection failover re-issue is itself a retry.
+    (timeouts, retries + 1)
 }
 
 /// Splits `total` clients across quorums proportionally to `weights`
@@ -200,13 +239,80 @@ pub fn simulate_aggregated(
         config.service_time_ms * mult
     };
 
-    // Build flows: one per (location, quorum) pair with assigned clients.
+    // Fault model (analytic): clients apportioned to quorums that touch a
+    // crashed element spend the detection window timing out, then shift
+    // to the surviving strategy mass as late-starting failover flows.
+    let crashed = crashed_mask(system.universe_size(), config);
+    let any_crashed = crashed.iter().any(|&c| c);
+    let fault = config.fault.as_ref().filter(|_| any_crashed);
+    let quorum_dead: Vec<bool> = if fault.is_some() {
+        quorums
+            .iter()
+            .map(|q| q.iter().any(|u| crashed[u.index()]))
+            .collect()
+    } else {
+        vec![false; quorums.len()]
+    };
+    let (timeouts_pc, retries_pc) = fault.map_or((0, 0), detection_window_attempts);
+    let mut timeouts = 0u64;
+    let mut retries = 0u64;
+    let mut failovers = 0u64;
+
+    // Build flows: one per (location, quorum) pair with assigned clients,
+    // plus one late-starting failover flow per quorum receiving shifted
+    // detection-window mass.
     let mut flows: Vec<Flow> = Vec::new();
     let mut total_members = 0usize;
     for (l, &loc) in locations.iter().enumerate() {
         let per_quorum = apportion(loc_counts[l], &rows[l]);
-        for (i, &n) in per_quorum.iter().enumerate() {
-            if n == 0 {
+        // Mass shifted off dead quorums at detection time.
+        let mut shifted = vec![0usize; quorums.len()];
+        if let Some(f) = fault {
+            let doomed: usize = per_quorum
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| quorum_dead[i])
+                .map(|(_, &n)| n)
+                .sum();
+            if doomed > 0 {
+                let live_row: Vec<f64> = rows[l]
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &p)| if quorum_dead[i] { 0.0 } else { p })
+                    .collect();
+                if live_row.iter().sum::<f64>() > 0.0 {
+                    shifted = apportion(doomed, &live_row);
+                    timeouts += doomed as u64 * timeouts_pc;
+                    retries += doomed as u64 * retries_pc;
+                    if f.detection_latency_ms > 0.0 {
+                        failovers += doomed as u64;
+                    }
+                } else {
+                    // Every quorum of this location touches a crash: its
+                    // clients never complete a request; charge the full
+                    // run's worth of timeouts and drop the mass.
+                    let rounds = total_rounds as u64;
+                    timeouts += doomed as u64 * rounds * (f.max_retries as u64 + 1);
+                    retries += doomed as u64 * rounds * f.max_retries as u64;
+                }
+            }
+        }
+        for (i, &nominal_n) in per_quorum.iter().enumerate() {
+            let quorum_flows: [(usize, f64); 2] = [
+                // Nominal mass (zeroed on dead quorums under the fault
+                // model — it re-emerges as shifted mass elsewhere).
+                (
+                    if fault.is_some() && quorum_dead[i] {
+                        0
+                    } else {
+                        nominal_n
+                    },
+                    0.0,
+                ),
+                // Failover mass arriving when the detector fires.
+                (shifted[i], fault.map_or(0.0, |f| f.detection_latency_ms)),
+            ];
+            if quorum_flows.iter().all(|&(n, _)| n == 0) {
                 continue;
             }
             // Group the quorum's elements by hosting node, exactly as the
@@ -235,15 +341,21 @@ pub fn simulate_aggregated(
                     service_ms: svc,
                 });
             }
-            flows.push(Flow {
-                offset: total_members,
-                n,
-                nodes,
-                floor_ms,
-                pending: 0,
-                rounds_done: 0,
-            });
-            total_members += n;
+            for (n, start_ms) in quorum_flows {
+                if n == 0 {
+                    continue;
+                }
+                flows.push(Flow {
+                    offset: total_members,
+                    n,
+                    nodes: nodes.clone(),
+                    floor_ms,
+                    pending: 0,
+                    rounds_done: 0,
+                    start_ms,
+                });
+                total_members += n;
+            }
         }
     }
 
@@ -266,8 +378,14 @@ pub fn simulate_aggregated(
     if total_rounds > 0 {
         for (f, flow) in flows.iter_mut().enumerate() {
             flow.pending = flow.nodes.len();
+            for c in c_prev.iter_mut().skip(flow.offset).take(flow.n) {
+                *c = flow.start_ms;
+            }
             for (ni, fnode) in flow.nodes.iter().enumerate() {
-                wheel.push(SimTime::from_ms(fnode.one_way_ms), (f as u32, ni as u32));
+                wheel.push(
+                    SimTime::from_ms(flow.start_ms + fnode.one_way_ms),
+                    (f as u32, ni as u32),
+                );
             }
         }
     }
@@ -342,6 +460,9 @@ pub fn simulate_aggregated(
         completed_requests: response_stats.count(),
         horizon_ms: horizon.as_ms(),
         residual_busy_ms: residual_busy(&servers, horizon),
+        timeouts,
+        retries,
+        failovers,
     })
 }
 
@@ -569,6 +690,81 @@ mod tests {
         )
         .unwrap();
         assert_eq!(report.completed_requests, 100 * 12);
+    }
+
+    #[test]
+    fn fault_model_without_crashes_is_bit_identical() {
+        let (net, sys, placement) = grid_setup();
+        let clients = ClientPopulation::representative(&net, &sys, &placement, 8, 10);
+        let choice = weighted_choice(&sys, &clients, 16);
+        let cfg = ProtocolConfig::default();
+        let base =
+            simulate_aggregated(&net, &sys, &placement, &clients, choice.clone(), &cfg).unwrap();
+        let faulted = simulate_aggregated(
+            &net,
+            &sys,
+            &placement,
+            &clients,
+            choice,
+            &ProtocolConfig {
+                fault: Some(crate::FaultConfig::default()),
+                ..cfg
+            },
+        )
+        .unwrap();
+        assert_eq!(base.avg_response_ms, faulted.avg_response_ms);
+        assert_eq!(base.per_client_response_ms, faulted.per_client_response_ms);
+        assert_eq!(base.server_utilization, faulted.server_utilization);
+        assert_eq!(faulted.timeouts, 0);
+        assert_eq!(faulted.retries, 0);
+        assert_eq!(faulted.failovers, 0);
+    }
+
+    #[test]
+    fn detection_window_mass_shifts_between_flows() {
+        let (net, sys, placement) = grid_setup();
+        let clients = ClientPopulation::new(vec![NodeId::new(3), NodeId::new(11)], 20);
+        let choice = weighted_choice(&sys, &clients, 16);
+        let mut mults = vec![1.0; sys.universe_size()];
+        mults[0] = 64.0;
+        let cfg = ProtocolConfig {
+            measured_requests: 20,
+            service_multipliers: Some(mults),
+            fault: Some(crate::FaultConfig {
+                detection_latency_ms: 300.0,
+                ..crate::FaultConfig::default()
+            }),
+            ..ProtocolConfig::default()
+        };
+        let report =
+            simulate_aggregated(&net, &sys, &placement, &clients, choice.clone(), &cfg).unwrap();
+        // Every client still completes its measured rounds (mass shifted,
+        // not dropped), and the analytic counters reflect the window.
+        assert_eq!(report.completed_requests, 40 * 20);
+        assert!(report.timeouts > 0);
+        assert!(report.retries > 0);
+        assert!(report.failovers > 0);
+        // A priori knowledge (zero latency) has no detection window.
+        let instant = simulate_aggregated(
+            &net,
+            &sys,
+            &placement,
+            &clients,
+            choice,
+            &ProtocolConfig {
+                fault: cfg.fault.clone().map(|f| crate::FaultConfig {
+                    detection_latency_ms: 0.0,
+                    ..f
+                }),
+                ..cfg
+            },
+        )
+        .unwrap();
+        assert_eq!(instant.timeouts, 0);
+        assert_eq!(instant.failovers, 0);
+        assert_eq!(instant.completed_requests, 40 * 20);
+        // The late-starting failover flows stretch the horizon.
+        assert!(report.horizon_ms >= instant.horizon_ms);
     }
 
     #[test]

@@ -51,5 +51,5 @@ mod workload;
 
 pub use agg::{simulate_aggregated, simulate_with_engine, SimEngine};
 pub use multi::{simulate_many, simulate_many_with};
-pub use sim::{simulate, ProtocolConfig, QuorumChoice, SimError, SimReport};
+pub use sim::{simulate, FaultConfig, ProtocolConfig, QuorumChoice, SimError, SimReport};
 pub use workload::ClientPopulation;

@@ -30,6 +30,62 @@ pub enum QuorumChoice {
     },
 }
 
+/// Client-side fault-tolerance model (opt-in via
+/// [`ProtocolConfig::fault`]).
+///
+/// When enabled, universe elements whose service multiplier reaches
+/// [`crash_threshold`](FaultConfig::crash_threshold) are treated as
+/// *crashed*: they never reply. Clients discover crashes through a
+/// probe-based failure detector that announces the crashed set
+/// [`detection_latency_ms`](FaultConfig::detection_latency_ms) after the
+/// start of the run. Until then clients keep issuing requests under their
+/// nominal strategy; a request touching a crashed element times out after
+/// [`timeout_ms`](FaultConfig::timeout_ms) and is retried with exponential
+/// backoff plus deterministic jitter (seeded via [`qp_par::job_seed`], so
+/// runs are bit-identical at any thread count). Once the detector has
+/// fired, retries — and all subsequent fresh requests — fail over to the
+/// strategy renormalized over the quorums that avoid crashed elements.
+///
+/// With **no crashed elements** the model is inert: no timers are
+/// scheduled and no extra random draws happen, so the event stream — and
+/// therefore every reported statistic — is bit-identical to a run with
+/// `fault: None`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultConfig {
+    /// Client-side per-attempt timeout, ms.
+    pub timeout_ms: f64,
+    /// Retries per logical request after the first attempt; a request that
+    /// exhausts its retries is abandoned (not counted as completed) and
+    /// the closed loop moves on to the client's next request.
+    pub max_retries: usize,
+    /// Base of the exponential backoff before retry `a`:
+    /// `backoff_base_ms · 2^a`, ms.
+    pub backoff_base_ms: f64,
+    /// Jitter fraction in `[0, 1]`: the backoff is stretched by a factor
+    /// in `[1, 1 + backoff_jitter)` drawn from a deterministic per-retry
+    /// hash of the seed.
+    pub backoff_jitter: f64,
+    /// Time at which the failure detector announces the crashed set, ms
+    /// from the start of the run. `0` means crashes are known a priori.
+    pub detection_latency_ms: f64,
+    /// Service multipliers at or above this value mark an element as
+    /// crashed (the scenario runner's crash convention is `64.0`).
+    pub crash_threshold: f64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            timeout_ms: 100.0,
+            max_retries: 3,
+            backoff_base_ms: 10.0,
+            backoff_jitter: 0.5,
+            detection_latency_ms: 250.0,
+            crash_threshold: 64.0,
+        }
+    }
+}
+
 /// Simulation parameters.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ProtocolConfig {
@@ -61,6 +117,10 @@ pub struct ProtocolConfig {
     /// `initial_server_busy_ms[w]`. Length must equal the network size
     /// when present. Used by the scenario runner's `carry_queues` mode.
     pub initial_server_busy_ms: Option<Vec<f64>>,
+    /// Opt-in client-side failure handling (timeouts, retries, failover,
+    /// failure detection). `None` — the default — is the historical
+    /// fail-unaware behaviour.
+    pub fault: Option<FaultConfig>,
 }
 
 impl Default for ProtocolConfig {
@@ -74,6 +134,7 @@ impl Default for ProtocolConfig {
             dedup_colocated: false,
             streaming_percentiles: false,
             initial_server_busy_ms: None,
+            fault: None,
         }
     }
 }
@@ -107,6 +168,14 @@ pub struct SimReport {
     /// Feed into [`ProtocolConfig::initial_server_busy_ms`] to continue a
     /// workload where this run left off.
     pub residual_busy_ms: Vec<f64>,
+    /// Client-side timeouts that fired ([`ProtocolConfig::fault`] only;
+    /// always 0 without the fault model).
+    pub timeouts: u64,
+    /// Request re-issues after a timeout (fault model only).
+    pub retries: u64,
+    /// Re-issues that switched quorums under the detector's renormalized
+    /// strategy (fault model only).
+    pub failovers: u64,
 }
 
 #[derive(Debug)]
@@ -119,16 +188,38 @@ enum Event {
     },
     /// A server's reply reaches the issuing client.
     Reply { request: usize },
+    /// The client-side timer for a request attempt fires (fault model
+    /// only; scheduled only for attempts that touch a crashed element).
+    Timeout { request: usize },
 }
 
 #[derive(Debug)]
 struct RequestState {
     client: usize,
-    sent_at: SimTime,
+    /// Send time of the logical request's *first* attempt; response times
+    /// are measured from here so retries pay for their timeouts.
+    first_sent_at: SimTime,
     remaining: usize,
     /// Idle-network floor: max over the quorum of RTT + service.
     floor_ms: f64,
     measured: bool,
+    /// Retry attempt index (0 = first attempt).
+    attempt: usize,
+    /// Timed out: late replies are ignored and completion is impossible.
+    abandoned: bool,
+}
+
+/// How a request issuance relates to the logical request stream.
+#[derive(Debug, Clone, Copy)]
+enum IssueKind {
+    /// Next logical request of the client's closed loop.
+    Fresh,
+    /// Re-issue of a timed-out logical request.
+    Retry {
+        attempt: usize,
+        first_sent_at: SimTime,
+        measured: bool,
+    },
 }
 
 /// Errors from the protocol simulation.
@@ -148,6 +239,48 @@ impl std::fmt::Display for SimError {
 }
 
 impl std::error::Error for SimError {}
+
+/// Added to a crashed element's cost in the detector's closest-quorum
+/// fallback so quorums avoiding crashes always rank first.
+const CRASH_COST_PENALTY: f64 = 1e12;
+
+/// Cap on `Balanced`-choice rejection sampling when avoiding crashed
+/// elements (gives up and accepts a doomed quorum after this many draws).
+const LIVE_SAMPLE_ATTEMPTS: usize = 64;
+
+/// Crashed-element mask implied by the fault model: service multiplier at
+/// or above [`FaultConfig::crash_threshold`]. All-false without the fault
+/// model or without multipliers.
+pub(crate) fn crashed_mask(universe: usize, config: &ProtocolConfig) -> Vec<bool> {
+    if let (Some(f), Some(mults)) = (&config.fault, &config.service_multipliers) {
+        mults.iter().map(|&m| m >= f.crash_threshold).collect()
+    } else {
+        vec![false; universe]
+    }
+}
+
+/// Deterministic unit-interval draw for retry jitter: retry `index` under
+/// `seed` always gets the same value, independent of thread count and
+/// event interleaving.
+pub(crate) fn jitter_unit(seed: u64, index: u64) -> f64 {
+    let h = qp_par::job_seed(seed ^ 0xFA17_7015, index as usize);
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// The exact engine's CDF walk over a strategy row: one uniform draw,
+/// falling through to the last quorum on accumulated rounding slack.
+fn sample_weighted_row(row: &[f64], rng: &mut StdRng) -> usize {
+    let mut pick: f64 = rng.gen_range(0.0..1.0);
+    let mut idx = row.len() - 1;
+    for (i, &p) in row.iter().enumerate() {
+        if pick < p {
+            idx = i;
+            break;
+        }
+        pick -= p;
+    }
+    idx
+}
 
 /// Shape checks shared by the exact and aggregated engines.
 pub(crate) fn validate_inputs(
@@ -189,6 +322,33 @@ pub(crate) fn validate_inputs(
         if busy.iter().any(|&b| !b.is_finite() || b < 0.0) {
             return Err(SimError::SizeMismatch(
                 "initial backlogs must be nonnegative".to_string(),
+            ));
+        }
+    }
+    if let Some(f) = &config.fault {
+        if !(f.timeout_ms.is_finite() && f.timeout_ms > 0.0) {
+            return Err(SimError::SizeMismatch(
+                "fault timeout must be positive and finite".to_string(),
+            ));
+        }
+        if !(f.backoff_base_ms.is_finite() && f.backoff_base_ms >= 0.0) {
+            return Err(SimError::SizeMismatch(
+                "fault backoff base must be nonnegative and finite".to_string(),
+            ));
+        }
+        if !(f.backoff_jitter.is_finite() && (0.0..=1.0).contains(&f.backoff_jitter)) {
+            return Err(SimError::SizeMismatch(
+                "fault backoff jitter must lie in [0, 1]".to_string(),
+            ));
+        }
+        if !(f.detection_latency_ms.is_finite() && f.detection_latency_ms >= 0.0) {
+            return Err(SimError::SizeMismatch(
+                "fault detection latency must be nonnegative and finite".to_string(),
+            ));
+        }
+        if !(f.crash_threshold.is_finite() && f.crash_threshold > 1.0) {
+            return Err(SimError::SizeMismatch(
+                "fault crash threshold must be finite and exceed 1".to_string(),
             ));
         }
     }
@@ -357,6 +517,46 @@ pub fn simulate(
     // clients by demand weight.
     let location_of_client: Vec<usize> = clients.location_indices();
 
+    // Fault-model precomputation; inert (all-false masks, no tables)
+    // without the fault model or without crashes.
+    let crashed = crashed_mask(system.universe_size(), config);
+    let any_crashed = crashed.iter().any(|&c| c);
+    let fault = config.fault.clone();
+    // Quorums that touch a crashed element (Weighted failover mask).
+    let quorum_dead: Vec<bool> = match (&choice, any_crashed) {
+        (QuorumChoice::Weighted { quorums, .. }, true) => quorums
+            .iter()
+            .map(|q| q.iter().any(|u| crashed[u.index()]))
+            .collect(),
+        _ => Vec::new(),
+    };
+    // Closest fallback once the detector has fired: crashed elements get
+    // a prohibitive cost so min-max avoids them whenever possible.
+    let closest_live_by_location: Vec<Quorum> = if any_crashed {
+        clients
+            .locations()
+            .iter()
+            .map(|&v| {
+                let costs: Vec<f64> = placement
+                    .as_slice()
+                    .iter()
+                    .enumerate()
+                    .map(|(u, &w)| {
+                        net.distance(v, w) + if crashed[u] { CRASH_COST_PENALTY } else { 0.0 }
+                    })
+                    .collect();
+                system.min_max_quorum(&costs)
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let detection_ms = fault
+        .as_ref()
+        .map_or(f64::INFINITY, |f| f.detection_latency_ms);
+    // Has the detector announced the crashed set by `now`?
+    let live_now = |now: SimTime| any_crashed && now.as_ms() >= detection_ms;
+
     let service_of = |element: usize, config: &ProtocolConfig| -> f64 {
         let mult = config
             .service_multipliers
@@ -365,33 +565,87 @@ pub fn simulate(
         config.service_time_ms * mult
     };
 
-    // Issue the first request of every client at t = 0.
+    // Issues one request attempt at `send_at`. `use_live` routes quorum
+    // selection through the failure detector's renormalized view
+    // (post-detection fresh requests and failover retries); otherwise the
+    // selection — and its RNG draws — is bit-identical to the historical
+    // fail-unaware path.
     let issue = |client: usize,
-                 now: SimTime,
+                 send_at: SimTime,
+                 kind: IssueKind,
+                 use_live: bool,
                  rng: &mut StdRng,
                  queue: &mut EventQueue<Event>,
                  requests: &mut Vec<RequestState>,
                  issued: &mut Vec<usize>| {
         let loc = client_locs[client];
-        let quorum = match &choice {
-            QuorumChoice::Balanced => system.sample_uniform(rng),
-            QuorumChoice::Closest => closest_by_location[location_of_client[client]].clone(),
-            QuorumChoice::Weighted { quorums, strategy } => {
-                let row = strategy.row(location_of_client[client]);
-                let mut pick: f64 = rng.gen_range(0.0..1.0);
-                let mut idx = quorums.len() - 1;
-                for (i, &p) in row.iter().enumerate() {
-                    if pick < p {
-                        idx = i;
-                        break;
+        let quorum = if use_live {
+            match &choice {
+                QuorumChoice::Balanced => {
+                    let mut q = system.sample_uniform(rng);
+                    for _ in 0..LIVE_SAMPLE_ATTEMPTS {
+                        if !q.iter().any(|u| crashed[u.index()]) {
+                            break;
+                        }
+                        q = system.sample_uniform(rng);
                     }
-                    pick -= p;
+                    q
                 }
-                quorums[idx].clone()
+                QuorumChoice::Closest => {
+                    closest_live_by_location[location_of_client[client]].clone()
+                }
+                QuorumChoice::Weighted { quorums, strategy } => {
+                    let row = strategy.row(location_of_client[client]);
+                    let live_mass: f64 = row
+                        .iter()
+                        .enumerate()
+                        .filter(|&(i, _)| !quorum_dead[i])
+                        .map(|(_, &p)| p)
+                        .sum();
+                    if live_mass > 0.0 {
+                        // One draw over the renormalized surviving mass,
+                        // falling through to the last live quorum.
+                        let mut pick: f64 = rng.gen_range(0.0..1.0) * live_mass;
+                        let mut idx = None;
+                        for (i, &p) in row.iter().enumerate() {
+                            if quorum_dead[i] {
+                                continue;
+                            }
+                            idx = Some(i);
+                            if pick < p {
+                                break;
+                            }
+                            pick -= p;
+                        }
+                        quorums[idx.expect("positive live mass has a live quorum")].clone()
+                    } else {
+                        // Every quorum touches a crash: nominal row.
+                        quorums[sample_weighted_row(row, rng)].clone()
+                    }
+                }
+            }
+        } else {
+            match &choice {
+                QuorumChoice::Balanced => system.sample_uniform(rng),
+                QuorumChoice::Closest => closest_by_location[location_of_client[client]].clone(),
+                QuorumChoice::Weighted { quorums, strategy } => {
+                    let row = strategy.row(location_of_client[client]);
+                    quorums[sample_weighted_row(row, rng)].clone()
+                }
             }
         };
-        let seq = issued[client];
-        issued[client] += 1;
+        let (attempt, first_sent_at, measured) = match kind {
+            IssueKind::Fresh => {
+                let seq = issued[client];
+                issued[client] += 1;
+                (0, send_at, seq >= config.warmup_requests)
+            }
+            IssueKind::Retry {
+                attempt,
+                first_sent_at,
+                measured,
+            } => (attempt, first_sent_at, measured),
+        };
         // Group the quorum's elements by hosting node: one message per
         // element normally, one per node under deduplicated execution.
         let mut by_node: Vec<(usize, Vec<usize>)> = Vec::new();
@@ -402,7 +656,9 @@ pub fn simulate(
                 Err(pos) => by_node.insert(pos, (w, vec![u.index()])),
             }
         }
-        let mut messages: Vec<(usize, f64)> = Vec::new();
+        // (node, service, dead): dead messages go to crashed replicas and
+        // are swallowed — no service, no reply.
+        let mut messages: Vec<(usize, f64, bool)> = Vec::new();
         let mut floor_ms = f64::MIN;
         for (w, elems) in &by_node {
             let d = net.distance(loc, qp_topology::NodeId::new(*w));
@@ -411,31 +667,38 @@ pub fn simulate(
                     .iter()
                     .map(|&u| service_of(u, config))
                     .fold(0.0, f64::max);
-                messages.push((*w, svc));
+                let dead = elems.iter().any(|&u| crashed[u]);
+                messages.push((*w, svc, dead));
                 floor_ms = floor_ms.max(d + svc);
             } else {
                 let mut total = 0.0;
                 for &u in elems {
                     let svc = service_of(u, config);
-                    messages.push((*w, svc));
+                    messages.push((*w, svc, crashed[u]));
                     total += svc;
                 }
                 // Same-node messages serialize even on an idle system.
                 floor_ms = floor_ms.max(d + total);
             }
         }
+        let doomed = fault.is_some() && messages.iter().any(|&(_, _, dead)| dead);
         let request = requests.len();
         requests.push(RequestState {
             client,
-            sent_at: now,
+            first_sent_at,
             remaining: messages.len(),
             floor_ms,
-            measured: seq >= config.warmup_requests,
+            measured,
+            attempt,
+            abandoned: false,
         });
-        for (w, service_ms) in messages {
+        for (w, service_ms, dead) in messages {
+            if dead {
+                continue;
+            }
             let one_way = net.distance(loc, qp_topology::NodeId::new(w)) / 2.0;
             queue.push(
-                now + one_way,
+                send_at + one_way,
                 Event::Arrival {
                     node: w,
                     service_ms,
@@ -443,12 +706,18 @@ pub fn simulate(
                 },
             );
         }
+        if doomed {
+            let f = fault.as_ref().expect("doomed implies the fault model");
+            queue.push(send_at + f.timeout_ms, Event::Timeout { request });
+        }
     };
 
     for client in 0..n_clients {
         issue(
             client,
             SimTime::ZERO,
+            IssueKind::Fresh,
+            live_now(SimTime::ZERO),
             &mut rng,
             &mut queue,
             &mut requests,
@@ -457,6 +726,10 @@ pub fn simulate(
     }
 
     // Event loop.
+    let mut timeouts = 0u64;
+    let mut retries = 0u64;
+    let mut failovers = 0u64;
+    let mut retry_jitter_idx = 0u64;
     while let Some((now, event)) = queue.pop() {
         match event {
             Event::Arrival {
@@ -474,11 +747,11 @@ pub fn simulate(
                 let done = {
                     let st = &mut requests[request];
                     st.remaining -= 1;
-                    st.remaining == 0
+                    st.remaining == 0 && !st.abandoned
                 };
                 if done {
                     let st = &requests[request];
-                    let rt = now - st.sent_at;
+                    let rt = now - st.first_sent_at;
                     if st.measured {
                         response_stats.add(rt);
                         floor_tally.add(st.floor_ms);
@@ -489,12 +762,67 @@ pub fn simulate(
                         issue(
                             client,
                             now,
+                            IssueKind::Fresh,
+                            live_now(now),
                             &mut rng,
                             &mut queue,
                             &mut requests,
                             &mut issued,
                         );
                     }
+                }
+            }
+            Event::Timeout { request } => {
+                let (client, attempt, first_sent_at, measured) = {
+                    let st = &mut requests[request];
+                    if st.abandoned || st.remaining == 0 {
+                        continue;
+                    }
+                    st.abandoned = true;
+                    (st.client, st.attempt, st.first_sent_at, st.measured)
+                };
+                let f = fault
+                    .as_ref()
+                    .expect("timeouts are only scheduled under the fault model");
+                timeouts += 1;
+                if attempt < f.max_retries {
+                    retries += 1;
+                    let live = live_now(now);
+                    if live {
+                        failovers += 1;
+                    }
+                    let stretch =
+                        1.0 + f.backoff_jitter * jitter_unit(config.seed, retry_jitter_idx);
+                    retry_jitter_idx += 1;
+                    let backoff = f.backoff_base_ms * 2f64.powi(attempt as i32) * stretch;
+                    issue(
+                        client,
+                        now + backoff,
+                        IssueKind::Retry {
+                            attempt: attempt + 1,
+                            first_sent_at,
+                            measured,
+                        },
+                        live,
+                        &mut rng,
+                        &mut queue,
+                        &mut requests,
+                        &mut issued,
+                    );
+                } else if issued[client] < per_client_total {
+                    // Retries exhausted: the logical request is abandoned
+                    // (never counted as completed) and the closed loop
+                    // moves on to the client's next request.
+                    issue(
+                        client,
+                        now,
+                        IssueKind::Fresh,
+                        live_now(now),
+                        &mut rng,
+                        &mut queue,
+                        &mut requests,
+                        &mut issued,
+                    );
                 }
             }
         }
@@ -516,6 +844,9 @@ pub fn simulate(
         completed_requests: response_stats.count(),
         horizon_ms: horizon.as_ms(),
         residual_busy_ms: residual_busy(&servers, horizon),
+        timeouts,
+        retries,
+        failovers,
     })
 }
 
@@ -753,6 +1084,154 @@ mod tests {
         )
         .unwrap();
         assert!(carried.avg_response_ms > nominal.avg_response_ms);
+    }
+
+    /// Uniform weighted choice over an enumerable 2×2 grid (some quorums
+    /// avoid any single element, so failover always has live mass).
+    fn grid_weighted(net: &Network) -> (QuorumSystem, Placement, QuorumChoice, Vec<Quorum>) {
+        let grid = QuorumSystem::grid(2).unwrap();
+        let placement = one_to_one::best_placement(net, &grid).unwrap();
+        let quorums = grid.enumerate(16).unwrap();
+        let n = quorums.len();
+        let rows = vec![vec![1.0 / n as f64; n]; 2];
+        let choice = QuorumChoice::Weighted {
+            quorums: quorums.clone(),
+            strategy: StrategyMatrix::from_rows(rows).unwrap(),
+        };
+        (grid, placement, choice, quorums)
+    }
+
+    #[test]
+    fn fault_model_without_crashes_is_bit_identical() {
+        let (net, sys, placement) = setup();
+        let clients = ClientPopulation::representative(&net, &sys, &placement, 5, 3);
+        let cfg = ProtocolConfig {
+            seed: 13,
+            ..ProtocolConfig::default()
+        };
+        let base = simulate(
+            &net,
+            &sys,
+            &placement,
+            &clients,
+            QuorumChoice::Balanced,
+            &cfg,
+        )
+        .unwrap();
+        let faulted = simulate(
+            &net,
+            &sys,
+            &placement,
+            &clients,
+            QuorumChoice::Balanced,
+            &ProtocolConfig {
+                fault: Some(FaultConfig::default()),
+                ..cfg
+            },
+        )
+        .unwrap();
+        assert_eq!(base.avg_response_ms, faulted.avg_response_ms);
+        assert_eq!(base.per_client_response_ms, faulted.per_client_response_ms);
+        assert_eq!(base.percentiles_ms, faulted.percentiles_ms);
+        assert_eq!(base.server_utilization, faulted.server_utilization);
+        assert_eq!(base.horizon_ms, faulted.horizon_ms);
+        assert_eq!(faulted.timeouts, 0);
+        assert_eq!(faulted.retries, 0);
+        assert_eq!(faulted.failovers, 0);
+    }
+
+    #[test]
+    fn crashes_are_discovered_and_failed_over() {
+        let net = datasets::planetlab_50();
+        let (grid, placement, choice, quorums) = grid_weighted(&net);
+        let clients = ClientPopulation::new(vec![NodeId::new(0), NodeId::new(9)], 3);
+        let mut mults = vec![1.0; grid.universe_size()];
+        mults[0] = 64.0; // crashed under the default threshold
+        let cfg = ProtocolConfig {
+            measured_requests: 40,
+            service_multipliers: Some(mults),
+            fault: Some(FaultConfig {
+                detection_latency_ms: 400.0,
+                ..FaultConfig::default()
+            }),
+            ..ProtocolConfig::default()
+        };
+        let report = simulate(&net, &grid, &placement, &clients, choice, &cfg).unwrap();
+        assert!(report.timeouts > 0, "doomed quorums must time out");
+        assert!(report.retries > 0);
+        assert!(
+            report.failovers > 0,
+            "post-detection retries must fail over"
+        );
+        assert!(report.completed_requests > 0);
+        // After detection the host of the crashed element goes cold for
+        // new requests: at least one quorum avoiding element 0 exists.
+        assert!(quorums
+            .iter()
+            .any(|q| !q.contains(qp_quorum::ElementId::new(0))));
+    }
+
+    #[test]
+    fn zero_detection_latency_avoids_crashed_quorums_entirely() {
+        let net = datasets::planetlab_50();
+        let (grid, placement, choice, _) = grid_weighted(&net);
+        let clients = ClientPopulation::new(vec![NodeId::new(0), NodeId::new(9)], 3);
+        let mut mults = vec![1.0; grid.universe_size()];
+        mults[2] = 100.0;
+        let cfg = ProtocolConfig {
+            measured_requests: 30,
+            service_multipliers: Some(mults),
+            fault: Some(FaultConfig {
+                detection_latency_ms: 0.0,
+                ..FaultConfig::default()
+            }),
+            ..ProtocolConfig::default()
+        };
+        let report = simulate(&net, &grid, &placement, &clients, choice, &cfg).unwrap();
+        assert_eq!(report.timeouts, 0, "a priori knowledge: no timeouts");
+        assert_eq!(report.retries, 0);
+        assert_eq!(report.failovers, 0);
+        assert_eq!(report.completed_requests, 6 * 30);
+    }
+
+    #[test]
+    fn bad_fault_configs_are_rejected() {
+        let (net, sys, placement) = setup();
+        let clients = ClientPopulation::new(vec![NodeId::new(0)], 1);
+        for fault in [
+            FaultConfig {
+                timeout_ms: 0.0,
+                ..FaultConfig::default()
+            },
+            FaultConfig {
+                backoff_jitter: 1.5,
+                ..FaultConfig::default()
+            },
+            FaultConfig {
+                detection_latency_ms: -1.0,
+                ..FaultConfig::default()
+            },
+            FaultConfig {
+                crash_threshold: 1.0,
+                ..FaultConfig::default()
+            },
+        ] {
+            let cfg = ProtocolConfig {
+                fault: Some(fault),
+                ..ProtocolConfig::default()
+            };
+            assert!(matches!(
+                simulate(
+                    &net,
+                    &sys,
+                    &placement,
+                    &clients,
+                    QuorumChoice::Balanced,
+                    &cfg
+                ),
+                Err(SimError::SizeMismatch(_))
+            ));
+        }
     }
 
     #[test]

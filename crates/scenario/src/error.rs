@@ -30,6 +30,9 @@ pub enum ScenarioError {
     Core(CoreError),
     /// The protocol simulation rejected its inputs.
     Sim(SimError),
+    /// A checkpoint or report file operation failed (message names the
+    /// path). Carried as a string so the error stays `Clone + PartialEq`.
+    Io(String),
 }
 
 impl fmt::Display for ScenarioError {
@@ -44,6 +47,7 @@ impl fmt::Display for ScenarioError {
             ScenarioError::Quorum(e) => write!(f, "quorum system: {e}"),
             ScenarioError::Core(e) => write!(f, "pipeline: {e}"),
             ScenarioError::Sim(e) => write!(f, "simulation: {e}"),
+            ScenarioError::Io(message) => write!(f, "i/o: {message}"),
         }
     }
 }

@@ -64,11 +64,13 @@
 #![warn(missing_docs)]
 
 mod error;
+pub mod matrix;
 pub mod report;
 mod runner;
 pub mod spec;
 
 pub use error::ScenarioError;
+pub use matrix::{encode_report, write_merged_jsonl, MatrixEntry};
 pub use report::{PhaseReport, ScenarioReport};
 pub use runner::ScenarioRunner;
 pub use spec::{

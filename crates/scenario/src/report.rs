@@ -16,6 +16,20 @@ pub struct PhaseReport {
     /// `|aggregated − exact| / exact` over the mean response when
     /// `exact-compare` ran; folded into the scenario verdict.
     pub exact_compare_rel_error: Option<f64>,
+    /// When the spec's `exact-compare-sample` capped the cross-check
+    /// population: the number of clients both engines actually compared
+    /// over. `None` when the compare ran (or would run) at full size.
+    pub exact_compare_sampled: Option<usize>,
+    /// Whether the phase simulated with client-side fault tolerance
+    /// (timeouts, retries, failover) enabled.
+    pub fault_tolerant: bool,
+    /// Attempts abandoned to a timeout (fault-tolerant phases only).
+    pub timeouts: u64,
+    /// Retries issued after timeouts (fault-tolerant phases only).
+    pub retries: u64,
+    /// Retries that switched to the renormalized surviving strategy
+    /// after failure detection (fault-tolerant phases only).
+    pub failovers: u64,
     /// Phase index (0-based).
     pub phase: usize,
     /// Whether the flash crowd surged during this phase.
@@ -180,11 +194,22 @@ impl fmt::Display for ScenarioReport {
                 p.max_server_utilization,
                 p.completed_requests
             )?;
+            if p.fault_tolerant {
+                writeln!(
+                    f,
+                    "        fault-tolerant: {} timeouts, {} retries, {} failovers",
+                    p.timeouts, p.retries, p.failovers
+                )?;
+            }
             if let (Some(exact), Some(err)) = (p.exact_response_ms, p.exact_compare_rel_error) {
+                let sampled = p
+                    .exact_compare_sampled
+                    .map(|n| format!(" over {n} sampled clients"))
+                    .unwrap_or_default();
                 writeln!(
                     f,
                     "        exact-compare: exact resp {exact:8.2} ms, \
-                     divergence {:5.2}%",
+                     divergence {:5.2}%{sampled}",
                     err * 100.0
                 )?;
             }

@@ -400,6 +400,7 @@ impl ScenarioRunner {
                 dedup_colocated: false,
                 streaming_percentiles: false,
                 initial_server_busy_ms: carry.take(),
+                fault: spec.failures.fault.clone(),
             };
             let choice = QuorumChoice::Weighted {
                 quorums: quorums.clone(),
@@ -414,19 +415,43 @@ impl ScenarioRunner {
             }
             // `exact-compare`: rerun the phase on the exact per-request
             // engine (same config, same carried backlog) and record how
-            // far the aggregated mean response drifts from it.
-            let (exact_response_ms, exact_compare_rel_error) = if let Some(choice) = compare_choice
-            {
-                let exact = simulate(&net, &sys, &placement, &pop, choice, &cfg)?;
-                let err = if exact.avg_response_ms > 0.0 {
-                    (report.avg_response_ms - exact.avg_response_ms).abs() / exact.avg_response_ms
+            // far the aggregated mean response drifts from it. With
+            // `exact-compare-sample` the divergence is measured between
+            // *both* engines on a deterministic proportional subsample
+            // (per-location head count scaled down, demand weights kept)
+            // — the full population still drives the phase itself.
+            let (exact_response_ms, exact_compare_rel_error, exact_compare_sampled) =
+                if let Some(choice) = compare_choice {
+                    let cap = pipeline.exact_compare_sample;
+                    let sub = (cap > 0 && pop.total_clients() > cap).then(|| {
+                        let per = (cap / pop.locations().len()).max(1);
+                        pop.with_per_location(per)
+                    });
+                    let (agg_response_ms, cmp_pop, sampled) = match &sub {
+                        Some(sp) => {
+                            let agg = simulate_with_engine(
+                                &net,
+                                &sys,
+                                &placement,
+                                sp,
+                                choice.clone(),
+                                &cfg,
+                                SimEngine::Aggregated,
+                            )?;
+                            (agg.avg_response_ms, sp, Some(sp.total_clients()))
+                        }
+                        None => (report.avg_response_ms, &pop, None),
+                    };
+                    let exact = simulate(&net, &sys, &placement, cmp_pop, choice, &cfg)?;
+                    let err = if exact.avg_response_ms > 0.0 {
+                        (agg_response_ms - exact.avg_response_ms).abs() / exact.avg_response_ms
+                    } else {
+                        0.0
+                    };
+                    (Some(exact.avg_response_ms), Some(err), sampled)
                 } else {
-                    0.0
+                    (None, None, None)
                 };
-                (Some(exact.avg_response_ms), Some(err))
-            } else {
-                (None, None)
-            };
             let rel_error = if predicted_floor_ms > 0.0 {
                 (report.avg_network_delay_ms - predicted_floor_ms).abs() / predicted_floor_ms
             } else {
@@ -442,6 +467,11 @@ impl ScenarioRunner {
                 engine: phase_engine,
                 exact_response_ms,
                 exact_compare_rel_error,
+                exact_compare_sampled,
+                fault_tolerant: spec.failures.fault.is_some(),
+                timeouts: report.timeouts,
+                retries: report.retries,
+                failovers: report.failovers,
                 flash: flash.is_some(),
                 failed_elements,
                 reoptimized,
@@ -713,6 +743,7 @@ mod tests {
                     multiplier: 10.0,
                 }],
                 reoptimize: true,
+                fault: None,
             },
             pipeline: crate::spec::PipelineSpec {
                 system: "grid:2".to_string(),
@@ -841,6 +872,74 @@ mod tests {
         let a = runner.run(&spec).unwrap();
         let b = runner.run(&spec).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fault_tolerant_phase_reports_counters() {
+        // The injected failure is a crash (CRASH_MULTIPLIER), so the
+        // fault-tolerant clients must observe timeouts and fail over.
+        let mut spec = small_spec();
+        spec.failures.events[0].multiplier = crate::spec::CRASH_MULTIPLIER;
+        spec.failures.reoptimize = false;
+        spec.failures.fault = Some(qp_protocol::FaultConfig {
+            crash_threshold: crate::spec::CRASH_MULTIPLIER,
+            detection_latency_ms: 400.0,
+            ..qp_protocol::FaultConfig::default()
+        });
+        // The crash makes the measured floor diverge from the omniscient
+        // prediction; this test is about the counters, not the verdict.
+        spec.pipeline.tolerance = 10.0;
+        let report = ScenarioRunner::new().run(&spec).unwrap();
+        let crash_phase = &report.phases[1];
+        assert!(crash_phase.fault_tolerant);
+        assert!(crash_phase.timeouts > 0, "{report}");
+        assert!(crash_phase.retries > 0, "{report}");
+        let nominal = &report.phases[0];
+        assert_eq!(nominal.timeouts, 0);
+        assert_eq!(nominal.retries, 0);
+        assert!(report.to_string().contains("fault-tolerant:"), "{report}");
+    }
+
+    #[test]
+    fn fault_config_without_crashes_changes_nothing() {
+        let mut spec = small_spec();
+        spec.failures.events.clear();
+        let base = ScenarioRunner::new().run(&spec).unwrap();
+        spec.failures.fault = Some(qp_protocol::FaultConfig {
+            crash_threshold: crate::spec::CRASH_MULTIPLIER,
+            ..qp_protocol::FaultConfig::default()
+        });
+        let ft = ScenarioRunner::new().run(&spec).unwrap();
+        for (a, b) in base.phases.iter().zip(&ft.phases) {
+            assert_eq!(a.des_response_ms, b.des_response_ms);
+            assert_eq!(a.des_floor_ms, b.des_floor_ms);
+            assert_eq!(a.completed_requests, b.completed_requests);
+            assert_eq!(b.timeouts, 0);
+            assert_eq!(b.retries, 0);
+            assert_eq!(b.failovers, 0);
+        }
+    }
+
+    #[test]
+    fn exact_compare_subsamples_when_capped() {
+        let runner = ScenarioRunner::new();
+        let mut spec = aggregated_spec();
+        spec.pipeline.exact_compare = true;
+        spec.pipeline.exact_compare_sample = 4; // population is 4 × 2 = 8
+        let report = runner.run(&spec).unwrap();
+        for p in &report.phases {
+            // 4 locations → one client each under the cap.
+            assert_eq!(p.exact_compare_sampled, Some(4));
+            assert!(p.exact_compare_rel_error.is_some());
+        }
+        assert!(report.to_string().contains("sampled clients"), "{report}");
+        // A cap at or above the population compares in full.
+        spec.pipeline.exact_compare_sample = 8;
+        let full = runner.run(&spec).unwrap();
+        assert!(full
+            .phases
+            .iter()
+            .all(|p| p.exact_compare_sampled.is_none()));
     }
 
     #[test]

@@ -29,6 +29,12 @@
 //! slowdown = 2:0:20         # phase:element:multiplier (repeatable)
 //! crash = 2:4               # phase:element — a 64x slowdown
 //! reoptimize = true         # re-run the strategy LP mid-run
+//! fault-tolerant = true     # clients time out, retry, and fail over
+//! timeout-ms = 100          # per-attempt timeout (fault-tolerant only)
+//! max-retries = 3           # retry budget per logical request
+//! backoff-ms = 10           # exponential backoff base
+//! backoff-jitter = 0.5      # deterministic jitter fraction in [0, 1]
+//! detect-ms = 250           # failure-detector latency
 //!
 //! [pipeline]
 //! system = grid:3
@@ -42,6 +48,7 @@
 //! engine = exact            # exact | aggregated | per-phase list
 //! carry-queues = false      # carry residual queues across phases
 //! exact-compare = false     # also run exact for aggregated phases
+//! exact-compare-sample = 0  # subsample the compare population (0 = all)
 //! ```
 //!
 //! Lines are `key = value` under `[section]` headers; `#` starts a
@@ -49,7 +56,7 @@
 //! silently).
 
 use qp_core::one_to_one::PlacementAlgorithm;
-use qp_protocol::SimEngine;
+use qp_protocol::{FaultConfig, SimEngine};
 use qp_quorum::{MajorityKind, QuorumSystem};
 use qp_topology::datasets::{HierarchicalConfig, TransitStubConfig};
 use qp_topology::{io as topo_io, Network};
@@ -284,6 +291,13 @@ pub struct FailurePlan {
     /// Whether the runner re-optimizes the strategy LP (with the failed
     /// sites' capacity scaled down) for phases with active failures.
     pub reoptimize: bool,
+    /// Client-side fault tolerance: when set, simulated clients time out,
+    /// retry with deterministic backoff, and fail over around crashed
+    /// elements (those at or beyond the config's `crash_threshold`, which
+    /// the spec parser pins to [`CRASH_MULTIPLIER`]). `None` — the
+    /// default — keeps the historical omniscient-client behavior, and
+    /// every prior report stays bit-identical.
+    pub fault: Option<FaultConfig>,
 }
 
 impl FailurePlan {
@@ -433,6 +447,12 @@ pub struct PipelineSpec {
     /// the relative disagreement into the pass/fail verdict (only
     /// sensible at sizes the exact engine can finish).
     pub exact_compare: bool,
+    /// Cap on the population the `exact-compare` cross-check simulates.
+    /// `0` (the default) compares over the full population; a positive
+    /// cap runs *both* engines on a deterministic proportional subsample
+    /// (per-location head-count scaled down, demand weights kept) so the
+    /// cross-check stays affordable beyond ~10⁴ clients.
+    pub exact_compare_sample: usize,
 }
 
 impl Default for PipelineSpec {
@@ -454,6 +474,7 @@ impl Default for PipelineSpec {
             engine: EngineSelection::default(),
             carry_queues: false,
             exact_compare: false,
+            exact_compare_sample: 0,
         }
     }
 }
@@ -634,6 +655,33 @@ impl ScenarioSpec {
             return Err(ScenarioError::Invalid(
                 "exact-compare requires at least one aggregated phase".into(),
             ));
+        }
+        if p.exact_compare_sample > 0 && !p.exact_compare {
+            return Err(ScenarioError::Invalid(
+                "exact-compare-sample requires exact-compare = true".into(),
+            ));
+        }
+        if let Some(f) = &self.failures.fault {
+            if !(f.timeout_ms.is_finite() && f.timeout_ms > 0.0) {
+                return Err(ScenarioError::Invalid(
+                    "fault timeout-ms must be positive and finite".into(),
+                ));
+            }
+            if !(f.backoff_base_ms.is_finite() && f.backoff_base_ms >= 0.0) {
+                return Err(ScenarioError::Invalid(
+                    "fault backoff-ms must be nonnegative and finite".into(),
+                ));
+            }
+            if !(f.backoff_jitter.is_finite() && (0.0..=1.0).contains(&f.backoff_jitter)) {
+                return Err(ScenarioError::Invalid(
+                    "fault backoff-jitter must lie in [0, 1]".into(),
+                ));
+            }
+            if !(f.detection_latency_ms.is_finite() && f.detection_latency_ms >= 0.0) {
+                return Err(ScenarioError::Invalid(
+                    "fault detect-ms must be nonnegative and finite".into(),
+                ));
+            }
         }
         match p.capacity {
             CapacityChoice::Sweep { .. } => {}
@@ -1101,7 +1149,64 @@ fn parse_failures(entries: &RawEntries) -> Result<FailurePlan, ScenarioError> {
     if let Some((v, l)) = entries.take("failures", "reoptimize")? {
         plan.reoptimize = boolean(&v, l, "reoptimize")?;
     }
+    plan.fault = parse_fault(entries)?;
     Ok(plan)
+}
+
+/// Parses the `[failures]` fault-tolerance keys into a [`FaultConfig`].
+/// The tuning keys are only meaningful under `fault-tolerant = true`;
+/// consistent with the strict unknown-key policy, a tuning key without
+/// the enable flag is an error rather than a silent no-op.
+fn parse_fault(entries: &RawEntries) -> Result<Option<FaultConfig>, ScenarioError> {
+    let enabled = match entries.take("failures", "fault-tolerant")? {
+        Some((v, l)) => boolean(&v, l, "fault-tolerant")?,
+        None => false,
+    };
+    let mut fault = FaultConfig {
+        crash_threshold: CRASH_MULTIPLIER,
+        ..FaultConfig::default()
+    };
+    let mut tuned_line = None;
+    let mut tune =
+        |entry: Option<(String, usize)>, what: &str, slot: &mut f64| -> Result<(), ScenarioError> {
+            if let Some((v, l)) = entry {
+                *slot = num(&v, l, what)?;
+                tuned_line.get_or_insert(l);
+            }
+            Ok(())
+        };
+    tune(
+        entries.take("failures", "timeout-ms")?,
+        "timeout-ms",
+        &mut fault.timeout_ms,
+    )?;
+    tune(
+        entries.take("failures", "backoff-ms")?,
+        "backoff-ms",
+        &mut fault.backoff_base_ms,
+    )?;
+    tune(
+        entries.take("failures", "backoff-jitter")?,
+        "backoff-jitter",
+        &mut fault.backoff_jitter,
+    )?;
+    tune(
+        entries.take("failures", "detect-ms")?,
+        "detect-ms",
+        &mut fault.detection_latency_ms,
+    )?;
+    if let Some((v, l)) = entries.take("failures", "max-retries")? {
+        fault.max_retries = num(&v, l, "max-retries")?;
+        tuned_line.get_or_insert(l);
+    }
+    match (enabled, tuned_line) {
+        (true, _) => Ok(Some(fault)),
+        (false, None) => Ok(None),
+        (false, Some(line)) => Err(ScenarioError::Parse {
+            line,
+            message: "fault-tolerance keys require `fault-tolerant = true`".to_string(),
+        }),
+    }
 }
 
 fn parse_pipeline(entries: &RawEntries) -> Result<PipelineSpec, ScenarioError> {
@@ -1198,6 +1303,9 @@ fn parse_pipeline(entries: &RawEntries) -> Result<PipelineSpec, ScenarioError> {
     }
     if let Some((v, l)) = entries.take("pipeline", "exact-compare")? {
         p.exact_compare = boolean(&v, l, "exact-compare")?;
+    }
+    if let Some((v, l)) = entries.take("pipeline", "exact-compare-sample")? {
+        p.exact_compare_sample = num(&v, l, "exact-compare-sample")?;
     }
     Ok(p)
 }
@@ -1464,6 +1572,81 @@ tolerance = 0.12
     }
 
     #[test]
+    fn fault_tolerance_keys_parse() {
+        let text = "[failures]\nfault-tolerant = true\ntimeout-ms = 80\n\
+                    max-retries = 2\nbackoff-ms = 5\nbackoff-jitter = 0.25\n\
+                    detect-ms = 150\n";
+        let spec = ScenarioSpec::parse(text).unwrap();
+        let f = spec.failures.fault.expect("fault config parsed");
+        assert_eq!(f.timeout_ms, 80.0);
+        assert_eq!(f.max_retries, 2);
+        assert_eq!(f.backoff_base_ms, 5.0);
+        assert_eq!(f.backoff_jitter, 0.25);
+        assert_eq!(f.detection_latency_ms, 150.0);
+        // The crash threshold is pinned to the spec-level crash model.
+        assert_eq!(f.crash_threshold, CRASH_MULTIPLIER);
+
+        // The bare enable flag takes every default.
+        let spec = ScenarioSpec::parse("[failures]\nfault-tolerant = true\n").unwrap();
+        let f = spec.failures.fault.expect("defaults");
+        assert_eq!(f.crash_threshold, CRASH_MULTIPLIER);
+
+        // Off (and absent) keeps the omniscient-client behavior.
+        assert_eq!(ScenarioSpec::parse("").unwrap().failures.fault, None);
+        let spec = ScenarioSpec::parse("[failures]\nfault-tolerant = false\n").unwrap();
+        assert_eq!(spec.failures.fault, None);
+    }
+
+    #[test]
+    fn fault_tuning_without_enable_is_rejected() {
+        let err = ScenarioSpec::parse("[failures]\ntimeout-ms = 80\n").unwrap_err();
+        let ScenarioError::Parse { line, message } = err else {
+            panic!("wrong error: {err}");
+        };
+        assert_eq!(line, 2);
+        assert!(message.contains("fault-tolerant = true"), "{message}");
+    }
+
+    #[test]
+    fn bad_fault_values_are_rejected() {
+        for text in [
+            "[failures]\nfault-tolerant = true\ntimeout-ms = 0\n",
+            "[failures]\nfault-tolerant = true\ntimeout-ms = -5\n",
+            "[failures]\nfault-tolerant = true\nbackoff-ms = -1\n",
+            "[failures]\nfault-tolerant = true\nbackoff-jitter = 1.5\n",
+            "[failures]\nfault-tolerant = true\ndetect-ms = -1\n",
+        ] {
+            assert!(
+                matches!(ScenarioSpec::parse(text), Err(ScenarioError::Invalid(_))),
+                "`{text}` should fail validation"
+            );
+        }
+        assert!(ScenarioSpec::parse("[failures]\nfault-tolerant = maybe\n").is_err());
+    }
+
+    #[test]
+    fn exact_compare_sample_parses_and_validates() {
+        let text = "[pipeline]\ncolgen = true\nengine = aggregated\n\
+                    exact-compare = true\nexact-compare-sample = 500\n";
+        let spec = ScenarioSpec::parse(text).unwrap();
+        assert_eq!(spec.pipeline.exact_compare_sample, 500);
+        // Defaults to 0 (full-population compare).
+        assert_eq!(
+            ScenarioSpec::parse("")
+                .unwrap()
+                .pipeline
+                .exact_compare_sample,
+            0
+        );
+        // A cap without the compare itself is a contradiction.
+        let err = ScenarioSpec::parse("[pipeline]\nexact-compare-sample = 500\n").unwrap_err();
+        let ScenarioError::Invalid(msg) = err else {
+            panic!("wrong error: {err}");
+        };
+        assert!(msg.contains("exact-compare-sample"), "{msg}");
+    }
+
+    #[test]
     fn semantic_validation_fires() {
         // Flash phase beyond the phase count.
         let text = "[workload]\nflash-phase = 5\n[pipeline]\nphases = 2\n";
@@ -1609,6 +1792,7 @@ tolerance = 0.12
                 },
             ],
             reoptimize: false,
+            fault: None,
         };
         assert_eq!(plan.multipliers_for_phase(0, 5), None);
         let p1 = plan.multipliers_for_phase(1, 5).unwrap();

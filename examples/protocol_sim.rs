@@ -42,6 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     dedup_colocated: false,
                     streaming_percentiles: false,
                     initial_server_busy_ms: None,
+                    fault: None,
                 },
             )?;
             let max_util = report

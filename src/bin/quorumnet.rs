@@ -9,8 +9,10 @@
 //!                    [--clients-per-location 5] [--requests 150] [--seed 0]
 //!                    [--strategy closest|balanced] [--dataset ...]
 //! quorumnet scenario --spec FILE [--spec FILE ...] [--out FILE]
+//!                    [--checkpoint FILE] [--jsonl-out FILE]
 //! quorumnet serve    (--socket PATH | --listen ADDR) --system grid:3
 //!                    [--demand 16000] [--op-time 0.007] [--sweep 10]
+//!                    [--state-dir DIR] [--snapshot-every N]
 //! quorumnet ctl      (--socket PATH | --connect ADDR) [--cmd "..." ...]
 //! ```
 //!
@@ -105,21 +107,29 @@ fn print_help() {
                                     collapses each location's clients into one\n  \
                                     merged flow — million-client scale)\n\n\
          scenario flags:\n  \
-         --spec FILE   scenario spec (repeatable; the set runs as a matrix)\n  \
-         --out FILE    also write the reports to FILE\n  \
-         --colgen      force the column-generation LP for every spec\n\n\
+         --spec FILE        scenario spec (repeatable; the set runs as a matrix)\n  \
+         --out FILE         also write the reports to FILE\n  \
+         --colgen           force the column-generation LP for every spec\n  \
+         --checkpoint FILE  stream one fsync'd JSONL line per completed spec to\n  \
+                            FILE; a rerun after a crash resumes from it and the\n  \
+                            merged output is byte-identical to an uninterrupted run\n  \
+         --jsonl-out FILE   write the merged machine-readable JSONL report\n\n\
          serve flags:\n  \
-         --socket PATH   listen on a Unix-domain socket\n  \
-         --listen ADDR   listen on a TCP address (e.g. 127.0.0.1:0)\n  \
-         --sweep N       capacity sweep points per re-tune (default 10)\n  \
-         --colgen        re-tune through the column-generation solver\n\n\
+         --socket PATH       listen on a Unix-domain socket\n  \
+         --listen ADDR       listen on a TCP address (e.g. 127.0.0.1:0)\n  \
+         --sweep N           capacity sweep points per re-tune (default 10)\n  \
+         --colgen            re-tune through the column-generation solver\n  \
+         --state-dir DIR     crash-safe persistence: fsync'd delta WAL + atomic\n  \
+                             snapshots in DIR; on start, recover from DIR and\n  \
+                             cross-check against a cold recompute (≤ 1e-9)\n  \
+         --snapshot-every N  WAL entries between snapshots (default 64)\n\n\
          ctl flags:\n  \
          --socket PATH   connect to a Unix-domain socket\n  \
          --connect ADDR  connect to a TCP address\n  \
          --cmd CMD       protocol command (repeatable; stdin if omitted)\n\n\
          daemon protocol commands:\n  \
          slowdown <site> <factor> | demand <loc> <weight> | crash <node>\n  \
-         restore <node> | query | snapshot | check | shutdown"
+         restore <node> | query | snapshot | check | health | shutdown"
     );
 }
 
@@ -143,11 +153,15 @@ struct Options {
     threads: Option<usize>,
     specs: Vec<String>,
     out: Option<String>,
+    checkpoint: Option<String>,
+    jsonl_out: Option<String>,
     socket: Option<String>,
     listen: Option<String>,
     connect: Option<String>,
     cmds: Vec<String>,
     sweep: usize,
+    state_dir: Option<String>,
+    snapshot_every: usize,
 }
 
 impl Default for Options {
@@ -170,11 +184,15 @@ impl Default for Options {
             threads: None,
             specs: Vec::new(),
             out: None,
+            checkpoint: None,
+            jsonl_out: None,
             socket: None,
             listen: None,
             connect: None,
             cmds: Vec::new(),
             sweep: 10,
+            state_dir: None,
+            snapshot_every: 64,
         }
     }
 }
@@ -209,6 +227,16 @@ impl Options {
                 "--sim" => o.sim = value("--sim")?,
                 "--spec" => o.specs.push(value("--spec")?),
                 "--out" => o.out = Some(value("--out")?),
+                "--checkpoint" => o.checkpoint = Some(value("--checkpoint")?),
+                "--jsonl-out" => o.jsonl_out = Some(value("--jsonl-out")?),
+                "--state-dir" => o.state_dir = Some(value("--state-dir")?),
+                "--snapshot-every" => {
+                    let n = parse_usize(&value("--snapshot-every")?, "--snapshot-every")?;
+                    if n == 0 {
+                        return Err("--snapshot-every must be at least 1".to_string());
+                    }
+                    o.snapshot_every = n;
+                }
                 "--socket" => o.socket = Some(value("--socket")?),
                 "--listen" => o.listen = Some(value("--listen")?),
                 "--connect" => o.connect = Some(value("--connect")?),
@@ -492,7 +520,7 @@ fn cmd_simulate(opts: &Options) -> Result<(), String> {
 }
 
 fn cmd_scenario(opts: &Options) -> Result<(), String> {
-    use quorumnet::scenario::{ScenarioRunner, ScenarioSpec};
+    use quorumnet::scenario::{encode_report, write_merged_jsonl, ScenarioRunner, ScenarioSpec};
     if opts.specs.is_empty() {
         return Err("scenario requires at least one --spec FILE".to_string());
     }
@@ -506,9 +534,42 @@ fn cmd_scenario(opts: &Options) -> Result<(), String> {
             spec.pipeline.colgen = true;
         }
     }
-    let reports = ScenarioRunner::new()
-        .run_matrix(&specs)
-        .map_err(|e| e.to_string())?;
+    let runner = ScenarioRunner::new();
+
+    if let Some(checkpoint) = &opts.checkpoint {
+        // Checkpointed mode: one fsync'd JSONL line per completed spec;
+        // a rerun resumes from the checkpoint and the merged output is
+        // byte-identical to an uninterrupted run.
+        let entries = runner
+            .run_matrix_checkpointed(&specs, std::path::Path::new(checkpoint))
+            .map_err(|e| e.to_string())?;
+        let resumed = entries.iter().filter(|e| e.resumed).count();
+        if resumed > 0 {
+            println!(
+                "resumed {resumed} of {} specs from checkpoint {checkpoint}",
+                entries.len()
+            );
+        }
+        for entry in &entries {
+            match &entry.report {
+                Some(report) => print!("{report}"),
+                None => println!(
+                    "scenario:   {} (resumed from checkpoint → {})",
+                    entry.name,
+                    if entry.pass { "PASS" } else { "FAIL" }
+                ),
+            }
+        }
+        if let Some(out) = &opts.jsonl_out {
+            write_merged_jsonl(&entries, std::path::Path::new(out)).map_err(|e| e.to_string())?;
+        }
+        if let Some(failed) = entries.iter().find(|e| !e.pass) {
+            return Err(format!("cross-check failed for `{}`", failed.name));
+        }
+        return Ok(());
+    }
+
+    let reports = runner.run_matrix(&specs).map_err(|e| e.to_string())?;
     let mut rendered = String::new();
     for (i, report) in reports.iter().enumerate() {
         if i > 0 {
@@ -525,6 +586,14 @@ fn cmd_scenario(opts: &Options) -> Result<(), String> {
     }
     if let Some(out) = &opts.out {
         std::fs::write(out, &rendered).map_err(|e| format!("writing {out}: {e}"))?;
+    }
+    if let Some(out) = &opts.jsonl_out {
+        let mut text = String::new();
+        for (i, report) in reports.iter().enumerate() {
+            text.push_str(&encode_report(i, report));
+            text.push('\n');
+        }
+        std::fs::write(out, &text).map_err(|e| format!("writing {out}: {e}"))?;
     }
     if let Some(failed) = reports.iter().find(|r| !r.pass) {
         return Err(format!(
@@ -574,7 +643,7 @@ fn cmd_serve(opts: &Options) -> Result<(), String> {
         .optimal_load()
         .ok_or("serve needs a system with known optimal load")?;
     let label = sys.label();
-    let session = Session::new(SessionConfig {
+    let cfg = SessionConfig {
         net,
         quorums,
         placement,
@@ -582,12 +651,45 @@ fn cmd_serve(opts: &Options) -> Result<(), String> {
         l_opt,
         sweep_steps: opts.sweep,
         colgen: opts.colgen.then(ColumnGeneration::default),
-    })
-    .map_err(|e| e.to_string())?;
+    };
+    let (session, persistence) = match &opts.state_dir {
+        Some(dir) => {
+            let dir = std::path::Path::new(dir);
+            let (session, report) =
+                quorumnet::daemon::recover(cfg, dir).map_err(|e| format!("recover: {e}"))?;
+            println!(
+                "quorumd recovered seq {} from {} (snapshot seq {}, {} WAL deltas{}{}{})",
+                session.seq(),
+                dir.display(),
+                report.snapshot_seq,
+                report.wal_deltas,
+                if report.torn_tail {
+                    ", torn tail dropped"
+                } else {
+                    ""
+                },
+                if report.checked {
+                    ", cold cross-check passed"
+                } else {
+                    ""
+                },
+                if report.degraded { ", DEGRADED" } else { "" },
+            );
+            let persistence =
+                quorumnet::daemon::Persistence::open(dir, opts.snapshot_every, &session)
+                    .map_err(|e| format!("persistence: {e}"))?;
+            (session, Some(persistence))
+        }
+        None => (Session::new(cfg).map_err(|e| e.to_string())?, None),
+    };
     let server = Server::bind(&endpoint).map_err(|e| format!("bind: {e}"))?;
     println!("quorumd serving {label} on {}", server.local_addr());
     std::io::stdout().flush().ok();
-    let summary = server.run(session).map_err(|e| format!("serve: {e}"))?;
+    let summary = match persistence {
+        Some(p) => server.run_persistent(session, p),
+        None => server.run(session),
+    }
+    .map_err(|e| format!("serve: {e}"))?;
     println!(
         "quorumd shut down after {} connections, {} commands",
         summary.connections, summary.commands
@@ -706,6 +808,34 @@ mod tests {
         assert_eq!(o.specs, vec!["a.toml", "b.toml"]);
         assert_eq!(o.out.as_deref(), Some("r.txt"));
         assert!(Options::parse(&s(&["--spec"])).is_err());
+    }
+
+    #[test]
+    fn parses_checkpoint_and_jsonl_flags() {
+        let o = Options::parse(&s(&[
+            "--spec",
+            "a.toml",
+            "--checkpoint",
+            "ck.jsonl",
+            "--jsonl-out",
+            "merged.jsonl",
+        ]))
+        .unwrap();
+        assert_eq!(o.checkpoint.as_deref(), Some("ck.jsonl"));
+        assert_eq!(o.jsonl_out.as_deref(), Some("merged.jsonl"));
+        assert_eq!(Options::parse(&s(&[])).unwrap().checkpoint, None);
+        assert!(Options::parse(&s(&["--checkpoint"])).is_err());
+        assert!(Options::parse(&s(&["--jsonl-out"])).is_err());
+    }
+
+    #[test]
+    fn parses_persistence_flags() {
+        let o = Options::parse(&s(&["--state-dir", "/tmp/qd", "--snapshot-every", "8"])).unwrap();
+        assert_eq!(o.state_dir.as_deref(), Some("/tmp/qd"));
+        assert_eq!(o.snapshot_every, 8);
+        assert_eq!(Options::parse(&s(&[])).unwrap().snapshot_every, 64);
+        assert!(Options::parse(&s(&["--snapshot-every", "0"])).is_err());
+        assert!(Options::parse(&s(&["--state-dir"])).is_err());
     }
 
     #[test]

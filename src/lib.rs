@@ -60,7 +60,8 @@ pub mod prelude {
         strategy_lp, CoreError, Evaluation, Placement, ResponseModel,
     };
     pub use qp_protocol::{
-        simulate, simulate_with_engine, ClientPopulation, ProtocolConfig, QuorumChoice, SimEngine,
+        simulate, simulate_with_engine, ClientPopulation, FaultConfig, ProtocolConfig,
+        QuorumChoice, SimEngine, SimReport,
     };
     pub use qp_quorum::{ElementId, MajorityKind, Quorum, QuorumSystem, StrategyMatrix};
     pub use qp_scenario::{ScenarioReport, ScenarioRunner, ScenarioSpec};

@@ -1,7 +1,11 @@
 //! Integration: failure injection in the protocol simulation — quorum
 //! systems mask degraded replicas exactly when the access strategy can
-//! route around them.
+//! route around them, and the opt-in fault-tolerance layer (timeouts,
+//! retries, failover) is inert without crashes and bounded with them.
 
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
 use quorumnet::prelude::*;
 
 fn setup(t: usize) -> (Network, QuorumSystem, Placement, ClientPopulation) {
@@ -10,6 +14,39 @@ fn setup(t: usize) -> (Network, QuorumSystem, Placement, ClientPopulation) {
     let placement = one_to_one::best_placement(&net, &sys).unwrap();
     let pop = ClientPopulation::representative(&net, &sys, &placement, 10, 3);
     (net, sys, placement, pop)
+}
+
+/// The placement search dominates each case, so the proptests below share
+/// one `t = 1` setup.
+fn shared_setup() -> &'static (Network, QuorumSystem, Placement, ClientPopulation) {
+    static SETUP: OnceLock<(Network, QuorumSystem, Placement, ClientPopulation)> = OnceLock::new();
+    SETUP.get_or_init(|| setup(1))
+}
+
+fn run_report(
+    env: &(Network, QuorumSystem, Placement, ClientPopulation),
+    choice: QuorumChoice,
+    mults: Option<Vec<f64>>,
+    fault: Option<FaultConfig>,
+    seed: u64,
+) -> SimReport {
+    let (net, sys, placement, pop) = env;
+    simulate(
+        net,
+        sys,
+        placement,
+        pop,
+        choice,
+        &ProtocolConfig {
+            warmup_requests: 20,
+            measured_requests: 120,
+            service_multipliers: mults,
+            fault,
+            seed,
+            ..ProtocolConfig::default()
+        },
+    )
+    .unwrap()
 }
 
 fn run(
@@ -159,4 +196,236 @@ fn zero_service_time_reduces_response_to_pure_rtt() {
         report.avg_network_delay_ms,
         eval.avg_network_delay_ms
     );
+}
+
+/// Asserts two reports are field-for-field bit-identical and that the
+/// fault counters of both are zero.
+fn assert_bit_identical(with_fault: &SimReport, without: &SimReport) {
+    assert_eq!(
+        with_fault.avg_response_ms.to_bits(),
+        without.avg_response_ms.to_bits(),
+        "avg response diverged: {} vs {}",
+        with_fault.avg_response_ms,
+        without.avg_response_ms
+    );
+    assert_eq!(
+        with_fault.avg_network_delay_ms.to_bits(),
+        without.avg_network_delay_ms.to_bits()
+    );
+    assert_eq!(
+        with_fault.per_client_response_ms,
+        without.per_client_response_ms
+    );
+    assert_eq!(with_fault.percentiles_ms, without.percentiles_ms);
+    assert_eq!(with_fault.server_mean_wait_ms, without.server_mean_wait_ms);
+    assert_eq!(with_fault.server_utilization, without.server_utilization);
+    assert_eq!(with_fault.completed_requests, without.completed_requests);
+    assert_eq!(
+        with_fault.horizon_ms.to_bits(),
+        without.horizon_ms.to_bits()
+    );
+    assert_eq!(with_fault.residual_busy_ms, without.residual_busy_ms);
+    assert_eq!(
+        (
+            with_fault.timeouts,
+            with_fault.retries,
+            with_fault.failovers
+        ),
+        (0, 0, 0),
+        "a crash-free run must never trip the fault machinery"
+    );
+    assert_eq!(
+        (without.timeouts, without.retries, without.failovers),
+        (0, 0, 0)
+    );
+}
+
+#[test]
+fn fault_layer_is_inert_without_crashes() {
+    // A slow-but-alive server (25× is below the 64× crash threshold)
+    // exercises the degradation path while keeping the crashed set empty:
+    // the fault layer must not perturb a single event.
+    let env = shared_setup();
+    let mut mults = vec![1.0; env.1.universe_size()];
+    mults[0] = 25.0;
+    for choice in [QuorumChoice::Balanced, QuorumChoice::Closest] {
+        let plain = run_report(env, choice.clone(), Some(mults.clone()), None, 7);
+        let faulted = run_report(
+            env,
+            choice,
+            Some(mults.clone()),
+            Some(FaultConfig::default()),
+            7,
+        );
+        assert_bit_identical(&faulted, &plain);
+    }
+}
+
+#[test]
+fn a_priori_detection_masks_a_crash_without_timeouts() {
+    // detection_latency_ms = 0: the detector announces the crashed set
+    // before the first request, so every request routes over the surviving
+    // renormalized strategy and no timer ever fires.
+    let env = shared_setup();
+    let mut mults = vec![1.0; env.1.universe_size()];
+    mults[0] = 64.0; // exactly at the default crash threshold
+    let report = run_report(
+        env,
+        QuorumChoice::Balanced,
+        Some(mults),
+        Some(FaultConfig {
+            detection_latency_ms: 0.0,
+            ..FaultConfig::default()
+        }),
+        7,
+    );
+    assert_eq!(report.timeouts, 0, "a-priori detection must avoid timeouts");
+    assert_eq!(report.retries, 0);
+    assert_eq!(
+        report.completed_requests,
+        120 * env.3.total_clients() as u64,
+        "with the crash routed around, every measured request completes"
+    );
+}
+
+#[test]
+fn detection_latency_bounds_the_crash_penalty() {
+    // With one crashed element, only requests issued before the detector
+    // fires can burn timeouts; afterwards the renormalized strategy takes
+    // over. The average penalty relative to a-priori detection is
+    // therefore bounded by the worst per-request retry budget:
+    // (max_retries + 1) timeouts plus the full jittered backoff ladder.
+    let env = shared_setup();
+    let mut mults = vec![1.0; env.1.universe_size()];
+    mults[0] = 100.0;
+    let fault = FaultConfig::default();
+    let budget_ms = (fault.max_retries + 1) as f64 * fault.timeout_ms
+        + (1.0 + fault.backoff_jitter)
+            * fault.backoff_base_ms
+            * ((1 << fault.max_retries) - 1) as f64;
+
+    let run_at = |detect: f64| {
+        run_report(
+            env,
+            QuorumChoice::Balanced,
+            Some(mults.clone()),
+            Some(FaultConfig {
+                detection_latency_ms: detect,
+                ..fault.clone()
+            }),
+            7,
+        )
+    };
+    let baseline = run_at(0.0);
+    let mut prev_timeouts = 0;
+    for detect in [200.0, 800.0, 3200.0] {
+        let late = run_at(detect);
+        assert!(
+            late.timeouts >= prev_timeouts,
+            "later detection cannot reduce timeouts: {} → {} at {detect} ms",
+            prev_timeouts,
+            late.timeouts
+        );
+        prev_timeouts = late.timeouts;
+        assert!(
+            late.avg_response_ms >= baseline.avg_response_ms - 0.5,
+            "pre-detection timeouts cannot speed the run up: {} vs {}",
+            late.avg_response_ms,
+            baseline.avg_response_ms
+        );
+        assert!(
+            late.avg_response_ms <= baseline.avg_response_ms + budget_ms,
+            "crash penalty must stay within the retry budget ({budget_ms} ms): \
+             {} vs {} at detection {detect} ms",
+            late.avg_response_ms,
+            baseline.avg_response_ms
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Zero-failure bit-identity: whatever the fault parameters and seed,
+    /// a run with no crashed elements is bit-for-bit the historical run.
+    #[test]
+    fn fault_parameters_never_perturb_a_crash_free_run(
+        timeout_ms in 5.0f64..400.0,
+        max_retries in 0usize..5,
+        backoff_base_ms in 0.0f64..40.0,
+        backoff_jitter in 0.0f64..1.0,
+        detection_latency_ms in 0.0f64..1000.0,
+        seed in 0u64..64,
+    ) {
+        let env = shared_setup();
+        let mut mults = vec![1.0; env.1.universe_size()];
+        mults[1] = 30.0; // degraded, not crashed
+        let fault = FaultConfig {
+            timeout_ms,
+            max_retries,
+            backoff_base_ms,
+            backoff_jitter,
+            detection_latency_ms,
+            ..FaultConfig::default()
+        };
+        let plain = run_report(
+            env,
+            QuorumChoice::Balanced, Some(mults.clone()), None, seed,
+        );
+        let faulted = run_report(
+            env,
+            QuorumChoice::Balanced, Some(mults), Some(fault), seed,
+        );
+        prop_assert_eq!(
+            faulted.avg_response_ms.to_bits(),
+            plain.avg_response_ms.to_bits()
+        );
+        prop_assert_eq!(faulted.percentiles_ms, plain.percentiles_ms);
+        prop_assert_eq!(faulted.completed_requests, plain.completed_requests);
+        prop_assert_eq!(
+            (faulted.timeouts, faulted.retries, faulted.failovers),
+            (0, 0, 0)
+        );
+    }
+
+    /// Detection latency bounds the crash penalty for arbitrary latencies
+    /// and seeds: response never beats a-priori detection by more than
+    /// noise and never exceeds it by more than the retry budget.
+    #[test]
+    fn crash_penalty_is_bounded_for_any_detection_latency(
+        detection_latency_ms in 0.0f64..2000.0,
+        seed in 0u64..16,
+    ) {
+        let env = shared_setup();
+        let mut mults = vec![1.0; env.1.universe_size()];
+        mults[0] = 80.0; // crashed (≥ 64× threshold)
+        let fault = FaultConfig::default();
+        let budget_ms = (fault.max_retries + 1) as f64 * fault.timeout_ms
+            + (1.0 + fault.backoff_jitter)
+                * fault.backoff_base_ms
+                * ((1 << fault.max_retries) - 1) as f64;
+        let baseline = run_report(
+            env,
+            QuorumChoice::Balanced, Some(mults.clone()),
+            Some(FaultConfig { detection_latency_ms: 0.0, ..fault.clone() }),
+            seed,
+        );
+        let late = run_report(
+            env,
+            QuorumChoice::Balanced, Some(mults),
+            Some(FaultConfig { detection_latency_ms, ..fault.clone() }),
+            seed,
+        );
+        prop_assert!(baseline.timeouts == 0);
+        prop_assert!(
+            late.avg_response_ms >= baseline.avg_response_ms - 0.5,
+            "late detection sped the run up: {} vs {}",
+            late.avg_response_ms, baseline.avg_response_ms
+        );
+        prop_assert!(
+            late.avg_response_ms <= baseline.avg_response_ms + budget_ms,
+            "penalty exceeded the retry budget ({} ms): {} vs {}",
+            budget_ms, late.avg_response_ms, baseline.avg_response_ms
+        );
+    }
 }
