@@ -4,21 +4,29 @@
 //! The invariant is simple: **the durable state on disk is always a
 //! snapshot plus the WAL of deltas applied since it was taken.** Every
 //! delta that advances the session's sequence number is appended to the
-//! WAL — in the exact wire grammar of the [`crate::protocol`] module,
-//! with floats printed as `{:.17e}` so they round-trip bit-for-bit —
-//! and fsync'd before the client sees the response. Every
-//! `snapshot_every` WAL entries, the full [`PersistedState`] is written
-//! to a temp file, fsync'd, atomically renamed over the previous
-//! snapshot, and the WAL is truncated.
+//! WAL — its sequence number, then the delta in the exact wire grammar
+//! of the [`crate::protocol`] module, with floats printed as `{:.17e}`
+//! so they round-trip bit-for-bit — and fsync'd before the client sees
+//! the response. Every `snapshot_every` WAL entries, the full
+//! [`PersistedState`] is written to a temp file, fsync'd, atomically
+//! renamed over the previous snapshot, and the WAL is truncated.
+//!
+//! The sequence stamp is what makes the snapshot-then-truncate pair
+//! crash-safe without being atomic: a kill between the snapshot rename
+//! and the WAL truncation leaves a snapshot at seq `N` *plus* a WAL
+//! still holding deltas `≤ N` already folded into it. Replaying those
+//! would double-apply demand/slowdown deltas and reject crash/restore
+//! ones, so [`recover`] skips every WAL entry stamped `≤` the snapshot's
+//! seq and requires the rest to continue contiguously from it.
 //!
 //! [`recover`] rebuilds a session from the directory: open fresh from
-//! the [`SessionConfig`], bulk-restore the snapshot, replay WAL deltas
-//! one by one (an infeasible delta degrades the session exactly as it
-//! did live), and — unless the session came back degraded — cross-check
-//! the warm answer against a cold from-scratch recompute to ≤ 1e-9, the
-//! same discipline `check` enforces online. A torn final WAL line (the
-//! process died mid-append) is dropped; corruption anywhere else is an
-//! error naming the line.
+//! the [`SessionConfig`], bulk-restore the snapshot, replay the
+//! still-pending WAL deltas one by one (an infeasible delta degrades the
+//! session exactly as it did live), and — unless the session came back
+//! degraded — cross-check the warm answer against a cold from-scratch
+//! recompute to ≤ 1e-9, the same discipline `check` enforces online. A
+//! torn final WAL line (the process died mid-append) is dropped;
+//! corruption anywhere else is an error naming the line.
 
 use std::fs::{self, File};
 use std::io::{self, Write};
@@ -95,6 +103,10 @@ pub struct RecoveryReport {
     pub snapshot_seq: u64,
     /// Deltas replayed from the WAL.
     pub wal_deltas: usize,
+    /// WAL entries skipped because their seq was `≤` the snapshot's —
+    /// deltas already folded in by a snapshot whose WAL truncation was
+    /// interrupted by a crash.
+    pub wal_stale: usize,
     /// Whether a torn final WAL line was dropped.
     pub torn_tail: bool,
     /// Whether the session came back degraded (infeasible live state).
@@ -147,7 +159,8 @@ impl Persistence {
     /// the caller should surface the failure (the on-disk state is now
     /// behind the live one).
     pub fn record(&mut self, delta: &Delta, session: &Session) -> io::Result<()> {
-        self.wal.write_all(wire_line(delta).as_bytes())?;
+        self.wal
+            .write_all(wire_line(session.seq(), delta).as_bytes())?;
         self.wal.sync_data()?;
         self.wal_entries += 1;
         if self.wal_entries >= self.snapshot_every {
@@ -175,14 +188,15 @@ impl Persistence {
     }
 }
 
-/// One delta in the wire grammar, newline-terminated, floats printed so
-/// they round-trip bit-for-bit.
-fn wire_line(delta: &Delta) -> String {
+/// One WAL entry: the session seq the delta advanced to, then the delta
+/// in the wire grammar, newline-terminated, floats printed so they
+/// round-trip bit-for-bit.
+fn wire_line(seq: u64, delta: &Delta) -> String {
     match *delta {
-        Delta::Slowdown { site, factor } => format!("slowdown {site} {factor:.17e}\n"),
-        Delta::Demand { loc, weight } => format!("demand {loc} {weight:.17e}\n"),
-        Delta::Crash { node } => format!("crash {node}\n"),
-        Delta::Restore { node } => format!("restore {node}\n"),
+        Delta::Slowdown { site, factor } => format!("{seq} slowdown {site} {factor:.17e}\n"),
+        Delta::Demand { loc, weight } => format!("{seq} demand {loc} {weight:.17e}\n"),
+        Delta::Crash { node } => format!("{seq} crash {node}\n"),
+        Delta::Restore { node } => format!("{seq} restore {node}\n"),
     }
 }
 
@@ -317,10 +331,10 @@ fn read_snapshot(dir: &Path) -> Result<Option<PersistedState>, PersistError> {
     }))
 }
 
-/// Reads the WAL into deltas. A torn final line (no trailing newline —
-/// the process died mid-append) is dropped and flagged; anything else
-/// unparseable is corruption naming the line.
-fn read_wal(dir: &Path) -> Result<(Vec<Delta>, bool), PersistError> {
+/// Reads the WAL into seq-stamped deltas. A torn final line (no
+/// trailing newline — the process died mid-append) is dropped and
+/// flagged; anything else unparseable is corruption naming the line.
+fn read_wal(dir: &Path) -> Result<(Vec<(u64, Delta)>, bool), PersistError> {
     let path = dir.join(WAL_FILE);
     let mut text = match fs::read_to_string(&path) {
         Ok(t) => t,
@@ -343,8 +357,14 @@ fn read_wal(dir: &Path) -> Result<(Vec<Delta>, bool), PersistError> {
             line: idx + 1,
             message,
         };
-        match parse_command(line) {
-            Ok(Some(Command::Delta(d))) => deltas.push(d),
+        let (seq_tok, rest) = line
+            .split_once(' ')
+            .ok_or_else(|| corrupt(format!("entry without seq stamp '{line}'")))?;
+        let seq: u64 = seq_tok
+            .parse()
+            .map_err(|_| corrupt(format!("bad seq stamp '{seq_tok}'")))?;
+        match parse_command(rest) {
+            Ok(Some(Command::Delta(d))) => deltas.push((seq, d)),
             Ok(Some(_)) => return Err(corrupt(format!("non-delta entry '{line}'"))),
             Ok(None) => return Err(corrupt("blank entry".into())),
             Err(msg) => return Err(corrupt(msg)),
@@ -376,20 +396,35 @@ pub fn recover(cfg: SessionConfig, dir: &Path) -> Result<(Session, RecoveryRepor
             .map_err(PersistError::Session)?;
     }
     let (deltas, torn_tail) = read_wal(dir)?;
-    let wal_deltas = deltas.len();
-    for (i, delta) in deltas.iter().enumerate() {
+    let mut wal_deltas = 0;
+    let mut wal_stale = 0;
+    for (i, (seq, delta)) in deltas.iter().enumerate() {
+        let corrupt = |message: String| PersistError::Corrupt {
+            file: dir.join(WAL_FILE).display().to_string(),
+            line: i + 1,
+            message,
+        };
+        if *seq <= snapshot_seq {
+            // Already folded into the snapshot: the process died between
+            // the snapshot rename and the WAL truncation. Replaying it
+            // would double-apply the delta.
+            wal_stale += 1;
+            continue;
+        }
+        if *seq != session.seq() + 1 {
+            return Err(corrupt(format!(
+                "seq {seq} does not follow session seq {}",
+                session.seq()
+            )));
+        }
         match session.apply(delta) {
             // Ok, or recorded-but-infeasible: both advanced seq, both
             // are exactly what happened live.
-            Ok(_) | Err(SessionError::Infeasible(_)) | Err(SessionError::Lp(_)) => {}
+            Ok(_) | Err(SessionError::Infeasible(_)) | Err(SessionError::Lp(_)) => wal_deltas += 1,
             Err(e) => {
                 // A rejected delta can never have been logged: the WAL
                 // disagrees with the snapshot it extends.
-                return Err(PersistError::Corrupt {
-                    file: dir.join(WAL_FILE).display().to_string(),
-                    line: i + 1,
-                    message: format!("replay rejected: {e}"),
-                });
+                return Err(corrupt(format!("replay rejected: {e}")));
             }
         }
     }
@@ -419,6 +454,7 @@ pub fn recover(cfg: SessionConfig, dir: &Path) -> Result<(Session, RecoveryRepor
         RecoveryReport {
             snapshot_seq,
             wal_deltas,
+            wal_stale,
             torn_tail,
             degraded,
             checked,
@@ -524,6 +560,7 @@ mod tests {
             RecoveryReport {
                 snapshot_seq: 0,
                 wal_deltas: 0,
+                wal_stale: 0,
                 torn_tail: false,
                 degraded: false,
                 // Nothing was recovered, so nothing is cross-checked.
@@ -552,7 +589,7 @@ mod tests {
             .append(true)
             .open(dir.join(WAL_FILE))
             .unwrap();
-        wal.write_all(b"slowdown 4 1.9").unwrap();
+        wal.write_all(b"2 slowdown 4 1.9").unwrap();
         drop(wal);
 
         let (recovered, report) = recover(config(), &dir).unwrap();
@@ -564,13 +601,63 @@ mod tests {
     }
 
     #[test]
+    fn stale_wal_after_interrupted_truncation_is_skipped() {
+        let dir = state_dir("stale");
+        let mut live = Session::new(config()).unwrap();
+        let mut persist = Persistence::open(&dir, 100, &live).unwrap();
+        let deltas = [
+            Delta::Demand {
+                loc: 1,
+                weight: 4.0,
+            },
+            Delta::Crash { node: 5 },
+            Delta::Slowdown {
+                site: 3,
+                factor: 2.5,
+            },
+        ];
+        for d in &deltas {
+            live.apply(d).unwrap();
+            persist.record(d, &live).unwrap();
+        }
+        // Simulate a kill -9 between the snapshot's atomic rename and
+        // the WAL truncation: snapshot at seq 3, WAL still holding the
+        // three deltas it already folded in.
+        let wal_before = fs::read(dir.join(WAL_FILE)).unwrap();
+        persist.snapshot(&live).unwrap();
+        drop(persist);
+        fs::write(dir.join(WAL_FILE), &wal_before).unwrap();
+
+        let (recovered, report) = recover(config(), &dir).unwrap();
+        assert_eq!(report.snapshot_seq, 3);
+        assert_eq!(report.wal_stale, 3, "folded-in deltas must be skipped");
+        assert_eq!(report.wal_deltas, 0);
+        assert!(report.checked);
+        assert_eq!(recovered.seq(), live.seq());
+        assert_same_answer(&live, &recovered);
+
+        // A WAL entry that jumps past the session seq is corruption, not
+        // something to replay.
+        fs::write(dir.join(WAL_FILE), b"5 demand 1 2.0\n").unwrap();
+        match recover(config(), &dir) {
+            Err(PersistError::Corrupt { line, message, .. }) => {
+                assert_eq!(line, 1);
+                assert!(message.contains("does not follow"), "{message}");
+            }
+            Err(e) => panic!("wrong error: {e}"),
+            Ok(_) => panic!("expected seq-gap corruption"),
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn mid_file_wal_corruption_names_the_line() {
         let dir = state_dir("corrupt");
         let live = Session::new(config()).unwrap();
         let _persist = Persistence::open(&dir, 100, &live).unwrap();
         fs::write(
             dir.join(WAL_FILE),
-            "demand 1 2.0\nwarp speed 9\ndemand 2 1.0\n",
+            "1 demand 1 2.0\n2 warp speed 9\n3 demand 2 1.0\n",
         )
         .unwrap();
         match recover(config(), &dir) {
@@ -580,7 +667,7 @@ mod tests {
         }
         // A WAL that contradicts its snapshot (crash of a crashed node)
         // is corruption too.
-        fs::write(dir.join(WAL_FILE), "crash 5\ncrash 5\n").unwrap();
+        fs::write(dir.join(WAL_FILE), "1 crash 5\n2 crash 5\n").unwrap();
         match recover(config(), &dir) {
             Err(PersistError::Corrupt { line, message, .. }) => {
                 assert_eq!(line, 2);

@@ -182,10 +182,13 @@ impl Server {
 
     /// Like [`run`](Self::run), but every delta that advances the
     /// session is also fsync'd to `persistence`'s WAL before the client
-    /// sees the response, so a `kill -9` loses nothing acknowledged.
-    /// A persistence I/O failure does not drop the delta (the live
-    /// session already applied it) — it is surfaced through the
-    /// `health` command instead.
+    /// sees the response, so while persistence is healthy a `kill -9`
+    /// loses nothing acknowledged. A persistence I/O failure does not
+    /// drop the delta from the live session (it is already applied),
+    /// but the durability guarantee lapses until the next successful
+    /// snapshot: the failure is surfaced as a `warning persist failed`
+    /// detail line on the delta's own response, and through the
+    /// `health` command thereafter.
     ///
     /// # Errors
     ///
@@ -388,6 +391,12 @@ fn handle_connection(
                         } = &mut *guard;
                         if let Some(p) = persist.as_mut() {
                             if let Err(e) = p.record(&delta, session) {
+                                // The delta is applied in memory but not
+                                // durable: tell the acknowledged client,
+                                // not just later `health` pollers.
+                                resp.detail.push(format!(
+                                    "warning persist failed: {e} (delta applied but not durable)"
+                                ));
                                 *persist_error = Some(e.to_string());
                             }
                         }

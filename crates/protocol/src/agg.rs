@@ -91,6 +91,14 @@ struct Flow {
 /// analogue of the exact engine's timer/retry loop, zero-jitter backoff):
 /// how many attempts time out before the detector fires and how many
 /// re-issues that costs, per doomed client.
+///
+/// A detection window spanning many abandoned-request cycles is
+/// fast-forwarded whole cycles at a time, so huge
+/// `detection_latency_ms / timeout_ms` ratios are counted in full
+/// instead of truncated at an iteration cap. A backstop cap of 10⁷
+/// timeouts remains for the one shape the fast-forward cannot compress
+/// (zero backoff with millions of retries inside a *single* cycle) —
+/// far outside any configuration the exact engine could simulate.
 fn detection_window_attempts(f: &FaultConfig) -> (u64, u64) {
     if f.detection_latency_ms <= 0.0 {
         return (0, 0);
@@ -99,7 +107,27 @@ fn detection_window_attempts(f: &FaultConfig) -> (u64, u64) {
     let mut timeouts = 0u64;
     let mut retries = 0u64;
     let mut attempt = 0usize;
-    while timeouts < 100_000 {
+    // One full abandoned-request cycle: `max_retries + 1` timeouts with
+    // the zero-jitter backoff ladder between them, after which the
+    // closed loop starts the next request immediately and the ladder
+    // resets. Skipping is exact cycle arithmetic, but it accumulates t
+    // by multiplication instead of repeated addition, so it only kicks
+    // in past a step count (4096) no step-by-step caller ever reached —
+    // below that, boundary behavior stays bit-for-bit historical.
+    let cycle_timeouts = f.max_retries as u64 + 1;
+    let cycle_ms = cycle_timeouts as f64 * f.timeout_ms
+        + f.backoff_base_ms * (2f64.powf(f.max_retries as f64) - 1.0);
+    if cycle_ms.is_finite() && cycle_ms > 0.0 {
+        let cycles = f.detection_latency_ms / cycle_ms;
+        let ahead = (cycles - 1.0).floor();
+        if ahead >= 1.0 && cycles * cycle_timeouts as f64 > 4096.0 {
+            let k = ahead as u64;
+            t = k as f64 * cycle_ms;
+            timeouts = k * cycle_timeouts;
+            retries = k * f.max_retries as u64;
+        }
+    }
+    while timeouts < 10_000_000 {
         t += f.timeout_ms;
         timeouts += 1;
         if t >= f.detection_latency_ms {

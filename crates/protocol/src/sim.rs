@@ -787,17 +787,21 @@ pub fn simulate(
                 timeouts += 1;
                 if attempt < f.max_retries {
                     retries += 1;
-                    let live = live_now(now);
-                    if live {
-                        failovers += 1;
-                    }
                     let stretch =
                         1.0 + f.backoff_jitter * jitter_unit(config.seed, retry_jitter_idx);
                     retry_jitter_idx += 1;
                     let backoff = f.backoff_base_ms * 2f64.powi(attempt as i32) * stretch;
+                    let send_at = now + backoff;
+                    // The routing decision happens when the retry is
+                    // actually sent, so a detector that fires inside the
+                    // backoff window steers it off the dead quorum.
+                    let live = live_now(send_at);
+                    if live {
+                        failovers += 1;
+                    }
                     issue(
                         client,
-                        now + backoff,
+                        send_at,
                         IssueKind::Retry {
                             attempt: attempt + 1,
                             first_sent_at,

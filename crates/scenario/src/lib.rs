@@ -70,7 +70,7 @@ mod runner;
 pub mod spec;
 
 pub use error::ScenarioError;
-pub use matrix::{encode_report, write_merged_jsonl, MatrixEntry};
+pub use matrix::{encode_report, spec_hash, write_merged_jsonl, MatrixEntry};
 pub use report::{PhaseReport, ScenarioReport};
 pub use runner::ScenarioRunner;
 pub use spec::{

@@ -17,6 +17,11 @@
 //! dropped; corruption anywhere else is an error naming the line, since
 //! silently skipping a completed spec would quietly re-run it under a
 //! checkpoint that no longer matches.
+//!
+//! Every record also carries a content hash of its [`ScenarioSpec`], and
+//! resume rejects a record whose hash no longer matches the submitted
+//! spec — editing a spec between runs while keeping its name must re-run
+//! it, not silently reuse the stale result.
 
 use std::fs::OpenOptions;
 use std::io::Write as _;
@@ -84,7 +89,7 @@ impl ScenarioRunner {
             let results = ParPool::global().run(missing.len(), |j| {
                 let i = missing[j];
                 let report = self.run(&specs[i])?;
-                let line = encode_report(i, &report);
+                let line = encode_report(i, &specs[i], &report);
                 {
                     let mut f = sink.lock().expect("checkpoint sink poisoned");
                     f.write_all(line.as_bytes())
@@ -162,7 +167,7 @@ fn load_checkpoint(
                 path.display()
             ))
         };
-        let (spec_index, escaped_name, pass) =
+        let (spec_index, escaped_name, hash, pass) =
             scan_line(line).ok_or_else(|| corrupt("unrecognized checkpoint record"))?;
         if spec_index >= specs.len() {
             return Err(corrupt(&format!(
@@ -174,6 +179,13 @@ fn load_checkpoint(
             return Err(corrupt(&format!(
                 "records a scenario named \"{escaped_name}\" at index {spec_index}, \
                  but the matrix has `{}` there",
+                specs[spec_index].name
+            )));
+        }
+        if hash != spec_hash(&specs[spec_index]) {
+            return Err(corrupt(&format!(
+                "spec `{}` changed since this checkpoint was written \
+                 (content hash {hash} no longer matches)",
                 specs[spec_index].name
             )));
         }
@@ -192,10 +204,11 @@ fn load_checkpoint(
     Ok(())
 }
 
-/// Extracts `(spec_index, escaped name, pass)` from a checkpoint line
-/// without a JSON parser: the encoder pins the leading field order to
-/// `spec_index`, `name`, `pass` exactly so resume can string-scan.
-fn scan_line(line: &str) -> Option<(usize, &str, bool)> {
+/// Extracts `(spec_index, escaped name, spec hash, pass)` from a
+/// checkpoint line without a JSON parser: the encoder pins the leading
+/// field order to `spec_index`, `name`, `spec_hash`, `pass` exactly so
+/// resume can string-scan.
+fn scan_line(line: &str) -> Option<(usize, &str, &str, bool)> {
     let rest = line.strip_prefix("{\"spec_index\":")?;
     let comma = rest.find(',')?;
     let spec_index: usize = rest[..comma].parse().ok()?;
@@ -218,7 +231,10 @@ fn scan_line(line: &str) -> Option<(usize, &str, bool)> {
     }
     let end = end?;
     let name = &rest[..end];
-    let rest = &rest[end + 1..];
+    let rest = rest[end + 1..].strip_prefix(",\"spec_hash\":\"")?;
+    let hash_end = rest.find('"')?;
+    let hash = &rest[..hash_end];
+    let rest = &rest[hash_end + 1..];
     let pass = if rest.starts_with(",\"pass\":true,") {
         true
     } else if rest.starts_with(",\"pass\":false,") {
@@ -226,20 +242,37 @@ fn scan_line(line: &str) -> Option<(usize, &str, bool)> {
     } else {
         return None;
     };
-    line.ends_with('}').then_some((spec_index, name, pass))
+    line.ends_with('}')
+        .then_some((spec_index, name, hash, pass))
+}
+
+/// Deterministic content hash of a spec (FNV-1a over its debug
+/// rendering), stored in each checkpoint record so resume can detect a
+/// spec that was edited between runs while keeping its name.
+#[must_use]
+pub fn spec_hash(spec: &ScenarioSpec) -> String {
+    let repr = format!("{spec:?}");
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in repr.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{h:016x}")
 }
 
 /// Encodes one scenario's checkpoint/JSONL record (no trailing newline).
 /// Deterministic: the same report always renders the same bytes. The
-/// first three fields are pinned to `spec_index`, `name`, `pass` — the
-/// resume scanner depends on that order.
+/// first four fields are pinned to `spec_index`, `name`, `spec_hash`,
+/// `pass` — the resume scanner depends on that order.
 #[must_use]
-pub fn encode_report(spec_index: usize, report: &ScenarioReport) -> String {
+pub fn encode_report(spec_index: usize, spec: &ScenarioSpec, report: &ScenarioReport) -> String {
     let mut o = String::with_capacity(1024);
     o.push_str("{\"spec_index\":");
     o.push_str(&spec_index.to_string());
     o.push_str(",\"name\":");
     push_str_field(&mut o, &report.name);
+    o.push_str(",\"spec_hash\":");
+    push_str_field(&mut o, &spec_hash(spec));
     o.push_str(",\"pass\":");
     o.push_str(if report.pass { "true" } else { "false" });
     o.push_str(",\"topology\":");
@@ -442,7 +475,10 @@ mod tests {
             assert!(!e.resumed);
             assert_eq!(e.name, r.name);
             assert_eq!(e.pass, r.pass);
-            assert_eq!(e.json_line, encode_report(e.spec_index, r));
+            assert_eq!(
+                e.json_line,
+                encode_report(e.spec_index, &specs[e.spec_index], r)
+            );
         }
         std::fs::remove_file(&ckpt).unwrap();
     }
@@ -491,10 +527,14 @@ mod tests {
         let specs = specs();
         let runner = ScenarioRunner::new();
         let ckpt = temp_path("mismatch");
+        let alpha_hash = spec_hash(&specs[0]);
         // A record claiming index 0 is named "zeta".
         std::fs::write(
             &ckpt,
-            "{\"spec_index\":0,\"name\":\"zeta\",\"pass\":true,\"x\":1}\n",
+            format!(
+                "{{\"spec_index\":0,\"name\":\"zeta\",\"spec_hash\":\"{alpha_hash}\",\
+                 \"pass\":true,\"x\":1}}\n"
+            ),
         )
         .unwrap();
         let err = runner.run_matrix_checkpointed(&specs, &ckpt).unwrap_err();
@@ -504,10 +544,27 @@ mod tests {
         assert!(msg.contains("zeta"), "{msg}");
         assert!(msg.contains("alpha"), "{msg}");
 
+        // Right name, but the spec's contents changed since the record
+        // was written: resume must refuse the stale result.
+        std::fs::write(
+            &ckpt,
+            "{\"spec_index\":0,\"name\":\"alpha\",\
+             \"spec_hash\":\"0123456789abcdef\",\"pass\":true,\"x\":1}\n",
+        )
+        .unwrap();
+        let err = runner.run_matrix_checkpointed(&specs, &ckpt).unwrap_err();
+        let ScenarioError::Io(msg) = err else {
+            panic!("wrong error: {err}");
+        };
+        assert!(msg.contains("changed since this checkpoint"), "{msg}");
+
         // Out-of-range index.
         std::fs::write(
             &ckpt,
-            "{\"spec_index\":9,\"name\":\"zeta\",\"pass\":true,\"x\":1}\n",
+            format!(
+                "{{\"spec_index\":9,\"name\":\"zeta\",\"spec_hash\":\"{alpha_hash}\",\
+                 \"pass\":true,\"x\":1}}\n"
+            ),
         )
         .unwrap();
         assert!(matches!(
@@ -526,13 +583,13 @@ mod tests {
 
     #[test]
     fn encoded_records_scan_back() {
-        let report = ScenarioRunner::new()
-            .run(&tiny_spec("weird \"name\"\t", 5))
-            .unwrap();
-        let line = encode_report(7, &report);
-        let (idx, escaped, pass) = scan_line(&line).expect("scans");
+        let spec = tiny_spec("weird \"name\"\t", 5);
+        let report = ScenarioRunner::new().run(&spec).unwrap();
+        let line = encode_report(7, &spec, &report);
+        let (idx, escaped, hash, pass) = scan_line(&line).expect("scans");
         assert_eq!(idx, 7);
         assert_eq!(escaped, escape_json("weird \"name\"\t"));
+        assert_eq!(hash, spec_hash(&spec));
         assert_eq!(pass, report.pass);
     }
 }

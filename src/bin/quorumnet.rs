@@ -590,7 +590,7 @@ fn cmd_scenario(opts: &Options) -> Result<(), String> {
     if let Some(out) = &opts.jsonl_out {
         let mut text = String::new();
         for (i, report) in reports.iter().enumerate() {
-            text.push_str(&encode_report(i, report));
+            text.push_str(&encode_report(i, &specs[i], report));
             text.push('\n');
         }
         std::fs::write(out, &text).map_err(|e| format!("writing {out}: {e}"))?;
@@ -658,11 +658,16 @@ fn cmd_serve(opts: &Options) -> Result<(), String> {
             let (session, report) =
                 quorumnet::daemon::recover(cfg, dir).map_err(|e| format!("recover: {e}"))?;
             println!(
-                "quorumd recovered seq {} from {} (snapshot seq {}, {} WAL deltas{}{}{})",
+                "quorumd recovered seq {} from {} (snapshot seq {}, {} WAL deltas{}{}{}{})",
                 session.seq(),
                 dir.display(),
                 report.snapshot_seq,
                 report.wal_deltas,
+                if report.wal_stale > 0 {
+                    format!(", {} stale WAL entries skipped", report.wal_stale)
+                } else {
+                    String::new()
+                },
                 if report.torn_tail {
                     ", torn tail dropped"
                 } else {
