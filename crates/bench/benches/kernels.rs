@@ -526,6 +526,62 @@ fn bench_des_ab(c: &mut Criterion) {
     group.finish();
 }
 
+/// ISSUE-10's overhead contract: the recorder hooks must be free when
+/// no recorder is installed and cheap when one is. Each kernel runs
+/// A/B — `noop` (nothing installed, the `enabled()` fast path) against
+/// `in_memory` (an [`InMemoryRecorder`] collecting every counter,
+/// histogram sample, and event). The kernels are the two hottest
+/// instrumented paths: a full 800-variable LP solve (one flush per
+/// solve) and an exact-engine protocol simulation (one flush per run).
+/// The recorder is process-global, so install/uninstall brackets each
+/// measured configuration — criterion interleaves nothing in between.
+fn bench_obs_overhead(c: &mut Criterion) {
+    use std::sync::Arc;
+
+    let mut group = c.benchmark_group("obs_overhead");
+    group.sample_size(10);
+
+    let net = datasets::planetlab_50();
+    let sys = QuorumSystem::majority(MajorityKind::FourFifths, 2).unwrap();
+    let placement = one_to_one::best_placement(&net, &sys).unwrap();
+    let clients = ClientPopulation::representative(&net, &sys, &placement, 10, 5);
+    let cfg = ProtocolConfig {
+        warmup_requests: 10,
+        measured_requests: 50,
+        ..ProtocolConfig::default()
+    };
+
+    for recorder in ["noop", "in_memory"] {
+        if recorder == "in_memory" {
+            qp_obs::install(Arc::new(qp_obs::InMemoryRecorder::new()));
+        } else {
+            qp_obs::uninstall();
+        }
+        group.bench_function(BenchmarkId::new("lp_800v_120r", recorder), |b| {
+            b.iter(|| {
+                random_lp(800, 120)
+                    .solve_with(&SolverOptions::factored())
+                    .unwrap()
+            });
+        });
+        group.bench_function(BenchmarkId::new("protocol_sim_50clients", recorder), |b| {
+            b.iter(|| {
+                simulate(
+                    &net,
+                    &sys,
+                    &placement,
+                    &clients,
+                    QuorumChoice::Balanced,
+                    &cfg,
+                )
+                .unwrap()
+            });
+        });
+        qp_obs::uninstall();
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_lp_solver,
@@ -538,5 +594,6 @@ criterion_group!(
     bench_sweep_parallel,
     bench_des,
     bench_des_ab,
+    bench_obs_overhead,
 );
 criterion_main!(benches);

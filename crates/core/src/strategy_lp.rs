@@ -897,6 +897,31 @@ impl<'a> ColGenSolver<'a> {
             y[w] = sol.dual(row);
         }
         self.last_duals = Some((mu, y));
+        if qp_obs::enabled() {
+            let generated = self.col_map.len() - columns_before;
+            qp_obs::counter_add("colgen_solves_total", 1);
+            qp_obs::counter_add("colgen_oracle_passes_total", oracle_passes as u64);
+            qp_obs::counter_add("colgen_columns_added_total", generated as u64);
+            qp_obs::counter_add("colgen_master_resolves_total", master_resolves as u64);
+            qp_obs::point(
+                "colgen.solve",
+                &[
+                    (
+                        "oracle_passes",
+                        qp_obs::FieldValue::U64(oracle_passes as u64),
+                    ),
+                    ("columns_added", qp_obs::FieldValue::U64(generated as u64)),
+                    (
+                        "columns_in_master",
+                        qp_obs::FieldValue::U64(self.col_map.len() as u64),
+                    ),
+                    (
+                        "master_resolves",
+                        qp_obs::FieldValue::U64(master_resolves as u64),
+                    ),
+                ],
+            );
+        }
         Ok(StrategyLpOutcome {
             strategy,
             delay_ms: sol.objective(),

@@ -159,9 +159,17 @@ impl Persistence {
     /// the caller should surface the failure (the on-disk state is now
     /// behind the live one).
     pub fn record(&mut self, delta: &Delta, session: &Session) -> io::Result<()> {
+        let t0 = qp_obs::enabled().then(std::time::Instant::now);
         self.wal
             .write_all(wire_line(session.seq(), delta).as_bytes())?;
         self.wal.sync_data()?;
+        if let Some(t0) = t0 {
+            qp_obs::counter_add("quorumd_wal_appends_total", 1);
+            qp_obs::observe(
+                "quorumd_wal_append_wall_ms",
+                t0.elapsed().as_secs_f64() * 1e3,
+            );
+        }
         self.wal_entries += 1;
         if self.wal_entries >= self.snapshot_every {
             self.snapshot(session)?;
@@ -175,10 +183,15 @@ impl Persistence {
     ///
     /// Any file-system failure.
     pub fn snapshot(&mut self, session: &Session) -> io::Result<()> {
+        let t0 = qp_obs::enabled().then(std::time::Instant::now);
         write_snapshot(&self.dir, &session.persisted_state())?;
         self.wal = File::create(self.dir.join(WAL_FILE))?;
         self.wal.sync_all()?;
         self.wal_entries = 0;
+        if let Some(t0) = t0 {
+            qp_obs::counter_add("quorumd_snapshots_total", 1);
+            qp_obs::observe("quorumd_snapshot_wall_ms", t0.elapsed().as_secs_f64() * 1e3);
+        }
         Ok(())
     }
 
@@ -448,6 +461,25 @@ pub fn recover(cfg: SessionConfig, dir: &Path) -> Result<(Session, RecoveryRepor
             )));
         }
         checked = true;
+    }
+    // The recovery report also flows through the observability layer as
+    // a structured event (plus counters), so a traced `serve` records
+    // what recovery found instead of only printing a banner.
+    if qp_obs::enabled() {
+        qp_obs::counter_add("quorumd_recoveries_total", 1);
+        qp_obs::counter_add("quorumd_recovery_wal_stale_total", wal_stale as u64);
+        qp_obs::counter_add("quorumd_recovery_torn_tail_total", u64::from(torn_tail));
+        qp_obs::point(
+            "daemon.recovery",
+            &[
+                ("snapshot_seq", qp_obs::FieldValue::U64(snapshot_seq)),
+                ("wal_deltas", qp_obs::FieldValue::U64(wal_deltas as u64)),
+                ("wal_stale", qp_obs::FieldValue::U64(wal_stale as u64)),
+                ("torn_tail", qp_obs::FieldValue::Bool(torn_tail)),
+                ("degraded", qp_obs::FieldValue::Bool(degraded)),
+                ("checked", qp_obs::FieldValue::Bool(checked)),
+            ],
+        );
     }
     Ok((
         session,

@@ -11,6 +11,7 @@
 //! snapshot                   # full strategy matrix + tuned capacity
 //! check                      # cold from-scratch cross-check of the warm state
 //! health                     # liveness probe: seq, degraded flag, persistence
+//! metrics                    # Prometheus-style exposition of the session's metrics
 //! shutdown                   # stop the server after this reply
 //! ```
 //!
@@ -63,6 +64,9 @@ pub enum Command {
     Check,
     /// Report liveness: sequence number, degraded flag, persistence.
     Health,
+    /// Dump the observability registry as a Prometheus-style text
+    /// exposition (counters, gauges, and per-delta latency histograms).
+    Metrics,
     /// Stop the server.
     Shutdown,
 }
@@ -125,6 +129,7 @@ pub fn parse_command(line: &str) -> Result<Option<Command>, String> {
         "snapshot" => Command::Snapshot,
         "check" => Command::Check,
         "health" => Command::Health,
+        "metrics" => Command::Metrics,
         "shutdown" => Command::Shutdown,
         other => return Err(format!("unknown command '{other}'")),
     };
@@ -262,6 +267,7 @@ mod tests {
         assert_eq!(parse_command("snapshot").unwrap(), Some(Command::Snapshot));
         assert_eq!(parse_command("check").unwrap(), Some(Command::Check));
         assert_eq!(parse_command("health").unwrap(), Some(Command::Health));
+        assert_eq!(parse_command("metrics").unwrap(), Some(Command::Metrics));
         assert_eq!(parse_command("shutdown").unwrap(), Some(Command::Shutdown));
     }
 

@@ -15,6 +15,8 @@ use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::Duration;
 
+use qp_obs::Registry;
+
 use crate::persist::Persistence;
 use crate::protocol::{parse_command, Command, Response};
 use crate::session::Session;
@@ -437,29 +439,40 @@ fn handle_connection(
 /// exact code path the server runs.
 pub fn execute(session: &mut Session, cmd: Command) -> Response {
     match cmd {
-        Command::Delta(delta) => match session.apply(&delta) {
-            Ok(report) => {
-                let a = &report.answer;
-                let mig = &report.migration;
-                let mut detail = vec![
-                    format!("capacity {:.17e}", a.capacity),
-                    format!("delay_ms {:.17e}", a.delay_ms),
-                    format!("response_ms {:.17e}", a.response_ms),
-                    format!("pivots {}", a.pivots),
-                    format!("moved_mass {:.17e}", mig.moved_mass),
-                    format!("delay_delta_ms {:.17e}", mig.delay_delta_ms),
-                    format!("response_delta_ms {:.17e}", mig.response_delta_ms),
-                ];
-                for mv in &mig.moves {
-                    detail.push(format!(
-                        "move client {} quorum {} -> {} mass {:.6e}",
-                        mv.client, mv.from, mv.to, mv.mass
-                    ));
+        Command::Delta(delta) => {
+            // Wall-clock delta latency is the one opt-in non-logical
+            // metric here (the `_wall_` tag keeps it out of golden
+            // comparisons); pivot counts are logical and deterministic.
+            let t0 = qp_obs::enabled().then(std::time::Instant::now);
+            match session.apply(&delta) {
+                Ok(report) => {
+                    let a = &report.answer;
+                    if let Some(t0) = t0 {
+                        qp_obs::counter_add("quorumd_deltas_total", 1);
+                        qp_obs::observe("quorumd_delta_pivots", a.pivots as f64);
+                        qp_obs::observe("quorumd_delta_wall_ms", t0.elapsed().as_secs_f64() * 1e3);
+                    }
+                    let mig = &report.migration;
+                    let mut detail = vec![
+                        format!("capacity {:.17e}", a.capacity),
+                        format!("delay_ms {:.17e}", a.delay_ms),
+                        format!("response_ms {:.17e}", a.response_ms),
+                        format!("pivots {}", a.pivots),
+                        format!("moved_mass {:.17e}", mig.moved_mass),
+                        format!("delay_delta_ms {:.17e}", mig.delay_delta_ms),
+                        format!("response_delta_ms {:.17e}", mig.response_delta_ms),
+                    ];
+                    for mv in &mig.moves {
+                        detail.push(format!(
+                            "move client {} quorum {} -> {} mass {:.6e}",
+                            mv.client, mv.from, mv.to, mv.mass
+                        ));
+                    }
+                    Response::ok(format!("delta applied seq={}", report.seq), detail)
                 }
-                Response::ok(format!("delta applied seq={}", report.seq), detail)
+                Err(e) => Response::err(e.to_string()),
             }
-            Err(e) => Response::err(e.to_string()),
-        },
+        }
         Command::Query => {
             let s = session.status();
             let mut detail = vec![
@@ -546,14 +559,33 @@ pub fn execute(session: &mut Session, cmd: Command) -> Response {
         },
         Command::Health => {
             let s = session.status();
-            Response::ok(
-                if s.degraded { "degraded" } else { "healthy" },
-                vec![
-                    format!("seq {}", s.seq),
-                    format!("degraded {}", u8::from(s.degraded)),
-                ],
-            )
+            let mut detail = vec![
+                format!("seq {}", s.seq),
+                format!("degraded {}", u8::from(s.degraded)),
+            ];
+            // Fold the headline metrics into the liveness probe when a
+            // recorder is installed (`quorumnet serve` always installs
+            // one); pollers that predate the metrics command keep
+            // working — detail lines are additive.
+            if let Some(line) = qp_obs::with_registry(|r| {
+                format!(
+                    "metrics deltas {} wal_appends {} snapshots {}",
+                    r.counter("quorumd_deltas_total"),
+                    r.counter("quorumd_wal_appends_total"),
+                    r.counter("quorumd_snapshots_total")
+                )
+            }) {
+                detail.push(line);
+            }
+            Response::ok(if s.degraded { "degraded" } else { "healthy" }, detail)
         }
+        Command::Metrics => match qp_obs::with_registry(Registry::render_prometheus) {
+            Some(text) => {
+                let detail: Vec<String> = text.lines().map(str::to_string).collect();
+                Response::ok(format!("metrics lines={}", detail.len()), detail)
+            }
+            None => Response::err("metrics unavailable: no recorder installed"),
+        },
         Command::Shutdown => Response::ok("shutting down", Vec::new()),
     }
 }

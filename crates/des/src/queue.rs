@@ -115,6 +115,19 @@ impl<E> EventQueue<E> {
         self.heap.len()
     }
 
+    /// Total events ever pushed — the logical push counter the
+    /// observability layer flushes into the shared registry
+    /// (`des_heap_push_total`) at the end of a simulation run, so the
+    /// per-event hot path stays instrumentation-free.
+    pub fn pushes(&self) -> u64 {
+        self.seq
+    }
+
+    /// Total events ever popped.
+    pub fn pops(&self) -> u64 {
+        self.seq - self.heap.len() as u64
+    }
+
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()

@@ -176,6 +176,20 @@ impl<E> TimeWheel<E> {
         }
     }
 
+    /// Total events ever pushed — the logical push counter the
+    /// observability layer flushes into the shared registry
+    /// (`des_wheel_push_total`) at the end of a simulation run, so the
+    /// per-event hot path stays instrumentation-free. Internal cascade
+    /// migrations between levels are not counted.
+    pub fn pushes(&self) -> u64 {
+        self.seq
+    }
+
+    /// Total events ever popped.
+    pub fn pops(&self) -> u64 {
+        self.seq - self.len as u64
+    }
+
     /// Files an entry into the shallowest level that covers its quantum,
     /// or into the overflow heap beyond the level-2 window.
     fn route(&mut self, time: SimTime, seq: u64, event: E) {

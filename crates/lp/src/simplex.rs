@@ -1300,6 +1300,30 @@ fn extract_solution(t: &State<'_>, prepared: &Prepared, num_vars: usize, warm: b
         full_prices: t.full_prices,
         warm,
     };
+    if qp_obs::enabled() {
+        qp_obs::counter_add("lp_solves_total", 1);
+        qp_obs::counter_add("lp_pivots_total", stats.iterations as u64);
+        qp_obs::counter_add("lp_refactors_total", stats.refactors as u64);
+        qp_obs::counter_add("lp_bound_flips_total", stats.bound_flips as u64);
+        qp_obs::counter_add("lp_full_prices_total", stats.full_prices as u64);
+        qp_obs::observe("lp_pivots_per_solve", stats.iterations as f64);
+        qp_obs::point(
+            "lp.solve",
+            &[
+                ("warm", qp_obs::FieldValue::Bool(warm)),
+                ("pivots", qp_obs::FieldValue::U64(stats.iterations as u64)),
+                ("refactors", qp_obs::FieldValue::U64(stats.refactors as u64)),
+                (
+                    "bound_flips",
+                    qp_obs::FieldValue::U64(stats.bound_flips as u64),
+                ),
+                (
+                    "full_prices",
+                    qp_obs::FieldValue::U64(stats.full_prices as u64),
+                ),
+            ],
+        );
+    }
     Solution::new(num_vars, values, objective, duals, stats)
 }
 

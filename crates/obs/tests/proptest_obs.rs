@@ -1,0 +1,89 @@
+//! Property tests for the observability layer: histogram merge is
+//! order-invariant and count-preserving, bit-for-bit.
+
+use proptest::prelude::*;
+use qp_obs::Histogram;
+
+proptest! {
+    /// Splitting any observation stream into chunks and merging the
+    /// chunk histograms in any order reproduces the whole-stream
+    /// histogram exactly — the property that makes parallel observation
+    /// deterministic.
+    #[test]
+    fn merge_is_order_invariant_and_count_preserving(
+        values in proptest::collection::vec(
+            prop_oneof![
+                0.0f64..1e-6,
+                0.0f64..1e3,
+                1e3f64..1e9,
+                Just(0.0f64),
+            ],
+            0..200,
+        ),
+        cuts in proptest::collection::vec(0usize..200, 0..6),
+        rotate in 0usize..8,
+    ) {
+        let mut whole = Histogram::new();
+        for &v in &values {
+            whole.observe(v);
+        }
+
+        // Split into chunks at the (sorted, deduped, in-range) cuts.
+        let mut bounds: Vec<usize> = cuts.into_iter()
+            .map(|c| c % (values.len() + 1))
+            .collect();
+        bounds.push(0);
+        bounds.push(values.len());
+        bounds.sort_unstable();
+        bounds.dedup();
+        let mut parts: Vec<Histogram> = bounds
+            .windows(2)
+            .map(|w| {
+                let mut h = Histogram::new();
+                for &v in &values[w[0]..w[1]] {
+                    h.observe(v);
+                }
+                h
+            })
+            .collect();
+
+        // Merge in a permuted order.
+        if !parts.is_empty() {
+            let r = rotate % parts.len();
+            parts.rotate_left(r);
+        }
+        let mut merged = Histogram::new();
+        for p in &parts {
+            merged.merge(p);
+        }
+        // And in reverse, pairwise from the other end.
+        let mut reversed = Histogram::new();
+        for p in parts.iter().rev() {
+            reversed.merge(p);
+        }
+
+        prop_assert_eq!(&merged, &whole);
+        prop_assert_eq!(&reversed, &whole);
+        prop_assert_eq!(merged.count(), values.len() as u64);
+    }
+
+    /// The rendered exposition of equal registries is byte-identical,
+    /// and observation order does not matter.
+    #[test]
+    fn exposition_is_observation_order_invariant(
+        mut values in proptest::collection::vec(0.0f64..1e6, 1..60),
+    ) {
+        let a = qp_obs::Registry::new();
+        for &v in &values {
+            a.observe("lat_ms", v);
+            a.counter_add("n_total", 1);
+        }
+        values.reverse();
+        let b = qp_obs::Registry::new();
+        for &v in &values {
+            b.observe("lat_ms", v);
+            b.counter_add("n_total", 1);
+        }
+        prop_assert_eq!(a.render_prometheus(), b.render_prometheus());
+    }
+}

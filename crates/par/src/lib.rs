@@ -168,8 +168,30 @@ impl ParPool {
     {
         let nested = IN_WORKER.with(Cell::get);
         let workers = self.threads.min(jobs);
+        // Pool metrics: job totals are pure functions of the submitted
+        // work (deterministic at any thread count); the gauges reflect
+        // this run's configuration. Per-worker job counts land in a
+        // histogram below whose *distribution* is schedule-dependent —
+        // only its count (= workers) and sum (= jobs) are deterministic.
+        if qp_obs::enabled() && jobs > 0 {
+            qp_obs::counter_add("par_runs_total", 1);
+            qp_obs::counter_add("par_jobs_total", jobs as u64);
+            qp_obs::gauge_set("par_queue_depth", jobs as f64);
+            qp_obs::gauge_set("par_pool_threads", self.threads as f64);
+            qp_obs::gauge_set(
+                "par_pool_utilization",
+                workers.max(1) as f64 / self.threads as f64,
+            );
+        }
         if workers <= 1 || nested {
-            return (0..jobs).map(f).collect();
+            // The inline serial path still runs each job inside
+            // `worker_scope`, so span/point suppression — and therefore
+            // the emitted trace — is identical at every thread count.
+            let out = (0..jobs).map(|i| qp_obs::worker_scope(|| f(i))).collect();
+            if qp_obs::enabled() && jobs > 0 {
+                qp_obs::observe("par_jobs_per_worker", jobs as f64);
+            }
+            return out;
         }
 
         // Dynamic load balancing via a shared job counter; each worker
@@ -192,13 +214,18 @@ impl ParPool {
                             // AssertUnwindSafe: the payload is re-raised
                             // by the caller, never swallowed, and `f` is
                             // shared read-only across workers.
-                            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i))) {
+                            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                qp_obs::worker_scope(|| f(i))
+                            })) {
                                 Ok(t) => out.push((i, Ok(t))),
                                 Err(payload) => {
                                     out.push((i, Err(payload)));
                                     break;
                                 }
                             }
+                        }
+                        if qp_obs::enabled() {
+                            qp_obs::observe("par_jobs_per_worker", out.len() as f64);
                         }
                         out
                     })

@@ -475,6 +475,19 @@ pub fn simulate_aggregated(
             .collect()
     };
     let percentiles = response_stats.percentiles();
+    // End-of-run flush mirroring the exact engine's (`des_heap_*`): the
+    // fluid loop stays instrumentation-free and the wheel's sequence
+    // counter supplies the push/pop totals.
+    if qp_obs::enabled() {
+        qp_obs::counter_add("des_agg_runs_total", 1);
+        qp_obs::counter_add("des_wheel_push_total", wheel.pushes());
+        qp_obs::counter_add("des_wheel_pop_total", wheel.pops());
+        qp_obs::counter_add("des_requests_completed_total", response_stats.count());
+        qp_obs::counter_add("des_timeouts_total", timeouts);
+        qp_obs::counter_add("des_retries_total", retries);
+        qp_obs::counter_add("des_failovers_total", failovers);
+        qp_obs::observe("des_sim_horizon_ms", horizon.as_ms());
+    }
     Ok(SimReport {
         avg_response_ms: response_stats.mean(),
         avg_network_delay_ms: floor_tally.mean(),

@@ -835,6 +835,18 @@ pub fn simulate(
     let horizon = queue.now();
     let horizon_ms = horizon.as_ms().max(f64::MIN_POSITIVE);
     let percentiles = response_stats.percentiles();
+    // End-of-run flush: the hot loop above stays instrumentation-free;
+    // the queue's push/pop totals come from its own sequence counter.
+    if qp_obs::enabled() {
+        qp_obs::counter_add("des_exact_runs_total", 1);
+        qp_obs::counter_add("des_heap_push_total", queue.pushes());
+        qp_obs::counter_add("des_heap_pop_total", queue.pops());
+        qp_obs::counter_add("des_requests_completed_total", response_stats.count());
+        qp_obs::counter_add("des_timeouts_total", timeouts);
+        qp_obs::counter_add("des_retries_total", retries);
+        qp_obs::counter_add("des_failovers_total", failovers);
+        qp_obs::observe("des_sim_horizon_ms", horizon.as_ms());
+    }
     Ok(SimReport {
         avg_response_ms: response_stats.mean(),
         avg_network_delay_ms: floor_tally.mean(),

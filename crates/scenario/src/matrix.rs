@@ -372,7 +372,25 @@ pub fn encode_report(spec_index: usize, spec: &ScenarioSpec, report: &ScenarioRe
         push_f64(&mut o, p.max_server_utilization);
         o.push('}');
     }
-    o.push_str("]}");
+    o.push(']');
+    // Optional trailing field: appended only when the runner collected a
+    // stage breakdown, so default-path checkpoint lines stay
+    // byte-identical to earlier releases (and the resume scanner, which
+    // pins only the leading fields, is unaffected either way).
+    if let Some(s) = &report.stages {
+        o.push_str(&format!(
+            ",\"stages\":{{\"topology_sites\":{},\"placement_elements\":{},\
+             \"lp_pivots\":{},\"capacity_points\":{},\"des_phases\":{},\
+             \"des_completed_requests\":{}}}",
+            s.topology_sites,
+            s.placement_elements,
+            s.lp_pivots,
+            s.capacity_points,
+            s.des_phases,
+            s.des_completed_requests
+        ));
+    }
+    o.push('}');
     o
 }
 

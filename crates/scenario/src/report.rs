@@ -73,6 +73,31 @@ pub struct PricingReport {
     pub master_resolves: usize,
 }
 
+/// Per-pipeline-stage work breakdown of one scenario run — logical
+/// quantities only (counts, not wall-clock), so it is bit-identical
+/// across reruns and thread counts. Opt-in via
+/// [`crate::ScenarioRunner::with_stage_breakdown`] (the CLI enables it
+/// together with `--trace`); `None` keeps rendered reports and JSONL
+/// checkpoint lines byte-identical to earlier releases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageBreakdown {
+    /// Topology stage: sites in the built network.
+    pub topology_sites: usize,
+    /// Placement stage: universe elements placed onto nodes.
+    pub placement_elements: usize,
+    /// Strategy-LP stage: total simplex pivots across every solve
+    /// (equals [`ScenarioReport::lp_pivots`]).
+    pub lp_pivots: usize,
+    /// Capacity stage: LP parameterizations solved while selecting
+    /// capacities (sweep points, or the probe+final solves of the
+    /// shaped-profile rules).
+    pub capacity_points: usize,
+    /// DES stage: phases simulated.
+    pub des_phases: usize,
+    /// DES stage: measured requests completed across all phases.
+    pub des_completed_requests: u64,
+}
+
 /// The structured outcome of one scenario: pipeline summary, per-phase
 /// LP-vs-DES comparison, and the cross-check verdict.
 #[derive(Debug, Clone, PartialEq)]
@@ -103,6 +128,10 @@ pub struct ScenarioReport {
     /// generation; `None` on the default full-enumeration path (whose
     /// rendered reports stay byte-identical to earlier releases).
     pub pricing: Option<PricingReport>,
+    /// Per-pipeline-stage work breakdown; `None` unless the runner was
+    /// configured with
+    /// [`crate::ScenarioRunner::with_stage_breakdown`].
+    pub stages: Option<StageBreakdown>,
     /// Per-phase results.
     pub phases: Vec<PhaseReport>,
     /// Cross-check tolerance (relative).
@@ -159,6 +188,19 @@ impl fmt::Display for ScenarioReport {
                 p.columns_generated,
                 p.oracle_passes,
                 p.master_resolves
+            )?;
+        }
+        if let Some(s) = &self.stages {
+            writeln!(
+                f,
+                "stages:     topology {} sites, placement {} elements, \
+                 LP {} pivots, capacity {} points, DES {} phases / {} reqs",
+                s.topology_sites,
+                s.placement_elements,
+                s.lp_pivots,
+                s.capacity_points,
+                s.des_phases,
+                s.des_completed_requests
             )?;
         }
         for p in &self.phases {

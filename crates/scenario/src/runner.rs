@@ -14,7 +14,7 @@ use qp_protocol::{
 use qp_quorum::{Quorum, StrategyMatrix};
 use qp_topology::{Network, NodeId};
 
-use crate::report::{PhaseReport, PricingReport, ScenarioReport};
+use crate::report::{PhaseReport, PricingReport, ScenarioReport, StageBreakdown};
 use crate::spec::{parse_system, CapacityChoice, DemandModel, ScenarioSpec};
 use crate::ScenarioError;
 
@@ -26,12 +26,24 @@ use crate::ScenarioError;
 /// (the matrix fan-out and the capacity sweep ride
 /// [`qp_par::ParPool`], whose results are input-ordered by contract).
 #[derive(Debug, Clone, Copy, Default)]
-pub struct ScenarioRunner;
+pub struct ScenarioRunner {
+    stage_breakdown: bool,
+}
 
 impl ScenarioRunner {
     /// A runner with default settings.
     pub fn new() -> Self {
-        ScenarioRunner
+        Self::default()
+    }
+
+    /// Enables the per-pipeline-stage work breakdown
+    /// ([`ScenarioReport::stages`]). Off by default so rendered reports
+    /// and JSONL checkpoint lines stay byte-identical to earlier
+    /// releases; the CLI switches it on together with `--trace`.
+    #[must_use]
+    pub fn with_stage_breakdown(mut self, on: bool) -> Self {
+        self.stage_breakdown = on;
+        self
     }
 
     /// Runs a matrix of scenarios on the global worker pool, reports in
@@ -57,9 +69,20 @@ impl ScenarioRunner {
     pub fn run(&self, spec: &ScenarioSpec) -> Result<ScenarioReport, ScenarioError> {
         spec.validate()?;
         let pipeline = &spec.pipeline;
+        // Stage spans are logical markers (no timing data by themselves;
+        // a wall-clock-enabled TraceWriter stamps them). They emit only
+        // from the main thread — inside a `run_matrix` worker they are
+        // suppressed by `qp_obs::worker_scope`, keeping traces identical
+        // at any thread count.
+        let run_span = qp_obs::span(
+            "scenario.run",
+            &[("name", qp_obs::FieldValue::Str(&spec.name))],
+        );
 
         // 1. Topology and quorum system.
+        let topo_span = qp_obs::span("scenario.topology", &[]);
         let net = spec.topology.build()?;
+        topo_span.end(&[("sites", qp_obs::FieldValue::U64(net.len() as u64))]);
         let sys = parse_system(&pipeline.system)?;
         if sys.universe_size() > net.len() {
             return Err(ScenarioError::Invalid(format!(
@@ -72,7 +95,12 @@ impl ScenarioRunner {
         // 2. Placement and client population. Location count must fit
         // the network — silently shrinking it would run a different
         // scenario than declared (and could drop the flash crowd).
+        let place_span = qp_obs::span("scenario.placement", &[]);
         let placement = pipeline.placement.compute(&net, &sys)?;
+        place_span.end(&[(
+            "elements",
+            qp_obs::FieldValue::U64(sys.universe_size() as u64),
+        )]);
         let locations = spec.workload.locations;
         if locations > net.len() {
             return Err(ScenarioError::Invalid(format!(
@@ -106,6 +134,10 @@ impl ScenarioRunner {
         // alone would be gigabytes, and the location-level weighted
         // evaluator scores the same optimum (same linearity argument as
         // the colgen master itself).
+        let lp_span = qp_obs::span(
+            "scenario.lp",
+            &[("colgen", qp_obs::FieldValue::Bool(pipeline.colgen))],
+        );
         let quorums = sys.enumerate(pipeline.quorum_limit)?;
         let flatten = !pipeline.engine.all_aggregated();
         let lp_clients: Vec<NodeId> = if flatten {
@@ -152,6 +184,7 @@ impl ScenarioRunner {
         };
         let model = ResponseModel::from_demand(pipeline.op_time_ms, pipeline.demand);
         let mut lp_pivots = engine.base_iterations();
+        lp_span.end(&[("base_pivots", qp_obs::FieldValue::U64(lp_pivots as u64))]);
         let loc_indices: Vec<usize> = if flatten {
             nominal.location_indices()
         } else {
@@ -159,11 +192,14 @@ impl ScenarioRunner {
         };
 
         // 4. Capacity selection.
+        let capacity_span = qp_obs::span("scenario.capacity", &[]);
+        let capacity_points: usize;
         let n = net.len();
         let (base_outcome, base_caps, capacity_label) = match pipeline.capacity {
             CapacityChoice::Sweep { steps } => {
                 let l_opt = sys.optimal_load().unwrap_or(0.5);
                 let cs = capacity_sweep(l_opt, steps);
+                capacity_points = cs.len();
                 // The full-enumeration solver re-solves each point from an
                 // immutable warm base, so the sweep parallelizes; the
                 // colgen master mutates (columns accumulate across
@@ -216,6 +252,7 @@ impl ScenarioRunner {
                 (outcome, CapacityProfile::uniform(n, c), label)
             }
             CapacityChoice::Fixed(c) => {
+                capacity_points = 1;
                 let outcome = engine.solve_uniform(c)?;
                 lp_pivots += outcome.stats.iterations;
                 (
@@ -225,6 +262,7 @@ impl ScenarioRunner {
                 )
             }
             CapacityChoice::LoadProportional { beta, gamma } => {
+                capacity_points = 2;
                 let unconstrained = engine.solve_profile(&CapacityProfile::unbounded(n))?;
                 lp_pivots += unconstrained.stats.iterations;
                 // The colgen strategy is location-level: weight its rows
@@ -261,6 +299,7 @@ impl ScenarioRunner {
                 )
             }
             CapacityChoice::MarginalValue { beta, gamma } => {
+                capacity_points = 2;
                 let reference = engine.solve_uniform(gamma)?;
                 lp_pivots += reference.stats.iterations;
                 let prices: Vec<f64> = reference
@@ -279,6 +318,10 @@ impl ScenarioRunner {
                 (outcome, caps, format!("marginal-value [{beta}, {gamma}]"))
             }
         };
+        capacity_span.end(&[
+            ("points", qp_obs::FieldValue::U64(capacity_points as u64)),
+            ("pivots", qp_obs::FieldValue::U64(lp_pivots as u64)),
+        ]);
         // Scoring runs over the flattened client list in both modes; the
         // DES needs per-*location* rows. Full enumeration solves at client
         // level (score directly, collapse for the DES); colgen solves at
@@ -321,6 +364,19 @@ impl ScenarioRunner {
         let mut carry: Option<Vec<f64>> = None;
         for phase in 0..pipeline.phases {
             let phase_engine = pipeline.engine.for_phase(phase);
+            let phase_span = qp_obs::span(
+                "scenario.phase",
+                &[
+                    ("phase", qp_obs::FieldValue::U64(phase as u64)),
+                    (
+                        "engine",
+                        qp_obs::FieldValue::Str(match phase_engine {
+                            SimEngine::Exact => "exact",
+                            SimEngine::Aggregated => "aggregated",
+                        }),
+                    ),
+                ],
+            );
             // `validate()` guarantees `focus < locations`.
             let flash = spec.workload.flash.filter(|f| f.phase == phase);
             let pop = match flash {
@@ -443,6 +499,28 @@ impl ScenarioRunner {
                         None => (report.avg_response_ms, &pop, None),
                     };
                     let exact = simulate(&net, &sys, &placement, cmp_pop, choice, &cfg)?;
+                    // Fault-counter consistency: the aggregated engine's
+                    // timeout/retry/failover counters are *analytic*
+                    // (cycles × doomed population), so they cannot match
+                    // the exact engine's event counts numerically — but
+                    // both must agree on whether faults occurred at all.
+                    // Only meaningful when both engines saw the same
+                    // population (no subsample).
+                    if sampled.is_none() {
+                        for (what, agg_n, exact_n) in [
+                            ("timeouts", report.timeouts, exact.timeouts),
+                            ("retries", report.retries, exact.retries),
+                            ("failovers", report.failovers, exact.failovers),
+                        ] {
+                            if (agg_n == 0) != (exact_n == 0) {
+                                return Err(ScenarioError::Invalid(format!(
+                                    "exact-compare fault-counter inconsistency in \
+                                     phase {phase}: aggregated engine reported \
+                                     {agg_n} {what}, exact engine {exact_n}"
+                                )));
+                            }
+                        }
+                    }
                     let err = if exact.avg_response_ms > 0.0 {
                         (agg_response_ms - exact.avg_response_ms).abs() / exact.avg_response_ms
                     } else {
@@ -462,6 +540,13 @@ impl ScenarioRunner {
                 .iter()
                 .copied()
                 .fold(0.0, f64::max);
+            phase_span.end(&[
+                (
+                    "completed",
+                    qp_obs::FieldValue::U64(report.completed_requests),
+                ),
+                ("timeouts", qp_obs::FieldValue::U64(report.timeouts)),
+            ]);
             phases.push(PhaseReport {
                 phase,
                 engine: phase_engine,
@@ -497,6 +582,21 @@ impl ScenarioRunner {
         let pass =
             max_rel_error <= pipeline.tolerance && max_engine_divergence <= pipeline.tolerance;
 
+        let stages = self.stage_breakdown.then(|| StageBreakdown {
+            topology_sites: net.len(),
+            placement_elements: sys.universe_size(),
+            lp_pivots,
+            capacity_points,
+            des_phases: pipeline.phases,
+            des_completed_requests: phases.iter().map(|p| p.completed_requests).sum(),
+        });
+        if qp_obs::enabled() {
+            qp_obs::counter_add("scenario_runs_total", 1);
+            qp_obs::counter_add("scenario_phases_total", pipeline.phases as u64);
+            qp_obs::observe("scenario_lp_pivots", lp_pivots as f64);
+        }
+        run_span.end(&[("pass", qp_obs::FieldValue::Bool(pass))]);
+
         Ok(ScenarioReport {
             name: spec.name.clone(),
             topology: spec.topology.describe(),
@@ -514,6 +614,7 @@ impl ScenarioRunner {
             lp_response_ms: base_eval.avg_response_ms,
             lp_pivots,
             pricing: engine.pricing(),
+            stages,
             phases,
             tolerance: pipeline.tolerance,
             max_rel_error,

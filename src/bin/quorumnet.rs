@@ -52,11 +52,35 @@ fn run(args: &[String]) -> Result<(), String> {
         print_help();
         return Ok(());
     };
+    if command == "trace-check" {
+        return cmd_trace_check(&args[1..]);
+    }
     let opts = Options::parse(&args[1..])?;
     if let Some(n) = opts.threads {
         qp_par::configure_threads(n);
     }
-    match command.as_str() {
+    // Observability: `--trace FILE` streams a JSONL span/event trace
+    // (logical events only, so same-seed traces are byte-identical at
+    // any --threads); `serve` without it still installs a metrics-only
+    // recorder so the daemon's `metrics` command has data to render.
+    let trace_writer = match &opts.trace {
+        Some(path) => {
+            let w = quorumnet::obs::TraceWriter::create(std::path::Path::new(path))
+                .map_err(|e| format!("opening trace {path}: {e}"))?;
+            let w = std::sync::Arc::new(w);
+            quorumnet::obs::install(w.clone());
+            Some((w, path.clone()))
+        }
+        None => {
+            if command == "serve" {
+                quorumnet::obs::install(std::sync::Arc::new(
+                    quorumnet::obs::RegistryRecorder::new(),
+                ));
+            }
+            None
+        }
+    };
+    let result = match command.as_str() {
         "help" | "--help" | "-h" => {
             print_help();
             Ok(())
@@ -68,7 +92,27 @@ fn run(args: &[String]) -> Result<(), String> {
         "serve" => cmd_serve(&opts),
         "ctl" => cmd_ctl(&opts),
         other => Err(format!("unknown command `{other}`")),
+    };
+    quorumnet::obs::uninstall();
+    if let Some((w, path)) = trace_writer {
+        w.flush()
+            .map_err(|e| format!("writing trace {path}: {e}"))?;
     }
+    result
+}
+
+/// `quorumnet trace-check FILE…` — validates `--trace` output: one JSON
+/// object per line and monotone span nesting (the CI smoke assertion).
+fn cmd_trace_check(paths: &[String]) -> Result<(), String> {
+    if paths.is_empty() {
+        return Err("trace-check requires at least one trace file".to_string());
+    }
+    for path in paths {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        quorumnet::obs::validate_trace(&text).map_err(|e| format!("{path}: {e}"))?;
+        println!("{path}: ok ({} events)", text.lines().count());
+    }
+    Ok(())
 }
 
 fn print_help() {
@@ -80,14 +124,18 @@ fn print_help() {
          simulate  run the Q/U-style protocol simulation\n  \
          scenario  run declarative end-to-end scenario specs\n  \
          serve     run the quorumd placement daemon\n  \
-         ctl       drive a running daemon over its line protocol\n\n\
+         ctl       drive a running daemon over its line protocol\n  \
+         trace-check  validate a --trace JSONL file (syntax + span nesting)\n\n\
          common flags:\n  \
          --dataset planetlab50|daxlist161   built-in synthetic WAN (default planetlab50)\n  \
          --topology FILE                    RTT matrix file (overrides --dataset)\n  \
          --system grid:K | majority:KIND:T  quorum system (KIND: simple|twothirds|fourfifths)\n  \
          --threads N                        worker threads for parallel sweeps and searches\n  \
                                             (default: available parallelism; output identical\n  \
-                                            for any thread count)\n\n\
+                                            for any thread count)\n  \
+         --trace FILE                       write a JSONL span/metric trace of the run\n  \
+                                            (logical events only: same seed → byte-identical\n  \
+                                            trace at any --threads; validate with trace-check)\n\n\
          place flags:\n  \
          --strategy closest|balanced|lp|lp-sweep   access strategy (default closest)\n  \
          --demand N          client demand for the response model (default 0)\n  \
@@ -129,7 +177,7 @@ fn print_help() {
          --cmd CMD       protocol command (repeatable; stdin if omitted)\n\n\
          daemon protocol commands:\n  \
          slowdown <site> <factor> | demand <loc> <weight> | crash <node>\n  \
-         restore <node> | query | snapshot | check | health | shutdown"
+         restore <node> | query | snapshot | check | health | metrics | shutdown"
     );
 }
 
@@ -162,6 +210,7 @@ struct Options {
     sweep: usize,
     state_dir: Option<String>,
     snapshot_every: usize,
+    trace: Option<String>,
 }
 
 impl Default for Options {
@@ -193,6 +242,7 @@ impl Default for Options {
             sweep: 10,
             state_dir: None,
             snapshot_every: 64,
+            trace: None,
         }
     }
 }
@@ -237,6 +287,7 @@ impl Options {
                     }
                     o.snapshot_every = n;
                 }
+                "--trace" => o.trace = Some(value("--trace")?),
                 "--socket" => o.socket = Some(value("--socket")?),
                 "--listen" => o.listen = Some(value("--listen")?),
                 "--connect" => o.connect = Some(value("--connect")?),
@@ -287,6 +338,30 @@ impl Options {
             m
         }
     }
+}
+
+/// Emits one `scenario.report` trace event for a completed spec. The
+/// matrix fan-out runs specs inside pool workers, where span/point
+/// emission is suppressed (that is what keeps traces byte-identical at
+/// any `--threads`); the merged, spec-ordered reports are re-emitted
+/// here on the main thread instead.
+fn emit_report_event(spec_index: usize, report: &quorumnet::scenario::ScenarioReport) {
+    use quorumnet::obs::FieldValue as F;
+    let mut fields = vec![
+        ("spec_index", F::U64(spec_index as u64)),
+        ("name", F::Str(&report.name)),
+        ("pass", F::Bool(report.pass)),
+        ("phases", F::U64(report.phases.len() as u64)),
+        ("lp_pivots", F::U64(report.lp_pivots as u64)),
+        ("max_rel_error", F::F64(report.max_rel_error)),
+    ];
+    if let Some(s) = &report.stages {
+        fields.push(("topology_sites", F::U64(s.topology_sites as u64)));
+        fields.push(("placement_elements", F::U64(s.placement_elements as u64)));
+        fields.push(("capacity_points", F::U64(s.capacity_points as u64)));
+        fields.push(("des_completed_requests", F::U64(s.des_completed_requests)));
+    }
+    quorumnet::obs::point("scenario.report", &fields);
 }
 
 /// Renders one [`strategy_lp::ColGenStats`] line (shared by `place`'s
@@ -534,7 +609,11 @@ fn cmd_scenario(opts: &Options) -> Result<(), String> {
             spec.pipeline.colgen = true;
         }
     }
-    let runner = ScenarioRunner::new();
+    // `--trace` also turns on the per-stage work breakdown: the stages
+    // land in the rendered report and the JSONL/checkpoint lines (an
+    // optional trailing field, so untraced output is byte-identical to
+    // earlier releases).
+    let runner = ScenarioRunner::new().with_stage_breakdown(opts.trace.is_some());
 
     if let Some(checkpoint) = &opts.checkpoint {
         // Checkpointed mode: one fsync'd JSONL line per completed spec;
@@ -552,12 +631,29 @@ fn cmd_scenario(opts: &Options) -> Result<(), String> {
         }
         for entry in &entries {
             match &entry.report {
-                Some(report) => print!("{report}"),
-                None => println!(
-                    "scenario:   {} (resumed from checkpoint → {})",
-                    entry.name,
-                    if entry.pass { "PASS" } else { "FAIL" }
-                ),
+                Some(report) => {
+                    emit_report_event(entry.spec_index, report);
+                    print!("{report}");
+                }
+                None => {
+                    quorumnet::obs::point(
+                        "scenario.report",
+                        &[
+                            (
+                                "spec_index",
+                                quorumnet::obs::FieldValue::U64(entry.spec_index as u64),
+                            ),
+                            ("name", quorumnet::obs::FieldValue::Str(&entry.name)),
+                            ("pass", quorumnet::obs::FieldValue::Bool(entry.pass)),
+                            ("resumed", quorumnet::obs::FieldValue::Bool(true)),
+                        ],
+                    );
+                    println!(
+                        "scenario:   {} (resumed from checkpoint → {})",
+                        entry.name,
+                        if entry.pass { "PASS" } else { "FAIL" }
+                    );
+                }
             }
         }
         if let Some(out) = &opts.jsonl_out {
@@ -570,6 +666,9 @@ fn cmd_scenario(opts: &Options) -> Result<(), String> {
     }
 
     let reports = runner.run_matrix(&specs).map_err(|e| e.to_string())?;
+    for (i, report) in reports.iter().enumerate() {
+        emit_report_event(i, report);
+    }
     let mut rendered = String::new();
     for (i, report) in reports.iter().enumerate() {
         if i > 0 {

@@ -15,6 +15,7 @@
 //! | [`protocol`] | `qp-protocol` | Q/U-style protocol simulation (the §3 motivating experiment) |
 //! | [`scenario`] | `qp-scenario` | Declarative WAN/workload/failure scenarios and the end-to-end pipeline runner |
 //! | [`daemon`] | `qp-daemon` | `quorumd`: long-lived placement sessions with online delta re-optimization over a warm simplex instance |
+//! | [`obs`] | `qp-obs` | Unified observability: deterministic counters/histograms, span traces, Prometheus-style exposition |
 //!
 //! # Quickstart
 //!
@@ -48,6 +49,7 @@ pub use qp_core as core;
 pub use qp_daemon as daemon;
 pub use qp_des as des;
 pub use qp_lp as lp;
+pub use qp_obs as obs;
 pub use qp_protocol as protocol;
 pub use qp_quorum as quorum;
 pub use qp_scenario as scenario;

@@ -1,0 +1,69 @@
+//! Trace determinism: with a `TraceWriter` installed, the same seeded
+//! scenario must produce **byte-identical** JSONL traces at any thread
+//! count.
+//!
+//! Two disciplines make this hold (see `qp-obs` crate docs): counters
+//! and histograms commute (order-invariant merges into the registry),
+//! and span/point events are emitted only outside pool workers, so the
+//! event stream is a pure function of the main thread's control flow.
+//! A divergence here means an event leaked out of a worker or a
+//! wall-clock value crept into the logical stream — both real bugs.
+//!
+//! The recorder is process-global, so the whole comparison lives in a
+//! single `#[test]` that installs and uninstalls around each run.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use qp_par::configure_threads;
+use quorumnet::obs::{self, TraceWriter};
+use quorumnet::scenario::{ScenarioRunner, ScenarioSpec};
+
+fn spec() -> ScenarioSpec {
+    ScenarioSpec::from_file(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/data/scenarios/transit_flash.toml"
+    ))
+    .expect("showcase spec parses")
+}
+
+/// Runs the showcase scenario under `threads` workers with a trace
+/// writer installed, returning the trace bytes.
+fn traced_run(threads: usize, path: &Path) -> Vec<u8> {
+    configure_threads(threads);
+    let writer = Arc::new(TraceWriter::create(path).expect("create trace file"));
+    obs::install(writer.clone());
+    let report = ScenarioRunner::new()
+        .with_stage_breakdown(true)
+        .run(&spec())
+        .expect("scenario runs");
+    obs::uninstall();
+    writer.flush().expect("flush trace");
+    assert!(report.pass, "showcase scenario should pass");
+    std::fs::read(path).expect("read trace back")
+}
+
+#[test]
+fn same_seed_traces_identical_across_thread_counts() {
+    let dir = std::env::temp_dir().join(format!("qp-obs-trace-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+
+    let serial = traced_run(1, &dir.join("t1.jsonl"));
+    let text = String::from_utf8(serial.clone()).expect("trace is UTF-8");
+    assert!(!text.is_empty(), "main-thread run must emit events");
+    obs::validate_trace(&text).expect("trace validates");
+    assert!(
+        text.contains("\"name\":\"scenario.run\"") && text.contains("\"name\":\"scenario.phase\""),
+        "trace should carry the pipeline's span structure"
+    );
+
+    for threads in [2, 4] {
+        let parallel = traced_run(threads, &dir.join(format!("t{threads}.jsonl")));
+        assert_eq!(
+            serial, parallel,
+            "trace bytes drifted between 1 and {threads} threads"
+        );
+    }
+    configure_threads(1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
